@@ -1,0 +1,112 @@
+//! Analysis attributes: what an inconsistency rule can talk about.
+//!
+//! Fingerprint attributes come straight from the request; the two
+//! IP-derived attributes come from the store's ingest-time geolocation
+//! (the raw address itself is long gone).
+
+use fp_honeysite::StoredRequest;
+use fp_types::{AttrId, AttrValue};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An attribute the miner can pair.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub enum AnalysisAttr {
+    /// A recorded fingerprint attribute.
+    Fp(AttrId),
+    /// MaxMind-style `Country/Region` of the source address (the paper's
+    /// "IP Location").
+    IpRegion,
+    /// UTC offset of the source address's geolocation, minutes, JS sign.
+    IpUtcOffset,
+}
+
+impl AnalysisAttr {
+    /// Read this attribute's value from a stored request.
+    pub fn value_of(self, request: &StoredRequest) -> AttrValue {
+        match self {
+            AnalysisAttr::Fp(id) => *request.fingerprint.get(id),
+            AnalysisAttr::IpRegion => AttrValue::Sym(request.ip_region),
+            AnalysisAttr::IpUtcOffset => AttrValue::Int(i64::from(request.ip_offset_minutes)),
+        }
+    }
+
+    /// Stable name (filter-list syntax).
+    pub fn name(self) -> String {
+        match self {
+            AnalysisAttr::Fp(id) => id.name().to_owned(),
+            AnalysisAttr::IpRegion => "ip_region".to_owned(),
+            AnalysisAttr::IpUtcOffset => "ip_utc_offset".to_owned(),
+        }
+    }
+
+    /// Inverse of [`AnalysisAttr::name`].
+    pub fn from_name(name: &str) -> Option<AnalysisAttr> {
+        match name {
+            "ip_region" => Some(AnalysisAttr::IpRegion),
+            "ip_utc_offset" => Some(AnalysisAttr::IpUtcOffset),
+            other => AttrId::from_name(other).map(AnalysisAttr::Fp),
+        }
+    }
+}
+
+impl fmt::Display for AnalysisAttr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_types::{sym, Fingerprint, SimTime, TrafficSource};
+
+    fn request() -> StoredRequest {
+        StoredRequest {
+            id: 0,
+            time: SimTime::EPOCH,
+            site_token: sym("t"),
+            ip_hash: 1,
+            ip_offset_minutes: -60,
+            ip_region: sym("France/Hauts-de-France"),
+            ip_lat: 50.0,
+            ip_lon: 2.8,
+            asn: 16276,
+            asn_flagged: true,
+            ip_blocklisted: false,
+            cookie: 9,
+            fingerprint: Fingerprint::new().with(AttrId::UaDevice, "iPhone"),
+            source: TrafficSource::RealUser,
+            datadome_bot: false,
+            botd_bot: false,
+        }
+    }
+
+    #[test]
+    fn value_extraction() {
+        let r = request();
+        assert_eq!(
+            AnalysisAttr::Fp(AttrId::UaDevice).value_of(&r).as_str(),
+            Some("iPhone")
+        );
+        assert_eq!(
+            AnalysisAttr::IpRegion.value_of(&r).as_str(),
+            Some("France/Hauts-de-France")
+        );
+        assert_eq!(AnalysisAttr::IpUtcOffset.value_of(&r).as_int(), Some(-60));
+        assert!(AnalysisAttr::Fp(AttrId::Plugins).value_of(&r).is_missing());
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        for attr in [
+            AnalysisAttr::Fp(AttrId::UaDevice),
+            AnalysisAttr::Fp(AttrId::MaxTouchPoints),
+            AnalysisAttr::IpRegion,
+            AnalysisAttr::IpUtcOffset,
+        ] {
+            assert_eq!(AnalysisAttr::from_name(&attr.name()), Some(attr));
+        }
+        assert_eq!(AnalysisAttr::from_name("nope"), None);
+    }
+}

@@ -1,0 +1,217 @@
+//! §8.1: overcoming false positives with CAPTCHAs.
+//!
+//! Instead of blocking flagged requests outright, a deployment challenges
+//! them. Real users solve the challenge; the verification is stored in the
+//! first-party cookie so they are not asked again ("this frustration can be
+//! mitigated by storing the result of a CAPTCHA verification in a Cookie").
+//! Bots overwhelmingly fail or abandon challenges, so their outcome is
+//! unchanged.
+//!
+//! Solving is *simulated user behaviour* (it needs ground truth, like every
+//! generator in this workspace) — the gate itself only sees flags, cookies
+//! and solve results.
+
+use fp_honeysite::{RequestStore, StoredRequest};
+use fp_types::CookieId;
+use std::collections::HashSet;
+
+/// Challenge-flow parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct CaptchaPolicy {
+    /// Probability a real user solves a presented challenge (§8.1 cites
+    /// CAPTCHA-frustration studies; a few abandon).
+    pub human_solve_rate: f64,
+    /// Probability a bot solves one (farms exist but cost money that
+    /// impression-fraud margins do not cover).
+    pub bot_solve_rate: f64,
+    /// Determinism seed for the simulated solving.
+    pub seed: u64,
+}
+
+impl Default for CaptchaPolicy {
+    fn default() -> Self {
+        CaptchaPolicy { human_solve_rate: 0.97, bot_solve_rate: 0.03, seed: 0xCA7C4A }
+    }
+}
+
+/// Per-request disposition under the challenge flow.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Disposition {
+    /// Not flagged (or already verified): served normally.
+    Served,
+    /// Flagged, challenged, solved: served, and the cookie is verified.
+    ChallengedSolved,
+    /// Flagged, challenged, failed/abandoned: blocked.
+    Blocked,
+}
+
+/// The stateful gate: flagged traffic is challenged unless its cookie has
+/// already passed a challenge.
+pub struct CaptchaGate {
+    policy: CaptchaPolicy,
+    verified: HashSet<CookieId>,
+}
+
+impl CaptchaGate {
+    /// New gate.
+    pub fn new(policy: CaptchaPolicy) -> CaptchaGate {
+        CaptchaGate { policy, verified: HashSet::new() }
+    }
+
+    /// Process one request given the engine's flag for it.
+    pub fn process(&mut self, request: &StoredRequest, flagged: bool) -> Disposition {
+        if !flagged || self.verified.contains(&request.cookie) {
+            return Disposition::Served;
+        }
+        // Simulated solving behaviour (ground truth drives the simulation,
+        // never the decision).
+        let solve_rate = if request.source.is_bot() {
+            self.policy.bot_solve_rate
+        } else {
+            self.policy.human_solve_rate
+        };
+        let draw = fp_types::unit_f64(fp_types::mix3(self.policy.seed, request.cookie, request.id));
+        if draw < solve_rate {
+            self.verified.insert(request.cookie);
+            Disposition::ChallengedSolved
+        } else {
+            Disposition::Blocked
+        }
+    }
+}
+
+/// Outcome of running a whole store through the challenge flow.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CaptchaReport {
+    pub human_requests: u64,
+    /// Human requests that saw a challenge.
+    pub human_challenged: u64,
+    /// Human requests blocked (failed challenges) — the residual false
+    /// positives after mitigation.
+    pub human_blocked: u64,
+    pub bot_requests: u64,
+    /// Bot requests blocked by the flow.
+    pub bot_blocked: u64,
+}
+
+impl CaptchaReport {
+    /// Residual human block rate after mitigation.
+    pub fn human_block_rate(&self) -> f64 {
+        self.human_blocked as f64 / self.human_requests.max(1) as f64
+    }
+
+    /// Fraction of flagged bot traffic still blocked.
+    pub fn bot_block_rate(&self) -> f64 {
+        self.bot_blocked as f64 / self.bot_requests.max(1) as f64
+    }
+}
+
+/// Run the challenge flow over a store with per-request flags
+/// (index-aligned, e.g. from [`crate::FpInconsistent::flags`]).
+pub fn run(store: &RequestStore, flags: &[(bool, bool)], policy: CaptchaPolicy) -> CaptchaReport {
+    assert_eq!(store.len(), flags.len());
+    let mut gate = CaptchaGate::new(policy);
+    let mut report = CaptchaReport::default();
+    for (request, (spatial, temporal)) in store.iter().zip(flags) {
+        let flagged = *spatial || *temporal;
+        let disposition = gate.process(request, flagged);
+        if request.source.is_bot() {
+            report.bot_requests += 1;
+            report.bot_blocked += u64::from(disposition == Disposition::Blocked);
+        } else {
+            report.human_requests += 1;
+            report.human_challenged += u64::from(disposition != Disposition::Served);
+            report.human_blocked += u64::from(disposition == Disposition::Blocked);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_types::{sym, Fingerprint, ServiceId, SimTime, TrafficSource};
+
+    fn request(id: u64, cookie: CookieId, bot: bool) -> StoredRequest {
+        StoredRequest {
+            id,
+            time: SimTime::EPOCH,
+            site_token: sym("t"),
+            ip_hash: cookie,
+            ip_offset_minutes: 0,
+            ip_region: sym("X/Y"),
+            ip_lat: 0.0,
+            ip_lon: 0.0,
+            asn: 1,
+            asn_flagged: false,
+            ip_blocklisted: false,
+            cookie,
+            fingerprint: Fingerprint::new(),
+            source: if bot { TrafficSource::Bot(ServiceId(1)) } else { TrafficSource::RealUser },
+            datadome_bot: false,
+            botd_bot: false,
+        }
+    }
+
+    #[test]
+    fn unflagged_requests_pass_untouched() {
+        let mut gate = CaptchaGate::new(CaptchaPolicy::default());
+        assert_eq!(gate.process(&request(1, 7, false), false), Disposition::Served);
+        assert_eq!(gate.process(&request(2, 7, true), false), Disposition::Served);
+    }
+
+    #[test]
+    fn verified_cookie_skips_further_challenges() {
+        // A Brave-style user: repeatedly flagged, challenged exactly once.
+        let policy = CaptchaPolicy { human_solve_rate: 1.0, ..CaptchaPolicy::default() };
+        let mut gate = CaptchaGate::new(policy);
+        assert_eq!(gate.process(&request(1, 9, false), true), Disposition::ChallengedSolved);
+        for i in 2..20 {
+            assert_eq!(gate.process(&request(i, 9, false), true), Disposition::Served);
+        }
+    }
+
+    #[test]
+    fn bots_stay_blocked() {
+        let policy = CaptchaPolicy { bot_solve_rate: 0.0, ..CaptchaPolicy::default() };
+        let mut gate = CaptchaGate::new(policy);
+        for i in 0..20 {
+            assert_eq!(gate.process(&request(i, 100 + i, true), true), Disposition::Blocked);
+        }
+    }
+
+    #[test]
+    fn report_rates() {
+        let mut store = RequestStore::new();
+        let mut flags = Vec::new();
+        // 10 flagged humans on one cookie, 10 flagged bots on distinct ones.
+        for i in 0..10 {
+            store.push(request(i, 5, false));
+            flags.push((true, false));
+        }
+        for i in 10..20 {
+            store.push(request(i, 100 + i, true));
+            flags.push((true, false));
+        }
+        let report = run(
+            &store,
+            &flags,
+            CaptchaPolicy { human_solve_rate: 1.0, bot_solve_rate: 0.0, seed: 1 },
+        );
+        assert_eq!(report.human_requests, 10);
+        assert_eq!(report.human_challenged, 1, "one challenge, then the cookie is verified");
+        assert_eq!(report.human_blocked, 0);
+        assert_eq!(report.bot_requests, 10);
+        assert_eq!(report.bot_blocked, 10);
+        assert_eq!(report.human_block_rate(), 0.0);
+        assert_eq!(report.bot_block_rate(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion `left == right` failed")]
+    fn misaligned_flags_panic() {
+        let mut store = RequestStore::new();
+        store.push(request(0, 1, false));
+        let _ = run(&store, &[], CaptchaPolicy::default());
+    }
+}

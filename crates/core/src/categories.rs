@@ -1,0 +1,144 @@
+//! Table 7: attribute categories for inconsistency analysis.
+//!
+//! Analysing every attribute pair is infeasible (the paper's observation in
+//! §7.1); attributes are grouped by the kind of device information they
+//! convey and only within-group pairs are mined.
+
+use crate::attrs::AnalysisAttr;
+use fp_types::AttrId;
+
+/// One attribute category.
+pub struct Category {
+    /// Table 7 name.
+    pub name: &'static str,
+    /// Member attributes.
+    pub attrs: &'static [AnalysisAttr],
+    /// Whether this category is part of the paper's analysis (the
+    /// cross-layer TLS category is this repo's §8.2 extension and is
+    /// excluded from paper-table reproduction by default).
+    pub in_paper: bool,
+}
+
+use AnalysisAttr::Fp;
+
+/// The categories (Table 7, plus the cross-layer extension).
+pub const CATEGORIES: [Category; 5] = [
+    Category {
+        name: "Screen",
+        attrs: &[
+            Fp(AttrId::UaDevice),
+            Fp(AttrId::ColorDepth),
+            Fp(AttrId::ScreenResolution),
+            Fp(AttrId::TouchSupport),
+            Fp(AttrId::MaxTouchPoints),
+            Fp(AttrId::Hdr),
+            Fp(AttrId::Contrast),
+            Fp(AttrId::ReducedMotion),
+            Fp(AttrId::ColorGamut),
+        ],
+        in_paper: true,
+    },
+    Category {
+        name: "Device",
+        attrs: &[
+            Fp(AttrId::UaDevice),
+            Fp(AttrId::DeviceMemory),
+            Fp(AttrId::HardwareConcurrency),
+            Fp(AttrId::UaOs),
+        ],
+        in_paper: true,
+    },
+    Category {
+        name: "Browser",
+        attrs: &[
+            Fp(AttrId::UaBrowser),
+            Fp(AttrId::Plugins),
+            Fp(AttrId::Platform),
+            Fp(AttrId::UaOs),
+            Fp(AttrId::Vendor),
+            Fp(AttrId::VendorFlavors),
+            Fp(AttrId::ProductSub),
+            // HTTP header layer (the paper mines "HTTP headers and the
+            // attributes captured by FingerprintJS").
+            Fp(AttrId::SecChUa),
+            Fp(AttrId::SecChUaPlatform),
+        ],
+        in_paper: true,
+    },
+    Category {
+        name: "Location",
+        attrs: &[
+            AnalysisAttr::IpRegion,
+            AnalysisAttr::IpUtcOffset,
+            Fp(AttrId::Timezone),
+            Fp(AttrId::TimezoneOffset),
+            Fp(AttrId::Languages),
+            Fp(AttrId::Language),
+            Fp(AttrId::AcceptLanguage),
+        ],
+        in_paper: true,
+    },
+    Category {
+        name: "CrossLayer",
+        attrs: &[Fp(AttrId::UaBrowser), Fp(AttrId::Ja3), Fp(AttrId::Ja4)],
+        in_paper: false,
+    },
+];
+
+impl Category {
+    /// All unordered attribute pairs of the category.
+    pub fn pairs(&self) -> Vec<(AnalysisAttr, AnalysisAttr)> {
+        let mut out = Vec::new();
+        for (i, a) in self.attrs.iter().enumerate() {
+            for b in &self.attrs[i + 1..] {
+                out.push((*a, *b));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_paper_categories() {
+        assert_eq!(CATEGORIES.iter().filter(|c| c.in_paper).count(), 4);
+        let names: Vec<&str> = CATEGORIES.iter().map(|c| c.name).collect();
+        assert_eq!(names, vec!["Screen", "Device", "Browser", "Location", "CrossLayer"]);
+    }
+
+    #[test]
+    fn pairs_are_unordered_and_complete() {
+        let device = &CATEGORIES[1];
+        let pairs = device.pairs();
+        assert_eq!(pairs.len(), 4 * 3 / 2);
+        assert!(pairs.contains(&(Fp(AttrId::UaDevice), Fp(AttrId::HardwareConcurrency))));
+        // No self-pairs, no duplicates.
+        for (a, b) in &pairs {
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn table6_pairs_are_coverable() {
+        // Every Table 6 example pair must be minable from some category.
+        let covered = |x: AnalysisAttr, y: AnalysisAttr| {
+            CATEGORIES.iter().any(|c| c.attrs.contains(&x) && c.attrs.contains(&y))
+        };
+        assert!(covered(Fp(AttrId::UaDevice), Fp(AttrId::ScreenResolution)));
+        assert!(covered(Fp(AttrId::UaDevice), Fp(AttrId::TouchSupport)));
+        assert!(covered(Fp(AttrId::UaDevice), Fp(AttrId::MaxTouchPoints)));
+        assert!(covered(Fp(AttrId::UaDevice), Fp(AttrId::ColorDepth)));
+        assert!(covered(Fp(AttrId::UaDevice), Fp(AttrId::ColorGamut)));
+        assert!(covered(Fp(AttrId::UaDevice), Fp(AttrId::DeviceMemory)));
+        assert!(covered(Fp(AttrId::UaDevice), Fp(AttrId::HardwareConcurrency)));
+        assert!(covered(Fp(AttrId::UaBrowser), Fp(AttrId::UaOs)));
+        assert!(covered(Fp(AttrId::UaBrowser), Fp(AttrId::Vendor)));
+        assert!(covered(Fp(AttrId::UaBrowser), Fp(AttrId::Platform)));
+        assert!(covered(AnalysisAttr::IpRegion, Fp(AttrId::Timezone)));
+        assert!(covered(Fp(AttrId::Platform), Fp(AttrId::Vendor)));
+        assert!(covered(Fp(AttrId::Platform), Fp(AttrId::UaOs)));
+    }
+}

@@ -1,0 +1,155 @@
+//! The deployable engine: mined spatial rules + generalised location check
+//! + temporal state, evaluated per request.
+
+use crate::rules::RuleSet;
+use crate::spatial::{self, MineConfig};
+use crate::temporal::{TemporalConfig, TemporalEngine};
+use fp_honeysite::{RequestStore, StoredRequest};
+use fp_netsim::geo::offset_of_timezone;
+use fp_types::AttrId;
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineConfig {
+    /// Also flag any request whose browser timezone offset contradicts its
+    /// IP geolocation offset, beyond the concrete mined pairs. This is the
+    /// generalisation that catches Tor (§7.5) on exit/timezone
+    /// combinations never seen during mining.
+    pub generalize_location: bool,
+    /// Temporal engine settings.
+    pub temporal: TemporalConfig,
+}
+
+/// FP-Inconsistent, ready to deploy: a mined rule set plus the
+/// general checks.
+pub struct FpInconsistent {
+    rules: RuleSet,
+    config: EngineConfig,
+}
+
+impl FpInconsistent {
+    /// Mine rules from a recorded store (Algorithm 1) and wrap them in an
+    /// engine with default settings (location generalisation on).
+    pub fn mine(store: &RequestStore, mine_config: &MineConfig) -> FpInconsistent {
+        FpInconsistent {
+            rules: spatial::mine(store, mine_config),
+            config: EngineConfig { generalize_location: true, ..EngineConfig::default() },
+        }
+    }
+
+    /// Build from an existing rule set (e.g. parsed from a filter list).
+    pub fn from_rules(rules: RuleSet, config: EngineConfig) -> FpInconsistent {
+        FpInconsistent { rules, config }
+    }
+
+    /// The mined rule set.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// Spatial verdict for one request.
+    pub fn spatial_flag(&self, request: &StoredRequest) -> bool {
+        if self.rules.matches(request) {
+            return true;
+        }
+        if self.config.generalize_location {
+            if let Some(tz_offset) = request
+                .fingerprint
+                .get(AttrId::Timezone)
+                .as_str()
+                .and_then(offset_of_timezone)
+            {
+                if tz_offset != request.ip_offset_minutes {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Spatial flags for a whole store.
+    pub fn spatial_flags(&self, store: &RequestStore) -> Vec<bool> {
+        store.iter().map(|r| self.spatial_flag(r)).collect()
+    }
+
+    /// Temporal flags for a whole store (arrival order).
+    pub fn temporal_flags(&self, store: &RequestStore) -> Vec<bool> {
+        TemporalEngine::flags_for(store, self.config.temporal)
+    }
+
+    /// Combined per-request flags: `(spatial, temporal)`.
+    pub fn flags(&self, store: &RequestStore) -> Vec<(bool, bool)> {
+        let spatial = self.spatial_flags(store);
+        let temporal = self.temporal_flags(store);
+        spatial.into_iter().zip(temporal).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::AnalysisAttr;
+    use crate::rules::SpatialRule;
+    use fp_types::{sym, AttrValue, Fingerprint, SimTime, TrafficSource};
+
+    fn request(tz: &str, ip_offset: i32) -> StoredRequest {
+        StoredRequest {
+            id: 0,
+            time: SimTime::EPOCH,
+            site_token: sym("t"),
+            ip_hash: 5,
+            ip_offset_minutes: ip_offset,
+            ip_region: sym("Germany/Bayern"),
+            ip_lat: 0.0,
+            ip_lon: 0.0,
+            asn: 1,
+            asn_flagged: false,
+            ip_blocklisted: false,
+            cookie: 1,
+            fingerprint: Fingerprint::new().with(AttrId::Timezone, tz),
+            source: TrafficSource::RealUser,
+            datadome_bot: false,
+            botd_bot: false,
+        }
+    }
+
+    #[test]
+    fn generalized_location_catches_unseen_combination() {
+        // No mined rules at all — the Tor case: UTC browser, German exit.
+        let engine = FpInconsistent::from_rules(
+            RuleSet::new(),
+            EngineConfig { generalize_location: true, ..Default::default() },
+        );
+        assert!(engine.spatial_flag(&request("UTC", -60)));
+        assert!(!engine.spatial_flag(&request("Europe/Berlin", -60)));
+    }
+
+    #[test]
+    fn generalization_can_be_disabled() {
+        let engine = FpInconsistent::from_rules(RuleSet::new(), EngineConfig::default());
+        assert!(!engine.spatial_flag(&request("UTC", -60)));
+    }
+
+    #[test]
+    fn unknown_timezone_is_not_flagged() {
+        let engine = FpInconsistent::from_rules(
+            RuleSet::new(),
+            EngineConfig { generalize_location: true, ..Default::default() },
+        );
+        assert!(!engine.spatial_flag(&request("Mars/Olympus", -60)));
+    }
+
+    #[test]
+    fn mined_rules_apply() {
+        let mut rules = RuleSet::new();
+        rules.add(SpatialRule::new(
+            AnalysisAttr::Fp(AttrId::Timezone),
+            AttrValue::text("UTC"),
+            AnalysisAttr::IpRegion,
+            AttrValue::text("Germany/Bayern"),
+        ));
+        let engine = FpInconsistent::from_rules(rules, EngineConfig::default());
+        assert!(engine.spatial_flag(&request("UTC", -60)));
+        assert!(!engine.spatial_flag(&request("Europe/Berlin", -60)));
+    }
+}

@@ -1,0 +1,36 @@
+//! FP-Inconsistent: data-driven discovery of fingerprint inconsistencies
+//! for bot detection (Section 7 of the paper).
+//!
+//! * [`attrs`] — analysis attributes: fingerprint attributes plus the two
+//!   IP-derived attributes (geolocation region and UTC offset) that the
+//!   Location category pairs against browser state.
+//! * [`categories`] — Table 7's attribute groups; pairs are only mined
+//!   within a group.
+//! * [`spatial`] — Algorithm 1: rank value/attribute pairs by
+//!   configuration explosion over the *undetected* pool, confirm candidate
+//!   pairs against the validity oracle (the automated form of the paper's
+//!   semi-automatic human check), and emit concrete filter rules.
+//! * [`temporal`] — §7.2: per-cookie variance of immutable attributes and
+//!   per-IP timezone churn, evaluated in arrival order.
+//! * [`rules`] — the filter list: a serialisable, human-readable rule set
+//!   (the paper open-sources its rules in exactly this spirit).
+//! * [`engine`] — request matching: spatial rules + generalised location
+//!   check + temporal state.
+//! * [`evaluate`] — Tables 3 and 4, §7.4's true-negative rate, and the
+//!   §7.3 80/20 generalisation experiment.
+
+pub mod attrs;
+pub mod captcha;
+pub mod categories;
+pub mod engine;
+pub mod evaluate;
+pub mod rules;
+pub mod spatial;
+pub mod temporal;
+
+pub use attrs::AnalysisAttr;
+pub use categories::{Category, CATEGORIES};
+pub use engine::FpInconsistent;
+pub use evaluate::{DetectionReport, ServiceImprovement};
+pub use rules::{RuleSet, SpatialRule};
+pub use spatial::MineConfig;

@@ -1,0 +1,298 @@
+//! The filter list: concrete inconsistency rules, their matching index,
+//! and the textual format the paper-style open-sourced list uses.
+
+use crate::attrs::AnalysisAttr;
+use fp_honeysite::StoredRequest;
+use fp_types::AttrValue;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// One spatial rule: a concrete value pair that cannot coexist on a real
+/// device. Attributes are kept in canonical (sorted) order.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct SpatialRule {
+    pub attr_a: AnalysisAttr,
+    pub value_a: AttrValue,
+    pub attr_b: AnalysisAttr,
+    pub value_b: AttrValue,
+}
+
+impl SpatialRule {
+    /// Build with canonical attribute order.
+    pub fn new(a: AnalysisAttr, va: AttrValue, b: AnalysisAttr, vb: AttrValue) -> SpatialRule {
+        if b < a {
+            SpatialRule { attr_a: b, value_a: vb, attr_b: a, value_b: va }
+        } else {
+            SpatialRule { attr_a: a, value_a: va, attr_b: b, value_b: vb }
+        }
+    }
+
+    /// Does a stored request match this rule?
+    pub fn matches(&self, request: &StoredRequest) -> bool {
+        self.attr_a.value_of(request) == self.value_a && self.attr_b.value_of(request) == self.value_b
+    }
+}
+
+impl fmt::Display for SpatialRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}={} AND {}={}",
+            self.attr_a.name(),
+            self.value_a,
+            self.attr_b.name(),
+            self.value_b
+        )
+    }
+}
+
+/// A mined rule set with a pair-indexed matcher.
+#[derive(Default, Clone)]
+pub struct RuleSet {
+    rules: Vec<SpatialRule>,
+    /// (attr_a, attr_b) → set of (value_a, value_b), canonical order.
+    index: HashMap<(AnalysisAttr, AnalysisAttr), HashSet<(AttrValue, AttrValue)>>,
+}
+
+impl RuleSet {
+    /// Empty set.
+    pub fn new() -> RuleSet {
+        RuleSet::default()
+    }
+
+    /// Add a rule (idempotent).
+    pub fn add(&mut self, rule: SpatialRule) -> bool {
+        let key = (rule.attr_a, rule.attr_b);
+        let val = (rule.value_a, rule.value_b);
+        if self.index.entry(key).or_default().insert(val) {
+            self.rules.push(rule);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// All rules in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &SpatialRule> {
+        self.rules.iter()
+    }
+
+    /// Does any rule match the request? One hash probe per distinct
+    /// attribute pair in the set — the deployment-speed property filter
+    /// lists are chosen for (§7.3).
+    pub fn matches(&self, request: &StoredRequest) -> bool {
+        self.matching_rule(request).is_some()
+    }
+
+    /// The first matching rule, if any.
+    pub fn matching_rule(&self, request: &StoredRequest) -> Option<SpatialRule> {
+        for ((a, b), values) in &self.index {
+            let va = a.value_of(request);
+            if va.is_missing() {
+                continue;
+            }
+            let vb = b.value_of(request);
+            if vb.is_missing() {
+                continue;
+            }
+            if values.contains(&(va, vb)) {
+                return Some(SpatialRule { attr_a: *a, value_a: va, attr_b: *b, value_b: vb });
+            }
+        }
+        None
+    }
+
+    /// Render the filter list (stable order: sorted by display string).
+    pub fn to_filter_list(&self) -> String {
+        let mut lines: Vec<String> = self.rules.iter().map(|r| r.to_string()).collect();
+        lines.sort();
+        let mut out = String::new();
+        out.push_str("! FP-Inconsistent filter list\n");
+        out.push_str(&format!("! {} rules\n", lines.len()));
+        for l in lines {
+            out.push_str(&l);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse a filter list produced by [`RuleSet::to_filter_list`].
+    pub fn from_filter_list(text: &str) -> Result<RuleSet, String> {
+        let mut set = RuleSet::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('!') {
+                continue;
+            }
+            let mut sides = line.split(" AND ");
+            let (a, va) = parse_clause(sides.next().ok_or_else(|| err(lineno, "missing lhs"))?)
+                .map_err(|e| err(lineno, &e))?;
+            let (b, vb) = parse_clause(sides.next().ok_or_else(|| err(lineno, "missing rhs"))?)
+                .map_err(|e| err(lineno, &e))?;
+            if sides.next().is_some() {
+                return Err(err(lineno, "more than two clauses"));
+            }
+            set.add(SpatialRule::new(a, va, b, vb));
+        }
+        Ok(set)
+    }
+}
+
+fn err(lineno: usize, msg: &str) -> String {
+    format!("line {}: {}", lineno + 1, msg)
+}
+
+fn parse_clause(clause: &str) -> Result<(AnalysisAttr, AttrValue), String> {
+    let (name, value) = clause
+        .split_once('=')
+        .ok_or_else(|| format!("clause {clause:?} lacks '='"))?;
+    let attr = AnalysisAttr::from_name(name.trim()).ok_or_else(|| format!("unknown attribute {name:?}"))?;
+    Ok((attr, parse_value(value.trim())))
+}
+
+/// Parse a display-form value back into a typed [`AttrValue`]. Resolution,
+/// bool and integer forms are recognised; decimals become milli-floats;
+/// everything else is a string.
+fn parse_value(s: &str) -> AttrValue {
+    if let Some((w, h)) = s.split_once('x') {
+        if let (Ok(w), Ok(h)) = (w.parse::<u16>(), h.parse::<u16>()) {
+            return AttrValue::Resolution(w, h);
+        }
+    }
+    match s {
+        "true" => return AttrValue::Bool(true),
+        "false" => return AttrValue::Bool(false),
+        "<missing>" => return AttrValue::Missing,
+        _ => {}
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        return AttrValue::Int(i);
+    }
+    if s.contains('.') {
+        if let Ok(f) = s.parse::<f64>() {
+            return AttrValue::float(f);
+        }
+    }
+    AttrValue::text(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_types::{sym, AttrId, Fingerprint, SimTime, TrafficSource};
+
+    fn request(device: &str, mtp: i64) -> StoredRequest {
+        StoredRequest {
+            id: 0,
+            time: SimTime::EPOCH,
+            site_token: sym("t"),
+            ip_hash: 0,
+            ip_offset_minutes: 480,
+            ip_region: sym("United States of America/California"),
+            ip_lat: 0.0,
+            ip_lon: 0.0,
+            asn: 1,
+            asn_flagged: false,
+            ip_blocklisted: false,
+            cookie: 0,
+            fingerprint: Fingerprint::new()
+                .with(AttrId::UaDevice, device)
+                .with(AttrId::MaxTouchPoints, mtp),
+            source: TrafficSource::RealUser,
+            datadome_bot: false,
+            botd_bot: false,
+        }
+    }
+
+    fn iphone_zero_touch_rule() -> SpatialRule {
+        SpatialRule::new(
+            AnalysisAttr::Fp(AttrId::UaDevice),
+            AttrValue::text("iPhone"),
+            AnalysisAttr::Fp(AttrId::MaxTouchPoints),
+            AttrValue::Int(0),
+        )
+    }
+
+    #[test]
+    fn canonical_order() {
+        let a = SpatialRule::new(
+            AnalysisAttr::Fp(AttrId::MaxTouchPoints),
+            AttrValue::Int(0),
+            AnalysisAttr::Fp(AttrId::UaDevice),
+            AttrValue::text("iPhone"),
+        );
+        assert_eq!(a, iphone_zero_touch_rule());
+    }
+
+    #[test]
+    fn matching() {
+        let mut set = RuleSet::new();
+        set.add(iphone_zero_touch_rule());
+        assert!(set.matches(&request("iPhone", 0)));
+        assert!(!set.matches(&request("iPhone", 5)));
+        assert!(!set.matches(&request("Mac", 0)));
+    }
+
+    #[test]
+    fn add_is_idempotent() {
+        let mut set = RuleSet::new();
+        assert!(set.add(iphone_zero_touch_rule()));
+        assert!(!set.add(iphone_zero_touch_rule()));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn filter_list_roundtrip() {
+        let mut set = RuleSet::new();
+        set.add(iphone_zero_touch_rule());
+        set.add(SpatialRule::new(
+            AnalysisAttr::IpRegion,
+            AttrValue::text("France/Hauts-de-France"),
+            AnalysisAttr::Fp(AttrId::Timezone),
+            AttrValue::text("America/Los_Angeles"),
+        ));
+        set.add(SpatialRule::new(
+            AnalysisAttr::Fp(AttrId::UaDevice),
+            AttrValue::text("iPhone"),
+            AnalysisAttr::Fp(AttrId::ScreenResolution),
+            AttrValue::Resolution(1920, 1080),
+        ));
+        let text = set.to_filter_list();
+        let parsed = RuleSet::from_filter_list(&text).unwrap();
+        assert_eq!(parsed.len(), set.len());
+        assert!(parsed.matches(&request("iPhone", 0)));
+        // Re-rendering is stable.
+        assert_eq!(parsed.to_filter_list(), text);
+    }
+
+    #[test]
+    fn filter_list_rejects_malformed() {
+        assert!(RuleSet::from_filter_list("just one clause\n").is_err());
+        assert!(RuleSet::from_filter_list("a=1 AND b=2 AND c=3\n").is_err());
+        assert!(RuleSet::from_filter_list("bogus_attr=1 AND ua_device=x\n").is_err());
+        assert!(RuleSet::from_filter_list("! comment only\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn value_parser_types() {
+        assert_eq!(parse_value("1920x1080"), AttrValue::Resolution(1920, 1080));
+        assert_eq!(parse_value("true"), AttrValue::Bool(true));
+        assert_eq!(parse_value("-60"), AttrValue::Int(-60));
+        assert_eq!(parse_value("2.5"), AttrValue::float(2.5));
+        assert_eq!(parse_value("iPhone"), AttrValue::text("iPhone"));
+        assert_eq!(parse_value("<missing>"), AttrValue::Missing);
+        // Not a resolution: falls back to string.
+        assert_eq!(parse_value("axb"), AttrValue::text("axb"));
+    }
+}

@@ -1,0 +1,209 @@
+//! §7.2: temporal inconsistency analysis.
+//!
+//! Two anchors, both processed in arrival order:
+//!
+//! * the first-party **cookie**: immutable device attributes (CPU cores,
+//!   device memory, platform, screen, GPU…) must not vary across requests
+//!   bearing the same cookie — a request that *introduces a new value* for
+//!   such an attribute is temporally inconsistent;
+//! * the **IP address** (as its stored hash): the set of browser timezones
+//!   seen from one address should not keep growing.
+
+use fp_honeysite::{RequestStore, StoredRequest};
+use fp_types::{AttrId, AttrValue, CookieId};
+use std::collections::{HashMap, HashSet};
+
+/// Immutable attributes tracked per cookie (from
+/// [`AttrId::immutable_for_device`]).
+fn tracked_attrs() -> Vec<AttrId> {
+    AttrId::iter().filter(|a| a.immutable_for_device()).collect()
+}
+
+/// Configuration for the temporal engine.
+#[derive(Clone, Copy, Debug)]
+pub struct TemporalConfig {
+    /// Maximum distinct timezone offsets tolerated per IP before further
+    /// new offsets flag (travel across one boundary happens; more is
+    /// proxy-rotation).
+    pub max_offsets_per_ip: usize,
+    /// Once a cookie has proven inconsistent (two distinct values of an
+    /// immutable attribute), keep flagging its requests even when they
+    /// repeat already-seen values. The paper's rule is the new-value
+    /// trigger; persistence is the deployment stance that a burned device
+    /// identity stays burned (its §8.1 CAPTCHA flow clears it by reissuing
+    /// the cookie).
+    pub burned_cookie_persists: bool,
+}
+
+impl Default for TemporalConfig {
+    fn default() -> Self {
+        TemporalConfig { max_offsets_per_ip: 1, burned_cookie_persists: true }
+    }
+}
+
+/// Streaming temporal analyser.
+pub struct TemporalEngine {
+    config: TemporalConfig,
+    attrs: Vec<AttrId>,
+    per_cookie: HashMap<CookieId, Vec<HashSet<AttrValue>>>,
+    burned: HashSet<CookieId>,
+    per_ip_offsets: HashMap<u64, HashSet<i32>>,
+}
+
+impl TemporalEngine {
+    /// Fresh engine.
+    pub fn new(config: TemporalConfig) -> TemporalEngine {
+        TemporalEngine {
+            config,
+            attrs: tracked_attrs(),
+            per_cookie: HashMap::new(),
+            burned: HashSet::new(),
+            per_ip_offsets: HashMap::new(),
+        }
+    }
+
+    /// Observe one request (in arrival order) and report whether it is
+    /// temporally inconsistent with what came before.
+    pub fn observe(&mut self, request: &StoredRequest) -> bool {
+        let mut flagged = false;
+
+        // Cookie anchor: immutable attributes must not grow new values.
+        let sets = self
+            .per_cookie
+            .entry(request.cookie)
+            .or_insert_with(|| vec![HashSet::new(); self.attrs.len()]);
+        for (attr, seen) in self.attrs.iter().zip(sets.iter_mut()) {
+            let value = *request.fingerprint.get(*attr);
+            if value.is_missing() {
+                continue;
+            }
+            if seen.is_empty() {
+                seen.insert(value);
+            } else if !seen.contains(&value) {
+                seen.insert(value);
+                flagged = true;
+            }
+        }
+        if flagged {
+            self.burned.insert(request.cookie);
+        } else if self.config.burned_cookie_persists && self.burned.contains(&request.cookie) {
+            flagged = true;
+        }
+
+        // IP anchor: growing timezone sets.
+        if let Some(offset) = request.fingerprint.get(AttrId::TimezoneOffset).as_int() {
+            let offsets = self.per_ip_offsets.entry(request.ip_hash).or_default();
+            let offset = offset as i32;
+            if !offsets.contains(&offset) {
+                if offsets.len() >= self.config.max_offsets_per_ip {
+                    flagged = true;
+                }
+                offsets.insert(offset);
+            }
+        }
+
+        flagged
+    }
+
+    /// Run over a whole store (must be in arrival order, which the
+    /// honey-site pipeline guarantees) and return per-request flags.
+    pub fn flags_for(store: &RequestStore, config: TemporalConfig) -> Vec<bool> {
+        let mut engine = TemporalEngine::new(config);
+        store.iter().map(|r| engine.observe(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_types::{sym, Fingerprint, SimTime, TrafficSource};
+
+    fn request(cookie: CookieId, ip: u64, cores: i64, offset: i64) -> StoredRequest {
+        StoredRequest {
+            id: 0,
+            time: SimTime::EPOCH,
+            site_token: sym("t"),
+            ip_hash: ip,
+            ip_offset_minutes: 0,
+            ip_region: sym("X/Y"),
+            ip_lat: 0.0,
+            ip_lon: 0.0,
+            asn: 1,
+            asn_flagged: false,
+            ip_blocklisted: false,
+            cookie,
+            fingerprint: Fingerprint::new()
+                .with(AttrId::HardwareConcurrency, cores)
+                .with(AttrId::TimezoneOffset, offset),
+            source: TrafficSource::RealUser,
+            datadome_bot: false,
+            botd_bot: false,
+        }
+    }
+
+    #[test]
+    fn stable_device_never_flags() {
+        let mut engine = TemporalEngine::new(TemporalConfig::default());
+        for _ in 0..20 {
+            assert!(!engine.observe(&request(1, 10, 4, 480)));
+        }
+    }
+
+    #[test]
+    fn changed_core_count_flags_the_changing_request() {
+        // The paper's example: previous requests report 4 cores, a new one
+        // reports 6 — that request is temporally inconsistent. With burned
+        // persistence (the default), the cookie stays flagged afterwards.
+        let mut engine = TemporalEngine::new(TemporalConfig::default());
+        assert!(!engine.observe(&request(1, 10, 4, 480)));
+        assert!(!engine.observe(&request(1, 11, 4, 480)));
+        assert!(engine.observe(&request(1, 12, 6, 480)));
+        assert!(engine.observe(&request(1, 13, 6, 480)), "burned cookie persists");
+        // Under the paper's literal new-value-only rule it clears again.
+        let mut literal = TemporalEngine::new(TemporalConfig {
+            burned_cookie_persists: false,
+            ..TemporalConfig::default()
+        });
+        assert!(!literal.observe(&request(1, 10, 4, 480)));
+        assert!(literal.observe(&request(1, 12, 6, 480)));
+        assert!(!literal.observe(&request(1, 13, 6, 480)));
+    }
+
+    #[test]
+    fn different_cookies_are_independent() {
+        let mut engine = TemporalEngine::new(TemporalConfig::default());
+        assert!(!engine.observe(&request(1, 10, 4, 480)));
+        assert!(!engine.observe(&request(2, 11, 6, 480)));
+    }
+
+    #[test]
+    fn ip_timezone_churn_flags() {
+        let mut engine = TemporalEngine::new(TemporalConfig::default());
+        assert!(!engine.observe(&request(1, 99, 4, 480)));
+        // Same IP, new timezone: beyond the tolerated single offset.
+        assert!(engine.observe(&request(2, 99, 4, -60)));
+        assert!(engine.observe(&request(3, 99, 4, 0)));
+        // Already-seen offset on that IP: fine.
+        assert!(!engine.observe(&request(4, 99, 4, 480)));
+    }
+
+    #[test]
+    fn missing_attributes_are_ignored() {
+        let mut engine = TemporalEngine::new(TemporalConfig::default());
+        let mut r = request(1, 10, 4, 480);
+        assert!(!engine.observe(&r));
+        r.fingerprint.clear(AttrId::HardwareConcurrency);
+        // Missing ≠ a new value.
+        assert!(!engine.observe(&r));
+    }
+
+    #[test]
+    fn flags_for_runs_in_order() {
+        let mut store = RequestStore::new();
+        store.push(request(1, 10, 4, 480));
+        store.push(request(1, 10, 6, 480));
+        store.push(request(1, 10, 4, 480));
+        let flags = TemporalEngine::flags_for(&store, TemporalConfig::default());
+        assert_eq!(flags, vec![false, true, true], "second flag via burned persistence");
+    }
+}

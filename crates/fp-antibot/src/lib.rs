@@ -1,0 +1,72 @@
+//! Simulated anti-bot oracles.
+//!
+//! The paper treats DataDome and BotD as black boxes and measures *which
+//! requests get past them*. These simulators reproduce that measured
+//! conditional behaviour so every downstream analysis (evasion tables, SHAP
+//! attribution, FP-Inconsistent's added detection) exercises the same code
+//! paths against oracles with the same blind spots:
+//!
+//! * [`BotD`] — client-side script: fingerprint-only signals, no IP view.
+//!   Core signal is the headless-Chromium signature (Chromium UA with an
+//!   empty plugin array and no touch support). Measured blind spots: any
+//!   plugin present (Figure 4) or touch support claimed (§5.3.3) ⇒ evasion.
+//! * [`DataDome`] — server-side engine: fingerprint + IP + behavioural
+//!   signals + per-IP history. Always-detect signals on `ScreenFrame` /
+//!   `ForcedColors` (§5.3.2), Tor-exit blocking and fingerprint-churn rate
+//!   limiting (Appendix G). Measured blind spot: a mobile-looking profile
+//!   with `hardwareConcurrency < 8` excuses the absence of mouse behaviour
+//!   (Figure 5, Appendix C).
+//!
+//! Decisions are deterministic functions of the request (plus, for
+//! DataDome, per-IP history) — there is no hidden randomness to tune.
+
+pub mod api_access;
+pub mod behavior;
+pub mod botd;
+pub mod datadome;
+
+pub use api_access::{ApiAccess, API_ACCESS_TABLE};
+pub use botd::BotD;
+pub use datadome::DataDome;
+
+use fp_types::Request;
+
+/// An anti-bot service's verdict on one request.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Verdict {
+    /// Let through — the request looked human.
+    Human,
+    /// Blocked — the request was classified as a bot.
+    Bot,
+}
+
+impl Verdict {
+    /// Did the request get past the service?
+    pub fn evaded(self) -> bool {
+        self == Verdict::Human
+    }
+}
+
+/// A bot-detection service integrated on the honey site.
+pub trait Detector {
+    /// Service name as it appears in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Decide one request. `&mut self` because server-side engines keep
+    /// per-IP state; requests must be fed in arrival order.
+    fn decide(&mut self, request: &Request) -> Verdict;
+
+    /// Drop accumulated state (new measurement run).
+    fn reset(&mut self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_evaded() {
+        assert!(Verdict::Human.evaded());
+        assert!(!Verdict::Bot.evaded());
+    }
+}

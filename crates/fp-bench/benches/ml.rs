@@ -1,0 +1,38 @@
+//! ML substrate performance: feature encoding and GBDT training on
+//! campaign-shaped data (the §5.2.1 classifier fit).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fp_botnet::{Campaign, CampaignConfig};
+use fp_ml::{FeatureSchema, Gbdt, GbdtParams};
+use fp_types::Scale;
+
+fn bench_ml(c: &mut Criterion) {
+    let campaign = Campaign::generate(CampaignConfig { scale: Scale::ratio(0.01), seed: 31 });
+    let fps: Vec<&fp_types::Fingerprint> = campaign.bot_requests.iter().map(|r| &r.fingerprint).collect();
+    let labels: Vec<f64> = campaign
+        .designs
+        .iter()
+        .map(|d| f64::from(u8::from(d.cell.evades_dd())))
+        .collect();
+
+    let schema = FeatureSchema::induce(fps.iter().copied());
+    let mut group = c.benchmark_group("ml");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(fps.len() as u64));
+    group.bench_function("encode", |b| {
+        b.iter(|| schema.encode_all(fps.iter().copied()).rows)
+    });
+
+    let matrix = schema.encode_all(fps.iter().copied());
+    group.bench_function("gbdt_train_10_rounds", |b| {
+        b.iter(|| {
+            Gbdt::train(&matrix, &labels, GbdtParams { rounds: 10, ..GbdtParams::default() })
+                .trees
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ml);
+criterion_main!(benches);

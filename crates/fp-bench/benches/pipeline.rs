@@ -1,0 +1,83 @@
+//! Throughput of the serving-path components: detector decisions, the
+//! honey-site ingest pipeline, and fingerprint generation. These are the
+//! numbers that decide whether the filter-list approach is deployable
+//! inline (§7.3's "good trade-off between performance and accuracy").
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use fp_antibot::{BotD, DataDome, Detector};
+use fp_botnet::{Campaign, CampaignConfig};
+use fp_honeysite::HoneySite;
+use fp_types::{Scale, ServiceId};
+
+fn campaign() -> Campaign {
+    Campaign::generate(CampaignConfig { scale: Scale::ratio(0.01), seed: 77 })
+}
+
+fn bench_detectors(c: &mut Criterion) {
+    let campaign = campaign();
+    let requests = &campaign.bot_requests;
+    let mut group = c.benchmark_group("detector");
+    group.throughput(Throughput::Elements(requests.len() as u64));
+
+    group.bench_function("botd_decide", |b| {
+        let mut botd = BotD::new();
+        b.iter(|| {
+            let mut bots = 0u64;
+            for r in requests {
+                bots += u64::from(botd.decide(r) == fp_antibot::Verdict::Bot);
+            }
+            bots
+        })
+    });
+
+    group.bench_function("datadome_decide", |b| {
+        b.iter_batched(
+            DataDome::new,
+            |mut dd| {
+                let mut bots = 0u64;
+                for r in requests {
+                    bots += u64::from(dd.decide(r) == fp_antibot::Verdict::Bot);
+                }
+                bots
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let campaign = campaign();
+    let mut group = c.benchmark_group("honeysite");
+    group.throughput(Throughput::Elements(campaign.bot_requests.len() as u64));
+    group.sample_size(10);
+    group.bench_function("ingest_pipeline", |b| {
+        b.iter_batched(
+            || {
+                let mut site = HoneySite::new();
+                for id in ServiceId::all() {
+                    site.register_token(campaign.token_of(id));
+                }
+                (site, campaign.bot_requests.clone())
+            },
+            |(mut site, requests)| {
+                site.ingest_all(requests);
+                site.into_store().len()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generation");
+    group.sample_size(10);
+    group.bench_function("campaign_1pct", |b| {
+        b.iter(|| Campaign::generate(CampaignConfig { scale: Scale::ratio(0.01), seed: 5 }).bot_requests.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_detectors, bench_ingest, bench_generation);
+criterion_main!(benches);

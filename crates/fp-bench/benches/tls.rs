@@ -1,0 +1,34 @@
+//! TLS substrate throughput: ClientHello construction, wire serialisation,
+//! parsing, and JA3/JA4 digesting — the per-connection cost of the
+//! cross-layer extension.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fp_tls::{ja3_digest, ja4_descriptor, ClientHello, TlsClientKind};
+use fp_types::Splittable;
+
+fn bench_tls(c: &mut Criterion) {
+    let mut rng = Splittable::new(4);
+    let hello = TlsClientKind::Chromium.client_hello("bench.example.com", &mut rng);
+    let wire = hello.to_wire();
+
+    let mut group = c.benchmark_group("tls");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("build_hello", |b| {
+        let mut rng = Splittable::new(9);
+        b.iter(|| TlsClientKind::Chromium.client_hello("bench.example.com", &mut rng).cipher_suites.len())
+    });
+    group.bench_function("serialize", |b| b.iter(|| hello.to_wire().len()));
+    group.bench_function("parse", |b| b.iter(|| ClientHello::parse(&wire).unwrap().cipher_suites.len()));
+    group.bench_function("ja3", |b| b.iter(|| ja3_digest(&hello).len()));
+    group.bench_function("ja4", |b| b.iter(|| ja4_descriptor(&hello).len()));
+    group.finish();
+
+    let mut group = c.benchmark_group("md5");
+    let payload = vec![0xA5u8; 4096];
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+    group.bench_function("md5_4k", |b| b.iter(|| fp_tls::md5::md5(&payload)[0]));
+    group.finish();
+}
+
+criterion_group!(benches, bench_tls);
+criterion_main!(benches);

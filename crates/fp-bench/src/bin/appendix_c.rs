@@ -1,0 +1,53 @@
+//! Regenerates **Appendix C**: reading an evasion path out of the
+//! DataDome classifier's decision tree (paper: ScreenFrame < 20 ∧ no
+//! Chrome PDF Viewer ∧ memory > 256 MB ∧ < 14 cores ∧ monospace width >
+//! 131.5 ⇒ evades, 44,168 requests).
+
+use fp_bench::{bench_scale, header, recorded_campaign, train_evasion_model};
+
+fn main() {
+    let (_, store) = recorded_campaign(bench_scale());
+    let m = train_evasion_model(&store, |r| r.evaded_datadome(), 60_000);
+
+    header(
+        "Appendix C: the DataDome evasion path",
+        "ScreenFrame < 20, no Chrome PDF Viewer, memory > 256MB, < 14 cores, monospace > 131.5",
+    );
+
+    // Find the evading leaf of the first tree with the largest support.
+    let tree = &m.model.trees[0];
+    let mut per_leaf: std::collections::HashMap<usize, (u64, u64, usize)> = Default::default();
+    for i in 0..m.train_matrix.rows {
+        let row = m.train_matrix.row(i);
+        // Trace to a leaf index.
+        let mut node = 0usize;
+        loop {
+            match &tree.nodes[node] {
+                fp_ml::tree::Node::Leaf { .. } => break,
+                fp_ml::tree::Node::Split { feature, threshold, left, right, .. } => {
+                    node = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+        let evaded = m.model.predict(&row);
+        let slot = per_leaf.entry(node).or_insert((0, 0, i));
+        slot.0 += 1;
+        slot.1 += u64::from(evaded);
+    }
+    let (_, &(n, evading, representative)) = per_leaf
+        .iter()
+        .max_by_key(|(_, (n, e, _))| ((*e * 1000) / n.max(&1), *n))
+        .expect("tree has leaves");
+
+    println!(
+        "largest evading leaf: {n} training rows, {:.1}% predicted evading",
+        evading as f64 / n as f64 * 100.0
+    );
+    println!("decision path of a representative request:");
+    let row = m.train_matrix.row(representative);
+    for (feature, threshold, went_left) in tree.decision_path(&row) {
+        let name = &m.schema.columns()[feature].name;
+        let op = if went_left { "<=" } else { "> " };
+        println!("  {name} {op} {threshold:.3}");
+    }
+}

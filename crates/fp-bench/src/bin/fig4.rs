@@ -1,0 +1,54 @@
+//! Regenerates **Figure 4**: probability of evading BotD given each PDF
+//! plugin's presence ("the presence of any plugin helps evade BotD").
+
+use fp_bench::{bench_scale, header, pct, recorded_campaign};
+use fp_fingerprint::catalog::CHROMIUM_PDF_PLUGINS;
+use fp_types::AttrId;
+
+fn main() {
+    let (_, store) = recorded_campaign(bench_scale());
+    header(
+        "Figure 4: P(evade BotD | PDF plugin present)",
+        "Figure 4 — every bar close to 1.0",
+    );
+    println!("{:<28} {:>10} {:>12} {:>12}", "Plugin", "Requests", "P(evade)", "P(detect)");
+    for plugin in CHROMIUM_PDF_PLUGINS {
+        let mut n = 0u64;
+        let mut evaded = 0u64;
+        for r in store.iter().filter(|r| r.source.is_bot()) {
+            let has = r
+                .fingerprint
+                .get(AttrId::Plugins)
+                .as_list()
+                .map(|l| l.contains(&plugin))
+                .unwrap_or(false);
+            if has {
+                n += 1;
+                evaded += u64::from(r.evaded_botd());
+            }
+        }
+        let p = if n == 0 { 0.0 } else { evaded as f64 / n as f64 };
+        println!("{plugin:<28} {n:>10} {:>12} {:>12}", pct(p), pct(1.0 - p));
+    }
+
+    // Contrast: plugin-less bot traffic.
+    let mut n = 0u64;
+    let mut evaded = 0u64;
+    for r in store.iter().filter(|r| r.source.is_bot()) {
+        let empty = r
+            .fingerprint
+            .get(AttrId::Plugins)
+            .as_list()
+            .map(|l| l.is_empty())
+            .unwrap_or(true);
+        if empty {
+            n += 1;
+            evaded += u64::from(r.evaded_botd());
+        }
+    }
+    println!(
+        "\n(no plugins at all: {} requests, P(evade BotD) = {})",
+        n,
+        pct(evaded as f64 / n.max(1) as f64)
+    );
+}

@@ -1,0 +1,26 @@
+//! Regenerates **Table 5**: browser APIs read by DataDome vs BotD.
+
+use fp_antibot::api_access::{access_counts, API_ACCESS_TABLE};
+use fp_bench::header;
+
+fn main() {
+    header(
+        "Table 5: browser APIs accessed by the two services",
+        "Appendix B (reconstruction: extraction lost the per-cell marks; DataDome ⊇ BotD per §4.2)",
+    );
+    let mut group = "";
+    for row in API_ACCESS_TABLE.iter() {
+        if row.group != group {
+            group = row.group;
+            println!("\n[{group}]");
+        }
+        println!(
+            "  {:<48} DataDome:{}  BotD:{}",
+            row.api,
+            if row.datadome { "yes" } else { " no" },
+            if row.botd { "yes" } else { " no" },
+        );
+    }
+    let (dd, botd) = access_counts();
+    println!("\nDataDome reads {dd} APIs, BotD {botd} — \"DataDome collects more attributes\" (§4.2)");
+}

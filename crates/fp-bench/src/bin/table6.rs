@@ -1,0 +1,41 @@
+//! Regenerates **Table 6**: examples of mined inconsistencies per attribute
+//! group, straight from the rule miner's output on the campaign.
+
+use fp_bench::{bench_scale, header, recorded_campaign};
+use fp_inconsistent_core::{FpInconsistent, MineConfig, CATEGORIES};
+
+fn main() {
+    let (_, store) = recorded_campaign(bench_scale());
+    let engine = FpInconsistent::mine(&store, &MineConfig::default());
+
+    header(
+        "Table 6: mined inconsistency examples by attribute group",
+        "Appendix E / Table 6 (e.g. (iPhone, 1920x1080), (Mac, touchEvent/touchStart), \
+         (Mobile Safari, Google Inc.), (France/Hauts-de-France, America/Los_Angeles))",
+    );
+
+    for category in CATEGORIES.iter().filter(|c| c.in_paper) {
+        println!("\n[{}]", category.name);
+        let mut shown = 0;
+        for rule in engine.rules().iter() {
+            let in_cat = category.attrs.contains(&rule.attr_a) && category.attrs.contains(&rule.attr_b);
+            if in_cat {
+                println!("  {rule}");
+                shown += 1;
+                if shown >= 10 {
+                    println!("  … ({} more)", engine
+                        .rules()
+                        .iter()
+                        .filter(|r| category.attrs.contains(&r.attr_a) && category.attrs.contains(&r.attr_b))
+                        .count()
+                        - shown);
+                    break;
+                }
+            }
+        }
+        if shown == 0 {
+            println!("  (none mined)");
+        }
+    }
+    println!("\ntotal rules: {}", engine.rules().len());
+}

@@ -1,0 +1,15 @@
+//! Regenerates **Table 7**: the attribute categories used for
+//! inconsistency analysis.
+
+use fp_bench::header;
+use fp_inconsistent_core::CATEGORIES;
+
+fn main() {
+    header("Table 7: attribute categories", "Appendix F");
+    for c in CATEGORIES.iter() {
+        let attrs: Vec<String> = c.attrs.iter().map(|a| a.name()).collect();
+        let marker = if c.in_paper { "" } else { " (extension, §8.2)" };
+        println!("{:<12}{} {}", c.name, marker, attrs.join(", "));
+        println!("             {} attribute pairs minable", c.pairs().len());
+    }
+}

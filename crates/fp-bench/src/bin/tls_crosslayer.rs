@@ -1,0 +1,47 @@
+//! The **§8.2 extension**: cross-layer (UA ↔ TLS) inconsistency mining.
+//! Not a paper table — the paper proposes adding attributes as future
+//! work; this binary measures how much the JA3/JA4 layer adds on top of
+//! the paper's rule set.
+
+use fp_bench::{bench_scale, header, pct, recorded_campaign};
+use fp_inconsistent_core::{evaluate, FpInconsistent, MineConfig};
+
+fn main() {
+    let (_, store) = recorded_campaign(bench_scale());
+    header(
+        "§8.2 extension: cross-layer TLS (JA3/JA4) rules",
+        "\"Incorporating other attributes … can further improve FP-Inconsistent\"",
+    );
+
+    let paper_engine = FpInconsistent::mine(&store, &MineConfig::default());
+    let tls_engine = FpInconsistent::mine(
+        &store,
+        &MineConfig { include_cross_layer: true, ..MineConfig::default() },
+    );
+
+    let (_, paper_report) = evaluate::evaluate(&store, &paper_engine);
+    let (_, tls_report) = evaluate::evaluate(&store, &tls_engine);
+
+    println!(
+        "rules: {} (paper attributes) -> {} (+ TLS layer)",
+        paper_engine.rules().len(),
+        tls_engine.rules().len()
+    );
+    println!("combined detection, paper attributes: DataDome {}  BotD {}", pct(paper_report.combined.0), pct(paper_report.combined.1));
+    println!("combined detection, + TLS layer:      DataDome {}  BotD {}", pct(tls_report.combined.0), pct(tls_report.combined.1));
+    println!(
+        "added detection:                      DataDome {}  BotD {}",
+        pct(tls_report.combined.0 - paper_report.combined.0),
+        pct(tls_report.combined.1 - paper_report.combined.1)
+    );
+
+    println!("\nsample cross-layer rules:");
+    for rule in tls_engine
+        .rules()
+        .iter()
+        .filter(|r| !paper_engine.rules().iter().any(|p| p == *r))
+        .take(8)
+    {
+        println!("  {rule}");
+    }
+}

@@ -1,0 +1,105 @@
+//! Shared helpers for the regeneration binaries and criterion benches.
+//!
+//! Every table/figure binary follows the same recipe: generate the
+//! campaign, run it through the honey site, compute one result, print it in
+//! the paper's layout. This crate holds the shared plumbing.
+
+use fp_botnet::{Campaign, CampaignConfig};
+use fp_honeysite::{HoneySite, RequestStore};
+use fp_types::{Scale, ServiceId};
+
+/// Scale used by the regeneration binaries. Full scale reproduces the
+/// paper's 507,080 requests; override with `FP_SCALE` (e.g. `FP_SCALE=0.1`)
+/// for quicker runs.
+pub fn bench_scale() -> Scale {
+    match std::env::var("FP_SCALE") {
+        Ok(v) => Scale::ratio(v.parse().expect("FP_SCALE must be a fraction in (0,1]")),
+        Err(_) => Scale::FULL,
+    }
+}
+
+/// The campaign seed shared by every binary (so tables and figures come
+/// from the same dataset, like the paper's).
+pub const CAMPAIGN_SEED: u64 = 0xF91C0DE;
+
+/// Generate the campaign and run the full honey-site pipeline, returning
+/// the campaign (for design ground truth) and the recorded store
+/// (bot traffic + real users).
+pub fn recorded_campaign(scale: Scale) -> (Campaign, RequestStore) {
+    let campaign = Campaign::generate(CampaignConfig { scale, seed: CAMPAIGN_SEED });
+    let mut site = HoneySite::new();
+    for id in ServiceId::all() {
+        site.register_token(campaign.token_of(id));
+    }
+    site.register_token(campaign.real_user_token());
+    site.ingest_all(campaign.bot_requests.iter().cloned());
+    site.ingest_all(campaign.real_users.iter().map(|r| r.request.clone()));
+    let store = site.into_store();
+    (campaign, store)
+}
+
+/// Format a fraction as the paper prints percentages.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Print a standard bench header.
+pub fn header(what: &str, paper: &str) {
+    println!("================================================================");
+    println!("{what}");
+    println!("paper reference: {paper}");
+    println!("================================================================");
+}
+
+/// A trained evasion model for one detector (§5.2.1).
+pub struct EvasionModel {
+    pub schema: fp_ml::FeatureSchema,
+    pub model: fp_ml::Gbdt,
+    pub train_accuracy: f64,
+    pub test_accuracy: f64,
+    pub train_matrix: fp_ml::Matrix,
+}
+
+/// Train the detected-vs-evaded classifier for one detector over the bot
+/// traffic in `store` (90/10 split like the paper). `labels_of` maps a
+/// stored request to the 0/1 label (1 = evaded). Rows are capped at
+/// `row_cap` for tractability; the paper-table models exclude the TLS
+/// extension attributes.
+pub fn train_evasion_model(
+    store: &RequestStore,
+    label_of: impl Fn(&fp_honeysite::StoredRequest) -> bool,
+    row_cap: usize,
+) -> EvasionModel {
+    let bots: Vec<&fp_honeysite::StoredRequest> =
+        store.iter().filter(|r| r.source.is_bot()).collect();
+    let step = (bots.len() / row_cap.max(1)).max(1);
+    let sample: Vec<&fp_honeysite::StoredRequest> = bots.iter().step_by(step).copied().collect();
+
+    // Paper-faithful feature set: FingerprintJS + headers. The TLS digests
+    // are this repo's extension, and the unmasked WebGL strings are a
+    // FingerprintJS-Pro attribute the paper's OSS collector lacks.
+    let mut schema = fp_ml::FeatureSchema::induce(sample.iter().map(|r| &r.fingerprint));
+    schema.retain_attrs(|a| {
+        !matches!(
+            a,
+            fp_types::AttrId::Ja3
+                | fp_types::AttrId::Ja4
+                | fp_types::AttrId::WebGlVendor
+                | fp_types::AttrId::WebGlRenderer
+        )
+    });
+
+    let labels: Vec<f64> = sample.iter().map(|r| f64::from(u8::from(label_of(r)))).collect();
+    let matrix = schema.encode_all(sample.iter().map(|r| &r.fingerprint));
+
+    let (train_idx, test_idx) = fp_ml::gbdt::train_test_split(matrix.rows, 0.1, 90);
+    let m_train = fp_ml::gbdt::select(&matrix, &train_idx);
+    let y_train: Vec<f64> = train_idx.iter().map(|&i| labels[i]).collect();
+    let m_test = fp_ml::gbdt::select(&matrix, &test_idx);
+    let y_test: Vec<f64> = test_idx.iter().map(|&i| labels[i]).collect();
+
+    let model = fp_ml::Gbdt::train(&m_train, &y_train, fp_ml::GbdtParams::default());
+    let train_accuracy = model.accuracy(&m_train, &y_train);
+    let test_accuracy = model.accuracy(&m_test, &y_test);
+    EvasionModel { schema, model, train_accuracy, test_accuracy, train_matrix: m_train }
+}

@@ -1,0 +1,152 @@
+//! Whole-campaign orchestration.
+//!
+//! Generates all twenty services (in parallel — the work is CPU-bound, so
+//! per the Tokio guide's own advice this is plain `crossbeam` scoped
+//! threads, not async), merges the streams in arrival order, and exposes
+//! the ground-truth designs for calibration.
+
+use crate::realuser::{self, RealUserRequest};
+use crate::service::{self, DesignInfo as ServiceDesign, GeneratedRequest};
+use crate::spec::SERVICES;
+use fp_types::{PrivacyTech, Request, Scale, ServiceId, Symbol};
+
+pub use crate::service::DesignInfo;
+
+/// Campaign parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct CampaignConfig {
+    /// Volume scale relative to the paper's 507,080 bot requests.
+    pub scale: Scale,
+    /// Master seed; every stream derives from it.
+    pub seed: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig { scale: Scale::FULL, seed: 0xF9_1C0DE }
+    }
+}
+
+impl CampaignConfig {
+    /// Test-sized campaign (5 % volume).
+    pub fn test_sized() -> CampaignConfig {
+        CampaignConfig { scale: Scale::test_default(), seed: 0xF9_1C0DE }
+    }
+}
+
+/// A generated campaign: bot traffic in arrival order with parallel design
+/// ground truth, plus the real-user set.
+pub struct Campaign {
+    pub config: CampaignConfig,
+    /// Bot requests, sorted by arrival time. `Request::id` is 0 until a
+    /// store ingests them.
+    pub bot_requests: Vec<Request>,
+    /// Design ground truth, index-aligned with `bot_requests`.
+    pub designs: Vec<ServiceDesign>,
+    /// Real-user requests (separate URL, §7.4) with spoofer ground truth.
+    pub real_users: Vec<RealUserRequest>,
+}
+
+impl Campaign {
+    /// Generate the full campaign.
+    pub fn generate(config: CampaignConfig) -> Campaign {
+        let mut per_service: Vec<Vec<GeneratedRequest>> = Vec::with_capacity(SERVICES.len());
+        per_service.resize_with(SERVICES.len(), Vec::new);
+
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for spec in SERVICES.iter() {
+                handles.push(scope.spawn(move |_| service::generate(spec, config.scale, config.seed)));
+            }
+            for (slot, handle) in per_service.iter_mut().zip(handles) {
+                *slot = handle.join().expect("service generator panicked");
+            }
+        })
+        .expect("generation scope panicked");
+
+        let mut merged: Vec<GeneratedRequest> = per_service.into_iter().flatten().collect();
+        merged.sort_by_key(|g| g.request.time);
+
+        let mut bot_requests = Vec::with_capacity(merged.len());
+        let mut designs = Vec::with_capacity(merged.len());
+        for g in merged {
+            bot_requests.push(g.request);
+            designs.push(g.design);
+        }
+
+        let real_users = realuser::generate(config.scale, config.seed);
+
+        Campaign { config, bot_requests, designs, real_users }
+    }
+
+    /// The URL token assigned to a bot service.
+    pub fn token_of(&self, id: ServiceId) -> Symbol {
+        service::site_token(self.config.seed, id.0)
+    }
+
+    /// The real-user URL token.
+    pub fn real_user_token(&self) -> Symbol {
+        realuser::real_user_token(self.config.seed)
+    }
+
+    /// Generate the §7.5 privacy-technology request sets (not part of the
+    /// bot campaign; separate URLs).
+    pub fn privacy_experiment(&self) -> Vec<(PrivacyTech, Vec<Request>)> {
+        PrivacyTech::ALL
+            .iter()
+            .map(|&tech| (tech, crate::privacy::generate(tech, self.config.seed)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::spec_of;
+    use fp_types::TrafficSource;
+
+    #[test]
+    fn campaign_volume_and_order() {
+        let campaign = Campaign::generate(CampaignConfig { scale: Scale::ratio(0.01), seed: 1 });
+        let expected: u64 = SERVICES.iter().map(|s| Scale::ratio(0.01).apply(s.requests)).sum();
+        assert_eq!(campaign.bot_requests.len() as u64, expected);
+        assert_eq!(campaign.bot_requests.len(), campaign.designs.len());
+        assert!(campaign.bot_requests.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn per_service_volumes_survive_merge() {
+        let campaign = Campaign::generate(CampaignConfig { scale: Scale::ratio(0.01), seed: 2 });
+        for spec in SERVICES.iter() {
+            let n = campaign
+                .bot_requests
+                .iter()
+                .filter(|r| r.source == TrafficSource::Bot(spec.id))
+                .count() as u64;
+            assert_eq!(n, Scale::ratio(0.01).apply(spec.requests), "{}", spec.id);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Campaign::generate(CampaignConfig { scale: Scale::ratio(0.01), seed: 3 });
+        let b = Campaign::generate(CampaignConfig { scale: Scale::ratio(0.01), seed: 3 });
+        assert_eq!(a.bot_requests.len(), b.bot_requests.len());
+        for (x, y) in a.bot_requests.iter().zip(&b.bot_requests) {
+            assert_eq!(x.time, y.time);
+            assert_eq!(x.ip, y.ip);
+            assert_eq!(x.fingerprint, y.fingerprint);
+        }
+    }
+
+    #[test]
+    fn tokens_are_per_service() {
+        let campaign = Campaign::generate(CampaignConfig { scale: Scale::ratio(0.01), seed: 4 });
+        for r in &campaign.bot_requests {
+            let TrafficSource::Bot(id) = r.source else { panic!() };
+            assert_eq!(r.site_token, campaign.token_of(id));
+        }
+        let s1 = spec_of(ServiceId(1));
+        assert!(s1.requests > 0);
+    }
+}

@@ -1,0 +1,214 @@
+//! iPhone screen-resolution pools — the Figure 7 machinery.
+//!
+//! The paper found 83 distinct resolutions on iPhone-claiming requests, 42
+//! of them among DataDome evaders, and 9 of the top-10 evading resolutions
+//! nonexistent in the real world. The pools below reproduce that census:
+//!
+//! * [`evader_fake`]: fabricated resolutions used only by evading
+//!   sloppy-iPhone archetypes (the nine named values are the ones on
+//!   Figure 7's x-axis);
+//! * [`EVADER_LANDSCAPE_REAL`]: `568x320` — the one *real* (landscape
+//!   iPhone 5) value among the top-10, matching the paper's "9 out of 10";
+//! * [`SHARED_REAL`]: real resolutions seen on both evading and detected
+//!   iPhone requests;
+//! * [`EVADER_ONLY_REAL`] / [`DETECTED_ONLY_REAL`]: real values exclusive
+//!   to one side;
+//! * [`detected_fake`]: fabricated values used only by detected
+//!   fake-iPhone archetypes.
+
+use fp_types::Splittable;
+use std::sync::OnceLock;
+
+/// Fabricated evader resolutions; eight are Figure 7's axis labels (the
+/// figure's `780x360` is landscape iPhone 12 mini and therefore *real* in
+/// our catalogue — it is replaced by a physical-pixel value `1170x2532`,
+/// the other classic fake-resolution mistake bots make).
+pub const EVADER_FAKE_NAMED: [(u16, u16); 9] = [
+    (873, 393),
+    (640, 360),
+    (4096, 1440),
+    (3840, 1080),
+    (2778, 1284),
+    (1900, 1080),
+    (693, 320),
+    (1170, 2532),
+    (847, 476),
+];
+
+/// The one real value among the top-10 evaders (landscape iPhone 5).
+pub const EVADER_LANDSCAPE_REAL: (u16, u16) = (568, 320);
+
+/// Real resolutions used by both evading (clean) and detected (fake
+/// high-core) iPhone archetypes.
+pub const SHARED_REAL: [(u16, u16); 7] = [
+    (375, 667),
+    (390, 844),
+    (414, 896),
+    (375, 812),
+    (428, 926),
+    (393, 852),
+    (430, 932),
+];
+
+/// Real resolution drawn mostly by evading clean iPhones (a sliver of
+/// detected draws keeps its evasion probability below 1.0).
+pub const EVADER_ONLY_REAL: (u16, u16) = (320, 480);
+
+/// Real resolutions used only by detected fake iPhones.
+pub const DETECTED_ONLY_REAL: [(u16, u16); 4] = [(320, 568), (414, 736), (360, 780), (402, 874)];
+
+/// Number of generated (unnamed) fakes on each side. Together with the
+/// constants above the campaign-wide census is:
+/// evaders: 9 + 24 fake + 1 landscape-real + 7 shared + 1 exclusive = 42;
+/// total:   42 + 37 detected-fake + 4 detected-real = 83.
+const EVADER_FAKE_EXTRA: usize = 24;
+const DETECTED_FAKE_COUNT: usize = 37;
+
+fn is_known(r: (u16, u16), acc: &[(u16, u16)]) -> bool {
+    fp_fingerprint::catalog::is_real_iphone_resolution(r)
+        || acc.contains(&r)
+        || EVADER_FAKE_NAMED.contains(&r)
+        || SHARED_REAL.contains(&r)
+        || DETECTED_ONLY_REAL.contains(&r)
+}
+
+fn generate_fakes(salt: u64, count: usize, avoid: &[(u16, u16)]) -> Vec<(u16, u16)> {
+    let mut rng = Splittable::new(salt);
+    let mut out: Vec<(u16, u16)> = Vec::with_capacity(count);
+    while out.len() < count {
+        let w = 300 + rng.next_below(3600) as u16;
+        let h = 200 + rng.next_below(2000) as u16;
+        let r = (w, h);
+        if !is_known(r, &out) && !avoid.contains(&r) {
+            out.push(r);
+        }
+    }
+    out
+}
+
+/// All fabricated evader resolutions (named + generated), with draw weights
+/// that keep the named nine on top of the evasion-probability ranking.
+pub fn evader_fake() -> &'static Vec<(u16, u16)> {
+    static POOL: OnceLock<Vec<(u16, u16)>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let mut v = EVADER_FAKE_NAMED.to_vec();
+        v.extend(generate_fakes(0xFA4EA, EVADER_FAKE_EXTRA, &[]));
+        v
+    })
+}
+
+/// Fabricated detected-side resolutions.
+pub fn detected_fake() -> &'static Vec<(u16, u16)> {
+    static POOL: OnceLock<Vec<(u16, u16)>> = OnceLock::new();
+    POOL.get_or_init(|| generate_fakes(0xFA4EB, DETECTED_FAKE_COUNT, evader_fake()))
+}
+
+/// Draw a fabricated resolution for an evading sloppy iPhone. Named values
+/// are heavily weighted so they top the per-value request counts.
+pub fn draw_evader_fake(rng: &mut Splittable) -> (u16, u16) {
+    let pool = evader_fake();
+    if rng.chance(0.6) {
+        // Named nine, descending weight.
+        let idx = rng.pick_weighted(&[9.0, 8.0, 7.0, 6.0, 5.0, 4.0, 3.0, 2.5, 2.0]);
+        pool[idx]
+    } else {
+        pool[9 + rng.next_below((pool.len() - 9) as u64) as usize]
+    }
+}
+
+/// Draw a resolution for a *clean* evading iPhone (all real).
+pub fn draw_evader_real(rng: &mut Splittable) -> (u16, u16) {
+    if rng.chance(0.06) {
+        EVADER_LANDSCAPE_REAL
+    } else if rng.chance(0.05) {
+        EVADER_ONLY_REAL
+    } else {
+        *rng.pick(&SHARED_REAL)
+    }
+}
+
+/// Draw a resolution for a detected fake-iPhone archetype. `320x480`
+/// appears here with a sliver of weight so exactly one real value
+/// (`568x320`) survives at P(evade)=1.0 — the paper's "9 out of 10".
+pub fn draw_detected(rng: &mut Splittable) -> (u16, u16) {
+    let roll = rng.next_f64();
+    if roll < 0.55 {
+        *rng.pick(detected_fake())
+    } else if roll < 0.78 {
+        *rng.pick(&SHARED_REAL)
+    } else if roll < 0.82 {
+        EVADER_ONLY_REAL
+    } else {
+        *rng.pick(&DETECTED_ONLY_REAL)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_fingerprint::catalog::is_real_iphone_resolution;
+    use std::collections::HashSet;
+
+    #[test]
+    fn census_adds_up_to_83_total_42_evading() {
+        let mut evading: HashSet<(u16, u16)> = HashSet::new();
+        evading.extend(evader_fake().iter().copied());
+        evading.insert(EVADER_LANDSCAPE_REAL);
+        evading.extend(SHARED_REAL);
+        evading.insert(EVADER_ONLY_REAL);
+        assert_eq!(evading.len(), 42, "evading-side distinct resolutions");
+
+        let mut all = evading.clone();
+        all.extend(detected_fake().iter().copied());
+        all.extend(DETECTED_ONLY_REAL);
+        assert_eq!(all.len(), 83, "campaign-wide distinct resolutions");
+    }
+
+    #[test]
+    fn fakes_are_fake_and_reals_are_real() {
+        for r in evader_fake().iter().chain(detected_fake().iter()) {
+            assert!(!is_real_iphone_resolution(*r), "{r:?} is real");
+        }
+        for r in SHARED_REAL.iter().chain(DETECTED_ONLY_REAL.iter()) {
+            assert!(is_real_iphone_resolution(*r), "{r:?} is fake");
+        }
+        assert!(is_real_iphone_resolution(EVADER_LANDSCAPE_REAL));
+        assert!(is_real_iphone_resolution(EVADER_ONLY_REAL));
+    }
+
+    #[test]
+    fn pools_are_disjoint() {
+        let a: HashSet<_> = evader_fake().iter().collect();
+        let b: HashSet<_> = detected_fake().iter().collect();
+        assert!(a.is_disjoint(&b));
+    }
+
+    #[test]
+    fn draws_come_from_their_pools() {
+        let mut rng = Splittable::new(7);
+        for _ in 0..200 {
+            assert!(evader_fake().contains(&draw_evader_fake(&mut rng)));
+            let real = draw_evader_real(&mut rng);
+            assert!(is_real_iphone_resolution(real));
+            let det = draw_detected(&mut rng);
+            assert!(
+                detected_fake().contains(&det)
+                    || SHARED_REAL.contains(&det)
+                    || DETECTED_ONLY_REAL.contains(&det)
+                    || det == EVADER_ONLY_REAL
+            );
+        }
+    }
+
+    #[test]
+    fn named_values_dominate_fake_draws() {
+        let mut rng = Splittable::new(8);
+        let mut named = 0;
+        for _ in 0..2000 {
+            if EVADER_FAKE_NAMED.contains(&draw_evader_fake(&mut rng)) {
+                named += 1;
+            }
+        }
+        assert!(named > 1000, "named share {named}/2000");
+    }
+}

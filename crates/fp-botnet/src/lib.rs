@@ -1,0 +1,37 @@
+//! Traffic generators: the twenty bot services, real users, and the
+//! privacy-technology experiment.
+//!
+//! The paper measures traffic; this crate regenerates it. Calibration is
+//! honest in one specific sense: detector verdicts and miner flags are
+//! never assigned — the generator samples a *plan* (which cell of the
+//! evade/detect × consistent/inconsistent space a request should land in,
+//! derived from Tables 1 and 3) and then constructs a fingerprint that
+//! lands there **through the detectors' and oracle's real logic**. The
+//! calibration tests in `tests/` close the loop by re-measuring the
+//! generated campaign.
+//!
+//! * [`spec`] — per-service targets (volumes, evasion rates, geo claims)
+//!   and the joint-cell solver.
+//! * [`archetype`] — fingerprint constructors per cell and lie variant.
+//! * [`iphone_res`] — the Figure 7 resolution pools.
+//! * [`schedule`] — the Figure 9 purchase-renewal arrival process.
+//! * [`service`] — one bot service: device pools, cookies, IP selection.
+//! * [`locale`] — region → browser-locale mapping and geo-mismatch draws.
+//! * [`realuser`] — the §7.4 university real-user traffic.
+//! * [`privacy`] — the §7.5 Brave/Tor/Safari/uBlock/ABP experiment.
+//! * [`campaign`] — whole-campaign orchestration (parallel per service).
+
+pub mod archetype;
+pub mod campaign;
+pub mod iphone_res;
+pub mod locale;
+pub mod pointer;
+pub mod privacy;
+pub mod realuser;
+pub mod schedule;
+pub mod service;
+pub mod spec;
+
+pub use archetype::Variant;
+pub use campaign::{Campaign, CampaignConfig, DesignInfo};
+pub use spec::{Cell, CellPlan, ServiceSpec, SERVICES, TOTAL_REQUESTS};

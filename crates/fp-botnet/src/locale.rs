@@ -1,0 +1,117 @@
+//! Region → browser locale mapping, and the geo-mismatch draw.
+
+use fp_fingerprint::LocaleSpec;
+use fp_netsim::{Region, REGIONS};
+use fp_types::Splittable;
+
+/// Languages per country (first entry is `navigator.language`).
+fn languages_for(country: &str) -> &'static [&'static str] {
+    match country {
+        "France" => &["fr-FR", "fr", "en-US"],
+        "Germany" => &["de-DE", "de", "en-US"],
+        "United Kingdom" => &["en-GB", "en"],
+        "Netherlands" => &["nl-NL", "nl", "en-US"],
+        "Mexico" => &["es-MX", "es", "en-US"],
+        "Singapore" => &["en-SG", "en", "zh-SG"],
+        "China" => &["zh-CN", "zh"],
+        "Japan" => &["ja-JP", "ja"],
+        "New Zealand" => &["en-NZ", "en"],
+        "Brazil" => &["pt-BR", "pt", "en-US"],
+        "India" => &["en-IN", "en", "hi-IN"],
+        _ => &["en-US", "en"],
+    }
+}
+
+/// The locale a truthful browser in `region` presents.
+pub fn locale_for_region(region: &'static Region) -> LocaleSpec {
+    let langs = languages_for(region.country);
+    LocaleSpec {
+        timezone: region.timezone,
+        offset_minutes: region.offset_minutes,
+        language: langs[0],
+        languages: langs,
+        geo_region: region_label(region),
+    }
+}
+
+/// MaxMind-style `Country/Region` label, interned as 'static.
+pub fn region_label(region: &'static Region) -> &'static str {
+    fp_types::sym(&format!("{}/{}", region.country, region.name)).as_str()
+}
+
+/// Regions bots leak when their timezone alteration misses the target
+/// (Table 6's Location rows: America/Los_Angeles under French/German/
+/// Singaporean IPs, Asia/Shanghai and Pacific/Auckland under US IPs).
+pub fn mismatch_region(rng: &mut Splittable) -> &'static Region {
+    // Indices into REGIONS: California (LA), Shanghai, Auckland.
+    const CANDIDATES: [usize; 3] = [0, 19, 21];
+    let idx = CANDIDATES[rng.pick_weighted(&[0.60, 0.25, 0.15])];
+    &REGIONS[idx]
+}
+
+/// A locale whose timezone (and geolocation hint) belongs to `leak` while
+/// the languages pretend to be from `claimed` — what a bot with a half-done
+/// geo alteration presents.
+pub fn mismatched_locale(claimed: &'static Region, leak: &'static Region) -> LocaleSpec {
+    let langs = languages_for(claimed.country);
+    LocaleSpec {
+        timezone: leak.timezone,
+        offset_minutes: leak.offset_minutes,
+        language: langs[0],
+        languages: langs,
+        geo_region: region_label(leak),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_netsim::geo::regions_of;
+
+    #[test]
+    fn locale_matches_region_timezone() {
+        for region in REGIONS.iter() {
+            let l = locale_for_region(region);
+            assert_eq!(l.timezone, region.timezone);
+            assert_eq!(l.offset_minutes, region.offset_minutes);
+            assert!(!l.languages.is_empty());
+        }
+    }
+
+    #[test]
+    fn french_region_speaks_french() {
+        let idx = regions_of("France")[0];
+        let l = locale_for_region(&REGIONS[idx]);
+        assert_eq!(l.language, "fr-FR");
+    }
+
+    #[test]
+    fn region_label_format() {
+        let idx = regions_of("France")
+            .into_iter()
+            .find(|&i| REGIONS[i].name == "Hauts-de-France")
+            .unwrap();
+        assert_eq!(region_label(&REGIONS[idx]), "France/Hauts-de-France");
+    }
+
+    #[test]
+    fn mismatch_regions_are_offset_distant() {
+        let mut rng = Splittable::new(1);
+        let paris_idx = regions_of("France")[0];
+        let paris = &REGIONS[paris_idx];
+        for _ in 0..50 {
+            let leak = mismatch_region(&mut rng);
+            assert_ne!(leak.offset_minutes, paris.offset_minutes, "{}", leak.name);
+        }
+    }
+
+    #[test]
+    fn mismatched_locale_mixes_sources() {
+        let paris = &REGIONS[9];
+        let la = &REGIONS[0];
+        let l = mismatched_locale(paris, la);
+        assert_eq!(l.timezone, "America/Los_Angeles");
+        assert_eq!(l.language, "fr-FR", "languages still claim France");
+        assert!(l.geo_region.starts_with("United States"));
+    }
+}

@@ -1,0 +1,77 @@
+//! The arrival process: purchase renewals and daily volume (Figure 9).
+//!
+//! The paper's traffic shows spikes "corresponding to the days when we
+//! renewed our purchases". Volume per day is an exponential decay restarted
+//! at each renewal, so a service's daily series looks like the paper's:
+//! bursts at renewal, a decaying tail, renewed twice.
+
+use fp_types::{SimTime, Splittable, STUDY_DAYS};
+
+/// Days (since the study epoch) when purchases were renewed.
+pub const RENEWAL_DAYS: [u32; 3] = [0, 30, 60];
+
+/// Decay constant of the post-renewal burst, in days.
+const DECAY_DAYS: f64 = 12.0;
+
+/// Per-day arrival weights over the study window.
+pub fn daily_weights() -> Vec<f64> {
+    (0..STUDY_DAYS)
+        .map(|day| {
+            RENEWAL_DAYS
+                .iter()
+                .filter(|&&r| day >= r)
+                .map(|&r| (-(f64::from(day - r)) / DECAY_DAYS).exp())
+                .sum::<f64>()
+                // A small floor keeps late-campaign days non-empty (the
+                // paper still saw fresh fingerprints in late November).
+                + 0.02
+        })
+        .collect()
+}
+
+/// Sample an arrival time: renewal-weighted day, uniform second within it.
+pub fn sample_time(weights: &[f64], rng: &mut Splittable) -> SimTime {
+    let day = rng.pick_weighted(weights) as u32;
+    SimTime::from_day(day, rng.next_below(86_400))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_cover_whole_window() {
+        let w = daily_weights();
+        assert_eq!(w.len(), STUDY_DAYS as usize);
+        assert!(w.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn renewal_days_spike() {
+        let w = daily_weights();
+        // Each renewal day must exceed the day before it (except day 0).
+        assert!(w[30] > w[29]);
+        assert!(w[60] > w[59]);
+        // And the burst decays.
+        assert!(w[0] > w[10]);
+        assert!(w[30] > w[45]);
+    }
+
+    #[test]
+    fn sampled_times_follow_spikes() {
+        let w = daily_weights();
+        let mut rng = Splittable::new(3);
+        let mut per_day = vec![0u32; STUDY_DAYS as usize];
+        for _ in 0..20_000 {
+            let t = sample_time(&w, &mut rng);
+            assert!(t.day() < STUDY_DAYS);
+            per_day[t.day() as usize] += 1;
+        }
+        let renewal_avg = (per_day[0] + per_day[30] + per_day[60]) as f64 / 3.0;
+        let trough_avg = (per_day[25] + per_day[55] + per_day[85]) as f64 / 3.0;
+        assert!(
+            renewal_avg > trough_avg * 3.0,
+            "renewal {renewal_avg} vs trough {trough_avg}"
+        );
+    }
+}

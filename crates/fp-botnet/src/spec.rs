@@ -1,0 +1,271 @@
+//! Per-service calibration targets and the joint-cell solver.
+//!
+//! Everything measured in the paper is a property of the *traffic* the bot
+//! services sold. [`ServiceSpec`] writes those properties down per service:
+//! request volume and evasion rates (Table 1), post-FP-Inconsistent
+//! detection (Table 3), geo-targeting claims (§6.2), and strategy knobs the
+//! deep-dives imply (behavioural-mimicry share, datacenter-IP share).
+//!
+//! [`CellPlan::solve`] turns the targets into a joint distribution over
+//! (evades DataDome, evades BotD, carries inconsistency): the generator
+//! samples a cell per request and *constructs a fingerprint that realises
+//! it through the detectors' actual logic* — the plan is a blueprint, not a
+//! label.
+
+use fp_netsim::GeoTarget;
+use fp_types::ServiceId;
+
+/// Calibration targets and strategy knobs for one bot service.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceSpec {
+    /// `S1`..`S20`.
+    pub id: ServiceId,
+    /// Request volume over the campaign (Table 1).
+    pub requests: u64,
+    /// Evasion rate against DataDome (Table 1).
+    pub dd_evasion: f64,
+    /// Evasion rate against BotD (Table 1).
+    pub botd_evasion: f64,
+    /// DataDome + FP-Inconsistent detection rate (Table 3).
+    pub dd_post_detection: f64,
+    /// BotD + FP-Inconsistent detection rate (Table 3; the paper's S7 row
+    /// prints "360.01 %" for plain BotD — Table 1 is authoritative for the
+    /// pre-rates, Table 3 only for the post-rates).
+    pub botd_post_detection: f64,
+    /// Share of DataDome-evading requests that evade via behavioural
+    /// mimicry on a desktop profile (invisible to fingerprint classifiers —
+    /// this is what caps the paper's DataDome classifier near 82 %).
+    pub mimicry_share: f64,
+    /// Share of traffic sent from datacenter ASNs (§5.1: 82.54 % overall).
+    pub datacenter_share: f64,
+    /// Advertised geographic target, if any (§6.2).
+    pub geo_target: Option<GeoTarget>,
+    /// For geo-targeted services: fraction of requests whose browser
+    /// timezone actually matches the advertised region (§6.2 measured
+    /// 76.52 % for Canada and 56 % for Europe).
+    pub tz_match_rate: f64,
+    /// Fraction of requests whose source IP matches the advertised region.
+    pub ip_match_rate: f64,
+}
+
+/// The twenty services (Tables 1 and 3).
+pub const SERVICES: [ServiceSpec; 20] = [
+    ServiceSpec { id: ServiceId(1), requests: 121_500, dd_evasion: 0.4401, botd_evasion: 0.7158, dd_post_detection: 0.8341, botd_post_detection: 0.6026, mimicry_share: 0.55, datacenter_share: 0.88, geo_target: None, tz_match_rate: 1.0, ip_match_rate: 1.0 },
+    ServiceSpec { id: ServiceId(2), requests: 63_708, dd_evasion: 0.4299, botd_evasion: 0.7229, dd_post_detection: 0.8261, botd_post_detection: 0.5583, mimicry_share: 0.55, datacenter_share: 0.88, geo_target: None, tz_match_rate: 1.0, ip_match_rate: 1.0 },
+    ServiceSpec { id: ServiceId(3), requests: 54_746, dd_evasion: 0.7491, botd_evasion: 0.1026, dd_post_detection: 0.4631, botd_post_detection: 0.9417, mimicry_share: 0.30, datacenter_share: 0.78, geo_target: None, tz_match_rate: 1.0, ip_match_rate: 1.0 },
+    ServiceSpec { id: ServiceId(4), requests: 47_278, dd_evasion: 0.3865, botd_evasion: 0.7385, dd_post_detection: 0.8235, botd_post_detection: 0.5209, mimicry_share: 0.55, datacenter_share: 0.88, geo_target: None, tz_match_rate: 1.0, ip_match_rate: 1.0 },
+    ServiceSpec { id: ServiceId(5), requests: 40_087, dd_evasion: 0.2386, botd_evasion: 0.7265, dd_post_detection: 0.8819, botd_post_detection: 0.5046, mimicry_share: 0.55, datacenter_share: 0.88, geo_target: None, tz_match_rate: 1.0, ip_match_rate: 1.0 },
+    ServiceSpec { id: ServiceId(6), requests: 32_447, dd_evasion: 0.7181, botd_evasion: 0.0545, dd_post_detection: 0.4370, botd_post_detection: 0.9705, mimicry_share: 0.30, datacenter_share: 0.78, geo_target: None, tz_match_rate: 1.0, ip_match_rate: 1.0 },
+    ServiceSpec { id: ServiceId(7), requests: 28_940, dd_evasion: 0.0256, botd_evasion: 0.3999, dd_post_detection: 0.9935, botd_post_detection: 0.8391, mimicry_share: 0.30, datacenter_share: 0.85, geo_target: None, tz_match_rate: 1.0, ip_match_rate: 1.0 },
+    ServiceSpec { id: ServiceId(8), requests: 26_335, dd_evasion: 0.8043, botd_evasion: 0.2890, dd_post_detection: 0.4784, botd_post_detection: 0.8606, mimicry_share: 0.08, datacenter_share: 0.80, geo_target: None, tz_match_rate: 1.0, ip_match_rate: 1.0 },
+    ServiceSpec { id: ServiceId(9), requests: 23_412, dd_evasion: 0.7829, botd_evasion: 0.1933, dd_post_detection: 0.6569, botd_post_detection: 0.9407, mimicry_share: 0.08, datacenter_share: 0.80, geo_target: None, tz_match_rate: 1.0, ip_match_rate: 1.0 },
+    ServiceSpec { id: ServiceId(10), requests: 18_967, dd_evasion: 0.1577, botd_evasion: 0.5923, dd_post_detection: 0.9470, botd_post_detection: 0.7043, mimicry_share: 0.50, datacenter_share: 0.70, geo_target: Some(GeoTarget::UnitedStates), tz_match_rate: 0.93, ip_match_rate: 0.95 },
+    ServiceSpec { id: ServiceId(11), requests: 17_996, dd_evasion: 0.0655, botd_evasion: 0.5936, dd_post_detection: 0.9863, botd_post_detection: 0.8016, mimicry_share: 0.50, datacenter_share: 0.70, geo_target: Some(GeoTarget::Canada), tz_match_rate: 0.7652, ip_match_rate: 0.9244 },
+    ServiceSpec { id: ServiceId(12), requests: 7_010, dd_evasion: 0.0505, botd_evasion: 0.5144, dd_post_detection: 0.9836, botd_post_detection: 0.7821, mimicry_share: 0.50, datacenter_share: 0.70, geo_target: Some(GeoTarget::Europe), tz_match_rate: 0.56, ip_match_rate: 0.9983 },
+    ServiceSpec { id: ServiceId(13), requests: 5_119, dd_evasion: 0.0695, botd_evasion: 0.5052, dd_post_detection: 0.9910, botd_post_detection: 0.8704, mimicry_share: 0.50, datacenter_share: 0.70, geo_target: Some(GeoTarget::France), tz_match_rate: 0.90, ip_match_rate: 0.95 },
+    ServiceSpec { id: ServiceId(14), requests: 4_920, dd_evasion: 0.8374, botd_evasion: 0.9008, dd_post_detection: 0.6627, botd_post_detection: 0.6729, mimicry_share: 0.30, datacenter_share: 0.85, geo_target: None, tz_match_rate: 1.0, ip_match_rate: 1.0 },
+    ServiceSpec { id: ServiceId(15), requests: 4_219, dd_evasion: 0.1114, botd_evasion: 1.0, dd_post_detection: 0.9960, botd_post_detection: 0.7787, mimicry_share: 0.50, datacenter_share: 0.85, geo_target: None, tz_match_rate: 1.0, ip_match_rate: 1.0 },
+    ServiceSpec { id: ServiceId(16), requests: 4_174, dd_evasion: 0.0448, botd_evasion: 0.0002, dd_post_detection: 0.9969, botd_post_detection: 1.0, mimicry_share: 0.30, datacenter_share: 0.90, geo_target: None, tz_match_rate: 1.0, ip_match_rate: 1.0 },
+    ServiceSpec { id: ServiceId(17), requests: 2_999, dd_evasion: 0.7466, botd_evasion: 0.0790, dd_post_detection: 0.4388, botd_post_detection: 0.9510, mimicry_share: 0.08, datacenter_share: 0.80, geo_target: None, tz_match_rate: 1.0, ip_match_rate: 1.0 },
+    ServiceSpec { id: ServiceId(18), requests: 1_430, dd_evasion: 0.2070, botd_evasion: 1.0, dd_post_detection: 0.9986, botd_post_detection: 0.8357, mimicry_share: 0.50, datacenter_share: 0.85, geo_target: None, tz_match_rate: 1.0, ip_match_rate: 1.0 },
+    ServiceSpec { id: ServiceId(19), requests: 1_411, dd_evasion: 0.0992, botd_evasion: 1.0, dd_post_detection: 0.9950, botd_post_detection: 0.5976, mimicry_share: 0.50, datacenter_share: 0.85, geo_target: None, tz_match_rate: 1.0, ip_match_rate: 1.0 },
+    ServiceSpec { id: ServiceId(20), requests: 382, dd_evasion: 0.9712, botd_evasion: 0.9712, dd_post_detection: 0.0759, botd_post_detection: 0.0707, mimicry_share: 0.20, datacenter_share: 0.85, geo_target: None, tz_match_rate: 1.0, ip_match_rate: 1.0 },
+];
+
+/// Total bot requests at full scale — the paper's 507,080.
+pub const TOTAL_REQUESTS: u64 = 507_080;
+
+/// The four joint detector outcomes, in the order used by [`CellPlan`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Cell {
+    /// Evades both services.
+    EvadeBoth,
+    /// Evades DataDome only.
+    EvadeDataDomeOnly,
+    /// Evades BotD only.
+    EvadeBotDOnly,
+    /// Detected by both.
+    DetectedBoth,
+}
+
+impl Cell {
+    /// All cells in plan order.
+    pub const ALL: [Cell; 4] = [
+        Cell::EvadeBoth,
+        Cell::EvadeDataDomeOnly,
+        Cell::EvadeBotDOnly,
+        Cell::DetectedBoth,
+    ];
+
+    /// Does this cell evade DataDome?
+    pub fn evades_dd(self) -> bool {
+        matches!(self, Cell::EvadeBoth | Cell::EvadeDataDomeOnly)
+    }
+
+    /// Does this cell evade BotD?
+    pub fn evades_botd(self) -> bool {
+        matches!(self, Cell::EvadeBoth | Cell::EvadeBotDOnly)
+    }
+}
+
+/// A solved per-service sampling plan.
+#[derive(Clone, Copy, Debug)]
+pub struct CellPlan {
+    /// Cell probabilities `[p11, p10, p01, p00]`.
+    pub p: [f64; 4],
+    /// Inconsistency (rule-catchable) probability per cell.
+    pub q: [f64; 4],
+}
+
+impl CellPlan {
+    /// Solve the plan for a service spec.
+    ///
+    /// Unknowns: the cell joint `p` and per-cell flag rates `q`, subject to
+    /// * marginals: `p11 + p10 = a` (DD evasion), `p11 + p01 = b` (BotD),
+    /// * flag mass: `q11·p11 + q10·p10 = A` where `A` is the extra DataDome
+    ///   detection Table 3 attributes to FP-Inconsistent, similarly `B`
+    ///   for BotD,
+    /// * `q ∈ [0,1]` everywhere.
+    ///
+    /// The one free correlation parameter (the both-evade overlap `p11`) is
+    /// set mid-range, then nudged into the feasibility window the flag
+    /// constraints demand.
+    pub fn solve(spec: &ServiceSpec) -> CellPlan {
+        let a = spec.dd_evasion;
+        let b = spec.botd_evasion;
+        let big_a = (spec.dd_post_detection - (1.0 - a)).clamp(0.0, a);
+        let big_b = (spec.botd_post_detection - (1.0 - b)).clamp(0.0, b);
+
+        // Feasibility window for p11 (derived in the doc comment of the
+        // module): p11 ≤ min(a, b, B−A+a, A−B+b), p11 ≥ max(0, a+b−1).
+        let lo = (a + b - 1.0).max(0.0);
+        let hi = a.min(b).min(big_b - big_a + a).min(big_a - big_b + b).max(lo);
+        let p11 = (lo + 0.5 * (hi - lo)).clamp(lo, hi);
+        let p10 = (a - p11).max(0.0);
+        let p01 = (b - p11).max(0.0);
+        let p00 = (1.0 - p11 - p10 - p01).max(0.0);
+
+        // x = q11·p11 must satisfy the two flag equations with q10, q01 ≤ 1.
+        let x_lo = (big_a - p10).max(big_b - p01).max(0.0);
+        let x_hi = p11.min(big_a).min(big_b);
+        let x = if x_lo <= x_hi { 0.5 * (x_lo + x_hi) } else { x_hi };
+
+        let q11 = if p11 > 1e-12 { (x / p11).clamp(0.0, 1.0) } else { 0.0 };
+        let q10 = if p10 > 1e-12 { ((big_a - x) / p10).clamp(0.0, 1.0) } else { 0.0 };
+        let q01 = if p01 > 1e-12 { ((big_b - x) / p01).clamp(0.0, 1.0) } else { 0.0 };
+        // Detected-by-both requests are just as sloppy as the average
+        // evader; their flags don't move any table but keep rule support
+        // realistic.
+        let q00 = ((q11 + q10 + q01) / 3.0).clamp(0.0, 1.0);
+
+        CellPlan {
+            p: [p11, p10, p01, p00],
+            q: [q11, q10, q01, q00],
+        }
+    }
+
+    /// Expected `P(flag ∧ evades DD)` under the plan (for tests).
+    pub fn flag_and_evade_dd(&self) -> f64 {
+        self.q[0] * self.p[0] + self.q[1] * self.p[1]
+    }
+
+    /// Expected `P(flag ∧ evades BotD)` under the plan (for tests).
+    pub fn flag_and_evade_botd(&self) -> f64 {
+        self.q[0] * self.p[0] + self.q[2] * self.p[2]
+    }
+}
+
+/// Look up a spec by service id.
+pub fn spec_of(id: ServiceId) -> &'static ServiceSpec {
+    &SERVICES[usize::from(id.0) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volumes_sum_to_paper_total() {
+        let total: u64 = SERVICES.iter().map(|s| s.requests).sum();
+        assert_eq!(total, TOTAL_REQUESTS);
+    }
+
+    #[test]
+    fn overall_evasion_rates_match_section5() {
+        // §5: DataDome detects 55.44 % (evasion 44.56 %), BotD detects
+        // 47.07 % (evasion 52.93 %).
+        let total = TOTAL_REQUESTS as f64;
+        let dd: f64 = SERVICES.iter().map(|s| s.requests as f64 * s.dd_evasion).sum::<f64>() / total;
+        let botd: f64 = SERVICES.iter().map(|s| s.requests as f64 * s.botd_evasion).sum::<f64>() / total;
+        assert!((dd - 0.4456).abs() < 0.002, "DD evasion {dd}");
+        assert!((botd - 0.5293).abs() < 0.002, "BotD evasion {botd}");
+    }
+
+    #[test]
+    fn plans_are_valid_distributions() {
+        for spec in &SERVICES {
+            let plan = CellPlan::solve(spec);
+            let sum: f64 = plan.p.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{}: cells sum {sum}", spec.id);
+            for (i, v) in plan.p.iter().chain(plan.q.iter()).enumerate() {
+                assert!((0.0..=1.0).contains(v), "{}: component {i} = {v}", spec.id);
+            }
+        }
+    }
+
+    #[test]
+    fn plans_respect_marginals() {
+        for spec in &SERVICES {
+            let plan = CellPlan::solve(spec);
+            let dd = plan.p[0] + plan.p[1];
+            let botd = plan.p[0] + plan.p[2];
+            assert!((dd - spec.dd_evasion).abs() < 1e-6, "{}: dd {dd}", spec.id);
+            assert!((botd - spec.botd_evasion).abs() < 1e-6, "{}: botd {botd}", spec.id);
+        }
+    }
+
+    #[test]
+    fn plans_hit_table3_flag_mass() {
+        // The solved flag mass must reproduce Table 3's post-detection
+        // improvements to within a percentage point.
+        for spec in &SERVICES {
+            let plan = CellPlan::solve(spec);
+            let a_target = spec.dd_post_detection - (1.0 - spec.dd_evasion);
+            let b_target = spec.botd_post_detection - (1.0 - spec.botd_evasion);
+            assert!(
+                (plan.flag_and_evade_dd() - a_target).abs() < 0.01,
+                "{}: DD flag mass {} vs {a_target}",
+                spec.id,
+                plan.flag_and_evade_dd()
+            );
+            assert!(
+                (plan.flag_and_evade_botd() - b_target).abs() < 0.01,
+                "{}: BotD flag mass {} vs {b_target}",
+                spec.id,
+                plan.flag_and_evade_botd()
+            );
+        }
+    }
+
+    #[test]
+    fn geo_services_are_the_four_advertised() {
+        let geo: Vec<_> = SERVICES.iter().filter(|s| s.geo_target.is_some()).collect();
+        assert_eq!(geo.len(), 4);
+        assert!(geo.iter().any(|s| s.geo_target == Some(GeoTarget::Canada) && (s.tz_match_rate - 0.7652).abs() < 1e-9));
+        assert!(geo.iter().any(|s| s.geo_target == Some(GeoTarget::Europe) && (s.tz_match_rate - 0.56).abs() < 1e-9));
+    }
+
+    #[test]
+    fn cell_helpers() {
+        assert!(Cell::EvadeBoth.evades_dd() && Cell::EvadeBoth.evades_botd());
+        assert!(Cell::EvadeDataDomeOnly.evades_dd() && !Cell::EvadeDataDomeOnly.evades_botd());
+        assert!(!Cell::EvadeBotDOnly.evades_dd() && Cell::EvadeBotDOnly.evades_botd());
+        assert!(!Cell::DetectedBoth.evades_dd() && !Cell::DetectedBoth.evades_botd());
+    }
+
+    #[test]
+    fn spec_lookup() {
+        assert_eq!(spec_of(ServiceId(7)).requests, 28_940);
+        assert_eq!(spec_of(ServiceId(20)).requests, 382);
+    }
+}

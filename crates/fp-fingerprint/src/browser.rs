@@ -1,0 +1,248 @@
+//! Browser software profiles.
+
+use crate::catalog;
+use crate::device::DeviceKind;
+
+/// Browser families observed in the campaign (the paper's `UA Browser`
+/// attribute values follow common UA-parser naming).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BrowserFamily {
+    Chrome,
+    ChromeMobile,
+    ChromeMobileIos,
+    Safari,
+    MobileSafari,
+    Firefox,
+    Edge,
+    SamsungInternet,
+    MiuiBrowser,
+}
+
+impl BrowserFamily {
+    /// All families.
+    pub const ALL: [BrowserFamily; 9] = [
+        BrowserFamily::Chrome,
+        BrowserFamily::ChromeMobile,
+        BrowserFamily::ChromeMobileIos,
+        BrowserFamily::Safari,
+        BrowserFamily::MobileSafari,
+        BrowserFamily::Firefox,
+        BrowserFamily::Edge,
+        BrowserFamily::SamsungInternet,
+        BrowserFamily::MiuiBrowser,
+    ];
+
+    /// UA-parser display name (the `UA Browser` attribute).
+    pub fn name(self) -> &'static str {
+        match self {
+            BrowserFamily::Chrome => "Chrome",
+            BrowserFamily::ChromeMobile => "Chrome Mobile",
+            BrowserFamily::ChromeMobileIos => "Chrome Mobile iOS",
+            BrowserFamily::Safari => "Safari",
+            BrowserFamily::MobileSafari => "Mobile Safari",
+            BrowserFamily::Firefox => "Firefox",
+            BrowserFamily::Edge => "Edge",
+            BrowserFamily::SamsungInternet => "Samsung Internet",
+            BrowserFamily::MiuiBrowser => "MiuiBrowser",
+        }
+    }
+
+    /// Is the engine Chromium-based? (Relevant for the BotD headless check:
+    /// a Chromium desktop UA with an empty plugin array is the headless
+    /// signature.)
+    pub fn is_chromium(self) -> bool {
+        matches!(
+            self,
+            BrowserFamily::Chrome
+                | BrowserFamily::ChromeMobile
+                | BrowserFamily::Edge
+                | BrowserFamily::SamsungInternet
+                | BrowserFamily::MiuiBrowser
+        )
+    }
+
+    /// Which OSes can genuinely run this browser (the oracle's
+    /// `UA Browser` × `UA OS` constraint, Table 6 "Browser" group).
+    pub fn valid_os(self) -> &'static [&'static str] {
+        match self {
+            BrowserFamily::Chrome => &["Windows", "Mac OS X", "Linux"],
+            BrowserFamily::ChromeMobile => &["Android"],
+            BrowserFamily::ChromeMobileIos => &["iOS"],
+            BrowserFamily::Safari => &["Mac OS X"],
+            BrowserFamily::MobileSafari => &["iOS"],
+            BrowserFamily::Firefox => &["Windows", "Mac OS X", "Linux", "Android"],
+            BrowserFamily::Edge => &["Windows", "Mac OS X"],
+            BrowserFamily::SamsungInternet => &["Android"],
+            BrowserFamily::MiuiBrowser => &["Android"],
+        }
+    }
+
+    /// `navigator.vendor` for this browser.
+    pub fn vendor(self) -> &'static str {
+        match self {
+            BrowserFamily::Safari | BrowserFamily::MobileSafari | BrowserFamily::ChromeMobileIos => {
+                "Apple Computer, Inc."
+            }
+            BrowserFamily::Firefox => "",
+            _ => "Google Inc.",
+        }
+    }
+
+    /// `navigator.productSub`.
+    pub fn product_sub(self) -> &'static str {
+        match self {
+            BrowserFamily::Firefox => "20100101",
+            _ => "20030107",
+        }
+    }
+
+    /// FingerprintJS vendor-flavour markers.
+    pub fn vendor_flavors(self) -> &'static [&'static str] {
+        match self {
+            BrowserFamily::Chrome | BrowserFamily::ChromeMobile | BrowserFamily::Edge => &["chrome"],
+            BrowserFamily::ChromeMobileIos => &["chrome-ios"],
+            BrowserFamily::Safari | BrowserFamily::MobileSafari => &["safari"],
+            BrowserFamily::SamsungInternet | BrowserFamily::MiuiBrowser => &["chrome"],
+            BrowserFamily::Firefox => &[],
+        }
+    }
+
+    /// Plugin list this browser genuinely exposes on `kind`.
+    pub fn plugins(self, kind: DeviceKind) -> &'static [&'static str] {
+        let mobile = kind.is_mobile();
+        match self {
+            // Mobile Chromium exposes no plugins; desktop exposes the 5 PDF
+            // viewers. Safari exposes none anywhere.
+            BrowserFamily::Chrome | BrowserFamily::Edge if !mobile => &catalog::CHROMIUM_PDF_PLUGINS,
+            BrowserFamily::Firefox if !mobile => &catalog::FIREFOX_PDF_PLUGINS,
+            _ => &[],
+        }
+    }
+
+    /// MIME types consistent with [`BrowserFamily::plugins`].
+    pub fn mime_types(self, kind: DeviceKind) -> &'static [&'static str] {
+        if self.plugins(kind).is_empty() {
+            &[]
+        } else {
+            &catalog::PDF_MIME_TYPES
+        }
+    }
+
+    /// Default browser families per device kind with rough popularity
+    /// weights, used by the consistent generators.
+    pub fn defaults_for(kind: DeviceKind) -> &'static [(BrowserFamily, f64)] {
+        match kind {
+            DeviceKind::IPhone | DeviceKind::IPad => &[
+                (BrowserFamily::MobileSafari, 0.85),
+                (BrowserFamily::ChromeMobileIos, 0.15),
+            ],
+            DeviceKind::Mac => &[
+                (BrowserFamily::Safari, 0.45),
+                (BrowserFamily::Chrome, 0.45),
+                (BrowserFamily::Firefox, 0.10),
+            ],
+            DeviceKind::WindowsDesktop => &[
+                (BrowserFamily::Chrome, 0.70),
+                (BrowserFamily::Edge, 0.20),
+                (BrowserFamily::Firefox, 0.10),
+            ],
+            DeviceKind::LinuxDesktop => &[
+                (BrowserFamily::Chrome, 0.55),
+                (BrowserFamily::Firefox, 0.45),
+            ],
+            DeviceKind::AndroidPhone => &[
+                (BrowserFamily::ChromeMobile, 0.75),
+                (BrowserFamily::SamsungInternet, 0.17),
+                (BrowserFamily::MiuiBrowser, 0.08),
+            ],
+            DeviceKind::AndroidTablet => &[
+                (BrowserFamily::ChromeMobile, 0.85),
+                (BrowserFamily::SamsungInternet, 0.15),
+            ],
+        }
+    }
+}
+
+/// A browser pinned to a version — together with a [`crate::DeviceProfile`]
+/// this fully determines the software half of a fingerprint.
+#[derive(Clone, Copy, Debug)]
+pub struct BrowserProfile {
+    pub family: BrowserFamily,
+    /// Major version (e.g. 116 for Chrome 116).
+    pub major: u16,
+}
+
+impl BrowserProfile {
+    /// A contemporary version for the study window (fall 2023).
+    pub fn contemporary(family: BrowserFamily, rng: &mut fp_types::Splittable) -> BrowserProfile {
+        let major = match family {
+            BrowserFamily::Chrome | BrowserFamily::ChromeMobile | BrowserFamily::ChromeMobileIos | BrowserFamily::Edge => {
+                *rng.pick(&[114u16, 115, 116, 117, 118])
+            }
+            BrowserFamily::Safari | BrowserFamily::MobileSafari => *rng.pick(&[15u16, 16, 17]),
+            BrowserFamily::Firefox => *rng.pick(&[115u16, 116, 117, 118]),
+            BrowserFamily::SamsungInternet => *rng.pick(&[21u16, 22, 23]),
+            BrowserFamily::MiuiBrowser => *rng.pick(&[13u16, 14]),
+        };
+        BrowserProfile { family, major }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn safari_is_apple_only() {
+        assert_eq!(BrowserFamily::Safari.valid_os(), &["Mac OS X"]);
+        assert_eq!(BrowserFamily::MobileSafari.valid_os(), &["iOS"]);
+        assert!(!BrowserFamily::Safari.valid_os().contains(&"Linux"));
+    }
+
+    #[test]
+    fn vendor_matches_engine() {
+        assert_eq!(BrowserFamily::Chrome.vendor(), "Google Inc.");
+        assert_eq!(BrowserFamily::MobileSafari.vendor(), "Apple Computer, Inc.");
+        assert_eq!(BrowserFamily::ChromeMobileIos.vendor(), "Apple Computer, Inc.", "Chrome on iOS uses WebKit");
+        assert_eq!(BrowserFamily::Firefox.vendor(), "");
+    }
+
+    #[test]
+    fn desktop_chromium_has_five_pdf_plugins() {
+        let p = BrowserFamily::Chrome.plugins(DeviceKind::WindowsDesktop);
+        assert_eq!(p.len(), 5);
+        assert!(BrowserFamily::Chrome.plugins(DeviceKind::AndroidPhone).is_empty());
+        assert!(BrowserFamily::MobileSafari.plugins(DeviceKind::IPhone).is_empty());
+        assert!(BrowserFamily::Safari.plugins(DeviceKind::Mac).is_empty());
+    }
+
+    #[test]
+    fn chromium_flag() {
+        assert!(BrowserFamily::Chrome.is_chromium());
+        assert!(BrowserFamily::SamsungInternet.is_chromium());
+        assert!(!BrowserFamily::Safari.is_chromium());
+        assert!(!BrowserFamily::Firefox.is_chromium());
+        assert!(!BrowserFamily::ChromeMobileIos.is_chromium(), "CriOS is WebKit");
+    }
+
+    #[test]
+    fn defaults_are_valid_for_their_kind() {
+        for kind in DeviceKind::ALL {
+            for (fam, w) in BrowserFamily::defaults_for(kind) {
+                assert!(*w > 0.0);
+                assert!(
+                    fam.valid_os().contains(&kind.ua_os()),
+                    "{:?} invalid on {:?}",
+                    fam,
+                    kind
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mime_types_track_plugins() {
+        assert!(!BrowserFamily::Chrome.mime_types(DeviceKind::WindowsDesktop).is_empty());
+        assert!(BrowserFamily::ChromeMobile.mime_types(DeviceKind::AndroidPhone).is_empty());
+    }
+}

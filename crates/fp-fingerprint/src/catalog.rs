@@ -1,0 +1,233 @@
+//! Static facts about real devices and browsers.
+//!
+//! The paper's core insight is that real hardware/software comes in a
+//! *limited* number of configurations (Section 7.1). This module is that
+//! limit, written down: the miner's validity oracle and every consistent
+//! traffic generator read from here. Numbers follow public references — the
+//! iPhone logical-resolution list mirrors the iosref catalogue the paper
+//! cites ("iPhones have a fixed set of screen resolutions (12 resolutions)").
+
+/// Logical (CSS-pixel) portrait resolutions of real iPhones. Exactly twelve,
+/// matching the paper's count.
+pub const IPHONE_RESOLUTIONS: [(u16, u16); 12] = [
+    (320, 480),  // iPhone 4/4S
+    (320, 568),  // iPhone 5/5s/SE (1st gen)
+    (375, 667),  // iPhone 6/7/8/SE (2nd/3rd gen)
+    (414, 736),  // iPhone 6+/7+/8+ Plus
+    (375, 812),  // iPhone X/XS/11 Pro
+    (414, 896),  // iPhone XR/XS Max/11/11 Pro Max
+    (360, 780),  // iPhone 12 mini/13 mini
+    (390, 844),  // iPhone 12/12 Pro/13/14
+    (428, 926),  // iPhone 12/13 Pro Max/14 Plus
+    (393, 852),  // iPhone 14 Pro/15
+    (430, 932),  // iPhone 14 Pro Max/15 Plus
+    (402, 874),  // iPhone 16 Pro
+];
+
+/// Logical portrait resolutions of real iPads.
+pub const IPAD_RESOLUTIONS: [(u16, u16); 7] = [
+    (768, 1024),  // iPad (classic), mini
+    (744, 1133),  // iPad mini 6
+    (810, 1080),  // iPad 7th-9th gen
+    (820, 1180),  // iPad 10th gen / Air 4/5
+    (834, 1112),  // iPad Pro 10.5 / Air 3
+    (834, 1194),  // iPad Pro 11
+    (1024, 1366), // iPad Pro 12.9
+];
+
+/// Common desktop/laptop resolutions (Windows, macOS, Linux).
+pub const DESKTOP_RESOLUTIONS: [(u16, u16); 10] = [
+    (1920, 1080),
+    (1366, 768),
+    (1536, 864),
+    (1440, 900),
+    (1600, 900),
+    (1680, 1050),
+    (2560, 1440),
+    (2560, 1600),
+    (1280, 800),
+    (3840, 2160),
+];
+
+/// Plausible `hardwareConcurrency` values per device family.
+pub const IPHONE_CORES: [u8; 3] = [2, 4, 6];
+pub const IPAD_CORES: [u8; 3] = [4, 6, 8];
+pub const MAC_CORES: [u8; 5] = [4, 8, 10, 12, 16];
+pub const WINDOWS_CORES: [u8; 6] = [2, 4, 6, 8, 12, 16];
+pub const LINUX_CORES: [u8; 5] = [2, 4, 8, 12, 16];
+
+/// `navigator.deviceMemory` values Chromium can report (the API clamps to
+/// this ladder). Safari and Firefox do not implement the API at all.
+pub const DEVICE_MEMORY_LADDER: [f64; 6] = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0];
+
+/// The plugin names Chromium-family desktop browsers expose since 2022 —
+/// exactly the five PDF viewers of the paper's Figure 4.
+pub const CHROMIUM_PDF_PLUGINS: [&str; 5] = [
+    "PDF Viewer",
+    "Chrome PDF Viewer",
+    "Chromium PDF Viewer",
+    "Microsoft Edge PDF Viewer",
+    "WebKit built-in PDF",
+];
+
+/// Firefox ≥ 99 exposes the same synthetic plugin list.
+pub const FIREFOX_PDF_PLUGINS: [&str; 5] = CHROMIUM_PDF_PLUGINS;
+
+/// MIME types that accompany the PDF plugin list.
+pub const PDF_MIME_TYPES: [&str; 2] = ["application/pdf", "text/pdf"];
+
+/// Windows core font probe set.
+pub const WINDOWS_FONTS: [&str; 12] = [
+    "Arial", "Arial Black", "Calibri", "Cambria", "Comic Sans MS", "Consolas",
+    "Courier New", "Georgia", "Segoe UI", "Tahoma", "Times New Roman", "Verdana",
+];
+
+/// macOS / iOS font probe set.
+pub const APPLE_FONTS: [&str; 12] = [
+    "American Typewriter", "Arial", "Avenir", "Courier", "Futura", "Geneva",
+    "Gill Sans", "Helvetica", "Helvetica Neue", "Menlo", "Monaco", "Palatino",
+];
+
+/// Linux font probe set.
+pub const LINUX_FONTS: [&str; 8] = [
+    "Bitstream Vera Sans", "DejaVu Sans", "DejaVu Sans Mono", "DejaVu Serif",
+    "Liberation Mono", "Liberation Sans", "Liberation Serif", "Ubuntu",
+];
+
+/// Android font probe set.
+pub const ANDROID_FONTS: [&str; 5] = ["Droid Sans", "Droid Sans Mono", "Noto Sans", "Roboto", "sans-serif-thin"];
+
+/// FingerprintJS monospace probe width (px) per OS family — the App C
+/// decision path splits on this at 131.5.
+pub fn monospace_width_for_os(os: &str) -> f64 {
+    match os {
+        "Windows" => 121.0,
+        "Mac OS X" | "iOS" => 132.625,
+        "Android" => 133.484,
+        _ => 130.0, // Linux and friends
+    }
+}
+
+/// One real Android (or Android-tablet) model with its true hardware facts.
+/// The model strings are the ones that appear inside Android User-Agents and
+/// in the paper's Table 6.
+pub struct AndroidModel {
+    /// UA model string (the paper's `UA Device` value).
+    pub model: &'static str,
+    /// Marketing name (docs only).
+    pub marketing: &'static str,
+    /// Portrait logical resolution.
+    pub resolution: (u16, u16),
+    /// True core count.
+    pub cores: u8,
+    /// True `deviceMemory` as Chromium would clamp it.
+    pub device_memory: f64,
+    /// `navigator.platform` as reported by Chromium on this SoC.
+    pub platform: &'static str,
+    /// Whether the device is a tablet (affects UA `Mobile` token).
+    pub tablet: bool,
+    /// GPU renderer string (WebGL).
+    pub gpu: &'static str,
+}
+
+/// Real Android devices, including every model named in Table 6.
+pub const ANDROID_MODELS: [AndroidModel; 16] = [
+    AndroidModel { model: "SM-S906N", marketing: "Samsung Galaxy S22+", resolution: (384, 854), cores: 8, device_memory: 8.0, platform: "Linux armv8l", tablet: false, gpu: "Mali-G710" },
+    AndroidModel { model: "SM-A127F", marketing: "Samsung Galaxy A12", resolution: (360, 800), cores: 8, device_memory: 4.0, platform: "Linux armv8l", tablet: false, gpu: "Mali-G52" },
+    AndroidModel { model: "SM-A515F", marketing: "Samsung Galaxy A51", resolution: (412, 914), cores: 8, device_memory: 4.0, platform: "Linux armv8l", tablet: false, gpu: "Mali-G72" },
+    AndroidModel { model: "SM-G991B", marketing: "Samsung Galaxy S21", resolution: (360, 800), cores: 8, device_memory: 8.0, platform: "Linux armv8l", tablet: false, gpu: "Mali-G78" },
+    AndroidModel { model: "SM-T387W", marketing: "Samsung Galaxy Tab A 8.0", resolution: (768, 1024), cores: 4, device_memory: 2.0, platform: "Linux armv8l", tablet: true, gpu: "Adreno 506" },
+    AndroidModel { model: "SM-T870", marketing: "Samsung Galaxy Tab S7", resolution: (800, 1280), cores: 8, device_memory: 8.0, platform: "Linux armv8l", tablet: true, gpu: "Adreno 650" },
+    AndroidModel { model: "SM-G973F", marketing: "Samsung Galaxy S10", resolution: (360, 760), cores: 8, device_memory: 8.0, platform: "Linux armv8l", tablet: false, gpu: "Mali-G76" },
+    AndroidModel { model: "Pixel 2", marketing: "Google Pixel 2", resolution: (412, 732), cores: 8, device_memory: 4.0, platform: "Linux armv8l", tablet: false, gpu: "Adreno 540" },
+    AndroidModel { model: "Pixel 7", marketing: "Google Pixel 7", resolution: (412, 915), cores: 8, device_memory: 8.0, platform: "Linux armv8l", tablet: false, gpu: "Mali-G710" },
+    AndroidModel { model: "Pixel 7 Pro", marketing: "Google Pixel 7 Pro", resolution: (412, 892), cores: 8, device_memory: 8.0, platform: "Linux armv8l", tablet: false, gpu: "Mali-G710" },
+    AndroidModel { model: "M2006C3MG", marketing: "Xiaomi Redmi 9C", resolution: (360, 800), cores: 8, device_memory: 2.0, platform: "Linux armv8l", tablet: false, gpu: "PowerVR GE8320" },
+    AndroidModel { model: "M2004J19C", marketing: "Xiaomi Redmi 9", resolution: (393, 851), cores: 8, device_memory: 4.0, platform: "Linux armv8l", tablet: false, gpu: "Mali-G52" },
+    AndroidModel { model: "Redmi Go", marketing: "Xiaomi Redmi Go", resolution: (360, 640), cores: 4, device_memory: 1.0, platform: "Linux armv7l", tablet: false, gpu: "Adreno 308" },
+    AndroidModel { model: "MI PAD 3", marketing: "Xiaomi Mi Pad 3", resolution: (768, 1024), cores: 6, device_memory: 4.0, platform: "Linux armv8l", tablet: true, gpu: "PowerVR GX6250" },
+    AndroidModel { model: "MI PAD 4", marketing: "Xiaomi Mi Pad 4 LTE", resolution: (600, 960), cores: 8, device_memory: 4.0, platform: "Linux armv8l", tablet: true, gpu: "Adreno 512" },
+    AndroidModel { model: "Infinix X652B", marketing: "Infinix S5 Pro", resolution: (360, 800), cores: 8, device_memory: 4.0, platform: "Linux armv8l", tablet: false, gpu: "PowerVR GE8320" },
+];
+
+/// Look up a real Android model by its UA model string.
+pub fn android_model(model: &str) -> Option<&'static AndroidModel> {
+    ANDROID_MODELS.iter().find(|m| m.model == model)
+}
+
+/// Is `r` a real iPhone resolution (either orientation)?
+pub fn is_real_iphone_resolution(r: (u16, u16)) -> bool {
+    IPHONE_RESOLUTIONS
+        .iter()
+        .any(|&(w, h)| (w, h) == r || (h, w) == r)
+}
+
+/// Is `r` a real iPad resolution (either orientation)?
+pub fn is_real_ipad_resolution(r: (u16, u16)) -> bool {
+    IPAD_RESOLUTIONS
+        .iter()
+        .any(|&(w, h)| (w, h) == r || (h, w) == r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_iphone_resolutions() {
+        // The paper: "iPhones have a fixed set of screen resolutions (12)".
+        assert_eq!(IPHONE_RESOLUTIONS.len(), 12);
+        let mut sorted = IPHONE_RESOLUTIONS.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 12, "resolutions must be distinct");
+    }
+
+    #[test]
+    fn iphone_resolution_check_handles_orientation() {
+        assert!(is_real_iphone_resolution((390, 844)));
+        assert!(is_real_iphone_resolution((844, 390)));
+        assert!(!is_real_iphone_resolution((1920, 1080)));
+        assert!(!is_real_iphone_resolution((847, 476)));
+    }
+
+    #[test]
+    fn table6_android_models_present() {
+        for m in [
+            "SM-S906N", "SM-A127F", "SM-A515F", "SM-T387W", "M2006C3MG",
+            "M2004J19C", "Infinix X652B", "Pixel 2", "Pixel 7 Pro", "Redmi Go",
+        ] {
+            assert!(android_model(m).is_some(), "missing model {m}");
+        }
+    }
+
+    #[test]
+    fn android_model_facts_sane() {
+        for m in &ANDROID_MODELS {
+            assert!(m.cores >= 4 && m.cores <= 8, "{}: cores {}", m.model, m.cores);
+            assert!(
+                DEVICE_MEMORY_LADDER.contains(&m.device_memory),
+                "{}: memory {} off ladder",
+                m.model,
+                m.device_memory
+            );
+            assert!(m.platform.starts_with("Linux arm"));
+        }
+    }
+
+    #[test]
+    fn five_pdf_plugins() {
+        assert_eq!(CHROMIUM_PDF_PLUGINS.len(), 5);
+        assert!(CHROMIUM_PDF_PLUGINS.contains(&"Chrome PDF Viewer"));
+    }
+
+    #[test]
+    fn monospace_width_split_matches_appendix_c() {
+        // Appendix C: evading requests had monospace width > 131.5 —
+        // Apple and Android fonts are above, Windows below.
+        assert!(monospace_width_for_os("Mac OS X") > 131.5);
+        assert!(monospace_width_for_os("iOS") > 131.5);
+        assert!(monospace_width_for_os("Android") > 131.5);
+        assert!(monospace_width_for_os("Windows") < 131.5);
+    }
+}

@@ -1,0 +1,321 @@
+//! Typed device profiles: one *consistent* hardware configuration.
+
+use crate::catalog;
+use fp_types::Splittable;
+
+/// Families of real devices the honey site observed (Figure 6 groups them as
+/// iPhone / iPad / Mac / Other, where Other covers desktops and Androids).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DeviceKind {
+    IPhone,
+    IPad,
+    Mac,
+    WindowsDesktop,
+    LinuxDesktop,
+    AndroidPhone,
+    AndroidTablet,
+}
+
+impl DeviceKind {
+    /// All device kinds.
+    pub const ALL: [DeviceKind; 7] = [
+        DeviceKind::IPhone,
+        DeviceKind::IPad,
+        DeviceKind::Mac,
+        DeviceKind::WindowsDesktop,
+        DeviceKind::LinuxDesktop,
+        DeviceKind::AndroidPhone,
+        DeviceKind::AndroidTablet,
+    ];
+
+    /// Does the device have a touch screen?
+    pub fn has_touch(self) -> bool {
+        matches!(
+            self,
+            DeviceKind::IPhone | DeviceKind::IPad | DeviceKind::AndroidPhone | DeviceKind::AndroidTablet
+        )
+    }
+
+    /// Is this a mobile-class device (phone or tablet)?
+    pub fn is_mobile(self) -> bool {
+        self.has_touch()
+    }
+
+    /// OS name as a UA parser reports it (the paper's `UA OS` attribute).
+    pub fn ua_os(self) -> &'static str {
+        match self {
+            DeviceKind::IPhone | DeviceKind::IPad => "iOS",
+            DeviceKind::Mac => "Mac OS X",
+            DeviceKind::WindowsDesktop => "Windows",
+            DeviceKind::LinuxDesktop => "Linux",
+            DeviceKind::AndroidPhone | DeviceKind::AndroidTablet => "Android",
+        }
+    }
+}
+
+/// One concrete, real-world-consistent device.
+#[derive(Clone, Debug)]
+pub struct DeviceProfile {
+    pub kind: DeviceKind,
+    /// `UA Device` string as a parser infers it (`iPhone`, `Mac`, `Pixel 7`,
+    /// `Other` for desktops).
+    pub ua_device: &'static str,
+    /// `navigator.platform`.
+    pub platform: &'static str,
+    /// Portrait (or landscape-native for desktops) logical resolution.
+    pub resolution: (u16, u16),
+    /// `navigator.hardwareConcurrency`.
+    pub cores: u8,
+    /// True device memory on the Chromium ladder (even where the API is
+    /// absent, the physical fact exists).
+    pub device_memory: f64,
+    /// `navigator.maxTouchPoints`.
+    pub max_touch_points: u8,
+    /// `screen.colorDepth`.
+    pub color_depth: u8,
+    /// Widest color gamut.
+    pub color_gamut: &'static str,
+    /// WebGL unmasked vendor.
+    pub webgl_vendor: &'static str,
+    /// WebGL unmasked renderer.
+    pub webgl_renderer: &'static str,
+    /// Android model string if applicable (feeds the UA).
+    pub android_model: Option<&'static str>,
+    /// Typical screen-frame (taskbar/dock border) in px.
+    pub screen_frame: u8,
+}
+
+impl DeviceProfile {
+    /// Sample a real device of `kind`, deterministically from `rng`.
+    pub fn sample(kind: DeviceKind, rng: &mut Splittable) -> DeviceProfile {
+        match kind {
+            DeviceKind::IPhone => {
+                let resolution = *rng.pick(&catalog::IPHONE_RESOLUTIONS);
+                let cores = *rng.pick(&catalog::IPHONE_CORES);
+                DeviceProfile {
+                    kind,
+                    ua_device: "iPhone",
+                    platform: "iPhone",
+                    resolution,
+                    cores,
+                    device_memory: if cores >= 6 { 4.0 } else { 2.0 },
+                    max_touch_points: 5,
+                    color_depth: 32,
+                    color_gamut: "p3",
+                    webgl_vendor: "Apple Inc.",
+                    webgl_renderer: "Apple GPU",
+                    android_model: None,
+                    screen_frame: 0,
+                }
+            }
+            DeviceKind::IPad => {
+                let resolution = *rng.pick(&catalog::IPAD_RESOLUTIONS);
+                DeviceProfile {
+                    kind,
+                    ua_device: "iPad",
+                    platform: "iPad",
+                    resolution,
+                    cores: *rng.pick(&catalog::IPAD_CORES),
+                    device_memory: 4.0,
+                    max_touch_points: 5,
+                    color_depth: 32,
+                    color_gamut: "p3",
+                    webgl_vendor: "Apple Inc.",
+                    webgl_renderer: "Apple GPU",
+                    android_model: None,
+                    screen_frame: 0,
+                }
+            }
+            DeviceKind::Mac => DeviceProfile {
+                kind,
+                ua_device: "Mac",
+                platform: "MacIntel",
+                resolution: *rng.pick(&[(1440, 900), (1680, 1050), (2560, 1600), (1512, 982), (1728, 1117)]),
+                cores: *rng.pick(&catalog::MAC_CORES),
+                device_memory: *rng.pick(&[8.0, 8.0, 8.0, 4.0]),
+                max_touch_points: 0,
+                color_depth: 30,
+                color_gamut: "p3",
+                webgl_vendor: "Apple Inc.",
+                webgl_renderer: "Apple M1",
+                android_model: None,
+                screen_frame: if rng.chance(0.7) { 25 } else { 0 },
+            },
+            DeviceKind::WindowsDesktop => DeviceProfile {
+                kind,
+                ua_device: "Other",
+                platform: "Win32",
+                resolution: *rng.pick(&catalog::DESKTOP_RESOLUTIONS),
+                cores: *rng.pick(&catalog::WINDOWS_CORES),
+                device_memory: *rng.pick(&[8.0, 8.0, 4.0, 8.0]),
+                max_touch_points: 0,
+                color_depth: 24,
+                color_gamut: "srgb",
+                webgl_vendor: "Google Inc. (Intel)",
+                webgl_renderer: "ANGLE (Intel, Intel(R) UHD Graphics Direct3D11)",
+                android_model: None,
+                screen_frame: *rng.pick(&[40u8, 40, 48, 30]),
+            },
+            DeviceKind::LinuxDesktop => DeviceProfile {
+                kind,
+                ua_device: "Other",
+                platform: "Linux x86_64",
+                resolution: *rng.pick(&catalog::DESKTOP_RESOLUTIONS),
+                cores: *rng.pick(&catalog::LINUX_CORES),
+                device_memory: *rng.pick(&[8.0, 4.0, 8.0]),
+                max_touch_points: 0,
+                color_depth: 24,
+                color_gamut: "srgb",
+                webgl_vendor: "Mesa",
+                webgl_renderer: "Mesa Intel(R) UHD Graphics (CML GT2)",
+                android_model: None,
+                screen_frame: *rng.pick(&[27u8, 32, 0]),
+            },
+            DeviceKind::AndroidPhone | DeviceKind::AndroidTablet => {
+                let tablet = kind == DeviceKind::AndroidTablet;
+                let candidates: Vec<&catalog::AndroidModel> = catalog::ANDROID_MODELS
+                    .iter()
+                    .filter(|m| m.tablet == tablet)
+                    .collect();
+                let m = *rng.pick(&candidates);
+                DeviceProfile {
+                    kind,
+                    ua_device: m.model,
+                    platform: m.platform,
+                    resolution: m.resolution,
+                    cores: m.cores,
+                    device_memory: m.device_memory,
+                    max_touch_points: if tablet { 10 } else { 5 },
+                    color_depth: 24,
+                    color_gamut: "srgb",
+                    webgl_vendor: "Qualcomm",
+                    webgl_renderer: m.gpu,
+                    android_model: Some(m.model),
+                    screen_frame: 0,
+                }
+            }
+        }
+    }
+
+    /// Build the profile of a specific real Android model from the
+    /// catalogue (panics on unknown models — use catalogue constants).
+    pub fn android(model: &str) -> DeviceProfile {
+        let m = catalog::android_model(model)
+            .unwrap_or_else(|| panic!("unknown Android model {model:?}"));
+        DeviceProfile {
+            kind: if m.tablet { DeviceKind::AndroidTablet } else { DeviceKind::AndroidPhone },
+            ua_device: m.model,
+            platform: m.platform,
+            resolution: m.resolution,
+            cores: m.cores,
+            device_memory: m.device_memory,
+            max_touch_points: if m.tablet { 10 } else { 5 },
+            color_depth: 24,
+            color_gamut: "srgb",
+            webgl_vendor: "Qualcomm",
+            webgl_renderer: m.gpu,
+            android_model: Some(m.model),
+            screen_frame: 0,
+        }
+    }
+
+    /// A synthetic "reduced User-Agent" Android device: Chrome ≥ 110 sends
+    /// the frozen model string `K`, which UA parsers surface verbatim. Bots
+    /// hide behind it because no catalogue constrains an unknown model.
+    pub fn android_generic_k() -> DeviceProfile {
+        DeviceProfile {
+            kind: DeviceKind::AndroidPhone,
+            ua_device: "K",
+            platform: "Linux armv8l",
+            resolution: (360, 800),
+            cores: 4,
+            device_memory: 2.0,
+            max_touch_points: 5,
+            color_depth: 24,
+            color_gamut: "srgb",
+            webgl_vendor: "Qualcomm",
+            webgl_renderer: "Adreno 640",
+            android_model: Some("K"),
+            screen_frame: 0,
+        }
+    }
+
+    /// Touch support summary in the FingerprintJS style the paper's Table 6
+    /// uses (`None` vs `touchEvent/touchStart`).
+    pub fn touch_summary(&self) -> &'static str {
+        if self.kind.has_touch() {
+            "touchEvent/touchStart"
+        } else {
+            "None"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Splittable {
+        Splittable::new(0xD15C0)
+    }
+
+    #[test]
+    fn iphone_profiles_are_consistent() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let d = DeviceProfile::sample(DeviceKind::IPhone, &mut r);
+            assert!(catalog::is_real_iphone_resolution(d.resolution));
+            assert!(catalog::IPHONE_CORES.contains(&d.cores));
+            assert_eq!(d.max_touch_points, 5);
+            assert_eq!(d.platform, "iPhone");
+            assert_eq!(d.ua_device, "iPhone");
+            assert_eq!(d.touch_summary(), "touchEvent/touchStart");
+        }
+    }
+
+    #[test]
+    fn desktop_profiles_have_no_touch() {
+        let mut r = rng();
+        for kind in [DeviceKind::Mac, DeviceKind::WindowsDesktop, DeviceKind::LinuxDesktop] {
+            let d = DeviceProfile::sample(kind, &mut r);
+            assert_eq!(d.max_touch_points, 0);
+            assert_eq!(d.touch_summary(), "None");
+            assert!(!kind.has_touch());
+        }
+    }
+
+    #[test]
+    fn android_profiles_use_real_models() {
+        let mut r = rng();
+        for _ in 0..30 {
+            let d = DeviceProfile::sample(DeviceKind::AndroidPhone, &mut r);
+            let m = catalog::android_model(d.android_model.unwrap()).unwrap();
+            assert_eq!(d.cores, m.cores);
+            assert_eq!(d.resolution, m.resolution);
+            assert!(!m.tablet);
+        }
+        let d = DeviceProfile::sample(DeviceKind::AndroidTablet, &mut r);
+        assert!(catalog::android_model(d.android_model.unwrap()).unwrap().tablet);
+        assert_eq!(d.max_touch_points, 10);
+    }
+
+    #[test]
+    fn ua_os_mapping() {
+        assert_eq!(DeviceKind::IPhone.ua_os(), "iOS");
+        assert_eq!(DeviceKind::Mac.ua_os(), "Mac OS X");
+        assert_eq!(DeviceKind::WindowsDesktop.ua_os(), "Windows");
+        assert_eq!(DeviceKind::AndroidTablet.ua_os(), "Android");
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let mut a = rng();
+        let mut b = rng();
+        for kind in DeviceKind::ALL {
+            let da = DeviceProfile::sample(kind, &mut a);
+            let db = DeviceProfile::sample(kind, &mut b);
+            assert_eq!(da.resolution, db.resolution);
+            assert_eq!(da.cores, db.cores);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Browser fingerprint model.
+//!
+//! This crate is the *real world* the inconsistency miner measures against:
+//!
+//! * [`catalog`] — static facts: real iPhone/iPad/Android/desktop hardware
+//!   (resolutions, cores, memory, touch points), per-browser software facts
+//!   (vendors, productSub, plugin sets), fonts per OS.
+//! * [`device`] / [`browser`] — typed views over the catalog:
+//!   [`DeviceProfile`] and [`BrowserProfile`] describe one *consistent*
+//!   hardware/software configuration.
+//! * [`ua`] — User-Agent synthesis for a profile and the inverse parser that
+//!   recovers the paper's `UA Device` / `UA Browser` / `UA OS` attributes.
+//! * [`collect`] — the FingerprintJS-style collector: renders a profile (plus
+//!   a locale) into a complete, internally consistent [`fp_types::Fingerprint`].
+//! * [`oracle`] — the validity oracle: answers "can these two attribute
+//!   values coexist on a real device?", the semi-automatic confirmation step
+//!   of the paper's Algorithm 1.
+
+pub mod browser;
+pub mod catalog;
+pub mod collect;
+pub mod device;
+pub mod oracle;
+pub mod ua;
+
+pub use browser::{BrowserFamily, BrowserProfile};
+pub use collect::{Collector, LocaleSpec};
+pub use device::{DeviceKind, DeviceProfile};
+pub use oracle::{Plausibility, ValidityOracle};
+pub use ua::{parse_user_agent, ParsedUa};

@@ -1,0 +1,598 @@
+//! The validity oracle.
+//!
+//! Algorithm 1 in the paper is *semi*-automatic: the data-driven part ranks
+//! attribute pairs by configuration explosion, and a human confirms which
+//! specific value combinations are impossible in the real world. This module
+//! automates that confirmation using the device catalogue, so the whole
+//! mining pipeline is reproducible: given two attribute values, it answers
+//! whether they can coexist on any real device.
+//!
+//! The oracle is deliberately conservative — it returns
+//! [`Plausibility::Unknown`] whenever the catalogue has nothing to say, and
+//! the miner treats only [`Plausibility::Impossible`] as a rule.
+
+use crate::browser::BrowserFamily;
+use crate::catalog;
+use fp_types::{AttrId, AttrValue};
+
+/// Oracle verdict for a value combination.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Plausibility {
+    /// The combination occurs on real devices.
+    Valid,
+    /// The combination cannot occur on any real device.
+    Impossible,
+    /// The catalogue has no knowledge about this pair.
+    Unknown,
+}
+
+/// Stateless façade over the catalogue knowledge.
+pub struct ValidityOracle;
+
+impl ValidityOracle {
+    /// Can `(attr_a, value_a)` and `(attr_b, value_b)` coexist in one real
+    /// browser fingerprint? Order-insensitive.
+    pub fn judge(a: AttrId, va: &AttrValue, b: AttrId, vb: &AttrValue) -> Plausibility {
+        // Normalise the order so each rule is written once.
+        if (b as u8) < (a as u8) {
+            return Self::judge(b, vb, a, va);
+        }
+        use AttrId::*;
+        match (a, b) {
+            (UaDevice, ScreenResolution) => Self::device_resolution(va, vb),
+            (UaDevice, TouchSupport) => Self::device_touch(va, vb),
+            (UaDevice, MaxTouchPoints) => Self::device_touch_points(va, vb),
+            (UaDevice, ColorDepth) => Self::device_color_depth(va, vb),
+            (UaDevice, ColorGamut) => Self::device_color_gamut(va, vb),
+            (UaDevice, DeviceMemory) => Self::device_memory(va, vb),
+            (UaDevice, HardwareConcurrency) => Self::device_cores(va, vb),
+            (UaDevice, Platform) => Self::device_platform(va, vb),
+            (UaBrowser, UaOs) => Self::browser_os(va, vb),
+            (UaBrowser, Vendor) => Self::browser_vendor(va, vb),
+            (UaBrowser, Platform) => Self::browser_platform(va, vb),
+            (UaBrowser, ProductSub) => Self::browser_product_sub(va, vb),
+            (UaBrowser, SecChUa) => Self::browser_client_hints(va),
+            (UaOs, Platform) => Self::os_platform(va, vb),
+            (UaOs, SecChUaPlatform) => Self::os_ch_platform(va, vb),
+            (Platform, Vendor) => Self::platform_vendor(va, vb),
+            (Platform, SecChUaPlatform) => Self::platform_ch_platform(va, vb),
+            (Language, AcceptLanguage) | (Languages, AcceptLanguage) => {
+                Self::language_accept_language(va, vb)
+            }
+            (UaOs, MonospaceWidth) => Plausibility::Unknown,
+            _ => Plausibility::Unknown,
+        }
+    }
+
+    fn device_resolution(dev: &AttrValue, res: &AttrValue) -> Plausibility {
+        let (Some(dev), Some(r)) = (dev.as_str(), res.as_resolution()) else {
+            return Plausibility::Unknown;
+        };
+        match dev {
+            "iPhone" => bool_verdict(catalog::is_real_iphone_resolution(r)),
+            "iPad" => bool_verdict(catalog::is_real_ipad_resolution(r)),
+            "Mac" => bool_verdict(r.0 >= 1024 && r.1 >= 640 && r.0 >= r.1),
+            _ => match catalog::android_model(dev) {
+                Some(m) => bool_verdict(m.resolution == r || (m.resolution.1, m.resolution.0) == r),
+                None => Plausibility::Unknown,
+            },
+        }
+    }
+
+    fn device_touch(dev: &AttrValue, touch: &AttrValue) -> Plausibility {
+        let (Some(dev), Some(t)) = (dev.as_str(), touch.as_str()) else {
+            return Plausibility::Unknown;
+        };
+        let has_touch = t != "None";
+        match dev {
+            "iPhone" | "iPad" => bool_verdict(has_touch),
+            "Mac" => bool_verdict(!has_touch), // no touch-screen Mac exists
+            dev if catalog::android_model(dev).is_some() => bool_verdict(has_touch),
+            _ => Plausibility::Unknown, // Windows desktops may have touch screens
+        }
+    }
+
+    fn device_touch_points(dev: &AttrValue, mtp: &AttrValue) -> Plausibility {
+        let (Some(dev), Some(n)) = (dev.as_str(), mtp.as_int()) else {
+            return Plausibility::Unknown;
+        };
+        match dev {
+            // Real iPhones/iPads report exactly 5 simultaneous touch points.
+            "iPhone" | "iPad" => bool_verdict(n == 5),
+            "Mac" => bool_verdict(n == 0),
+            dev if catalog::android_model(dev).is_some() => bool_verdict(n == 5 || n == 10),
+            _ => Plausibility::Unknown,
+        }
+    }
+
+    fn device_color_depth(dev: &AttrValue, depth: &AttrValue) -> Plausibility {
+        let (Some(dev), Some(d)) = (dev.as_str(), depth.as_int()) else {
+            return Plausibility::Unknown;
+        };
+        match dev {
+            // iOS reports 32-bit; the paper flags (iPhone, 16) / (iPad, 16).
+            "iPhone" | "iPad" => bool_verdict(d == 32),
+            "Mac" => bool_verdict(d == 24 || d == 30),
+            dev if catalog::android_model(dev).is_some() => bool_verdict(d == 24 || d == 32),
+            _ => Plausibility::Unknown,
+        }
+    }
+
+    fn device_color_gamut(dev: &AttrValue, gamut: &AttrValue) -> Plausibility {
+        let (Some(dev), Some(g)) = (dev.as_str(), gamut.as_str()) else {
+            return Plausibility::Unknown;
+        };
+        match dev {
+            "iPhone" | "iPad" | "Mac" => bool_verdict(g == "p3" || g == "srgb"),
+            dev if catalog::android_model(dev).is_some() => {
+                // The paper flags mid-range Samsungs claiming (p3, rec2020).
+                bool_verdict(g == "srgb" || g == "p3")
+            }
+            _ => Plausibility::Unknown,
+        }
+    }
+
+    fn device_memory(dev: &AttrValue, mem: &AttrValue) -> Plausibility {
+        let (Some(dev), Some(m)) = (dev.as_str(), mem.as_f64()) else {
+            return Plausibility::Unknown;
+        };
+        if !catalog::DEVICE_MEMORY_LADDER.contains(&m) {
+            return Plausibility::Impossible; // the API clamps to the ladder
+        }
+        match dev {
+            // Safari has no deviceMemory API, so *any* reported value on an
+            // iPhone/iPad UA means Chrome-iOS — which is WebKit and also
+            // lacks the API. Impossible.
+            "iPhone" | "iPad" => Plausibility::Impossible,
+            dev => match catalog::android_model(dev) {
+                Some(model) => bool_verdict((m - model.device_memory).abs() < 1e-9),
+                None => Plausibility::Unknown,
+            },
+        }
+    }
+
+    fn device_cores(dev: &AttrValue, cores: &AttrValue) -> Plausibility {
+        let (Some(dev), Some(c)) = (dev.as_str(), cores.as_int()) else {
+            return Plausibility::Unknown;
+        };
+        match dev {
+            "iPhone" => bool_verdict(catalog::IPHONE_CORES.iter().any(|&k| i64::from(k) == c)),
+            "iPad" => bool_verdict(catalog::IPAD_CORES.iter().any(|&k| i64::from(k) == c)),
+            "Mac" => bool_verdict((2..=24).contains(&c)),
+            dev => match catalog::android_model(dev) {
+                Some(m) => bool_verdict(i64::from(m.cores) == c),
+                None => Plausibility::Unknown,
+            },
+        }
+    }
+
+    fn device_platform(dev: &AttrValue, plat: &AttrValue) -> Plausibility {
+        let (Some(dev), Some(p)) = (dev.as_str(), plat.as_str()) else {
+            return Plausibility::Unknown;
+        };
+        match dev {
+            "iPhone" => bool_verdict(p == "iPhone"),
+            "iPad" => bool_verdict(p == "iPad" || p == "MacIntel"), // iPadOS 13+ masquerades
+            "Mac" => bool_verdict(p == "MacIntel"),
+            dev if catalog::android_model(dev).is_some() => bool_verdict(p.starts_with("Linux arm")),
+            _ => Plausibility::Unknown,
+        }
+    }
+
+    /// Client hints (`Sec-CH-UA*`) are emitted by Chromium engines only.
+    /// Any value of the header under a non-Chromium UA is a leak from the
+    /// real (Chromium) runtime underneath the lie.
+    fn browser_client_hints(browser: &AttrValue) -> Plausibility {
+        let Some(b) = browser.as_str() else {
+            return Plausibility::Unknown;
+        };
+        match family_by_name(b) {
+            Some(f) => bool_verdict(f.is_chromium()),
+            None => Plausibility::Unknown,
+        }
+    }
+
+    /// `Sec-CH-UA-Platform` is low-entropy but truthful; it must agree with
+    /// the UA's OS.
+    fn os_ch_platform(os: &AttrValue, ch: &AttrValue) -> Plausibility {
+        let (Some(o), Some(c)) = (os.as_str(), ch.as_str()) else {
+            return Plausibility::Unknown;
+        };
+        let expected = match o {
+            "Windows" => "Windows",
+            "Mac OS X" => "macOS",
+            "Linux" => "Linux",
+            "Android" => "Android",
+            "iOS" => return Plausibility::Impossible, // no Chromium on iOS sends hints
+            _ => return Plausibility::Unknown,
+        };
+        bool_verdict(c == expected)
+    }
+
+    /// … and with `navigator.platform`.
+    fn platform_ch_platform(platform: &AttrValue, ch: &AttrValue) -> Plausibility {
+        let (Some(p), Some(c)) = (platform.as_str(), ch.as_str()) else {
+            return Plausibility::Unknown;
+        };
+        match platform_os(p) {
+            Some("Windows") => bool_verdict(c == "Windows"),
+            Some("Mac OS X") => bool_verdict(c == "macOS"),
+            Some("Linux") => bool_verdict(c == "Linux"),
+            Some("Android") => bool_verdict(c == "Android"),
+            Some("iOS") => Plausibility::Impossible,
+            _ => Plausibility::Unknown,
+        }
+    }
+
+    /// Browsers derive `Accept-Language` from the configured language list;
+    /// the primary tags must agree.
+    fn language_accept_language(lang: &AttrValue, accept: &AttrValue) -> Plausibility {
+        let (Some(l), Some(a)) = (lang.as_str(), accept.as_str()) else {
+            return Plausibility::Unknown;
+        };
+        let primary_lang = l.split(',').next().unwrap_or(l).trim();
+        let primary_accept = a.split(',').next().unwrap_or(a).split(';').next().unwrap_or("").trim();
+        if primary_lang.is_empty() || primary_accept.is_empty() {
+            return Plausibility::Unknown;
+        }
+        bool_verdict(primary_lang.eq_ignore_ascii_case(primary_accept))
+    }
+
+    fn browser_os(browser: &AttrValue, os: &AttrValue) -> Plausibility {
+        let (Some(b), Some(o)) = (browser.as_str(), os.as_str()) else {
+            return Plausibility::Unknown;
+        };
+        match family_by_name(b) {
+            Some(f) => bool_verdict(f.valid_os().contains(&o)),
+            None => Plausibility::Unknown,
+        }
+    }
+
+    fn browser_vendor(browser: &AttrValue, vendor: &AttrValue) -> Plausibility {
+        let (Some(b), Some(v)) = (browser.as_str(), vendor.as_str()) else {
+            return Plausibility::Unknown;
+        };
+        match family_by_name(b) {
+            Some(f) => bool_verdict(f.vendor() == v),
+            None => Plausibility::Unknown,
+        }
+    }
+
+    fn browser_product_sub(browser: &AttrValue, ps: &AttrValue) -> Plausibility {
+        let (Some(b), Some(p)) = (browser.as_str(), ps.as_str()) else {
+            return Plausibility::Unknown;
+        };
+        match family_by_name(b) {
+            Some(f) => bool_verdict(f.product_sub() == p),
+            None => Plausibility::Unknown,
+        }
+    }
+
+    fn browser_platform(browser: &AttrValue, plat: &AttrValue) -> Plausibility {
+        let (Some(b), Some(p)) = (browser.as_str(), plat.as_str()) else {
+            return Plausibility::Unknown;
+        };
+        let Some(f) = family_by_name(b) else {
+            return Plausibility::Unknown;
+        };
+        let os = platform_os(p);
+        match os {
+            Some(o) => bool_verdict(f.valid_os().contains(&o)),
+            None => Plausibility::Unknown,
+        }
+    }
+
+    fn os_platform(os: &AttrValue, plat: &AttrValue) -> Plausibility {
+        let (Some(o), Some(p)) = (os.as_str(), plat.as_str()) else {
+            return Plausibility::Unknown;
+        };
+        match platform_os(p) {
+            Some(po) => bool_verdict(po == o),
+            None => Plausibility::Unknown,
+        }
+    }
+
+    fn platform_vendor(plat: &AttrValue, vendor: &AttrValue) -> Plausibility {
+        let (Some(p), Some(v)) = (plat.as_str(), vendor.as_str()) else {
+            return Plausibility::Unknown;
+        };
+        // Apple's vendor string only ever appears on Apple platforms —
+        // Table 6 flags (Linux armv5tejl, Apple Computer, Inc) etc.
+        if v == "Apple Computer, Inc." {
+            return bool_verdict(matches!(p, "iPhone" | "iPad" | "MacIntel"));
+        }
+        if v == "Google Inc." {
+            // Chromium runs everywhere except: there is no Chromium on iOS
+            // reporting Google Inc. (CriOS reports Apple).
+            return bool_verdict(!matches!(p, "iPhone" | "iPad"));
+        }
+        Plausibility::Unknown
+    }
+}
+
+impl ValidityOracle {
+    /// Scan a whole fingerprint for impossible attribute pairs. Used by
+    /// tests (to prove an archetype is or is not a consistent lie) and by
+    /// the miner's confirmation step.
+    pub fn scan_impossible(fp: &fp_types::Fingerprint) -> Vec<(AttrId, AttrId)> {
+        let mut found = Vec::new();
+        let present: Vec<(AttrId, &AttrValue)> = fp.present().collect();
+        for (i, (a, va)) in present.iter().enumerate() {
+            for (b, vb) in present.iter().skip(i + 1) {
+                if Self::judge(*a, va, *b, vb) == Plausibility::Impossible {
+                    found.push((*a, *b));
+                }
+            }
+        }
+        found
+    }
+}
+
+/// Map a `navigator.platform` value to its OS family.
+fn platform_os(p: &str) -> Option<&'static str> {
+    match p {
+        "Win32" | "Win64" => Some("Windows"),
+        "MacIntel" => Some("Mac OS X"),
+        "iPhone" | "iPad" => Some("iOS"),
+        "Linux x86_64" | "Linux i686" => Some("Linux"),
+        p if p.starts_with("Linux arm") || p.starts_with("Linux aarch64") => Some("Android"),
+        _ => None,
+    }
+}
+
+/// Reverse lookup of [`BrowserFamily`] by UA-parser name.
+fn family_by_name(name: &str) -> Option<BrowserFamily> {
+    BrowserFamily::ALL.iter().copied().find(|f| f.name() == name)
+}
+
+fn bool_verdict(ok: bool) -> Plausibility {
+    if ok {
+        Plausibility::Valid
+    } else {
+        Plausibility::Impossible
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_types::AttrValue as V;
+
+    fn judge(a: AttrId, va: V, b: AttrId, vb: V) -> Plausibility {
+        ValidityOracle::judge(a, &va, b, &vb)
+    }
+
+    #[test]
+    fn table6_screen_examples_are_impossible() {
+        // Straight from the paper's Table 6 "Screen" group.
+        assert_eq!(
+            judge(AttrId::UaDevice, V::text("iPhone"), AttrId::ScreenResolution, V::Resolution(1920, 1080)),
+            Plausibility::Impossible
+        );
+        assert_eq!(
+            judge(AttrId::UaDevice, V::text("iPhone"), AttrId::ScreenResolution, V::Resolution(847, 476)),
+            Plausibility::Impossible
+        );
+        assert_eq!(
+            judge(AttrId::UaDevice, V::text("iPad"), AttrId::ScreenResolution, V::Resolution(900, 1600)),
+            Plausibility::Impossible
+        );
+        assert_eq!(
+            judge(AttrId::UaDevice, V::text("SM-S906N"), AttrId::ScreenResolution, V::Resolution(1920, 1080)),
+            Plausibility::Impossible
+        );
+        assert_eq!(
+            judge(AttrId::UaDevice, V::text("iPhone"), AttrId::TouchSupport, V::text("None")),
+            Plausibility::Impossible
+        );
+        assert_eq!(
+            judge(AttrId::UaDevice, V::text("Mac"), AttrId::TouchSupport, V::text("touchEvent/touchStart")),
+            Plausibility::Impossible
+        );
+        assert_eq!(
+            judge(AttrId::UaDevice, V::text("iPhone"), AttrId::MaxTouchPoints, V::Int(0)),
+            Plausibility::Impossible
+        );
+        assert_eq!(
+            judge(AttrId::UaDevice, V::text("iPad"), AttrId::MaxTouchPoints, V::Int(7)),
+            Plausibility::Impossible
+        );
+        assert_eq!(
+            judge(AttrId::UaDevice, V::text("Mac"), AttrId::MaxTouchPoints, V::Int(10)),
+            Plausibility::Impossible
+        );
+        assert_eq!(
+            judge(AttrId::UaDevice, V::text("iPhone"), AttrId::ColorDepth, V::Int(16)),
+            Plausibility::Impossible
+        );
+    }
+
+    #[test]
+    fn table6_device_examples_are_impossible() {
+        assert_eq!(
+            judge(AttrId::UaDevice, V::text("MI PAD 4"), AttrId::DeviceMemory, V::float(8.0)),
+            Plausibility::Impossible,
+            "Mi Pad 4 has 4 GB"
+        );
+        assert_eq!(
+            judge(AttrId::UaDevice, V::text("SM-A515F"), AttrId::DeviceMemory, V::float(1.0)),
+            Plausibility::Impossible
+        );
+        assert_eq!(
+            judge(AttrId::UaDevice, V::text("Redmi Go"), AttrId::DeviceMemory, V::float(8.0)),
+            Plausibility::Impossible
+        );
+        assert_eq!(
+            judge(AttrId::UaDevice, V::text("iPhone"), AttrId::HardwareConcurrency, V::Int(3)),
+            Plausibility::Impossible
+        );
+        assert_eq!(
+            judge(AttrId::UaDevice, V::text("iPhone"), AttrId::HardwareConcurrency, V::Int(32)),
+            Plausibility::Impossible
+        );
+        assert_eq!(
+            judge(AttrId::UaDevice, V::text("Mac"), AttrId::HardwareConcurrency, V::Int(48)),
+            Plausibility::Impossible
+        );
+        assert_eq!(
+            judge(AttrId::UaDevice, V::text("Pixel 2"), AttrId::HardwareConcurrency, V::Int(32)),
+            Plausibility::Impossible
+        );
+    }
+
+    #[test]
+    fn table6_browser_examples_are_impossible() {
+        assert_eq!(
+            judge(AttrId::UaBrowser, V::text("Safari"), AttrId::UaOs, V::text("Linux")),
+            Plausibility::Impossible
+        );
+        assert_eq!(
+            judge(AttrId::UaBrowser, V::text("Samsung Internet"), AttrId::UaOs, V::text("Linux")),
+            Plausibility::Impossible
+        );
+        assert_eq!(
+            judge(AttrId::UaBrowser, V::text("Safari"), AttrId::UaOs, V::text("Windows")),
+            Plausibility::Impossible,
+            "Safari for Windows died in 2012"
+        );
+        assert_eq!(
+            judge(AttrId::UaBrowser, V::text("Mobile Safari"), AttrId::Vendor, V::text("Google Inc.")),
+            Plausibility::Impossible
+        );
+        assert_eq!(
+            judge(AttrId::UaBrowser, V::text("Chrome Mobile"), AttrId::Vendor, V::text("Apple Computer, Inc.")),
+            Plausibility::Impossible
+        );
+        assert_eq!(
+            judge(AttrId::UaBrowser, V::text("Chrome Mobile"), AttrId::Platform, V::text("Win32")),
+            Plausibility::Impossible
+        );
+        assert_eq!(
+            judge(AttrId::UaBrowser, V::text("Chrome Mobile iOS"), AttrId::Platform, V::text("Win32")),
+            Plausibility::Impossible
+        );
+        assert_eq!(
+            judge(AttrId::Platform, V::text("Linux armv5tejl"), AttrId::Vendor, V::text("Apple Computer, Inc.")),
+            Plausibility::Impossible
+        );
+        assert_eq!(
+            judge(AttrId::Platform, V::text("Win32"), AttrId::Vendor, V::text("Apple Computer, Inc.")),
+            Plausibility::Impossible
+        );
+    }
+
+    #[test]
+    fn real_configurations_are_valid() {
+        assert_eq!(
+            judge(AttrId::UaDevice, V::text("iPhone"), AttrId::ScreenResolution, V::Resolution(390, 844)),
+            Plausibility::Valid
+        );
+        assert_eq!(
+            judge(AttrId::UaDevice, V::text("iPhone"), AttrId::MaxTouchPoints, V::Int(5)),
+            Plausibility::Valid
+        );
+        assert_eq!(
+            judge(AttrId::UaBrowser, V::text("Mobile Safari"), AttrId::Vendor, V::text("Apple Computer, Inc.")),
+            Plausibility::Valid
+        );
+        assert_eq!(
+            judge(AttrId::UaBrowser, V::text("Chrome"), AttrId::UaOs, V::text("Windows")),
+            Plausibility::Valid
+        );
+        assert_eq!(
+            judge(AttrId::UaDevice, V::text("Pixel 7"), AttrId::HardwareConcurrency, V::Int(8)),
+            Plausibility::Valid
+        );
+        assert_eq!(
+            judge(AttrId::UaDevice, V::text("iPad"), AttrId::Platform, V::text("MacIntel")),
+            Plausibility::Valid,
+            "iPadOS masquerades as MacIntel"
+        );
+    }
+
+    #[test]
+    fn unknown_pairs_stay_unknown() {
+        assert_eq!(
+            judge(AttrId::Canvas, V::text("canvas:ab"), AttrId::Audio, V::float(124.0)),
+            Plausibility::Unknown
+        );
+        assert_eq!(
+            judge(AttrId::UaDevice, V::text("UnknownDevice 9000"), AttrId::HardwareConcurrency, V::Int(7)),
+            Plausibility::Unknown
+        );
+        // Windows desktops can genuinely have touch screens.
+        assert_eq!(
+            judge(AttrId::UaDevice, V::text("Other"), AttrId::TouchSupport, V::text("touchEvent/touchStart")),
+            Plausibility::Unknown
+        );
+    }
+
+    #[test]
+    fn header_layer_rules() {
+        // Client hints under a WebKit UA: the headless-Chromium leak.
+        assert_eq!(
+            judge(AttrId::UaBrowser, V::text("Mobile Safari"), AttrId::SecChUa, V::text("\"Chromium\";v=\"116\"")),
+            Plausibility::Impossible
+        );
+        assert_eq!(
+            judge(AttrId::UaBrowser, V::text("Chrome"), AttrId::SecChUa, V::text("\"Chromium\";v=\"116\"")),
+            Plausibility::Valid
+        );
+        // CH platform must track the UA OS and navigator.platform.
+        assert_eq!(
+            judge(AttrId::UaOs, V::text("iOS"), AttrId::SecChUaPlatform, V::text("Linux")),
+            Plausibility::Impossible
+        );
+        assert_eq!(
+            judge(AttrId::UaOs, V::text("Windows"), AttrId::SecChUaPlatform, V::text("Windows")),
+            Plausibility::Valid
+        );
+        assert_eq!(
+            judge(AttrId::UaOs, V::text("Windows"), AttrId::SecChUaPlatform, V::text("Android")),
+            Plausibility::Impossible
+        );
+        assert_eq!(
+            judge(AttrId::Platform, V::text("Win32"), AttrId::SecChUaPlatform, V::text("macOS")),
+            Plausibility::Impossible
+        );
+        assert_eq!(
+            judge(AttrId::Platform, V::text("MacIntel"), AttrId::SecChUaPlatform, V::text("macOS")),
+            Plausibility::Valid
+        );
+        // Accept-Language must share its primary tag with navigator.language.
+        assert_eq!(
+            judge(AttrId::Language, V::text("fr-FR"), AttrId::AcceptLanguage, V::text("en-US,en;q=0.9")),
+            Plausibility::Impossible
+        );
+        assert_eq!(
+            judge(AttrId::Language, V::text("fr-FR"), AttrId::AcceptLanguage, V::text("fr-FR,fr;q=0.8,en-US;q=0.7")),
+            Plausibility::Valid
+        );
+    }
+
+    #[test]
+    fn judge_is_order_insensitive() {
+        let a = judge(AttrId::UaDevice, V::text("iPhone"), AttrId::MaxTouchPoints, V::Int(0));
+        let b = judge(AttrId::MaxTouchPoints, V::Int(0), AttrId::UaDevice, V::text("iPhone"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ios_device_memory_is_always_impossible() {
+        // No iOS browser exposes the deviceMemory API at all.
+        for mem in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
+            assert_eq!(
+                judge(AttrId::UaDevice, V::text("iPhone"), AttrId::DeviceMemory, V::float(mem)),
+                Plausibility::Impossible
+            );
+        }
+    }
+
+    #[test]
+    fn off_ladder_memory_is_impossible_everywhere() {
+        assert_eq!(
+            judge(AttrId::UaDevice, V::text("Other"), AttrId::DeviceMemory, V::float(3.0)),
+            Plausibility::Impossible
+        );
+    }
+}

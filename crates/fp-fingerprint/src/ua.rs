@@ -1,0 +1,264 @@
+//! User-Agent synthesis and parsing.
+//!
+//! Synthesis renders a (device, browser) pair into a realistic UA string;
+//! parsing recovers the paper's `UA Device` / `UA Browser` / `UA OS`
+//! attributes from *any* UA string (including the lies bots tell). The
+//! parser is intentionally independent of the synthesizer's internals — it
+//! is the honey site's view, and it must classify spoofed UAs the same way
+//! a production UA parser would.
+
+use crate::browser::{BrowserFamily, BrowserProfile};
+use crate::device::{DeviceKind, DeviceProfile};
+
+/// Synthesize a realistic User-Agent string for a device/browser pair.
+pub fn synthesize(device: &DeviceProfile, browser: &BrowserProfile) -> String {
+    let v = browser.major;
+    match browser.family {
+        BrowserFamily::MobileSafari => {
+            let ios = ios_version(v).replace('.', "_");
+            let cpu = if device.kind == DeviceKind::IPad {
+                format!("OS {ios}")
+            } else {
+                format!("iPhone OS {ios}")
+            };
+            let dev = if device.kind == DeviceKind::IPad { "iPad" } else { "iPhone" };
+            format!(
+                "Mozilla/5.0 ({dev}; CPU {cpu} like Mac OS X) AppleWebKit/605.1.15 (KHTML, like Gecko) Version/{v}.0 Mobile/15E148 Safari/604.1"
+            )
+        }
+        BrowserFamily::ChromeMobileIos => {
+            let (dev, cpu) = if device.kind == DeviceKind::IPad {
+                ("iPad", "OS 16_6")
+            } else {
+                ("iPhone", "iPhone OS 16_6")
+            };
+            format!(
+                "Mozilla/5.0 ({dev}; CPU {cpu} like Mac OS X) AppleWebKit/605.1.15 (KHTML, like Gecko) CriOS/{v}.0.0.0 Mobile/15E148 Safari/604.1"
+            )
+        }
+        BrowserFamily::Safari => format!(
+            "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_15_7) AppleWebKit/605.1.15 (KHTML, like Gecko) Version/{v}.0 Safari/605.1.15"
+        ),
+        BrowserFamily::Chrome => {
+            let os = match device.kind {
+                DeviceKind::Mac => "Macintosh; Intel Mac OS X 10_15_7",
+                DeviceKind::LinuxDesktop => "X11; Linux x86_64",
+                _ => "Windows NT 10.0; Win64; x64",
+            };
+            format!("Mozilla/5.0 ({os}) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/{v}.0.0.0 Safari/537.36")
+        }
+        BrowserFamily::Edge => {
+            let os = match device.kind {
+                DeviceKind::Mac => "Macintosh; Intel Mac OS X 10_15_7",
+                _ => "Windows NT 10.0; Win64; x64",
+            };
+            format!("Mozilla/5.0 ({os}) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/{v}.0.0.0 Safari/537.36 Edg/{v}.0.0.0")
+        }
+        BrowserFamily::Firefox => {
+            let os = match device.kind {
+                DeviceKind::Mac => "Macintosh; Intel Mac OS X 10.15".to_owned(),
+                DeviceKind::LinuxDesktop => "X11; Linux x86_64".to_owned(),
+                DeviceKind::AndroidPhone | DeviceKind::AndroidTablet => "Android 13; Mobile".to_owned(),
+                _ => format!("Windows NT 10.0; Win64; x64; rv:{v}.0"),
+            };
+            format!("Mozilla/5.0 ({os}; rv:{v}.0) Gecko/20100101 Firefox/{v}.0")
+        }
+        BrowserFamily::ChromeMobile => {
+            let model = device.android_model.unwrap_or("Pixel 7");
+            let mobile = if device.kind == DeviceKind::AndroidTablet { "" } else { " Mobile" };
+            format!(
+                "Mozilla/5.0 (Linux; Android 13; {model}) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/{v}.0.0.0{mobile} Safari/537.36"
+            )
+        }
+        BrowserFamily::SamsungInternet => {
+            let model = device.android_model.unwrap_or("SM-G991B");
+            format!(
+                "Mozilla/5.0 (Linux; Android 13; {model}) AppleWebKit/537.36 (KHTML, like Gecko) SamsungBrowser/{v}.0 Chrome/115.0.0.0 Mobile Safari/537.36"
+            )
+        }
+        BrowserFamily::MiuiBrowser => {
+            let model = device.android_model.unwrap_or("M2006C3MG");
+            format!(
+                "Mozilla/5.0 (Linux; U; Android 12; {model}) AppleWebKit/537.36 (KHTML, like Gecko) Version/4.0 Chrome/110.0.0.0 Mobile Safari/537.36 XiaoMi/MiuiBrowser/{v}.1.30"
+            )
+        }
+    }
+}
+
+fn ios_version(safari_major: u16) -> String {
+    format!("{}.6", safari_major.clamp(14, 17))
+}
+
+/// What a UA parser recovers from a User-Agent string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsedUa {
+    /// `UA Device`: `iPhone`, `iPad`, `Mac`, a model string, or `Other`.
+    pub device: String,
+    /// `UA Browser` family name.
+    pub browser: String,
+    /// `UA OS` name.
+    pub os: String,
+}
+
+/// Parse a User-Agent string into the paper's three UA attributes.
+///
+/// Deliberately forgiving: bots send arbitrary UAs and the parser must
+/// classify them like a production parser (uap-core conventions) would.
+pub fn parse_user_agent(ua: &str) -> ParsedUa {
+    let browser = if ua.contains("CriOS/") {
+        "Chrome Mobile iOS"
+    } else if ua.contains("FxiOS/") {
+        "Firefox iOS"
+    } else if ua.contains("SamsungBrowser/") {
+        "Samsung Internet"
+    } else if ua.contains("MiuiBrowser/") {
+        "MiuiBrowser"
+    } else if ua.contains("Edg/") || ua.contains("Edge/") {
+        "Edge"
+    } else if ua.contains("Firefox/") {
+        "Firefox"
+    } else if ua.contains("Chrome/") {
+        if ua.contains("Android") {
+            "Chrome Mobile"
+        } else {
+            "Chrome"
+        }
+    } else if ua.contains("Safari/") && ua.contains("Version/") {
+        if ua.contains("iPhone") || ua.contains("iPad") {
+            "Mobile Safari"
+        } else {
+            "Safari"
+        }
+    } else {
+        "Other"
+    };
+
+    // iPad before iPhone: iPad UAs may still contain "iPhone OS".
+    let (device, os) = if ua.contains("iPad") {
+        ("iPad".to_owned(), "iOS")
+    } else if ua.contains("iPhone") {
+        ("iPhone".to_owned(), "iOS")
+    } else if ua.contains("Android") {
+        (android_device_from_ua(ua), "Android")
+    } else if ua.contains("Macintosh") || ua.contains("Mac OS X") {
+        ("Mac".to_owned(), "Mac OS X")
+    } else if ua.contains("Windows") {
+        ("Other".to_owned(), "Windows")
+    } else if ua.contains("Linux") || ua.contains("X11") {
+        ("Other".to_owned(), "Linux")
+    } else {
+        ("Other".to_owned(), "Other")
+    };
+
+    ParsedUa {
+        device,
+        browser: browser.to_owned(),
+        os: os.to_owned(),
+    }
+}
+
+/// Extract the device model from an Android UA: the last `;`-separated field
+/// of the parenthesised system block, with any `Build/...` suffix dropped.
+fn android_device_from_ua(ua: &str) -> String {
+    let Some(open) = ua.find('(') else {
+        return "Other".to_owned();
+    };
+    let Some(close) = ua[open..].find(')') else {
+        return "Other".to_owned();
+    };
+    let block = &ua[open + 1..open + close];
+    let last = block.split(';').next_back().unwrap_or("").trim();
+    let model = last.split(" Build").next().unwrap_or(last).trim();
+    if model.is_empty() || model == "U" || model.starts_with("Android") {
+        "Other".to_owned()
+    } else {
+        model.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_types::Splittable;
+
+    fn profile(kind: DeviceKind, family: BrowserFamily) -> (DeviceProfile, BrowserProfile) {
+        let mut rng = Splittable::new(77);
+        let d = DeviceProfile::sample(kind, &mut rng);
+        let b = BrowserProfile::contemporary(family, &mut rng);
+        (d, b)
+    }
+
+    #[test]
+    fn synthesis_parses_back_iphone_safari() {
+        let (d, b) = profile(DeviceKind::IPhone, BrowserFamily::MobileSafari);
+        let ua = synthesize(&d, &b);
+        let p = parse_user_agent(&ua);
+        assert_eq!(p.device, "iPhone");
+        assert_eq!(p.browser, "Mobile Safari");
+        assert_eq!(p.os, "iOS");
+    }
+
+    #[test]
+    fn synthesis_parses_back_all_valid_pairs() {
+        for kind in DeviceKind::ALL {
+            for (family, _) in BrowserFamily::defaults_for(kind) {
+                let (d, b) = profile(kind, *family);
+                let ua = synthesize(&d, &b);
+                let p = parse_user_agent(&ua);
+                assert_eq!(p.os, kind.ua_os(), "os mismatch for {kind:?}/{family:?}: {ua}");
+                assert_eq!(p.browser, family.name(), "browser mismatch for {kind:?}/{family:?}: {ua}");
+            }
+        }
+    }
+
+    #[test]
+    fn android_model_extraction() {
+        let ua = "Mozilla/5.0 (Linux; Android 13; SM-S906N Build/TP1A) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/116.0.0.0 Mobile Safari/537.36";
+        let p = parse_user_agent(ua);
+        assert_eq!(p.device, "SM-S906N");
+        assert_eq!(p.browser, "Chrome Mobile");
+        assert_eq!(p.os, "Android");
+    }
+
+    #[test]
+    fn desktop_is_other() {
+        let p = parse_user_agent(
+            "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/116.0.0.0 Safari/537.36",
+        );
+        assert_eq!(p.device, "Other");
+        assert_eq!(p.os, "Windows");
+        assert_eq!(p.browser, "Chrome");
+    }
+
+    #[test]
+    fn crios_detected_before_safari() {
+        let p = parse_user_agent(
+            "Mozilla/5.0 (iPhone; CPU iPhone OS 16_6 like Mac OS X) AppleWebKit/605.1.15 (KHTML, like Gecko) CriOS/116.0.0.0 Mobile/15E148 Safari/604.1",
+        );
+        assert_eq!(p.browser, "Chrome Mobile iOS");
+        assert_eq!(p.device, "iPhone");
+    }
+
+    #[test]
+    fn edge_detected_before_chrome() {
+        let p = parse_user_agent(
+            "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/116.0.0.0 Safari/537.36 Edg/116.0.0.0",
+        );
+        assert_eq!(p.browser, "Edge");
+    }
+
+    #[test]
+    fn garbage_ua_is_other() {
+        let p = parse_user_agent("curl/8.1.2");
+        assert_eq!(p.device, "Other");
+        assert_eq!(p.browser, "Other");
+        assert_eq!(p.os, "Other");
+    }
+
+    #[test]
+    fn malformed_android_block_is_other() {
+        assert_eq!(android_device_from_ua("Mozilla/5.0 Android"), "Other");
+        assert_eq!(android_device_from_ua("Mozilla/5.0 (Linux; Android 13"), "Other");
+        assert_eq!(android_device_from_ua("Mozilla/5.0 (Linux; Android 13; )"), "Other");
+    }
+}

@@ -1,0 +1,22 @@
+//! The honey-site architecture (Section 4, Figures 1 and 3).
+//!
+//! * [`site::HoneySite`] — multiple versions of one site distinguished only
+//!   by URL token; requests without a registered token are **not recorded**
+//!   (that is the ground-truth guarantee: only the party a token was shared
+//!   with can know it). The site issues the large-random-number first-party
+//!   cookie on first contact, runs both anti-bot services in real time, and
+//!   forwards everything to the store.
+//! * [`store::RequestStore`] — the recorded dataset. Raw IPs never reach
+//!   storage: the pipeline derives what analysis needs (ASN class and
+//!   blocklist facts, geolocation, UTC offset) and keeps a salted hash as
+//!   the address identity (the paper's ethics appendix).
+//! * [`stats`] — campaign statistics: per-service evasion rates (Table 1)
+//!   and the per-day series of Figure 9.
+
+pub mod site;
+pub mod stats;
+pub mod store;
+
+pub use site::HoneySite;
+pub use stats::{DailySeries, ServiceStats};
+pub use store::{RequestStore, StoredRequest};

@@ -1,0 +1,183 @@
+//! The honey site itself: token admission, cookie issuance, the detector
+//! pipeline, and privacy-preserving storage (Figures 1 and 3).
+
+use crate::store::{RequestStore, StoredRequest};
+use fp_antibot::{BotD, DataDome, Detector};
+use fp_netsim::blocklist::{AsnBlocklist, IpBlocklist};
+use fp_netsim::NetDb;
+use fp_types::{mix2, sym, Request, RequestId, Symbol};
+use std::collections::HashSet;
+
+/// A honey site with both anti-bot services integrated.
+pub struct HoneySite {
+    tokens: HashSet<Symbol>,
+    datadome: DataDome,
+    botd: BotD,
+    store: RequestStore,
+    cookie_counter: u64,
+    rejected: u64,
+}
+
+impl Default for HoneySite {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HoneySite {
+    /// A site with no versions registered yet.
+    pub fn new() -> HoneySite {
+        HoneySite {
+            tokens: HashSet::new(),
+            datadome: DataDome::new(),
+            botd: BotD::new(),
+            store: RequestStore::new(),
+            cookie_counter: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Register a site version (share its URL token with one party).
+    pub fn register_token(&mut self, token: Symbol) {
+        self.tokens.insert(token);
+    }
+
+    /// Process one incoming request. Returns the stored id, or `None` when
+    /// the URL carried no registered token (real users and generic crawlers
+    /// stumbling on the domain — not recorded, by design).
+    pub fn ingest(&mut self, mut request: Request) -> Option<RequestId> {
+        if !self.tokens.contains(&request.site_token) {
+            self.rejected += 1;
+            return None;
+        }
+
+        // First contact: set the large random first-party cookie.
+        let cookie = match request.cookie {
+            Some(c) => c,
+            None => {
+                self.cookie_counter += 1;
+                let c = mix2(0xC00_C1E, self.cookie_counter);
+                request.cookie = Some(c);
+                c
+            }
+        };
+
+        // Real-time decisions from both services (Figure 3).
+        let datadome_bot = self.datadome.decide(&request) == fp_antibot::Verdict::Bot;
+        let botd_bot = self.botd.decide(&request) == fp_antibot::Verdict::Bot;
+
+        // Derive network facts, then drop the raw address.
+        let info = NetDb::lookup(request.ip);
+        let record = StoredRequest {
+            id: 0,
+            time: request.time,
+            site_token: request.site_token,
+            ip_hash: NetDb::hash_ip(request.ip),
+            ip_offset_minutes: info.region.offset_minutes,
+            ip_region: sym(&format!("{}/{}", info.region.country, info.region.name)),
+            ip_lat: info.region.lat as f32,
+            ip_lon: info.region.lon as f32,
+            asn: info.asn.asn,
+            asn_flagged: AsnBlocklist::is_flagged(info.asn),
+            ip_blocklisted: IpBlocklist::is_blocked(request.ip),
+            cookie,
+            fingerprint: request.fingerprint,
+            source: request.source,
+            datadome_bot,
+            botd_bot,
+        };
+        Some(self.store.push(record))
+    }
+
+    /// Ingest a batch in order.
+    pub fn ingest_all(&mut self, requests: impl IntoIterator<Item = Request>) {
+        for r in requests {
+            let _ = self.ingest(r);
+        }
+    }
+
+    /// Requests turned away for lacking a token.
+    pub fn rejected_count(&self) -> u64 {
+        self.rejected
+    }
+
+    /// The recorded dataset.
+    pub fn store(&self) -> &RequestStore {
+        &self.store
+    }
+
+    /// Consume the site, keeping the dataset.
+    pub fn into_store(self) -> RequestStore {
+        self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_fingerprint::{BrowserFamily, BrowserProfile, Collector, DeviceKind, DeviceProfile, LocaleSpec};
+    use fp_types::{BehaviorTrace, SimTime, Splittable, TrafficSource};
+    use std::net::Ipv4Addr;
+
+    fn request(token: Symbol, cookie: Option<u64>) -> Request {
+        let mut rng = Splittable::new(1);
+        let d = DeviceProfile::sample(DeviceKind::WindowsDesktop, &mut rng);
+        let b = BrowserProfile::contemporary(BrowserFamily::Chrome, &mut rng);
+        Request {
+            id: 0,
+            time: SimTime::from_day(0, 10),
+            site_token: token,
+            ip: Ipv4Addr::new(73, 9, 9, 9),
+            cookie,
+            fingerprint: Collector::collect(&d, &b, &LocaleSpec::en_us()),
+            behavior: BehaviorTrace::silent(),
+            source: TrafficSource::RealUser,
+        }
+    }
+
+    #[test]
+    fn unregistered_tokens_are_rejected() {
+        let mut site = HoneySite::new();
+        site.register_token(sym("known"));
+        assert!(site.ingest(request(sym("unknown"), None)).is_none());
+        assert!(site.ingest(request(sym("known"), None)).is_some());
+        assert_eq!(site.rejected_count(), 1);
+        assert_eq!(site.store().len(), 1);
+    }
+
+    #[test]
+    fn cookie_is_issued_on_first_contact() {
+        let mut site = HoneySite::new();
+        site.register_token(sym("tok"));
+        let id1 = site.ingest(request(sym("tok"), None)).unwrap();
+        let id2 = site.ingest(request(sym("tok"), None)).unwrap();
+        let c1 = site.store().get(id1).unwrap().cookie;
+        let c2 = site.store().get(id2).unwrap().cookie;
+        assert_ne!(c1, c2, "fresh cookie per cookie-less visit");
+        let id3 = site.ingest(request(sym("tok"), Some(777))).unwrap();
+        assert_eq!(site.store().get(id3).unwrap().cookie, 777, "presented cookie kept");
+    }
+
+    #[test]
+    fn raw_ip_never_stored_but_facts_are() {
+        let mut site = HoneySite::new();
+        site.register_token(sym("tok"));
+        let id = site.ingest(request(sym("tok"), None)).unwrap();
+        let r = site.store().get(id).unwrap();
+        assert_eq!(r.ip_hash, NetDb::hash_ip(Ipv4Addr::new(73, 9, 9, 9)));
+        assert_eq!(r.asn, 7922, "Comcast prefix");
+        assert!(!r.asn_flagged, "residential ASN unflagged");
+        assert!(r.ip_region.as_str().starts_with("United States"));
+    }
+
+    #[test]
+    fn detectors_run_in_pipeline() {
+        let mut site = HoneySite::new();
+        site.register_token(sym("tok"));
+        // Silent desktop: DataDome flags it, BotD passes (plugins present).
+        let id = site.ingest(request(sym("tok"), None)).unwrap();
+        let r = site.store().get(id).unwrap();
+        assert!(r.datadome_bot);
+        assert!(!r.botd_bot);
+    }
+}

@@ -1,0 +1,209 @@
+//! Campaign statistics: Table 1 rates and the Figure 9 series.
+
+use crate::store::RequestStore;
+use fp_types::{ServiceId, TrafficSource, STUDY_DAYS};
+use std::collections::HashSet;
+
+/// Per-service counts and evasion rates (one Table 1 row).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServiceStats {
+    pub id: ServiceId,
+    pub requests: u64,
+    pub dd_evasion: f64,
+    pub botd_evasion: f64,
+}
+
+/// Compute Table 1 from a recorded store.
+pub fn per_service(store: &RequestStore) -> Vec<ServiceStats> {
+    let mut counts = vec![(0u64, 0u64, 0u64); usize::from(ServiceId::COUNT)];
+    for r in store.iter() {
+        if let TrafficSource::Bot(id) = r.source {
+            let slot = &mut counts[usize::from(id.0) - 1];
+            slot.0 += 1;
+            slot.1 += u64::from(r.evaded_datadome());
+            slot.2 += u64::from(r.evaded_botd());
+        }
+    }
+    ServiceId::all()
+        .zip(counts)
+        .filter(|(_, (n, _, _))| *n > 0)
+        .map(|(id, (n, dd, botd))| ServiceStats {
+            id,
+            requests: n,
+            dd_evasion: dd as f64 / n as f64,
+            botd_evasion: botd as f64 / n as f64,
+        })
+        .collect()
+}
+
+/// Overall bot-traffic evasion rates `(datadome, botd)`.
+pub fn overall_evasion(store: &RequestStore) -> (f64, f64) {
+    let mut n = 0u64;
+    let mut dd = 0u64;
+    let mut botd = 0u64;
+    for r in store.iter().filter(|r| r.source.is_bot()) {
+        n += 1;
+        dd += u64::from(r.evaded_datadome());
+        botd += u64::from(r.evaded_botd());
+    }
+    if n == 0 {
+        return (0.0, 0.0);
+    }
+    (dd as f64 / n as f64, botd as f64 / n as f64)
+}
+
+/// One day of the Figure 9 series.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DailySeries {
+    pub requests: u64,
+    pub unique_ips: u64,
+    pub unique_cookies: u64,
+    pub unique_fingerprints: u64,
+}
+
+/// Per-day accumulator: request count plus the unique-IP/cookie/fingerprint
+/// sets.
+type DayAccumulator = (u64, HashSet<u64>, HashSet<u64>, HashSet<u64>);
+
+/// The full Figure 9 series (per day of the study window).
+pub fn daily_series(store: &RequestStore) -> Vec<DailySeries> {
+    let mut days: Vec<DayAccumulator> =
+        (0..STUDY_DAYS).map(|_| (0, HashSet::new(), HashSet::new(), HashSet::new())).collect();
+    for r in store.iter().filter(|r| r.source.is_bot()) {
+        let day = r.time.day().min(STUDY_DAYS - 1) as usize;
+        let slot = &mut days[day];
+        slot.0 += 1;
+        slot.1.insert(r.ip_hash);
+        slot.2.insert(r.cookie);
+        slot.3.insert(r.fingerprint.digest());
+    }
+    days.into_iter()
+        .map(|(requests, ips, cookies, fps)| DailySeries {
+            requests,
+            unique_ips: ips.len() as u64,
+            unique_cookies: cookies.len() as u64,
+            unique_fingerprints: fps.len() as u64,
+        })
+        .collect()
+}
+
+/// §5.1 blocklist coverage and conditional evasion.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BlocklistStats {
+    /// Fraction of bot requests from blocklist-flagged ASNs.
+    pub asn_flagged_share: f64,
+    /// DataDome evasion among flagged-ASN requests.
+    pub asn_dd_evasion: f64,
+    /// BotD evasion among flagged-ASN requests.
+    pub asn_botd_evasion: f64,
+    /// Fraction of bot requests whose IP is on the reputation list.
+    pub ip_blocked_share: f64,
+    /// DataDome evasion among blocked-IP requests.
+    pub ip_dd_evasion: f64,
+    /// BotD evasion among blocked-IP requests.
+    pub ip_botd_evasion: f64,
+}
+
+/// Compute the §5.1 statistics.
+pub fn blocklist_stats(store: &RequestStore) -> BlocklistStats {
+    let mut total = 0u64;
+    let mut asn = (0u64, 0u64, 0u64);
+    let mut ip = (0u64, 0u64, 0u64);
+    for r in store.iter().filter(|r| r.source.is_bot()) {
+        total += 1;
+        if r.asn_flagged {
+            asn.0 += 1;
+            asn.1 += u64::from(r.evaded_datadome());
+            asn.2 += u64::from(r.evaded_botd());
+        }
+        if r.ip_blocklisted {
+            ip.0 += 1;
+            ip.1 += u64::from(r.evaded_datadome());
+            ip.2 += u64::from(r.evaded_botd());
+        }
+    }
+    let frac = |num: u64, den: u64| if den == 0 { 0.0 } else { num as f64 / den as f64 };
+    BlocklistStats {
+        asn_flagged_share: frac(asn.0, total),
+        asn_dd_evasion: frac(asn.1, asn.0),
+        asn_botd_evasion: frac(asn.2, asn.0),
+        ip_blocked_share: frac(ip.0, total),
+        ip_dd_evasion: frac(ip.1, ip.0),
+        ip_botd_evasion: frac(ip.2, ip.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoredRequest;
+    use fp_types::{sym, Fingerprint, SimTime};
+
+    fn record(service: u8, day: u32, dd_bot: bool, botd_bot: bool, flagged: bool) -> StoredRequest {
+        StoredRequest {
+            id: 0,
+            time: SimTime::from_day(day, 0),
+            site_token: sym("t"),
+            ip_hash: u64::from(day) * 1000 + u64::from(service),
+            ip_offset_minutes: 0,
+            ip_region: sym("X/Y"),
+            ip_lat: 0.0,
+            ip_lon: 0.0,
+            asn: 1,
+            asn_flagged: flagged,
+            ip_blocklisted: flagged,
+            cookie: u64::from(service),
+            fingerprint: Fingerprint::new(),
+            source: TrafficSource::Bot(ServiceId(service)),
+            datadome_bot: dd_bot,
+            botd_bot,
+        }
+    }
+
+    #[test]
+    fn per_service_rates() {
+        let mut store = RequestStore::new();
+        store.push(record(1, 0, true, false, true));
+        store.push(record(1, 0, false, false, true));
+        store.push(record(2, 1, true, true, false));
+        let stats = per_service(&store);
+        assert_eq!(stats.len(), 2);
+        let s1 = stats.iter().find(|s| s.id == ServiceId(1)).unwrap();
+        assert_eq!(s1.requests, 2);
+        assert!((s1.dd_evasion - 0.5).abs() < 1e-9);
+        assert!((s1.botd_evasion - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overall_rates() {
+        let mut store = RequestStore::new();
+        store.push(record(1, 0, true, false, false));
+        store.push(record(2, 0, false, true, false));
+        let (dd, botd) = overall_evasion(&store);
+        assert!((dd - 0.5).abs() < 1e-9);
+        assert!((botd - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn daily_series_counts_uniques() {
+        let mut store = RequestStore::new();
+        store.push(record(1, 3, true, true, false));
+        store.push(record(1, 3, true, true, false)); // same cookie+fp, same ip? different hash
+        store.push(record(2, 3, true, true, false));
+        let series = daily_series(&store);
+        assert_eq!(series[3].requests, 3);
+        assert_eq!(series[3].unique_cookies, 2);
+        assert_eq!(series[0].requests, 0);
+    }
+
+    #[test]
+    fn blocklist_shares() {
+        let mut store = RequestStore::new();
+        store.push(record(1, 0, false, true, true));
+        store.push(record(1, 0, true, true, false));
+        let b = blocklist_stats(&store);
+        assert!((b.asn_flagged_share - 0.5).abs() < 1e-9);
+        assert!((b.asn_dd_evasion - 1.0).abs() < 1e-9);
+        assert!((b.asn_botd_evasion - 0.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,235 @@
+//! The recorded dataset.
+
+use fp_types::{CookieId, Fingerprint, RequestId, SimTime, Symbol, TrafficSource};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+
+/// One stored request: everything later analysis reads, nothing more. The
+/// raw IP is replaced by a salted hash plus the derived network facts.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StoredRequest {
+    pub id: RequestId,
+    pub time: SimTime,
+    pub site_token: Symbol,
+    /// Salted hash of the source address (identity, not locality).
+    pub ip_hash: u64,
+    /// UTC offset (JS sign convention) of the IP's geolocation.
+    pub ip_offset_minutes: i32,
+    /// MaxMind-style `Country/Region` label of the IP's geolocation.
+    pub ip_region: Symbol,
+    /// Representative coordinates of the IP's region (Figure 8).
+    pub ip_lat: f32,
+    pub ip_lon: f32,
+    /// Owning AS number.
+    pub asn: u32,
+    /// On the public datacenter-ASN blocklist?
+    pub asn_flagged: bool,
+    /// On the per-address reputation blocklist?
+    pub ip_blocklisted: bool,
+    /// First-party cookie (issued at first contact if absent).
+    pub cookie: CookieId,
+    /// The FingerprintJS attribute vector.
+    pub fingerprint: Fingerprint,
+    /// Ground truth from the URL-token design.
+    pub source: TrafficSource,
+    /// DataDome's real-time verdict (true = classified bot).
+    pub datadome_bot: bool,
+    /// BotD's real-time verdict (true = classified bot).
+    pub botd_bot: bool,
+}
+
+impl StoredRequest {
+    /// Did the request evade DataDome?
+    pub fn evaded_datadome(&self) -> bool {
+        !self.datadome_bot
+    }
+
+    /// Did the request evade BotD?
+    pub fn evaded_botd(&self) -> bool {
+        !self.botd_bot
+    }
+}
+
+/// The campaign dataset with the indexes analysis needs.
+#[derive(Default)]
+pub struct RequestStore {
+    requests: Vec<StoredRequest>,
+    by_cookie: HashMap<CookieId, Vec<usize>>,
+    by_ip: HashMap<u64, Vec<usize>>,
+}
+
+impl RequestStore {
+    /// Empty store.
+    pub fn new() -> RequestStore {
+        RequestStore::default()
+    }
+
+    /// Append a record (assigns the dense id).
+    pub fn push(&mut self, mut record: StoredRequest) -> RequestId {
+        let id = self.requests.len() as RequestId;
+        record.id = id;
+        self.by_cookie.entry(record.cookie).or_default().push(id as usize);
+        self.by_ip.entry(record.ip_hash).or_default().push(id as usize);
+        self.requests.push(record);
+        id
+    }
+
+    /// Number of stored requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// All records in ingest order.
+    pub fn iter(&self) -> impl Iterator<Item = &StoredRequest> {
+        self.requests.iter()
+    }
+
+    /// Record by id.
+    pub fn get(&self, id: RequestId) -> Option<&StoredRequest> {
+        self.requests.get(id as usize)
+    }
+
+    /// Records sharing a cookie, in ingest order.
+    pub fn with_cookie(&self, cookie: CookieId) -> impl Iterator<Item = &StoredRequest> {
+        self.by_cookie
+            .get(&cookie)
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.requests[i])
+    }
+
+    /// Records sharing an address hash, in ingest order.
+    pub fn with_ip(&self, ip_hash: u64) -> impl Iterator<Item = &StoredRequest> {
+        self.by_ip
+            .get(&ip_hash)
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.requests[i])
+    }
+
+    /// Distinct cookies observed.
+    pub fn cookie_count(&self) -> usize {
+        self.by_cookie.len()
+    }
+
+    /// The cookie with the most requests (Figure 10's device).
+    pub fn top_cookie(&self) -> Option<(CookieId, usize)> {
+        self.by_cookie
+            .iter()
+            .map(|(c, v)| (*c, v.len()))
+            .max_by_key(|(c, n)| (*n, *c))
+    }
+
+    /// Serialise as JSON lines.
+    pub fn write_jsonl<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        for r in &self.requests {
+            serde_json::to_writer(&mut w, r)?;
+            w.write_all(b"\n")?;
+        }
+        Ok(())
+    }
+
+    /// Load from JSON lines (ids are re-assigned densely).
+    pub fn read_jsonl<R: BufRead>(r: R) -> std::io::Result<RequestStore> {
+        let mut store = RequestStore::new();
+        for line in r.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let record: StoredRequest = serde_json::from_str(&line)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            store.push(record);
+        }
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_types::{sym, AttrId, ServiceId};
+
+    fn record(cookie: CookieId, ip_hash: u64) -> StoredRequest {
+        StoredRequest {
+            id: 0,
+            time: SimTime::from_day(1, 0),
+            site_token: sym("tok"),
+            ip_hash,
+            ip_offset_minutes: 480,
+            ip_region: sym("United States of America/California"),
+            ip_lat: 36.7,
+            ip_lon: -119.4,
+            asn: 7922,
+            asn_flagged: false,
+            ip_blocklisted: false,
+            cookie,
+            fingerprint: Fingerprint::new().with(AttrId::UaDevice, "iPhone"),
+            source: TrafficSource::Bot(ServiceId(1)),
+            datadome_bot: false,
+            botd_bot: true,
+        }
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut store = RequestStore::new();
+        for i in 0..10 {
+            let id = store.push(record(i, i * 7));
+            assert_eq!(id, i);
+        }
+        assert_eq!(store.len(), 10);
+        assert_eq!(store.get(3).unwrap().cookie, 3);
+        assert!(store.get(99).is_none());
+    }
+
+    #[test]
+    fn cookie_and_ip_indexes() {
+        let mut store = RequestStore::new();
+        store.push(record(5, 100));
+        store.push(record(5, 101));
+        store.push(record(6, 100));
+        assert_eq!(store.with_cookie(5).count(), 2);
+        assert_eq!(store.with_cookie(6).count(), 1);
+        assert_eq!(store.with_cookie(7).count(), 0);
+        assert_eq!(store.with_ip(100).count(), 2);
+        assert_eq!(store.cookie_count(), 2);
+        assert_eq!(store.top_cookie().unwrap().0, 5);
+    }
+
+    #[test]
+    fn verdict_views() {
+        let r = record(1, 1);
+        assert!(r.evaded_datadome());
+        assert!(!r.evaded_botd());
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let mut store = RequestStore::new();
+        for i in 0..5 {
+            store.push(record(i, i));
+        }
+        let mut buf = Vec::new();
+        store.write_jsonl(&mut buf).unwrap();
+        let loaded = RequestStore::read_jsonl(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(loaded.len(), 5);
+        assert_eq!(loaded.get(2).unwrap().cookie, 2);
+        assert_eq!(
+            loaded.get(0).unwrap().fingerprint.get(AttrId::UaDevice).as_str(),
+            Some("iPhone")
+        );
+    }
+
+    #[test]
+    fn jsonl_rejects_garbage() {
+        let r = RequestStore::read_jsonl(std::io::Cursor::new(b"not json\n".to_vec()));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,278 @@
+//! Feature schema induction and encoding.
+
+use fp_types::{AttrId, AttrValue, Fingerprint};
+use std::collections::HashMap;
+
+/// Sentinel used for "attribute missing" in numeric columns (trees learn
+/// to isolate it; fingerprint APIs being absent is itself a signal — e.g.
+/// `deviceMemory` is missing exactly on non-Chromium engines).
+pub const MISSING: f64 = -1.0e9;
+
+/// Maximum one-hot values per categorical attribute.
+const MAX_CATEGORIES: usize = 10;
+
+#[derive(Clone, Debug)]
+enum ColumnKind {
+    /// Raw numeric value of the attribute.
+    Numeric,
+    /// Indicator for one specific symbol value.
+    OneHot(fp_types::Symbol),
+    /// Indicator for "some value outside the frequent set".
+    OtherBucket,
+    /// Width / height half of a resolution attribute.
+    ResolutionW,
+    ResolutionH,
+}
+
+/// One encoded column.
+#[derive(Clone, Debug)]
+pub struct Column {
+    /// The attribute this column derives from (for grouped importance).
+    pub attr: AttrId,
+    kind: ColumnKind,
+    /// Human-readable name, e.g. `plugins=Chrome PDF Viewer,…` .
+    pub name: String,
+}
+
+/// The induced schema: how a fingerprint becomes a feature vector.
+#[derive(Clone, Debug)]
+pub struct FeatureSchema {
+    columns: Vec<Column>,
+}
+
+impl FeatureSchema {
+    /// Induce a schema from training fingerprints: attribute kinds are
+    /// taken from observed values; categorical attributes contribute their
+    /// `MAX_CATEGORIES` most frequent values as one-hot columns plus an
+    /// other-bucket.
+    pub fn induce<'a>(fingerprints: impl Iterator<Item = &'a Fingerprint>) -> FeatureSchema {
+        #[derive(Default)]
+        struct Probe {
+            numeric: bool,
+            resolution: bool,
+            sym_counts: HashMap<fp_types::Symbol, u64>,
+        }
+        let mut probes: Vec<Probe> = (0..AttrId::COUNT).map(|_| Probe::default()).collect();
+        for fp in fingerprints {
+            for (attr, value) in fp.present() {
+                let probe = &mut probes[attr.index()];
+                match value {
+                    AttrValue::Bool(_) | AttrValue::Int(_) | AttrValue::Milli(_) => probe.numeric = true,
+                    AttrValue::Resolution(_, _) => probe.resolution = true,
+                    AttrValue::Sym(s) => *probe.sym_counts.entry(*s).or_default() += 1,
+                    AttrValue::Missing => {}
+                }
+            }
+        }
+
+        let mut columns = Vec::new();
+        for attr in AttrId::iter() {
+            let probe = &probes[attr.index()];
+            if probe.numeric {
+                columns.push(Column {
+                    attr,
+                    kind: ColumnKind::Numeric,
+                    name: attr.name().to_owned(),
+                });
+            }
+            if probe.resolution {
+                columns.push(Column {
+                    attr,
+                    kind: ColumnKind::ResolutionW,
+                    name: format!("{}.w", attr.name()),
+                });
+                columns.push(Column {
+                    attr,
+                    kind: ColumnKind::ResolutionH,
+                    name: format!("{}.h", attr.name()),
+                });
+            }
+            if !probe.sym_counts.is_empty() {
+                let mut by_freq: Vec<(fp_types::Symbol, u64)> =
+                    probe.sym_counts.iter().map(|(s, c)| (*s, *c)).collect();
+                by_freq.sort_by_key(|(s, c)| (std::cmp::Reverse(*c), s.index()));
+                for (s, _) in by_freq.iter().take(MAX_CATEGORIES) {
+                    columns.push(Column {
+                        attr,
+                        kind: ColumnKind::OneHot(*s),
+                        name: format!("{}={}", attr.name(), truncate(s.as_str())),
+                    });
+                }
+                if by_freq.len() > MAX_CATEGORIES {
+                    columns.push(Column {
+                        attr,
+                        kind: ColumnKind::OtherBucket,
+                        name: format!("{}=<other>", attr.name()),
+                    });
+                }
+            }
+        }
+        FeatureSchema { columns }
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Drop columns whose attribute fails the predicate (e.g. to confine
+    /// the paper-table models to FingerprintJS attributes, excluding the
+    /// TLS extension).
+    pub fn retain_attrs(&mut self, keep: impl Fn(AttrId) -> bool) {
+        self.columns.retain(|c| keep(c.attr));
+    }
+
+    /// Column metadata.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Encode one fingerprint.
+    pub fn encode(&self, fp: &Fingerprint) -> Vec<f64> {
+        let mut row = Vec::with_capacity(self.columns.len());
+        for col in &self.columns {
+            let value = fp.get(col.attr);
+            let x = match (&col.kind, value) {
+                (ColumnKind::Numeric, v) => v.as_f64().unwrap_or(MISSING),
+                (ColumnKind::ResolutionW, AttrValue::Resolution(w, _)) => f64::from(*w),
+                (ColumnKind::ResolutionH, AttrValue::Resolution(_, h)) => f64::from(*h),
+                (ColumnKind::ResolutionW | ColumnKind::ResolutionH, _) => MISSING,
+                (ColumnKind::OneHot(s), AttrValue::Sym(v)) => f64::from(u8::from(v == s)),
+                (ColumnKind::OneHot(_), _) => 0.0,
+                (ColumnKind::OtherBucket, AttrValue::Sym(v)) => {
+                    let frequent = self
+                        .columns
+                        .iter()
+                        .any(|c| c.attr == col.attr && matches!(&c.kind, ColumnKind::OneHot(s) if s == v));
+                    f64::from(u8::from(!frequent))
+                }
+                (ColumnKind::OtherBucket, _) => 0.0,
+            };
+            row.push(x);
+        }
+        row
+    }
+
+    /// Encode many fingerprints into a column-major matrix.
+    pub fn encode_all<'a>(&self, fps: impl Iterator<Item = &'a Fingerprint>) -> Matrix {
+        let mut columns: Vec<Vec<f64>> = (0..self.width()).map(|_| Vec::new()).collect();
+        for fp in fps {
+            let row = self.encode(fp);
+            for (c, x) in row.into_iter().enumerate() {
+                columns[c].push(x);
+            }
+        }
+        let rows = columns.first().map_or(0, Vec::len);
+        Matrix { columns, rows }
+    }
+}
+
+fn truncate(s: &str) -> String {
+    if s.len() > 28 {
+        format!("{}…", &s[..28.min(s.len())])
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Column-major feature matrix.
+pub struct Matrix {
+    pub columns: Vec<Vec<f64>>,
+    pub rows: usize,
+}
+
+impl Matrix {
+    /// One row, materialised (for prediction paths).
+    pub fn row(&self, i: usize) -> Vec<f64> {
+        self.columns.iter().map(|c| c[i]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fps() -> Vec<Fingerprint> {
+        let mut v = Vec::new();
+        for i in 0..20i64 {
+            let device = if i % 2 == 0 { "iPhone" } else { "Mac" };
+            v.push(
+                Fingerprint::new()
+                    .with(AttrId::UaDevice, device)
+                    .with(AttrId::HardwareConcurrency, 2 + i % 6)
+                    .with(AttrId::ScreenResolution, (390u16, 844u16))
+                    .with(AttrId::Webdriver, i % 5 == 0),
+            );
+        }
+        v
+    }
+
+    #[test]
+    fn schema_covers_all_kinds() {
+        let data = fps();
+        let schema = FeatureSchema::induce(data.iter());
+        let names: Vec<&str> = schema.columns().iter().map(|c| c.name.as_str()).collect();
+        assert!(names.contains(&"hardware_concurrency"));
+        assert!(names.contains(&"screen_resolution.w"));
+        assert!(names.contains(&"screen_resolution.h"));
+        assert!(names.contains(&"ua_device=iPhone"));
+        assert!(names.contains(&"ua_device=Mac"));
+        assert!(names.contains(&"webdriver"));
+    }
+
+    #[test]
+    fn encoding_matches_values() {
+        let data = fps();
+        let schema = FeatureSchema::induce(data.iter());
+        let row = schema.encode(&data[0]);
+        let idx = |name: &str| schema.columns().iter().position(|c| c.name == name).unwrap();
+        assert_eq!(row[idx("hardware_concurrency")], 2.0);
+        assert_eq!(row[idx("screen_resolution.w")], 390.0);
+        assert_eq!(row[idx("ua_device=iPhone")], 1.0);
+        assert_eq!(row[idx("ua_device=Mac")], 0.0);
+    }
+
+    #[test]
+    fn missing_encodes_as_sentinel_or_zero() {
+        let data = fps();
+        let schema = FeatureSchema::induce(data.iter());
+        let empty = Fingerprint::new();
+        let row = schema.encode(&empty);
+        for (col, x) in schema.columns().iter().zip(&row) {
+            match &col.kind {
+                ColumnKind::Numeric | ColumnKind::ResolutionW | ColumnKind::ResolutionH => {
+                    assert_eq!(*x, MISSING, "{}", col.name)
+                }
+                _ => assert_eq!(*x, 0.0, "{}", col.name),
+            }
+        }
+    }
+
+    #[test]
+    fn other_bucket_fires_for_rare_values() {
+        let mut data = Vec::new();
+        for i in 0..30 {
+            // 15 distinct rare values after the 10 frequent ones.
+            let val = format!("val{}", i % 25);
+            data.push(Fingerprint::new().with(AttrId::Timezone, val.as_str()));
+        }
+        let schema = FeatureSchema::induce(data.iter());
+        let other = schema
+            .columns()
+            .iter()
+            .position(|c| c.name == "timezone=<other>")
+            .expect("other bucket present");
+        let rare = Fingerprint::new().with(AttrId::Timezone, "never-seen-before");
+        assert_eq!(schema.encode(&rare)[other], 1.0);
+    }
+
+    #[test]
+    fn matrix_shape() {
+        let data = fps();
+        let schema = FeatureSchema::induce(data.iter());
+        let m = schema.encode_all(data.iter());
+        assert_eq!(m.rows, 20);
+        assert_eq!(m.columns.len(), schema.width());
+        assert_eq!(m.row(3).len(), schema.width());
+    }
+}

@@ -1,0 +1,326 @@
+//! Gradient boosting with logistic loss — the XGBoost-substitute
+//! classifier for the evasion models (§5.2.1).
+
+// Index loops here walk several parallel arrays (labels, margins, and the
+// column-major matrix through `row(i)`) — iterator zips would obscure that.
+#![allow(clippy::needless_range_loop)]
+
+use crate::features::Matrix;
+use crate::tree::{Binning, Tree, TreeParams};
+
+/// Boosting hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct GbdtParams {
+    pub rounds: usize,
+    pub learning_rate: f64,
+    pub tree: TreeParams,
+}
+
+impl Default for GbdtParams {
+    fn default() -> Self {
+        GbdtParams {
+            rounds: 30,
+            learning_rate: 0.3,
+            // Depth 5, like the DataDome tree the paper reads out in
+            // Appendix C.
+            tree: TreeParams { max_depth: 5, ..TreeParams::default() },
+        }
+    }
+}
+
+/// A fitted boosted ensemble (binary classification).
+pub struct Gbdt {
+    pub trees: Vec<Tree>,
+    pub params: GbdtParams,
+    pub base_score: f64,
+}
+
+impl Gbdt {
+    /// Train on a column-major matrix and 0/1 labels.
+    pub fn train(matrix: &Matrix, labels: &[f64], params: GbdtParams) -> Gbdt {
+        assert_eq!(matrix.rows, labels.len());
+        assert!(matrix.rows > 0, "empty training set");
+        let binning = Binning::fit(matrix);
+        let rows: Vec<u32> = (0..matrix.rows as u32).collect();
+
+        let pos = labels.iter().sum::<f64>().clamp(1e-6, labels.len() as f64 - 1e-6);
+        let base_score = (pos / (labels.len() as f64 - pos)).ln();
+
+        let mut margin = vec![base_score; matrix.rows];
+        let mut trees = Vec::with_capacity(params.rounds);
+        let mut grad = vec![0.0; matrix.rows];
+        let mut hess = vec![0.0; matrix.rows];
+        for _ in 0..params.rounds {
+            for i in 0..matrix.rows {
+                let p = sigmoid(margin[i]);
+                grad[i] = p - labels[i];
+                hess[i] = (p * (1.0 - p)).max(1e-9);
+            }
+            let tree = Tree::fit(&binning, &grad, &hess, &rows, &params.tree);
+            // Update margins with the new tree.
+            for i in 0..matrix.rows {
+                let row = matrix.row(i);
+                margin[i] += params.learning_rate * tree.predict(&row);
+            }
+            trees.push(tree);
+        }
+        Gbdt { trees, params, base_score }
+    }
+
+    /// Raw margin for one encoded row.
+    pub fn margin(&self, row: &[f64]) -> f64 {
+        self.base_score
+            + self.params.learning_rate * self.trees.iter().map(|t| t.predict(row)).sum::<f64>()
+    }
+
+    /// Probability of the positive class.
+    pub fn predict_proba(&self, row: &[f64]) -> f64 {
+        sigmoid(self.margin(row))
+    }
+
+    /// Hard 0/1 prediction at the 0.5 threshold.
+    pub fn predict(&self, row: &[f64]) -> bool {
+        self.margin(row) > 0.0
+    }
+
+    /// Accuracy over a matrix.
+    pub fn accuracy(&self, matrix: &Matrix, labels: &[f64]) -> f64 {
+        assert_eq!(matrix.rows, labels.len());
+        let mut correct = 0usize;
+        for i in 0..matrix.rows {
+            let row = matrix.row(i);
+            if self.predict(&row) == (labels[i] > 0.5) {
+                correct += 1;
+            }
+        }
+        correct as f64 / matrix.rows as f64
+    }
+
+    /// Area under the ROC curve (rank statistic over predicted margins).
+    pub fn auc(&self, matrix: &Matrix, labels: &[f64]) -> f64 {
+        assert_eq!(matrix.rows, labels.len());
+        let mut scored: Vec<(f64, bool)> = (0..matrix.rows)
+            .map(|i| (self.margin(&matrix.row(i)), labels[i] > 0.5))
+            .collect();
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        // Mann–Whitney U via summed positive ranks (ties get mean ranks).
+        let mut rank_sum_pos = 0.0f64;
+        let mut positives = 0u64;
+        let mut i = 0usize;
+        while i < scored.len() {
+            let mut j = i;
+            while j + 1 < scored.len() && scored[j + 1].0 == scored[i].0 {
+                j += 1;
+            }
+            let mean_rank = (i + j) as f64 / 2.0 + 1.0;
+            for item in &scored[i..=j] {
+                if item.1 {
+                    rank_sum_pos += mean_rank;
+                    positives += 1;
+                }
+            }
+            i = j + 1;
+        }
+        let negatives = scored.len() as u64 - positives;
+        if positives == 0 || negatives == 0 {
+            return 0.5;
+        }
+        (rank_sum_pos - positives as f64 * (positives as f64 + 1.0) / 2.0)
+            / (positives as f64 * negatives as f64)
+    }
+
+    /// Confusion matrix `(tp, fp, tn, fn)` at the 0.5 threshold, with the
+    /// positive class being label 1.
+    pub fn confusion(&self, matrix: &Matrix, labels: &[f64]) -> (u64, u64, u64, u64) {
+        assert_eq!(matrix.rows, labels.len());
+        let (mut tp, mut fp, mut tn, mut fneg) = (0u64, 0u64, 0u64, 0u64);
+        for i in 0..matrix.rows {
+            let pred = self.predict(&matrix.row(i));
+            match (pred, labels[i] > 0.5) {
+                (true, true) => tp += 1,
+                (true, false) => fp += 1,
+                (false, false) => tn += 1,
+                (false, true) => fneg += 1,
+            }
+        }
+        (tp, fp, tn, fneg)
+    }
+
+    /// Per-feature Saabas attribution for one row (sums over trees,
+    /// scaled by the learning rate).
+    pub fn attribution(&self, row: &[f64], width: usize) -> Vec<f64> {
+        let mut out = vec![0.0; width];
+        for tree in &self.trees {
+            tree.path_attribution(row, &mut out);
+        }
+        for x in &mut out {
+            *x *= self.params.learning_rate;
+        }
+        out
+    }
+
+    /// Per-feature total split gain.
+    pub fn gain(&self, width: usize) -> Vec<f64> {
+        let mut out = vec![0.0; width];
+        for tree in &self.trees {
+            tree.gain_by_feature(&mut out);
+        }
+        out
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Deterministic train/test split by row index hash (the paper's 90/10).
+pub fn train_test_split(rows: usize, test_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for i in 0..rows {
+        if fp_types::unit_f64(fp_types::mix2(seed, i as u64)) < test_fraction {
+            test.push(i);
+        } else {
+            train.push(i);
+        }
+    }
+    (train, test)
+}
+
+/// Select rows of a matrix into a new matrix.
+pub fn select(matrix: &Matrix, rows: &[usize]) -> Matrix {
+    let columns: Vec<Vec<f64>> = matrix
+        .columns
+        .iter()
+        .map(|col| rows.iter().map(|&r| col[r]).collect())
+        .collect();
+    Matrix { columns, rows: rows.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic(n: usize) -> (Matrix, Vec<f64>) {
+        // y = (x0 > 0.5 && x1 < 3) || x2 == 7, with noise feature x3.
+        let mut cols = vec![Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+        let mut y = Vec::new();
+        let mut rng = fp_types::Splittable::new(99);
+        for _ in 0..n {
+            let x0 = rng.next_f64();
+            let x1 = rng.next_below(6) as f64;
+            let x2 = rng.next_below(10) as f64;
+            let x3 = rng.next_f64();
+            cols[0].push(x0);
+            cols[1].push(x1);
+            cols[2].push(x2);
+            cols[3].push(x3);
+            y.push(f64::from(u8::from((x0 > 0.5 && x1 < 3.0) || x2 == 7.0)));
+        }
+        (Matrix { rows: n, columns: cols }, y)
+    }
+
+    #[test]
+    fn learns_composite_rule() {
+        let (m, y) = synthetic(2000);
+        let model = Gbdt::train(&m, &y, GbdtParams { rounds: 20, ..GbdtParams::default() });
+        let acc = model.accuracy(&m, &y);
+        assert!(acc > 0.97, "train accuracy {acc}");
+    }
+
+    #[test]
+    fn generalizes_to_held_out() {
+        let (m, y) = synthetic(3000);
+        let (train, test) = train_test_split(m.rows, 0.1, 7);
+        let m_train = select(&m, &train);
+        let y_train: Vec<f64> = train.iter().map(|&i| y[i]).collect();
+        let m_test = select(&m, &test);
+        let y_test: Vec<f64> = test.iter().map(|&i| y[i]).collect();
+        let model = Gbdt::train(&m_train, &y_train, GbdtParams { rounds: 20, ..GbdtParams::default() });
+        let acc = model.accuracy(&m_test, &y_test);
+        assert!(acc > 0.95, "test accuracy {acc}");
+        assert!((0.05..0.2).contains(&(test.len() as f64 / m.rows as f64)));
+    }
+
+    #[test]
+    fn probabilities_are_calibrated_directionally() {
+        let (m, y) = synthetic(2000);
+        let model = Gbdt::train(&m, &y, GbdtParams::default());
+        let hit = m.row(
+            (0..m.rows)
+                .find(|&i| y[i] > 0.5)
+                .expect("positive example exists"),
+        );
+        let miss = m.row((0..m.rows).find(|&i| y[i] < 0.5).unwrap());
+        assert!(model.predict_proba(&hit) > model.predict_proba(&miss));
+        for i in 0..50 {
+            let p = model.predict_proba(&m.row(i));
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn gain_ranks_signal_over_noise() {
+        let (m, y) = synthetic(2000);
+        let model = Gbdt::train(&m, &y, GbdtParams::default());
+        let gain = model.gain(4);
+        assert!(gain[0] > gain[3], "x0 beats noise: {gain:?}");
+        assert!(gain[2] > gain[3], "x2 beats noise: {gain:?}");
+    }
+
+    #[test]
+    fn attribution_tracks_decisive_feature() {
+        let (m, y) = synthetic(2000);
+        let model = Gbdt::train(&m, &y, GbdtParams::default());
+        // A row positive solely because x2 == 7.
+        let row = vec![0.1, 5.0, 7.0, 0.5];
+        let contrib = model.attribution(&row, 4);
+        let max_idx = (0..4).max_by(|&a, &b| contrib[a].partial_cmp(&contrib[b]).unwrap()).unwrap();
+        assert_eq!(max_idx, 2, "contrib {contrib:?}");
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let (a_train, a_test) = train_test_split(1000, 0.1, 3);
+        let (b_train, b_test) = train_test_split(1000, 0.1, 3);
+        assert_eq!(a_train, b_train);
+        assert_eq!(a_test, b_test);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training set")]
+    fn empty_training_panics() {
+        let m = Matrix { rows: 0, columns: vec![] };
+        let _ = Gbdt::train(&m, &[], GbdtParams::default());
+    }
+
+    #[test]
+    fn auc_tracks_separability() {
+        let (m, y) = synthetic(1500);
+        let model = Gbdt::train(&m, &y, GbdtParams { rounds: 15, ..GbdtParams::default() });
+        let auc = model.auc(&m, &y);
+        assert!(auc > 0.98, "separable problem should have AUC ≈ 1: {auc}");
+        // Random labels: AUC collapses toward 0.5.
+        let mut rng = fp_types::Splittable::new(8);
+        let random: Vec<f64> = (0..m.rows).map(|_| f64::from(u8::from(rng.chance(0.5)))).collect();
+        let auc_rand = model.auc(&m, &random);
+        assert!((auc_rand - 0.5).abs() < 0.06, "random labels: {auc_rand}");
+    }
+
+    #[test]
+    fn auc_degenerate_classes() {
+        let (m, _) = synthetic(100);
+        let model = Gbdt::train(&m, &vec![1.0; 100], GbdtParams { rounds: 2, ..GbdtParams::default() });
+        assert_eq!(model.auc(&m, &vec![1.0; 100]), 0.5, "single-class AUC is undefined -> 0.5");
+    }
+
+    #[test]
+    fn confusion_matrix_sums_and_matches_accuracy() {
+        let (m, y) = synthetic(1000);
+        let model = Gbdt::train(&m, &y, GbdtParams { rounds: 15, ..GbdtParams::default() });
+        let (tp, fp, tn, fneg) = model.confusion(&m, &y);
+        assert_eq!(tp + fp + tn + fneg, 1000);
+        let acc = (tp + tn) as f64 / 1000.0;
+        assert!((acc - model.accuracy(&m, &y)).abs() < 1e-12);
+    }
+}

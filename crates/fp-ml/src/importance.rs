@@ -1,0 +1,211 @@
+//! Attribute-level importance (Table 2).
+//!
+//! Column-level scores (gain, or mean |path attribution| over a sample —
+//! the SHAP substitute) are summed per originating fingerprint attribute,
+//! because the paper reports attributes ("Vendor Flavors", "Plugins"), not
+//! encoded columns.
+
+use crate::features::{FeatureSchema, Matrix};
+use crate::gbdt::Gbdt;
+use fp_types::AttrId;
+use std::collections::HashMap;
+
+/// One attribute's importance score.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AttributeImportance {
+    pub attr: AttrId,
+    pub score: f64,
+}
+
+/// Rank attributes by mean |Saabas path attribution| over (a sample of)
+/// the dataset — the analogue of mean |SHAP| the paper uses for Table 2.
+pub fn attribute_importance(
+    model: &Gbdt,
+    schema: &FeatureSchema,
+    matrix: &Matrix,
+    sample_cap: usize,
+) -> Vec<AttributeImportance> {
+    let width = schema.width();
+    let step = (matrix.rows / sample_cap.max(1)).max(1);
+    let mut total = vec![0.0f64; width];
+    let mut sampled = 0usize;
+    let mut i = 0;
+    while i < matrix.rows && sampled < sample_cap {
+        let contrib = model.attribution(&matrix.row(i), width);
+        for (t, c) in total.iter_mut().zip(&contrib) {
+            *t += c.abs();
+        }
+        sampled += 1;
+        i += step;
+    }
+    aggregate(schema, &total)
+}
+
+/// Rank attributes by total split gain (cheaper, no sampling).
+pub fn attribute_gain(model: &Gbdt, schema: &FeatureSchema) -> Vec<AttributeImportance> {
+    aggregate(schema, &model.gain(schema.width()))
+}
+
+/// Permutation importance: accuracy drop when one attribute's columns are
+/// shuffled (all columns of the attribute together — one-hot groups must
+/// break as a unit). The slowest but most assumption-free ranking; used as
+/// a cross-check on the attribution ranking.
+pub fn permutation_importance(
+    model: &Gbdt,
+    schema: &FeatureSchema,
+    matrix: &Matrix,
+    labels: &[f64],
+    seed: u64,
+) -> Vec<AttributeImportance> {
+    let baseline = model.accuracy(matrix, labels);
+    let attrs: Vec<AttrId> = {
+        let mut seen = Vec::new();
+        for col in schema.columns() {
+            if !seen.contains(&col.attr) {
+                seen.push(col.attr);
+            }
+        }
+        seen
+    };
+
+    // One shared permutation of row indices (a derangement-ish shuffle).
+    let mut perm: Vec<usize> = (0..matrix.rows).collect();
+    let mut rng = fp_types::Splittable::new(seed);
+    for i in (1..perm.len()).rev() {
+        perm.swap(i, rng.next_below(i as u64 + 1) as usize);
+    }
+
+    let mut out = Vec::with_capacity(attrs.len());
+    for attr in attrs {
+        let cols: Vec<usize> = schema
+            .columns()
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.attr == attr)
+            .map(|(i, _)| i)
+            .collect();
+        let shuffled = Matrix {
+            rows: matrix.rows,
+            columns: matrix
+                .columns
+                .iter()
+                .enumerate()
+                .map(|(c, col)| {
+                    if cols.contains(&c) {
+                        perm.iter().map(|&r| col[r]).collect()
+                    } else {
+                        col.clone()
+                    }
+                })
+                .collect(),
+        };
+        out.push(AttributeImportance { attr, score: (baseline - model.accuracy(&shuffled, labels)).max(0.0) });
+    }
+    out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap().then(a.attr.cmp(&b.attr)));
+    out
+}
+
+fn aggregate(schema: &FeatureSchema, per_column: &[f64]) -> Vec<AttributeImportance> {
+    let mut by_attr: HashMap<AttrId, f64> = HashMap::new();
+    for (col, score) in schema.columns().iter().zip(per_column) {
+        *by_attr.entry(col.attr).or_default() += score;
+    }
+    let mut out: Vec<AttributeImportance> = by_attr
+        .into_iter()
+        .map(|(attr, score)| AttributeImportance { attr, score })
+        .collect();
+    out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap().then(a.attr.cmp(&b.attr)));
+    out
+}
+
+/// The paper-facing names of Table 2 attributes.
+pub fn paper_attribute_name(attr: AttrId) -> &'static str {
+    match attr {
+        AttrId::VendorFlavors => "Vendor Flavors",
+        AttrId::Plugins => "Plugins",
+        AttrId::ScreenFrame => "Screen Frame",
+        AttrId::HardwareConcurrency => "Hardware Concurrency",
+        AttrId::ForcedColors => "Forced Colors",
+        AttrId::TouchSupport => "Touch Support",
+        AttrId::Vendor => "Vendor",
+        AttrId::Contrast => "Contrast",
+        AttrId::MaxTouchPoints => "Max Touch Points",
+        AttrId::DeviceMemory => "Device Memory",
+        other => other.name(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gbdt::GbdtParams;
+    use fp_types::{AttrValue, Fingerprint};
+
+    fn dataset() -> (Vec<Fingerprint>, Vec<f64>) {
+        let mut fps = Vec::new();
+        let mut y = Vec::new();
+        let mut rng = fp_types::Splittable::new(4);
+        for _ in 0..800 {
+            let plugins = rng.chance(0.5);
+            let cores = *rng.pick(&[2i64, 4, 8, 16]);
+            let fp = Fingerprint::new()
+                .with(
+                    AttrId::Plugins,
+                    if plugins {
+                        AttrValue::list(["Chrome PDF Viewer"])
+                    } else {
+                        AttrValue::list(Vec::<&str>::new())
+                    },
+                )
+                .with(AttrId::HardwareConcurrency, cores)
+                .with(AttrId::Timezone, *rng.pick(&["A", "B", "C"]));
+            // Label depends on plugins only.
+            y.push(f64::from(u8::from(plugins)));
+            fps.push(fp);
+        }
+        (fps, y)
+    }
+
+    #[test]
+    fn decisive_attribute_ranks_first() {
+        let (fps, y) = dataset();
+        let schema = FeatureSchema::induce(fps.iter());
+        let matrix = schema.encode_all(fps.iter());
+        let model = Gbdt::train(&matrix, &y, GbdtParams { rounds: 10, ..GbdtParams::default() });
+        let ranked = attribute_importance(&model, &schema, &matrix, 200);
+        assert_eq!(ranked[0].attr, AttrId::Plugins, "{ranked:?}");
+        let gains = attribute_gain(&model, &schema);
+        assert_eq!(gains[0].attr, AttrId::Plugins);
+    }
+
+    #[test]
+    fn irrelevant_attribute_scores_near_zero() {
+        let (fps, y) = dataset();
+        let schema = FeatureSchema::induce(fps.iter());
+        let matrix = schema.encode_all(fps.iter());
+        let model = Gbdt::train(&matrix, &y, GbdtParams { rounds: 10, ..GbdtParams::default() });
+        let ranked = attribute_importance(&model, &schema, &matrix, 200);
+        let tz = ranked.iter().find(|r| r.attr == AttrId::Timezone).map(|r| r.score).unwrap_or(0.0);
+        let plugins = ranked[0].score;
+        assert!(tz < plugins / 20.0, "tz {tz} vs plugins {plugins}");
+    }
+
+    #[test]
+    fn paper_names() {
+        assert_eq!(paper_attribute_name(AttrId::VendorFlavors), "Vendor Flavors");
+        assert_eq!(paper_attribute_name(AttrId::Ja3), "ja3");
+    }
+
+    #[test]
+    fn permutation_importance_agrees_on_the_decisive_attribute() {
+        let (fps, y) = dataset();
+        let schema = FeatureSchema::induce(fps.iter());
+        let matrix = schema.encode_all(fps.iter());
+        let model = Gbdt::train(&matrix, &y, GbdtParams { rounds: 10, ..GbdtParams::default() });
+        let ranked = permutation_importance(&model, &schema, &matrix, &y, 7);
+        assert_eq!(ranked[0].attr, AttrId::Plugins, "{ranked:?}");
+        // Shuffling the irrelevant attribute must not hurt accuracy.
+        let tz = ranked.iter().find(|r| r.attr == AttrId::Timezone).unwrap();
+        assert!(tz.score < 0.02, "timezone permutation cost {}", tz.score);
+    }
+}

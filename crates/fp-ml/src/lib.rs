@@ -1,0 +1,30 @@
+//! From-scratch tree ensemble learning — the paper's XGBoost/SHAP
+//! substitute (§5.2).
+//!
+//! The paper trains two classifiers (requests that evaded vs. were detected
+//! by each service) and ranks fingerprint attributes by SHAP importance
+//! (Table 2). This crate provides the same capability without external ML
+//! dependencies:
+//!
+//! * [`features`] — schema induction over fingerprint attributes: numeric
+//!   attributes pass through, categorical attributes one-hot encode their
+//!   frequent values, resolutions split into width/height. Every column
+//!   remembers its originating [`fp_types::AttrId`], so importances can be
+//!   reported per *attribute* like the paper does.
+//! * [`tree`] — CART regression trees built by exact greedy search over
+//!   histogram bins (256 quantile bins per column).
+//! * [`gbdt`] — gradient boosting with logistic loss, the classifier the
+//!   evasion models use.
+//! * [`importance`] — gain importance and Saabas-style per-prediction path
+//!   attribution, aggregated per attribute. (True SHAP interaction values
+//!   are overkill for a ranking; the substitution is noted in DESIGN.md.)
+
+pub mod features;
+pub mod gbdt;
+pub mod importance;
+pub mod tree;
+
+pub use features::{FeatureSchema, Matrix};
+pub use gbdt::{Gbdt, GbdtParams};
+pub use importance::{attribute_importance, AttributeImportance};
+pub use tree::Tree;

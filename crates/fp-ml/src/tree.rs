@@ -1,0 +1,399 @@
+//! CART regression trees on gradient/hessian targets, built with exact
+//! greedy search over histogram bins (the classic histogram-GBDT design:
+//! bin once, then each split scan is `O(features × bins)` per node).
+
+use crate::features::Matrix;
+
+/// Number of histogram bins per column (fits a `u8` code).
+pub const MAX_BINS: usize = 255;
+
+/// Per-column bin thresholds: value `x` falls into the first bin whose
+/// threshold is `>= x` (last bin catches the rest).
+pub struct Binning {
+    /// Ascending thresholds per column.
+    pub thresholds: Vec<Vec<f64>>,
+    /// Column-major bin codes.
+    pub codes: Vec<Vec<u8>>,
+}
+
+impl Binning {
+    /// Quantile-ish binning: up to [`MAX_BINS`] distinct cut points drawn
+    /// from the observed value distribution of each column.
+    pub fn fit(matrix: &Matrix) -> Binning {
+        let mut thresholds = Vec::with_capacity(matrix.columns.len());
+        let mut codes = Vec::with_capacity(matrix.columns.len());
+        for col in &matrix.columns {
+            let mut sorted: Vec<f64> = col.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            sorted.dedup();
+            let cuts: Vec<f64> = if sorted.len() <= MAX_BINS {
+                sorted
+            } else {
+                (0..MAX_BINS)
+                    .map(|i| sorted[i * (sorted.len() - 1) / (MAX_BINS - 1)])
+                    .collect()
+            };
+            let code: Vec<u8> = col.iter().map(|&x| bin_of(&cuts, x)).collect();
+            thresholds.push(cuts);
+            codes.push(code);
+        }
+        Binning { thresholds, codes }
+    }
+
+    /// Bin a raw value for column `c` (used at prediction time only in
+    /// tests; prediction proper uses raw thresholds).
+    pub fn bin(&self, c: usize, x: f64) -> u8 {
+        bin_of(&self.thresholds[c], x)
+    }
+}
+
+fn bin_of(cuts: &[f64], x: f64) -> u8 {
+    // partition_point: first cut >= x  ⇒  values equal to a cut share its bin.
+    let idx = cuts.partition_point(|&t| t < x);
+    idx.min(MAX_BINS) as u8
+}
+
+/// One node of a fitted tree.
+#[derive(Clone, Debug)]
+pub enum Node {
+    /// Internal split: `x[feature] <= threshold` goes left.
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+        /// Mean prediction of the node (for path attribution).
+        value: f64,
+        gain: f64,
+    },
+    /// Leaf with an output value.
+    Leaf { value: f64 },
+}
+
+/// A fitted regression tree.
+#[derive(Clone, Debug, Default)]
+pub struct Tree {
+    pub nodes: Vec<Node>,
+}
+
+/// Tree-growing hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TreeParams {
+    pub max_depth: usize,
+    pub min_child_weight: f64,
+    pub lambda: f64,
+    pub gamma: f64,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams { max_depth: 5, min_child_weight: 1.0, lambda: 1.0, gamma: 0.0 }
+    }
+}
+
+impl Tree {
+    /// Fit a tree to gradients/hessians over the binned matrix.
+    pub fn fit(binning: &Binning, grad: &[f64], hess: &[f64], rows: &[u32], params: &TreeParams) -> Tree {
+        let mut tree = Tree { nodes: Vec::new() };
+        tree.grow(binning, grad, hess, rows, params, 0);
+        tree
+    }
+
+    fn grow(
+        &mut self,
+        binning: &Binning,
+        grad: &[f64],
+        hess: &[f64],
+        rows: &[u32],
+        params: &TreeParams,
+        depth: usize,
+    ) -> usize {
+        let g_sum: f64 = rows.iter().map(|&r| grad[r as usize]).sum();
+        let h_sum: f64 = rows.iter().map(|&r| hess[r as usize]).sum();
+        let leaf_value = -g_sum / (h_sum + params.lambda);
+        let node_value = leaf_value;
+
+        if depth >= params.max_depth || rows.len() < 2 {
+            self.nodes.push(Node::Leaf { value: leaf_value });
+            return self.nodes.len() - 1;
+        }
+
+        // Best split over all (feature, bin) pairs.
+        let parent_score = g_sum * g_sum / (h_sum + params.lambda);
+        let mut best: Option<(usize, u8, f64)> = None; // (feature, bin, gain)
+        let n_features = binning.codes.len();
+        let mut hist_g = vec![0.0f64; MAX_BINS + 1];
+        let mut hist_h = vec![0.0f64; MAX_BINS + 1];
+        for f in 0..n_features {
+            let codes = &binning.codes[f];
+            hist_g.iter_mut().for_each(|x| *x = 0.0);
+            hist_h.iter_mut().for_each(|x| *x = 0.0);
+            let mut max_bin = 0usize;
+            for &r in rows {
+                let b = codes[r as usize] as usize;
+                hist_g[b] += grad[r as usize];
+                hist_h[b] += hess[r as usize];
+                max_bin = max_bin.max(b);
+            }
+            let mut gl = 0.0;
+            let mut hl = 0.0;
+            for b in 0..max_bin {
+                gl += hist_g[b];
+                hl += hist_h[b];
+                let hr = h_sum - hl;
+                if hl < params.min_child_weight || hr < params.min_child_weight {
+                    continue;
+                }
+                let gr = g_sum - gl;
+                let score =
+                    gl * gl / (hl + params.lambda) + gr * gr / (hr + params.lambda) - parent_score;
+                let gain = 0.5 * score - params.gamma;
+                if gain > 1e-9 && best.is_none_or(|(_, _, g)| gain > g) {
+                    best = Some((f, b as u8, gain));
+                }
+            }
+        }
+
+        let Some((feature, bin, gain)) = best else {
+            self.nodes.push(Node::Leaf { value: leaf_value });
+            return self.nodes.len() - 1;
+        };
+
+        let (left_rows, right_rows): (Vec<u32>, Vec<u32>) = rows
+            .iter()
+            .partition(|&&r| binning.codes[feature][r as usize] <= bin);
+        debug_assert!(!left_rows.is_empty() && !right_rows.is_empty());
+
+        // Raw threshold: the upper edge of `bin` (values <= threshold go
+        // left at prediction time).
+        let cuts = &binning.thresholds[feature];
+        let threshold = cuts.get(bin as usize).copied().unwrap_or(f64::INFINITY);
+
+        let slot = self.nodes.len();
+        self.nodes.push(Node::Leaf { value: leaf_value }); // placeholder
+        let left = self.grow(binning, grad, hess, &left_rows, params, depth + 1);
+        let right = self.grow(binning, grad, hess, &right_rows, params, depth + 1);
+        self.nodes[slot] = Node::Split { feature, threshold, left, right, value: node_value, gain };
+        slot
+    }
+
+    /// Predict one encoded row.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        let mut i = 0usize;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { value } => return *value,
+                Node::Split { feature, threshold, left, right, .. } => {
+                    i = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Saabas path attribution: per-feature contribution of this tree to
+    /// the prediction of `row` (value deltas along the decision path,
+    /// credited to the split feature).
+    pub fn path_attribution(&self, row: &[f64], out: &mut [f64]) {
+        let mut i = 0usize;
+        let mut current = match &self.nodes[0] {
+            Node::Leaf { value } => *value,
+            Node::Split { value, .. } => *value,
+        };
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { .. } => return,
+                Node::Split { feature, threshold, left, right, .. } => {
+                    let next = if row[*feature] <= *threshold { *left } else { *right };
+                    let next_value = match &self.nodes[next] {
+                        Node::Leaf { value } => *value,
+                        Node::Split { value, .. } => *value,
+                    };
+                    out[*feature] += next_value - current;
+                    current = next_value;
+                    i = next;
+                }
+            }
+        }
+    }
+
+    /// Total split gain credited to each feature.
+    pub fn gain_by_feature(&self, out: &mut [f64]) {
+        for node in &self.nodes {
+            if let Node::Split { feature, gain, .. } = node {
+                out[*feature] += *gain;
+            }
+        }
+    }
+
+    /// The decision path (feature, threshold, went_left) for a row — used
+    /// to reproduce the Appendix C path readout.
+    pub fn decision_path(&self, row: &[f64]) -> Vec<(usize, f64, bool)> {
+        let mut path = Vec::new();
+        let mut i = 0usize;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { .. } => return path,
+                Node::Split { feature, threshold, left, right, .. } => {
+                    let goes_left = row[*feature] <= *threshold;
+                    path.push((*feature, *threshold, goes_left));
+                    i = if goes_left { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(cols: Vec<Vec<f64>>) -> Matrix {
+        let rows = cols[0].len();
+        Matrix { columns: cols, rows }
+    }
+
+    /// Fit a tree directly to a 0/1 target (squared loss: grad = pred-y
+    /// with pred=0 ⇒ grad=-y, hess=1).
+    fn fit_simple(m: &Matrix, y: &[f64], depth: usize) -> (Tree, Binning) {
+        let binning = Binning::fit(m);
+        let grad: Vec<f64> = y.iter().map(|&v| -v).collect();
+        let hess = vec![1.0; y.len()];
+        let rows: Vec<u32> = (0..y.len() as u32).collect();
+        let params = TreeParams { max_depth: depth, min_child_weight: 0.5, lambda: 0.01, gamma: 0.0 };
+        (Tree::fit(&binning, &grad, &hess, &rows, &params), binning)
+    }
+
+    #[test]
+    fn splits_a_threshold_function() {
+        // y = 1 iff x > 5.
+        let xs: Vec<f64> = (0..100).map(f64::from).collect();
+        let y: Vec<f64> = xs.iter().map(|&x| f64::from(u8::from(x > 5.0))).collect();
+        let m = matrix(vec![xs]);
+        let (tree, _) = fit_simple(&m, &y, 3);
+        assert!((tree.predict(&[3.0]) - 0.0).abs() < 0.05);
+        assert!((tree.predict(&[50.0]) - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn learns_conjunction_with_depth_two() {
+        // y = x1 ∧ x2 needs two stacked splits. (XOR is deliberately not
+        // tested: greedy CART's first split has zero gain there — a known
+        // limitation of exact greedy induction, not a bug.)
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..200 {
+            let x1 = f64::from(i % 2);
+            let x2 = f64::from((i / 2) % 2);
+            a.push(x1);
+            b.push(x2);
+            y.push(f64::from(u8::from(x1 > 0.5 && x2 > 0.5)));
+        }
+        let m = matrix(vec![a, b]);
+        let (tree, _) = fit_simple(&m, &y, 2);
+        for (x1, x2) in [(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+            let want = f64::from(u8::from(x1 > 0.5 && x2 > 0.5));
+            assert!(
+                (tree.predict(&[x1, x2]) - want).abs() < 0.05,
+                "and({x1},{x2}) -> {}",
+                tree.predict(&[x1, x2])
+            );
+        }
+    }
+
+    #[test]
+    fn irrelevant_feature_gets_no_gain() {
+        let xs: Vec<f64> = (0..100).map(f64::from).collect();
+        let noise: Vec<f64> = (0..100).map(|i| f64::from(i % 3)).collect();
+        let y: Vec<f64> = xs.iter().map(|&x| f64::from(u8::from(x > 50.0))).collect();
+        let m = matrix(vec![noise, xs]);
+        let (tree, _) = fit_simple(&m, &y, 2);
+        let mut gains = vec![0.0; 2];
+        tree.gain_by_feature(&mut gains);
+        assert!(gains[1] > gains[0] * 100.0, "gains {gains:?}");
+    }
+
+    #[test]
+    fn path_attribution_sums_to_prediction_delta() {
+        let xs: Vec<f64> = (0..100).map(f64::from).collect();
+        let y: Vec<f64> = xs.iter().map(|&x| f64::from(u8::from(x > 50.0))).collect();
+        let m = matrix(vec![xs.clone()]);
+        let (tree, _) = fit_simple(&m, &y, 4);
+        let root_value = match &tree.nodes[0] {
+            Node::Split { value, .. } => *value,
+            Node::Leaf { value } => *value,
+        };
+        for x in [1.0, 30.0, 70.0, 99.0] {
+            let mut contrib = vec![0.0];
+            tree.path_attribution(&[x], &mut contrib);
+            let pred = tree.predict(&[x]);
+            assert!(
+                (root_value + contrib[0] - pred).abs() < 1e-9,
+                "x={x}: {root_value} + {} != {pred}",
+                contrib[0]
+            );
+        }
+    }
+
+    #[test]
+    fn binning_preserves_order() {
+        let m = matrix(vec![(0..1000).map(|i| f64::from(i) * 0.5).collect()]);
+        let binning = Binning::fit(&m);
+        assert!(binning.thresholds[0].windows(2).all(|w| w[0] < w[1]));
+        assert!(binning.bin(0, -1.0) <= binning.bin(0, 10.0));
+        assert!(binning.bin(0, 10.0) <= binning.bin(0, 400.0));
+    }
+
+    proptest::proptest! {
+        /// Binning must preserve order: for any data column, a larger raw
+        /// value never lands in a smaller bin — the property greedy split
+        /// search relies on when it scans bins left to right.
+        #[test]
+        fn binning_is_monotone(values in proptest::collection::vec(-1e6f64..1e6, 2..300)) {
+            let m = matrix(vec![values.clone()]);
+            let binning = Binning::fit(&m);
+            let mut pairs: Vec<(f64, u8)> =
+                values.iter().map(|&x| (x, binning.bin(0, x))).collect();
+            pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for w in pairs.windows(2) {
+                proptest::prop_assert!(w[0].1 <= w[1].1, "{:?} -> {} vs {:?} -> {}", w[0].0, w[0].1, w[1].0, w[1].1);
+            }
+            // Equal values share a bin.
+            for w in pairs.windows(2) {
+                if w[0].0 == w[1].0 {
+                    proptest::prop_assert_eq!(w[0].1, w[1].1);
+                }
+            }
+        }
+
+        /// A fitted tree's prediction is always a finite value, whatever
+        /// the gradients (no NaN leaks from degenerate splits).
+        #[test]
+        fn predictions_are_finite(
+            values in proptest::collection::vec(-100f64..100.0, 8..120),
+            labels in proptest::collection::vec(0u8..2, 8..120),
+        ) {
+            let n = values.len().min(labels.len());
+            let m = matrix(vec![values[..n].to_vec()]);
+            let y: Vec<f64> = labels[..n].iter().map(|&b| f64::from(b)).collect();
+            let (tree, _) = fit_simple(&m, &y, 4);
+            for &x in &values[..n] {
+                proptest::prop_assert!(tree.predict(&[x]).is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn decision_path_is_consistent_with_prediction() {
+        let xs: Vec<f64> = (0..50).map(f64::from).collect();
+        let y: Vec<f64> = xs.iter().map(|&x| f64::from(u8::from(x > 20.0))).collect();
+        let m = matrix(vec![xs]);
+        let (tree, _) = fit_simple(&m, &y, 3);
+        let path = tree.decision_path(&[25.0]);
+        assert!(!path.is_empty());
+        for (f, t, left) in path {
+            assert_eq!(f, 0);
+            assert_eq!(left, 25.0 <= t);
+        }
+    }
+}

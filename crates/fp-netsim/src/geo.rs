@@ -1,0 +1,198 @@
+//! Geographic regions and timezones.
+//!
+//! Offsets are JavaScript `Date.getTimezoneOffset()` semantics — minutes of
+//! UTC *minus* local time (Los Angeles = 480, Paris = −60). The study window
+//! is modelled at standard-time offsets throughout; the paper's matching is
+//! already conservative (same UTC offset ⇒ same place), so DST subtleties
+//! cannot flip any verdict it makes.
+
+/// A coarse geographic region with its canonical timezone.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Region {
+    /// Country name (MaxMind style).
+    pub country: &'static str,
+    /// Sub-national region name.
+    pub name: &'static str,
+    /// Canonical IANA timezone for the region.
+    pub timezone: &'static str,
+    /// JS-style UTC offset of that timezone, in minutes.
+    pub offset_minutes: i32,
+    /// Representative coordinates (for the Figure 8 heatmaps).
+    pub lat: f64,
+    pub lon: f64,
+}
+
+/// The world, as far as the campaign is concerned. Indices into this table
+/// are stored by [`crate::asn::AsnRecord`].
+pub const REGIONS: [Region; 24] = [
+    Region { country: "United States of America", name: "California", timezone: "America/Los_Angeles", offset_minutes: 480, lat: 36.78, lon: -119.42 },
+    Region { country: "United States of America", name: "Oregon", timezone: "America/Los_Angeles", offset_minutes: 480, lat: 43.80, lon: -120.55 },
+    Region { country: "United States of America", name: "Virginia", timezone: "America/New_York", offset_minutes: 300, lat: 37.43, lon: -78.66 },
+    Region { country: "United States of America", name: "New York", timezone: "America/New_York", offset_minutes: 300, lat: 42.17, lon: -74.95 },
+    Region { country: "United States of America", name: "Texas", timezone: "America/Chicago", offset_minutes: 360, lat: 31.97, lon: -99.90 },
+    Region { country: "United States of America", name: "Ohio", timezone: "America/New_York", offset_minutes: 300, lat: 40.42, lon: -82.91 },
+    Region { country: "Canada", name: "Ontario", timezone: "America/Toronto", offset_minutes: 300, lat: 51.25, lon: -85.32 },
+    Region { country: "Canada", name: "Quebec", timezone: "America/Toronto", offset_minutes: 300, lat: 52.94, lon: -73.55 },
+    Region { country: "Canada", name: "British Columbia", timezone: "America/Vancouver", offset_minutes: 480, lat: 53.73, lon: -127.65 },
+    Region { country: "France", name: "Île-de-France", timezone: "Europe/Paris", offset_minutes: -60, lat: 48.85, lon: 2.35 },
+    Region { country: "France", name: "Hauts-de-France", timezone: "Europe/Paris", offset_minutes: -60, lat: 50.48, lon: 2.79 },
+    Region { country: "France", name: "Provence-Alpes-Côte d'Azur", timezone: "Europe/Paris", offset_minutes: -60, lat: 43.93, lon: 6.07 },
+    Region { country: "Germany", name: "Sachsen", timezone: "Europe/Berlin", offset_minutes: -60, lat: 51.10, lon: 13.20 },
+    Region { country: "Germany", name: "Bayern", timezone: "Europe/Berlin", offset_minutes: -60, lat: 48.79, lon: 11.50 },
+    Region { country: "Germany", name: "Hessen", timezone: "Europe/Berlin", offset_minutes: -60, lat: 50.65, lon: 9.16 },
+    Region { country: "United Kingdom", name: "England", timezone: "Europe/London", offset_minutes: 0, lat: 52.36, lon: -1.17 },
+    Region { country: "Netherlands", name: "Noord-Holland", timezone: "Europe/Amsterdam", offset_minutes: -60, lat: 52.52, lon: 4.79 },
+    Region { country: "Mexico", name: "Ciudad de México", timezone: "America/Mexico_City", offset_minutes: 360, lat: 19.43, lon: -99.13 },
+    Region { country: "Singapore", name: "Singapore", timezone: "Asia/Singapore", offset_minutes: -480, lat: 1.35, lon: 103.82 },
+    Region { country: "China", name: "Shanghai", timezone: "Asia/Shanghai", offset_minutes: -480, lat: 31.23, lon: 121.47 },
+    Region { country: "Japan", name: "Tokyo", timezone: "Asia/Tokyo", offset_minutes: -540, lat: 35.68, lon: 139.65 },
+    Region { country: "New Zealand", name: "Auckland", timezone: "Pacific/Auckland", offset_minutes: -780, lat: -36.85, lon: 174.76 },
+    Region { country: "Brazil", name: "São Paulo", timezone: "America/Sao_Paulo", offset_minutes: 180, lat: -23.55, lon: -46.63 },
+    Region { country: "India", name: "Maharashtra", timezone: "Asia/Kolkata", offset_minutes: -330, lat: 19.75, lon: 75.71 },
+];
+
+/// Look up the JS UTC offset of an IANA timezone known to the campaign.
+pub fn offset_of_timezone(tz: &str) -> Option<i32> {
+    if tz == "UTC" {
+        return Some(0);
+    }
+    REGIONS
+        .iter()
+        .find(|r| r.timezone == tz)
+        .map(|r| r.offset_minutes)
+}
+
+/// Region indices for a country (panics on unknown country — the tables are
+/// static and covered by tests).
+pub fn regions_of(country: &str) -> Vec<usize> {
+    let v: Vec<usize> = REGIONS
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.country == country)
+        .map(|(i, _)| i)
+        .collect();
+    assert!(!v.is_empty(), "unknown country {country:?}");
+    v
+}
+
+/// The geographic targets bot services advertised (Section 6.2): United
+/// States, Canada, Europe, France.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GeoTarget {
+    UnitedStates,
+    Canada,
+    Europe,
+    France,
+}
+
+impl GeoTarget {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GeoTarget::UnitedStates => "United States",
+            GeoTarget::Canada => "Canada",
+            GeoTarget::Europe => "Europe",
+            GeoTarget::France => "France",
+        }
+    }
+
+    /// Countries inside the target.
+    pub fn countries(self) -> &'static [&'static str] {
+        match self {
+            GeoTarget::UnitedStates => &["United States of America"],
+            GeoTarget::Canada => &["Canada"],
+            GeoTarget::Europe => &["France", "Germany", "United Kingdom", "Netherlands"],
+            GeoTarget::France => &["France"],
+        }
+    }
+
+    /// The paper's conservative match: a location is "in" the target if its
+    /// UTC offset equals the offset of *some* place in the target (e.g.
+    /// Europe/Berlin counts as France).
+    pub fn acceptable_offsets(self) -> Vec<i32> {
+        let mut offsets: Vec<i32> = REGIONS
+            .iter()
+            .filter(|r| self.countries().contains(&r.country))
+            .map(|r| r.offset_minutes)
+            .collect();
+        offsets.sort_unstable();
+        offsets.dedup();
+        offsets
+    }
+
+    /// Does a UTC offset (from either an IP's region or a browser timezone)
+    /// match the target under the conservative rule?
+    pub fn offset_matches(self, offset_minutes: i32) -> bool {
+        self.acceptable_offsets().contains(&offset_minutes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_follow_js_sign_convention() {
+        assert_eq!(offset_of_timezone("America/Los_Angeles"), Some(480));
+        assert_eq!(offset_of_timezone("Europe/Paris"), Some(-60));
+        assert_eq!(offset_of_timezone("Asia/Shanghai"), Some(-480));
+        assert_eq!(offset_of_timezone("UTC"), Some(0));
+        assert_eq!(offset_of_timezone("Mars/Olympus"), None);
+    }
+
+    #[test]
+    fn france_target_accepts_berlin_offset() {
+        // The paper's example: Europe/Berlin could overlap with France.
+        let paris = offset_of_timezone("Europe/Paris").unwrap();
+        let berlin = offset_of_timezone("Europe/Berlin").unwrap_or(-60);
+        assert!(GeoTarget::France.offset_matches(paris));
+        assert!(GeoTarget::France.offset_matches(berlin));
+        assert!(!GeoTarget::France.offset_matches(480), "Los Angeles is not France");
+    }
+
+    #[test]
+    fn us_target_spans_continental_offsets() {
+        let offs = GeoTarget::UnitedStates.acceptable_offsets();
+        assert!(offs.contains(&300));
+        assert!(offs.contains(&360));
+        assert!(offs.contains(&480));
+        assert!(!offs.contains(&-60));
+    }
+
+    #[test]
+    fn europe_includes_london_and_paris() {
+        assert!(GeoTarget::Europe.offset_matches(0));
+        assert!(GeoTarget::Europe.offset_matches(-60));
+        assert!(!GeoTarget::Europe.offset_matches(-480));
+    }
+
+    #[test]
+    fn table6_location_examples_mismatch() {
+        // (France/Hauts-de-France IP, America/Los_Angeles timezone) — Table 6.
+        let la = offset_of_timezone("America/Los_Angeles").unwrap();
+        assert!(!GeoTarget::France.offset_matches(la));
+        // (USA/California IP, Asia/Shanghai timezone).
+        let shanghai = offset_of_timezone("Asia/Shanghai").unwrap();
+        assert!(!GeoTarget::UnitedStates.offset_matches(shanghai));
+        // (USA/Virginia IP, Pacific/Auckland timezone).
+        let auckland = offset_of_timezone("Pacific/Auckland").unwrap();
+        assert!(!GeoTarget::UnitedStates.offset_matches(auckland));
+    }
+
+    #[test]
+    fn every_country_has_regions() {
+        for c in [
+            "United States of America", "Canada", "France", "Germany",
+            "United Kingdom", "Netherlands", "Mexico", "Singapore", "China",
+            "Japan", "New Zealand", "Brazil", "India",
+        ] {
+            assert!(!regions_of(c).is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown country")]
+    fn unknown_country_panics() {
+        let _ = regions_of("Atlantis");
+    }
+}

@@ -1,0 +1,174 @@
+//! JA3 and JA4-style ClientHello digests.
+//!
+//! JA3 (Salesforce, 2017) is the de-facto network-layer browser fingerprint:
+//! `SSLVersion,Ciphers,Extensions,EllipticCurves,EllipticCurvePointFormats`
+//! joined with `-` inside fields and `,` between, GREASE stripped, then MD5.
+//!
+//! The JA4 descriptor here follows the published field layout
+//! (`t<ver><sni><cc><ec><alpn>_<cipher-hash>_<ext-hash>`) but substitutes a
+//! truncated MD5 where JA4 specifies truncated SHA-256 — this repo has no
+//! SHA-256 and the digest only needs to discriminate, not interoperate.
+//! The substitution is documented in DESIGN.md.
+
+use crate::clienthello::{ext_type, is_grease, ClientHello};
+use crate::md5::md5_hex;
+
+/// The JA3 fingerprint string (pre-hash form).
+pub fn ja3_string(hello: &ClientHello) -> String {
+    let ciphers: Vec<String> = hello
+        .cipher_suites
+        .iter()
+        .filter(|c| !is_grease(**c))
+        .map(|c| c.to_string())
+        .collect();
+    let exts: Vec<String> = hello
+        .extensions
+        .iter()
+        .filter(|e| !is_grease(e.typ))
+        .map(|e| e.typ.to_string())
+        .collect();
+    let curves: Vec<String> = hello
+        .supported_groups()
+        .iter()
+        .filter(|g| !is_grease(**g))
+        .map(|g| g.to_string())
+        .collect();
+    let formats: Vec<String> = hello.ec_point_formats().iter().map(|f| f.to_string()).collect();
+    format!(
+        "{},{},{},{},{}",
+        hello.version,
+        ciphers.join("-"),
+        exts.join("-"),
+        curves.join("-"),
+        formats.join("-")
+    )
+}
+
+/// The JA3 digest: lowercase MD5 hex of [`ja3_string`].
+pub fn ja3_digest(hello: &ClientHello) -> String {
+    md5_hex(ja3_string(hello).as_bytes())
+}
+
+/// A JA4-style descriptor (see module docs for the digest substitution).
+pub fn ja4_descriptor(hello: &ClientHello) -> String {
+    let tls13 = hello
+        .extensions
+        .iter()
+        .any(|e| e.typ == ext_type::SUPPORTED_VERSIONS);
+    let ver = if tls13 { "13" } else { "12" };
+    let sni = if hello.server_name().is_some() { "d" } else { "i" };
+    let ciphers: Vec<u16> = hello
+        .cipher_suites
+        .iter()
+        .copied()
+        .filter(|c| !is_grease(*c))
+        .collect();
+    let exts: Vec<u16> = hello
+        .extensions
+        .iter()
+        .map(|e| e.typ)
+        .filter(|t| !is_grease(*t))
+        .collect();
+    let alpn = if exts.contains(&ext_type::ALPN) { "h2" } else { "00" };
+
+    // JA4 sorts ciphers and extensions before hashing (order-insensitive
+    // half), unlike JA3.
+    let mut sorted_ciphers = ciphers.clone();
+    sorted_ciphers.sort_unstable();
+    let mut sorted_exts = exts.clone();
+    sorted_exts.sort_unstable();
+    let cipher_str = join_hex(&sorted_ciphers);
+    let ext_str = join_hex(&sorted_exts);
+
+    format!(
+        "t{ver}{sni}{:02}{:02}{alpn}_{}_{}",
+        ciphers.len().min(99),
+        exts.len().min(99),
+        &md5_hex(cipher_str.as_bytes())[..12],
+        &md5_hex(ext_str.as_bytes())[..12],
+    )
+}
+
+fn join_hex(vals: &[u16]) -> String {
+    vals.iter()
+        .map(|v| format!("{v:04x}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clienthello::{Extension, GREASE_VALUES};
+
+    fn hello(with_grease: bool) -> ClientHello {
+        let mut ciphers = vec![0x1301u16, 0x1302, 0xc02b];
+        let mut extensions = vec![
+            Extension::sni("example.com"),
+            Extension::supported_groups(&[29, 23]),
+            Extension::ec_point_formats(&[0]),
+            Extension::empty(ext_type::SUPPORTED_VERSIONS),
+            Extension::empty(ext_type::ALPN),
+        ];
+        if with_grease {
+            ciphers.insert(0, GREASE_VALUES[3]);
+            extensions.insert(0, Extension::empty(GREASE_VALUES[8]));
+        }
+        ClientHello {
+            version: 0x0303,
+            random: [1; 32],
+            session_id: vec![2; 32],
+            cipher_suites: ciphers,
+            compression: vec![0],
+            extensions,
+        }
+    }
+
+    #[test]
+    fn ja3_string_layout() {
+        let s = ja3_string(&hello(false));
+        assert_eq!(s, "771,4865-4866-49195,0-10-11-43-16,29-23,0");
+    }
+
+    #[test]
+    fn grease_does_not_change_ja3() {
+        assert_eq!(ja3_digest(&hello(false)), ja3_digest(&hello(true)));
+    }
+
+    #[test]
+    fn ja3_digest_is_md5_of_string() {
+        let h = hello(false);
+        assert_eq!(ja3_digest(&h), crate::md5::md5_hex(ja3_string(&h).as_bytes()));
+        assert_eq!(ja3_digest(&h).len(), 32);
+    }
+
+    #[test]
+    fn ja4_shape() {
+        let d = ja4_descriptor(&hello(false));
+        assert!(d.starts_with("t13d0305h2_"), "{d}");
+        let parts: Vec<&str> = d.split('_').collect();
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[1].len(), 12);
+        assert_eq!(parts[2].len(), 12);
+    }
+
+    #[test]
+    fn ja4_order_insensitive_ja3_order_sensitive() {
+        let a = hello(false);
+        let mut b = a.clone();
+        b.cipher_suites.swap(0, 2);
+        assert_ne!(ja3_digest(&a), ja3_digest(&b), "JA3 keeps offer order");
+        let ja4_a = ja4_descriptor(&a).split('_').nth(1).unwrap().to_owned();
+        let ja4_b = ja4_descriptor(&b).split('_').nth(1).unwrap().to_owned();
+        assert_eq!(ja4_a, ja4_b, "JA4 cipher half sorts");
+    }
+
+    #[test]
+    fn ja4_version_and_sni_flags() {
+        let mut h = hello(false);
+        h.extensions.retain(|e| e.typ != ext_type::SUPPORTED_VERSIONS);
+        h.extensions.retain(|e| e.typ != ext_type::SERVER_NAME);
+        let d = ja4_descriptor(&h);
+        assert!(d.starts_with("t12i"), "{d}");
+    }
+}

@@ -1,0 +1,28 @@
+//! TLS ClientHello substrate — the cross-layer fingerprint extension.
+//!
+//! Section 8.2 of the paper argues FP-Inconsistent improves as more
+//! attributes join the consistency web. The canonical *network-layer*
+//! attribute is the TLS ClientHello shape: every browser engine greets
+//! servers with a characteristic cipher/extension layout, summarised by the
+//! JA3/JA4 digests that production anti-bot stacks consume. A bot that
+//! spoofs a Safari User-Agent from a Go HTTP stack tells a cross-layer lie
+//! (`ua_browser` × `ja3`) of exactly the kind the miner detects.
+//!
+//! Contents:
+//! * [`clienthello`] — the ClientHello message, its wire serialisation and a
+//!   strict parser (real record/handshake framing, GREASE-aware);
+//! * [`md5`] — RFC 1321 MD5, implemented from the reference (JA3 is defined
+//!   as an MD5 digest; pulling a crate for 120 lines would be gratuitous);
+//! * [`ja3`] — JA3 string/digest and a JA4-style descriptor;
+//! * [`profiles`] — per-client ClientHello profiles (Chrome, Firefox,
+//!   Safari, Go, python-requests/OpenSSL) and the UA-family ↔ expected-JA3
+//!   consistency map.
+
+pub mod clienthello;
+pub mod ja3;
+pub mod md5;
+pub mod profiles;
+
+pub use clienthello::{ClientHello, Extension, ParseError};
+pub use ja3::{ja3_digest, ja3_string, ja4_descriptor};
+pub use profiles::{expected_ja3_for_ua_browser, TlsClientKind};

@@ -1,0 +1,183 @@
+//! The attribute schema.
+//!
+//! One variant per fingerprint attribute the honey site records. The set is
+//! the union of: the FingerprintJS attributes the paper names (Section 4.4),
+//! the HTTP-layer attributes (User-Agent and what is inferred from it), the
+//! grouping attributes of Table 7, and the cross-layer TLS extension
+//! (Section 8.2 / `fp-tls`).
+//!
+//! `AttrId` is `#[repr(u8)]` and dense so a [`crate::Fingerprint`] can be a
+//! flat array indexed by attribute.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! attr_ids {
+    ($(($variant:ident, $name:literal, $doc:literal)),+ $(,)?) => {
+        /// Identifier of a recorded fingerprint attribute.
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+        #[repr(u8)]
+        pub enum AttrId {
+            $(#[doc = $doc] $variant),+
+        }
+
+        impl AttrId {
+            /// Every attribute, in declaration order.
+            pub const ALL: &'static [AttrId] = &[$(AttrId::$variant),+];
+
+            /// Number of attributes in the schema.
+            pub const COUNT: usize = Self::ALL.len();
+
+            /// Stable, human-readable name (used in filter lists, reports
+            /// and the dataset snapshot format).
+            pub fn name(self) -> &'static str {
+                match self {
+                    $(AttrId::$variant => $name),+
+                }
+            }
+
+            /// Inverse of [`AttrId::name`].
+            pub fn from_name(name: &str) -> Option<AttrId> {
+                match name {
+                    $($name => Some(AttrId::$variant),)+
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+attr_ids! {
+    // ----- HTTP / User-Agent layer -------------------------------------
+    (UserAgent,        "user_agent",         "Full `navigator.userAgent` / `User-Agent` header string."),
+    (UaDevice,         "ua_device",          "Device model inferred from the User-Agent (e.g. `iPhone`, `Pixel 7`)."),
+    (UaBrowser,        "ua_browser",         "Browser family inferred from the User-Agent (e.g. `Mobile Safari`)."),
+    (UaOs,             "ua_os",              "Operating system inferred from the User-Agent (e.g. `iOS`, `Windows`)."),
+    // ----- navigator.* --------------------------------------------------
+    (Platform,         "platform",           "`navigator.platform` (e.g. `Win32`, `iPhone`, `Linux armv8l`)."),
+    (Vendor,           "vendor",             "`navigator.vendor` (e.g. `Google Inc.`, `Apple Computer, Inc.`)."),
+    (VendorFlavors,    "vendor_flavors",     "Browser flavour markers detected by FingerprintJS (e.g. `chrome`)."),
+    (ProductSub,       "product_sub",        "`navigator.productSub` (`20030107` on Chromium/WebKit, `20100101` on Firefox)."),
+    (Webdriver,        "webdriver",          "`navigator.webdriver` automation flag."),
+    (Plugins,          "plugins",            "`navigator.plugins` entries (PDF viewer plugins on Chromium)."),
+    (MimeTypes,        "mime_types",         "`navigator.mimeTypes` entries."),
+    (HardwareConcurrency, "hardware_concurrency", "`navigator.hardwareConcurrency` — logical CPU cores."),
+    (DeviceMemory,     "device_memory",      "`navigator.deviceMemory` in GiB (0.25–8, Chromium only)."),
+    (OsCpu,            "os_cpu",             "`navigator.oscpu` (Firefox only)."),
+    (CookieEnabled,    "cookie_enabled",     "`navigator.cookieEnabled`."),
+    // ----- screen --------------------------------------------------------
+    (ScreenResolution, "screen_resolution",  "`screen.width` x `screen.height` (CSS pixels)."),
+    (AvailResolution,  "avail_resolution",   "`screen.availWidth` x `screen.availHeight`."),
+    (ColorDepth,       "color_depth",        "`screen.colorDepth` in bits."),
+    (ColorGamut,       "color_gamut",        "Widest supported CSS color gamut (`srgb`, `p3`, `rec2020`)."),
+    (Hdr,              "hdr",                "CSS `dynamic-range: high` media query."),
+    (Contrast,         "contrast",           "CSS `prefers-contrast` (-1 less, 0 none, 1 more, 10 forced)."),
+    (ForcedColors,     "forced_colors",      "CSS `forced-colors: active` (Windows high-contrast mode)."),
+    (ReducedMotion,    "reduced_motion",     "CSS `prefers-reduced-motion`."),
+    (ScreenFrame,      "screen_frame",       "Max border between screen and available area (taskbar/dock size)."),
+    (TouchSupport,     "touch_support",      "Touch event support summary (`none`, `touchEvent/touchStart`, ...)."),
+    (MaxTouchPoints,   "max_touch_points",   "`navigator.maxTouchPoints`."),
+    // ----- locale / location ---------------------------------------------
+    (Timezone,         "timezone",           "IANA timezone from `Intl.DateTimeFormat` (e.g. `Europe/Paris`)."),
+    (TimezoneOffset,   "timezone_offset",    "`Date.getTimezoneOffset()` in minutes (UTC - local)."),
+    (Language,         "language",           "`navigator.language`."),
+    (Languages,        "languages",          "`navigator.languages` list."),
+    (NavGeoRegion,     "nav_geo_region",     "Region reported by `navigator.geolocation` (coarse, simulated consent)."),
+    // ----- rendering / fonts ---------------------------------------------
+    (Fonts,            "fonts",              "Installed fonts detected via width probing."),
+    (MonospaceWidth,   "monospace_width",    "Measured width of the FingerprintJS monospace probe string (px)."),
+    (Canvas,           "canvas",             "Canvas rendering digest."),
+    (Audio,            "audio",              "OfflineAudioContext fingerprint value."),
+    (WebGlVendor,      "webgl_vendor",       "`WEBGL_debug_renderer_info` unmasked vendor."),
+    (WebGlRenderer,    "webgl_renderer",     "`WEBGL_debug_renderer_info` unmasked renderer."),
+    // ----- storage --------------------------------------------------------
+    (SessionStorage,   "session_storage",    "`window.sessionStorage` availability."),
+    (LocalStorage,     "local_storage",      "`window.localStorage` availability."),
+    (IndexedDb,        "indexed_db",         "`window.indexedDB` availability."),
+    // ----- HTTP header layer ---------------------------------------------
+    (AcceptLanguage,   "accept_language",    "`Accept-Language` request header."),
+    (SecChUa,          "sec_ch_ua",          "`Sec-CH-UA` client-hint header (Chromium engines only)."),
+    (SecChUaPlatform,  "sec_ch_ua_platform", "`Sec-CH-UA-Platform` client-hint header."),
+    (SecChUaMobile,    "sec_ch_ua_mobile",   "`Sec-CH-UA-Mobile` client-hint header (`?0`/`?1`)."),
+    // ----- cross-layer TLS extension (Section 8.2) ------------------------
+    (Ja3,              "ja3",                "JA3 digest of the TLS ClientHello that carried the request."),
+    (Ja4,              "ja4",                "JA4-style ClientHello descriptor."),
+}
+
+impl AttrId {
+    /// Iterate all attributes.
+    pub fn iter() -> impl Iterator<Item = AttrId> {
+        Self::ALL.iter().copied()
+    }
+
+    /// Dense index for array storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of [`AttrId::index`]; panics if out of range.
+    #[inline]
+    pub fn from_index(i: usize) -> AttrId {
+        Self::ALL[i]
+    }
+
+    /// Attributes that cannot change for a physical device across requests
+    /// (the paper's temporal-inconsistency anchors, Section 7.2: "immutable
+    /// device attributes (e.g., number of CPU cores, device memory)").
+    pub fn immutable_for_device(self) -> bool {
+        matches!(
+            self,
+            AttrId::HardwareConcurrency
+                | AttrId::DeviceMemory
+                | AttrId::Platform
+                | AttrId::MaxTouchPoints
+                | AttrId::ColorDepth
+                | AttrId::ScreenResolution
+                | AttrId::WebGlVendor
+                | AttrId::WebGlRenderer
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn names_are_unique_and_roundtrip() {
+        let mut seen = HashSet::new();
+        for id in AttrId::iter() {
+            assert!(seen.insert(id.name()), "duplicate name {}", id.name());
+            assert_eq!(AttrId::from_name(id.name()), Some(id));
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert_eq!(AttrId::from_name("definitely_not_an_attribute"), None);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for (i, id) in AttrId::iter().enumerate() {
+            assert_eq!(id.index(), i);
+            assert_eq!(AttrId::from_index(i), id);
+        }
+    }
+
+    #[test]
+    fn count_matches_all() {
+        assert_eq!(AttrId::COUNT, AttrId::ALL.len());
+        assert!(AttrId::COUNT >= 40, "schema should stay broad");
+    }
+
+    #[test]
+    fn immutable_set_contains_paper_examples() {
+        assert!(AttrId::HardwareConcurrency.immutable_for_device());
+        assert!(AttrId::DeviceMemory.immutable_for_device());
+        assert!(AttrId::Platform.immutable_for_device());
+        assert!(!AttrId::Timezone.immutable_for_device(), "travel changes timezones");
+        assert!(!AttrId::UserAgent.immutable_for_device(), "browser updates change the UA");
+    }
+}

@@ -1,0 +1,151 @@
+//! Ground-truth provenance labels.
+//!
+//! The honey-site architecture exists to make these labels reliable: each
+//! URL token is shared with exactly one traffic source, so every admitted
+//! request carries its true origin (Section 4.1).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a purchased bot service, `S1`..=`S20` in the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct ServiceId(pub u8);
+
+impl ServiceId {
+    /// Number of bot services in the campaign (Table 1).
+    pub const COUNT: u8 = 20;
+
+    /// All service ids, `S1`..`S20`.
+    pub fn all() -> impl Iterator<Item = ServiceId> {
+        (1..=Self::COUNT).map(ServiceId)
+    }
+
+    /// Paper-style name (`S7`).
+    pub fn name(self) -> String {
+        format!("S{}", self.0)
+    }
+}
+
+impl fmt::Display for ServiceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// Privacy-enhancing technologies evaluated in Section 7.5.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum PrivacyTech {
+    /// Brave browser: farbles audio/canvas/plugins/deviceMemory/
+    /// hardwareConcurrency/screenResolution, keeps cookies.
+    Brave,
+    /// Tor Browser: uniform fingerprint, UTC timezone, exit-node IPs.
+    Tor,
+    /// Safari with Intelligent Tracking Prevention (blocks trackers only).
+    Safari,
+    /// uBlock Origin on Chrome (blocks requests only).
+    UblockOrigin,
+    /// AdBlock Plus on Chrome (blocks requests only).
+    AdblockPlus,
+}
+
+impl PrivacyTech {
+    /// All evaluated technologies.
+    pub const ALL: [PrivacyTech; 5] = [
+        PrivacyTech::Brave,
+        PrivacyTech::Tor,
+        PrivacyTech::Safari,
+        PrivacyTech::UblockOrigin,
+        PrivacyTech::AdblockPlus,
+    ];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PrivacyTech::Brave => "Brave",
+            PrivacyTech::Tor => "Tor",
+            PrivacyTech::Safari => "Safari",
+            PrivacyTech::UblockOrigin => "uBlock Origin",
+            PrivacyTech::AdblockPlus => "AdBlock Plus",
+        }
+    }
+
+    /// Whether the tool alters fingerprint attributes (vs. only blocking
+    /// tracker requests). Only the altering ones can trigger rules.
+    pub fn alters_fingerprints(self) -> bool {
+        matches!(self, PrivacyTech::Brave | PrivacyTech::Tor)
+    }
+}
+
+/// Who actually generated a request — the honey site's ground truth.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum TrafficSource {
+    /// One of the 20 purchased bot services.
+    Bot(ServiceId),
+    /// Real-user traffic from the university URL (Section 7.4).
+    RealUser,
+    /// The privacy-technology experiment (Section 7.5).
+    Privacy(PrivacyTech),
+}
+
+impl TrafficSource {
+    /// Ground truth: is this request from a bot?
+    pub fn is_bot(self) -> bool {
+        matches!(self, TrafficSource::Bot(_))
+    }
+
+    /// The service id, when a bot.
+    pub fn service(self) -> Option<ServiceId> {
+        match self {
+            TrafficSource::Bot(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TrafficSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrafficSource::Bot(s) => write!(f, "bot:{s}"),
+            TrafficSource::RealUser => f.write_str("real-user"),
+            TrafficSource::Privacy(p) => write!(f, "privacy:{}", p.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_services() {
+        let all: Vec<_> = ServiceId::all().collect();
+        assert_eq!(all.len(), 20);
+        assert_eq!(all[0].name(), "S1");
+        assert_eq!(all[19].name(), "S20");
+    }
+
+    #[test]
+    fn bot_label() {
+        assert!(TrafficSource::Bot(ServiceId(3)).is_bot());
+        assert!(!TrafficSource::RealUser.is_bot());
+        assert!(!TrafficSource::Privacy(PrivacyTech::Brave).is_bot());
+        assert_eq!(TrafficSource::Bot(ServiceId(3)).service(), Some(ServiceId(3)));
+        assert_eq!(TrafficSource::RealUser.service(), None);
+    }
+
+    #[test]
+    fn privacy_alteration_flags() {
+        assert!(PrivacyTech::Brave.alters_fingerprints());
+        assert!(PrivacyTech::Tor.alters_fingerprints());
+        assert!(!PrivacyTech::Safari.alters_fingerprints());
+        assert!(!PrivacyTech::UblockOrigin.alters_fingerprints());
+        assert!(!PrivacyTech::AdblockPlus.alters_fingerprints());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TrafficSource::Bot(ServiceId(14)).to_string(), "bot:S14");
+        assert_eq!(TrafficSource::RealUser.to_string(), "real-user");
+        assert_eq!(TrafficSource::Privacy(PrivacyTech::Tor).to_string(), "privacy:Tor");
+    }
+}

@@ -1,0 +1,37 @@
+//! Shared core types for the FP-Inconsistent reproduction.
+//!
+//! This crate is the vocabulary every other crate speaks:
+//!
+//! * [`Symbol`] / [`Interner`] — cheap, copyable interned strings. A recorded
+//!   campaign holds half a million requests, each with ~40 attribute values;
+//!   interning keeps a request a flat vector of 8-byte values and makes
+//!   equality checks (the heart of the inconsistency miner) integer compares.
+//! * [`AttrId`] / [`AttrValue`] / [`Fingerprint`] — the attribute schema
+//!   mirroring what FingerprintJS plus the HTTP layer exposes (Section 4.4 of
+//!   the paper).
+//! * [`Request`] — one admitted honey-site request: fingerprint, source IP,
+//!   behaviour trace, cookie device identifier and ground-truth provenance.
+//! * [`SimTime`] / [`SimClock`] — simulated time, counted from the start of
+//!   the paper's three-month study window (2023-09-01).
+//! * [`mix`] — deterministic splittable hashing used wherever a generator or
+//!   detector needs per-request randomness that must be stable across runs.
+
+pub mod attr;
+pub mod clock;
+pub mod fingerprint;
+pub mod interner;
+pub mod label;
+pub mod mix;
+pub mod request;
+pub mod scale;
+pub mod value;
+
+pub use attr::AttrId;
+pub use clock::{SimClock, SimTime, STUDY_DAYS, STUDY_EPOCH_UNIX};
+pub use fingerprint::Fingerprint;
+pub use interner::{sym, Interner, Symbol};
+pub use label::{PrivacyTech, ServiceId, TrafficSource};
+pub use mix::{mix2, mix3, splitmix64, unit_f64, Splittable};
+pub use request::{BehaviorTrace, CookieId, PointerStats, Request, RequestId};
+pub use scale::Scale;
+pub use value::AttrValue;

@@ -1,0 +1,153 @@
+//! The recorded request: what the honey site stores per admitted visit.
+
+use crate::clock::SimTime;
+use crate::fingerprint::Fingerprint;
+use crate::interner::Symbol;
+use crate::label::TrafficSource;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Monotonically assigned request identifier.
+pub type RequestId = u64;
+
+/// The large random first-party cookie value the honey site sets on first
+/// contact (Section 6.3). Requests sharing a `CookieId` came from the same
+/// browser profile — the anchor for temporal-inconsistency analysis.
+pub type CookieId = u64;
+
+/// Summary statistics of a pointer trajectory, computed from the actual
+/// event stream (the generators in `fp-botnet::pointer` synthesise point
+/// sequences; these are their moments). Detection-side code never sees a
+/// "naturalness" label — it must *derive* one from these statistics, the
+/// way DataDome's behavioural model consumes its MouseEvent listeners
+/// (Table 5).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PointerStats {
+    /// Number of movement samples in the trajectory.
+    pub samples: u16,
+    /// Wall-clock span of the trajectory in milliseconds.
+    pub duration_ms: u32,
+    /// Coefficient of variation of per-segment speeds. Human hands
+    /// accelerate and decelerate (≈0.3–1.2); replayed lines are constant.
+    pub speed_cv: f32,
+    /// Mean absolute turn angle between consecutive segments, radians.
+    /// Human trajectories curve and tremor; synthetic lines do not.
+    pub curvature: f32,
+    /// Fraction of the duration spent in pauses longer than 100 ms —
+    /// humans stop to read.
+    pub pause_fraction: f32,
+}
+
+/// Client-side behaviour observed while the page was open. DataDome reads
+/// mouse events (Table 5); bots rarely produce credible ones. FingerprintJS
+/// does *not* capture this, which is why the evasion classifiers trained on
+/// fingerprint attributes alone cannot perfectly predict DataDome verdicts
+/// (the paper's DataDome classifier plateaus near 82%).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct BehaviorTrace {
+    /// Number of `mousemove`/`mousedown`/`mouseup` events observed.
+    pub mouse_events: u16,
+    /// Number of touch events observed.
+    pub touch_events: u16,
+    /// Trajectory statistics when pointer movement was observed.
+    pub pointer: Option<PointerStats>,
+    /// Milliseconds between page load and the first input event (0 = none).
+    pub first_input_delay_ms: u32,
+}
+
+impl BehaviorTrace {
+    /// A trace with no input at all — the typical bot page visit.
+    pub fn silent() -> BehaviorTrace {
+        BehaviorTrace::default()
+    }
+
+    /// Whether any human-input evidence exists.
+    pub fn has_input(&self) -> bool {
+        self.mouse_events > 0 || self.touch_events > 0
+    }
+}
+
+/// One admitted request, as recorded by the honey-site pipeline.
+///
+/// The raw source IP is kept here for the *generation* side; the store hashes
+/// it before persistence (paper ethics appendix) while retaining the derived
+/// geo/ASN facts it needs for analysis.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Request {
+    /// Dense id, assigned by the store at admission.
+    pub id: RequestId,
+    /// Simulated arrival time.
+    pub time: SimTime,
+    /// The URL token of the honey-site version that received the request.
+    pub site_token: Symbol,
+    /// Source IPv4 address.
+    pub ip: Ipv4Addr,
+    /// First-party cookie, if the browser presented one.
+    pub cookie: Option<CookieId>,
+    /// The FingerprintJS-style attribute vector.
+    pub fingerprint: Fingerprint,
+    /// Observed input behaviour.
+    pub behavior: BehaviorTrace,
+    /// Ground-truth provenance (known because of the URL-token design).
+    pub source: TrafficSource,
+}
+
+impl Request {
+    /// Convenience accessor for a fingerprint attribute.
+    pub fn attr(&self, id: crate::AttrId) -> &crate::AttrValue {
+        self.fingerprint.get(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{sym, AttrId, ServiceId};
+
+    fn sample() -> Request {
+        Request {
+            id: 7,
+            time: SimTime::from_day(3, 120),
+            site_token: sym("Byxxodkxn3"),
+            ip: Ipv4Addr::new(52, 31, 4, 9),
+            cookie: Some(0xDEAD_BEEF),
+            fingerprint: Fingerprint::new().with(AttrId::UaDevice, "iPhone"),
+            behavior: BehaviorTrace::silent(),
+            source: TrafficSource::Bot(ServiceId(1)),
+        }
+    }
+
+    #[test]
+    fn attr_accessor() {
+        let r = sample();
+        assert_eq!(r.attr(AttrId::UaDevice).as_str(), Some("iPhone"));
+        assert!(r.attr(AttrId::Plugins).is_missing());
+    }
+
+    #[test]
+    fn silent_trace_has_no_input() {
+        assert!(!BehaviorTrace::silent().has_input());
+        let t = BehaviorTrace {
+            mouse_events: 3,
+            ..BehaviorTrace::default()
+        };
+        assert!(t.has_input());
+        let t = BehaviorTrace {
+            touch_events: 1,
+            ..BehaviorTrace::default()
+        };
+        assert!(t.has_input());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = sample();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: Request = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.id, r.id);
+        assert_eq!(back.ip, r.ip);
+        assert_eq!(back.cookie, r.cookie);
+        assert_eq!(back.fingerprint, r.fingerprint);
+        assert_eq!(back.source, r.source);
+    }
+}

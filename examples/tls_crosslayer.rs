@@ -1,0 +1,71 @@
+//! The §8.2 extension: cross-layer consistency between the browser the UA
+//! claims and the TLS stack that actually carried the request.
+//!
+//! Demonstrates the TLS substrate end to end: building real ClientHello
+//! bytes per browser profile, parsing them back, JA3/JA4 digests, and the
+//! UA↔JA3 rules the miner discovers once the category is enabled.
+//!
+//! ```sh
+//! cargo run --release --example tls_crosslayer
+//! ```
+
+use fp_inconsistent::core::evaluate;
+use fp_inconsistent::prelude::*;
+use fp_inconsistent::tls::{ja3_digest, ja3_string, ja4_descriptor, ClientHello, TlsClientKind};
+use fp_inconsistent::types::Splittable;
+
+fn main() {
+    // 1. The wire layer is real: serialise and re-parse each stack's hello.
+    let mut rng = Splittable::new(1);
+    println!("{:<16} {:>6} {:<34} {}", "Stack", "bytes", "JA3", "JA4");
+    for kind in TlsClientKind::ALL {
+        let hello = kind.client_hello("honey.example.com", &mut rng);
+        let wire = hello.to_wire();
+        let parsed = ClientHello::parse(&wire).expect("own bytes parse");
+        assert_eq!(parsed, hello);
+        println!(
+            "{:<16} {:>6} {:<34} {}",
+            format!("{kind:?}"),
+            wire.len(),
+            ja3_digest(&hello),
+            ja4_descriptor(&hello)
+        );
+    }
+
+    // 2. The JA3 string itself (pre-hash) for one stack.
+    let hello = TlsClientKind::Chromium.client_hello("honey.example.com", &mut rng);
+    println!("\nChromium JA3 string: {}", ja3_string(&hello));
+
+    // 3. Cross-layer mining: a bot claiming Safari but greeting like Go.
+    let campaign = Campaign::generate(CampaignConfig { scale: Scale::ratio(0.03), seed: 5 });
+    let mut site = HoneySite::new();
+    for id in ServiceId::all() {
+        site.register_token(campaign.token_of(id));
+    }
+    site.ingest_all(campaign.bot_requests.iter().cloned());
+    let store = site.into_store();
+
+    let paper = FpInconsistent::mine(&store, &MineConfig::default());
+    let extended = FpInconsistent::mine(
+        &store,
+        &MineConfig { include_cross_layer: true, ..MineConfig::default() },
+    );
+    let (_, base) = evaluate::evaluate(&store, &paper);
+    let (_, ext) = evaluate::evaluate(&store, &extended);
+    println!(
+        "\nrules {} -> {} with the TLS category; combined DataDome detection {:.2}% -> {:.2}%",
+        paper.rules().len(),
+        extended.rules().len(),
+        base.combined.0 * 100.0,
+        ext.combined.0 * 100.0
+    );
+    println!("\nexample cross-layer rules:");
+    for rule in extended
+        .rules()
+        .iter()
+        .filter(|r| !paper.rules().iter().any(|p| p == *r))
+        .take(5)
+    {
+        println!("  {rule}");
+    }
+}

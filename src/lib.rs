@@ -1,0 +1,58 @@
+//! FP-Inconsistent — a full reproduction of *"FP-Inconsistent: Measurement
+//! and Analysis of Fingerprint Inconsistencies in Evasive Bot Traffic"*
+//! (IMC 2025) as a Rust workspace.
+//!
+//! This facade crate re-exports every subsystem:
+//!
+//! * [`types`] — attribute schema, fingerprints, requests, simulated time;
+//! * [`fingerprint`] — real-device catalogue, UA synthesis/parsing, the
+//!   FingerprintJS-style collector and the validity oracle;
+//! * [`netsim`] — ASN/IP allocation, geolocation, timezones, blocklists;
+//! * [`tls`] — ClientHello wire format, JA3/JA4, browser TLS profiles;
+//! * [`antibot`] — the DataDome-like and BotD-like detector simulators;
+//! * [`botnet`] — the 20 bot services, real users and privacy tools;
+//! * [`honeysite`] — URL-token admission, cookies, pipeline, store;
+//! * [`ml`] — gradient-boosted trees + attribution (XGBoost/SHAP stand-in);
+//! * [`core`] — FP-Inconsistent itself: spatial/temporal rule mining, the
+//!   filter list and the evaluation harness.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fp_inconsistent::prelude::*;
+//!
+//! // A small deterministic campaign (1% of the paper's volume).
+//! let campaign = Campaign::generate(CampaignConfig { scale: Scale::ratio(0.01), seed: 7 });
+//!
+//! // Run it through the honey site (detectors + storage).
+//! let mut site = HoneySite::new();
+//! for id in ServiceId::all() {
+//!     site.register_token(campaign.token_of(id));
+//! }
+//! site.ingest_all(campaign.bot_requests.iter().cloned());
+//! let store = site.into_store();
+//!
+//! // Mine inconsistency rules and measure the improvement.
+//! let engine = FpInconsistent::mine(&store, &MineConfig::default());
+//! let (_, report) = fp_inconsistent::core::evaluate::evaluate(&store, &engine);
+//! assert!(report.combined.0 > report.none.0, "rules must add detection");
+//! ```
+
+pub use fp_antibot as antibot;
+pub use fp_botnet as botnet;
+pub use fp_fingerprint as fingerprint;
+pub use fp_honeysite as honeysite;
+pub use fp_inconsistent_core as core;
+pub use fp_ml as ml;
+pub use fp_netsim as netsim;
+pub use fp_tls as tls;
+pub use fp_types as types;
+
+/// The names almost every consumer wants.
+pub mod prelude {
+    pub use fp_antibot::{BotD, DataDome, Detector, Verdict};
+    pub use fp_botnet::{Campaign, CampaignConfig};
+    pub use fp_honeysite::{HoneySite, RequestStore};
+    pub use fp_inconsistent_core::{FpInconsistent, MineConfig, RuleSet};
+    pub use fp_types::{AttrId, AttrValue, Fingerprint, Request, Scale, ServiceId, SimTime};
+}

@@ -1,0 +1,141 @@
+//! End-to-end calibration: the generated campaign, run through the real
+//! honey-site pipeline, must reproduce the paper's headline measurements.
+//!
+//! Tolerances are a few percentage points — the test runs at reduced scale
+//! and the point is the *shape* (who evades whom, and by roughly how much),
+//! not the fourth decimal.
+
+use fp_botnet::{Campaign, CampaignConfig, SERVICES};
+use fp_honeysite::{stats, HoneySite};
+use fp_inconsistent_core::evaluate;
+use fp_inconsistent_core::{FpInconsistent, MineConfig};
+use fp_types::{Scale, ServiceId, TrafficSource};
+
+fn ingest(campaign: &Campaign) -> fp_honeysite::RequestStore {
+    let mut site = HoneySite::new();
+    for id in ServiceId::all() {
+        site.register_token(campaign.token_of(id));
+    }
+    site.register_token(campaign.real_user_token());
+    site.ingest_all(campaign.bot_requests.iter().cloned());
+    site.ingest_all(campaign.real_users.iter().map(|r| r.request.clone()));
+    site.into_store()
+}
+
+fn campaign() -> Campaign {
+    Campaign::generate(CampaignConfig { scale: Scale::ratio(0.08), seed: 0xCA11B })
+}
+
+#[test]
+fn table1_per_service_evasion_rates() {
+    let campaign = campaign();
+    let store = ingest(&campaign);
+    let measured = stats::per_service(&store);
+    assert_eq!(measured.len(), 20);
+    for spec in SERVICES.iter() {
+        let m = measured.iter().find(|s| s.id == spec.id).unwrap();
+        // Small services at 8% scale carry more sampling noise.
+        let tol = if spec.requests > 10_000 { 0.035 } else { 0.09 };
+        assert!(
+            (m.dd_evasion - spec.dd_evasion).abs() < tol,
+            "{}: DataDome evasion {:.4} vs paper {:.4}",
+            spec.id,
+            m.dd_evasion,
+            spec.dd_evasion
+        );
+        assert!(
+            (m.botd_evasion - spec.botd_evasion).abs() < tol,
+            "{}: BotD evasion {:.4} vs paper {:.4}",
+            spec.id,
+            m.botd_evasion,
+            spec.botd_evasion
+        );
+    }
+}
+
+#[test]
+fn overall_evasion_matches_section5() {
+    let campaign = campaign();
+    let store = ingest(&campaign);
+    // Restrict to bot traffic.
+    let (dd, botd) = stats::overall_evasion(&store);
+    assert!((dd - 0.4456).abs() < 0.02, "overall DataDome evasion {dd}");
+    assert!((botd - 0.5293).abs() < 0.02, "overall BotD evasion {botd}");
+}
+
+#[test]
+fn tables_3_and_4_detection_improvement() {
+    let campaign = campaign();
+    let store = ingest(&campaign);
+    let engine = FpInconsistent::mine(&store, &MineConfig::default());
+    let (improvements, report) = evaluate::evaluate(&store, &engine);
+
+    // Table 4 shape: spatial carries almost all of the improvement,
+    // temporal a little, combined the most.
+    assert!((report.none.0 - 0.5544).abs() < 0.02, "base DD detection {}", report.none.0);
+    assert!((report.none.1 - 0.4707).abs() < 0.02, "base BotD detection {}", report.none.1);
+    assert!((report.spatial.0 - 0.7604).abs() < 0.04, "spatial DD {}", report.spatial.0);
+    assert!((report.spatial.1 - 0.7033).abs() < 0.04, "spatial BotD {}", report.spatial.1);
+    assert!(report.temporal.0 < report.spatial.0, "temporal adds less than spatial");
+    assert!(report.combined.0 >= report.spatial.0);
+    assert!(report.combined.1 >= report.spatial.1);
+    assert!((report.combined.0 - 0.7688).abs() < 0.04, "combined DD {}", report.combined.0);
+    assert!((report.combined.1 - 0.7086).abs() < 0.04, "combined BotD {}", report.combined.1);
+
+    // Headline: evasion reduced by 48.11% (DataDome) / 44.95% (BotD).
+    let (dd_red, botd_red) = report.evasion_reduction();
+    assert!((dd_red - 0.4811).abs() < 0.08, "DD evasion reduction {dd_red}");
+    assert!((botd_red - 0.4495).abs() < 0.08, "BotD evasion reduction {botd_red}");
+
+    // Table 3 per-service shape for the biggest services.
+    for spec in SERVICES.iter().filter(|s| s.requests > 20_000) {
+        let m = improvements.iter().find(|s| s.id == spec.id).unwrap();
+        assert!(
+            (m.dd_post_detection - spec.dd_post_detection).abs() < 0.06,
+            "{}: DD post {:.4} vs paper {:.4}",
+            spec.id,
+            m.dd_post_detection,
+            spec.dd_post_detection
+        );
+        assert!(
+            (m.botd_post_detection - spec.botd_post_detection).abs() < 0.06,
+            "{}: BotD post {:.4} vs paper {:.4}",
+            spec.id,
+            m.botd_post_detection,
+            spec.botd_post_detection
+        );
+    }
+}
+
+#[test]
+fn real_user_true_negative_rate() {
+    let campaign = campaign();
+    let store = ingest(&campaign);
+    let engine = FpInconsistent::mine(&store, &MineConfig::default());
+    let tnr = evaluate::true_negative_rate(&store, &engine);
+    // Paper: 96.84% (spoofer students trip UA rules).
+    assert!((tnr - 0.9684).abs() < 0.025, "TNR {tnr}");
+}
+
+#[test]
+fn design_ground_truth_matches_detectors() {
+    // The generator's intended cells must be what the detectors actually
+    // decide — the honesty check on the whole calibration scheme.
+    let campaign = campaign();
+    let store = ingest(&campaign);
+    let mut mismatches = 0u64;
+    let mut n = 0u64;
+    for (r, design) in store
+        .iter()
+        .filter(|r| matches!(r.source, TrafficSource::Bot(_)))
+        .zip(&campaign.designs)
+    {
+        n += 1;
+        if r.evaded_datadome() != design.cell.evades_dd() || r.evaded_botd() != design.cell.evades_botd() {
+            mismatches += 1;
+        }
+    }
+    assert!(n > 0);
+    let rate = mismatches as f64 / n as f64;
+    assert!(rate < 0.01, "intended-vs-actual verdict mismatch rate {rate}");
+}

@@ -1,0 +1,195 @@
+//! Shape assertions for every figure of the paper's analysis sections —
+//! the same computations as the `fp-bench` binaries, pinned as tests.
+
+use fp_botnet::{Campaign, CampaignConfig};
+use fp_fingerprint::catalog::is_real_iphone_resolution;
+use fp_honeysite::{stats, HoneySite, RequestStore};
+use fp_netsim::GeoTarget;
+use fp_types::{AttrId, Scale, ServiceId, TrafficSource};
+use std::collections::HashMap;
+
+fn store() -> RequestStore {
+    let campaign = Campaign::generate(CampaignConfig { scale: Scale::ratio(0.08), seed: 0xF16 });
+    let mut site = HoneySite::new();
+    for id in ServiceId::all() {
+        site.register_token(campaign.token_of(id));
+    }
+    site.ingest_all(campaign.bot_requests.iter().cloned());
+    site.into_store()
+}
+
+#[test]
+fn fig4_any_pdf_plugin_nearly_guarantees_botd_evasion() {
+    let store = store();
+    for plugin in fp_fingerprint::catalog::CHROMIUM_PDF_PLUGINS {
+        let mut n = 0u64;
+        let mut evaded = 0u64;
+        for r in store.iter() {
+            if r.fingerprint
+                .get(AttrId::Plugins)
+                .as_list()
+                .map(|l| l.contains(&plugin))
+                .unwrap_or(false)
+            {
+                n += 1;
+                evaded += u64::from(r.evaded_botd());
+            }
+        }
+        let p = evaded as f64 / n.max(1) as f64;
+        assert!(n > 100, "{plugin}: too few samples");
+        assert!(p > 0.93 && p < 1.0, "{plugin}: P(evade) = {p} should be near-but-below 1");
+    }
+}
+
+#[test]
+fn fig5_core_count_cdf_separates_evasion_groups() {
+    let store = store();
+    let below8 = |ids: &[u8]| {
+        let set: Vec<ServiceId> = ids.iter().map(|&i| ServiceId(i)).collect();
+        let cores: Vec<i64> = store
+            .iter()
+            .filter(|r| matches!(r.source, TrafficSource::Bot(id) if set.contains(&id)))
+            .filter_map(|r| r.fingerprint.get(AttrId::HardwareConcurrency).as_int())
+            .collect();
+        cores.iter().filter(|&&c| c < 8).count() as f64 / cores.len().max(1) as f64
+    };
+    let high = below8(&[8, 9, 17]);
+    let low = below8(&[7, 11, 16]);
+    assert!(high > 0.72, "high-evasion group < 8 cores: {high} (paper 84.7%)");
+    assert!((0.25..0.50).contains(&low), "low-evasion group < 8 cores: {low} (paper 38.16%)");
+    assert!(high > low + 0.3, "groups must separate: {high} vs {low}");
+}
+
+#[test]
+fn fig6_device_type_evasion_ordering() {
+    let store = store();
+    let mut by: HashMap<&str, (u64, u64)> = HashMap::new();
+    for r in store.iter() {
+        let Some(device) = r.fingerprint.get(AttrId::UaDevice).as_str() else { continue };
+        let class = match device {
+            "iPhone" | "iPad" | "Mac" | "Other" => device,
+            "K" => "Other",
+            _ => continue,
+        };
+        let e = by.entry(class).or_default();
+        e.0 += 1;
+        e.1 += u64::from(r.evaded_datadome());
+    }
+    let p = |d: &str| {
+        let (n, e) = by[d];
+        e as f64 / n as f64
+    };
+    // The paper's Figure 6 ordering, iPhone on top around 0.5.
+    assert!((p("iPhone") - 0.5).abs() < 0.08, "iPhone {}", p("iPhone"));
+    assert!(p("iPhone") > p("Other"), "iPhone > Other");
+    assert!(p("Other") > p("iPad"), "Other > iPad");
+    assert!(p("iPad") > p("Mac"), "iPad > Mac");
+}
+
+#[test]
+fn fig7_resolution_census() {
+    let store = store();
+    let mut census: HashMap<(u16, u16), (u64, u64)> = HashMap::new();
+    for r in store.iter() {
+        if r.fingerprint.get(AttrId::UaDevice).as_str() != Some("iPhone") {
+            continue;
+        }
+        if let Some(res) = r.fingerprint.get(AttrId::ScreenResolution).as_resolution() {
+            let e = census.entry(res).or_default();
+            e.0 += 1;
+            e.1 += u64::from(r.evaded_datadome());
+        }
+    }
+    let total = census.len();
+    let evading = census.values().filter(|(_, e)| *e > 0).count();
+    assert!((78..=83).contains(&total), "distinct resolutions {total} (paper 83)");
+    assert!((38..=42).contains(&evading), "evading resolutions {evading} (paper 42)");
+
+    let mut ranked: Vec<((u16, u16), u64, f64)> = census
+        .iter()
+        .map(|(&res, &(n, e))| (res, n, e as f64 / n.max(1) as f64))
+        .collect();
+    ranked.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap().then(b.1.cmp(&a.1)));
+    let fake = ranked.iter().take(10).filter(|(res, _, _)| !is_real_iphone_resolution(*res)).count();
+    assert_eq!(fake, 9, "paper: 9 of the top 10 do not exist");
+}
+
+#[test]
+fn fig8_geo_match_rates() {
+    let store = store();
+    let rate = |service: u8, target: GeoTarget, by_tz: bool| {
+        let mut n = 0u64;
+        let mut matched = 0u64;
+        for r in store.iter() {
+            if r.source != TrafficSource::Bot(ServiceId(service)) {
+                continue;
+            }
+            n += 1;
+            let offset = if by_tz {
+                r.fingerprint
+                    .get(AttrId::Timezone)
+                    .as_str()
+                    .and_then(fp_netsim::geo::offset_of_timezone)
+            } else {
+                Some(r.ip_offset_minutes)
+            };
+            if offset.map(|o| target.offset_matches(o)).unwrap_or(false) {
+                matched += 1;
+            }
+        }
+        matched as f64 / n.max(1) as f64
+    };
+    // §6.2's headline pair: Canada 76.52% by timezone vs 92.44% by IP;
+    // Europe 56% vs 99.83%.
+    let canada_tz = rate(11, GeoTarget::Canada, true);
+    let canada_ip = rate(11, GeoTarget::Canada, false);
+    let europe_tz = rate(12, GeoTarget::Europe, true);
+    let europe_ip = rate(12, GeoTarget::Europe, false);
+    assert!((canada_tz - 0.7652).abs() < 0.06, "Canada tz {canada_tz}");
+    assert!(canada_ip > 0.90, "Canada ip {canada_ip}");
+    assert!((europe_tz - 0.56).abs() < 0.07, "Europe tz {europe_tz}");
+    assert!(europe_ip > 0.95, "Europe ip {europe_ip}");
+    assert!(canada_ip > canada_tz && europe_ip > europe_tz, "IP always looks cleaner than the timezone");
+}
+
+#[test]
+fn fig9_renewal_spikes_and_fresh_fingerprints() {
+    let store = store();
+    let series = stats::daily_series(&store);
+    assert!(series[30].requests > series[25].requests * 2, "Oct 01 renewal spike");
+    assert!(series[60].requests > series[55].requests * 2, "Oct 31 renewal spike");
+    // Unique counts sit visibly below requests on busy days.
+    assert!(series[0].unique_cookies < series[0].requests * 95 / 100);
+    // Fresh fingerprints keep appearing late in the campaign.
+    let late: u64 = series[70..].iter().map(|d| d.unique_fingerprints).sum();
+    assert!(late > 100, "fresh fingerprints after two months: {late}");
+}
+
+#[test]
+fn fig10_top_cookie_platform_spread() {
+    let store = store();
+    let (cookie, count) = store.top_cookie().unwrap();
+    assert!(count > 60, "top cookie volume {count}");
+    let mut platforms: HashMap<&str, u64> = HashMap::new();
+    for r in store.with_cookie(cookie) {
+        if let Some(p) = r.fingerprint.get(AttrId::Platform).as_str() {
+            *platforms.entry(p).or_default() += 1;
+        }
+    }
+    assert!(platforms.len() >= 6, "platform spread {platforms:?}");
+    let total: u64 = platforms.values().sum();
+    let win = platforms.get("Win32").copied().unwrap_or(0) as f64 / total as f64;
+    assert!((win - 0.38).abs() < 0.09, "Win32 share {win} (paper 38%)");
+}
+
+#[test]
+fn sec5_1_blocklist_shape() {
+    let store = store();
+    let b = stats::blocklist_stats(&store);
+    assert!((b.asn_flagged_share - 0.8254).abs() < 0.04, "ASN share {}", b.asn_flagged_share);
+    assert!((b.ip_blocked_share - 0.1586).abs() < 0.03, "IP coverage {}", b.ip_blocked_share);
+    // Evasion among listed traffic stays near (DataDome) or above (BotD)
+    // the overall rates — Takeaway 2.
+    assert!(b.asn_dd_evasion > 0.40 && b.asn_botd_evasion > 0.48);
+    assert!(b.ip_botd_evasion > 0.60, "blocked-IP BotD evasion {}", b.ip_botd_evasion);
+}

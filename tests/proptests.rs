@@ -1,0 +1,253 @@
+//! Property-based tests over the core data structures and invariants.
+
+use fp_inconsistent_core::{RuleSet, SpatialRule};
+use fp_inconsistent_core::attrs::AnalysisAttr;
+use fp_tls::{ClientHello, Extension};
+use fp_types::{AttrId, AttrValue, Fingerprint};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Generators.
+
+fn arb_attr_value() -> impl Strategy<Value = AttrValue> {
+    prop_oneof![
+        Just(AttrValue::Missing),
+        any::<bool>().prop_map(AttrValue::Bool),
+        (-1_000_000i64..1_000_000).prop_map(AttrValue::Int),
+        (-1_000_000i64..1_000_000).prop_map(AttrValue::Milli),
+        (1u16..4096, 1u16..4096).prop_map(|(w, h)| AttrValue::Resolution(w, h)),
+        "[a-zA-Z0-9 ._/-]{0,24}".prop_map(|s| AttrValue::text(&s)),
+    ]
+}
+
+fn arb_attr_id() -> impl Strategy<Value = AttrId> {
+    (0..AttrId::COUNT).prop_map(AttrId::from_index)
+}
+
+fn arb_fingerprint() -> impl Strategy<Value = Fingerprint> {
+    proptest::collection::vec((arb_attr_id(), arb_attr_value()), 0..20).prop_map(|pairs| {
+        let mut fp = Fingerprint::new();
+        for (id, v) in pairs {
+            fp.set(id, v);
+        }
+        fp
+    })
+}
+
+// Rule values must survive the *display* form (the filter-list format), so
+// restrict strings to the displayable subset without the separator.
+fn arb_rule_value() -> impl Strategy<Value = AttrValue> {
+    prop_oneof![
+        any::<bool>().prop_map(AttrValue::Bool),
+        (-100_000i64..100_000).prop_map(AttrValue::Int),
+        (1u16..4000, 1u16..4000).prop_map(|(w, h)| AttrValue::Resolution(w, h)),
+        // Exclude display forms that re-type on parse ("true"/"false") and
+        // the clause separator — the miner's real values (attribute values
+        // observed in browsers) never collide with either, see
+        // `rules::parse_value`.
+        // (The parser trims clause values, so values may not end in
+        // whitespace either — browser attribute values never do.)
+        "[a-zA-Z][a-zA-Z0-9 ._/-]{0,20}"
+            .prop_filter("typed-literal or separator collision", |s| {
+                s != "true" && s != "false" && !s.contains(" AND ") && !s.ends_with(' ')
+            })
+            .prop_map(|s| AttrValue::text(&s)),
+    ]
+}
+
+fn arb_analysis_attr() -> impl Strategy<Value = AnalysisAttr> {
+    prop_oneof![
+        arb_attr_id().prop_map(AnalysisAttr::Fp),
+        Just(AnalysisAttr::IpRegion),
+        Just(AnalysisAttr::IpUtcOffset),
+    ]
+}
+
+proptest! {
+    // -----------------------------------------------------------------
+    // Fingerprint invariants.
+
+    #[test]
+    fn fingerprint_serde_roundtrip(fp in arb_fingerprint()) {
+        let json = serde_json::to_string(&fp).unwrap();
+        let back: Fingerprint = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, fp);
+    }
+
+    #[test]
+    fn fingerprint_digest_matches_equality(a in arb_fingerprint(), b in arb_fingerprint()) {
+        if a == b {
+            prop_assert_eq!(a.digest(), b.digest());
+        }
+        // (Collisions for a != b are possible in principle but must not be
+        // produced by these tiny cases.)
+        if a.digest() != b.digest() {
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn set_then_get(id in arb_attr_id(), v in arb_attr_value()) {
+        let mut fp = Fingerprint::new();
+        fp.set(id, v);
+        prop_assert_eq!(*fp.get(id), v);
+        fp.clear(id);
+        prop_assert!(fp.get(id).is_missing());
+    }
+
+    // -----------------------------------------------------------------
+    // Filter-list format.
+
+    #[test]
+    fn filter_list_roundtrips(
+        rules in proptest::collection::vec(
+            (arb_analysis_attr(), arb_rule_value(), arb_analysis_attr(), arb_rule_value()),
+            1..20,
+        )
+    ) {
+        let mut set = RuleSet::new();
+        for (a, va, b, vb) in rules {
+            // Self-pairs cannot arise from the miner; skip them.
+            if a == b {
+                continue;
+            }
+            // Resolution display uses 'x'; a string value containing a
+            // parsable "WxH" would be re-typed — the miner never produces
+            // such strings, and neither does this generator.
+            set.add(SpatialRule::new(a, va, b, vb));
+        }
+        let text = set.to_filter_list();
+        let parsed = RuleSet::from_filter_list(&text);
+        prop_assert!(parsed.is_ok(), "{:?}", parsed.err());
+        let parsed = parsed.unwrap();
+        prop_assert_eq!(parsed.len(), set.len());
+        // Stable fixed point: rendering again is identical.
+        prop_assert_eq!(parsed.to_filter_list(), text);
+    }
+
+    // -----------------------------------------------------------------
+    // TLS wire format.
+
+    #[test]
+    fn clienthello_roundtrips(
+        version in prop_oneof![Just(0x0301u16), Just(0x0303u16)],
+        random in proptest::array::uniform32(any::<u8>()),
+        session_id in proptest::collection::vec(any::<u8>(), 0..33),
+        ciphers in proptest::collection::vec(any::<u16>(), 1..48),
+        exts in proptest::collection::vec((any::<u16>(), proptest::collection::vec(any::<u8>(), 0..40)), 0..16),
+    ) {
+        let hello = ClientHello {
+            version,
+            random,
+            session_id,
+            cipher_suites: ciphers,
+            compression: vec![0],
+            extensions: exts.into_iter().map(|(t, body)| Extension { typ: t, body }).collect(),
+        };
+        let wire = hello.to_wire();
+        let parsed = ClientHello::parse(&wire).unwrap();
+        prop_assert_eq!(parsed, hello);
+    }
+
+    #[test]
+    fn clienthello_rejects_every_truncation(
+        ciphers in proptest::collection::vec(any::<u16>(), 1..8),
+    ) {
+        let hello = ClientHello {
+            version: 0x0303,
+            random: [9; 32],
+            session_id: vec![1, 2, 3],
+            cipher_suites: ciphers,
+            compression: vec![0],
+            extensions: vec![Extension::sni("p.example")],
+        };
+        let wire = hello.to_wire();
+        for cut in 0..wire.len() {
+            prop_assert!(ClientHello::parse(&wire[..cut]).is_err(), "prefix {cut} parsed");
+        }
+    }
+
+    #[test]
+    fn md5_streaming_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..512), split in 1usize..64) {
+        let oneshot = fp_tls::md5::md5(&data);
+        let mut ctx = fp_tls::md5::Md5::new();
+        for chunk in data.chunks(split) {
+            ctx.update(chunk);
+        }
+        prop_assert_eq!(ctx.finalize(), oneshot);
+    }
+
+    // -----------------------------------------------------------------
+    // Mixing / sampling invariants.
+
+    #[test]
+    fn splittable_bounds(seed in any::<u64>(), n in 1u64..1_000_000) {
+        let mut rng = fp_types::Splittable::new(seed);
+        for _ in 0..32 {
+            prop_assert!(rng.next_below(n) < n);
+            let f = rng.next_f64();
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn scale_monotone(count in 0u64..10_000_000, r in 0.0001f64..1.0) {
+        let scaled = fp_types::Scale::ratio(r).apply(count);
+        prop_assert!(scaled <= count.max(1));
+        if count > 0 {
+            prop_assert!(scaled >= 1);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Oracle invariants (deterministic, exhaustive-ish loops rather than
+// proptest: the value space is the catalogue).
+
+#[test]
+fn oracle_is_symmetric_for_all_catalog_pairs() {
+    use fp_fingerprint::{Plausibility, ValidityOracle};
+    let values = [
+        (AttrId::UaDevice, AttrValue::text("iPhone")),
+        (AttrId::UaDevice, AttrValue::text("Mac")),
+        (AttrId::ScreenResolution, AttrValue::Resolution(390, 844)),
+        (AttrId::ScreenResolution, AttrValue::Resolution(1920, 1080)),
+        (AttrId::MaxTouchPoints, AttrValue::Int(0)),
+        (AttrId::MaxTouchPoints, AttrValue::Int(5)),
+        (AttrId::HardwareConcurrency, AttrValue::Int(4)),
+        (AttrId::HardwareConcurrency, AttrValue::Int(32)),
+        (AttrId::Vendor, AttrValue::text("Apple Computer, Inc.")),
+        (AttrId::Platform, AttrValue::text("Win32")),
+        (AttrId::UaBrowser, AttrValue::text("Chrome")),
+        (AttrId::UaOs, AttrValue::text("Windows")),
+    ];
+    for (a, va) in &values {
+        for (b, vb) in &values {
+            if a == b {
+                continue;
+            }
+            let fwd = ValidityOracle::judge(*a, va, *b, vb);
+            let rev = ValidityOracle::judge(*b, vb, *a, va);
+            assert_eq!(fwd, rev, "{a:?}/{b:?}");
+            // Sanity: verdicts are one of the three states (no panics).
+            let _ = matches!(fwd, Plausibility::Valid | Plausibility::Impossible | Plausibility::Unknown);
+        }
+    }
+}
+
+#[test]
+fn consistent_collector_output_never_scans_impossible() {
+    use fp_fingerprint::{BrowserFamily, BrowserProfile, Collector, DeviceKind, DeviceProfile, LocaleSpec, ValidityOracle};
+    let mut rng = fp_types::Splittable::new(0xFACE);
+    for _ in 0..300 {
+        let kind = *rng.pick(&DeviceKind::ALL);
+        let defaults = BrowserFamily::defaults_for(kind);
+        let weights: Vec<f64> = defaults.iter().map(|(_, w)| *w).collect();
+        let family = defaults[rng.pick_weighted(&weights)].0;
+        let device = DeviceProfile::sample(kind, &mut rng);
+        let browser = BrowserProfile::contemporary(family, &mut rng);
+        let fp = Collector::collect(&device, &browser, &LocaleSpec::en_us());
+        let bad = ValidityOracle::scan_impossible(&fp);
+        assert!(bad.is_empty(), "{kind:?}/{family:?}: {bad:?}");
+    }
+}

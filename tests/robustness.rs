@@ -1,0 +1,134 @@
+//! Fault injection on the measurement pipeline (the smoltcp examples ship
+//! `--drop-chance`-style knobs; this is the analysis-side equivalent).
+//! Real collection infrastructure drops requests, receives retries
+//! (duplicates), and sees arrival jitter — none of which may change the
+//! study's conclusions materially.
+
+use fp_botnet::{Campaign, CampaignConfig};
+use fp_honeysite::{stats, HoneySite, RequestStore};
+use fp_inconsistent_core::{evaluate, FpInconsistent, MineConfig};
+use fp_types::{mix2, Request, Scale, ServiceId};
+
+fn requests() -> (Campaign, Vec<Request>) {
+    let campaign = Campaign::generate(CampaignConfig { scale: Scale::ratio(0.04), seed: 0x0B5 });
+    let reqs = campaign.bot_requests.clone();
+    (campaign, reqs)
+}
+
+fn ingest(campaign: &Campaign, reqs: Vec<Request>) -> RequestStore {
+    let mut site = HoneySite::new();
+    for id in ServiceId::all() {
+        site.register_token(campaign.token_of(id));
+    }
+    site.ingest_all(reqs);
+    site.into_store()
+}
+
+fn combined_detection(store: &RequestStore) -> (f64, f64) {
+    let engine = FpInconsistent::mine(store, &MineConfig::default());
+    let (_, report) = evaluate::evaluate(store, &engine);
+    report.combined
+}
+
+#[test]
+fn random_request_loss_does_not_move_the_rates() {
+    let (campaign, reqs) = requests();
+    let baseline = ingest(&campaign, reqs.clone());
+    let (dd0, botd0) = stats::overall_evasion(&baseline);
+
+    // Drop 15% of requests at random (collection outage / sampling).
+    let kept: Vec<Request> = reqs
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| fp_types::unit_f64(mix2(0xD20, *i as u64)) >= 0.15)
+        .map(|(_, r)| r)
+        .collect();
+    let store = ingest(&campaign, kept);
+    let (dd, botd) = stats::overall_evasion(&store);
+    assert!((dd - dd0).abs() < 0.01, "evasion under loss: {dd} vs {dd0}");
+    assert!((botd - botd0).abs() < 0.01, "evasion under loss: {botd} vs {botd0}");
+
+    let (cdd0, cbotd0) = combined_detection(&baseline);
+    let (cdd, cbotd) = combined_detection(&store);
+    assert!((cdd - cdd0).abs() < 0.015, "combined DD under loss: {cdd} vs {cdd0}");
+    assert!((cbotd - cbotd0).abs() < 0.015, "combined BotD under loss: {cbotd} vs {cbotd0}");
+}
+
+#[test]
+fn duplicate_requests_do_not_inflate_detection() {
+    let (campaign, reqs) = requests();
+    let baseline = ingest(&campaign, reqs.clone());
+    let (cdd0, cbotd0) = combined_detection(&baseline);
+
+    // 10% of requests arrive twice (client retries). The duplicate carries
+    // identical content — notably the same cookie and fingerprint, so the
+    // temporal engine must not flag it (repeating a known value is not an
+    // inconsistency under the literal rule; under burned persistence it
+    // inherits the cookie's prior state either way).
+    let mut duplicated = Vec::with_capacity(reqs.len() * 11 / 10);
+    for (i, r) in reqs.into_iter().enumerate() {
+        let retry = fp_types::unit_f64(mix2(0xD0B, i as u64)) < 0.10;
+        duplicated.push(r.clone());
+        if retry {
+            duplicated.push(r);
+        }
+    }
+    let store = ingest(&campaign, duplicated);
+    let (cdd, cbotd) = combined_detection(&store);
+    assert!((cdd - cdd0).abs() < 0.015, "combined DD under retries: {cdd} vs {cdd0}");
+    assert!((cbotd - cbotd0).abs() < 0.015, "combined BotD under retries: {cbotd} vs {cbotd0}");
+}
+
+#[test]
+fn arrival_jitter_barely_moves_temporal_analysis() {
+    let (campaign, mut reqs) = requests();
+    let baseline = ingest(&campaign, reqs.clone());
+    let engine0 = FpInconsistent::mine(&baseline, &MineConfig::default());
+    let (_, report0) = evaluate::evaluate(&baseline, &engine0);
+
+    // Swap adjacent requests at random: out-of-order delivery within a
+    // small window (load balancers, clock skew).
+    for i in (1..reqs.len()).step_by(3) {
+        if fp_types::unit_f64(mix2(0x717, i as u64)) < 0.5 {
+            reqs.swap(i - 1, i);
+        }
+    }
+    let store = ingest(&campaign, reqs);
+    let engine = FpInconsistent::mine(&store, &MineConfig::default());
+    let (_, report) = evaluate::evaluate(&store, &engine);
+    // Temporal flags depend on order; adjacent-swap jitter may flip which
+    // request of a pair gets flagged but not how many cookies burn.
+    assert!(
+        (report.temporal.0 - report0.temporal.0).abs() < 0.01,
+        "temporal DD under jitter: {} vs {}",
+        report.temporal.0,
+        report0.temporal.0
+    );
+    assert!(
+        (report.combined.0 - report0.combined.0).abs() < 0.01,
+        "combined DD under jitter: {} vs {}",
+        report.combined.0,
+        report0.combined.0
+    );
+}
+
+#[test]
+fn foreign_traffic_never_contaminates_the_dataset() {
+    // Fuzz the admission gate: a flood of requests with random tokens must
+    // leave the store untouched (the ground-truth property).
+    let (campaign, reqs) = requests();
+    let mut site = HoneySite::new();
+    for id in ServiceId::all() {
+        site.register_token(campaign.token_of(id));
+    }
+    let mut rng = fp_types::Splittable::new(0xF0E);
+    let mut stray = 0u64;
+    for r in reqs.iter().take(500) {
+        let mut bad = r.clone();
+        bad.site_token = fp_types::sym(&format!("fuzz{}", rng.next_u64()));
+        assert!(site.ingest(bad).is_none());
+        stray += 1;
+    }
+    assert_eq!(site.store().len(), 0);
+    assert_eq!(site.rejected_count(), stray);
+}
