@@ -59,7 +59,7 @@ impl fmt::Display for AnalysisAttr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fp_types::{sym, Fingerprint, SimTime, TrafficSource};
+    use fp_types::{sym, BehaviorTrace, Fingerprint, SimTime, TrafficSource, VerdictSet};
 
     fn request() -> StoredRequest {
         StoredRequest {
@@ -74,11 +74,12 @@ mod tests {
             asn: 16276,
             asn_flagged: true,
             ip_blocklisted: false,
+            tor_exit: false,
             cookie: 9,
             fingerprint: Fingerprint::new().with(AttrId::UaDevice, "iPhone"),
             source: TrafficSource::RealUser,
-            datadome_bot: false,
-            botd_bot: false,
+            behavior: BehaviorTrace::silent(),
+            verdicts: VerdictSet::from_services(false, false),
         }
     }
 

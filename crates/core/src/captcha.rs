@@ -30,7 +30,11 @@ pub struct CaptchaPolicy {
 
 impl Default for CaptchaPolicy {
     fn default() -> Self {
-        CaptchaPolicy { human_solve_rate: 0.97, bot_solve_rate: 0.03, seed: 0xCA7C4A }
+        CaptchaPolicy {
+            human_solve_rate: 0.97,
+            bot_solve_rate: 0.03,
+            seed: 0xCA7C4A,
+        }
     }
 }
 
@@ -55,7 +59,10 @@ pub struct CaptchaGate {
 impl CaptchaGate {
     /// New gate.
     pub fn new(policy: CaptchaPolicy) -> CaptchaGate {
-        CaptchaGate { policy, verified: HashSet::new() }
+        CaptchaGate {
+            policy,
+            verified: HashSet::new(),
+        }
     }
 
     /// Process one request given the engine's flag for it.
@@ -130,7 +137,9 @@ pub fn run(store: &RequestStore, flags: &[(bool, bool)], policy: CaptchaPolicy) 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fp_types::{sym, Fingerprint, ServiceId, SimTime, TrafficSource};
+    use fp_types::{
+        sym, BehaviorTrace, Fingerprint, ServiceId, SimTime, TrafficSource, VerdictSet,
+    };
 
     fn request(id: u64, cookie: CookieId, bot: bool) -> StoredRequest {
         StoredRequest {
@@ -145,38 +154,64 @@ mod tests {
             asn: 1,
             asn_flagged: false,
             ip_blocklisted: false,
+            tor_exit: false,
             cookie,
             fingerprint: Fingerprint::new(),
-            source: if bot { TrafficSource::Bot(ServiceId(1)) } else { TrafficSource::RealUser },
-            datadome_bot: false,
-            botd_bot: false,
+            source: if bot {
+                TrafficSource::Bot(ServiceId(1))
+            } else {
+                TrafficSource::RealUser
+            },
+            behavior: BehaviorTrace::silent(),
+            verdicts: VerdictSet::from_services(false, false),
         }
     }
 
     #[test]
     fn unflagged_requests_pass_untouched() {
         let mut gate = CaptchaGate::new(CaptchaPolicy::default());
-        assert_eq!(gate.process(&request(1, 7, false), false), Disposition::Served);
-        assert_eq!(gate.process(&request(2, 7, true), false), Disposition::Served);
+        assert_eq!(
+            gate.process(&request(1, 7, false), false),
+            Disposition::Served
+        );
+        assert_eq!(
+            gate.process(&request(2, 7, true), false),
+            Disposition::Served
+        );
     }
 
     #[test]
     fn verified_cookie_skips_further_challenges() {
         // A Brave-style user: repeatedly flagged, challenged exactly once.
-        let policy = CaptchaPolicy { human_solve_rate: 1.0, ..CaptchaPolicy::default() };
+        let policy = CaptchaPolicy {
+            human_solve_rate: 1.0,
+            ..CaptchaPolicy::default()
+        };
         let mut gate = CaptchaGate::new(policy);
-        assert_eq!(gate.process(&request(1, 9, false), true), Disposition::ChallengedSolved);
+        assert_eq!(
+            gate.process(&request(1, 9, false), true),
+            Disposition::ChallengedSolved
+        );
         for i in 2..20 {
-            assert_eq!(gate.process(&request(i, 9, false), true), Disposition::Served);
+            assert_eq!(
+                gate.process(&request(i, 9, false), true),
+                Disposition::Served
+            );
         }
     }
 
     #[test]
     fn bots_stay_blocked() {
-        let policy = CaptchaPolicy { bot_solve_rate: 0.0, ..CaptchaPolicy::default() };
+        let policy = CaptchaPolicy {
+            bot_solve_rate: 0.0,
+            ..CaptchaPolicy::default()
+        };
         let mut gate = CaptchaGate::new(policy);
         for i in 0..20 {
-            assert_eq!(gate.process(&request(i, 100 + i, true), true), Disposition::Blocked);
+            assert_eq!(
+                gate.process(&request(i, 100 + i, true), true),
+                Disposition::Blocked
+            );
         }
     }
 
@@ -196,10 +231,17 @@ mod tests {
         let report = run(
             &store,
             &flags,
-            CaptchaPolicy { human_solve_rate: 1.0, bot_solve_rate: 0.0, seed: 1 },
+            CaptchaPolicy {
+                human_solve_rate: 1.0,
+                bot_solve_rate: 0.0,
+                seed: 1,
+            },
         );
         assert_eq!(report.human_requests, 10);
-        assert_eq!(report.human_challenged, 1, "one challenge, then the cookie is verified");
+        assert_eq!(
+            report.human_challenged, 1,
+            "one challenge, then the cookie is verified"
+        );
         assert_eq!(report.human_blocked, 0);
         assert_eq!(report.bot_requests, 10);
         assert_eq!(report.bot_blocked, 10);

@@ -106,7 +106,10 @@ mod tests {
     fn four_paper_categories() {
         assert_eq!(CATEGORIES.iter().filter(|c| c.in_paper).count(), 4);
         let names: Vec<&str> = CATEGORIES.iter().map(|c| c.name).collect();
-        assert_eq!(names, vec!["Screen", "Device", "Browser", "Location", "CrossLayer"]);
+        assert_eq!(
+            names,
+            vec!["Screen", "Device", "Browser", "Location", "CrossLayer"]
+        );
     }
 
     #[test]
@@ -125,7 +128,9 @@ mod tests {
     fn table6_pairs_are_coverable() {
         // Every Table 6 example pair must be minable from some category.
         let covered = |x: AnalysisAttr, y: AnalysisAttr| {
-            CATEGORIES.iter().any(|c| c.attrs.contains(&x) && c.attrs.contains(&y))
+            CATEGORIES
+                .iter()
+                .any(|c| c.attrs.contains(&x) && c.attrs.contains(&y))
         };
         assert!(covered(Fp(AttrId::UaDevice), Fp(AttrId::ScreenResolution)));
         assert!(covered(Fp(AttrId::UaDevice), Fp(AttrId::TouchSupport)));
@@ -133,7 +138,10 @@ mod tests {
         assert!(covered(Fp(AttrId::UaDevice), Fp(AttrId::ColorDepth)));
         assert!(covered(Fp(AttrId::UaDevice), Fp(AttrId::ColorGamut)));
         assert!(covered(Fp(AttrId::UaDevice), Fp(AttrId::DeviceMemory)));
-        assert!(covered(Fp(AttrId::UaDevice), Fp(AttrId::HardwareConcurrency)));
+        assert!(covered(
+            Fp(AttrId::UaDevice),
+            Fp(AttrId::HardwareConcurrency)
+        ));
         assert!(covered(Fp(AttrId::UaBrowser), Fp(AttrId::UaOs)));
         assert!(covered(Fp(AttrId::UaBrowser), Fp(AttrId::Vendor)));
         assert!(covered(Fp(AttrId::UaBrowser), Fp(AttrId::Platform)));

@@ -1,11 +1,24 @@
 //! The deployable engine: mined spatial rules + generalised location check
 //! + temporal state, evaluated per request.
+//!
+//! Two ways to run it:
+//!
+//! * **Batch** — [`FpInconsistent::flags`] / [`FpInconsistent::stream`]:
+//!   one pass over a recorded store, yielding `(spatial, temporal)` flags.
+//! * **Streaming** — [`FpInconsistent::detectors`]: adapters implementing
+//!   the workspace-wide [`Detector`](fp_types::Detector) contract, ready to
+//!   plug into the honey site's ingest chain next to DataDome/BotD (the
+//!   §7 deployment story). The temporal analysis ships as two shard-local
+//!   state machines (cookie anchor, IP anchor) so the sharded pipeline can
+//!   route each to its own worker; their disjunction is the paper's
+//!   temporal flag.
 
 use crate::rules::RuleSet;
 use crate::spatial::{self, MineConfig};
-use crate::temporal::{TemporalConfig, TemporalEngine};
+use crate::temporal::{CookieAnchor, IpAnchor, TemporalConfig, TemporalEngine};
 use fp_honeysite::{RequestStore, StoredRequest};
 use fp_netsim::geo::offset_of_timezone;
+use fp_types::detect::{provenance, Detector, StateScope, Verdict};
 use fp_types::AttrId;
 
 /// Engine configuration.
@@ -33,7 +46,10 @@ impl FpInconsistent {
     pub fn mine(store: &RequestStore, mine_config: &MineConfig) -> FpInconsistent {
         FpInconsistent {
             rules: spatial::mine(store, mine_config),
-            config: EngineConfig { generalize_location: true, ..EngineConfig::default() },
+            config: EngineConfig {
+                generalize_location: true,
+                ..EngineConfig::default()
+            },
         }
     }
 
@@ -47,24 +63,14 @@ impl FpInconsistent {
         &self.rules
     }
 
+    /// The engine configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
     /// Spatial verdict for one request.
     pub fn spatial_flag(&self, request: &StoredRequest) -> bool {
-        if self.rules.matches(request) {
-            return true;
-        }
-        if self.config.generalize_location {
-            if let Some(tz_offset) = request
-                .fingerprint
-                .get(AttrId::Timezone)
-                .as_str()
-                .and_then(offset_of_timezone)
-            {
-                if tz_offset != request.ip_offset_minutes {
-                    return true;
-                }
-            }
-        }
-        false
+        spatial_check(&self.rules, self.config.generalize_location, request)
     }
 
     /// Spatial flags for a whole store.
@@ -77,11 +83,168 @@ impl FpInconsistent {
         TemporalEngine::flags_for(store, self.config.temporal)
     }
 
-    /// Combined per-request flags: `(spatial, temporal)`.
+    /// A single-pass evaluator over a request stream in arrival order.
+    pub fn stream(&self) -> EngineStream<'_> {
+        EngineStream {
+            engine: self,
+            temporal: TemporalEngine::new(self.config.temporal),
+        }
+    }
+
+    /// Combined per-request flags: `(spatial, temporal)`. One store
+    /// traversal — both checks run per request as the pass advances.
     pub fn flags(&self, store: &RequestStore) -> Vec<(bool, bool)> {
-        let spatial = self.spatial_flags(store);
-        let temporal = self.temporal_flags(store);
-        spatial.into_iter().zip(temporal).collect()
+        let mut stream = self.stream();
+        store.iter().map(|r| stream.observe(r)).collect()
+    }
+
+    /// Streaming [`Detector`] adapters over this engine, in chain order:
+    /// the stateless spatial matcher, the per-cookie temporal anchor and
+    /// the per-IP temporal anchor. Plug them into
+    /// `HoneySite::push_detector` to run FP-Inconsistent inline at ingest.
+    pub fn detectors(&self) -> Vec<Box<dyn Detector>> {
+        vec![
+            Box::new(SpatialDetector {
+                rules: self.rules.clone(),
+                generalize_location: self.config.generalize_location,
+            }),
+            Box::new(TemporalCookieDetector {
+                inner: CookieAnchor::new(self.config.temporal),
+                config: self.config.temporal,
+            }),
+            Box::new(TemporalIpDetector {
+                inner: IpAnchor::new(self.config.temporal),
+                config: self.config.temporal,
+            }),
+        ]
+    }
+}
+
+/// Single-pass `(spatial, temporal)` evaluator borrowed from an engine.
+pub struct EngineStream<'a> {
+    engine: &'a FpInconsistent,
+    temporal: TemporalEngine,
+}
+
+impl EngineStream<'_> {
+    /// Evaluate one request (must be fed in arrival order).
+    pub fn observe(&mut self, request: &StoredRequest) -> (bool, bool) {
+        (
+            self.engine.spatial_flag(request),
+            self.temporal.observe(request),
+        )
+    }
+}
+
+/// The one spatial predicate both paths share: mined rule match, plus the
+/// timezone/IP-offset generalisation when enabled. Batch
+/// ([`FpInconsistent::spatial_flag`]) and streaming ([`SpatialDetector`])
+/// must never diverge, so neither carries its own copy.
+fn spatial_check(rules: &RuleSet, generalize_location: bool, request: &StoredRequest) -> bool {
+    if rules.matches(request) {
+        return true;
+    }
+    generalize_location
+        && request
+            .fingerprint
+            .get(AttrId::Timezone)
+            .as_str()
+            .and_then(offset_of_timezone)
+            .is_some_and(|tz| tz != request.ip_offset_minutes)
+}
+
+/// The mined rules + location generalisation as a stateless [`Detector`].
+pub struct SpatialDetector {
+    rules: RuleSet,
+    generalize_location: bool,
+}
+
+impl Detector for SpatialDetector {
+    fn name(&self) -> &'static str {
+        provenance::FP_SPATIAL
+    }
+
+    fn scope(&self) -> StateScope {
+        StateScope::Stateless
+    }
+
+    fn observe(&mut self, request: &StoredRequest) -> Verdict {
+        Verdict::from_flag(spatial_check(
+            &self.rules,
+            self.generalize_location,
+            request,
+        ))
+    }
+
+    fn reset(&mut self) {}
+
+    fn fork(&self) -> Box<dyn Detector> {
+        Box::new(SpatialDetector {
+            rules: self.rules.clone(),
+            generalize_location: self.generalize_location,
+        })
+    }
+}
+
+/// The per-cookie temporal anchor as a [`Detector`].
+pub struct TemporalCookieDetector {
+    inner: CookieAnchor,
+    config: TemporalConfig,
+}
+
+impl Detector for TemporalCookieDetector {
+    fn name(&self) -> &'static str {
+        provenance::FP_TEMPORAL_COOKIE
+    }
+
+    fn scope(&self) -> StateScope {
+        StateScope::PerCookie
+    }
+
+    fn observe(&mut self, request: &StoredRequest) -> Verdict {
+        Verdict::from_flag(self.inner.observe(request))
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+
+    fn fork(&self) -> Box<dyn Detector> {
+        Box::new(TemporalCookieDetector {
+            inner: CookieAnchor::new(self.config),
+            config: self.config,
+        })
+    }
+}
+
+/// The per-IP temporal anchor as a [`Detector`].
+pub struct TemporalIpDetector {
+    inner: IpAnchor,
+    config: TemporalConfig,
+}
+
+impl Detector for TemporalIpDetector {
+    fn name(&self) -> &'static str {
+        provenance::FP_TEMPORAL_IP
+    }
+
+    fn scope(&self) -> StateScope {
+        StateScope::PerIp
+    }
+
+    fn observe(&mut self, request: &StoredRequest) -> Verdict {
+        Verdict::from_flag(self.inner.observe(request))
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+
+    fn fork(&self) -> Box<dyn Detector> {
+        Box::new(TemporalIpDetector {
+            inner: IpAnchor::new(self.config),
+            config: self.config,
+        })
     }
 }
 
@@ -90,7 +253,9 @@ mod tests {
     use super::*;
     use crate::attrs::AnalysisAttr;
     use crate::rules::SpatialRule;
-    use fp_types::{sym, AttrValue, Fingerprint, SimTime, TrafficSource};
+    use fp_types::{
+        sym, AttrValue, BehaviorTrace, Fingerprint, SimTime, TrafficSource, VerdictSet,
+    };
 
     fn request(tz: &str, ip_offset: i32) -> StoredRequest {
         StoredRequest {
@@ -105,11 +270,12 @@ mod tests {
             asn: 1,
             asn_flagged: false,
             ip_blocklisted: false,
+            tor_exit: false,
             cookie: 1,
             fingerprint: Fingerprint::new().with(AttrId::Timezone, tz),
+            behavior: BehaviorTrace::silent(),
             source: TrafficSource::RealUser,
-            datadome_bot: false,
-            botd_bot: false,
+            verdicts: VerdictSet::new(),
         }
     }
 
@@ -118,7 +284,10 @@ mod tests {
         // No mined rules at all — the Tor case: UTC browser, German exit.
         let engine = FpInconsistent::from_rules(
             RuleSet::new(),
-            EngineConfig { generalize_location: true, ..Default::default() },
+            EngineConfig {
+                generalize_location: true,
+                ..Default::default()
+            },
         );
         assert!(engine.spatial_flag(&request("UTC", -60)));
         assert!(!engine.spatial_flag(&request("Europe/Berlin", -60)));
@@ -134,7 +303,10 @@ mod tests {
     fn unknown_timezone_is_not_flagged() {
         let engine = FpInconsistent::from_rules(
             RuleSet::new(),
-            EngineConfig { generalize_location: true, ..Default::default() },
+            EngineConfig {
+                generalize_location: true,
+                ..Default::default()
+            },
         );
         assert!(!engine.spatial_flag(&request("Mars/Olympus", -60)));
     }
@@ -151,5 +323,64 @@ mod tests {
         let engine = FpInconsistent::from_rules(rules, EngineConfig::default());
         assert!(engine.spatial_flag(&request("UTC", -60)));
         assert!(!engine.spatial_flag(&request("Europe/Berlin", -60)));
+    }
+
+    #[test]
+    fn flags_single_pass_equals_separate_passes() {
+        let engine = FpInconsistent::from_rules(
+            RuleSet::new(),
+            EngineConfig {
+                generalize_location: true,
+                ..Default::default()
+            },
+        );
+        let mut store = RequestStore::new();
+        store.push(request("UTC", -60));
+        store.push(request("Europe/Berlin", -60));
+        store.push(request("UTC", -60));
+        let combined = engine.flags(&store);
+        let spatial = engine.spatial_flags(&store);
+        let temporal = engine.temporal_flags(&store);
+        assert_eq!(combined.len(), 3);
+        for i in 0..3 {
+            assert_eq!(combined[i], (spatial[i], temporal[i]));
+        }
+    }
+
+    #[test]
+    fn detector_adapters_match_the_batch_flags() {
+        let mut rules = RuleSet::new();
+        rules.add(SpatialRule::new(
+            AnalysisAttr::Fp(AttrId::Timezone),
+            AttrValue::text("UTC"),
+            AnalysisAttr::IpRegion,
+            AttrValue::text("Germany/Bayern"),
+        ));
+        let engine = FpInconsistent::from_rules(
+            rules,
+            EngineConfig {
+                generalize_location: true,
+                ..Default::default()
+            },
+        );
+        let mut store = RequestStore::new();
+        store.push(request("UTC", -60));
+        store.push(request("Europe/Berlin", -60));
+        store.push(request("UTC", 0));
+        let batch = engine.flags(&store);
+
+        let mut detectors = engine.detectors();
+        assert_eq!(detectors.len(), 3);
+        for (r, (spatial, temporal)) in store.iter().zip(batch) {
+            let s = detectors[0].observe(r).is_bot();
+            let tc = detectors[1].observe(r).is_bot();
+            let ti = detectors[2].observe(r).is_bot();
+            assert_eq!(s, spatial);
+            assert_eq!(
+                tc || ti,
+                temporal,
+                "anchor split must compose to the batch flag"
+            );
+        }
     }
 }

@@ -42,12 +42,14 @@ impl DetectionReport {
 }
 
 /// Evaluate flags over a bot store: per-service improvements (Table 3) and
-/// the overall mode report (Table 4).
+/// the overall mode report (Table 4). A single pass over the store: the
+/// engine's stream yields each request's `(spatial, temporal)` verdict as
+/// the pass advances — no intermediate flag vectors, no re-traversal.
 pub fn evaluate(
     store: &RequestStore,
     engine: &FpInconsistent,
 ) -> (Vec<ServiceImprovement>, DetectionReport) {
-    let flags = engine.flags(store);
+    let mut stream = engine.stream();
 
     #[derive(Default, Clone, Copy)]
     struct Acc {
@@ -60,11 +62,16 @@ pub fn evaluate(
     let mut per_service = vec![Acc::default(); usize::from(ServiceId::COUNT)];
     let mut overall = [0u64; 9]; // n, dd, botd, dd_s, botd_s, dd_t, botd_t, dd_c, botd_c
 
-    for (r, (spatial, temporal)) in store.iter().zip(&flags) {
-        let TrafficSource::Bot(id) = r.source else { continue };
-        let dd = r.datadome_bot;
-        let botd = r.botd_bot;
-        let combined_flag = *spatial || *temporal;
+    for r in store.iter() {
+        // The temporal state machine must observe every request (humans
+        // included) in arrival order, so stream before the bot filter.
+        let (spatial, temporal) = stream.observe(r);
+        let TrafficSource::Bot(id) = r.source else {
+            continue;
+        };
+        let dd = r.datadome_bot();
+        let botd = r.botd_bot();
+        let combined_flag = spatial || temporal;
 
         let acc = &mut per_service[usize::from(id.0) - 1];
         acc.n += 1;
@@ -76,10 +83,10 @@ pub fn evaluate(
         overall[0] += 1;
         overall[1] += u64::from(dd);
         overall[2] += u64::from(botd);
-        overall[3] += u64::from(dd || *spatial);
-        overall[4] += u64::from(botd || *spatial);
-        overall[5] += u64::from(dd || *temporal);
-        overall[6] += u64::from(botd || *temporal);
+        overall[3] += u64::from(dd || spatial);
+        overall[4] += u64::from(botd || spatial);
+        overall[5] += u64::from(dd || temporal);
+        overall[6] += u64::from(botd || temporal);
         overall[7] += u64::from(dd || combined_flag);
         overall[8] += u64::from(botd || combined_flag);
     }
@@ -108,15 +115,16 @@ pub fn evaluate(
 }
 
 /// §7.4: true-negative rate of the engine on (ground-truth) human traffic.
-/// A true negative is a request with *no* flag of either kind.
+/// A true negative is a request with *no* flag of either kind. Single pass.
 pub fn true_negative_rate(store: &RequestStore, engine: &FpInconsistent) -> f64 {
-    let flags = engine.flags(store);
+    let mut stream = engine.stream();
     let mut humans = 0u64;
     let mut clean = 0u64;
-    for (r, (s, t)) in store.iter().zip(&flags) {
+    for r in store.iter() {
+        let (s, t) = stream.observe(r);
         if !r.source.is_bot() {
             humans += 1;
-            clean += u64::from(!*s && !*t);
+            clean += u64::from(!s && !t);
         }
     }
     if humans == 0 {
@@ -160,23 +168,28 @@ pub fn generalization_experiment(
 }
 
 /// Flag rate on an arbitrary store (used by the privacy-tech bench).
+/// Single pass.
 pub fn flag_rate(store: &RequestStore, engine: &FpInconsistent) -> (f64, f64, f64) {
-    let flags = engine.flags(store);
+    let mut stream = engine.stream();
+    let (mut spatial, mut temporal, mut combined) = (0u64, 0u64, 0u64);
+    for r in store.iter() {
+        let (s, t) = stream.observe(r);
+        spatial += u64::from(s);
+        temporal += u64::from(t);
+        combined += u64::from(s || t);
+    }
     let n = store.len().max(1) as f64;
-    let spatial = flags.iter().filter(|(s, _)| *s).count() as f64 / n;
-    let temporal = flags.iter().filter(|(_, t)| *t).count() as f64 / n;
-    let combined = flags.iter().filter(|(s, t)| *s || *t).count() as f64 / n;
-    (spatial, temporal, combined)
+    (spatial as f64 / n, temporal as f64 / n, combined as f64 / n)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::attrs::AnalysisAttr;
     use crate::engine::EngineConfig;
     use crate::rules::{RuleSet, SpatialRule};
-    use crate::attrs::AnalysisAttr;
     use fp_honeysite::StoredRequest;
-    use fp_types::{sym, AttrId, AttrValue, Fingerprint, SimTime};
+    use fp_types::{sym, AttrId, AttrValue, BehaviorTrace, Fingerprint, SimTime, VerdictSet};
 
     fn bot_request(service: u8, device: &str, dd: bool, botd: bool) -> StoredRequest {
         StoredRequest {
@@ -191,13 +204,14 @@ mod tests {
             asn: 1,
             asn_flagged: false,
             ip_blocklisted: false,
+            tor_exit: false,
             cookie: u64::from(service) * 31,
             fingerprint: Fingerprint::new()
                 .with(AttrId::UaDevice, device)
                 .with(AttrId::Timezone, "America/Los_Angeles"),
             source: TrafficSource::Bot(ServiceId(service)),
-            datadome_bot: dd,
-            botd_bot: botd,
+            behavior: BehaviorTrace::silent(),
+            verdicts: VerdictSet::from_services(dd, botd),
         }
     }
 
@@ -225,7 +239,10 @@ mod tests {
         assert!((s1.dd_detection - 1.0 / 3.0).abs() < 1e-9);
         assert!((s1.dd_post_detection - 2.0 / 3.0).abs() < 1e-9);
         assert!((report.spatial.0 - 2.0 / 3.0).abs() < 1e-9);
-        assert!((report.temporal.0 - 1.0 / 3.0).abs() < 1e-9, "no temporal flags here");
+        assert!(
+            (report.temporal.0 - 1.0 / 3.0).abs() < 1e-9,
+            "no temporal flags here"
+        );
         assert_eq!(report.combined, report.spatial);
     }
 

@@ -22,15 +22,26 @@ impl SpatialRule {
     /// Build with canonical attribute order.
     pub fn new(a: AnalysisAttr, va: AttrValue, b: AnalysisAttr, vb: AttrValue) -> SpatialRule {
         if b < a {
-            SpatialRule { attr_a: b, value_a: vb, attr_b: a, value_b: va }
+            SpatialRule {
+                attr_a: b,
+                value_a: vb,
+                attr_b: a,
+                value_b: va,
+            }
         } else {
-            SpatialRule { attr_a: a, value_a: va, attr_b: b, value_b: vb }
+            SpatialRule {
+                attr_a: a,
+                value_a: va,
+                attr_b: b,
+                value_b: vb,
+            }
         }
     }
 
     /// Does a stored request match this rule?
     pub fn matches(&self, request: &StoredRequest) -> bool {
-        self.attr_a.value_of(request) == self.value_a && self.attr_b.value_of(request) == self.value_b
+        self.attr_a.value_of(request) == self.value_a
+            && self.attr_b.value_of(request) == self.value_b
     }
 }
 
@@ -107,7 +118,12 @@ impl RuleSet {
                 continue;
             }
             if values.contains(&(va, vb)) {
-                return Some(SpatialRule { attr_a: *a, value_a: va, attr_b: *b, value_b: vb });
+                return Some(SpatialRule {
+                    attr_a: *a,
+                    value_a: va,
+                    attr_b: *b,
+                    value_b: vb,
+                });
             }
         }
         None
@@ -157,7 +173,8 @@ fn parse_clause(clause: &str) -> Result<(AnalysisAttr, AttrValue), String> {
     let (name, value) = clause
         .split_once('=')
         .ok_or_else(|| format!("clause {clause:?} lacks '='"))?;
-    let attr = AnalysisAttr::from_name(name.trim()).ok_or_else(|| format!("unknown attribute {name:?}"))?;
+    let attr = AnalysisAttr::from_name(name.trim())
+        .ok_or_else(|| format!("unknown attribute {name:?}"))?;
     Ok((attr, parse_value(value.trim())))
 }
 
@@ -190,7 +207,7 @@ fn parse_value(s: &str) -> AttrValue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fp_types::{sym, AttrId, Fingerprint, SimTime, TrafficSource};
+    use fp_types::{sym, AttrId, BehaviorTrace, Fingerprint, SimTime, TrafficSource, VerdictSet};
 
     fn request(device: &str, mtp: i64) -> StoredRequest {
         StoredRequest {
@@ -205,13 +222,14 @@ mod tests {
             asn: 1,
             asn_flagged: false,
             ip_blocklisted: false,
+            tor_exit: false,
             cookie: 0,
             fingerprint: Fingerprint::new()
                 .with(AttrId::UaDevice, device)
                 .with(AttrId::MaxTouchPoints, mtp),
             source: TrafficSource::RealUser,
-            datadome_bot: false,
-            botd_bot: false,
+            behavior: BehaviorTrace::silent(),
+            verdicts: VerdictSet::from_services(false, false),
         }
     }
 
@@ -281,7 +299,9 @@ mod tests {
         assert!(RuleSet::from_filter_list("just one clause\n").is_err());
         assert!(RuleSet::from_filter_list("a=1 AND b=2 AND c=3\n").is_err());
         assert!(RuleSet::from_filter_list("bogus_attr=1 AND ua_device=x\n").is_err());
-        assert!(RuleSet::from_filter_list("! comment only\n").unwrap().is_empty());
+        assert!(RuleSet::from_filter_list("! comment only\n")
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

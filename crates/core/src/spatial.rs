@@ -17,11 +17,11 @@
 use crate::attrs::AnalysisAttr;
 use crate::categories::CATEGORIES;
 use crate::rules::{RuleSet, SpatialRule};
+use fp_fingerprint::{Plausibility, ValidityOracle};
 use fp_honeysite::{RequestStore, StoredRequest};
 use fp_netsim::geo::offset_of_timezone;
 use fp_tls::expected_ja3_for_ua_browser;
 use fp_types::{AttrId, AttrValue};
-use fp_fingerprint::{Plausibility, ValidityOracle};
 use std::collections::HashMap;
 
 /// Mining parameters.
@@ -55,7 +55,12 @@ impl Default for MineConfig {
 }
 
 /// Confirmation-step verdict for one concrete value pair.
-pub fn confirm_impossible(a: AnalysisAttr, va: &AttrValue, b: AnalysisAttr, vb: &AttrValue) -> bool {
+pub fn confirm_impossible(
+    a: AnalysisAttr,
+    va: &AttrValue,
+    b: AnalysisAttr,
+    vb: &AttrValue,
+) -> bool {
     match (a, b) {
         (AnalysisAttr::Fp(ia), AnalysisAttr::Fp(ib)) => {
             if let Some(v) = cross_layer_verdict(ia, va, ib, vb) {
@@ -67,8 +72,15 @@ pub fn confirm_impossible(a: AnalysisAttr, va: &AttrValue, b: AnalysisAttr, vb: 
         // disagree (the paper's conservative same-offset matching, §6.2).
         (AnalysisAttr::IpRegion, AnalysisAttr::Fp(AttrId::Timezone))
         | (AnalysisAttr::Fp(AttrId::Timezone), AnalysisAttr::IpRegion) => {
-            let (region, tz) = if matches!(a, AnalysisAttr::IpRegion) { (va, vb) } else { (vb, va) };
-            match (region_offset(region), tz.as_str().and_then(offset_of_timezone)) {
+            let (region, tz) = if matches!(a, AnalysisAttr::IpRegion) {
+                (va, vb)
+            } else {
+                (vb, va)
+            };
+            match (
+                region_offset(region),
+                tz.as_str().and_then(offset_of_timezone),
+            ) {
                 (Some(r), Some(t)) => r != t,
                 _ => false,
             }
@@ -117,50 +129,99 @@ fn region_offset(region: &AttrValue) -> Option<i32> {
         .map(|r| r.offset_minutes)
 }
 
-/// Run Algorithm 1 over a recorded store.
+/// Mine one attribute pair over the undetected pool.
+fn mine_pair(
+    pool: &[&StoredRequest],
+    a: AnalysisAttr,
+    b: AnalysisAttr,
+    config: &MineConfig,
+) -> Vec<SpatialRule> {
+    // Count configurations: v_a → (v_b → support).
+    let mut configs: HashMap<AttrValue, HashMap<AttrValue, u64>> = HashMap::new();
+    for r in pool {
+        let va = a.value_of(r);
+        if va.is_missing() {
+            continue;
+        }
+        let vb = b.value_of(r);
+        if vb.is_missing() {
+            continue;
+        }
+        *configs.entry(va).or_default().entry(vb).or_default() += 1;
+    }
+
+    // Rank left-hand values by configuration explosion, descending
+    // (the §7.1 prioritisation), and spend the review budget top down.
+    let mut ranked: Vec<(&AttrValue, &HashMap<AttrValue, u64>)> = configs.iter().collect();
+    ranked.sort_by(|(va1, m1), (va2, m2)| {
+        m2.len()
+            .cmp(&m1.len())
+            .then_with(|| format!("{va1:?}").cmp(&format!("{va2:?}")))
+    });
+    let mut rules = Vec::new();
+    for (va, partners) in ranked.into_iter().take(config.value_budget) {
+        for (vb, support) in partners {
+            if *support < config.min_support {
+                continue;
+            }
+            if confirm_impossible(a, va, b, vb) {
+                rules.push(SpatialRule::new(a, *va, b, *vb));
+            }
+        }
+    }
+    rules
+}
+
+/// Run Algorithm 1 over a recorded store. Attribute pairs are independent,
+/// so they are mined in parallel on crossbeam scoped threads (round-robin
+/// over the category pair list) and merged back in pair order — the rule
+/// set is identical to a sequential run.
 pub fn mine(store: &RequestStore, config: &MineConfig) -> RuleSet {
     let pool: Vec<&StoredRequest> = store
         .iter()
         .filter(|r| !config.undetected_pool_only || r.evaded_datadome() || r.evaded_botd())
         .collect();
+
+    let pairs: Vec<(AnalysisAttr, AnalysisAttr)> = CATEGORIES
+        .iter()
+        .filter(|category| category.in_paper || config.include_cross_layer)
+        .flat_map(|category| category.pairs())
+        .collect();
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(pairs.len().max(1));
+
+    let pool = &pool;
+    let pairs = &pairs;
+    let mut per_pair: Vec<Vec<SpatialRule>> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move |_| {
+                    pairs
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| i % workers == w)
+                        .map(|(i, (a, b))| (i, mine_pair(pool, *a, *b, config)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut indexed: Vec<(usize, Vec<SpatialRule>)> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("mining worker panicked"))
+            .collect();
+        indexed.sort_by_key(|(i, _)| *i);
+        per_pair = indexed.into_iter().map(|(_, rules)| rules).collect();
+    })
+    .expect("mining scope panicked");
+
     let mut rules = RuleSet::new();
-
-    for category in CATEGORIES.iter() {
-        if !category.in_paper && !config.include_cross_layer {
-            continue;
-        }
-        for (a, b) in category.pairs() {
-            // Count configurations: v_a → (v_b → support).
-            let mut configs: HashMap<AttrValue, HashMap<AttrValue, u64>> = HashMap::new();
-            for r in &pool {
-                let va = a.value_of(r);
-                if va.is_missing() {
-                    continue;
-                }
-                let vb = b.value_of(r);
-                if vb.is_missing() {
-                    continue;
-                }
-                *configs.entry(va).or_default().entry(vb).or_default() += 1;
-            }
-
-            // Rank left-hand values by configuration explosion, descending
-            // (the §7.1 prioritisation), and spend the review budget top
-            // down.
-            let mut ranked: Vec<(&AttrValue, &HashMap<AttrValue, u64>)> = configs.iter().collect();
-            ranked.sort_by(|(va1, m1), (va2, m2)| {
-                m2.len().cmp(&m1.len()).then_with(|| format!("{va1:?}").cmp(&format!("{va2:?}")))
-            });
-            for (va, partners) in ranked.into_iter().take(config.value_budget) {
-                for (vb, support) in partners {
-                    if *support < config.min_support {
-                        continue;
-                    }
-                    if confirm_impossible(a, va, b, vb) {
-                        rules.add(SpatialRule::new(a, *va, b, *vb));
-                    }
-                }
-            }
+    for pair_rules in per_pair {
+        for rule in pair_rules {
+            rules.add(rule);
         }
     }
     rules
@@ -170,7 +231,7 @@ pub fn mine(store: &RequestStore, config: &MineConfig) -> RuleSet {
 mod tests {
     use super::*;
     use fp_honeysite::StoredRequest;
-    use fp_types::{sym, Fingerprint, SimTime, TrafficSource};
+    use fp_types::{sym, BehaviorTrace, Fingerprint, SimTime, TrafficSource, VerdictSet};
 
     fn store_with(rows: Vec<(Fingerprint, &'static str, i32, bool)>) -> RequestStore {
         // (fingerprint, ip_region, ip_offset, evaded)
@@ -188,11 +249,12 @@ mod tests {
                 asn: 1,
                 asn_flagged: false,
                 ip_blocklisted: false,
+                tor_exit: false,
                 cookie: 1,
                 fingerprint,
                 source: TrafficSource::RealUser,
-                datadome_bot: !evaded,
-                botd_bot: !evaded,
+                behavior: BehaviorTrace::silent(),
+                verdicts: VerdictSet::from_services(!evaded, !evaded),
             });
         }
         store
@@ -215,8 +277,22 @@ mod tests {
     #[test]
     fn mines_impossible_pairs_with_support() {
         let rows = (0..5)
-            .map(|_| (fake_iphone(), "United States of America/California", 480, true))
-            .chain((0..5).map(|_| (real_iphone(), "United States of America/California", 480, true)))
+            .map(|_| {
+                (
+                    fake_iphone(),
+                    "United States of America/California",
+                    480,
+                    true,
+                )
+            })
+            .chain((0..5).map(|_| {
+                (
+                    real_iphone(),
+                    "United States of America/California",
+                    480,
+                    true,
+                )
+            }))
             .collect();
         let store = store_with(rows);
         let rules = mine(&store, &MineConfig::default());
@@ -228,24 +304,61 @@ mod tests {
 
     #[test]
     fn support_threshold_suppresses_one_offs() {
-        let mut rows = vec![(fake_iphone(), "United States of America/California", 480, true)];
-        rows.extend((0..5).map(|_| (real_iphone(), "United States of America/California", 480, true)));
+        let mut rows = vec![(
+            fake_iphone(),
+            "United States of America/California",
+            480,
+            true,
+        )];
+        rows.extend((0..5).map(|_| {
+            (
+                real_iphone(),
+                "United States of America/California",
+                480,
+                true,
+            )
+        }));
         let store = store_with(rows);
-        let rules = mine(&store, &MineConfig { min_support: 3, ..MineConfig::default() });
+        let rules = mine(
+            &store,
+            &MineConfig {
+                min_support: 3,
+                ..MineConfig::default()
+            },
+        );
         assert!(rules.is_empty(), "single occurrence must not become a rule");
-        let rules = mine(&store, &MineConfig { min_support: 1, ..MineConfig::default() });
+        let rules = mine(
+            &store,
+            &MineConfig {
+                min_support: 1,
+                ..MineConfig::default()
+            },
+        );
         assert!(!rules.is_empty());
     }
 
     #[test]
     fn detected_requests_are_outside_the_pool() {
         let rows = (0..5)
-            .map(|_| (fake_iphone(), "United States of America/California", 480, false))
+            .map(|_| {
+                (
+                    fake_iphone(),
+                    "United States of America/California",
+                    480,
+                    false,
+                )
+            })
             .collect();
         let store = store_with(rows);
         let rules = mine(&store, &MineConfig::default());
         assert!(rules.is_empty(), "already-detected traffic is not D'");
-        let rules = mine(&store, &MineConfig { undetected_pool_only: false, ..MineConfig::default() });
+        let rules = mine(
+            &store,
+            &MineConfig {
+                undetected_pool_only: false,
+                ..MineConfig::default()
+            },
+        );
         assert!(!rules.is_empty());
     }
 
@@ -256,7 +369,9 @@ mod tests {
                 .with(AttrId::Timezone, "America/Los_Angeles")
                 .with(AttrId::TimezoneOffset, 480i64)
         };
-        let rows = (0..4).map(|_| (fp(), "France/Hauts-de-France", -60, true)).collect();
+        let rows = (0..4)
+            .map(|_| (fp(), "France/Hauts-de-France", -60, true))
+            .collect();
         let store = store_with(rows);
         let rules = mine(&store, &MineConfig::default());
         let listed = rules.to_filter_list();
@@ -274,7 +389,9 @@ mod tests {
                 .with(AttrId::Timezone, "Europe/Paris")
                 .with(AttrId::TimezoneOffset, -60i64)
         };
-        let rows = (0..4).map(|_| (fp(), "France/Hauts-de-France", -60, true)).collect();
+        let rows = (0..4)
+            .map(|_| (fp(), "France/Hauts-de-France", -60, true))
+            .collect();
         let store = store_with(rows);
         assert!(mine(&store, &MineConfig::default()).is_empty());
     }
@@ -286,10 +403,18 @@ mod tests {
                 .with(AttrId::UaBrowser, "Chrome")
                 .with(AttrId::Ja3, fp_tls::TlsClientKind::GoHttp.ja3())
         };
-        let rows = (0..4).map(|_| (fp(), "United States of America/California", 480, true)).collect();
+        let rows = (0..4)
+            .map(|_| (fp(), "United States of America/California", 480, true))
+            .collect();
         let store = store_with(rows);
         assert!(mine(&store, &MineConfig::default()).is_empty());
-        let rules = mine(&store, &MineConfig { include_cross_layer: true, ..MineConfig::default() });
+        let rules = mine(
+            &store,
+            &MineConfig {
+                include_cross_layer: true,
+                ..MineConfig::default()
+            },
+        );
         assert_eq!(rules.len(), 1);
     }
 
@@ -300,9 +425,17 @@ mod tests {
                 .with(AttrId::UaBrowser, "Chrome")
                 .with(AttrId::Ja3, fp_tls::TlsClientKind::Chromium.ja3())
         };
-        let rows = (0..4).map(|_| (fp(), "United States of America/California", 480, true)).collect();
+        let rows = (0..4)
+            .map(|_| (fp(), "United States of America/California", 480, true))
+            .collect();
         let store = store_with(rows);
-        let rules = mine(&store, &MineConfig { include_cross_layer: true, ..MineConfig::default() });
+        let rules = mine(
+            &store,
+            &MineConfig {
+                include_cross_layer: true,
+                ..MineConfig::default()
+            },
+        );
         assert!(rules.is_empty());
     }
 

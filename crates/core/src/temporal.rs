@@ -1,13 +1,19 @@
 //! §7.2: temporal inconsistency analysis.
 //!
-//! Two anchors, both processed in arrival order:
+//! Two anchors, both processed in arrival order, each an *incremental,
+//! shard-local state machine* (state keyed entirely by its anchor value, so
+//! the sharded ingest pipeline can run each anchor on its own worker):
 //!
-//! * the first-party **cookie**: immutable device attributes (CPU cores,
-//!   device memory, platform, screen, GPU…) must not vary across requests
-//!   bearing the same cookie — a request that *introduces a new value* for
-//!   such an attribute is temporally inconsistent;
-//! * the **IP address** (as its stored hash): the set of browser timezones
-//!   seen from one address should not keep growing.
+//! * [`CookieAnchor`] — the first-party **cookie**: immutable device
+//!   attributes (CPU cores, device memory, platform, screen, GPU…) must not
+//!   vary across requests bearing the same cookie — a request that
+//!   *introduces a new value* for such an attribute is temporally
+//!   inconsistent;
+//! * [`IpAnchor`] — the **IP address** (as its stored hash): the set of
+//!   browser timezones seen from one address should not keep growing.
+//!
+//! [`TemporalEngine`] combines both for the batch path; the
+//!   [`Detector`](fp_types::Detector) adapters live in [`crate::engine`].
 
 use fp_honeysite::{RequestStore, StoredRequest};
 use fp_types::{AttrId, AttrValue, CookieId};
@@ -16,7 +22,9 @@ use std::collections::{HashMap, HashSet};
 /// Immutable attributes tracked per cookie (from
 /// [`AttrId::immutable_for_device`]).
 fn tracked_attrs() -> Vec<AttrId> {
-    AttrId::iter().filter(|a| a.immutable_for_device()).collect()
+    AttrId::iter()
+        .filter(|a| a.immutable_for_device())
+        .collect()
 }
 
 /// Configuration for the temporal engine.
@@ -37,37 +45,37 @@ pub struct TemporalConfig {
 
 impl Default for TemporalConfig {
     fn default() -> Self {
-        TemporalConfig { max_offsets_per_ip: 1, burned_cookie_persists: true }
+        TemporalConfig {
+            max_offsets_per_ip: 1,
+            burned_cookie_persists: true,
+        }
     }
 }
 
-/// Streaming temporal analyser.
-pub struct TemporalEngine {
+/// The cookie-anchored state machine: per-cookie immutable-attribute sets.
+/// All state is keyed by the request's cookie.
+pub struct CookieAnchor {
     config: TemporalConfig,
     attrs: Vec<AttrId>,
     per_cookie: HashMap<CookieId, Vec<HashSet<AttrValue>>>,
     burned: HashSet<CookieId>,
-    per_ip_offsets: HashMap<u64, HashSet<i32>>,
 }
 
-impl TemporalEngine {
-    /// Fresh engine.
-    pub fn new(config: TemporalConfig) -> TemporalEngine {
-        TemporalEngine {
+impl CookieAnchor {
+    /// Fresh state machine.
+    pub fn new(config: TemporalConfig) -> CookieAnchor {
+        CookieAnchor {
             config,
             attrs: tracked_attrs(),
             per_cookie: HashMap::new(),
             burned: HashSet::new(),
-            per_ip_offsets: HashMap::new(),
         }
     }
 
-    /// Observe one request (in arrival order) and report whether it is
-    /// temporally inconsistent with what came before.
+    /// Observe one request (in arrival order for its cookie) and report
+    /// whether the cookie anchor flags it.
     pub fn observe(&mut self, request: &StoredRequest) -> bool {
         let mut flagged = false;
-
-        // Cookie anchor: immutable attributes must not grow new values.
         let sets = self
             .per_cookie
             .entry(request.cookie)
@@ -89,20 +97,77 @@ impl TemporalEngine {
         } else if self.config.burned_cookie_persists && self.burned.contains(&request.cookie) {
             flagged = true;
         }
-
-        // IP anchor: growing timezone sets.
-        if let Some(offset) = request.fingerprint.get(AttrId::TimezoneOffset).as_int() {
-            let offsets = self.per_ip_offsets.entry(request.ip_hash).or_default();
-            let offset = offset as i32;
-            if !offsets.contains(&offset) {
-                if offsets.len() >= self.config.max_offsets_per_ip {
-                    flagged = true;
-                }
-                offsets.insert(offset);
-            }
-        }
-
         flagged
+    }
+
+    /// Drop all state.
+    pub fn reset(&mut self) {
+        self.per_cookie.clear();
+        self.burned.clear();
+    }
+}
+
+/// The IP-anchored state machine: per-address timezone-offset sets. All
+/// state is keyed by the request's address hash.
+pub struct IpAnchor {
+    max_offsets_per_ip: usize,
+    per_ip_offsets: HashMap<u64, HashSet<i32>>,
+}
+
+impl IpAnchor {
+    /// Fresh state machine.
+    pub fn new(config: TemporalConfig) -> IpAnchor {
+        IpAnchor {
+            max_offsets_per_ip: config.max_offsets_per_ip,
+            per_ip_offsets: HashMap::new(),
+        }
+    }
+
+    /// Observe one request (in arrival order for its address) and report
+    /// whether the IP anchor flags it.
+    pub fn observe(&mut self, request: &StoredRequest) -> bool {
+        let Some(offset) = request.fingerprint.get(AttrId::TimezoneOffset).as_int() else {
+            return false;
+        };
+        let offsets = self.per_ip_offsets.entry(request.ip_hash).or_default();
+        let offset = offset as i32;
+        let mut flagged = false;
+        if !offsets.contains(&offset) {
+            if offsets.len() >= self.max_offsets_per_ip {
+                flagged = true;
+            }
+            offsets.insert(offset);
+        }
+        flagged
+    }
+
+    /// Drop all state.
+    pub fn reset(&mut self) {
+        self.per_ip_offsets.clear();
+    }
+}
+
+/// Streaming temporal analyser: both anchors combined (the batch path).
+pub struct TemporalEngine {
+    cookie: CookieAnchor,
+    ip: IpAnchor,
+}
+
+impl TemporalEngine {
+    /// Fresh engine.
+    pub fn new(config: TemporalConfig) -> TemporalEngine {
+        TemporalEngine {
+            cookie: CookieAnchor::new(config),
+            ip: IpAnchor::new(config),
+        }
+    }
+
+    /// Observe one request (in arrival order) and report whether it is
+    /// temporally inconsistent with what came before. The two anchors are
+    /// independent state machines; the flag is their disjunction.
+    pub fn observe(&mut self, request: &StoredRequest) -> bool {
+        // Non-short-circuiting: both anchors must ingest every request.
+        self.cookie.observe(request) | self.ip.observe(request)
     }
 
     /// Run over a whole store (must be in arrival order, which the
@@ -111,12 +176,18 @@ impl TemporalEngine {
         let mut engine = TemporalEngine::new(config);
         store.iter().map(|r| engine.observe(r)).collect()
     }
+
+    /// Drop all state.
+    pub fn reset(&mut self) {
+        self.cookie.reset();
+        self.ip.reset();
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fp_types::{sym, Fingerprint, SimTime, TrafficSource};
+    use fp_types::{sym, BehaviorTrace, Fingerprint, SimTime, TrafficSource, VerdictSet};
 
     fn request(cookie: CookieId, ip: u64, cores: i64, offset: i64) -> StoredRequest {
         StoredRequest {
@@ -131,13 +202,14 @@ mod tests {
             asn: 1,
             asn_flagged: false,
             ip_blocklisted: false,
+            tor_exit: false,
             cookie,
             fingerprint: Fingerprint::new()
                 .with(AttrId::HardwareConcurrency, cores)
                 .with(AttrId::TimezoneOffset, offset),
+            behavior: BehaviorTrace::silent(),
             source: TrafficSource::RealUser,
-            datadome_bot: false,
-            botd_bot: false,
+            verdicts: VerdictSet::new(),
         }
     }
 
@@ -158,7 +230,10 @@ mod tests {
         assert!(!engine.observe(&request(1, 10, 4, 480)));
         assert!(!engine.observe(&request(1, 11, 4, 480)));
         assert!(engine.observe(&request(1, 12, 6, 480)));
-        assert!(engine.observe(&request(1, 13, 6, 480)), "burned cookie persists");
+        assert!(
+            engine.observe(&request(1, 13, 6, 480)),
+            "burned cookie persists"
+        );
         // Under the paper's literal new-value-only rule it clears again.
         let mut literal = TemporalEngine::new(TemporalConfig {
             burned_cookie_persists: false,
@@ -204,6 +279,33 @@ mod tests {
         store.push(request(1, 10, 6, 480));
         store.push(request(1, 10, 4, 480));
         let flags = TemporalEngine::flags_for(&store, TemporalConfig::default());
-        assert_eq!(flags, vec![false, true, true], "second flag via burned persistence");
+        assert_eq!(
+            flags,
+            vec![false, true, true],
+            "second flag via burned persistence"
+        );
+    }
+
+    #[test]
+    fn split_anchors_compose_to_the_combined_flag() {
+        // The anchors are independent state machines: running them
+        // separately and OR-ing must equal the combined engine — the
+        // property the sharded pipeline relies on.
+        let config = TemporalConfig::default();
+        let mut combined = TemporalEngine::new(config);
+        let mut cookie = CookieAnchor::new(config);
+        let mut ip = IpAnchor::new(config);
+        let stream = [
+            request(1, 10, 4, 480),
+            request(1, 11, 6, 480),
+            request(2, 10, 4, -60),
+            request(1, 12, 4, 480),
+            request(3, 10, 8, 0),
+        ];
+        for r in &stream {
+            let whole = combined.observe(r);
+            let split = cookie.observe(r) | ip.observe(r);
+            assert_eq!(whole, split);
+        }
     }
 }

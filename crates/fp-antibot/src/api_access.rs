@@ -21,43 +21,208 @@ pub struct ApiAccess {
 /// Browser APIs read by the two services (Table 5).
 pub const API_ACCESS_TABLE: [ApiAccess; 33] = [
     // Display
-    ApiAccess { group: "Display", api: "window.screen.colorDepth", datadome: true, botd: true },
-    ApiAccess { group: "Display", api: "HTMLCanvasElement.getContext", datadome: true, botd: true },
+    ApiAccess {
+        group: "Display",
+        api: "window.screen.colorDepth",
+        datadome: true,
+        botd: true,
+    },
+    ApiAccess {
+        group: "Display",
+        api: "HTMLCanvasElement.getContext",
+        datadome: true,
+        botd: true,
+    },
     // Navigator
-    ApiAccess { group: "Navigator", api: "window.navigator.webdriver", datadome: true, botd: true },
-    ApiAccess { group: "Navigator", api: "window.navigator.vendor", datadome: true, botd: true },
-    ApiAccess { group: "Navigator", api: "window.navigator.userAgent", datadome: true, botd: true },
-    ApiAccess { group: "Navigator", api: "window.navigator.serviceWorker", datadome: true, botd: false },
-    ApiAccess { group: "Navigator", api: "window.navigator.productSub", datadome: true, botd: true },
-    ApiAccess { group: "Navigator", api: "window.navigator.plugins", datadome: true, botd: true },
-    ApiAccess { group: "Navigator", api: "window.navigator.platform", datadome: true, botd: true },
-    ApiAccess { group: "Navigator", api: "window.navigator.permissions", datadome: true, botd: true },
-    ApiAccess { group: "Navigator", api: "window.navigator.oscpu", datadome: true, botd: false },
-    ApiAccess { group: "Navigator", api: "window.navigator.mimeTypes", datadome: true, botd: false },
-    ApiAccess { group: "Navigator", api: "window.navigator.mediaDevices", datadome: true, botd: false },
-    ApiAccess { group: "Navigator", api: "window.navigator.maxTouchPoints", datadome: true, botd: true },
-    ApiAccess { group: "Navigator", api: "window.navigator.languages", datadome: true, botd: true },
-    ApiAccess { group: "Navigator", api: "window.navigator.language", datadome: true, botd: true },
-    ApiAccess { group: "Navigator", api: "window.navigator.hardwareConcurrency", datadome: true, botd: false },
-    ApiAccess { group: "Navigator", api: "window.navigator.buildID", datadome: true, botd: false },
-    ApiAccess { group: "Navigator", api: "window.navigator.appVersion", datadome: true, botd: true },
-    ApiAccess { group: "Navigator", api: "window.navigator.__proto__", datadome: true, botd: true },
+    ApiAccess {
+        group: "Navigator",
+        api: "window.navigator.webdriver",
+        datadome: true,
+        botd: true,
+    },
+    ApiAccess {
+        group: "Navigator",
+        api: "window.navigator.vendor",
+        datadome: true,
+        botd: true,
+    },
+    ApiAccess {
+        group: "Navigator",
+        api: "window.navigator.userAgent",
+        datadome: true,
+        botd: true,
+    },
+    ApiAccess {
+        group: "Navigator",
+        api: "window.navigator.serviceWorker",
+        datadome: true,
+        botd: false,
+    },
+    ApiAccess {
+        group: "Navigator",
+        api: "window.navigator.productSub",
+        datadome: true,
+        botd: true,
+    },
+    ApiAccess {
+        group: "Navigator",
+        api: "window.navigator.plugins",
+        datadome: true,
+        botd: true,
+    },
+    ApiAccess {
+        group: "Navigator",
+        api: "window.navigator.platform",
+        datadome: true,
+        botd: true,
+    },
+    ApiAccess {
+        group: "Navigator",
+        api: "window.navigator.permissions",
+        datadome: true,
+        botd: true,
+    },
+    ApiAccess {
+        group: "Navigator",
+        api: "window.navigator.oscpu",
+        datadome: true,
+        botd: false,
+    },
+    ApiAccess {
+        group: "Navigator",
+        api: "window.navigator.mimeTypes",
+        datadome: true,
+        botd: false,
+    },
+    ApiAccess {
+        group: "Navigator",
+        api: "window.navigator.mediaDevices",
+        datadome: true,
+        botd: false,
+    },
+    ApiAccess {
+        group: "Navigator",
+        api: "window.navigator.maxTouchPoints",
+        datadome: true,
+        botd: true,
+    },
+    ApiAccess {
+        group: "Navigator",
+        api: "window.navigator.languages",
+        datadome: true,
+        botd: true,
+    },
+    ApiAccess {
+        group: "Navigator",
+        api: "window.navigator.language",
+        datadome: true,
+        botd: true,
+    },
+    ApiAccess {
+        group: "Navigator",
+        api: "window.navigator.hardwareConcurrency",
+        datadome: true,
+        botd: false,
+    },
+    ApiAccess {
+        group: "Navigator",
+        api: "window.navigator.buildID",
+        datadome: true,
+        botd: false,
+    },
+    ApiAccess {
+        group: "Navigator",
+        api: "window.navigator.appVersion",
+        datadome: true,
+        botd: true,
+    },
+    ApiAccess {
+        group: "Navigator",
+        api: "window.navigator.__proto__",
+        datadome: true,
+        botd: true,
+    },
     // Storage
-    ApiAccess { group: "Storage", api: "window.sessionStorage", datadome: true, botd: false },
-    ApiAccess { group: "Storage", api: "window.localStorage", datadome: true, botd: false },
-    ApiAccess { group: "Storage", api: "window.document.cookie", datadome: true, botd: false },
+    ApiAccess {
+        group: "Storage",
+        api: "window.sessionStorage",
+        datadome: true,
+        botd: false,
+    },
+    ApiAccess {
+        group: "Storage",
+        api: "window.localStorage",
+        datadome: true,
+        botd: false,
+    },
+    ApiAccess {
+        group: "Storage",
+        api: "window.document.cookie",
+        datadome: true,
+        botd: false,
+    },
     // Mouse movements
-    ApiAccess { group: "Mouse Movements", api: "MouseEvent.type", datadome: true, botd: false },
-    ApiAccess { group: "Mouse Movements", api: "MouseEvent.timeStamp", datadome: true, botd: false },
-    ApiAccess { group: "Mouse Movements", api: "MouseEvent.clientY", datadome: true, botd: false },
-    ApiAccess { group: "Mouse Movements", api: "MouseEvent.clientX", datadome: true, botd: false },
-    ApiAccess { group: "Mouse Movements", api: "addEventListener: mouseup", datadome: true, botd: false },
-    ApiAccess { group: "Mouse Movements", api: "addEventListener: mousemove", datadome: true, botd: false },
-    ApiAccess { group: "Mouse Movements", api: "addEventListener: mousedown", datadome: true, botd: false },
+    ApiAccess {
+        group: "Mouse Movements",
+        api: "MouseEvent.type",
+        datadome: true,
+        botd: false,
+    },
+    ApiAccess {
+        group: "Mouse Movements",
+        api: "MouseEvent.timeStamp",
+        datadome: true,
+        botd: false,
+    },
+    ApiAccess {
+        group: "Mouse Movements",
+        api: "MouseEvent.clientY",
+        datadome: true,
+        botd: false,
+    },
+    ApiAccess {
+        group: "Mouse Movements",
+        api: "MouseEvent.clientX",
+        datadome: true,
+        botd: false,
+    },
+    ApiAccess {
+        group: "Mouse Movements",
+        api: "addEventListener: mouseup",
+        datadome: true,
+        botd: false,
+    },
+    ApiAccess {
+        group: "Mouse Movements",
+        api: "addEventListener: mousemove",
+        datadome: true,
+        botd: false,
+    },
+    ApiAccess {
+        group: "Mouse Movements",
+        api: "addEventListener: mousedown",
+        datadome: true,
+        botd: false,
+    },
     // Miscellaneous
-    ApiAccess { group: "Miscellaneous", api: "addEventListener: asyncChallengeFinished", datadome: true, botd: false },
-    ApiAccess { group: "Miscellaneous", api: "addEventListener: pagehide", datadome: true, botd: false },
-    ApiAccess { group: "Miscellaneous", api: "Performance.now", datadome: true, botd: true },
+    ApiAccess {
+        group: "Miscellaneous",
+        api: "addEventListener: asyncChallengeFinished",
+        datadome: true,
+        botd: false,
+    },
+    ApiAccess {
+        group: "Miscellaneous",
+        api: "addEventListener: pagehide",
+        datadome: true,
+        botd: false,
+    },
+    ApiAccess {
+        group: "Miscellaneous",
+        api: "Performance.now",
+        datadome: true,
+        botd: true,
+    },
 ];
 
 /// Count of APIs each service reads — the paper's "DataDome collects more
@@ -82,7 +247,10 @@ mod tests {
 
     #[test]
     fn mouse_apis_are_datadome_only() {
-        for row in API_ACCESS_TABLE.iter().filter(|a| a.group == "Mouse Movements") {
+        for row in API_ACCESS_TABLE
+            .iter()
+            .filter(|a| a.group == "Mouse Movements")
+        {
             assert!(row.datadome && !row.botd, "{}", row.api);
         }
     }

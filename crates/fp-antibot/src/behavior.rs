@@ -78,7 +78,10 @@ mod tests {
 
     #[test]
     fn too_few_samples_score_zero() {
-        let s = PointerStats { samples: 3, ..human_stats() };
+        let s = PointerStats {
+            samples: 3,
+            ..human_stats()
+        };
         assert_eq!(naturalness(&s), 0.0);
     }
 
@@ -105,9 +108,15 @@ mod tests {
             first_input_delay_ms: 500,
         };
         assert!(credible_pointer(&trace));
-        let no_stats = fp_types::BehaviorTrace { pointer: None, ..trace };
+        let no_stats = fp_types::BehaviorTrace {
+            pointer: None,
+            ..trace
+        };
         assert!(!credible_pointer(&no_stats));
-        let few_events = fp_types::BehaviorTrace { mouse_events: 1, ..trace };
+        let few_events = fp_types::BehaviorTrace {
+            mouse_events: 1,
+            ..trace
+        };
         assert!(!credible_pointer(&few_events));
     }
 

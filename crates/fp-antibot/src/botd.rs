@@ -6,8 +6,8 @@
 //! weakness (the whole point of §5.3.1/§5.3.3) is that the *presence* of
 //! plugins or touch support defeats its headless-Chromium signature.
 
-use crate::{Detector, Verdict};
-use fp_types::{AttrId, Request};
+use crate::{Detector, StateScope, Verdict};
+use fp_types::{AttrId, Fingerprint, Request, StoredRequest};
 
 /// BotD simulator. Stateless: the script has no cross-request memory.
 #[derive(Default)]
@@ -19,9 +19,13 @@ impl BotD {
         BotD
     }
 
-    fn classify(request: &Request) -> Verdict {
-        let fp = &request.fingerprint;
+    /// Decide a live request (legacy entry point; same classifier as the
+    /// [`Detector`] impl — BotD only ever reads the fingerprint).
+    pub fn decide(&mut self, request: &Request) -> Verdict {
+        Self::classify(&request.fingerprint)
+    }
 
+    fn classify(fp: &Fingerprint) -> Verdict {
         // 1. The automation flag itself. `navigator.webdriver` is the
         //    first thing every bot-detection script reads.
         if fp.get(AttrId::Webdriver).as_int() == Some(1) {
@@ -30,7 +34,8 @@ impl BotD {
 
         // 2. Headless markers in the UA.
         if let Some(ua) = fp.get(AttrId::UserAgent).as_str() {
-            if ua.contains("HeadlessChrome") || ua.contains("PhantomJS") || ua.contains("Electron") {
+            if ua.contains("HeadlessChrome") || ua.contains("PhantomJS") || ua.contains("Electron")
+            {
                 return Verdict::Bot;
             }
         }
@@ -86,20 +91,30 @@ impl BotD {
 
 impl Detector for BotD {
     fn name(&self) -> &'static str {
-        "BotD"
+        fp_types::detect::provenance::BOTD
     }
 
-    fn decide(&mut self, request: &Request) -> Verdict {
-        Self::classify(request)
+    fn scope(&self) -> StateScope {
+        StateScope::Stateless
+    }
+
+    fn observe(&mut self, request: &StoredRequest) -> Verdict {
+        Self::classify(&request.fingerprint)
     }
 
     fn reset(&mut self) {}
+
+    fn fork(&self) -> Box<dyn Detector> {
+        Box::new(BotD::new())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fp_fingerprint::{BrowserFamily, BrowserProfile, Collector, DeviceKind, DeviceProfile, LocaleSpec};
+    use fp_fingerprint::{
+        BrowserFamily, BrowserProfile, Collector, DeviceKind, DeviceProfile, LocaleSpec,
+    };
     use fp_types::{sym, BehaviorTrace, Fingerprint, SimTime, Splittable, TrafficSource};
     use std::net::Ipv4Addr;
 
@@ -146,7 +161,8 @@ mod tests {
     #[test]
     fn webdriver_flag_is_detected() {
         let mut botd = BotD::new();
-        let fp = consistent(DeviceKind::WindowsDesktop, BrowserFamily::Chrome).with(AttrId::Webdriver, true);
+        let fp = consistent(DeviceKind::WindowsDesktop, BrowserFamily::Chrome)
+            .with(AttrId::Webdriver, true);
         assert_eq!(botd.decide(&request_with(fp)), Verdict::Bot);
     }
 
@@ -155,8 +171,14 @@ mod tests {
         // Chromium UA, no plugins, no touch — the classic headless shape.
         let mut botd = BotD::new();
         let fp = consistent(DeviceKind::WindowsDesktop, BrowserFamily::Chrome)
-            .with(AttrId::Plugins, fp_types::AttrValue::list(Vec::<&str>::new()))
-            .with(AttrId::MimeTypes, fp_types::AttrValue::list(Vec::<&str>::new()));
+            .with(
+                AttrId::Plugins,
+                fp_types::AttrValue::list(Vec::<&str>::new()),
+            )
+            .with(
+                AttrId::MimeTypes,
+                fp_types::AttrValue::list(Vec::<&str>::new()),
+            );
         assert_eq!(botd.decide(&request_with(fp)), Verdict::Bot);
     }
 
@@ -176,7 +198,10 @@ mod tests {
         // §5.3.3: S14/S20 exploit touchSupport instead of plugins.
         let mut botd = BotD::new();
         let fp = consistent(DeviceKind::WindowsDesktop, BrowserFamily::Chrome)
-            .with(AttrId::Plugins, fp_types::AttrValue::list(Vec::<&str>::new()))
+            .with(
+                AttrId::Plugins,
+                fp_types::AttrValue::list(Vec::<&str>::new()),
+            )
             .with(AttrId::TouchSupport, "touchEvent/touchStart")
             .with(AttrId::MaxTouchPoints, 5i64);
         assert_eq!(botd.decide(&request_with(fp)), Verdict::Human);
@@ -197,8 +222,10 @@ mod tests {
         // The headless signature is Chromium-specific; Tor (a Firefox) must
         // pass BotD (Appendix G).
         let mut botd = BotD::new();
-        let fp = consistent(DeviceKind::LinuxDesktop, BrowserFamily::Firefox)
-            .with(AttrId::Plugins, fp_types::AttrValue::list(Vec::<&str>::new()));
+        let fp = consistent(DeviceKind::LinuxDesktop, BrowserFamily::Firefox).with(
+            AttrId::Plugins,
+            fp_types::AttrValue::list(Vec::<&str>::new()),
+        );
         assert_eq!(botd.decide(&request_with(fp)), Verdict::Human);
     }
 

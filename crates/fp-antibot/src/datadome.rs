@@ -19,11 +19,11 @@
 //!   exactly the `hardwareConcurrency` effect of Figure 5 and the low-core
 //!   branch of the Appendix C decision path.
 
-use crate::{Detector, Verdict};
+use crate::{Detector, StateScope, Verdict};
 use fp_netsim::blocklist::is_tor_exit;
-use fp_types::{AttrId, Request};
+use fp_netsim::NetDb;
+use fp_types::{AttrId, BehaviorTrace, Fingerprint, Request, StoredRequest};
 use std::collections::HashMap;
-use std::net::Ipv4Addr;
 
 /// `ScreenFrame` values DataDome always rejects: no real OS chrome
 /// (taskbar/dock/notch) exceeds this many pixels.
@@ -42,10 +42,12 @@ struct IpHistory {
     flagged: bool,
 }
 
-/// DataDome simulator (stateful: per-IP history).
+/// DataDome simulator (stateful: per-IP history, keyed by the address's
+/// salted hash so the live path and the stored-record path share one state
+/// machine).
 #[derive(Default)]
 pub struct DataDome {
-    history: HashMap<Ipv4Addr, IpHistory>,
+    history: HashMap<u64, IpHistory>,
 }
 
 impl DataDome {
@@ -54,8 +56,18 @@ impl DataDome {
         DataDome::default()
     }
 
-    fn hard_fingerprint_signals(request: &Request) -> bool {
-        let fp = &request.fingerprint;
+    /// Decide a live request (legacy entry point; identical state machine
+    /// to the [`Detector`] impl — both funnel into [`DataDome::decide_parts`]).
+    pub fn decide(&mut self, request: &Request) -> Verdict {
+        self.decide_parts(
+            &request.fingerprint,
+            &request.behavior,
+            NetDb::hash_ip(request.ip),
+            is_tor_exit(request.ip),
+        )
+    }
+
+    fn hard_fingerprint_signals(fp: &Fingerprint) -> bool {
         if fp.get(AttrId::Webdriver).as_int() == Some(1) {
             return true;
         }
@@ -98,30 +110,34 @@ impl DataDome {
     }
 
     /// Does the fingerprint claim to be a touch/mobile device?
-    fn claims_mobile(request: &Request) -> bool {
-        let fp = &request.fingerprint;
-        let touch = fp.get(AttrId::TouchSupport).as_str().map(|t| t != "None").unwrap_or(false)
+    fn claims_mobile(fp: &Fingerprint) -> bool {
+        let touch = fp
+            .get(AttrId::TouchSupport)
+            .as_str()
+            .map(|t| t != "None")
+            .unwrap_or(false)
             || fp.get(AttrId::MaxTouchPoints).as_int().unwrap_or(0) > 0;
         let mobile_os = matches!(fp.get(AttrId::UaOs).as_str(), Some("iOS") | Some("Android"));
         touch || mobile_os
     }
-}
 
-impl Detector for DataDome {
-    fn name(&self) -> &'static str {
-        "DataDome"
-    }
-
-    fn decide(&mut self, request: &Request) -> Verdict {
+    /// The whole rule engine, over the facts both entry points can supply.
+    fn decide_parts(
+        &mut self,
+        fp: &Fingerprint,
+        behavior: &BehaviorTrace,
+        ip_key: u64,
+        tor_exit: bool,
+    ) -> Verdict {
         // Network-level: Tor exits are blocked outright (Appendix G).
-        if is_tor_exit(request.ip) {
+        if tor_exit {
             return Verdict::Bot;
         }
 
         // Per-IP fingerprint churn: many requests from one address with
         // ever-changing fingerprints is either farbling (Brave) or a bot
         // rotating covers. Evaluated before this request joins the window.
-        let hist = self.history.entry(request.ip).or_default();
+        let hist = self.history.entry(ip_key).or_default();
         if hist.requests >= CHURN_MIN_REQUESTS
             && (hist.digests.len() as f64) / f64::from(hist.requests) > CHURN_DISTINCT_FRACTION
         {
@@ -129,50 +145,73 @@ impl Detector for DataDome {
         }
         hist.requests += 1;
         if hist.digests.len() < 4096 {
-            hist.digests.insert(request.fingerprint.digest());
+            hist.digests.insert(fp.digest());
         }
         if hist.flagged {
             return Verdict::Bot;
         }
 
-        if Self::hard_fingerprint_signals(request) {
+        if Self::hard_fingerprint_signals(fp) {
             return Verdict::Bot;
         }
 
         // Behavioural evidence of a human: a pointer trajectory whose
         // statistics the behavioural model scores as natural, or touch
         // input on a touch-claiming device.
-        let b = &request.behavior;
-        if crate::behavior::credible_pointer(b) {
+        if crate::behavior::credible_pointer(behavior) {
             return Verdict::Human;
         }
-        if b.touch_events >= 1 && Self::claims_mobile(request) {
+        if behavior.touch_events >= 1 && Self::claims_mobile(fp) {
             return Verdict::Human;
         }
 
         // No (credible) input. Desktops without input are bots; phone-like
         // profiles are excused — unless the core count says "server".
-        let cores = request
-            .fingerprint
-            .get(AttrId::HardwareConcurrency)
-            .as_int()
-            .unwrap_or(16);
-        if Self::claims_mobile(request) && cores < 8 {
+        let cores = fp.get(AttrId::HardwareConcurrency).as_int().unwrap_or(16);
+        if Self::claims_mobile(fp) && cores < 8 {
             return Verdict::Human;
         }
         Verdict::Bot
     }
+}
+
+impl Detector for DataDome {
+    fn name(&self) -> &'static str {
+        fp_types::detect::provenance::DATADOME
+    }
+
+    fn scope(&self) -> StateScope {
+        StateScope::PerIp
+    }
+
+    fn observe(&mut self, request: &StoredRequest) -> Verdict {
+        self.decide_parts(
+            &request.fingerprint,
+            &request.behavior,
+            request.ip_hash,
+            request.tor_exit,
+        )
+    }
 
     fn reset(&mut self) {
         self.history.clear();
+    }
+
+    fn fork(&self) -> Box<dyn Detector> {
+        Box::new(DataDome::new())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fp_fingerprint::{BrowserFamily, BrowserProfile, Collector, DeviceKind, DeviceProfile, LocaleSpec};
-    use fp_types::{sym, AttrValue, BehaviorTrace, Fingerprint, SimTime, Splittable, TrafficSource};
+    use fp_fingerprint::{
+        BrowserFamily, BrowserProfile, Collector, DeviceKind, DeviceProfile, LocaleSpec,
+    };
+    use fp_types::{
+        sym, AttrValue, BehaviorTrace, Fingerprint, SimTime, Splittable, TrafficSource,
+    };
+    use std::net::Ipv4Addr;
 
     fn consistent(kind: DeviceKind, family: BrowserFamily) -> Fingerprint {
         let mut rng = Splittable::new(2);
@@ -224,21 +263,30 @@ mod tests {
     fn real_desktop_user_passes() {
         let mut dd = DataDome::new();
         let fp = consistent(DeviceKind::WindowsDesktop, BrowserFamily::Chrome);
-        assert_eq!(dd.decide(&request(fp, human_mouse(), RESIDENTIAL_IP)), Verdict::Human);
+        assert_eq!(
+            dd.decide(&request(fp, human_mouse(), RESIDENTIAL_IP)),
+            Verdict::Human
+        );
     }
 
     #[test]
     fn real_mobile_user_passes() {
         let mut dd = DataDome::new();
         let fp = consistent(DeviceKind::IPhone, BrowserFamily::MobileSafari);
-        assert_eq!(dd.decide(&request(fp, human_touch(), RESIDENTIAL_IP)), Verdict::Human);
+        assert_eq!(
+            dd.decide(&request(fp, human_touch(), RESIDENTIAL_IP)),
+            Verdict::Human
+        );
     }
 
     #[test]
     fn silent_desktop_is_detected() {
         let mut dd = DataDome::new();
         let fp = consistent(DeviceKind::WindowsDesktop, BrowserFamily::Chrome);
-        assert_eq!(dd.decide(&request(fp, BehaviorTrace::silent(), RESIDENTIAL_IP)), Verdict::Bot);
+        assert_eq!(
+            dd.decide(&request(fp, BehaviorTrace::silent(), RESIDENTIAL_IP)),
+            Verdict::Bot
+        );
     }
 
     #[test]
@@ -247,7 +295,10 @@ mod tests {
         let mut dd = DataDome::new();
         let fp = consistent(DeviceKind::IPhone, BrowserFamily::MobileSafari);
         assert!(fp.get(AttrId::HardwareConcurrency).as_int().unwrap() < 8);
-        assert_eq!(dd.decide(&request(fp, BehaviorTrace::silent(), RESIDENTIAL_IP)), Verdict::Human);
+        assert_eq!(
+            dd.decide(&request(fp, BehaviorTrace::silent(), RESIDENTIAL_IP)),
+            Verdict::Human
+        );
     }
 
     #[test]
@@ -255,7 +306,10 @@ mod tests {
         let mut dd = DataDome::new();
         let fp = consistent(DeviceKind::IPhone, BrowserFamily::MobileSafari)
             .with(AttrId::HardwareConcurrency, 32i64);
-        assert_eq!(dd.decide(&request(fp, BehaviorTrace::silent(), RESIDENTIAL_IP)), Verdict::Bot);
+        assert_eq!(
+            dd.decide(&request(fp, BehaviorTrace::silent(), RESIDENTIAL_IP)),
+            Verdict::Bot
+        );
     }
 
     #[test]
@@ -265,17 +319,28 @@ mod tests {
         let mut dd = DataDome::new();
         let fp = consistent(DeviceKind::WindowsDesktop, BrowserFamily::Chrome)
             .with(AttrId::ScreenFrame, 240i64);
-        assert_eq!(dd.decide(&request(fp, human_mouse(), RESIDENTIAL_IP)), Verdict::Bot);
+        assert_eq!(
+            dd.decide(&request(fp, human_mouse(), RESIDENTIAL_IP)),
+            Verdict::Bot
+        );
     }
 
     #[test]
     fn forced_colors_off_windows_detected() {
         let mut dd = DataDome::new();
-        let fp = consistent(DeviceKind::Mac, BrowserFamily::Safari).with(AttrId::ForcedColors, true);
-        assert_eq!(dd.decide(&request(fp, human_mouse(), RESIDENTIAL_IP)), Verdict::Bot);
+        let fp =
+            consistent(DeviceKind::Mac, BrowserFamily::Safari).with(AttrId::ForcedColors, true);
+        assert_eq!(
+            dd.decide(&request(fp, human_mouse(), RESIDENTIAL_IP)),
+            Verdict::Bot
+        );
         // On Windows the same flag is legitimate high-contrast mode.
-        let fp = consistent(DeviceKind::WindowsDesktop, BrowserFamily::Chrome).with(AttrId::ForcedColors, true);
-        assert_eq!(dd.decide(&request(fp, human_mouse(), RESIDENTIAL_IP)), Verdict::Human);
+        let fp = consistent(DeviceKind::WindowsDesktop, BrowserFamily::Chrome)
+            .with(AttrId::ForcedColors, true);
+        assert_eq!(
+            dd.decide(&request(fp, human_mouse(), RESIDENTIAL_IP)),
+            Verdict::Human
+        );
     }
 
     #[test]
@@ -296,10 +361,16 @@ mod tests {
         for i in 0..30u32 {
             let fp = consistent(DeviceKind::Mac, BrowserFamily::Chrome)
                 .with(AttrId::HardwareConcurrency, i64::from(2 + (i % 13)))
-                .with(AttrId::DeviceMemory, AttrValue::float(f64::from(1 << (i % 4))));
+                .with(
+                    AttrId::DeviceMemory,
+                    AttrValue::float(f64::from(1 << (i % 4))),
+                );
             verdicts.push(dd.decide(&request(fp, human_mouse(), ip)));
         }
-        assert!(verdicts[..8].iter().all(|v| *v == Verdict::Human), "early requests pass");
+        assert!(
+            verdicts[..8].iter().all(|v| *v == Verdict::Human),
+            "early requests pass"
+        );
         assert!(
             verdicts[12..].iter().all(|v| *v == Verdict::Bot),
             "churn flagged after the window: {verdicts:?}"
@@ -335,7 +406,10 @@ mod tests {
             }),
             first_input_delay_ms: 5,
         };
-        assert_eq!(dd.decide(&request(fp, replay, RESIDENTIAL_IP)), Verdict::Bot);
+        assert_eq!(
+            dd.decide(&request(fp, replay, RESIDENTIAL_IP)),
+            Verdict::Bot
+        );
     }
 
     #[test]
@@ -348,6 +422,9 @@ mod tests {
         }
         dd.reset();
         let fp = consistent(DeviceKind::Mac, BrowserFamily::Chrome);
-        assert_eq!(dd.decide(&request(fp, human_mouse(), RESIDENTIAL_IP)), Verdict::Human);
+        assert_eq!(
+            dd.decide(&request(fp, human_mouse(), RESIDENTIAL_IP)),
+            Verdict::Human
+        );
     }
 }

@@ -29,44 +29,8 @@ pub use api_access::{ApiAccess, API_ACCESS_TABLE};
 pub use botd::BotD;
 pub use datadome::DataDome;
 
-use fp_types::Request;
-
-/// An anti-bot service's verdict on one request.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub enum Verdict {
-    /// Let through — the request looked human.
-    Human,
-    /// Blocked — the request was classified as a bot.
-    Bot,
-}
-
-impl Verdict {
-    /// Did the request get past the service?
-    pub fn evaded(self) -> bool {
-        self == Verdict::Human
-    }
-}
-
-/// A bot-detection service integrated on the honey site.
-pub trait Detector {
-    /// Service name as it appears in the paper's tables.
-    fn name(&self) -> &'static str;
-
-    /// Decide one request. `&mut self` because server-side engines keep
-    /// per-IP state; requests must be fed in arrival order.
-    fn decide(&mut self, request: &Request) -> Verdict;
-
-    /// Drop accumulated state (new measurement run).
-    fn reset(&mut self);
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn verdict_evaded() {
-        assert!(Verdict::Human.evaded());
-        assert!(!Verdict::Bot.evaded());
-    }
-}
+// The detection contract is shared workspace-wide (`fp_types::detect`):
+// these simulators implement the same `Detector` trait FP-Inconsistent's
+// own spatial/temporal detectors do, so the honey site runs one chain.
+// Re-exported here because this crate defined the original trait.
+pub use fp_types::detect::{Detector, StateScope, Verdict};

@@ -9,7 +9,10 @@ use fp_inconsistent_core::{FpInconsistent, MineConfig};
 use fp_types::{Scale, ServiceId};
 
 fn store_at(scale: f64) -> RequestStore {
-    let campaign = Campaign::generate(CampaignConfig { scale: Scale::ratio(scale), seed: 21 });
+    let campaign = Campaign::generate(CampaignConfig {
+        scale: Scale::ratio(scale),
+        seed: 21,
+    });
     let mut site = HoneySite::new();
     for id in ServiceId::all() {
         site.register_token(campaign.token_of(id));
@@ -24,9 +27,17 @@ fn bench_mining(c: &mut Criterion) {
     for scale in [0.005, 0.01, 0.02] {
         let store = store_at(scale);
         group.throughput(Throughput::Elements(store.len() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(store.len()), &store, |b, store| {
-            b.iter(|| FpInconsistent::mine(store, &MineConfig::default()).rules().len())
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(store.len()),
+            &store,
+            |b, store| {
+                b.iter(|| {
+                    FpInconsistent::mine(store, &MineConfig::default())
+                        .rules()
+                        .len()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -7,8 +7,15 @@ use fp_ml::{FeatureSchema, Gbdt, GbdtParams};
 use fp_types::Scale;
 
 fn bench_ml(c: &mut Criterion) {
-    let campaign = Campaign::generate(CampaignConfig { scale: Scale::ratio(0.01), seed: 31 });
-    let fps: Vec<&fp_types::Fingerprint> = campaign.bot_requests.iter().map(|r| &r.fingerprint).collect();
+    let campaign = Campaign::generate(CampaignConfig {
+        scale: Scale::ratio(0.01),
+        seed: 31,
+    });
+    let fps: Vec<&fp_types::Fingerprint> = campaign
+        .bot_requests
+        .iter()
+        .map(|r| &r.fingerprint)
+        .collect();
     let labels: Vec<f64> = campaign
         .designs
         .iter()
@@ -26,9 +33,16 @@ fn bench_ml(c: &mut Criterion) {
     let matrix = schema.encode_all(fps.iter().copied());
     group.bench_function("gbdt_train_10_rounds", |b| {
         b.iter(|| {
-            Gbdt::train(&matrix, &labels, GbdtParams { rounds: 10, ..GbdtParams::default() })
-                .trees
-                .len()
+            Gbdt::train(
+                &matrix,
+                &labels,
+                GbdtParams {
+                    rounds: 10,
+                    ..GbdtParams::default()
+                },
+            )
+            .trees
+            .len()
         })
     });
     group.finish();

@@ -4,13 +4,16 @@
 //! inline (§7.3's "good trade-off between performance and accuracy").
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use fp_antibot::{BotD, DataDome, Detector};
+use fp_antibot::{BotD, DataDome};
 use fp_botnet::{Campaign, CampaignConfig};
 use fp_honeysite::HoneySite;
 use fp_types::{Scale, ServiceId};
 
 fn campaign() -> Campaign {
-    Campaign::generate(CampaignConfig { scale: Scale::ratio(0.01), seed: 77 })
+    Campaign::generate(CampaignConfig {
+        scale: Scale::ratio(0.01),
+        seed: 77,
+    })
 }
 
 fn bench_detectors(c: &mut Criterion) {
@@ -74,10 +77,77 @@ fn bench_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("generation");
     group.sample_size(10);
     group.bench_function("campaign_1pct", |b| {
-        b.iter(|| Campaign::generate(CampaignConfig { scale: Scale::ratio(0.01), seed: 5 }).bot_requests.len())
+        b.iter(|| {
+            Campaign::generate(CampaignConfig {
+                scale: Scale::ratio(0.01),
+                seed: 5,
+            })
+            .bot_requests
+            .len()
+        })
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_detectors, bench_ingest, bench_generation);
+/// The streaming pipeline end to end (ingest + the full five-detector
+/// chain including FP-Inconsistent) against the batch path (sequential
+/// ingest, then whole-store engine passes), at 1/4/8 shards.
+fn bench_pipeline_stream(c: &mut Criterion) {
+    use fp_bench::{campaign_stream, honey_site_for};
+    use fp_inconsistent_core::{FpInconsistent, MineConfig};
+
+    let campaign = campaign();
+    let stream = campaign_stream(&campaign);
+    // Rules pre-mined once (the deployment setting).
+    let (_, store) = {
+        let mut site = honey_site_for(&campaign);
+        site.ingest_all(stream.iter().cloned());
+        ((), site.into_store())
+    };
+    let engine = FpInconsistent::mine(&store, &MineConfig::default());
+
+    let mut group = c.benchmark_group("pipeline_stream");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.sample_size(10);
+
+    group.bench_function("batch_ingest_then_flags", |b| {
+        b.iter_batched(
+            || (honey_site_for(&campaign), stream.clone()),
+            |(mut site, requests)| {
+                site.ingest_all(requests);
+                let store = site.into_store();
+                engine.flags(&store).len()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    for shards in [1usize, 4, 8] {
+        group.bench_function(format!("stream_{shards}_shards"), |b| {
+            b.iter_batched(
+                || {
+                    let mut site = honey_site_for(&campaign);
+                    for d in engine.detectors() {
+                        site.push_detector(d);
+                    }
+                    (site, stream.clone())
+                },
+                |(mut site, requests)| {
+                    site.ingest_stream(requests, shards);
+                    site.into_store().len()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_detectors,
+    bench_ingest,
+    bench_generation,
+    bench_pipeline_stream
+);
 criterion_main!(benches);

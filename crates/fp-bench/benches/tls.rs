@@ -15,10 +15,17 @@ fn bench_tls(c: &mut Criterion) {
     group.throughput(Throughput::Elements(1));
     group.bench_function("build_hello", |b| {
         let mut rng = Splittable::new(9);
-        b.iter(|| TlsClientKind::Chromium.client_hello("bench.example.com", &mut rng).cipher_suites.len())
+        b.iter(|| {
+            TlsClientKind::Chromium
+                .client_hello("bench.example.com", &mut rng)
+                .cipher_suites
+                .len()
+        })
     });
     group.bench_function("serialize", |b| b.iter(|| hello.to_wire().len()));
-    group.bench_function("parse", |b| b.iter(|| ClientHello::parse(&wire).unwrap().cipher_suites.len()));
+    group.bench_function("parse", |b| {
+        b.iter(|| ClientHello::parse(&wire).unwrap().cipher_suites.len())
+    });
     group.bench_function("ja3", |b| b.iter(|| ja3_digest(&hello).len()));
     group.bench_function("ja4", |b| b.iter(|| ja4_descriptor(&hello).len()));
     group.finish();

@@ -24,8 +24,18 @@ fn main() {
         loop {
             match &tree.nodes[node] {
                 fp_ml::tree::Node::Leaf { .. } => break,
-                fp_ml::tree::Node::Split { feature, threshold, left, right, .. } => {
-                    node = if row[*feature] <= *threshold { *left } else { *right };
+                fp_ml::tree::Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    node = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }

@@ -29,7 +29,10 @@ fn main() {
     println!("{:<18} {:>9} {:>9}", "Platform", "Requests", "Share");
     for (platform, n) in &rows {
         let bar = "#".repeat((*n as f64 / total.max(1) as f64 * 80.0) as usize);
-        println!("{platform:<18} {n:>9} {:>9} {bar}", pct(*n as f64 / total.max(1) as f64));
+        println!(
+            "{platform:<18} {n:>9} {:>9} {bar}",
+            pct(*n as f64 / total.max(1) as f64)
+        );
     }
     println!(
         "\n{} distinct platform values on one device — \"it cannot change otherwise for the same device\" (§6.3)",

@@ -11,7 +11,10 @@ fn main() {
         "Figure 4: P(evade BotD | PDF plugin present)",
         "Figure 4 — every bar close to 1.0",
     );
-    println!("{:<28} {:>10} {:>12} {:>12}", "Plugin", "Requests", "P(evade)", "P(detect)");
+    println!(
+        "{:<28} {:>10} {:>12} {:>12}",
+        "Plugin", "Requests", "P(evade)", "P(detect)"
+    );
     for plugin in CHROMIUM_PDF_PLUGINS {
         let mut n = 0u64;
         let mut evaded = 0u64;
@@ -27,7 +30,11 @@ fn main() {
                 evaded += u64::from(r.evaded_botd());
             }
         }
-        let p = if n == 0 { 0.0 } else { evaded as f64 / n as f64 };
+        let p = if n == 0 {
+            0.0
+        } else {
+            evaded as f64 / n as f64
+        };
         println!("{plugin:<28} {n:>10} {:>12} {:>12}", pct(p), pct(1.0 - p));
     }
 

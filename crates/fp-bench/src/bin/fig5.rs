@@ -33,9 +33,16 @@ fn main() {
         data.iter().filter(|&&x| x < at).count() as f64 / data.len() as f64
     };
 
-    println!("{:>8} {:>22} {:>22}", "cores <", "high evasion (S8/9/17)", "low evasion (S7/11/16)");
+    println!(
+        "{:>8} {:>22} {:>22}",
+        "cores <", "high evasion (S8/9/17)", "low evasion (S7/11/16)"
+    );
     for at in [2i64, 4, 6, 8, 12, 16, 24, 33] {
-        println!("{at:>8} {:>22} {:>22}", pct(cdf(&high, at)), pct(cdf(&low, at)));
+        println!(
+            "{at:>8} {:>22} {:>22}",
+            pct(cdf(&high, at)),
+            pct(cdf(&low, at))
+        );
     }
     println!(
         "\n< 8 cores: high-evasion {} (paper 84.7%), low-evasion {} (paper 38.16%)",

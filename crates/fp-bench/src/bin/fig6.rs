@@ -14,7 +14,9 @@ fn main() {
 
     let mut by_device: HashMap<&str, (u64, u64)> = HashMap::new();
     for r in store.iter().filter(|r| r.source.is_bot()) {
-        let Some(device) = r.fingerprint.get(AttrId::UaDevice).as_str() else { continue };
+        let Some(device) = r.fingerprint.get(AttrId::UaDevice).as_str() else {
+            continue;
+        };
         // Group Android models the way a coarse device-type view does.
         // Chrome's frozen reduced-UA model "K" carries no device identity;
         // production parsers bucket it as generic.
@@ -34,7 +36,10 @@ fn main() {
         .collect();
     rows.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
 
-    println!("{:<16} {:>10} {:>12} {:>12}", "Device type", "Requests", "P(evade)", "P(detect)");
+    println!(
+        "{:<16} {:>10} {:>12} {:>12}",
+        "Device type", "Requests", "P(evade)", "P(detect)"
+    );
     for (device, n, p) in rows {
         println!("{device:<16} {n:>10} {:>12} {:>12}", pct(p), pct(1.0 - p));
     }

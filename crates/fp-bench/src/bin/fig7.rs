@@ -21,7 +21,9 @@ fn main() {
         if r.fingerprint.get(AttrId::UaDevice).as_str() != Some("iPhone") {
             continue;
         }
-        let Some(res) = r.fingerprint.get(AttrId::ScreenResolution).as_resolution() else { continue };
+        let Some(res) = r.fingerprint.get(AttrId::ScreenResolution).as_resolution() else {
+            continue;
+        };
         let slot = census.entry(res).or_default();
         slot.0 += 1;
         slot.1 += u64::from(r.evaded_datadome());
@@ -39,7 +41,10 @@ fn main() {
     ranked.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap().then(b.1.cmp(&a.1)));
 
     println!("\ntop 10 resolutions by evasion probability:");
-    println!("{:<12} {:>9} {:>10} {:>8}", "Resolution", "Requests", "P(evade)", "Real?");
+    println!(
+        "{:<12} {:>9} {:>10} {:>8}",
+        "Resolution", "Requests", "P(evade)", "Real?"
+    );
     let mut fake_in_top10 = 0;
     for (res, n, p) in ranked.iter().take(10) {
         let real = is_real_iphone_resolution(*res);

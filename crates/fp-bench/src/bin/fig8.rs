@@ -50,9 +50,15 @@ fn main() {
     // The two "heatmaps": request counts per region under each inference.
     let mut by_ip: HashMap<&str, u64> = HashMap::new();
     let mut by_tz: HashMap<&str, u64> = HashMap::new();
-    let geo_ids: Vec<_> = SERVICES.iter().filter(|s| s.geo_target.is_some()).map(|s| s.id).collect();
+    let geo_ids: Vec<_> = SERVICES
+        .iter()
+        .filter(|s| s.geo_target.is_some())
+        .map(|s| s.id)
+        .collect();
     for r in store.iter() {
-        let TrafficSource::Bot(id) = r.source else { continue };
+        let TrafficSource::Bot(id) = r.source else {
+            continue;
+        };
         if !geo_ids.contains(&id) {
             continue;
         }

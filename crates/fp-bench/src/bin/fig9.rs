@@ -22,7 +22,11 @@ fn main() {
         if s.requests == 0 {
             continue;
         }
-        let marker = if RENEWAL_DAYS.contains(&(day as u32)) { "  <- renewal" } else { "" };
+        let marker = if RENEWAL_DAYS.contains(&(day as u32)) {
+            "  <- renewal"
+        } else {
+            ""
+        };
         println!(
             "{:<8} {:>9} {:>11} {:>14} {:>18}{marker}",
             SimTime::from_day(day as u32, 0).calendar(),

@@ -14,8 +14,16 @@ fn main() {
     );
     let (full, split) = generalization_experiment(&store, &MineConfig::default(), 0.8, 0x5EED);
     println!("combined detection on held-out 20%:");
-    println!("  rules mined on everything:   DataDome {}  BotD {}", pct(full.0), pct(full.1));
-    println!("  rules mined on the 80% only: DataDome {}  BotD {}", pct(split.0), pct(split.1));
+    println!(
+        "  rules mined on everything:   DataDome {}  BotD {}",
+        pct(full.0),
+        pct(full.1)
+    );
+    println!(
+        "  rules mined on the 80% only: DataDome {}  BotD {}",
+        pct(split.0),
+        pct(split.1)
+    );
     println!(
         "  drop:                        DataDome {}  BotD {}  (paper: 0.23% / 0.42%)",
         pct(full.0 - split.0),

@@ -13,12 +13,30 @@ fn main() {
         "82.54% flagged-ASN share; among flagged: 43.17% DD / 52.93% BotD evasion; \
          IP-list coverage 15.86%; among blocked IPs: 48.1% DD / 68.85% BotD evasion",
     );
-    println!("flagged-ASN share of bot traffic:      {} (paper 82.54%)", pct(b.asn_flagged_share));
-    println!("  DataDome evasion among flagged-ASN:  {} (paper 43.17%)", pct(b.asn_dd_evasion));
-    println!("  BotD evasion among flagged-ASN:      {} (paper 52.93%)", pct(b.asn_botd_evasion));
-    println!("IP-blocklist coverage of bot traffic:  {} (paper 15.86%)", pct(b.ip_blocked_share));
-    println!("  DataDome evasion among blocked IPs:  {} (paper 48.10%)", pct(b.ip_dd_evasion));
-    println!("  BotD evasion among blocked IPs:      {} (paper 68.85%)", pct(b.ip_botd_evasion));
+    println!(
+        "flagged-ASN share of bot traffic:      {} (paper 82.54%)",
+        pct(b.asn_flagged_share)
+    );
+    println!(
+        "  DataDome evasion among flagged-ASN:  {} (paper 43.17%)",
+        pct(b.asn_dd_evasion)
+    );
+    println!(
+        "  BotD evasion among flagged-ASN:      {} (paper 52.93%)",
+        pct(b.asn_botd_evasion)
+    );
+    println!(
+        "IP-blocklist coverage of bot traffic:  {} (paper 15.86%)",
+        pct(b.ip_blocked_share)
+    );
+    println!(
+        "  DataDome evasion among blocked IPs:  {} (paper 48.10%)",
+        pct(b.ip_dd_evasion)
+    );
+    println!(
+        "  BotD evasion among blocked IPs:      {} (paper 68.85%)",
+        pct(b.ip_botd_evasion)
+    );
     println!("\ntakeaway 2: evasion persists even from flagged address space —");
     println!("bots do not merely rely on unlisted IPs.");
 }

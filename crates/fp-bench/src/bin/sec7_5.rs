@@ -33,8 +33,8 @@ fn main() {
         site.ingest_all(requests);
         let store = site.into_store();
 
-        let dd = store.iter().filter(|r| r.datadome_bot).count() as f64 / store.len() as f64;
-        let botd = store.iter().filter(|r| r.botd_bot).count() as f64 / store.len() as f64;
+        let dd = store.iter().filter(|r| r.datadome_bot()).count() as f64 / store.len() as f64;
+        let botd = store.iter().filter(|r| r.botd_bot()).count() as f64 / store.len() as f64;
         let (spatial, temporal, combined) = evaluate::flag_rate(&store, &engine);
 
         println!(
@@ -48,6 +48,8 @@ fn main() {
             pct(combined),
         );
     }
-    println!("\npaper anchors: Brave DataDome ≈ 41%, Tor DataDome = 100%, Tor FPI = 100% (spatial),");
+    println!(
+        "\npaper anchors: Brave DataDome ≈ 41%, Tor DataDome = 100%, Tor FPI = 100% (spatial),"
+    );
     println!("Brave FPI spatial = 0 but temporal > 0 (cookie-stable farbling), blockers all zero.");
 }

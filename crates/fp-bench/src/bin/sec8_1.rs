@@ -18,10 +18,24 @@ fn main() {
         "challenge instead of block; store the verification in a Cookie",
     );
     println!("human requests:             {}", report.human_requests);
-    println!("  challenged:               {} ({})", report.human_challenged, pct(report.human_challenged as f64 / report.human_requests.max(1) as f64));
-    println!("  still blocked:            {} ({})", report.human_blocked, pct(report.human_block_rate()));
+    println!(
+        "  challenged:               {} ({})",
+        report.human_challenged,
+        pct(report.human_challenged as f64 / report.human_requests.max(1) as f64)
+    );
+    println!(
+        "  still blocked:            {} ({})",
+        report.human_blocked,
+        pct(report.human_block_rate())
+    );
     println!("bot requests:               {}", report.bot_requests);
-    println!("  blocked by the flow:      {} ({})", report.bot_blocked, pct(report.bot_block_rate()));
-    println!("\nwithout mitigation the flagged humans (≈3.16% of §7.4's traffic) would all be blocked;");
+    println!(
+        "  blocked by the flow:      {} ({})",
+        report.bot_blocked,
+        pct(report.bot_block_rate())
+    );
+    println!(
+        "\nwithout mitigation the flagged humans (≈3.16% of §7.4's traffic) would all be blocked;"
+    );
     println!("with it, each affected user solves one challenge and browses on.");
 }

@@ -20,7 +20,13 @@ fn main() {
     ] {
         let m = train_evasion_model(
             &store,
-            |r| if label { r.evaded_datadome() } else { r.evaded_botd() },
+            |r| {
+                if label {
+                    r.evaded_datadome()
+                } else {
+                    r.evaded_botd()
+                }
+            },
             60_000,
         );
         println!("\n--- {name} evasion classifier ---");
@@ -34,7 +40,12 @@ fn main() {
         let ranked = attribute_importance(&m.model, &m.schema, &m.train_matrix, 3_000);
         println!("top attributes by mean |attribution|:");
         for (i, imp) in ranked.iter().take(8).enumerate() {
-            println!("  {}. {:<24} {:.4}", i + 1, paper_attribute_name(imp.attr), imp.score);
+            println!(
+                "  {}. {:<24} {:.4}",
+                i + 1,
+                paper_attribute_name(imp.attr),
+                imp.score
+            );
         }
     }
 }

@@ -15,10 +15,30 @@ fn main() {
         "paper: None 55.44/47.07, Spatial 76.04/70.33, Temporal 56.53/48.09, Combined 76.88/70.86",
     );
     println!("{:<10} {:>12} {:>12}", "Mode", "DataDome", "BotD");
-    println!("{:<10} {:>12} {:>12}", "None", pct(report.none.0), pct(report.none.1));
-    println!("{:<10} {:>12} {:>12}", "Spatial", pct(report.spatial.0), pct(report.spatial.1));
-    println!("{:<10} {:>12} {:>12}", "Temporal", pct(report.temporal.0), pct(report.temporal.1));
-    println!("{:<10} {:>12} {:>12}", "Combined", pct(report.combined.0), pct(report.combined.1));
+    println!(
+        "{:<10} {:>12} {:>12}",
+        "None",
+        pct(report.none.0),
+        pct(report.none.1)
+    );
+    println!(
+        "{:<10} {:>12} {:>12}",
+        "Spatial",
+        pct(report.spatial.0),
+        pct(report.spatial.1)
+    );
+    println!(
+        "{:<10} {:>12} {:>12}",
+        "Temporal",
+        pct(report.temporal.0),
+        pct(report.temporal.1)
+    );
+    println!(
+        "{:<10} {:>12} {:>12}",
+        "Combined",
+        pct(report.combined.0),
+        pct(report.combined.1)
+    );
 
     let (dd_red, botd_red) = report.evasion_reduction();
     println!(

@@ -22,5 +22,7 @@ fn main() {
         );
     }
     let (dd, botd) = access_counts();
-    println!("\nDataDome reads {dd} APIs, BotD {botd} — \"DataDome collects more attributes\" (§4.2)");
+    println!(
+        "\nDataDome reads {dd} APIs, BotD {botd} — \"DataDome collects more attributes\" (§4.2)"
+    );
 }

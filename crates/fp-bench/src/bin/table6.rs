@@ -18,17 +18,22 @@ fn main() {
         println!("\n[{}]", category.name);
         let mut shown = 0;
         for rule in engine.rules().iter() {
-            let in_cat = category.attrs.contains(&rule.attr_a) && category.attrs.contains(&rule.attr_b);
+            let in_cat =
+                category.attrs.contains(&rule.attr_a) && category.attrs.contains(&rule.attr_b);
             if in_cat {
                 println!("  {rule}");
                 shown += 1;
                 if shown >= 10 {
-                    println!("  … ({} more)", engine
-                        .rules()
-                        .iter()
-                        .filter(|r| category.attrs.contains(&r.attr_a) && category.attrs.contains(&r.attr_b))
-                        .count()
-                        - shown);
+                    println!(
+                        "  … ({} more)",
+                        engine
+                            .rules()
+                            .iter()
+                            .filter(|r| category.attrs.contains(&r.attr_a)
+                                && category.attrs.contains(&r.attr_b))
+                            .count()
+                            - shown
+                    );
                     break;
                 }
             }

@@ -8,7 +8,11 @@ fn main() {
     header("Table 7: attribute categories", "Appendix F");
     for c in CATEGORIES.iter() {
         let attrs: Vec<String> = c.attrs.iter().map(|a| a.name()).collect();
-        let marker = if c.in_paper { "" } else { " (extension, §8.2)" };
+        let marker = if c.in_paper {
+            ""
+        } else {
+            " (extension, §8.2)"
+        };
         println!("{:<12}{} {}", c.name, marker, attrs.join(", "));
         println!("             {} attribute pairs minable", c.pairs().len());
     }

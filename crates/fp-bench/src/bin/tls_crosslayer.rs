@@ -16,7 +16,10 @@ fn main() {
     let paper_engine = FpInconsistent::mine(&store, &MineConfig::default());
     let tls_engine = FpInconsistent::mine(
         &store,
-        &MineConfig { include_cross_layer: true, ..MineConfig::default() },
+        &MineConfig {
+            include_cross_layer: true,
+            ..MineConfig::default()
+        },
     );
 
     let (_, paper_report) = evaluate::evaluate(&store, &paper_engine);
@@ -27,8 +30,16 @@ fn main() {
         paper_engine.rules().len(),
         tls_engine.rules().len()
     );
-    println!("combined detection, paper attributes: DataDome {}  BotD {}", pct(paper_report.combined.0), pct(paper_report.combined.1));
-    println!("combined detection, + TLS layer:      DataDome {}  BotD {}", pct(tls_report.combined.0), pct(tls_report.combined.1));
+    println!(
+        "combined detection, paper attributes: DataDome {}  BotD {}",
+        pct(paper_report.combined.0),
+        pct(paper_report.combined.1)
+    );
+    println!(
+        "combined detection, + TLS layer:      DataDome {}  BotD {}",
+        pct(tls_report.combined.0),
+        pct(tls_report.combined.1)
+    );
     println!(
         "added detection:                      DataDome {}  BotD {}",
         pct(tls_report.combined.0 - paper_report.combined.0),

@@ -26,16 +26,113 @@ pub const CAMPAIGN_SEED: u64 = 0xF91C0DE;
 /// the campaign (for design ground truth) and the recorded store
 /// (bot traffic + real users).
 pub fn recorded_campaign(scale: Scale) -> (Campaign, RequestStore) {
-    let campaign = Campaign::generate(CampaignConfig { scale, seed: CAMPAIGN_SEED });
+    let campaign = Campaign::generate(CampaignConfig {
+        scale,
+        seed: CAMPAIGN_SEED,
+    });
+    let mut site = honey_site_for(&campaign);
+    site.ingest_all(campaign.bot_requests.iter().cloned());
+    site.ingest_all(campaign.real_users.iter().map(|r| r.request.clone()));
+    let store = site.into_store();
+    (campaign, store)
+}
+
+/// A fresh honey site with the campaign's tokens registered.
+pub fn honey_site_for(campaign: &Campaign) -> HoneySite {
     let mut site = HoneySite::new();
     for id in ServiceId::all() {
         site.register_token(campaign.token_of(id));
     }
     site.register_token(campaign.real_user_token());
-    site.ingest_all(campaign.bot_requests.iter().cloned());
-    site.ingest_all(campaign.real_users.iter().map(|r| r.request.clone()));
-    let store = site.into_store();
-    (campaign, store)
+    site
+}
+
+/// The campaign's full arrival-ordered request stream (bots + real users),
+/// as the streaming pipeline consumes it.
+pub fn campaign_stream(campaign: &Campaign) -> Vec<fp_types::Request> {
+    campaign
+        .bot_requests
+        .iter()
+        .cloned()
+        .chain(campaign.real_users.iter().map(|r| r.request.clone()))
+        .collect()
+}
+
+/// Per-provenance comparison of the sharded streaming pipeline against the
+/// batch path (sequential ingest + whole-store `FpInconsistent` passes).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StreamReport {
+    /// Requests compared.
+    pub requests: usize,
+    /// Shard count the streaming run used.
+    pub shards: usize,
+    /// Per-request mismatches per provenance.
+    pub datadome_mismatches: usize,
+    pub botd_mismatches: usize,
+    pub spatial_mismatches: usize,
+    pub temporal_mismatches: usize,
+}
+
+impl StreamReport {
+    /// Flag-for-flag identical?
+    pub fn identical(&self) -> bool {
+        self.datadome_mismatches == 0
+            && self.botd_mismatches == 0
+            && self.spatial_mismatches == 0
+            && self.temporal_mismatches == 0
+    }
+}
+
+/// Run the same campaign through both paths and compare every verdict.
+///
+/// Batch path: sequential `ingest_all`, then rules mined from the store and
+/// `FpInconsistent::flags` over it. Streaming path: rules pre-mined (the
+/// deployment setting), FP-Inconsistent's detector adapters appended to the
+/// honey site's chain, one sharded `ingest_stream` pass producing all five
+/// verdicts per request online.
+pub fn stream_report(scale: Scale, shards: usize) -> StreamReport {
+    use fp_inconsistent_core::{FpInconsistent, MineConfig};
+    use fp_types::detect::provenance;
+
+    let campaign = Campaign::generate(CampaignConfig {
+        scale,
+        seed: CAMPAIGN_SEED,
+    });
+    let stream = campaign_stream(&campaign);
+
+    // Batch path.
+    let mut batch_site = honey_site_for(&campaign);
+    batch_site.ingest_all(stream.iter().cloned());
+    let batch_store = batch_site.into_store();
+    let engine = FpInconsistent::mine(&batch_store, &MineConfig::default());
+    let batch_flags = engine.flags(&batch_store);
+
+    // Streaming path: same chain + FP-Inconsistent inline.
+    let mut stream_site = honey_site_for(&campaign);
+    for detector in engine.detectors() {
+        stream_site.push_detector(detector);
+    }
+    stream_site.ingest_stream(stream, shards);
+    let stream_store = stream_site.into_store();
+
+    let mut report = StreamReport {
+        requests: batch_store.len(),
+        shards,
+        ..Default::default()
+    };
+    for ((batch, streamed), (spatial, temporal)) in
+        batch_store.iter().zip(stream_store.iter()).zip(batch_flags)
+    {
+        let v = &streamed.verdicts;
+        report.datadome_mismatches +=
+            usize::from(batch.datadome_bot() != v.bot(provenance::DATADOME));
+        report.botd_mismatches += usize::from(batch.botd_bot() != v.bot(provenance::BOTD));
+        report.spatial_mismatches += usize::from(spatial != v.bot(provenance::FP_SPATIAL));
+        let streamed_temporal =
+            v.bot(provenance::FP_TEMPORAL_COOKIE) || v.bot(provenance::FP_TEMPORAL_IP);
+        report.temporal_mismatches += usize::from(temporal != streamed_temporal);
+    }
+    report
 }
 
 /// Format a fraction as the paper prints percentages.
@@ -89,7 +186,10 @@ pub fn train_evasion_model(
         )
     });
 
-    let labels: Vec<f64> = sample.iter().map(|r| f64::from(u8::from(label_of(r)))).collect();
+    let labels: Vec<f64> = sample
+        .iter()
+        .map(|r| f64::from(u8::from(label_of(r))))
+        .collect();
     let matrix = schema.encode_all(sample.iter().map(|r| &r.fingerprint));
 
     let (train_idx, test_idx) = fp_ml::gbdt::train_test_split(matrix.rows, 0.1, 90);
@@ -101,5 +201,11 @@ pub fn train_evasion_model(
     let model = fp_ml::Gbdt::train(&m_train, &y_train, fp_ml::GbdtParams::default());
     let train_accuracy = model.accuracy(&m_train, &y_train);
     let test_accuracy = model.accuracy(&m_test, &y_test);
-    EvasionModel { schema, model, train_accuracy, test_accuracy, train_matrix: m_train }
+    EvasionModel {
+        schema,
+        model,
+        train_accuracy,
+        test_accuracy,
+        train_matrix: m_train,
+    }
 }

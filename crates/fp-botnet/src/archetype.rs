@@ -13,7 +13,9 @@
 
 use crate::iphone_res;
 use crate::spec::Cell;
-use fp_fingerprint::{BrowserFamily, BrowserProfile, Collector, DeviceKind, DeviceProfile, LocaleSpec};
+use fp_fingerprint::{
+    BrowserFamily, BrowserProfile, Collector, DeviceKind, DeviceProfile, LocaleSpec,
+};
 use fp_tls::TlsClientKind;
 use fp_types::{AttrId, AttrValue, BehaviorTrace, Fingerprint, Splittable};
 
@@ -34,7 +36,13 @@ pub struct Built {
 }
 
 /// Build a request body for `(cell, mimicry, variant)` under `locale`.
-pub fn build(cell: Cell, mimicry: bool, variant: Variant, locale: &LocaleSpec, rng: &mut Splittable) -> Built {
+pub fn build(
+    cell: Cell,
+    mimicry: bool,
+    variant: Variant,
+    locale: &LocaleSpec,
+    rng: &mut Splittable,
+) -> Built {
     let mut built = match (cell, mimicry, variant) {
         (Cell::EvadeBoth, false, Variant::Clean) => clean_mobile_evader(locale, rng),
         (Cell::EvadeBoth, false, Variant::Sloppy) => sloppy_mobile_evader(locale, rng),
@@ -43,7 +51,9 @@ pub fn build(cell: Cell, mimicry: bool, variant: Variant, locale: &LocaleSpec, r
         (Cell::EvadeDataDomeOnly, false, Variant::Clean) => android_k_evader(locale, rng),
         (Cell::EvadeDataDomeOnly, false, Variant::Sloppy) => sloppy_android_no_touch(locale, rng),
         (Cell::EvadeDataDomeOnly, true, Variant::Clean) => mimicry_evader(false, locale, rng),
-        (Cell::EvadeDataDomeOnly, true, Variant::Sloppy) => sloppy_mimicry_evader(false, locale, rng),
+        (Cell::EvadeDataDomeOnly, true, Variant::Sloppy) => {
+            sloppy_mimicry_evader(false, locale, rng)
+        }
         (Cell::EvadeBotDOnly, _, Variant::Clean) => detected_desktop_with_plugins(locale, rng),
         (Cell::EvadeBotDOnly, _, Variant::Sloppy) => sloppy_detected_botd_evader(locale, rng),
         (Cell::DetectedBoth, _, Variant::Clean) => detected_both(locale, rng),
@@ -55,9 +65,13 @@ pub fn build(cell: Cell, mimicry: bool, variant: Variant, locale: &LocaleSpec, r
     // and detected traffic, so it carries no evasion signal — which keeps
     // the classifier honest about the attributes that do.
     if rng.chance(0.75) {
-        built
-            .fingerprint
-            .set(AttrId::Canvas, AttrValue::text(&format!("canvas:noise{:012x}", rng.next_u64() & 0xFFFF_FFFF_FFFF)));
+        built.fingerprint.set(
+            AttrId::Canvas,
+            AttrValue::text(&format!(
+                "canvas:noise{:012x}",
+                rng.next_u64() & 0xFFFF_FFFF_FFFF
+            )),
+        );
     }
     built
 }
@@ -88,12 +102,20 @@ pub fn bot_touch(rng: &mut Splittable) -> BehaviorTrace {
 
 /// A bot's desktop cover: real desktop profile, Chromium browser, cores
 /// from the server-grade distribution, plugins optionally stripped.
-fn desktop_base(plugins: bool, force_non_apple: bool, locale: &LocaleSpec, rng: &mut Splittable) -> Fingerprint {
+fn desktop_base(
+    plugins: bool,
+    force_non_apple: bool,
+    locale: &LocaleSpec,
+    rng: &mut Splittable,
+) -> Fingerprint {
     let kind = if force_non_apple {
         *rng.pick(&[DeviceKind::WindowsDesktop, DeviceKind::LinuxDesktop])
     } else {
-        [DeviceKind::WindowsDesktop, DeviceKind::Mac, DeviceKind::LinuxDesktop]
-            [rng.pick_weighted(&[0.68, 0.12, 0.20])]
+        [
+            DeviceKind::WindowsDesktop,
+            DeviceKind::Mac,
+            DeviceKind::LinuxDesktop,
+        ][rng.pick_weighted(&[0.68, 0.12, 0.20])]
     };
     let device = DeviceProfile::sample(kind, rng);
     let family = if kind == DeviceKind::WindowsDesktop && rng.chance(0.25) {
@@ -184,8 +206,15 @@ fn clean_mobile_evader(locale: &LocaleSpec, rng: &mut Splittable) -> Built {
             Collector::collect(&device, &browser, locale)
         }
     };
-    let behavior = if rng.chance(0.2) { bot_touch(rng) } else { BehaviorTrace::silent() };
-    Built { fingerprint: fp, behavior }
+    let behavior = if rng.chance(0.2) {
+        bot_touch(rng)
+    } else {
+        BehaviorTrace::silent()
+    };
+    Built {
+        fingerprint: fp,
+        behavior,
+    }
 }
 
 /// Sloppy mobile evader: the lie is partial — one of the Table 6 patterns.
@@ -197,7 +226,10 @@ fn sloppy_mobile_evader(locale: &LocaleSpec, rng: &mut Splittable) -> Built {
             // under the Safari UA — the HTTP-header leak (Sec-CH-UA under
             // a WebKit UA is impossible; no WebKit engine emits it).
             let mut fp = iphone_base(locale, rng);
-            fp.set(AttrId::SecChUa, format!("\"Chromium\";v=\"{}\"", *rng.pick(&[114u16, 115, 116])).as_str());
+            fp.set(
+                AttrId::SecChUa,
+                format!("\"Chromium\";v=\"{}\"", *rng.pick(&[114u16, 115, 116])).as_str(),
+            );
             fp.set(AttrId::SecChUaPlatform, "Linux");
             fp.set(AttrId::SecChUaMobile, "?0");
             fp
@@ -244,8 +276,15 @@ fn sloppy_mobile_evader(locale: &LocaleSpec, rng: &mut Splittable) -> Built {
             fp
         }
     };
-    let behavior = if rng.chance(0.2) { bot_touch(rng) } else { BehaviorTrace::silent() };
-    Built { fingerprint: fp, behavior }
+    let behavior = if rng.chance(0.2) {
+        bot_touch(rng)
+    } else {
+        BehaviorTrace::silent()
+    };
+    Built {
+        fingerprint: fp,
+        behavior,
+    }
 }
 
 /// Behavioural-mimicry evader: desktop cover + credible pointer input.
@@ -273,7 +312,10 @@ fn sloppy_mimicry_evader(with_plugins: bool, locale: &LocaleSpec, rng: &mut Spli
     // The lie never extends to behaviour here — that's the point.
     let behavior = mimic_good(rng);
     apply_locale_noise(&mut fp, rng);
-    Built { fingerprint: fp, behavior }
+    Built {
+        fingerprint: fp,
+        behavior,
+    }
 }
 
 /// Hook for future locale-level noise; currently a no-op kept for symmetry.
@@ -292,10 +334,16 @@ fn android_k_evader(locale: &LocaleSpec, rng: &mut Splittable) -> Built {
     fp.set(AttrId::TouchSupport, "None");
     fp.set(AttrId::MaxTouchPoints, 0i64);
     // Unknown model: any plausible phone resolution, cores < 8.
-    let res = (320 + rng.next_below(150) as u16, 640 + rng.next_below(320) as u16);
+    let res = (
+        320 + rng.next_below(150) as u16,
+        640 + rng.next_below(320) as u16,
+    );
     set_resolution(&mut fp, res);
     fp.set(AttrId::HardwareConcurrency, *rng.pick(&[2i64, 4, 4, 6]));
-    Built { fingerprint: fp, behavior: BehaviorTrace::silent() }
+    Built {
+        fingerprint: fp,
+        behavior: BehaviorTrace::silent(),
+    }
 }
 
 /// Sloppy variants of the DataDome-only evader. Half are *known* Android
@@ -308,7 +356,13 @@ fn sloppy_android_no_touch(locale: &LocaleSpec, rng: &mut Splittable) -> Built {
         built.fingerprint.set(AttrId::Platform, "Win32");
         return built;
     }
-    let model = *rng.pick(&["SM-A127F", "M2004J19C", "Infinix X652B", "SM-T387W", "Redmi Go"]);
+    let model = *rng.pick(&[
+        "SM-A127F",
+        "M2004J19C",
+        "Infinix X652B",
+        "SM-T387W",
+        "Redmi Go",
+    ]);
     let device = DeviceProfile::android(model);
     let browser = BrowserProfile::contemporary(BrowserFamily::ChromeMobile, rng);
     let mut fp = Collector::collect(&device, &browser, locale);
@@ -320,10 +374,17 @@ fn sloppy_android_no_touch(locale: &LocaleSpec, rng: &mut Splittable) -> Built {
     }
     if rng.chance(0.5) {
         // Device-memory lie on top (Table 6 Device group).
-        let wrong = if device.device_memory >= 4.0 { 1.0 } else { 8.0 };
+        let wrong = if device.device_memory >= 4.0 {
+            1.0
+        } else {
+            8.0
+        };
         fp.set(AttrId::DeviceMemory, AttrValue::float(wrong));
     }
-    Built { fingerprint: fp, behavior: BehaviorTrace::silent() }
+    Built {
+        fingerprint: fp,
+        behavior: BehaviorTrace::silent(),
+    }
 }
 
 // --------------------------------------------------------------------
@@ -344,8 +405,16 @@ fn detected_desktop_with_plugins(locale: &LocaleSpec, rng: &mut Splittable) -> B
             // A faithful mid-range Android (8 real cores): BotD passes on
             // touch, DataDome is not fooled — silent and not low-core.
             let model = *rng.pick(&[
-                "SM-S906N", "SM-A127F", "SM-A515F", "SM-G991B", "SM-G973F",
-                "Pixel 7", "Pixel 7 Pro", "M2006C3MG", "M2004J19C", "Infinix X652B",
+                "SM-S906N",
+                "SM-A127F",
+                "SM-A515F",
+                "SM-G991B",
+                "SM-G973F",
+                "Pixel 7",
+                "Pixel 7 Pro",
+                "M2006C3MG",
+                "M2004J19C",
+                "Infinix X652B",
             ]);
             let device = DeviceProfile::android(model);
             let browser = BrowserProfile::contemporary(BrowserFamily::ChromeMobile, rng);
@@ -357,7 +426,10 @@ fn detected_desktop_with_plugins(locale: &LocaleSpec, rng: &mut Splittable) -> B
         2 => {
             let mut fp = desktop_base(true, false, locale, rng);
             fp.set(AttrId::ScreenFrame, *rng.pick(&[120i64, 180, 240]));
-            Built { fingerprint: fp, behavior: mimic_good(rng) }
+            Built {
+                fingerprint: fp,
+                behavior: mimic_good(rng),
+            }
         }
         _ => {
             // forced-colors on a non-Windows platform: consistent UA and
@@ -366,7 +438,10 @@ fn detected_desktop_with_plugins(locale: &LocaleSpec, rng: &mut Splittable) -> B
             let browser = BrowserProfile::contemporary(BrowserFamily::Chrome, rng);
             let mut fp = Collector::collect(&device, &browser, locale);
             fp.set(AttrId::ForcedColors, true);
-            Built { fingerprint: fp, behavior: mimic_good(rng) }
+            Built {
+                fingerprint: fp,
+                behavior: mimic_good(rng),
+            }
         }
     }
 }
@@ -421,7 +496,10 @@ fn sloppy_detected_botd_evader(locale: &LocaleSpec, rng: &mut Splittable) -> Bui
             fp
         }
     };
-    Built { fingerprint: fp, behavior: BehaviorTrace::silent() }
+    Built {
+        fingerprint: fp,
+        behavior: BehaviorTrace::silent(),
+    }
 }
 
 // --------------------------------------------------------------------
@@ -444,13 +522,19 @@ fn detected_both(locale: &LocaleSpec, rng: &mut Splittable) -> Built {
             if rng.chance(0.5) {
                 fp.set(AttrId::Contrast, -1i64);
             }
-            Built { fingerprint: fp, behavior: BehaviorTrace::silent() }
+            Built {
+                fingerprint: fp,
+                behavior: BehaviorTrace::silent(),
+            }
         }
         2 => {
             // webdriver left on.
             let mut fp = desktop_base(false, false, locale, rng);
             fp.set(AttrId::Webdriver, true);
-            Built { fingerprint: fp, behavior: BehaviorTrace::silent() }
+            Built {
+                fingerprint: fp,
+                behavior: BehaviorTrace::silent(),
+            }
         }
         3 => Built {
             // Replayed mouse trail that fools nobody.
@@ -462,7 +546,10 @@ fn detected_both(locale: &LocaleSpec, rng: &mut Splittable) -> Built {
             // plugin bars sit *near* 1.0 rather than at it.
             let mut fp = desktop_base(true, false, locale, rng);
             fp.set(AttrId::Webdriver, true);
-            Built { fingerprint: fp, behavior: BehaviorTrace::silent() }
+            Built {
+                fingerprint: fp,
+                behavior: BehaviorTrace::silent(),
+            }
         }
         5 => {
             // Plugins patched, `window.chrome` forgotten: the case where
@@ -473,7 +560,10 @@ fn detected_both(locale: &LocaleSpec, rng: &mut Splittable) -> Built {
             if rng.chance(0.4) {
                 fp.set(AttrId::Contrast, -1i64);
             }
-            Built { fingerprint: fp, behavior: BehaviorTrace::silent() }
+            Built {
+                fingerprint: fp,
+                behavior: BehaviorTrace::silent(),
+            }
         }
         _ => {
             // Touch emulation without `window.chrome` — same story on the
@@ -485,7 +575,10 @@ fn detected_both(locale: &LocaleSpec, rng: &mut Splittable) -> Built {
             if rng.chance(0.4) {
                 fp.set(AttrId::Contrast, -1i64);
             }
-            Built { fingerprint: fp, behavior: BehaviorTrace::silent() }
+            Built {
+                fingerprint: fp,
+                behavior: BehaviorTrace::silent(),
+            }
         }
     }
 }
@@ -524,13 +617,16 @@ fn sloppy_detected_both(locale: &LocaleSpec, rng: &mut Splittable) -> Built {
             fp
         }
     };
-    Built { fingerprint: fp, behavior: BehaviorTrace::silent() }
+    Built {
+        fingerprint: fp,
+        behavior: BehaviorTrace::silent(),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fp_antibot::{BotD, DataDome, Detector, Verdict};
+    use fp_antibot::{BotD, DataDome};
     use fp_fingerprint::ValidityOracle;
     use fp_types::{sym, Request, SimTime, TrafficSource};
     use std::net::Ipv4Addr;
@@ -564,7 +660,8 @@ mod tests {
                         let mut botd = BotD::new();
                         let built = build(cell, mimicry, variant, &locale, &mut rng);
                         // Distinct IPs avoid the churn rule.
-                        let ip = Ipv4Addr::new(73, 100, (trial / 250) as u8, (trial % 250 + 1) as u8);
+                        let ip =
+                            Ipv4Addr::new(73, 100, (trial / 250) as u8, (trial % 250 + 1) as u8);
                         let req = as_request(&built, ip);
                         let dd_v = dd.decide(&req);
                         let botd_v = botd.decide(&req);
@@ -616,7 +713,11 @@ mod tests {
         let mut rng = Splittable::new(6);
         for _ in 0..100 {
             let built = build(Cell::EvadeBoth, false, Variant::Clean, &locale, &mut rng);
-            let cores = built.fingerprint.get(AttrId::HardwareConcurrency).as_int().unwrap();
+            let cores = built
+                .fingerprint
+                .get(AttrId::HardwareConcurrency)
+                .as_int()
+                .unwrap();
             assert!(cores < 8, "cores {cores}");
         }
     }
@@ -628,6 +729,9 @@ mod tests {
         let browser = BrowserProfile::contemporary(BrowserFamily::Chrome, &mut rng);
         let mut fp = Collector::collect(&device, &browser, &LocaleSpec::en_us());
         apply_truthful_tls(&mut fp);
-        assert_eq!(fp.get(AttrId::Ja3).as_str(), Some(TlsClientKind::Chromium.ja3()));
+        assert_eq!(
+            fp.get(AttrId::Ja3).as_str(),
+            Some(TlsClientKind::Chromium.ja3())
+        );
     }
 }

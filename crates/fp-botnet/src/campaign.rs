@@ -23,14 +23,20 @@ pub struct CampaignConfig {
 
 impl Default for CampaignConfig {
     fn default() -> Self {
-        CampaignConfig { scale: Scale::FULL, seed: 0xF9_1C0DE }
+        CampaignConfig {
+            scale: Scale::FULL,
+            seed: 0xF9_1C0DE,
+        }
     }
 }
 
 impl CampaignConfig {
     /// Test-sized campaign (5 % volume).
     pub fn test_sized() -> CampaignConfig {
-        CampaignConfig { scale: Scale::test_default(), seed: 0xF9_1C0DE }
+        CampaignConfig {
+            scale: Scale::test_default(),
+            seed: 0xF9_1C0DE,
+        }
     }
 }
 
@@ -56,7 +62,8 @@ impl Campaign {
         crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
             for spec in SERVICES.iter() {
-                handles.push(scope.spawn(move |_| service::generate(spec, config.scale, config.seed)));
+                handles
+                    .push(scope.spawn(move |_| service::generate(spec, config.scale, config.seed)));
             }
             for (slot, handle) in per_service.iter_mut().zip(handles) {
                 *slot = handle.join().expect("service generator panicked");
@@ -76,7 +83,12 @@ impl Campaign {
 
         let real_users = realuser::generate(config.scale, config.seed);
 
-        Campaign { config, bot_requests, designs, real_users }
+        Campaign {
+            config,
+            bot_requests,
+            designs,
+            real_users,
+        }
     }
 
     /// The URL token assigned to a bot service.
@@ -107,16 +119,28 @@ mod tests {
 
     #[test]
     fn campaign_volume_and_order() {
-        let campaign = Campaign::generate(CampaignConfig { scale: Scale::ratio(0.01), seed: 1 });
-        let expected: u64 = SERVICES.iter().map(|s| Scale::ratio(0.01).apply(s.requests)).sum();
+        let campaign = Campaign::generate(CampaignConfig {
+            scale: Scale::ratio(0.01),
+            seed: 1,
+        });
+        let expected: u64 = SERVICES
+            .iter()
+            .map(|s| Scale::ratio(0.01).apply(s.requests))
+            .sum();
         assert_eq!(campaign.bot_requests.len() as u64, expected);
         assert_eq!(campaign.bot_requests.len(), campaign.designs.len());
-        assert!(campaign.bot_requests.windows(2).all(|w| w[0].time <= w[1].time));
+        assert!(campaign
+            .bot_requests
+            .windows(2)
+            .all(|w| w[0].time <= w[1].time));
     }
 
     #[test]
     fn per_service_volumes_survive_merge() {
-        let campaign = Campaign::generate(CampaignConfig { scale: Scale::ratio(0.01), seed: 2 });
+        let campaign = Campaign::generate(CampaignConfig {
+            scale: Scale::ratio(0.01),
+            seed: 2,
+        });
         for spec in SERVICES.iter() {
             let n = campaign
                 .bot_requests
@@ -129,8 +153,14 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let a = Campaign::generate(CampaignConfig { scale: Scale::ratio(0.01), seed: 3 });
-        let b = Campaign::generate(CampaignConfig { scale: Scale::ratio(0.01), seed: 3 });
+        let a = Campaign::generate(CampaignConfig {
+            scale: Scale::ratio(0.01),
+            seed: 3,
+        });
+        let b = Campaign::generate(CampaignConfig {
+            scale: Scale::ratio(0.01),
+            seed: 3,
+        });
         assert_eq!(a.bot_requests.len(), b.bot_requests.len());
         for (x, y) in a.bot_requests.iter().zip(&b.bot_requests) {
             assert_eq!(x.time, y.time);
@@ -141,9 +171,14 @@ mod tests {
 
     #[test]
     fn tokens_are_per_service() {
-        let campaign = Campaign::generate(CampaignConfig { scale: Scale::ratio(0.01), seed: 4 });
+        let campaign = Campaign::generate(CampaignConfig {
+            scale: Scale::ratio(0.01),
+            seed: 4,
+        });
         for r in &campaign.bot_requests {
-            let TrafficSource::Bot(id) = r.source else { panic!() };
+            let TrafficSource::Bot(id) = r.source else {
+                panic!()
+            };
             assert_eq!(r.site_token, campaign.token_of(id));
         }
         let s1 = spec_of(ServiceId(1));

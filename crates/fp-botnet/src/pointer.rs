@@ -63,7 +63,11 @@ pub fn human_path(rng: &mut Splittable) -> Vec<PointerSample> {
             };
             let dt = ((e - prev_e).max(0.015) * stroke_ms as f32) as u32 + 4;
             t += dt;
-            points.push(PointerSample { x: bez_x + jx, y: bez_y + jy, t_ms: t });
+            points.push(PointerSample {
+                x: bez_x + jx,
+                y: bez_y + jy,
+                t_ms: t,
+            });
         }
         x = tx;
         y = ty;
@@ -121,7 +125,10 @@ pub fn stats_of(path: &[PointerSample]) -> PointerStats {
     for w in path.windows(3) {
         let a = ((w[1].x - w[0].x), (w[1].y - w[0].y));
         let b = ((w[2].x - w[1].x), (w[2].y - w[1].y));
-        let (la, lb) = ((a.0 * a.0 + a.1 * a.1).sqrt(), (b.0 * b.0 + b.1 * b.1).sqrt());
+        let (la, lb) = (
+            (a.0 * a.0 + a.1 * a.1).sqrt(),
+            (b.0 * b.0 + b.1 * b.1).sqrt(),
+        );
         if la < 1e-3 || lb < 1e-3 {
             continue;
         }
@@ -129,14 +136,22 @@ pub fn stats_of(path: &[PointerSample]) -> PointerStats {
         let dot = a.0 * b.0 + a.1 * b.1;
         turns.push(cross.atan2(dot).abs());
     }
-    let curvature = if turns.is_empty() { 0.0 } else { turns.iter().sum::<f32>() / turns.len() as f32 };
+    let curvature = if turns.is_empty() {
+        0.0
+    } else {
+        turns.iter().sum::<f32>() / turns.len() as f32
+    };
 
     PointerStats {
         samples: path.len() as u16,
         duration_ms,
         speed_cv,
         curvature,
-        pause_fraction: if duration_ms == 0 { 0.0 } else { pause_ms as f32 / duration_ms as f32 },
+        pause_fraction: if duration_ms == 0 {
+            0.0
+        } else {
+            pause_ms as f32 / duration_ms as f32
+        },
     }
 }
 
@@ -195,7 +210,10 @@ mod tests {
         for i in 0..500 {
             let stats = stats_of(&human_path(&mut rng));
             let score = naturalness(&stats);
-            assert!(score >= 0.6, "draw {i}: human path scored {score}: {stats:?}");
+            assert!(
+                score >= 0.6,
+                "draw {i}: human path scored {score}: {stats:?}"
+            );
         }
     }
 
@@ -230,11 +248,19 @@ mod tests {
     #[test]
     fn stats_of_degenerate_paths() {
         assert_eq!(stats_of(&[]).samples, 0);
-        let one = [PointerSample { x: 1.0, y: 1.0, t_ms: 0 }];
+        let one = [PointerSample {
+            x: 1.0,
+            y: 1.0,
+            t_ms: 0,
+        }];
         assert_eq!(stats_of(&one).samples, 1);
         // Stationary path: zero speeds, no turns, no panic.
         let still: Vec<PointerSample> = (0..10)
-            .map(|i| PointerSample { x: 5.0, y: 5.0, t_ms: i * 10 })
+            .map(|i| PointerSample {
+                x: 5.0,
+                y: 5.0,
+                t_ms: i * 10,
+            })
             .collect();
         let s = stats_of(&still);
         assert_eq!(s.curvature, 0.0);

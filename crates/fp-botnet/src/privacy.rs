@@ -18,7 +18,9 @@
 
 use crate::archetype::apply_truthful_tls;
 use crate::locale::locale_for_region;
-use fp_fingerprint::{BrowserFamily, BrowserProfile, Collector, DeviceKind, DeviceProfile, LocaleSpec};
+use fp_fingerprint::{
+    BrowserFamily, BrowserProfile, Collector, DeviceKind, DeviceProfile, LocaleSpec,
+};
 use fp_netsim::asn::{asns_of_class, AsnClass};
 use fp_netsim::NetDb;
 use fp_types::{
@@ -58,12 +60,18 @@ impl ExperimentDevice {
 
 /// URL token for one technology's honey-site version.
 pub fn privacy_token(seed: u64, tech: PrivacyTech) -> Symbol {
-    sym(&format!("{}{:06x}", tech.name().replace(' ', "-").to_lowercase(), fp_types::mix2(seed, tech as u64) & 0xFF_FFFF))
+    sym(&format!(
+        "{}{:06x}",
+        tech.name().replace(' ', "-").to_lowercase(),
+        fp_types::mix2(seed, tech as u64) & 0xFF_FFFF
+    ))
 }
 
 /// Generate the 300-request experiment for one technology.
 pub fn generate(tech: PrivacyTech, seed: u64) -> Vec<Request> {
-    let mut rng = Splittable::new(seed).child_str("privacy").child(tech as u64);
+    let mut rng = Splittable::new(seed)
+        .child_str("privacy")
+        .child(tech as u64);
     let token = privacy_token(seed, tech);
     let per_device = REQUESTS_PER_TECH / ExperimentDevice::ALL.len() as u64;
 
@@ -75,7 +83,15 @@ pub fn generate(tech: PrivacyTech, seed: u64) -> Vec<Request> {
         // One session-stable farble seed (Android Brave model).
         let session_farble = rng.next_u64();
         for i in 0..per_device {
-            let fp = fingerprint_for(tech, device, &base_profile, &locale, session_farble, i, &mut rng);
+            let fp = fingerprint_for(
+                tech,
+                device,
+                &base_profile,
+                &locale,
+                session_farble,
+                i,
+                &mut rng,
+            );
             let behavior = human_behavior(device, &mut rng);
             out.push(Request {
                 id: 0,
@@ -154,25 +170,39 @@ fn fingerprint_for(
                 // model must stay truthful to remain plausible).
                 ExperimentDevice::Pixel7 => {
                     let mut frng = Splittable::new(session_farble);
-                    fp.set(AttrId::Audio, AttrValue::float(124.0 + frng.next_f64() / 100.0));
+                    fp.set(
+                        AttrId::Audio,
+                        AttrValue::float(124.0 + frng.next_f64() / 100.0),
+                    );
                     fp.set(
                         AttrId::Canvas,
-                        AttrValue::text(&format!("canvas:farbled{:012x}", frng.next_u64() & 0xFFFF_FFFF_FFFF)),
+                        AttrValue::text(&format!(
+                            "canvas:farbled{:012x}",
+                            frng.next_u64() & 0xFFFF_FFFF_FFFF
+                        )),
                     );
                     fp
                 }
                 // Desktop Brave: full six-attribute farbling, re-drawn per
                 // visit (each honey-site visit is a fresh session).
                 _ => {
-                    apply_brave_farbling(&mut fp, device, fp_types::mix2(session_farble, request_idx));
+                    apply_brave_farbling(
+                        &mut fp,
+                        device,
+                        fp_types::mix2(session_farble, request_idx),
+                    );
                     fp
                 }
             }
         }
         PrivacyTech::Tor => {
             // The uniform Tor fingerprint: Firefox ESR claiming Windows.
-            let win = DeviceProfile::sample(DeviceKind::WindowsDesktop, &mut Splittable::new(0x70_12));
-            let browser = BrowserProfile { family: BrowserFamily::Firefox, major: 115 };
+            let win =
+                DeviceProfile::sample(DeviceKind::WindowsDesktop, &mut Splittable::new(0x70_12));
+            let browser = BrowserProfile {
+                family: BrowserFamily::Firefox,
+                major: 115,
+            };
             let mut fp = Collector::collect(&win, &browser, locale);
             // Letterboxing and spec-mandated uniformity.
             fp.set(AttrId::ScreenResolution, (1400u16, 900u16));
@@ -227,15 +257,30 @@ fn brave_engine(device: ExperimentDevice) -> BrowserFamily {
 fn apply_brave_farbling(fp: &mut fp_types::Fingerprint, device: ExperimentDevice, seed: u64) {
     let mut frng = Splittable::new(seed);
     // audio + canvas: fresh noise digests.
-    fp.set(AttrId::Audio, AttrValue::float(124.0 + frng.next_f64() / 100.0));
-    fp.set(AttrId::Canvas, AttrValue::text(&format!("canvas:farbled{:012x}", frng.next_u64() & 0xFFFF_FFFF_FFFF)));
+    fp.set(
+        AttrId::Audio,
+        AttrValue::float(124.0 + frng.next_f64() / 100.0),
+    );
+    fp.set(
+        AttrId::Canvas,
+        AttrValue::text(&format!(
+            "canvas:farbled{:012x}",
+            frng.next_u64() & 0xFFFF_FFFF_FFFF
+        )),
+    );
     // plugins: Brave shuffles/renames the PDF plugin entries on desktop.
-    if matches!(device, ExperimentDevice::MacBookM1 | ExperimentDevice::LinuxDesktop) {
+    if matches!(
+        device,
+        ExperimentDevice::MacBookM1 | ExperimentDevice::LinuxDesktop
+    ) {
         let n = 1 + frng.next_below(3);
         let names: Vec<String> = (0..n)
             .map(|i| format!("Plugin {:x}", fp_types::mix2(seed, i)))
             .collect();
-        fp.set(AttrId::Plugins, AttrValue::list(names.iter().map(|s| s.as_str())));
+        fp.set(
+            AttrId::Plugins,
+            AttrValue::list(names.iter().map(|s| s.as_str())),
+        );
     }
     // deviceMemory / hardwareConcurrency: plausible ladder values.
     if !fp.get(AttrId::DeviceMemory).is_missing() {
@@ -293,7 +338,10 @@ mod tests {
         let reqs = generate(PrivacyTech::Brave, 3);
         let mut per_cookie: std::collections::HashMap<u64, HashSet<u64>> = Default::default();
         for r in &reqs {
-            per_cookie.entry(r.cookie.unwrap()).or_default().insert(r.fingerprint.digest());
+            per_cookie
+                .entry(r.cookie.unwrap())
+                .or_default()
+                .insert(r.fingerprint.digest());
         }
         let max_churn = per_cookie.values().map(HashSet::len).max().unwrap();
         assert!(max_churn > 30, "desktop Brave should churn: {max_churn}");
@@ -314,7 +362,11 @@ mod tests {
 
     #[test]
     fn blockers_alter_nothing() {
-        for tech in [PrivacyTech::Safari, PrivacyTech::UblockOrigin, PrivacyTech::AdblockPlus] {
+        for tech in [
+            PrivacyTech::Safari,
+            PrivacyTech::UblockOrigin,
+            PrivacyTech::AdblockPlus,
+        ] {
             let reqs = generate(tech, 5);
             for r in &reqs {
                 assert!(ValidityOracle::scan_impossible(&r.fingerprint).is_empty());

@@ -11,9 +11,7 @@ use crate::locale::locale_for_region;
 use fp_fingerprint::{BrowserFamily, BrowserProfile, Collector, DeviceKind, DeviceProfile};
 use fp_netsim::asn::{asns_in, AsnClass};
 use fp_netsim::NetDb;
-use fp_types::{
-    sym, AttrId, CookieId, Request, Scale, SimTime, Splittable, Symbol, TrafficSource,
-};
+use fp_types::{sym, AttrId, CookieId, Request, Scale, SimTime, Splittable, Symbol, TrafficSource};
 
 /// Requests recorded at the real-user URL (paper: 2,206).
 pub const REAL_USER_REQUESTS: u64 = 2_206;
@@ -24,7 +22,10 @@ pub const UA_SPOOFER_RATE: f64 = 0.0316;
 
 /// The URL token shared with students.
 pub fn real_user_token(seed: u64) -> Symbol {
-    sym(&format!("students{:06x}", fp_types::mix2(seed, 0x5EA1) & 0xFF_FFFF))
+    sym(&format!(
+        "students{:06x}",
+        fp_types::mix2(seed, 0x5EA1) & 0xFF_FFFF
+    ))
 }
 
 /// One student: a stable device, browser, locale, IP and cookie.
@@ -115,8 +116,7 @@ pub fn generate(scale: Scale, seed: u64) -> Vec<RealUserRequest> {
     while remaining > 0 {
         let visits = (1 + rng.next_below(6)).min(remaining);
         let emitted = volume - remaining;
-        let spoofer =
-            (spoofer_requests as f64) < (emitted + visits) as f64 * UA_SPOOFER_RATE - 0.5;
+        let spoofer = (spoofer_requests as f64) < (emitted + visits) as f64 * UA_SPOOFER_RATE - 0.5;
         if spoofer {
             spoofer_requests += visits;
         }
@@ -156,7 +156,9 @@ mod tests {
     fn volume_and_labels() {
         let reqs = generate(Scale::FULL, 1);
         assert_eq!(reqs.len(), REAL_USER_REQUESTS as usize);
-        assert!(reqs.iter().all(|r| r.request.source == TrafficSource::RealUser));
+        assert!(reqs
+            .iter()
+            .all(|r| r.request.source == TrafficSource::RealUser));
     }
 
     #[test]
@@ -198,7 +200,12 @@ mod tests {
     fn locale_is_consistent_with_ip() {
         for r in generate(Scale::ratio(0.2), 6) {
             let region = NetDb::lookup(r.request.ip).region;
-            let tz_offset = r.request.fingerprint.get(AttrId::TimezoneOffset).as_int().unwrap();
+            let tz_offset = r
+                .request
+                .fingerprint
+                .get(AttrId::TimezoneOffset)
+                .as_int()
+                .unwrap();
             assert_eq!(tz_offset, i64::from(region.offset_minutes));
         }
     }

@@ -12,7 +12,9 @@ use crate::archetype::{self, Built, Variant};
 use crate::locale::{locale_for_region, mismatch_region, mismatched_locale};
 use crate::schedule;
 use crate::spec::{Cell, CellPlan, ServiceSpec};
-use fp_fingerprint::{BrowserFamily, BrowserProfile, Collector, DeviceKind, DeviceProfile, LocaleSpec};
+use fp_fingerprint::{
+    BrowserFamily, BrowserProfile, Collector, DeviceKind, DeviceProfile, LocaleSpec,
+};
 use fp_netsim::asn::{asns_in, AsnClass, AsnRecord};
 use fp_netsim::{NetDb, Region};
 use fp_types::{
@@ -105,7 +107,9 @@ pub fn generate(spec: &ServiceSpec, scale: Scale, seed: u64) -> Vec<GeneratedReq
     let weights = schedule::daily_weights();
 
     let mut stable_pools: HashMap<(usize, bool), Vec<PoolDevice>> = HashMap::new();
-    let churn_cookie = |cell_idx: usize| -> CookieId { fp_types::mix3(seed, u64::from(spec.id.0), 0xC0_0C + cell_idx as u64) };
+    let churn_cookie = |cell_idx: usize| -> CookieId {
+        fp_types::mix3(seed, u64::from(spec.id.0), 0xC0_0C + cell_idx as u64)
+    };
     let fig10_cookie: CookieId = fp_types::mix3(seed, u64::from(spec.id.0), 0xF1610);
 
     let mut out = Vec::with_capacity(volume as usize);
@@ -133,7 +137,11 @@ pub fn generate(spec: &ServiceSpec, scale: Scale, seed: u64) -> Vec<GeneratedReq
         // requests, so the constructed-inconsistency rate is adjusted down.
         let g_est = geo_flag_rate(spec);
         let q = plan.q[cell_idx];
-        let q_adj = if g_est > 0.0 { ((q - g_est) / (1.0 - g_est)).max(0.0) } else { q };
+        let q_adj = if g_est > 0.0 {
+            ((q - g_est) / (1.0 - g_est)).max(0.0)
+        } else {
+            q
+        };
         let flagged = rng.chance(q_adj);
 
         let (mut spatial, mut temporal) = (false, false);
@@ -149,7 +157,11 @@ pub fn generate(spec: &ServiceSpec, scale: Scale, seed: u64) -> Vec<GeneratedReq
             }
         }
 
-        let variant = if spatial { Variant::Sloppy } else { Variant::Clean };
+        let variant = if spatial {
+            Variant::Sloppy
+        } else {
+            Variant::Clean
+        };
 
         let (built, cookie, request_ip) = if temporal {
             // Churn device: shared cookie, rotating IP, re-randomised
@@ -162,7 +174,8 @@ pub fn generate(spec: &ServiceSpec, scale: Scale, seed: u64) -> Vec<GeneratedReq
             let mut built = if spatial {
                 // Both mechanisms: sloppy archetype + platform churn on the
                 // Figure 10 cookie.
-                let mut b = archetype::build(cell, mimicry, Variant::Sloppy, &churn_locale, &mut rng);
+                let mut b =
+                    archetype::build(cell, mimicry, Variant::Sloppy, &churn_locale, &mut rng);
                 let platform = FIG10_PLATFORMS[rng.pick_weighted(&FIG10_WEIGHTS)].0;
                 b.fingerprint.set(AttrId::Platform, platform);
                 b
@@ -170,7 +183,11 @@ pub fn generate(spec: &ServiceSpec, scale: Scale, seed: u64) -> Vec<GeneratedReq
                 temporal_safe(cell, &churn_locale, &mut rng)
             };
             churn_immutables(cell, &mut built.fingerprint, &mut rng);
-            let cookie = if spatial { fig10_cookie } else { churn_cookie(cell_idx) };
+            let cookie = if spatial {
+                fig10_cookie
+            } else {
+                churn_cookie(cell_idx)
+            };
             (built, cookie, ip)
         } else if !spatial && !geo_mismatch && rng.chance(POOL_REUSE_RATE) {
             // Stable pool device: same cookie, same fingerprint, same IP.
@@ -196,7 +213,10 @@ pub fn generate(spec: &ServiceSpec, scale: Scale, seed: u64) -> Vec<GeneratedReq
             d.uses += 1;
             time = fp_types::SimTime::from_day(d.day, rng.next_below(86_400));
             (
-                Built { fingerprint: d.fingerprint.clone(), behavior: d.behavior },
+                Built {
+                    fingerprint: d.fingerprint.clone(),
+                    behavior: d.behavior,
+                },
                 d.cookie,
                 d.ip,
             )
@@ -276,7 +296,13 @@ fn place(
             } else {
                 let mix_weights: Vec<f64> = WORLD_MIX
                     .iter()
-                    .map(|(c, w)| if target.countries().contains(c) { 0.0 } else { *w })
+                    .map(|(c, w)| {
+                        if target.countries().contains(c) {
+                            0.0
+                        } else {
+                            *w
+                        }
+                    })
                     .collect();
                 WORLD_MIX[rng.pick_weighted(&mix_weights)].0
             };
@@ -364,12 +390,19 @@ fn pick_asn(country: &str, class: AsnClass, rng: &mut Splittable) -> &'static As
     if !fallback.is_empty() {
         return fallback[rng.next_below(fallback.len() as u64) as usize];
     }
-    let any: Vec<&AsnRecord> = fp_netsim::ASN_TABLE.iter().filter(|r| r.country == country).collect();
+    let any: Vec<&AsnRecord> = fp_netsim::ASN_TABLE
+        .iter()
+        .filter(|r| r.country == country)
+        .collect();
     assert!(!any.is_empty(), "no ASN for {country}");
     any[rng.next_below(any.len() as u64) as usize]
 }
 
-fn sample_service_ip(spec: &ServiceSpec, region: &'static Region, rng: &mut Splittable) -> Ipv4Addr {
+fn sample_service_ip(
+    spec: &ServiceSpec,
+    region: &'static Region,
+    rng: &mut Splittable,
+) -> Ipv4Addr {
     sample_ip_in(region.country, spec, rng)
 }
 
@@ -383,7 +416,10 @@ fn temporal_safe(cell: Cell, locale: &LocaleSpec, rng: &mut Splittable) -> Built
             let device = DeviceProfile::android_generic_k();
             let browser = BrowserProfile::contemporary(BrowserFamily::ChromeMobile, rng);
             let fp = Collector::collect(&device, &browser, locale);
-            Built { fingerprint: fp, behavior: BehaviorTrace::silent() }
+            Built {
+                fingerprint: fp,
+                behavior: BehaviorTrace::silent(),
+            }
         }
         Cell::EvadeDataDomeOnly => {
             let device = DeviceProfile::android_generic_k();
@@ -391,7 +427,10 @@ fn temporal_safe(cell: Cell, locale: &LocaleSpec, rng: &mut Splittable) -> Built
             let mut fp = Collector::collect(&device, &browser, locale);
             fp.set(AttrId::TouchSupport, "None");
             fp.set(AttrId::MaxTouchPoints, 0i64);
-            Built { fingerprint: fp, behavior: BehaviorTrace::silent() }
+            Built {
+                fingerprint: fp,
+                behavior: BehaviorTrace::silent(),
+            }
         }
         Cell::EvadeBotDOnly | Cell::DetectedBoth => {
             let device = DeviceProfile::sample(
@@ -404,7 +443,10 @@ fn temporal_safe(cell: Cell, locale: &LocaleSpec, rng: &mut Splittable) -> Built
                 fp.set(AttrId::Plugins, AttrValue::list(Vec::<&str>::new()));
                 fp.set(AttrId::MimeTypes, AttrValue::list(Vec::<&str>::new()));
             }
-            Built { fingerprint: fp, behavior: BehaviorTrace::silent() }
+            Built {
+                fingerprint: fp,
+                behavior: BehaviorTrace::silent(),
+            }
         }
     }
 }
@@ -416,9 +458,15 @@ fn churn_immutables(cell: Cell, fp: &mut fp_types::Fingerprint, rng: &mut Splitt
     // request. iPhone/iPad covers keep their pool resolutions, or the
     // Figure 7 census would drown in churn noise (their cookies still burn
     // through the core/platform churn below).
-    let apple_cover = matches!(fp.get(AttrId::UaDevice).as_str(), Some("iPhone") | Some("iPad"));
+    let apple_cover = matches!(
+        fp.get(AttrId::UaDevice).as_str(),
+        Some("iPhone") | Some("iPad")
+    );
     if !apple_cover {
-        let res = (640 + rng.next_below(1960) as u16, 360 + rng.next_below(1240) as u16);
+        let res = (
+            640 + rng.next_below(1960) as u16,
+            360 + rng.next_below(1240) as u16,
+        );
         fp.set(AttrId::ScreenResolution, res);
         fp.set(AttrId::AvailResolution, res);
     }
@@ -480,24 +528,37 @@ mod tests {
 
     #[test]
     fn geo_service_places_most_ips_in_target() {
-        let spec = SERVICES.iter().find(|s| s.geo_target == Some(fp_netsim::GeoTarget::Canada)).unwrap();
+        let spec = SERVICES
+            .iter()
+            .find(|s| s.geo_target == Some(fp_netsim::GeoTarget::Canada))
+            .unwrap();
         let reqs = generate(spec, Scale::ratio(0.2), 7);
         let n = reqs.len() as f64;
         let in_target = reqs
             .iter()
             .filter(|r| NetDb::lookup(r.request.ip).region.country == "Canada")
             .count() as f64;
-        assert!((in_target / n - spec.ip_match_rate).abs() < 0.04, "in-target {}", in_target / n);
+        assert!(
+            (in_target / n - spec.ip_match_rate).abs() < 0.04,
+            "in-target {}",
+            in_target / n
+        );
     }
 
     #[test]
     fn geo_mismatch_rate_tracks_spec() {
-        let spec = SERVICES.iter().find(|s| s.geo_target == Some(fp_netsim::GeoTarget::Europe)).unwrap();
+        let spec = SERVICES
+            .iter()
+            .find(|s| s.geo_target == Some(fp_netsim::GeoTarget::Europe))
+            .unwrap();
         let reqs = generate(spec, Scale::ratio(0.5), 9);
         let n = reqs.len() as f64;
         let mismatched = reqs.iter().filter(|r| r.design.geo_mismatch).count() as f64 / n;
         // tz misses (44 %) plus out-of-target IP leakage.
-        assert!(mismatched > 0.35 && mismatched < 0.55, "geo mismatch {mismatched}");
+        assert!(
+            mismatched > 0.35 && mismatched < 0.55,
+            "geo mismatch {mismatched}"
+        );
     }
 
     #[test]
@@ -560,7 +621,10 @@ mod tests {
         }
         let (&top, &top_n) = counts.iter().max_by_key(|(_, n)| **n).unwrap();
         let fig10 = fp_types::mix3(13, 1, 0xF1610);
-        assert_eq!(top, fig10, "top cookie ({top_n} requests) should be the churn device");
+        assert_eq!(
+            top, fig10,
+            "top cookie ({top_n} requests) should be the churn device"
+        );
         // And its platform spread covers the Figure 10 values.
         let platforms: std::collections::HashSet<&str> = reqs
             .iter()

@@ -50,26 +50,266 @@ pub struct ServiceSpec {
 
 /// The twenty services (Tables 1 and 3).
 pub const SERVICES: [ServiceSpec; 20] = [
-    ServiceSpec { id: ServiceId(1), requests: 121_500, dd_evasion: 0.4401, botd_evasion: 0.7158, dd_post_detection: 0.8341, botd_post_detection: 0.6026, mimicry_share: 0.55, datacenter_share: 0.88, geo_target: None, tz_match_rate: 1.0, ip_match_rate: 1.0 },
-    ServiceSpec { id: ServiceId(2), requests: 63_708, dd_evasion: 0.4299, botd_evasion: 0.7229, dd_post_detection: 0.8261, botd_post_detection: 0.5583, mimicry_share: 0.55, datacenter_share: 0.88, geo_target: None, tz_match_rate: 1.0, ip_match_rate: 1.0 },
-    ServiceSpec { id: ServiceId(3), requests: 54_746, dd_evasion: 0.7491, botd_evasion: 0.1026, dd_post_detection: 0.4631, botd_post_detection: 0.9417, mimicry_share: 0.30, datacenter_share: 0.78, geo_target: None, tz_match_rate: 1.0, ip_match_rate: 1.0 },
-    ServiceSpec { id: ServiceId(4), requests: 47_278, dd_evasion: 0.3865, botd_evasion: 0.7385, dd_post_detection: 0.8235, botd_post_detection: 0.5209, mimicry_share: 0.55, datacenter_share: 0.88, geo_target: None, tz_match_rate: 1.0, ip_match_rate: 1.0 },
-    ServiceSpec { id: ServiceId(5), requests: 40_087, dd_evasion: 0.2386, botd_evasion: 0.7265, dd_post_detection: 0.8819, botd_post_detection: 0.5046, mimicry_share: 0.55, datacenter_share: 0.88, geo_target: None, tz_match_rate: 1.0, ip_match_rate: 1.0 },
-    ServiceSpec { id: ServiceId(6), requests: 32_447, dd_evasion: 0.7181, botd_evasion: 0.0545, dd_post_detection: 0.4370, botd_post_detection: 0.9705, mimicry_share: 0.30, datacenter_share: 0.78, geo_target: None, tz_match_rate: 1.0, ip_match_rate: 1.0 },
-    ServiceSpec { id: ServiceId(7), requests: 28_940, dd_evasion: 0.0256, botd_evasion: 0.3999, dd_post_detection: 0.9935, botd_post_detection: 0.8391, mimicry_share: 0.30, datacenter_share: 0.85, geo_target: None, tz_match_rate: 1.0, ip_match_rate: 1.0 },
-    ServiceSpec { id: ServiceId(8), requests: 26_335, dd_evasion: 0.8043, botd_evasion: 0.2890, dd_post_detection: 0.4784, botd_post_detection: 0.8606, mimicry_share: 0.08, datacenter_share: 0.80, geo_target: None, tz_match_rate: 1.0, ip_match_rate: 1.0 },
-    ServiceSpec { id: ServiceId(9), requests: 23_412, dd_evasion: 0.7829, botd_evasion: 0.1933, dd_post_detection: 0.6569, botd_post_detection: 0.9407, mimicry_share: 0.08, datacenter_share: 0.80, geo_target: None, tz_match_rate: 1.0, ip_match_rate: 1.0 },
-    ServiceSpec { id: ServiceId(10), requests: 18_967, dd_evasion: 0.1577, botd_evasion: 0.5923, dd_post_detection: 0.9470, botd_post_detection: 0.7043, mimicry_share: 0.50, datacenter_share: 0.70, geo_target: Some(GeoTarget::UnitedStates), tz_match_rate: 0.93, ip_match_rate: 0.95 },
-    ServiceSpec { id: ServiceId(11), requests: 17_996, dd_evasion: 0.0655, botd_evasion: 0.5936, dd_post_detection: 0.9863, botd_post_detection: 0.8016, mimicry_share: 0.50, datacenter_share: 0.70, geo_target: Some(GeoTarget::Canada), tz_match_rate: 0.7652, ip_match_rate: 0.9244 },
-    ServiceSpec { id: ServiceId(12), requests: 7_010, dd_evasion: 0.0505, botd_evasion: 0.5144, dd_post_detection: 0.9836, botd_post_detection: 0.7821, mimicry_share: 0.50, datacenter_share: 0.70, geo_target: Some(GeoTarget::Europe), tz_match_rate: 0.56, ip_match_rate: 0.9983 },
-    ServiceSpec { id: ServiceId(13), requests: 5_119, dd_evasion: 0.0695, botd_evasion: 0.5052, dd_post_detection: 0.9910, botd_post_detection: 0.8704, mimicry_share: 0.50, datacenter_share: 0.70, geo_target: Some(GeoTarget::France), tz_match_rate: 0.90, ip_match_rate: 0.95 },
-    ServiceSpec { id: ServiceId(14), requests: 4_920, dd_evasion: 0.8374, botd_evasion: 0.9008, dd_post_detection: 0.6627, botd_post_detection: 0.6729, mimicry_share: 0.30, datacenter_share: 0.85, geo_target: None, tz_match_rate: 1.0, ip_match_rate: 1.0 },
-    ServiceSpec { id: ServiceId(15), requests: 4_219, dd_evasion: 0.1114, botd_evasion: 1.0, dd_post_detection: 0.9960, botd_post_detection: 0.7787, mimicry_share: 0.50, datacenter_share: 0.85, geo_target: None, tz_match_rate: 1.0, ip_match_rate: 1.0 },
-    ServiceSpec { id: ServiceId(16), requests: 4_174, dd_evasion: 0.0448, botd_evasion: 0.0002, dd_post_detection: 0.9969, botd_post_detection: 1.0, mimicry_share: 0.30, datacenter_share: 0.90, geo_target: None, tz_match_rate: 1.0, ip_match_rate: 1.0 },
-    ServiceSpec { id: ServiceId(17), requests: 2_999, dd_evasion: 0.7466, botd_evasion: 0.0790, dd_post_detection: 0.4388, botd_post_detection: 0.9510, mimicry_share: 0.08, datacenter_share: 0.80, geo_target: None, tz_match_rate: 1.0, ip_match_rate: 1.0 },
-    ServiceSpec { id: ServiceId(18), requests: 1_430, dd_evasion: 0.2070, botd_evasion: 1.0, dd_post_detection: 0.9986, botd_post_detection: 0.8357, mimicry_share: 0.50, datacenter_share: 0.85, geo_target: None, tz_match_rate: 1.0, ip_match_rate: 1.0 },
-    ServiceSpec { id: ServiceId(19), requests: 1_411, dd_evasion: 0.0992, botd_evasion: 1.0, dd_post_detection: 0.9950, botd_post_detection: 0.5976, mimicry_share: 0.50, datacenter_share: 0.85, geo_target: None, tz_match_rate: 1.0, ip_match_rate: 1.0 },
-    ServiceSpec { id: ServiceId(20), requests: 382, dd_evasion: 0.9712, botd_evasion: 0.9712, dd_post_detection: 0.0759, botd_post_detection: 0.0707, mimicry_share: 0.20, datacenter_share: 0.85, geo_target: None, tz_match_rate: 1.0, ip_match_rate: 1.0 },
+    ServiceSpec {
+        id: ServiceId(1),
+        requests: 121_500,
+        dd_evasion: 0.4401,
+        botd_evasion: 0.7158,
+        dd_post_detection: 0.8341,
+        botd_post_detection: 0.6026,
+        mimicry_share: 0.55,
+        datacenter_share: 0.88,
+        geo_target: None,
+        tz_match_rate: 1.0,
+        ip_match_rate: 1.0,
+    },
+    ServiceSpec {
+        id: ServiceId(2),
+        requests: 63_708,
+        dd_evasion: 0.4299,
+        botd_evasion: 0.7229,
+        dd_post_detection: 0.8261,
+        botd_post_detection: 0.5583,
+        mimicry_share: 0.55,
+        datacenter_share: 0.88,
+        geo_target: None,
+        tz_match_rate: 1.0,
+        ip_match_rate: 1.0,
+    },
+    ServiceSpec {
+        id: ServiceId(3),
+        requests: 54_746,
+        dd_evasion: 0.7491,
+        botd_evasion: 0.1026,
+        dd_post_detection: 0.4631,
+        botd_post_detection: 0.9417,
+        mimicry_share: 0.30,
+        datacenter_share: 0.78,
+        geo_target: None,
+        tz_match_rate: 1.0,
+        ip_match_rate: 1.0,
+    },
+    ServiceSpec {
+        id: ServiceId(4),
+        requests: 47_278,
+        dd_evasion: 0.3865,
+        botd_evasion: 0.7385,
+        dd_post_detection: 0.8235,
+        botd_post_detection: 0.5209,
+        mimicry_share: 0.55,
+        datacenter_share: 0.88,
+        geo_target: None,
+        tz_match_rate: 1.0,
+        ip_match_rate: 1.0,
+    },
+    ServiceSpec {
+        id: ServiceId(5),
+        requests: 40_087,
+        dd_evasion: 0.2386,
+        botd_evasion: 0.7265,
+        dd_post_detection: 0.8819,
+        botd_post_detection: 0.5046,
+        mimicry_share: 0.55,
+        datacenter_share: 0.88,
+        geo_target: None,
+        tz_match_rate: 1.0,
+        ip_match_rate: 1.0,
+    },
+    ServiceSpec {
+        id: ServiceId(6),
+        requests: 32_447,
+        dd_evasion: 0.7181,
+        botd_evasion: 0.0545,
+        dd_post_detection: 0.4370,
+        botd_post_detection: 0.9705,
+        mimicry_share: 0.30,
+        datacenter_share: 0.78,
+        geo_target: None,
+        tz_match_rate: 1.0,
+        ip_match_rate: 1.0,
+    },
+    ServiceSpec {
+        id: ServiceId(7),
+        requests: 28_940,
+        dd_evasion: 0.0256,
+        botd_evasion: 0.3999,
+        dd_post_detection: 0.9935,
+        botd_post_detection: 0.8391,
+        mimicry_share: 0.30,
+        datacenter_share: 0.85,
+        geo_target: None,
+        tz_match_rate: 1.0,
+        ip_match_rate: 1.0,
+    },
+    ServiceSpec {
+        id: ServiceId(8),
+        requests: 26_335,
+        dd_evasion: 0.8043,
+        botd_evasion: 0.2890,
+        dd_post_detection: 0.4784,
+        botd_post_detection: 0.8606,
+        mimicry_share: 0.08,
+        datacenter_share: 0.80,
+        geo_target: None,
+        tz_match_rate: 1.0,
+        ip_match_rate: 1.0,
+    },
+    ServiceSpec {
+        id: ServiceId(9),
+        requests: 23_412,
+        dd_evasion: 0.7829,
+        botd_evasion: 0.1933,
+        dd_post_detection: 0.6569,
+        botd_post_detection: 0.9407,
+        mimicry_share: 0.08,
+        datacenter_share: 0.80,
+        geo_target: None,
+        tz_match_rate: 1.0,
+        ip_match_rate: 1.0,
+    },
+    ServiceSpec {
+        id: ServiceId(10),
+        requests: 18_967,
+        dd_evasion: 0.1577,
+        botd_evasion: 0.5923,
+        dd_post_detection: 0.9470,
+        botd_post_detection: 0.7043,
+        mimicry_share: 0.50,
+        datacenter_share: 0.70,
+        geo_target: Some(GeoTarget::UnitedStates),
+        tz_match_rate: 0.93,
+        ip_match_rate: 0.95,
+    },
+    ServiceSpec {
+        id: ServiceId(11),
+        requests: 17_996,
+        dd_evasion: 0.0655,
+        botd_evasion: 0.5936,
+        dd_post_detection: 0.9863,
+        botd_post_detection: 0.8016,
+        mimicry_share: 0.50,
+        datacenter_share: 0.70,
+        geo_target: Some(GeoTarget::Canada),
+        tz_match_rate: 0.7652,
+        ip_match_rate: 0.9244,
+    },
+    ServiceSpec {
+        id: ServiceId(12),
+        requests: 7_010,
+        dd_evasion: 0.0505,
+        botd_evasion: 0.5144,
+        dd_post_detection: 0.9836,
+        botd_post_detection: 0.7821,
+        mimicry_share: 0.50,
+        datacenter_share: 0.70,
+        geo_target: Some(GeoTarget::Europe),
+        tz_match_rate: 0.56,
+        ip_match_rate: 0.9983,
+    },
+    ServiceSpec {
+        id: ServiceId(13),
+        requests: 5_119,
+        dd_evasion: 0.0695,
+        botd_evasion: 0.5052,
+        dd_post_detection: 0.9910,
+        botd_post_detection: 0.8704,
+        mimicry_share: 0.50,
+        datacenter_share: 0.70,
+        geo_target: Some(GeoTarget::France),
+        tz_match_rate: 0.90,
+        ip_match_rate: 0.95,
+    },
+    ServiceSpec {
+        id: ServiceId(14),
+        requests: 4_920,
+        dd_evasion: 0.8374,
+        botd_evasion: 0.9008,
+        dd_post_detection: 0.6627,
+        botd_post_detection: 0.6729,
+        mimicry_share: 0.30,
+        datacenter_share: 0.85,
+        geo_target: None,
+        tz_match_rate: 1.0,
+        ip_match_rate: 1.0,
+    },
+    ServiceSpec {
+        id: ServiceId(15),
+        requests: 4_219,
+        dd_evasion: 0.1114,
+        botd_evasion: 1.0,
+        dd_post_detection: 0.9960,
+        botd_post_detection: 0.7787,
+        mimicry_share: 0.50,
+        datacenter_share: 0.85,
+        geo_target: None,
+        tz_match_rate: 1.0,
+        ip_match_rate: 1.0,
+    },
+    ServiceSpec {
+        id: ServiceId(16),
+        requests: 4_174,
+        dd_evasion: 0.0448,
+        botd_evasion: 0.0002,
+        dd_post_detection: 0.9969,
+        botd_post_detection: 1.0,
+        mimicry_share: 0.30,
+        datacenter_share: 0.90,
+        geo_target: None,
+        tz_match_rate: 1.0,
+        ip_match_rate: 1.0,
+    },
+    ServiceSpec {
+        id: ServiceId(17),
+        requests: 2_999,
+        dd_evasion: 0.7466,
+        botd_evasion: 0.0790,
+        dd_post_detection: 0.4388,
+        botd_post_detection: 0.9510,
+        mimicry_share: 0.08,
+        datacenter_share: 0.80,
+        geo_target: None,
+        tz_match_rate: 1.0,
+        ip_match_rate: 1.0,
+    },
+    ServiceSpec {
+        id: ServiceId(18),
+        requests: 1_430,
+        dd_evasion: 0.2070,
+        botd_evasion: 1.0,
+        dd_post_detection: 0.9986,
+        botd_post_detection: 0.8357,
+        mimicry_share: 0.50,
+        datacenter_share: 0.85,
+        geo_target: None,
+        tz_match_rate: 1.0,
+        ip_match_rate: 1.0,
+    },
+    ServiceSpec {
+        id: ServiceId(19),
+        requests: 1_411,
+        dd_evasion: 0.0992,
+        botd_evasion: 1.0,
+        dd_post_detection: 0.9950,
+        botd_post_detection: 0.5976,
+        mimicry_share: 0.50,
+        datacenter_share: 0.85,
+        geo_target: None,
+        tz_match_rate: 1.0,
+        ip_match_rate: 1.0,
+    },
+    ServiceSpec {
+        id: ServiceId(20),
+        requests: 382,
+        dd_evasion: 0.9712,
+        botd_evasion: 0.9712,
+        dd_post_detection: 0.0759,
+        botd_post_detection: 0.0707,
+        mimicry_share: 0.20,
+        datacenter_share: 0.85,
+        geo_target: None,
+        tz_match_rate: 1.0,
+        ip_match_rate: 1.0,
+    },
 ];
 
 /// Total bot requests at full scale — the paper's 507,080.
@@ -139,7 +379,11 @@ impl CellPlan {
         // Feasibility window for p11 (derived in the doc comment of the
         // module): p11 ≤ min(a, b, B−A+a, A−B+b), p11 ≥ max(0, a+b−1).
         let lo = (a + b - 1.0).max(0.0);
-        let hi = a.min(b).min(big_b - big_a + a).min(big_a - big_b + b).max(lo);
+        let hi = a
+            .min(b)
+            .min(big_b - big_a + a)
+            .min(big_a - big_b + b)
+            .max(lo);
         let p11 = (lo + 0.5 * (hi - lo)).clamp(lo, hi);
         let p10 = (a - p11).max(0.0);
         let p01 = (b - p11).max(0.0);
@@ -148,11 +392,27 @@ impl CellPlan {
         // x = q11·p11 must satisfy the two flag equations with q10, q01 ≤ 1.
         let x_lo = (big_a - p10).max(big_b - p01).max(0.0);
         let x_hi = p11.min(big_a).min(big_b);
-        let x = if x_lo <= x_hi { 0.5 * (x_lo + x_hi) } else { x_hi };
+        let x = if x_lo <= x_hi {
+            0.5 * (x_lo + x_hi)
+        } else {
+            x_hi
+        };
 
-        let q11 = if p11 > 1e-12 { (x / p11).clamp(0.0, 1.0) } else { 0.0 };
-        let q10 = if p10 > 1e-12 { ((big_a - x) / p10).clamp(0.0, 1.0) } else { 0.0 };
-        let q01 = if p01 > 1e-12 { ((big_b - x) / p01).clamp(0.0, 1.0) } else { 0.0 };
+        let q11 = if p11 > 1e-12 {
+            (x / p11).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let q10 = if p10 > 1e-12 {
+            ((big_a - x) / p10).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let q01 = if p01 > 1e-12 {
+            ((big_b - x) / p01).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
         // Detected-by-both requests are just as sloppy as the average
         // evader; their flags don't move any table but keep rule support
         // realistic.
@@ -195,8 +455,16 @@ mod tests {
         // §5: DataDome detects 55.44 % (evasion 44.56 %), BotD detects
         // 47.07 % (evasion 52.93 %).
         let total = TOTAL_REQUESTS as f64;
-        let dd: f64 = SERVICES.iter().map(|s| s.requests as f64 * s.dd_evasion).sum::<f64>() / total;
-        let botd: f64 = SERVICES.iter().map(|s| s.requests as f64 * s.botd_evasion).sum::<f64>() / total;
+        let dd: f64 = SERVICES
+            .iter()
+            .map(|s| s.requests as f64 * s.dd_evasion)
+            .sum::<f64>()
+            / total;
+        let botd: f64 = SERVICES
+            .iter()
+            .map(|s| s.requests as f64 * s.botd_evasion)
+            .sum::<f64>()
+            / total;
         assert!((dd - 0.4456).abs() < 0.002, "DD evasion {dd}");
         assert!((botd - 0.5293).abs() < 0.002, "BotD evasion {botd}");
     }
@@ -220,7 +488,11 @@ mod tests {
             let dd = plan.p[0] + plan.p[1];
             let botd = plan.p[0] + plan.p[2];
             assert!((dd - spec.dd_evasion).abs() < 1e-6, "{}: dd {dd}", spec.id);
-            assert!((botd - spec.botd_evasion).abs() < 1e-6, "{}: botd {botd}", spec.id);
+            assert!(
+                (botd - spec.botd_evasion).abs() < 1e-6,
+                "{}: botd {botd}",
+                spec.id
+            );
         }
     }
 
@@ -251,8 +523,14 @@ mod tests {
     fn geo_services_are_the_four_advertised() {
         let geo: Vec<_> = SERVICES.iter().filter(|s| s.geo_target.is_some()).collect();
         assert_eq!(geo.len(), 4);
-        assert!(geo.iter().any(|s| s.geo_target == Some(GeoTarget::Canada) && (s.tz_match_rate - 0.7652).abs() < 1e-9));
-        assert!(geo.iter().any(|s| s.geo_target == Some(GeoTarget::Europe) && (s.tz_match_rate - 0.56).abs() < 1e-9));
+        assert!(geo
+            .iter()
+            .any(|s| s.geo_target == Some(GeoTarget::Canada)
+                && (s.tz_match_rate - 0.7652).abs() < 1e-9));
+        assert!(geo
+            .iter()
+            .any(|s| s.geo_target == Some(GeoTarget::Europe)
+                && (s.tz_match_rate - 0.56).abs() < 1e-9));
     }
 
     #[test]

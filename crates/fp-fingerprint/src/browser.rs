@@ -80,9 +80,9 @@ impl BrowserFamily {
     /// `navigator.vendor` for this browser.
     pub fn vendor(self) -> &'static str {
         match self {
-            BrowserFamily::Safari | BrowserFamily::MobileSafari | BrowserFamily::ChromeMobileIos => {
-                "Apple Computer, Inc."
-            }
+            BrowserFamily::Safari
+            | BrowserFamily::MobileSafari
+            | BrowserFamily::ChromeMobileIos => "Apple Computer, Inc.",
             BrowserFamily::Firefox => "",
             _ => "Google Inc.",
         }
@@ -99,7 +99,9 @@ impl BrowserFamily {
     /// FingerprintJS vendor-flavour markers.
     pub fn vendor_flavors(self) -> &'static [&'static str] {
         match self {
-            BrowserFamily::Chrome | BrowserFamily::ChromeMobile | BrowserFamily::Edge => &["chrome"],
+            BrowserFamily::Chrome | BrowserFamily::ChromeMobile | BrowserFamily::Edge => {
+                &["chrome"]
+            }
             BrowserFamily::ChromeMobileIos => &["chrome-ios"],
             BrowserFamily::Safari | BrowserFamily::MobileSafari => &["safari"],
             BrowserFamily::SamsungInternet | BrowserFamily::MiuiBrowser => &["chrome"],
@@ -113,7 +115,9 @@ impl BrowserFamily {
         match self {
             // Mobile Chromium exposes no plugins; desktop exposes the 5 PDF
             // viewers. Safari exposes none anywhere.
-            BrowserFamily::Chrome | BrowserFamily::Edge if !mobile => &catalog::CHROMIUM_PDF_PLUGINS,
+            BrowserFamily::Chrome | BrowserFamily::Edge if !mobile => {
+                &catalog::CHROMIUM_PDF_PLUGINS
+            }
             BrowserFamily::Firefox if !mobile => &catalog::FIREFOX_PDF_PLUGINS,
             _ => &[],
         }
@@ -176,9 +180,10 @@ impl BrowserProfile {
     /// A contemporary version for the study window (fall 2023).
     pub fn contemporary(family: BrowserFamily, rng: &mut fp_types::Splittable) -> BrowserProfile {
         let major = match family {
-            BrowserFamily::Chrome | BrowserFamily::ChromeMobile | BrowserFamily::ChromeMobileIos | BrowserFamily::Edge => {
-                *rng.pick(&[114u16, 115, 116, 117, 118])
-            }
+            BrowserFamily::Chrome
+            | BrowserFamily::ChromeMobile
+            | BrowserFamily::ChromeMobileIos
+            | BrowserFamily::Edge => *rng.pick(&[114u16, 115, 116, 117, 118]),
             BrowserFamily::Safari | BrowserFamily::MobileSafari => *rng.pick(&[15u16, 16, 17]),
             BrowserFamily::Firefox => *rng.pick(&[115u16, 116, 117, 118]),
             BrowserFamily::SamsungInternet => *rng.pick(&[21u16, 22, 23]),
@@ -203,7 +208,11 @@ mod tests {
     fn vendor_matches_engine() {
         assert_eq!(BrowserFamily::Chrome.vendor(), "Google Inc.");
         assert_eq!(BrowserFamily::MobileSafari.vendor(), "Apple Computer, Inc.");
-        assert_eq!(BrowserFamily::ChromeMobileIos.vendor(), "Apple Computer, Inc.", "Chrome on iOS uses WebKit");
+        assert_eq!(
+            BrowserFamily::ChromeMobileIos.vendor(),
+            "Apple Computer, Inc.",
+            "Chrome on iOS uses WebKit"
+        );
         assert_eq!(BrowserFamily::Firefox.vendor(), "");
     }
 
@@ -211,8 +220,12 @@ mod tests {
     fn desktop_chromium_has_five_pdf_plugins() {
         let p = BrowserFamily::Chrome.plugins(DeviceKind::WindowsDesktop);
         assert_eq!(p.len(), 5);
-        assert!(BrowserFamily::Chrome.plugins(DeviceKind::AndroidPhone).is_empty());
-        assert!(BrowserFamily::MobileSafari.plugins(DeviceKind::IPhone).is_empty());
+        assert!(BrowserFamily::Chrome
+            .plugins(DeviceKind::AndroidPhone)
+            .is_empty());
+        assert!(BrowserFamily::MobileSafari
+            .plugins(DeviceKind::IPhone)
+            .is_empty());
         assert!(BrowserFamily::Safari.plugins(DeviceKind::Mac).is_empty());
     }
 
@@ -222,7 +235,10 @@ mod tests {
         assert!(BrowserFamily::SamsungInternet.is_chromium());
         assert!(!BrowserFamily::Safari.is_chromium());
         assert!(!BrowserFamily::Firefox.is_chromium());
-        assert!(!BrowserFamily::ChromeMobileIos.is_chromium(), "CriOS is WebKit");
+        assert!(
+            !BrowserFamily::ChromeMobileIos.is_chromium(),
+            "CriOS is WebKit"
+        );
     }
 
     #[test]
@@ -242,7 +258,11 @@ mod tests {
 
     #[test]
     fn mime_types_track_plugins() {
-        assert!(!BrowserFamily::Chrome.mime_types(DeviceKind::WindowsDesktop).is_empty());
-        assert!(BrowserFamily::ChromeMobile.mime_types(DeviceKind::AndroidPhone).is_empty());
+        assert!(!BrowserFamily::Chrome
+            .mime_types(DeviceKind::WindowsDesktop)
+            .is_empty());
+        assert!(BrowserFamily::ChromeMobile
+            .mime_types(DeviceKind::AndroidPhone)
+            .is_empty());
     }
 }

@@ -10,18 +10,18 @@
 /// Logical (CSS-pixel) portrait resolutions of real iPhones. Exactly twelve,
 /// matching the paper's count.
 pub const IPHONE_RESOLUTIONS: [(u16, u16); 12] = [
-    (320, 480),  // iPhone 4/4S
-    (320, 568),  // iPhone 5/5s/SE (1st gen)
-    (375, 667),  // iPhone 6/7/8/SE (2nd/3rd gen)
-    (414, 736),  // iPhone 6+/7+/8+ Plus
-    (375, 812),  // iPhone X/XS/11 Pro
-    (414, 896),  // iPhone XR/XS Max/11/11 Pro Max
-    (360, 780),  // iPhone 12 mini/13 mini
-    (390, 844),  // iPhone 12/12 Pro/13/14
-    (428, 926),  // iPhone 12/13 Pro Max/14 Plus
-    (393, 852),  // iPhone 14 Pro/15
-    (430, 932),  // iPhone 14 Pro Max/15 Plus
-    (402, 874),  // iPhone 16 Pro
+    (320, 480), // iPhone 4/4S
+    (320, 568), // iPhone 5/5s/SE (1st gen)
+    (375, 667), // iPhone 6/7/8/SE (2nd/3rd gen)
+    (414, 736), // iPhone 6+/7+/8+ Plus
+    (375, 812), // iPhone X/XS/11 Pro
+    (414, 896), // iPhone XR/XS Max/11/11 Pro Max
+    (360, 780), // iPhone 12 mini/13 mini
+    (390, 844), // iPhone 12/12 Pro/13/14
+    (428, 926), // iPhone 12/13 Pro Max/14 Plus
+    (393, 852), // iPhone 14 Pro/15
+    (430, 932), // iPhone 14 Pro Max/15 Plus
+    (402, 874), // iPhone 16 Pro
 ];
 
 /// Logical portrait resolutions of real iPads.
@@ -78,24 +78,56 @@ pub const PDF_MIME_TYPES: [&str; 2] = ["application/pdf", "text/pdf"];
 
 /// Windows core font probe set.
 pub const WINDOWS_FONTS: [&str; 12] = [
-    "Arial", "Arial Black", "Calibri", "Cambria", "Comic Sans MS", "Consolas",
-    "Courier New", "Georgia", "Segoe UI", "Tahoma", "Times New Roman", "Verdana",
+    "Arial",
+    "Arial Black",
+    "Calibri",
+    "Cambria",
+    "Comic Sans MS",
+    "Consolas",
+    "Courier New",
+    "Georgia",
+    "Segoe UI",
+    "Tahoma",
+    "Times New Roman",
+    "Verdana",
 ];
 
 /// macOS / iOS font probe set.
 pub const APPLE_FONTS: [&str; 12] = [
-    "American Typewriter", "Arial", "Avenir", "Courier", "Futura", "Geneva",
-    "Gill Sans", "Helvetica", "Helvetica Neue", "Menlo", "Monaco", "Palatino",
+    "American Typewriter",
+    "Arial",
+    "Avenir",
+    "Courier",
+    "Futura",
+    "Geneva",
+    "Gill Sans",
+    "Helvetica",
+    "Helvetica Neue",
+    "Menlo",
+    "Monaco",
+    "Palatino",
 ];
 
 /// Linux font probe set.
 pub const LINUX_FONTS: [&str; 8] = [
-    "Bitstream Vera Sans", "DejaVu Sans", "DejaVu Sans Mono", "DejaVu Serif",
-    "Liberation Mono", "Liberation Sans", "Liberation Serif", "Ubuntu",
+    "Bitstream Vera Sans",
+    "DejaVu Sans",
+    "DejaVu Sans Mono",
+    "DejaVu Serif",
+    "Liberation Mono",
+    "Liberation Sans",
+    "Liberation Serif",
+    "Ubuntu",
 ];
 
 /// Android font probe set.
-pub const ANDROID_FONTS: [&str; 5] = ["Droid Sans", "Droid Sans Mono", "Noto Sans", "Roboto", "sans-serif-thin"];
+pub const ANDROID_FONTS: [&str; 5] = [
+    "Droid Sans",
+    "Droid Sans Mono",
+    "Noto Sans",
+    "Roboto",
+    "sans-serif-thin",
+];
 
 /// FingerprintJS monospace probe width (px) per OS family — the App C
 /// decision path splits on this at 131.5.
@@ -132,22 +164,166 @@ pub struct AndroidModel {
 
 /// Real Android devices, including every model named in Table 6.
 pub const ANDROID_MODELS: [AndroidModel; 16] = [
-    AndroidModel { model: "SM-S906N", marketing: "Samsung Galaxy S22+", resolution: (384, 854), cores: 8, device_memory: 8.0, platform: "Linux armv8l", tablet: false, gpu: "Mali-G710" },
-    AndroidModel { model: "SM-A127F", marketing: "Samsung Galaxy A12", resolution: (360, 800), cores: 8, device_memory: 4.0, platform: "Linux armv8l", tablet: false, gpu: "Mali-G52" },
-    AndroidModel { model: "SM-A515F", marketing: "Samsung Galaxy A51", resolution: (412, 914), cores: 8, device_memory: 4.0, platform: "Linux armv8l", tablet: false, gpu: "Mali-G72" },
-    AndroidModel { model: "SM-G991B", marketing: "Samsung Galaxy S21", resolution: (360, 800), cores: 8, device_memory: 8.0, platform: "Linux armv8l", tablet: false, gpu: "Mali-G78" },
-    AndroidModel { model: "SM-T387W", marketing: "Samsung Galaxy Tab A 8.0", resolution: (768, 1024), cores: 4, device_memory: 2.0, platform: "Linux armv8l", tablet: true, gpu: "Adreno 506" },
-    AndroidModel { model: "SM-T870", marketing: "Samsung Galaxy Tab S7", resolution: (800, 1280), cores: 8, device_memory: 8.0, platform: "Linux armv8l", tablet: true, gpu: "Adreno 650" },
-    AndroidModel { model: "SM-G973F", marketing: "Samsung Galaxy S10", resolution: (360, 760), cores: 8, device_memory: 8.0, platform: "Linux armv8l", tablet: false, gpu: "Mali-G76" },
-    AndroidModel { model: "Pixel 2", marketing: "Google Pixel 2", resolution: (412, 732), cores: 8, device_memory: 4.0, platform: "Linux armv8l", tablet: false, gpu: "Adreno 540" },
-    AndroidModel { model: "Pixel 7", marketing: "Google Pixel 7", resolution: (412, 915), cores: 8, device_memory: 8.0, platform: "Linux armv8l", tablet: false, gpu: "Mali-G710" },
-    AndroidModel { model: "Pixel 7 Pro", marketing: "Google Pixel 7 Pro", resolution: (412, 892), cores: 8, device_memory: 8.0, platform: "Linux armv8l", tablet: false, gpu: "Mali-G710" },
-    AndroidModel { model: "M2006C3MG", marketing: "Xiaomi Redmi 9C", resolution: (360, 800), cores: 8, device_memory: 2.0, platform: "Linux armv8l", tablet: false, gpu: "PowerVR GE8320" },
-    AndroidModel { model: "M2004J19C", marketing: "Xiaomi Redmi 9", resolution: (393, 851), cores: 8, device_memory: 4.0, platform: "Linux armv8l", tablet: false, gpu: "Mali-G52" },
-    AndroidModel { model: "Redmi Go", marketing: "Xiaomi Redmi Go", resolution: (360, 640), cores: 4, device_memory: 1.0, platform: "Linux armv7l", tablet: false, gpu: "Adreno 308" },
-    AndroidModel { model: "MI PAD 3", marketing: "Xiaomi Mi Pad 3", resolution: (768, 1024), cores: 6, device_memory: 4.0, platform: "Linux armv8l", tablet: true, gpu: "PowerVR GX6250" },
-    AndroidModel { model: "MI PAD 4", marketing: "Xiaomi Mi Pad 4 LTE", resolution: (600, 960), cores: 8, device_memory: 4.0, platform: "Linux armv8l", tablet: true, gpu: "Adreno 512" },
-    AndroidModel { model: "Infinix X652B", marketing: "Infinix S5 Pro", resolution: (360, 800), cores: 8, device_memory: 4.0, platform: "Linux armv8l", tablet: false, gpu: "PowerVR GE8320" },
+    AndroidModel {
+        model: "SM-S906N",
+        marketing: "Samsung Galaxy S22+",
+        resolution: (384, 854),
+        cores: 8,
+        device_memory: 8.0,
+        platform: "Linux armv8l",
+        tablet: false,
+        gpu: "Mali-G710",
+    },
+    AndroidModel {
+        model: "SM-A127F",
+        marketing: "Samsung Galaxy A12",
+        resolution: (360, 800),
+        cores: 8,
+        device_memory: 4.0,
+        platform: "Linux armv8l",
+        tablet: false,
+        gpu: "Mali-G52",
+    },
+    AndroidModel {
+        model: "SM-A515F",
+        marketing: "Samsung Galaxy A51",
+        resolution: (412, 914),
+        cores: 8,
+        device_memory: 4.0,
+        platform: "Linux armv8l",
+        tablet: false,
+        gpu: "Mali-G72",
+    },
+    AndroidModel {
+        model: "SM-G991B",
+        marketing: "Samsung Galaxy S21",
+        resolution: (360, 800),
+        cores: 8,
+        device_memory: 8.0,
+        platform: "Linux armv8l",
+        tablet: false,
+        gpu: "Mali-G78",
+    },
+    AndroidModel {
+        model: "SM-T387W",
+        marketing: "Samsung Galaxy Tab A 8.0",
+        resolution: (768, 1024),
+        cores: 4,
+        device_memory: 2.0,
+        platform: "Linux armv8l",
+        tablet: true,
+        gpu: "Adreno 506",
+    },
+    AndroidModel {
+        model: "SM-T870",
+        marketing: "Samsung Galaxy Tab S7",
+        resolution: (800, 1280),
+        cores: 8,
+        device_memory: 8.0,
+        platform: "Linux armv8l",
+        tablet: true,
+        gpu: "Adreno 650",
+    },
+    AndroidModel {
+        model: "SM-G973F",
+        marketing: "Samsung Galaxy S10",
+        resolution: (360, 760),
+        cores: 8,
+        device_memory: 8.0,
+        platform: "Linux armv8l",
+        tablet: false,
+        gpu: "Mali-G76",
+    },
+    AndroidModel {
+        model: "Pixel 2",
+        marketing: "Google Pixel 2",
+        resolution: (412, 732),
+        cores: 8,
+        device_memory: 4.0,
+        platform: "Linux armv8l",
+        tablet: false,
+        gpu: "Adreno 540",
+    },
+    AndroidModel {
+        model: "Pixel 7",
+        marketing: "Google Pixel 7",
+        resolution: (412, 915),
+        cores: 8,
+        device_memory: 8.0,
+        platform: "Linux armv8l",
+        tablet: false,
+        gpu: "Mali-G710",
+    },
+    AndroidModel {
+        model: "Pixel 7 Pro",
+        marketing: "Google Pixel 7 Pro",
+        resolution: (412, 892),
+        cores: 8,
+        device_memory: 8.0,
+        platform: "Linux armv8l",
+        tablet: false,
+        gpu: "Mali-G710",
+    },
+    AndroidModel {
+        model: "M2006C3MG",
+        marketing: "Xiaomi Redmi 9C",
+        resolution: (360, 800),
+        cores: 8,
+        device_memory: 2.0,
+        platform: "Linux armv8l",
+        tablet: false,
+        gpu: "PowerVR GE8320",
+    },
+    AndroidModel {
+        model: "M2004J19C",
+        marketing: "Xiaomi Redmi 9",
+        resolution: (393, 851),
+        cores: 8,
+        device_memory: 4.0,
+        platform: "Linux armv8l",
+        tablet: false,
+        gpu: "Mali-G52",
+    },
+    AndroidModel {
+        model: "Redmi Go",
+        marketing: "Xiaomi Redmi Go",
+        resolution: (360, 640),
+        cores: 4,
+        device_memory: 1.0,
+        platform: "Linux armv7l",
+        tablet: false,
+        gpu: "Adreno 308",
+    },
+    AndroidModel {
+        model: "MI PAD 3",
+        marketing: "Xiaomi Mi Pad 3",
+        resolution: (768, 1024),
+        cores: 6,
+        device_memory: 4.0,
+        platform: "Linux armv8l",
+        tablet: true,
+        gpu: "PowerVR GX6250",
+    },
+    AndroidModel {
+        model: "MI PAD 4",
+        marketing: "Xiaomi Mi Pad 4 LTE",
+        resolution: (600, 960),
+        cores: 8,
+        device_memory: 4.0,
+        platform: "Linux armv8l",
+        tablet: true,
+        gpu: "Adreno 512",
+    },
+    AndroidModel {
+        model: "Infinix X652B",
+        marketing: "Infinix S5 Pro",
+        resolution: (360, 800),
+        cores: 8,
+        device_memory: 4.0,
+        platform: "Linux armv8l",
+        tablet: false,
+        gpu: "PowerVR GE8320",
+    },
 ];
 
 /// Look up a real Android model by its UA model string.
@@ -194,8 +370,16 @@ mod tests {
     #[test]
     fn table6_android_models_present() {
         for m in [
-            "SM-S906N", "SM-A127F", "SM-A515F", "SM-T387W", "M2006C3MG",
-            "M2004J19C", "Infinix X652B", "Pixel 2", "Pixel 7 Pro", "Redmi Go",
+            "SM-S906N",
+            "SM-A127F",
+            "SM-A515F",
+            "SM-T387W",
+            "M2006C3MG",
+            "M2004J19C",
+            "Infinix X652B",
+            "Pixel 2",
+            "Pixel 7 Pro",
+            "Redmi Go",
         ] {
             assert!(android_model(m).is_some(), "missing model {m}");
         }
@@ -204,7 +388,12 @@ mod tests {
     #[test]
     fn android_model_facts_sane() {
         for m in &ANDROID_MODELS {
-            assert!(m.cores >= 4 && m.cores <= 8, "{}: cores {}", m.model, m.cores);
+            assert!(
+                m.cores >= 4 && m.cores <= 8,
+                "{}: cores {}",
+                m.model,
+                m.cores
+            );
             assert!(
                 DEVICE_MEMORY_LADDER.contains(&m.device_memory),
                 "{}: memory {} off ladder",

@@ -51,7 +51,11 @@ impl Collector {
     /// `rng` only drives *legitimate* within-configuration variety (canvas
     /// noise does not exist for real devices; audio values are stable per
     /// device+browser), so the same inputs give the same fingerprint.
-    pub fn collect(device: &DeviceProfile, browser: &BrowserProfile, locale: &LocaleSpec) -> Fingerprint {
+    pub fn collect(
+        device: &DeviceProfile,
+        browser: &BrowserProfile,
+        locale: &LocaleSpec,
+    ) -> Fingerprint {
         let mut fp = Fingerprint::new();
         let ua_string = ua::synthesize(device, browser);
         let parsed = ua::parse_user_agent(&ua_string);
@@ -65,11 +69,20 @@ impl Collector {
         // navigator.*
         fp.set(AttrId::Platform, device.platform);
         fp.set(AttrId::Vendor, browser.family.vendor());
-        fp.set(AttrId::VendorFlavors, AttrValue::list(browser.family.vendor_flavors().iter().copied()));
+        fp.set(
+            AttrId::VendorFlavors,
+            AttrValue::list(browser.family.vendor_flavors().iter().copied()),
+        );
         fp.set(AttrId::ProductSub, browser.family.product_sub());
         fp.set(AttrId::Webdriver, false);
-        fp.set(AttrId::Plugins, AttrValue::list(browser.family.plugins(device.kind).iter().copied()));
-        fp.set(AttrId::MimeTypes, AttrValue::list(browser.family.mime_types(device.kind).iter().copied()));
+        fp.set(
+            AttrId::Plugins,
+            AttrValue::list(browser.family.plugins(device.kind).iter().copied()),
+        );
+        fp.set(
+            AttrId::MimeTypes,
+            AttrValue::list(browser.family.mime_types(device.kind).iter().copied()),
+        );
         fp.set(AttrId::HardwareConcurrency, i64::from(device.cores));
         // deviceMemory is a Chromium-only API; Safari/Firefox leave it out.
         if browser.family.is_chromium() {
@@ -105,7 +118,10 @@ impl Collector {
         fp.set(AttrId::Timezone, locale.timezone);
         fp.set(AttrId::TimezoneOffset, i64::from(locale.offset_minutes));
         fp.set(AttrId::Language, locale.language);
-        fp.set(AttrId::Languages, AttrValue::list(locale.languages.iter().copied()));
+        fp.set(
+            AttrId::Languages,
+            AttrValue::list(locale.languages.iter().copied()),
+        );
         fp.set(AttrId::NavGeoRegion, locale.geo_region);
 
         // Rendering / fonts.
@@ -120,8 +136,14 @@ impl Collector {
             AttrId::MonospaceWidth,
             AttrValue::float(catalog::monospace_width_for_os(device.kind.ua_os())),
         );
-        fp.set(AttrId::Canvas, Self::canvas_digest(device, browser).as_str());
-        fp.set(AttrId::Audio, AttrValue::float(Self::audio_value(device, browser)));
+        fp.set(
+            AttrId::Canvas,
+            Self::canvas_digest(device, browser).as_str(),
+        );
+        fp.set(
+            AttrId::Audio,
+            AttrValue::float(Self::audio_value(device, browser)),
+        );
         fp.set(AttrId::WebGlVendor, device.webgl_vendor);
         fp.set(AttrId::WebGlRenderer, device.webgl_renderer);
 
@@ -133,7 +155,10 @@ impl Collector {
         // HTTP header layer. Accept-Language derives from the language
         // list; client hints exist only on Chromium engines and always
         // agree with the real platform there.
-        fp.set(AttrId::AcceptLanguage, Self::accept_language(locale).as_str());
+        fp.set(
+            AttrId::AcceptLanguage,
+            Self::accept_language(locale).as_str(),
+        );
         if browser.family.is_chromium() {
             fp.set(
                 AttrId::SecChUa,
@@ -164,7 +189,11 @@ impl Collector {
 
     /// Sample a fully consistent fingerprint for a random real device of
     /// `kind` (device + default browser + supplied locale).
-    pub fn sample_consistent(kind: DeviceKind, locale: &LocaleSpec, rng: &mut Splittable) -> Fingerprint {
+    pub fn sample_consistent(
+        kind: DeviceKind,
+        locale: &LocaleSpec,
+        rng: &mut Splittable,
+    ) -> Fingerprint {
         let device = DeviceProfile::sample(kind, rng);
         let defaults = crate::browser::BrowserFamily::defaults_for(kind);
         let weights: Vec<f64> = defaults.iter().map(|(_, w)| *w).collect();
@@ -186,8 +215,14 @@ impl Collector {
 
     /// OfflineAudioContext values cluster by engine family.
     fn audio_value(device: &DeviceProfile, browser: &BrowserProfile) -> f64 {
-        let base = if browser.family.is_chromium() { 124.043 } else { 35.749 };
-        let jitter = (fp_types::mix2(fnv(device.webgl_renderer), fnv(browser.family.name())) % 1000) as f64 / 1e6;
+        let base = if browser.family.is_chromium() {
+            124.043
+        } else {
+            35.749
+        };
+        let jitter = (fp_types::mix2(fnv(device.webgl_renderer), fnv(browser.family.name())) % 1000)
+            as f64
+            / 1e6;
         base + jitter
     }
 }
@@ -232,9 +267,18 @@ mod tests {
         assert_eq!(fp.get(AttrId::UaDevice).as_str(), Some("iPhone"));
         assert_eq!(fp.get(AttrId::Platform).as_str(), Some("iPhone"));
         assert_eq!(fp.get(AttrId::MaxTouchPoints).as_int(), Some(5));
-        assert_eq!(fp.get(AttrId::TouchSupport).as_str(), Some("touchEvent/touchStart"));
-        assert_eq!(fp.get(AttrId::Vendor).as_str(), Some("Apple Computer, Inc."));
-        assert!(fp.get(AttrId::DeviceMemory).is_missing(), "Safari has no deviceMemory API");
+        assert_eq!(
+            fp.get(AttrId::TouchSupport).as_str(),
+            Some("touchEvent/touchStart")
+        );
+        assert_eq!(
+            fp.get(AttrId::Vendor).as_str(),
+            Some("Apple Computer, Inc.")
+        );
+        assert!(
+            fp.get(AttrId::DeviceMemory).is_missing(),
+            "Safari has no deviceMemory API"
+        );
         let res = fp.get(AttrId::ScreenResolution).as_resolution().unwrap();
         assert!(catalog::is_real_iphone_resolution(res));
         assert!(fp.get(AttrId::Plugins).as_list().unwrap().is_empty());

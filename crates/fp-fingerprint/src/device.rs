@@ -32,7 +32,10 @@ impl DeviceKind {
     pub fn has_touch(self) -> bool {
         matches!(
             self,
-            DeviceKind::IPhone | DeviceKind::IPad | DeviceKind::AndroidPhone | DeviceKind::AndroidTablet
+            DeviceKind::IPhone
+                | DeviceKind::IPad
+                | DeviceKind::AndroidPhone
+                | DeviceKind::AndroidTablet
         )
     }
 
@@ -130,7 +133,13 @@ impl DeviceProfile {
                 kind,
                 ua_device: "Mac",
                 platform: "MacIntel",
-                resolution: *rng.pick(&[(1440, 900), (1680, 1050), (2560, 1600), (1512, 982), (1728, 1117)]),
+                resolution: *rng.pick(&[
+                    (1440, 900),
+                    (1680, 1050),
+                    (2560, 1600),
+                    (1512, 982),
+                    (1728, 1117),
+                ]),
                 cores: *rng.pick(&catalog::MAC_CORES),
                 device_memory: *rng.pick(&[8.0, 8.0, 8.0, 4.0]),
                 max_touch_points: 0,
@@ -203,7 +212,11 @@ impl DeviceProfile {
         let m = catalog::android_model(model)
             .unwrap_or_else(|| panic!("unknown Android model {model:?}"));
         DeviceProfile {
-            kind: if m.tablet { DeviceKind::AndroidTablet } else { DeviceKind::AndroidPhone },
+            kind: if m.tablet {
+                DeviceKind::AndroidTablet
+            } else {
+                DeviceKind::AndroidPhone
+            },
             ua_device: m.model,
             platform: m.platform,
             resolution: m.resolution,
@@ -276,7 +289,11 @@ mod tests {
     #[test]
     fn desktop_profiles_have_no_touch() {
         let mut r = rng();
-        for kind in [DeviceKind::Mac, DeviceKind::WindowsDesktop, DeviceKind::LinuxDesktop] {
+        for kind in [
+            DeviceKind::Mac,
+            DeviceKind::WindowsDesktop,
+            DeviceKind::LinuxDesktop,
+        ] {
             let d = DeviceProfile::sample(kind, &mut r);
             assert_eq!(d.max_touch_points, 0);
             assert_eq!(d.touch_summary(), "None");
@@ -295,7 +312,11 @@ mod tests {
             assert!(!m.tablet);
         }
         let d = DeviceProfile::sample(DeviceKind::AndroidTablet, &mut r);
-        assert!(catalog::android_model(d.android_model.unwrap()).unwrap().tablet);
+        assert!(
+            catalog::android_model(d.android_model.unwrap())
+                .unwrap()
+                .tablet
+        );
         assert_eq!(d.max_touch_points, 10);
     }
 

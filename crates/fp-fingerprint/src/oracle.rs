@@ -174,7 +174,9 @@ impl ValidityOracle {
             "iPhone" => bool_verdict(p == "iPhone"),
             "iPad" => bool_verdict(p == "iPad" || p == "MacIntel"), // iPadOS 13+ masquerades
             "Mac" => bool_verdict(p == "MacIntel"),
-            dev if catalog::android_model(dev).is_some() => bool_verdict(p.starts_with("Linux arm")),
+            dev if catalog::android_model(dev).is_some() => {
+                bool_verdict(p.starts_with("Linux arm"))
+            }
             _ => Plausibility::Unknown,
         }
     }
@@ -231,7 +233,14 @@ impl ValidityOracle {
             return Plausibility::Unknown;
         };
         let primary_lang = l.split(',').next().unwrap_or(l).trim();
-        let primary_accept = a.split(',').next().unwrap_or(a).split(';').next().unwrap_or("").trim();
+        let primary_accept = a
+            .split(',')
+            .next()
+            .unwrap_or(a)
+            .split(';')
+            .next()
+            .unwrap_or("")
+            .trim();
         if primary_lang.is_empty() || primary_accept.is_empty() {
             return Plausibility::Unknown;
         }
@@ -342,7 +351,10 @@ fn platform_os(p: &str) -> Option<&'static str> {
 
 /// Reverse lookup of [`BrowserFamily`] by UA-parser name.
 fn family_by_name(name: &str) -> Option<BrowserFamily> {
-    BrowserFamily::ALL.iter().copied().find(|f| f.name() == name)
+    BrowserFamily::ALL
+        .iter()
+        .copied()
+        .find(|f| f.name() == name)
 }
 
 fn bool_verdict(ok: bool) -> Plausibility {
@@ -366,43 +378,93 @@ mod tests {
     fn table6_screen_examples_are_impossible() {
         // Straight from the paper's Table 6 "Screen" group.
         assert_eq!(
-            judge(AttrId::UaDevice, V::text("iPhone"), AttrId::ScreenResolution, V::Resolution(1920, 1080)),
+            judge(
+                AttrId::UaDevice,
+                V::text("iPhone"),
+                AttrId::ScreenResolution,
+                V::Resolution(1920, 1080)
+            ),
             Plausibility::Impossible
         );
         assert_eq!(
-            judge(AttrId::UaDevice, V::text("iPhone"), AttrId::ScreenResolution, V::Resolution(847, 476)),
+            judge(
+                AttrId::UaDevice,
+                V::text("iPhone"),
+                AttrId::ScreenResolution,
+                V::Resolution(847, 476)
+            ),
             Plausibility::Impossible
         );
         assert_eq!(
-            judge(AttrId::UaDevice, V::text("iPad"), AttrId::ScreenResolution, V::Resolution(900, 1600)),
+            judge(
+                AttrId::UaDevice,
+                V::text("iPad"),
+                AttrId::ScreenResolution,
+                V::Resolution(900, 1600)
+            ),
             Plausibility::Impossible
         );
         assert_eq!(
-            judge(AttrId::UaDevice, V::text("SM-S906N"), AttrId::ScreenResolution, V::Resolution(1920, 1080)),
+            judge(
+                AttrId::UaDevice,
+                V::text("SM-S906N"),
+                AttrId::ScreenResolution,
+                V::Resolution(1920, 1080)
+            ),
             Plausibility::Impossible
         );
         assert_eq!(
-            judge(AttrId::UaDevice, V::text("iPhone"), AttrId::TouchSupport, V::text("None")),
+            judge(
+                AttrId::UaDevice,
+                V::text("iPhone"),
+                AttrId::TouchSupport,
+                V::text("None")
+            ),
             Plausibility::Impossible
         );
         assert_eq!(
-            judge(AttrId::UaDevice, V::text("Mac"), AttrId::TouchSupport, V::text("touchEvent/touchStart")),
+            judge(
+                AttrId::UaDevice,
+                V::text("Mac"),
+                AttrId::TouchSupport,
+                V::text("touchEvent/touchStart")
+            ),
             Plausibility::Impossible
         );
         assert_eq!(
-            judge(AttrId::UaDevice, V::text("iPhone"), AttrId::MaxTouchPoints, V::Int(0)),
+            judge(
+                AttrId::UaDevice,
+                V::text("iPhone"),
+                AttrId::MaxTouchPoints,
+                V::Int(0)
+            ),
             Plausibility::Impossible
         );
         assert_eq!(
-            judge(AttrId::UaDevice, V::text("iPad"), AttrId::MaxTouchPoints, V::Int(7)),
+            judge(
+                AttrId::UaDevice,
+                V::text("iPad"),
+                AttrId::MaxTouchPoints,
+                V::Int(7)
+            ),
             Plausibility::Impossible
         );
         assert_eq!(
-            judge(AttrId::UaDevice, V::text("Mac"), AttrId::MaxTouchPoints, V::Int(10)),
+            judge(
+                AttrId::UaDevice,
+                V::text("Mac"),
+                AttrId::MaxTouchPoints,
+                V::Int(10)
+            ),
             Plausibility::Impossible
         );
         assert_eq!(
-            judge(AttrId::UaDevice, V::text("iPhone"), AttrId::ColorDepth, V::Int(16)),
+            judge(
+                AttrId::UaDevice,
+                V::text("iPhone"),
+                AttrId::ColorDepth,
+                V::Int(16)
+            ),
             Plausibility::Impossible
         );
     }
@@ -410,32 +472,67 @@ mod tests {
     #[test]
     fn table6_device_examples_are_impossible() {
         assert_eq!(
-            judge(AttrId::UaDevice, V::text("MI PAD 4"), AttrId::DeviceMemory, V::float(8.0)),
+            judge(
+                AttrId::UaDevice,
+                V::text("MI PAD 4"),
+                AttrId::DeviceMemory,
+                V::float(8.0)
+            ),
             Plausibility::Impossible,
             "Mi Pad 4 has 4 GB"
         );
         assert_eq!(
-            judge(AttrId::UaDevice, V::text("SM-A515F"), AttrId::DeviceMemory, V::float(1.0)),
+            judge(
+                AttrId::UaDevice,
+                V::text("SM-A515F"),
+                AttrId::DeviceMemory,
+                V::float(1.0)
+            ),
             Plausibility::Impossible
         );
         assert_eq!(
-            judge(AttrId::UaDevice, V::text("Redmi Go"), AttrId::DeviceMemory, V::float(8.0)),
+            judge(
+                AttrId::UaDevice,
+                V::text("Redmi Go"),
+                AttrId::DeviceMemory,
+                V::float(8.0)
+            ),
             Plausibility::Impossible
         );
         assert_eq!(
-            judge(AttrId::UaDevice, V::text("iPhone"), AttrId::HardwareConcurrency, V::Int(3)),
+            judge(
+                AttrId::UaDevice,
+                V::text("iPhone"),
+                AttrId::HardwareConcurrency,
+                V::Int(3)
+            ),
             Plausibility::Impossible
         );
         assert_eq!(
-            judge(AttrId::UaDevice, V::text("iPhone"), AttrId::HardwareConcurrency, V::Int(32)),
+            judge(
+                AttrId::UaDevice,
+                V::text("iPhone"),
+                AttrId::HardwareConcurrency,
+                V::Int(32)
+            ),
             Plausibility::Impossible
         );
         assert_eq!(
-            judge(AttrId::UaDevice, V::text("Mac"), AttrId::HardwareConcurrency, V::Int(48)),
+            judge(
+                AttrId::UaDevice,
+                V::text("Mac"),
+                AttrId::HardwareConcurrency,
+                V::Int(48)
+            ),
             Plausibility::Impossible
         );
         assert_eq!(
-            judge(AttrId::UaDevice, V::text("Pixel 2"), AttrId::HardwareConcurrency, V::Int(32)),
+            judge(
+                AttrId::UaDevice,
+                V::text("Pixel 2"),
+                AttrId::HardwareConcurrency,
+                V::Int(32)
+            ),
             Plausibility::Impossible
         );
     }
@@ -443,40 +540,85 @@ mod tests {
     #[test]
     fn table6_browser_examples_are_impossible() {
         assert_eq!(
-            judge(AttrId::UaBrowser, V::text("Safari"), AttrId::UaOs, V::text("Linux")),
+            judge(
+                AttrId::UaBrowser,
+                V::text("Safari"),
+                AttrId::UaOs,
+                V::text("Linux")
+            ),
             Plausibility::Impossible
         );
         assert_eq!(
-            judge(AttrId::UaBrowser, V::text("Samsung Internet"), AttrId::UaOs, V::text("Linux")),
+            judge(
+                AttrId::UaBrowser,
+                V::text("Samsung Internet"),
+                AttrId::UaOs,
+                V::text("Linux")
+            ),
             Plausibility::Impossible
         );
         assert_eq!(
-            judge(AttrId::UaBrowser, V::text("Safari"), AttrId::UaOs, V::text("Windows")),
+            judge(
+                AttrId::UaBrowser,
+                V::text("Safari"),
+                AttrId::UaOs,
+                V::text("Windows")
+            ),
             Plausibility::Impossible,
             "Safari for Windows died in 2012"
         );
         assert_eq!(
-            judge(AttrId::UaBrowser, V::text("Mobile Safari"), AttrId::Vendor, V::text("Google Inc.")),
+            judge(
+                AttrId::UaBrowser,
+                V::text("Mobile Safari"),
+                AttrId::Vendor,
+                V::text("Google Inc.")
+            ),
             Plausibility::Impossible
         );
         assert_eq!(
-            judge(AttrId::UaBrowser, V::text("Chrome Mobile"), AttrId::Vendor, V::text("Apple Computer, Inc.")),
+            judge(
+                AttrId::UaBrowser,
+                V::text("Chrome Mobile"),
+                AttrId::Vendor,
+                V::text("Apple Computer, Inc.")
+            ),
             Plausibility::Impossible
         );
         assert_eq!(
-            judge(AttrId::UaBrowser, V::text("Chrome Mobile"), AttrId::Platform, V::text("Win32")),
+            judge(
+                AttrId::UaBrowser,
+                V::text("Chrome Mobile"),
+                AttrId::Platform,
+                V::text("Win32")
+            ),
             Plausibility::Impossible
         );
         assert_eq!(
-            judge(AttrId::UaBrowser, V::text("Chrome Mobile iOS"), AttrId::Platform, V::text("Win32")),
+            judge(
+                AttrId::UaBrowser,
+                V::text("Chrome Mobile iOS"),
+                AttrId::Platform,
+                V::text("Win32")
+            ),
             Plausibility::Impossible
         );
         assert_eq!(
-            judge(AttrId::Platform, V::text("Linux armv5tejl"), AttrId::Vendor, V::text("Apple Computer, Inc.")),
+            judge(
+                AttrId::Platform,
+                V::text("Linux armv5tejl"),
+                AttrId::Vendor,
+                V::text("Apple Computer, Inc.")
+            ),
             Plausibility::Impossible
         );
         assert_eq!(
-            judge(AttrId::Platform, V::text("Win32"), AttrId::Vendor, V::text("Apple Computer, Inc.")),
+            judge(
+                AttrId::Platform,
+                V::text("Win32"),
+                AttrId::Vendor,
+                V::text("Apple Computer, Inc.")
+            ),
             Plausibility::Impossible
         );
     }
@@ -484,27 +626,57 @@ mod tests {
     #[test]
     fn real_configurations_are_valid() {
         assert_eq!(
-            judge(AttrId::UaDevice, V::text("iPhone"), AttrId::ScreenResolution, V::Resolution(390, 844)),
+            judge(
+                AttrId::UaDevice,
+                V::text("iPhone"),
+                AttrId::ScreenResolution,
+                V::Resolution(390, 844)
+            ),
             Plausibility::Valid
         );
         assert_eq!(
-            judge(AttrId::UaDevice, V::text("iPhone"), AttrId::MaxTouchPoints, V::Int(5)),
+            judge(
+                AttrId::UaDevice,
+                V::text("iPhone"),
+                AttrId::MaxTouchPoints,
+                V::Int(5)
+            ),
             Plausibility::Valid
         );
         assert_eq!(
-            judge(AttrId::UaBrowser, V::text("Mobile Safari"), AttrId::Vendor, V::text("Apple Computer, Inc.")),
+            judge(
+                AttrId::UaBrowser,
+                V::text("Mobile Safari"),
+                AttrId::Vendor,
+                V::text("Apple Computer, Inc.")
+            ),
             Plausibility::Valid
         );
         assert_eq!(
-            judge(AttrId::UaBrowser, V::text("Chrome"), AttrId::UaOs, V::text("Windows")),
+            judge(
+                AttrId::UaBrowser,
+                V::text("Chrome"),
+                AttrId::UaOs,
+                V::text("Windows")
+            ),
             Plausibility::Valid
         );
         assert_eq!(
-            judge(AttrId::UaDevice, V::text("Pixel 7"), AttrId::HardwareConcurrency, V::Int(8)),
+            judge(
+                AttrId::UaDevice,
+                V::text("Pixel 7"),
+                AttrId::HardwareConcurrency,
+                V::Int(8)
+            ),
             Plausibility::Valid
         );
         assert_eq!(
-            judge(AttrId::UaDevice, V::text("iPad"), AttrId::Platform, V::text("MacIntel")),
+            judge(
+                AttrId::UaDevice,
+                V::text("iPad"),
+                AttrId::Platform,
+                V::text("MacIntel")
+            ),
             Plausibility::Valid,
             "iPadOS masquerades as MacIntel"
         );
@@ -513,16 +685,31 @@ mod tests {
     #[test]
     fn unknown_pairs_stay_unknown() {
         assert_eq!(
-            judge(AttrId::Canvas, V::text("canvas:ab"), AttrId::Audio, V::float(124.0)),
+            judge(
+                AttrId::Canvas,
+                V::text("canvas:ab"),
+                AttrId::Audio,
+                V::float(124.0)
+            ),
             Plausibility::Unknown
         );
         assert_eq!(
-            judge(AttrId::UaDevice, V::text("UnknownDevice 9000"), AttrId::HardwareConcurrency, V::Int(7)),
+            judge(
+                AttrId::UaDevice,
+                V::text("UnknownDevice 9000"),
+                AttrId::HardwareConcurrency,
+                V::Int(7)
+            ),
             Plausibility::Unknown
         );
         // Windows desktops can genuinely have touch screens.
         assert_eq!(
-            judge(AttrId::UaDevice, V::text("Other"), AttrId::TouchSupport, V::text("touchEvent/touchStart")),
+            judge(
+                AttrId::UaDevice,
+                V::text("Other"),
+                AttrId::TouchSupport,
+                V::text("touchEvent/touchStart")
+            ),
             Plausibility::Unknown
         );
     }
@@ -531,49 +718,104 @@ mod tests {
     fn header_layer_rules() {
         // Client hints under a WebKit UA: the headless-Chromium leak.
         assert_eq!(
-            judge(AttrId::UaBrowser, V::text("Mobile Safari"), AttrId::SecChUa, V::text("\"Chromium\";v=\"116\"")),
+            judge(
+                AttrId::UaBrowser,
+                V::text("Mobile Safari"),
+                AttrId::SecChUa,
+                V::text("\"Chromium\";v=\"116\"")
+            ),
             Plausibility::Impossible
         );
         assert_eq!(
-            judge(AttrId::UaBrowser, V::text("Chrome"), AttrId::SecChUa, V::text("\"Chromium\";v=\"116\"")),
+            judge(
+                AttrId::UaBrowser,
+                V::text("Chrome"),
+                AttrId::SecChUa,
+                V::text("\"Chromium\";v=\"116\"")
+            ),
             Plausibility::Valid
         );
         // CH platform must track the UA OS and navigator.platform.
         assert_eq!(
-            judge(AttrId::UaOs, V::text("iOS"), AttrId::SecChUaPlatform, V::text("Linux")),
+            judge(
+                AttrId::UaOs,
+                V::text("iOS"),
+                AttrId::SecChUaPlatform,
+                V::text("Linux")
+            ),
             Plausibility::Impossible
         );
         assert_eq!(
-            judge(AttrId::UaOs, V::text("Windows"), AttrId::SecChUaPlatform, V::text("Windows")),
+            judge(
+                AttrId::UaOs,
+                V::text("Windows"),
+                AttrId::SecChUaPlatform,
+                V::text("Windows")
+            ),
             Plausibility::Valid
         );
         assert_eq!(
-            judge(AttrId::UaOs, V::text("Windows"), AttrId::SecChUaPlatform, V::text("Android")),
+            judge(
+                AttrId::UaOs,
+                V::text("Windows"),
+                AttrId::SecChUaPlatform,
+                V::text("Android")
+            ),
             Plausibility::Impossible
         );
         assert_eq!(
-            judge(AttrId::Platform, V::text("Win32"), AttrId::SecChUaPlatform, V::text("macOS")),
+            judge(
+                AttrId::Platform,
+                V::text("Win32"),
+                AttrId::SecChUaPlatform,
+                V::text("macOS")
+            ),
             Plausibility::Impossible
         );
         assert_eq!(
-            judge(AttrId::Platform, V::text("MacIntel"), AttrId::SecChUaPlatform, V::text("macOS")),
+            judge(
+                AttrId::Platform,
+                V::text("MacIntel"),
+                AttrId::SecChUaPlatform,
+                V::text("macOS")
+            ),
             Plausibility::Valid
         );
         // Accept-Language must share its primary tag with navigator.language.
         assert_eq!(
-            judge(AttrId::Language, V::text("fr-FR"), AttrId::AcceptLanguage, V::text("en-US,en;q=0.9")),
+            judge(
+                AttrId::Language,
+                V::text("fr-FR"),
+                AttrId::AcceptLanguage,
+                V::text("en-US,en;q=0.9")
+            ),
             Plausibility::Impossible
         );
         assert_eq!(
-            judge(AttrId::Language, V::text("fr-FR"), AttrId::AcceptLanguage, V::text("fr-FR,fr;q=0.8,en-US;q=0.7")),
+            judge(
+                AttrId::Language,
+                V::text("fr-FR"),
+                AttrId::AcceptLanguage,
+                V::text("fr-FR,fr;q=0.8,en-US;q=0.7")
+            ),
             Plausibility::Valid
         );
     }
 
     #[test]
     fn judge_is_order_insensitive() {
-        let a = judge(AttrId::UaDevice, V::text("iPhone"), AttrId::MaxTouchPoints, V::Int(0));
-        let b = judge(AttrId::MaxTouchPoints, V::Int(0), AttrId::UaDevice, V::text("iPhone"));
+        let a = judge(
+            AttrId::UaDevice,
+            V::text("iPhone"),
+            AttrId::MaxTouchPoints,
+            V::Int(0),
+        );
+        let b = judge(
+            AttrId::MaxTouchPoints,
+            V::Int(0),
+            AttrId::UaDevice,
+            V::text("iPhone"),
+        );
         assert_eq!(a, b);
     }
 
@@ -582,7 +824,12 @@ mod tests {
         // No iOS browser exposes the deviceMemory API at all.
         for mem in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
             assert_eq!(
-                judge(AttrId::UaDevice, V::text("iPhone"), AttrId::DeviceMemory, V::float(mem)),
+                judge(
+                    AttrId::UaDevice,
+                    V::text("iPhone"),
+                    AttrId::DeviceMemory,
+                    V::float(mem)
+                ),
                 Plausibility::Impossible
             );
         }
@@ -591,7 +838,12 @@ mod tests {
     #[test]
     fn off_ladder_memory_is_impossible_everywhere() {
         assert_eq!(
-            judge(AttrId::UaDevice, V::text("Other"), AttrId::DeviceMemory, V::float(3.0)),
+            judge(
+                AttrId::UaDevice,
+                V::text("Other"),
+                AttrId::DeviceMemory,
+                V::float(3.0)
+            ),
             Plausibility::Impossible
         );
     }

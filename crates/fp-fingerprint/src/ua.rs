@@ -205,8 +205,16 @@ mod tests {
                 let (d, b) = profile(kind, *family);
                 let ua = synthesize(&d, &b);
                 let p = parse_user_agent(&ua);
-                assert_eq!(p.os, kind.ua_os(), "os mismatch for {kind:?}/{family:?}: {ua}");
-                assert_eq!(p.browser, family.name(), "browser mismatch for {kind:?}/{family:?}: {ua}");
+                assert_eq!(
+                    p.os,
+                    kind.ua_os(),
+                    "os mismatch for {kind:?}/{family:?}: {ua}"
+                );
+                assert_eq!(
+                    p.browser,
+                    family.name(),
+                    "browser mismatch for {kind:?}/{family:?}: {ua}"
+                );
             }
         }
     }
@@ -258,7 +266,13 @@ mod tests {
     #[test]
     fn malformed_android_block_is_other() {
         assert_eq!(android_device_from_ua("Mozilla/5.0 Android"), "Other");
-        assert_eq!(android_device_from_ua("Mozilla/5.0 (Linux; Android 13"), "Other");
-        assert_eq!(android_device_from_ua("Mozilla/5.0 (Linux; Android 13; )"), "Other");
+        assert_eq!(
+            android_device_from_ua("Mozilla/5.0 (Linux; Android 13"),
+            "Other"
+        );
+        assert_eq!(
+            android_device_from_ua("Mozilla/5.0 (Linux; Android 13; )"),
+            "Other"
+        );
     }
 }

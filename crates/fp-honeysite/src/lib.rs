@@ -4,15 +4,22 @@
 //!   by URL token; requests without a registered token are **not recorded**
 //!   (that is the ground-truth guarantee: only the party a token was shared
 //!   with can know it). The site issues the large-random-number first-party
-//!   cookie on first contact, runs both anti-bot services in real time, and
+//!   cookie on first contact, runs its detector chain in real time, and
 //!   forwards everything to the store.
+//! * [`pipeline`] — sharded streaming ingest: the same detector chain on N
+//!   worker shards (partitioned by each detector's
+//!   [`StateScope`](fp_types::StateScope) anchor), verdict-for-verdict
+//!   identical to the sequential path and merged in arrival order.
 //! * [`store::RequestStore`] — the recorded dataset. Raw IPs never reach
 //!   storage: the pipeline derives what analysis needs (ASN class and
 //!   blocklist facts, geolocation, UTC offset) and keeps a salted hash as
-//!   the address identity (the paper's ethics appendix).
+//!   the address identity (the paper's ethics appendix). The
+//!   cookie/address indexes are sharded so the streaming pipeline builds
+//!   them in parallel.
 //! * [`stats`] — campaign statistics: per-service evasion rates (Table 1)
 //!   and the per-day series of Figure 9.
 
+pub mod pipeline;
 pub mod site;
 pub mod stats;
 pub mod store;

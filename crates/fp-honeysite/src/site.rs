@@ -1,18 +1,26 @@
-//! The honey site itself: token admission, cookie issuance, the detector
-//! pipeline, and privacy-preserving storage (Figures 1 and 3).
+//! The honey site itself: token admission, cookie issuance, the inline
+//! detector chain, and privacy-preserving storage (Figures 1 and 3).
+//!
+//! Detection is a *chain* of [`Detector`]s (by default the two simulated
+//! commercial services) run inline at ingest; every verdict is recorded
+//! with named provenance in the request's [`fp_types::VerdictSet`]. The
+//! chain is open: FP-Inconsistent's own spatial/temporal detectors plug in
+//! through the same trait (see `fp_inconsistent_core::engine`), which is
+//! the paper's §7 deployment story — FP-Inconsistent running alongside the
+//! commercial services on live traffic.
 
 use crate::store::{RequestStore, StoredRequest};
-use fp_antibot::{BotD, DataDome, Detector};
-use fp_netsim::blocklist::{AsnBlocklist, IpBlocklist};
+use fp_antibot::{BotD, DataDome};
+use fp_netsim::blocklist::{is_tor_exit, AsnBlocklist, IpBlocklist};
 use fp_netsim::NetDb;
-use fp_types::{mix2, sym, Request, RequestId, Symbol};
+use fp_types::detect::Detector;
+use fp_types::{mix2, sym, CookieId, Request, RequestId, Symbol, VerdictSet};
 use std::collections::HashSet;
 
-/// A honey site with both anti-bot services integrated.
+/// A honey site with a pluggable real-time detector chain.
 pub struct HoneySite {
     tokens: HashSet<Symbol>,
-    datadome: DataDome,
-    botd: BotD,
+    chain: Vec<Box<dyn Detector>>,
     store: RequestStore,
     cookie_counter: u64,
     rejected: u64,
@@ -25,16 +33,31 @@ impl Default for HoneySite {
 }
 
 impl HoneySite {
-    /// A site with no versions registered yet.
+    /// A site with no versions registered yet and the paper's two
+    /// anti-bot services integrated.
     pub fn new() -> HoneySite {
+        HoneySite::with_chain(vec![Box::new(DataDome::new()), Box::new(BotD::new())])
+    }
+
+    /// A site running a custom detector chain.
+    pub fn with_chain(chain: Vec<Box<dyn Detector>>) -> HoneySite {
         HoneySite {
             tokens: HashSet::new(),
-            datadome: DataDome::new(),
-            botd: BotD::new(),
+            chain,
             store: RequestStore::new(),
             cookie_counter: 0,
             rejected: 0,
         }
+    }
+
+    /// Append a detector to the chain (runs after the existing ones).
+    pub fn push_detector(&mut self, detector: Box<dyn Detector>) {
+        self.chain.push(detector);
+    }
+
+    /// The detector chain, in execution order.
+    pub fn chain(&self) -> &[Box<dyn Detector>] {
+        &self.chain
     }
 
     /// Register a site version (share its URL token with one party).
@@ -42,50 +65,39 @@ impl HoneySite {
         self.tokens.insert(token);
     }
 
-    /// Process one incoming request. Returns the stored id, or `None` when
-    /// the URL carried no registered token (real users and generic crawlers
-    /// stumbling on the domain — not recorded, by design).
-    pub fn ingest(&mut self, mut request: Request) -> Option<RequestId> {
+    /// Admission: check the token and issue the first-party cookie.
+    /// Returns `None` (counting a rejection) for unregistered tokens.
+    pub(crate) fn admit(&mut self, request: &Request) -> Option<CookieId> {
         if !self.tokens.contains(&request.site_token) {
             self.rejected += 1;
             return None;
         }
-
-        // First contact: set the large random first-party cookie.
-        let cookie = match request.cookie {
+        Some(match request.cookie {
             Some(c) => c,
             None => {
                 self.cookie_counter += 1;
-                let c = mix2(0xC00_C1E, self.cookie_counter);
-                request.cookie = Some(c);
-                c
+                mix2(0xC00_C1E, self.cookie_counter)
             }
-        };
+        })
+    }
 
-        // Real-time decisions from both services (Figure 3).
-        let datadome_bot = self.datadome.decide(&request) == fp_antibot::Verdict::Bot;
-        let botd_bot = self.botd.decide(&request) == fp_antibot::Verdict::Bot;
+    /// Process one incoming request. Returns the stored id, or `None` when
+    /// the URL carried no registered token (real users and generic crawlers
+    /// stumbling on the domain — not recorded, by design).
+    pub fn ingest(&mut self, request: Request) -> Option<RequestId> {
+        let cookie = self.admit(&request)?;
+        let mut record = derive_record(&request, cookie);
 
-        // Derive network facts, then drop the raw address.
-        let info = NetDb::lookup(request.ip);
-        let record = StoredRequest {
-            id: 0,
-            time: request.time,
-            site_token: request.site_token,
-            ip_hash: NetDb::hash_ip(request.ip),
-            ip_offset_minutes: info.region.offset_minutes,
-            ip_region: sym(&format!("{}/{}", info.region.country, info.region.name)),
-            ip_lat: info.region.lat as f32,
-            ip_lon: info.region.lon as f32,
-            asn: info.asn.asn,
-            asn_flagged: AsnBlocklist::is_flagged(info.asn),
-            ip_blocklisted: IpBlocklist::is_blocked(request.ip),
-            cookie,
-            fingerprint: request.fingerprint,
-            source: request.source,
-            datadome_bot,
-            botd_bot,
-        };
+        // Real-time decisions from the whole chain (Figure 3). Detectors
+        // observe the record before any verdict is attached, exactly like
+        // the sharded pipeline, so the two paths are interchangeable.
+        let mut verdicts = VerdictSet::new();
+        for detector in &mut self.chain {
+            let name = sym(detector.name());
+            let verdict = detector.observe(&record);
+            verdicts.record(name, verdict);
+        }
+        record.verdicts = verdicts;
         Some(self.store.push(record))
     }
 
@@ -106,17 +118,50 @@ impl HoneySite {
         &self.store
     }
 
+    /// Replace the store (streaming pipeline hand-over).
+    pub(crate) fn set_store(&mut self, store: RequestStore) {
+        self.store = store;
+    }
+
     /// Consume the site, keeping the dataset.
     pub fn into_store(self) -> RequestStore {
         self.store
     }
 }
 
+/// Derive the stored record from an admitted request: network facts from
+/// the raw address, then the address itself is dropped (ethics appendix).
+/// Verdicts are attached by the caller.
+pub(crate) fn derive_record(request: &Request, cookie: CookieId) -> StoredRequest {
+    let info = NetDb::lookup(request.ip);
+    StoredRequest {
+        id: 0,
+        time: request.time,
+        site_token: request.site_token,
+        ip_hash: NetDb::hash_ip(request.ip),
+        ip_offset_minutes: info.region.offset_minutes,
+        ip_region: sym(&format!("{}/{}", info.region.country, info.region.name)),
+        ip_lat: info.region.lat as f32,
+        ip_lon: info.region.lon as f32,
+        asn: info.asn.asn,
+        asn_flagged: AsnBlocklist::is_flagged(info.asn),
+        ip_blocklisted: IpBlocklist::is_blocked(request.ip),
+        tor_exit: is_tor_exit(request.ip),
+        cookie,
+        fingerprint: request.fingerprint.clone(),
+        behavior: request.behavior,
+        source: request.source,
+        verdicts: VerdictSet::new(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fp_fingerprint::{BrowserFamily, BrowserProfile, Collector, DeviceKind, DeviceProfile, LocaleSpec};
-    use fp_types::{BehaviorTrace, SimTime, Splittable, TrafficSource};
+    use fp_fingerprint::{
+        BrowserFamily, BrowserProfile, Collector, DeviceKind, DeviceProfile, LocaleSpec,
+    };
+    use fp_types::{BehaviorTrace, SimTime, Splittable, TrafficSource, Verdict};
     use std::net::Ipv4Addr;
 
     fn request(token: Symbol, cookie: Option<u64>) -> Request {
@@ -155,7 +200,11 @@ mod tests {
         let c2 = site.store().get(id2).unwrap().cookie;
         assert_ne!(c1, c2, "fresh cookie per cookie-less visit");
         let id3 = site.ingest(request(sym("tok"), Some(777))).unwrap();
-        assert_eq!(site.store().get(id3).unwrap().cookie, 777, "presented cookie kept");
+        assert_eq!(
+            site.store().get(id3).unwrap().cookie,
+            777,
+            "presented cookie kept"
+        );
     }
 
     #[test]
@@ -167,6 +216,7 @@ mod tests {
         assert_eq!(r.ip_hash, NetDb::hash_ip(Ipv4Addr::new(73, 9, 9, 9)));
         assert_eq!(r.asn, 7922, "Comcast prefix");
         assert!(!r.asn_flagged, "residential ASN unflagged");
+        assert!(!r.tor_exit, "residential address is no Tor exit");
         assert!(r.ip_region.as_str().starts_with("United States"));
     }
 
@@ -177,7 +227,37 @@ mod tests {
         // Silent desktop: DataDome flags it, BotD passes (plugins present).
         let id = site.ingest(request(sym("tok"), None)).unwrap();
         let r = site.store().get(id).unwrap();
-        assert!(r.datadome_bot);
-        assert!(!r.botd_bot);
+        assert!(r.datadome_bot());
+        assert!(!r.botd_bot());
+        // Provenance is named, in chain order.
+        let names: Vec<&str> = r.verdicts.iter().map(|(d, _)| d.as_str()).collect();
+        assert_eq!(names, ["DataDome", "BotD"]);
+    }
+
+    #[test]
+    fn custom_chain_extends_provenance() {
+        struct AlwaysBot;
+        impl Detector for AlwaysBot {
+            fn name(&self) -> &'static str {
+                "always-bot"
+            }
+            fn scope(&self) -> fp_types::StateScope {
+                fp_types::StateScope::Stateless
+            }
+            fn observe(&mut self, _r: &StoredRequest) -> Verdict {
+                Verdict::Bot
+            }
+            fn reset(&mut self) {}
+            fn fork(&self) -> Box<dyn Detector> {
+                Box::new(AlwaysBot)
+            }
+        }
+        let mut site = HoneySite::new();
+        site.push_detector(Box::new(AlwaysBot));
+        site.register_token(sym("tok"));
+        let id = site.ingest(request(sym("tok"), None)).unwrap();
+        let r = site.store().get(id).unwrap();
+        assert!(r.verdicts.bot("always-bot"));
+        assert_eq!(r.verdicts.len(), 3);
     }
 }

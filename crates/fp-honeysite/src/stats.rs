@@ -67,8 +67,9 @@ type DayAccumulator = (u64, HashSet<u64>, HashSet<u64>, HashSet<u64>);
 
 /// The full Figure 9 series (per day of the study window).
 pub fn daily_series(store: &RequestStore) -> Vec<DailySeries> {
-    let mut days: Vec<DayAccumulator> =
-        (0..STUDY_DAYS).map(|_| (0, HashSet::new(), HashSet::new(), HashSet::new())).collect();
+    let mut days: Vec<DayAccumulator> = (0..STUDY_DAYS)
+        .map(|_| (0, HashSet::new(), HashSet::new(), HashSet::new()))
+        .collect();
     for r in store.iter().filter(|r| r.source.is_bot()) {
         let day = r.time.day().min(STUDY_DAYS - 1) as usize;
         let slot = &mut days[day];
@@ -122,7 +123,13 @@ pub fn blocklist_stats(store: &RequestStore) -> BlocklistStats {
             ip.2 += u64::from(r.evaded_botd());
         }
     }
-    let frac = |num: u64, den: u64| if den == 0 { 0.0 } else { num as f64 / den as f64 };
+    let frac = |num: u64, den: u64| {
+        if den == 0 {
+            0.0
+        } else {
+            num as f64 / den as f64
+        }
+    };
     BlocklistStats {
         asn_flagged_share: frac(asn.0, total),
         asn_dd_evasion: frac(asn.1, asn.0),
@@ -137,7 +144,7 @@ pub fn blocklist_stats(store: &RequestStore) -> BlocklistStats {
 mod tests {
     use super::*;
     use crate::store::StoredRequest;
-    use fp_types::{sym, Fingerprint, SimTime};
+    use fp_types::{sym, BehaviorTrace, Fingerprint, SimTime, VerdictSet};
 
     fn record(service: u8, day: u32, dd_bot: bool, botd_bot: bool, flagged: bool) -> StoredRequest {
         StoredRequest {
@@ -152,11 +159,12 @@ mod tests {
             asn: 1,
             asn_flagged: flagged,
             ip_blocklisted: flagged,
+            tor_exit: false,
             cookie: u64::from(service),
             fingerprint: Fingerprint::new(),
+            behavior: BehaviorTrace::silent(),
             source: TrafficSource::Bot(ServiceId(service)),
-            datadome_bot: dd_bot,
-            botd_bot,
+            verdicts: VerdictSet::from_services(dd_bot, botd_bot),
         }
     }
 

@@ -1,76 +1,91 @@
 //! The recorded dataset.
+//!
+//! [`StoredRequest`] itself lives in `fp_types::stored` (it is the value the
+//! workspace-wide detector contract observes); this module keeps the
+//! campaign store. Its `by_cookie`/`by_ip` indexes are sharded by
+//! [`fp_types::shard_for`] so the streaming ingest pipeline can build them
+//! on N worker shards and hand them over without a single-threaded
+//! re-index pass.
 
-use fp_types::{CookieId, Fingerprint, RequestId, SimTime, Symbol, TrafficSource};
-use serde::{Deserialize, Serialize};
+pub use fp_types::stored::StoredRequest;
+
+use fp_types::{shard_for, CookieId, RequestId};
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
 
-/// One stored request: everything later analysis reads, nothing more. The
-/// raw IP is replaced by a salted hash plus the derived network facts.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct StoredRequest {
-    pub id: RequestId,
-    pub time: SimTime,
-    pub site_token: Symbol,
-    /// Salted hash of the source address (identity, not locality).
-    pub ip_hash: u64,
-    /// UTC offset (JS sign convention) of the IP's geolocation.
-    pub ip_offset_minutes: i32,
-    /// MaxMind-style `Country/Region` label of the IP's geolocation.
-    pub ip_region: Symbol,
-    /// Representative coordinates of the IP's region (Figure 8).
-    pub ip_lat: f32,
-    pub ip_lon: f32,
-    /// Owning AS number.
-    pub asn: u32,
-    /// On the public datacenter-ASN blocklist?
-    pub asn_flagged: bool,
-    /// On the per-address reputation blocklist?
-    pub ip_blocklisted: bool,
-    /// First-party cookie (issued at first contact if absent).
-    pub cookie: CookieId,
-    /// The FingerprintJS attribute vector.
-    pub fingerprint: Fingerprint,
-    /// Ground truth from the URL-token design.
-    pub source: TrafficSource,
-    /// DataDome's real-time verdict (true = classified bot).
-    pub datadome_bot: bool,
-    /// BotD's real-time verdict (true = classified bot).
-    pub botd_bot: bool,
-}
-
-impl StoredRequest {
-    /// Did the request evade DataDome?
-    pub fn evaded_datadome(&self) -> bool {
-        !self.datadome_bot
-    }
-
-    /// Did the request evade BotD?
-    pub fn evaded_botd(&self) -> bool {
-        !self.botd_bot
-    }
-}
-
 /// The campaign dataset with the indexes analysis needs.
-#[derive(Default)]
 pub struct RequestStore {
     requests: Vec<StoredRequest>,
-    by_cookie: HashMap<CookieId, Vec<usize>>,
-    by_ip: HashMap<u64, Vec<usize>>,
+    /// Index shard count (both indexes use the same partition function).
+    shards: usize,
+    by_cookie: Vec<HashMap<CookieId, Vec<usize>>>,
+    by_ip: Vec<HashMap<u64, Vec<usize>>>,
+}
+
+impl Default for RequestStore {
+    fn default() -> Self {
+        RequestStore::new()
+    }
 }
 
 impl RequestStore {
-    /// Empty store.
+    /// Empty store with a single index shard.
     pub fn new() -> RequestStore {
-        RequestStore::default()
+        RequestStore::with_shards(1)
+    }
+
+    /// Empty store whose indexes are partitioned across `shards` maps.
+    pub fn with_shards(shards: usize) -> RequestStore {
+        let shards = shards.max(1);
+        RequestStore {
+            requests: Vec::new(),
+            shards,
+            by_cookie: (0..shards).map(|_| HashMap::new()).collect(),
+            by_ip: (0..shards).map(|_| HashMap::new()).collect(),
+        }
+    }
+
+    /// Assemble a store from parts the streaming pipeline built in
+    /// parallel: records in arrival order (ids already dense) plus the
+    /// per-shard index maps. `by_cookie[s]` must hold exactly the cookies
+    /// with `shard_for(cookie, shards) == s` (same for `by_ip`), with
+    /// positions in arrival order.
+    pub fn from_parts(
+        requests: Vec<StoredRequest>,
+        by_cookie: Vec<HashMap<CookieId, Vec<usize>>>,
+        by_ip: Vec<HashMap<u64, Vec<usize>>>,
+    ) -> RequestStore {
+        assert_eq!(
+            by_cookie.len(),
+            by_ip.len(),
+            "index shard counts must match"
+        );
+        let shards = by_cookie.len().max(1);
+        RequestStore {
+            requests,
+            shards,
+            by_cookie,
+            by_ip,
+        }
+    }
+
+    /// Number of index shards.
+    pub fn index_shards(&self) -> usize {
+        self.shards
     }
 
     /// Append a record (assigns the dense id).
     pub fn push(&mut self, mut record: StoredRequest) -> RequestId {
         let id = self.requests.len() as RequestId;
         record.id = id;
-        self.by_cookie.entry(record.cookie).or_default().push(id as usize);
-        self.by_ip.entry(record.ip_hash).or_default().push(id as usize);
+        self.by_cookie[shard_for(record.cookie, self.shards)]
+            .entry(record.cookie)
+            .or_default()
+            .push(id as usize);
+        self.by_ip[shard_for(record.ip_hash, self.shards)]
+            .entry(record.ip_hash)
+            .or_default()
+            .push(id as usize);
         self.requests.push(record);
         id
     }
@@ -97,7 +112,7 @@ impl RequestStore {
 
     /// Records sharing a cookie, in ingest order.
     pub fn with_cookie(&self, cookie: CookieId) -> impl Iterator<Item = &StoredRequest> {
-        self.by_cookie
+        self.by_cookie[shard_for(cookie, self.shards)]
             .get(&cookie)
             .into_iter()
             .flatten()
@@ -106,7 +121,7 @@ impl RequestStore {
 
     /// Records sharing an address hash, in ingest order.
     pub fn with_ip(&self, ip_hash: u64) -> impl Iterator<Item = &StoredRequest> {
-        self.by_ip
+        self.by_ip[shard_for(ip_hash, self.shards)]
             .get(&ip_hash)
             .into_iter()
             .flatten()
@@ -115,13 +130,14 @@ impl RequestStore {
 
     /// Distinct cookies observed.
     pub fn cookie_count(&self) -> usize {
-        self.by_cookie.len()
+        self.by_cookie.iter().map(HashMap::len).sum()
     }
 
     /// The cookie with the most requests (Figure 10's device).
     pub fn top_cookie(&self) -> Option<(CookieId, usize)> {
         self.by_cookie
             .iter()
+            .flatten()
             .map(|(c, v)| (*c, v.len()))
             .max_by_key(|(c, n)| (*n, *c))
     }
@@ -154,7 +170,7 @@ impl RequestStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fp_types::{sym, AttrId, ServiceId};
+    use fp_types::{sym, AttrId, Fingerprint, ServiceId, SimTime, TrafficSource, VerdictSet};
 
     fn record(cookie: CookieId, ip_hash: u64) -> StoredRequest {
         StoredRequest {
@@ -169,11 +185,12 @@ mod tests {
             asn: 7922,
             asn_flagged: false,
             ip_blocklisted: false,
+            tor_exit: false,
             cookie,
             fingerprint: Fingerprint::new().with(AttrId::UaDevice, "iPhone"),
+            behavior: fp_types::BehaviorTrace::silent(),
             source: TrafficSource::Bot(ServiceId(1)),
-            datadome_bot: false,
-            botd_bot: true,
+            verdicts: VerdictSet::from_services(false, true),
         }
     }
 
@@ -204,6 +221,29 @@ mod tests {
     }
 
     #[test]
+    fn sharded_indexes_answer_identically() {
+        let mut single = RequestStore::new();
+        let mut sharded = RequestStore::with_shards(8);
+        for i in 0..64u64 {
+            single.push(record(i % 7, i % 5));
+            sharded.push(record(i % 7, i % 5));
+        }
+        assert_eq!(sharded.index_shards(), 8);
+        for cookie in 0..9 {
+            let a: Vec<u64> = single.with_cookie(cookie).map(|r| r.id).collect();
+            let b: Vec<u64> = sharded.with_cookie(cookie).map(|r| r.id).collect();
+            assert_eq!(a, b, "cookie {cookie}");
+        }
+        for ip in 0..6 {
+            let a: Vec<u64> = single.with_ip(ip).map(|r| r.id).collect();
+            let b: Vec<u64> = sharded.with_ip(ip).map(|r| r.id).collect();
+            assert_eq!(a, b, "ip {ip}");
+        }
+        assert_eq!(single.cookie_count(), sharded.cookie_count());
+        assert_eq!(single.top_cookie(), sharded.top_cookie());
+    }
+
+    #[test]
     fn verdict_views() {
         let r = record(1, 1);
         assert!(r.evaded_datadome());
@@ -222,9 +262,19 @@ mod tests {
         assert_eq!(loaded.len(), 5);
         assert_eq!(loaded.get(2).unwrap().cookie, 2);
         assert_eq!(
-            loaded.get(0).unwrap().fingerprint.get(AttrId::UaDevice).as_str(),
+            loaded
+                .get(0)
+                .unwrap()
+                .fingerprint
+                .get(AttrId::UaDevice)
+                .as_str(),
             Some("iPhone")
         );
+        assert!(loaded
+            .get(0)
+            .unwrap()
+            .verdicts
+            .bot(fp_types::detect::provenance::BOTD));
     }
 
     #[test]

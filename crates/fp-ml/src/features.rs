@@ -57,7 +57,9 @@ impl FeatureSchema {
             for (attr, value) in fp.present() {
                 let probe = &mut probes[attr.index()];
                 match value {
-                    AttrValue::Bool(_) | AttrValue::Int(_) | AttrValue::Milli(_) => probe.numeric = true,
+                    AttrValue::Bool(_) | AttrValue::Int(_) | AttrValue::Milli(_) => {
+                        probe.numeric = true
+                    }
                     AttrValue::Resolution(_, _) => probe.resolution = true,
                     AttrValue::Sym(s) => *probe.sym_counts.entry(*s).or_default() += 1,
                     AttrValue::Missing => {}
@@ -140,10 +142,9 @@ impl FeatureSchema {
                 (ColumnKind::OneHot(s), AttrValue::Sym(v)) => f64::from(u8::from(v == s)),
                 (ColumnKind::OneHot(_), _) => 0.0,
                 (ColumnKind::OtherBucket, AttrValue::Sym(v)) => {
-                    let frequent = self
-                        .columns
-                        .iter()
-                        .any(|c| c.attr == col.attr && matches!(&c.kind, ColumnKind::OneHot(s) if s == v));
+                    let frequent = self.columns.iter().any(|c| {
+                        c.attr == col.attr && matches!(&c.kind, ColumnKind::OneHot(s) if s == v)
+                    });
                     f64::from(u8::from(!frequent))
                 }
                 (ColumnKind::OtherBucket, _) => 0.0,
@@ -225,7 +226,13 @@ mod tests {
         let data = fps();
         let schema = FeatureSchema::induce(data.iter());
         let row = schema.encode(&data[0]);
-        let idx = |name: &str| schema.columns().iter().position(|c| c.name == name).unwrap();
+        let idx = |name: &str| {
+            schema
+                .columns()
+                .iter()
+                .position(|c| c.name == name)
+                .unwrap()
+        };
         assert_eq!(row[idx("hardware_concurrency")], 2.0);
         assert_eq!(row[idx("screen_resolution.w")], 390.0);
         assert_eq!(row[idx("ua_device=iPhone")], 1.0);

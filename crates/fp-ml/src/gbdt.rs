@@ -23,7 +23,10 @@ impl Default for GbdtParams {
             learning_rate: 0.3,
             // Depth 5, like the DataDome tree the paper reads out in
             // Appendix C.
-            tree: TreeParams { max_depth: 5, ..TreeParams::default() },
+            tree: TreeParams {
+                max_depth: 5,
+                ..TreeParams::default()
+            },
         }
     }
 }
@@ -43,7 +46,10 @@ impl Gbdt {
         let binning = Binning::fit(matrix);
         let rows: Vec<u32> = (0..matrix.rows as u32).collect();
 
-        let pos = labels.iter().sum::<f64>().clamp(1e-6, labels.len() as f64 - 1e-6);
+        let pos = labels
+            .iter()
+            .sum::<f64>()
+            .clamp(1e-6, labels.len() as f64 - 1e-6);
         let base_score = (pos / (labels.len() as f64 - pos)).ln();
 
         let mut margin = vec![base_score; matrix.rows];
@@ -64,7 +70,11 @@ impl Gbdt {
             }
             trees.push(tree);
         }
-        Gbdt { trees, params, base_score }
+        Gbdt {
+            trees,
+            params,
+            base_score,
+        }
     }
 
     /// Raw margin for one encoded row.
@@ -194,7 +204,10 @@ pub fn select(matrix: &Matrix, rows: &[usize]) -> Matrix {
         .iter()
         .map(|col| rows.iter().map(|&r| col[r]).collect())
         .collect();
-    Matrix { columns, rows: rows.len() }
+    Matrix {
+        columns,
+        rows: rows.len(),
+    }
 }
 
 #[cfg(test)]
@@ -217,13 +230,26 @@ mod tests {
             cols[3].push(x3);
             y.push(f64::from(u8::from((x0 > 0.5 && x1 < 3.0) || x2 == 7.0)));
         }
-        (Matrix { rows: n, columns: cols }, y)
+        (
+            Matrix {
+                rows: n,
+                columns: cols,
+            },
+            y,
+        )
     }
 
     #[test]
     fn learns_composite_rule() {
         let (m, y) = synthetic(2000);
-        let model = Gbdt::train(&m, &y, GbdtParams { rounds: 20, ..GbdtParams::default() });
+        let model = Gbdt::train(
+            &m,
+            &y,
+            GbdtParams {
+                rounds: 20,
+                ..GbdtParams::default()
+            },
+        );
         let acc = model.accuracy(&m, &y);
         assert!(acc > 0.97, "train accuracy {acc}");
     }
@@ -236,7 +262,14 @@ mod tests {
         let y_train: Vec<f64> = train.iter().map(|&i| y[i]).collect();
         let m_test = select(&m, &test);
         let y_test: Vec<f64> = test.iter().map(|&i| y[i]).collect();
-        let model = Gbdt::train(&m_train, &y_train, GbdtParams { rounds: 20, ..GbdtParams::default() });
+        let model = Gbdt::train(
+            &m_train,
+            &y_train,
+            GbdtParams {
+                rounds: 20,
+                ..GbdtParams::default()
+            },
+        );
         let acc = model.accuracy(&m_test, &y_test);
         assert!(acc > 0.95, "test accuracy {acc}");
         assert!((0.05..0.2).contains(&(test.len() as f64 / m.rows as f64)));
@@ -275,7 +308,9 @@ mod tests {
         // A row positive solely because x2 == 7.
         let row = vec![0.1, 5.0, 7.0, 0.5];
         let contrib = model.attribution(&row, 4);
-        let max_idx = (0..4).max_by(|&a, &b| contrib[a].partial_cmp(&contrib[b]).unwrap()).unwrap();
+        let max_idx = (0..4)
+            .max_by(|&a, &b| contrib[a].partial_cmp(&contrib[b]).unwrap())
+            .unwrap();
         assert_eq!(max_idx, 2, "contrib {contrib:?}");
     }
 
@@ -290,19 +325,31 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty training set")]
     fn empty_training_panics() {
-        let m = Matrix { rows: 0, columns: vec![] };
+        let m = Matrix {
+            rows: 0,
+            columns: vec![],
+        };
         let _ = Gbdt::train(&m, &[], GbdtParams::default());
     }
 
     #[test]
     fn auc_tracks_separability() {
         let (m, y) = synthetic(1500);
-        let model = Gbdt::train(&m, &y, GbdtParams { rounds: 15, ..GbdtParams::default() });
+        let model = Gbdt::train(
+            &m,
+            &y,
+            GbdtParams {
+                rounds: 15,
+                ..GbdtParams::default()
+            },
+        );
         let auc = model.auc(&m, &y);
         assert!(auc > 0.98, "separable problem should have AUC ≈ 1: {auc}");
         // Random labels: AUC collapses toward 0.5.
         let mut rng = fp_types::Splittable::new(8);
-        let random: Vec<f64> = (0..m.rows).map(|_| f64::from(u8::from(rng.chance(0.5)))).collect();
+        let random: Vec<f64> = (0..m.rows)
+            .map(|_| f64::from(u8::from(rng.chance(0.5))))
+            .collect();
         let auc_rand = model.auc(&m, &random);
         assert!((auc_rand - 0.5).abs() < 0.06, "random labels: {auc_rand}");
     }
@@ -310,14 +357,32 @@ mod tests {
     #[test]
     fn auc_degenerate_classes() {
         let (m, _) = synthetic(100);
-        let model = Gbdt::train(&m, &vec![1.0; 100], GbdtParams { rounds: 2, ..GbdtParams::default() });
-        assert_eq!(model.auc(&m, &vec![1.0; 100]), 0.5, "single-class AUC is undefined -> 0.5");
+        let model = Gbdt::train(
+            &m,
+            &vec![1.0; 100],
+            GbdtParams {
+                rounds: 2,
+                ..GbdtParams::default()
+            },
+        );
+        assert_eq!(
+            model.auc(&m, &vec![1.0; 100]),
+            0.5,
+            "single-class AUC is undefined -> 0.5"
+        );
     }
 
     #[test]
     fn confusion_matrix_sums_and_matches_accuracy() {
         let (m, y) = synthetic(1000);
-        let model = Gbdt::train(&m, &y, GbdtParams { rounds: 15, ..GbdtParams::default() });
+        let model = Gbdt::train(
+            &m,
+            &y,
+            GbdtParams {
+                rounds: 15,
+                ..GbdtParams::default()
+            },
+        );
         let (tp, fp, tn, fneg) = model.confusion(&m, &y);
         assert_eq!(tp + fp + tn + fneg, 1000);
         let acc = (tp + tn) as f64 / 1000.0;

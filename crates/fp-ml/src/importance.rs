@@ -99,9 +99,17 @@ pub fn permutation_importance(
                 })
                 .collect(),
         };
-        out.push(AttributeImportance { attr, score: (baseline - model.accuracy(&shuffled, labels)).max(0.0) });
+        out.push(AttributeImportance {
+            attr,
+            score: (baseline - model.accuracy(&shuffled, labels)).max(0.0),
+        });
     }
-    out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap().then(a.attr.cmp(&b.attr)));
+    out.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap()
+            .then(a.attr.cmp(&b.attr))
+    });
     out
 }
 
@@ -114,7 +122,12 @@ fn aggregate(schema: &FeatureSchema, per_column: &[f64]) -> Vec<AttributeImporta
         .into_iter()
         .map(|(attr, score)| AttributeImportance { attr, score })
         .collect();
-    out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap().then(a.attr.cmp(&b.attr)));
+    out.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap()
+            .then(a.attr.cmp(&b.attr))
+    });
     out
 }
 
@@ -171,7 +184,14 @@ mod tests {
         let (fps, y) = dataset();
         let schema = FeatureSchema::induce(fps.iter());
         let matrix = schema.encode_all(fps.iter());
-        let model = Gbdt::train(&matrix, &y, GbdtParams { rounds: 10, ..GbdtParams::default() });
+        let model = Gbdt::train(
+            &matrix,
+            &y,
+            GbdtParams {
+                rounds: 10,
+                ..GbdtParams::default()
+            },
+        );
         let ranked = attribute_importance(&model, &schema, &matrix, 200);
         assert_eq!(ranked[0].attr, AttrId::Plugins, "{ranked:?}");
         let gains = attribute_gain(&model, &schema);
@@ -183,16 +203,30 @@ mod tests {
         let (fps, y) = dataset();
         let schema = FeatureSchema::induce(fps.iter());
         let matrix = schema.encode_all(fps.iter());
-        let model = Gbdt::train(&matrix, &y, GbdtParams { rounds: 10, ..GbdtParams::default() });
+        let model = Gbdt::train(
+            &matrix,
+            &y,
+            GbdtParams {
+                rounds: 10,
+                ..GbdtParams::default()
+            },
+        );
         let ranked = attribute_importance(&model, &schema, &matrix, 200);
-        let tz = ranked.iter().find(|r| r.attr == AttrId::Timezone).map(|r| r.score).unwrap_or(0.0);
+        let tz = ranked
+            .iter()
+            .find(|r| r.attr == AttrId::Timezone)
+            .map(|r| r.score)
+            .unwrap_or(0.0);
         let plugins = ranked[0].score;
         assert!(tz < plugins / 20.0, "tz {tz} vs plugins {plugins}");
     }
 
     #[test]
     fn paper_names() {
-        assert_eq!(paper_attribute_name(AttrId::VendorFlavors), "Vendor Flavors");
+        assert_eq!(
+            paper_attribute_name(AttrId::VendorFlavors),
+            "Vendor Flavors"
+        );
         assert_eq!(paper_attribute_name(AttrId::Ja3), "ja3");
     }
 
@@ -201,7 +235,14 @@ mod tests {
         let (fps, y) = dataset();
         let schema = FeatureSchema::induce(fps.iter());
         let matrix = schema.encode_all(fps.iter());
-        let model = Gbdt::train(&matrix, &y, GbdtParams { rounds: 10, ..GbdtParams::default() });
+        let model = Gbdt::train(
+            &matrix,
+            &y,
+            GbdtParams {
+                rounds: 10,
+                ..GbdtParams::default()
+            },
+        );
         let ranked = permutation_importance(&model, &schema, &matrix, &y, 7);
         assert_eq!(ranked[0].attr, AttrId::Plugins, "{ranked:?}");
         // Shuffling the irrelevant attribute must not hurt accuracy.

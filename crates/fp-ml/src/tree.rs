@@ -87,13 +87,24 @@ pub struct TreeParams {
 
 impl Default for TreeParams {
     fn default() -> Self {
-        TreeParams { max_depth: 5, min_child_weight: 1.0, lambda: 1.0, gamma: 0.0 }
+        TreeParams {
+            max_depth: 5,
+            min_child_weight: 1.0,
+            lambda: 1.0,
+            gamma: 0.0,
+        }
     }
 }
 
 impl Tree {
     /// Fit a tree to gradients/hessians over the binned matrix.
-    pub fn fit(binning: &Binning, grad: &[f64], hess: &[f64], rows: &[u32], params: &TreeParams) -> Tree {
+    pub fn fit(
+        binning: &Binning,
+        grad: &[f64],
+        hess: &[f64],
+        rows: &[u32],
+        params: &TreeParams,
+    ) -> Tree {
         let mut tree = Tree { nodes: Vec::new() };
         tree.grow(binning, grad, hess, rows, params, 0);
         tree
@@ -173,7 +184,14 @@ impl Tree {
         self.nodes.push(Node::Leaf { value: leaf_value }); // placeholder
         let left = self.grow(binning, grad, hess, &left_rows, params, depth + 1);
         let right = self.grow(binning, grad, hess, &right_rows, params, depth + 1);
-        self.nodes[slot] = Node::Split { feature, threshold, left, right, value: node_value, gain };
+        self.nodes[slot] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+            value: node_value,
+            gain,
+        };
         slot
     }
 
@@ -183,8 +201,18 @@ impl Tree {
         loop {
             match &self.nodes[i] {
                 Node::Leaf { value } => return *value,
-                Node::Split { feature, threshold, left, right, .. } => {
-                    i = if row[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    i = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -202,8 +230,18 @@ impl Tree {
         loop {
             match &self.nodes[i] {
                 Node::Leaf { .. } => return,
-                Node::Split { feature, threshold, left, right, .. } => {
-                    let next = if row[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    let next = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                     let next_value = match &self.nodes[next] {
                         Node::Leaf { value } => *value,
                         Node::Split { value, .. } => *value,
@@ -233,7 +271,13 @@ impl Tree {
         loop {
             match &self.nodes[i] {
                 Node::Leaf { .. } => return path,
-                Node::Split { feature, threshold, left, right, .. } => {
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
                     let goes_left = row[*feature] <= *threshold;
                     path.push((*feature, *threshold, goes_left));
                     i = if goes_left { *left } else { *right };
@@ -249,7 +293,10 @@ mod tests {
 
     fn matrix(cols: Vec<Vec<f64>>) -> Matrix {
         let rows = cols[0].len();
-        Matrix { columns: cols, rows }
+        Matrix {
+            columns: cols,
+            rows,
+        }
     }
 
     /// Fit a tree directly to a 0/1 target (squared loss: grad = pred-y
@@ -259,7 +306,12 @@ mod tests {
         let grad: Vec<f64> = y.iter().map(|&v| -v).collect();
         let hess = vec![1.0; y.len()];
         let rows: Vec<u32> = (0..y.len() as u32).collect();
-        let params = TreeParams { max_depth: depth, min_child_weight: 0.5, lambda: 0.01, gamma: 0.0 };
+        let params = TreeParams {
+            max_depth: depth,
+            min_child_weight: 0.5,
+            lambda: 0.01,
+            gamma: 0.0,
+        };
         (Tree::fit(&binning, &grad, &hess, &rows, &params), binning)
     }
 

@@ -68,54 +68,369 @@ const IN_MH: usize = 23;
 /// The AS table. Index 0 is the fallback record for unallocated space.
 pub const ASN_TABLE: [AsnRecord; 45] = [
     // --- residential (index 0 doubles as the lookup fallback) ----------
-    AsnRecord { asn: 7922, name: "Comcast Cable", class: AsnClass::Residential, country: "United States of America", region_indices: &[US_CA, US_OR, US_VA, US_NY, US_TX, US_OH], prefixes: &[(73, 0, 255)] },
-    AsnRecord { asn: 701, name: "Verizon Business", class: AsnClass::Residential, country: "United States of America", region_indices: &[US_VA, US_NY], prefixes: &[(71, 0, 255)] },
-    AsnRecord { asn: 7018, name: "AT&T Internet", class: AsnClass::Residential, country: "United States of America", region_indices: &[US_TX, US_OH], prefixes: &[(99, 0, 128)] },
-    AsnRecord { asn: 812, name: "Rogers Communications", class: AsnClass::Residential, country: "Canada", region_indices: &[CA_ON], prefixes: &[(174, 0, 128)] },
-    AsnRecord { asn: 852, name: "TELUS Communications", class: AsnClass::Residential, country: "Canada", region_indices: &[CA_BC], prefixes: &[(174, 128, 127)] },
-    AsnRecord { asn: 5769, name: "Videotron", class: AsnClass::Residential, country: "Canada", region_indices: &[CA_QC], prefixes: &[(96, 0, 64)] },
-    AsnRecord { asn: 3215, name: "Orange France", class: AsnClass::Residential, country: "France", region_indices: &[FR_IDF, FR_HDF, FR_PACA], prefixes: &[(90, 0, 128)] },
-    AsnRecord { asn: 12322, name: "Free SAS", class: AsnClass::Residential, country: "France", region_indices: &[FR_IDF, FR_PACA], prefixes: &[(90, 128, 127)] },
-    AsnRecord { asn: 3320, name: "Deutsche Telekom", class: AsnClass::Residential, country: "Germany", region_indices: &[DE_SN, DE_BY, DE_HE], prefixes: &[(91, 0, 128)] },
-    AsnRecord { asn: 3209, name: "Vodafone Germany", class: AsnClass::Residential, country: "Germany", region_indices: &[DE_BY], prefixes: &[(91, 128, 127)] },
-    AsnRecord { asn: 2856, name: "British Telecom", class: AsnClass::Residential, country: "United Kingdom", region_indices: &[GB_ENG], prefixes: &[(86, 0, 128)] },
-    AsnRecord { asn: 1136, name: "KPN", class: AsnClass::Residential, country: "Netherlands", region_indices: &[NL_NH], prefixes: &[(86, 128, 64)] },
-    AsnRecord { asn: 8151, name: "Uninet (Telmex)", class: AsnClass::Residential, country: "Mexico", region_indices: &[MX_CDMX], prefixes: &[(187, 0, 128)] },
-    AsnRecord { asn: 4134, name: "China Telecom", class: AsnClass::Residential, country: "China", region_indices: &[CN_SH], prefixes: &[(114, 0, 128)] },
-    AsnRecord { asn: 17676, name: "SoftBank", class: AsnClass::Residential, country: "Japan", region_indices: &[JP_TK], prefixes: &[(126, 0, 128)] },
-    AsnRecord { asn: 4771, name: "Spark New Zealand", class: AsnClass::Residential, country: "New Zealand", region_indices: &[NZ_AK], prefixes: &[(122, 0, 64)] },
-    AsnRecord { asn: 28573, name: "Claro Brasil", class: AsnClass::Residential, country: "Brazil", region_indices: &[BR_SP], prefixes: &[(179, 0, 128)] },
-    AsnRecord { asn: 55836, name: "Reliance Jio", class: AsnClass::Residential, country: "India", region_indices: &[IN_MH], prefixes: &[(115, 0, 128)] },
+    AsnRecord {
+        asn: 7922,
+        name: "Comcast Cable",
+        class: AsnClass::Residential,
+        country: "United States of America",
+        region_indices: &[US_CA, US_OR, US_VA, US_NY, US_TX, US_OH],
+        prefixes: &[(73, 0, 255)],
+    },
+    AsnRecord {
+        asn: 701,
+        name: "Verizon Business",
+        class: AsnClass::Residential,
+        country: "United States of America",
+        region_indices: &[US_VA, US_NY],
+        prefixes: &[(71, 0, 255)],
+    },
+    AsnRecord {
+        asn: 7018,
+        name: "AT&T Internet",
+        class: AsnClass::Residential,
+        country: "United States of America",
+        region_indices: &[US_TX, US_OH],
+        prefixes: &[(99, 0, 128)],
+    },
+    AsnRecord {
+        asn: 812,
+        name: "Rogers Communications",
+        class: AsnClass::Residential,
+        country: "Canada",
+        region_indices: &[CA_ON],
+        prefixes: &[(174, 0, 128)],
+    },
+    AsnRecord {
+        asn: 852,
+        name: "TELUS Communications",
+        class: AsnClass::Residential,
+        country: "Canada",
+        region_indices: &[CA_BC],
+        prefixes: &[(174, 128, 127)],
+    },
+    AsnRecord {
+        asn: 5769,
+        name: "Videotron",
+        class: AsnClass::Residential,
+        country: "Canada",
+        region_indices: &[CA_QC],
+        prefixes: &[(96, 0, 64)],
+    },
+    AsnRecord {
+        asn: 3215,
+        name: "Orange France",
+        class: AsnClass::Residential,
+        country: "France",
+        region_indices: &[FR_IDF, FR_HDF, FR_PACA],
+        prefixes: &[(90, 0, 128)],
+    },
+    AsnRecord {
+        asn: 12322,
+        name: "Free SAS",
+        class: AsnClass::Residential,
+        country: "France",
+        region_indices: &[FR_IDF, FR_PACA],
+        prefixes: &[(90, 128, 127)],
+    },
+    AsnRecord {
+        asn: 3320,
+        name: "Deutsche Telekom",
+        class: AsnClass::Residential,
+        country: "Germany",
+        region_indices: &[DE_SN, DE_BY, DE_HE],
+        prefixes: &[(91, 0, 128)],
+    },
+    AsnRecord {
+        asn: 3209,
+        name: "Vodafone Germany",
+        class: AsnClass::Residential,
+        country: "Germany",
+        region_indices: &[DE_BY],
+        prefixes: &[(91, 128, 127)],
+    },
+    AsnRecord {
+        asn: 2856,
+        name: "British Telecom",
+        class: AsnClass::Residential,
+        country: "United Kingdom",
+        region_indices: &[GB_ENG],
+        prefixes: &[(86, 0, 128)],
+    },
+    AsnRecord {
+        asn: 1136,
+        name: "KPN",
+        class: AsnClass::Residential,
+        country: "Netherlands",
+        region_indices: &[NL_NH],
+        prefixes: &[(86, 128, 64)],
+    },
+    AsnRecord {
+        asn: 8151,
+        name: "Uninet (Telmex)",
+        class: AsnClass::Residential,
+        country: "Mexico",
+        region_indices: &[MX_CDMX],
+        prefixes: &[(187, 0, 128)],
+    },
+    AsnRecord {
+        asn: 4134,
+        name: "China Telecom",
+        class: AsnClass::Residential,
+        country: "China",
+        region_indices: &[CN_SH],
+        prefixes: &[(114, 0, 128)],
+    },
+    AsnRecord {
+        asn: 17676,
+        name: "SoftBank",
+        class: AsnClass::Residential,
+        country: "Japan",
+        region_indices: &[JP_TK],
+        prefixes: &[(126, 0, 128)],
+    },
+    AsnRecord {
+        asn: 4771,
+        name: "Spark New Zealand",
+        class: AsnClass::Residential,
+        country: "New Zealand",
+        region_indices: &[NZ_AK],
+        prefixes: &[(122, 0, 64)],
+    },
+    AsnRecord {
+        asn: 28573,
+        name: "Claro Brasil",
+        class: AsnClass::Residential,
+        country: "Brazil",
+        region_indices: &[BR_SP],
+        prefixes: &[(179, 0, 128)],
+    },
+    AsnRecord {
+        asn: 55836,
+        name: "Reliance Jio",
+        class: AsnClass::Residential,
+        country: "India",
+        region_indices: &[IN_MH],
+        prefixes: &[(115, 0, 128)],
+    },
     // --- mobile carriers -------------------------------------------------
-    AsnRecord { asn: 21928, name: "T-Mobile USA", class: AsnClass::MobileCarrier, country: "United States of America", region_indices: &[US_CA, US_VA, US_TX], prefixes: &[(162, 0, 64)] },
-    AsnRecord { asn: 20057, name: "AT&T Mobility", class: AsnClass::MobileCarrier, country: "United States of America", region_indices: &[US_VA, US_TX], prefixes: &[(162, 64, 64)] },
-    AsnRecord { asn: 577, name: "Bell Mobility", class: AsnClass::MobileCarrier, country: "Canada", region_indices: &[CA_ON, CA_QC], prefixes: &[(142, 0, 64)] },
-    AsnRecord { asn: 20810, name: "SFR Mobile", class: AsnClass::MobileCarrier, country: "France", region_indices: &[FR_IDF, FR_HDF], prefixes: &[(109, 0, 64)] },
-    AsnRecord { asn: 12638, name: "Telekom Mobile DE", class: AsnClass::MobileCarrier, country: "Germany", region_indices: &[DE_SN, DE_BY], prefixes: &[(109, 64, 64)] },
+    AsnRecord {
+        asn: 21928,
+        name: "T-Mobile USA",
+        class: AsnClass::MobileCarrier,
+        country: "United States of America",
+        region_indices: &[US_CA, US_VA, US_TX],
+        prefixes: &[(162, 0, 64)],
+    },
+    AsnRecord {
+        asn: 20057,
+        name: "AT&T Mobility",
+        class: AsnClass::MobileCarrier,
+        country: "United States of America",
+        region_indices: &[US_VA, US_TX],
+        prefixes: &[(162, 64, 64)],
+    },
+    AsnRecord {
+        asn: 577,
+        name: "Bell Mobility",
+        class: AsnClass::MobileCarrier,
+        country: "Canada",
+        region_indices: &[CA_ON, CA_QC],
+        prefixes: &[(142, 0, 64)],
+    },
+    AsnRecord {
+        asn: 20810,
+        name: "SFR Mobile",
+        class: AsnClass::MobileCarrier,
+        country: "France",
+        region_indices: &[FR_IDF, FR_HDF],
+        prefixes: &[(109, 0, 64)],
+    },
+    AsnRecord {
+        asn: 12638,
+        name: "Telekom Mobile DE",
+        class: AsnClass::MobileCarrier,
+        country: "Germany",
+        region_indices: &[DE_SN, DE_BY],
+        prefixes: &[(109, 64, 64)],
+    },
     // --- cloud / datacenter ----------------------------------------------
-    AsnRecord { asn: 16509, name: "Amazon AWS (us-west)", class: AsnClass::CloudDatacenter, country: "United States of America", region_indices: &[US_CA, US_OR], prefixes: &[(52, 0, 128)] },
-    AsnRecord { asn: 14618, name: "Amazon AWS (us-east)", class: AsnClass::CloudDatacenter, country: "United States of America", region_indices: &[US_VA, US_OH], prefixes: &[(52, 128, 127)] },
-    AsnRecord { asn: 8075, name: "Microsoft Azure", class: AsnClass::CloudDatacenter, country: "United States of America", region_indices: &[US_VA, US_TX], prefixes: &[(40, 0, 255)] },
-    AsnRecord { asn: 396982, name: "Google Cloud", class: AsnClass::CloudDatacenter, country: "United States of America", region_indices: &[US_CA, US_VA], prefixes: &[(34, 0, 128)] },
-    AsnRecord { asn: 14061, name: "DigitalOcean", class: AsnClass::CloudDatacenter, country: "United States of America", region_indices: &[US_NY], prefixes: &[(67, 0, 255)] },
-    AsnRecord { asn: 63949, name: "Linode (Akamai)", class: AsnClass::CloudDatacenter, country: "United States of America", region_indices: &[US_TX], prefixes: &[(45, 0, 128)] },
-    AsnRecord { asn: 20473, name: "Vultr (Choopa)", class: AsnClass::CloudDatacenter, country: "United States of America", region_indices: &[US_NY, US_TX], prefixes: &[(45, 128, 127)] },
-    AsnRecord { asn: 16276, name: "OVH France", class: AsnClass::CloudDatacenter, country: "France", region_indices: &[FR_IDF, FR_HDF, FR_PACA], prefixes: &[(51, 0, 128)] },
-    AsnRecord { asn: 16277, name: "OVH Canada", class: AsnClass::CloudDatacenter, country: "Canada", region_indices: &[CA_ON, CA_QC], prefixes: &[(51, 128, 127)] },
-    AsnRecord { asn: 24940, name: "Hetzner Online", class: AsnClass::CloudDatacenter, country: "Germany", region_indices: &[DE_SN, DE_BY, DE_HE], prefixes: &[(88, 0, 128)] },
-    AsnRecord { asn: 9009, name: "M247 Europe", class: AsnClass::CloudDatacenter, country: "United Kingdom", region_indices: &[GB_ENG], prefixes: &[(89, 0, 128)] },
-    AsnRecord { asn: 212238, name: "Datacamp (CDN77)", class: AsnClass::CloudDatacenter, country: "Netherlands", region_indices: &[NL_NH], prefixes: &[(89, 128, 127)] },
-    AsnRecord { asn: 45102, name: "Alibaba Cloud", class: AsnClass::CloudDatacenter, country: "China", region_indices: &[CN_SH], prefixes: &[(47, 0, 255)] },
-    AsnRecord { asn: 132203, name: "Tencent Cloud", class: AsnClass::CloudDatacenter, country: "China", region_indices: &[CN_SH], prefixes: &[(43, 0, 255)] },
-    AsnRecord { asn: 16510, name: "Amazon AWS (ca-central)", class: AsnClass::CloudDatacenter, country: "Canada", region_indices: &[CA_ON], prefixes: &[(35, 0, 128)] },
-    AsnRecord { asn: 16511, name: "Amazon AWS (eu-west-3)", class: AsnClass::CloudDatacenter, country: "France", region_indices: &[FR_IDF], prefixes: &[(35, 128, 127)] },
-    AsnRecord { asn: 200651, name: "Scaleway", class: AsnClass::CloudDatacenter, country: "France", region_indices: &[FR_IDF, FR_PACA], prefixes: &[(62, 0, 128)] },
-    AsnRecord { asn: 7684, name: "Sakura Internet", class: AsnClass::CloudDatacenter, country: "Japan", region_indices: &[JP_TK], prefixes: &[(133, 0, 128)] },
-    AsnRecord { asn: 38001, name: "NewMedia Express", class: AsnClass::CloudDatacenter, country: "Singapore", region_indices: &[SG_SG], prefixes: &[(139, 0, 128)] },
-    AsnRecord { asn: 16397, name: "Equinix Brasil", class: AsnClass::CloudDatacenter, country: "Brazil", region_indices: &[BR_SP], prefixes: &[(177, 0, 128)] },
+    AsnRecord {
+        asn: 16509,
+        name: "Amazon AWS (us-west)",
+        class: AsnClass::CloudDatacenter,
+        country: "United States of America",
+        region_indices: &[US_CA, US_OR],
+        prefixes: &[(52, 0, 128)],
+    },
+    AsnRecord {
+        asn: 14618,
+        name: "Amazon AWS (us-east)",
+        class: AsnClass::CloudDatacenter,
+        country: "United States of America",
+        region_indices: &[US_VA, US_OH],
+        prefixes: &[(52, 128, 127)],
+    },
+    AsnRecord {
+        asn: 8075,
+        name: "Microsoft Azure",
+        class: AsnClass::CloudDatacenter,
+        country: "United States of America",
+        region_indices: &[US_VA, US_TX],
+        prefixes: &[(40, 0, 255)],
+    },
+    AsnRecord {
+        asn: 396982,
+        name: "Google Cloud",
+        class: AsnClass::CloudDatacenter,
+        country: "United States of America",
+        region_indices: &[US_CA, US_VA],
+        prefixes: &[(34, 0, 128)],
+    },
+    AsnRecord {
+        asn: 14061,
+        name: "DigitalOcean",
+        class: AsnClass::CloudDatacenter,
+        country: "United States of America",
+        region_indices: &[US_NY],
+        prefixes: &[(67, 0, 255)],
+    },
+    AsnRecord {
+        asn: 63949,
+        name: "Linode (Akamai)",
+        class: AsnClass::CloudDatacenter,
+        country: "United States of America",
+        region_indices: &[US_TX],
+        prefixes: &[(45, 0, 128)],
+    },
+    AsnRecord {
+        asn: 20473,
+        name: "Vultr (Choopa)",
+        class: AsnClass::CloudDatacenter,
+        country: "United States of America",
+        region_indices: &[US_NY, US_TX],
+        prefixes: &[(45, 128, 127)],
+    },
+    AsnRecord {
+        asn: 16276,
+        name: "OVH France",
+        class: AsnClass::CloudDatacenter,
+        country: "France",
+        region_indices: &[FR_IDF, FR_HDF, FR_PACA],
+        prefixes: &[(51, 0, 128)],
+    },
+    AsnRecord {
+        asn: 16277,
+        name: "OVH Canada",
+        class: AsnClass::CloudDatacenter,
+        country: "Canada",
+        region_indices: &[CA_ON, CA_QC],
+        prefixes: &[(51, 128, 127)],
+    },
+    AsnRecord {
+        asn: 24940,
+        name: "Hetzner Online",
+        class: AsnClass::CloudDatacenter,
+        country: "Germany",
+        region_indices: &[DE_SN, DE_BY, DE_HE],
+        prefixes: &[(88, 0, 128)],
+    },
+    AsnRecord {
+        asn: 9009,
+        name: "M247 Europe",
+        class: AsnClass::CloudDatacenter,
+        country: "United Kingdom",
+        region_indices: &[GB_ENG],
+        prefixes: &[(89, 0, 128)],
+    },
+    AsnRecord {
+        asn: 212238,
+        name: "Datacamp (CDN77)",
+        class: AsnClass::CloudDatacenter,
+        country: "Netherlands",
+        region_indices: &[NL_NH],
+        prefixes: &[(89, 128, 127)],
+    },
+    AsnRecord {
+        asn: 45102,
+        name: "Alibaba Cloud",
+        class: AsnClass::CloudDatacenter,
+        country: "China",
+        region_indices: &[CN_SH],
+        prefixes: &[(47, 0, 255)],
+    },
+    AsnRecord {
+        asn: 132203,
+        name: "Tencent Cloud",
+        class: AsnClass::CloudDatacenter,
+        country: "China",
+        region_indices: &[CN_SH],
+        prefixes: &[(43, 0, 255)],
+    },
+    AsnRecord {
+        asn: 16510,
+        name: "Amazon AWS (ca-central)",
+        class: AsnClass::CloudDatacenter,
+        country: "Canada",
+        region_indices: &[CA_ON],
+        prefixes: &[(35, 0, 128)],
+    },
+    AsnRecord {
+        asn: 16511,
+        name: "Amazon AWS (eu-west-3)",
+        class: AsnClass::CloudDatacenter,
+        country: "France",
+        region_indices: &[FR_IDF],
+        prefixes: &[(35, 128, 127)],
+    },
+    AsnRecord {
+        asn: 200651,
+        name: "Scaleway",
+        class: AsnClass::CloudDatacenter,
+        country: "France",
+        region_indices: &[FR_IDF, FR_PACA],
+        prefixes: &[(62, 0, 128)],
+    },
+    AsnRecord {
+        asn: 7684,
+        name: "Sakura Internet",
+        class: AsnClass::CloudDatacenter,
+        country: "Japan",
+        region_indices: &[JP_TK],
+        prefixes: &[(133, 0, 128)],
+    },
+    AsnRecord {
+        asn: 38001,
+        name: "NewMedia Express",
+        class: AsnClass::CloudDatacenter,
+        country: "Singapore",
+        region_indices: &[SG_SG],
+        prefixes: &[(139, 0, 128)],
+    },
+    AsnRecord {
+        asn: 16397,
+        name: "Equinix Brasil",
+        class: AsnClass::CloudDatacenter,
+        country: "Brazil",
+        region_indices: &[BR_SP],
+        prefixes: &[(177, 0, 128)],
+    },
     // --- Tor exit hosters -------------------------------------------------
-    AsnRecord { asn: 208323, name: "Applied Privacy (Tor exits)", class: AsnClass::TorExit, country: "Germany", region_indices: &[DE_BY], prefixes: &[(185, 0, 64)] },
-    AsnRecord { asn: 43350, name: "NForce (Tor exits)", class: AsnClass::TorExit, country: "Netherlands", region_indices: &[NL_NH], prefixes: &[(185, 64, 64)] },
+    AsnRecord {
+        asn: 208323,
+        name: "Applied Privacy (Tor exits)",
+        class: AsnClass::TorExit,
+        country: "Germany",
+        region_indices: &[DE_BY],
+        prefixes: &[(185, 0, 64)],
+    },
+    AsnRecord {
+        asn: 43350,
+        name: "NForce (Tor exits)",
+        class: AsnClass::TorExit,
+        country: "Netherlands",
+        region_indices: &[NL_NH],
+        prefixes: &[(185, 64, 64)],
+    },
 ];
 
 /// `(first_octet, second_octet) → index into ASN_TABLE`, built once.
@@ -127,7 +442,11 @@ fn prefix_map() -> &'static Vec<Option<u16>> {
             for &(first, base, count) in rec.prefixes {
                 for off in 0..count {
                     let key = usize::from(first) * 256 + usize::from(base) + usize::from(off);
-                    assert!(map[key].is_none(), "overlapping prefix allocation at {first}.{}", base + off);
+                    assert!(
+                        map[key].is_none(),
+                        "overlapping prefix allocation at {first}.{}",
+                        base + off
+                    );
                     map[key] = Some(i as u16);
                 }
             }
@@ -168,7 +487,11 @@ mod tests {
     #[test]
     fn region_indices_are_valid_and_in_country() {
         for rec in ASN_TABLE.iter() {
-            assert!(!rec.region_indices.is_empty(), "{} has no regions", rec.name);
+            assert!(
+                !rec.region_indices.is_empty(),
+                "{} has no regions",
+                rec.name
+            );
             for &i in rec.region_indices {
                 assert!(i < REGIONS.len());
                 assert_eq!(
@@ -204,7 +527,11 @@ mod tests {
     fn no_private_or_reserved_first_octets() {
         for rec in ASN_TABLE.iter() {
             for &(first, _, _) in rec.prefixes {
-                assert!(![0, 10, 127, 192, 198, 224, 240, 255].contains(&first), "{}: reserved {first}", rec.name);
+                assert!(
+                    ![0, 10, 127, 192, 198, 224, 240, 255].contains(&first),
+                    "{}: reserved {first}",
+                    rec.name
+                );
                 assert!(first != 172, "172.16/12 risk");
                 assert!(first != 169, "169.254/16 risk");
             }

@@ -25,30 +25,198 @@ pub struct Region {
 /// The world, as far as the campaign is concerned. Indices into this table
 /// are stored by [`crate::asn::AsnRecord`].
 pub const REGIONS: [Region; 24] = [
-    Region { country: "United States of America", name: "California", timezone: "America/Los_Angeles", offset_minutes: 480, lat: 36.78, lon: -119.42 },
-    Region { country: "United States of America", name: "Oregon", timezone: "America/Los_Angeles", offset_minutes: 480, lat: 43.80, lon: -120.55 },
-    Region { country: "United States of America", name: "Virginia", timezone: "America/New_York", offset_minutes: 300, lat: 37.43, lon: -78.66 },
-    Region { country: "United States of America", name: "New York", timezone: "America/New_York", offset_minutes: 300, lat: 42.17, lon: -74.95 },
-    Region { country: "United States of America", name: "Texas", timezone: "America/Chicago", offset_minutes: 360, lat: 31.97, lon: -99.90 },
-    Region { country: "United States of America", name: "Ohio", timezone: "America/New_York", offset_minutes: 300, lat: 40.42, lon: -82.91 },
-    Region { country: "Canada", name: "Ontario", timezone: "America/Toronto", offset_minutes: 300, lat: 51.25, lon: -85.32 },
-    Region { country: "Canada", name: "Quebec", timezone: "America/Toronto", offset_minutes: 300, lat: 52.94, lon: -73.55 },
-    Region { country: "Canada", name: "British Columbia", timezone: "America/Vancouver", offset_minutes: 480, lat: 53.73, lon: -127.65 },
-    Region { country: "France", name: "Île-de-France", timezone: "Europe/Paris", offset_minutes: -60, lat: 48.85, lon: 2.35 },
-    Region { country: "France", name: "Hauts-de-France", timezone: "Europe/Paris", offset_minutes: -60, lat: 50.48, lon: 2.79 },
-    Region { country: "France", name: "Provence-Alpes-Côte d'Azur", timezone: "Europe/Paris", offset_minutes: -60, lat: 43.93, lon: 6.07 },
-    Region { country: "Germany", name: "Sachsen", timezone: "Europe/Berlin", offset_minutes: -60, lat: 51.10, lon: 13.20 },
-    Region { country: "Germany", name: "Bayern", timezone: "Europe/Berlin", offset_minutes: -60, lat: 48.79, lon: 11.50 },
-    Region { country: "Germany", name: "Hessen", timezone: "Europe/Berlin", offset_minutes: -60, lat: 50.65, lon: 9.16 },
-    Region { country: "United Kingdom", name: "England", timezone: "Europe/London", offset_minutes: 0, lat: 52.36, lon: -1.17 },
-    Region { country: "Netherlands", name: "Noord-Holland", timezone: "Europe/Amsterdam", offset_minutes: -60, lat: 52.52, lon: 4.79 },
-    Region { country: "Mexico", name: "Ciudad de México", timezone: "America/Mexico_City", offset_minutes: 360, lat: 19.43, lon: -99.13 },
-    Region { country: "Singapore", name: "Singapore", timezone: "Asia/Singapore", offset_minutes: -480, lat: 1.35, lon: 103.82 },
-    Region { country: "China", name: "Shanghai", timezone: "Asia/Shanghai", offset_minutes: -480, lat: 31.23, lon: 121.47 },
-    Region { country: "Japan", name: "Tokyo", timezone: "Asia/Tokyo", offset_minutes: -540, lat: 35.68, lon: 139.65 },
-    Region { country: "New Zealand", name: "Auckland", timezone: "Pacific/Auckland", offset_minutes: -780, lat: -36.85, lon: 174.76 },
-    Region { country: "Brazil", name: "São Paulo", timezone: "America/Sao_Paulo", offset_minutes: 180, lat: -23.55, lon: -46.63 },
-    Region { country: "India", name: "Maharashtra", timezone: "Asia/Kolkata", offset_minutes: -330, lat: 19.75, lon: 75.71 },
+    Region {
+        country: "United States of America",
+        name: "California",
+        timezone: "America/Los_Angeles",
+        offset_minutes: 480,
+        lat: 36.78,
+        lon: -119.42,
+    },
+    Region {
+        country: "United States of America",
+        name: "Oregon",
+        timezone: "America/Los_Angeles",
+        offset_minutes: 480,
+        lat: 43.80,
+        lon: -120.55,
+    },
+    Region {
+        country: "United States of America",
+        name: "Virginia",
+        timezone: "America/New_York",
+        offset_minutes: 300,
+        lat: 37.43,
+        lon: -78.66,
+    },
+    Region {
+        country: "United States of America",
+        name: "New York",
+        timezone: "America/New_York",
+        offset_minutes: 300,
+        lat: 42.17,
+        lon: -74.95,
+    },
+    Region {
+        country: "United States of America",
+        name: "Texas",
+        timezone: "America/Chicago",
+        offset_minutes: 360,
+        lat: 31.97,
+        lon: -99.90,
+    },
+    Region {
+        country: "United States of America",
+        name: "Ohio",
+        timezone: "America/New_York",
+        offset_minutes: 300,
+        lat: 40.42,
+        lon: -82.91,
+    },
+    Region {
+        country: "Canada",
+        name: "Ontario",
+        timezone: "America/Toronto",
+        offset_minutes: 300,
+        lat: 51.25,
+        lon: -85.32,
+    },
+    Region {
+        country: "Canada",
+        name: "Quebec",
+        timezone: "America/Toronto",
+        offset_minutes: 300,
+        lat: 52.94,
+        lon: -73.55,
+    },
+    Region {
+        country: "Canada",
+        name: "British Columbia",
+        timezone: "America/Vancouver",
+        offset_minutes: 480,
+        lat: 53.73,
+        lon: -127.65,
+    },
+    Region {
+        country: "France",
+        name: "Île-de-France",
+        timezone: "Europe/Paris",
+        offset_minutes: -60,
+        lat: 48.85,
+        lon: 2.35,
+    },
+    Region {
+        country: "France",
+        name: "Hauts-de-France",
+        timezone: "Europe/Paris",
+        offset_minutes: -60,
+        lat: 50.48,
+        lon: 2.79,
+    },
+    Region {
+        country: "France",
+        name: "Provence-Alpes-Côte d'Azur",
+        timezone: "Europe/Paris",
+        offset_minutes: -60,
+        lat: 43.93,
+        lon: 6.07,
+    },
+    Region {
+        country: "Germany",
+        name: "Sachsen",
+        timezone: "Europe/Berlin",
+        offset_minutes: -60,
+        lat: 51.10,
+        lon: 13.20,
+    },
+    Region {
+        country: "Germany",
+        name: "Bayern",
+        timezone: "Europe/Berlin",
+        offset_minutes: -60,
+        lat: 48.79,
+        lon: 11.50,
+    },
+    Region {
+        country: "Germany",
+        name: "Hessen",
+        timezone: "Europe/Berlin",
+        offset_minutes: -60,
+        lat: 50.65,
+        lon: 9.16,
+    },
+    Region {
+        country: "United Kingdom",
+        name: "England",
+        timezone: "Europe/London",
+        offset_minutes: 0,
+        lat: 52.36,
+        lon: -1.17,
+    },
+    Region {
+        country: "Netherlands",
+        name: "Noord-Holland",
+        timezone: "Europe/Amsterdam",
+        offset_minutes: -60,
+        lat: 52.52,
+        lon: 4.79,
+    },
+    Region {
+        country: "Mexico",
+        name: "Ciudad de México",
+        timezone: "America/Mexico_City",
+        offset_minutes: 360,
+        lat: 19.43,
+        lon: -99.13,
+    },
+    Region {
+        country: "Singapore",
+        name: "Singapore",
+        timezone: "Asia/Singapore",
+        offset_minutes: -480,
+        lat: 1.35,
+        lon: 103.82,
+    },
+    Region {
+        country: "China",
+        name: "Shanghai",
+        timezone: "Asia/Shanghai",
+        offset_minutes: -480,
+        lat: 31.23,
+        lon: 121.47,
+    },
+    Region {
+        country: "Japan",
+        name: "Tokyo",
+        timezone: "Asia/Tokyo",
+        offset_minutes: -540,
+        lat: 35.68,
+        lon: 139.65,
+    },
+    Region {
+        country: "New Zealand",
+        name: "Auckland",
+        timezone: "Pacific/Auckland",
+        offset_minutes: -780,
+        lat: -36.85,
+        lon: 174.76,
+    },
+    Region {
+        country: "Brazil",
+        name: "São Paulo",
+        timezone: "America/Sao_Paulo",
+        offset_minutes: 180,
+        lat: -23.55,
+        lon: -46.63,
+    },
+    Region {
+        country: "India",
+        name: "Maharashtra",
+        timezone: "Asia/Kolkata",
+        offset_minutes: -330,
+        lat: 19.75,
+        lon: 75.71,
+    },
 ];
 
 /// Look up the JS UTC offset of an IANA timezone known to the campaign.
@@ -147,7 +315,10 @@ mod tests {
         let berlin = offset_of_timezone("Europe/Berlin").unwrap_or(-60);
         assert!(GeoTarget::France.offset_matches(paris));
         assert!(GeoTarget::France.offset_matches(berlin));
-        assert!(!GeoTarget::France.offset_matches(480), "Los Angeles is not France");
+        assert!(
+            !GeoTarget::France.offset_matches(480),
+            "Los Angeles is not France"
+        );
     }
 
     #[test]
@@ -182,9 +353,19 @@ mod tests {
     #[test]
     fn every_country_has_regions() {
         for c in [
-            "United States of America", "Canada", "France", "Germany",
-            "United Kingdom", "Netherlands", "Mexico", "Singapore", "China",
-            "Japan", "New Zealand", "Brazil", "India",
+            "United States of America",
+            "Canada",
+            "France",
+            "Germany",
+            "United Kingdom",
+            "Netherlands",
+            "Mexico",
+            "Singapore",
+            "China",
+            "Japan",
+            "New Zealand",
+            "Brazil",
+            "India",
         ] {
             assert!(!regions_of(c).is_empty());
         }

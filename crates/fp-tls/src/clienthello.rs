@@ -18,8 +18,8 @@ pub fn is_grease(v: u16) -> bool {
 
 /// All sixteen GREASE values.
 pub const GREASE_VALUES: [u16; 16] = [
-    0x0a0a, 0x1a1a, 0x2a2a, 0x3a3a, 0x4a4a, 0x5a5a, 0x6a6a, 0x7a7a,
-    0x8a8a, 0x9a9a, 0xaaaa, 0xbaba, 0xcaca, 0xdada, 0xeaea, 0xfafa,
+    0x0a0a, 0x1a1a, 0x2a2a, 0x3a3a, 0x4a4a, 0x5a5a, 0x6a6a, 0x7a7a, 0x8a8a, 0x9a9a, 0xaaaa, 0xbaba,
+    0xcaca, 0xdada, 0xeaea, 0xfafa,
 ];
 
 /// Well-known extension type codes used by the profiles.
@@ -54,7 +54,10 @@ pub struct Extension {
 impl Extension {
     /// An empty-bodied extension.
     pub fn empty(typ: u16) -> Extension {
-        Extension { typ, body: Vec::new() }
+        Extension {
+            typ,
+            body: Vec::new(),
+        }
     }
 
     /// `server_name` extension for a DNS hostname.
@@ -65,7 +68,10 @@ impl Extension {
         body.put_u8(0); // name_type: host_name
         body.put_u16(name.len() as u16);
         body.put_slice(name);
-        Extension { typ: ext_type::SERVER_NAME, body: body.to_vec() }
+        Extension {
+            typ: ext_type::SERVER_NAME,
+            body: body.to_vec(),
+        }
     }
 
     /// `supported_groups` extension.
@@ -75,7 +81,10 @@ impl Extension {
         for g in groups {
             body.put_u16(*g);
         }
-        Extension { typ: ext_type::SUPPORTED_GROUPS, body: body.to_vec() }
+        Extension {
+            typ: ext_type::SUPPORTED_GROUPS,
+            body: body.to_vec(),
+        }
     }
 
     /// `ec_point_formats` extension.
@@ -83,7 +92,10 @@ impl Extension {
         let mut body = Vec::with_capacity(formats.len() + 1);
         body.push(formats.len() as u8);
         body.extend_from_slice(formats);
-        Extension { typ: ext_type::EC_POINT_FORMATS, body }
+        Extension {
+            typ: ext_type::EC_POINT_FORMATS,
+            body,
+        }
     }
 }
 
@@ -268,7 +280,10 @@ impl ClientHello {
                 if buf.remaining() < len {
                     return Err(ParseError::Truncated("extension body"));
                 }
-                extensions.push(Extension { typ, body: buf[..len].to_vec() });
+                extensions.push(Extension {
+                    typ,
+                    body: buf[..len].to_vec(),
+                });
                 buf.advance(len);
             }
         }
@@ -285,7 +300,11 @@ impl ClientHello {
 
     /// Supported groups (curves), if the extension is present — a JA3 input.
     pub fn supported_groups(&self) -> Vec<u16> {
-        let Some(ext) = self.extensions.iter().find(|e| e.typ == ext_type::SUPPORTED_GROUPS) else {
+        let Some(ext) = self
+            .extensions
+            .iter()
+            .find(|e| e.typ == ext_type::SUPPORTED_GROUPS)
+        else {
             return Vec::new();
         };
         let mut buf = ext.body.as_slice();
@@ -302,7 +321,11 @@ impl ClientHello {
 
     /// EC point formats, if present — a JA3 input.
     pub fn ec_point_formats(&self) -> Vec<u8> {
-        let Some(ext) = self.extensions.iter().find(|e| e.typ == ext_type::EC_POINT_FORMATS) else {
+        let Some(ext) = self
+            .extensions
+            .iter()
+            .find(|e| e.typ == ext_type::EC_POINT_FORMATS)
+        else {
             return Vec::new();
         };
         if ext.body.is_empty() {
@@ -314,7 +337,10 @@ impl ClientHello {
 
     /// The SNI hostname, if present.
     pub fn server_name(&self) -> Option<String> {
-        let ext = self.extensions.iter().find(|e| e.typ == ext_type::SERVER_NAME)?;
+        let ext = self
+            .extensions
+            .iter()
+            .find(|e| e.typ == ext_type::SERVER_NAME)?;
         let mut buf = ext.body.as_slice();
         if buf.remaining() < 5 {
             return None;
@@ -389,7 +415,10 @@ mod tests {
     fn rejects_non_clienthello_handshake() {
         let mut wire = sample_hello().to_wire();
         wire[5] = 2; // server_hello
-        assert_eq!(ClientHello::parse(&wire), Err(ParseError::NotClientHello(2)));
+        assert_eq!(
+            ClientHello::parse(&wire),
+            Err(ParseError::NotClientHello(2))
+        );
     }
 
     #[test]
@@ -405,7 +434,10 @@ mod tests {
     fn rejects_trailing_bytes() {
         let mut wire = sample_hello().to_wire();
         wire.push(0);
-        assert!(matches!(ClientHello::parse(&wire), Err(ParseError::TrailingBytes(_))));
+        assert!(matches!(
+            ClientHello::parse(&wire),
+            Err(ParseError::TrailingBytes(_))
+        ));
     }
 
     #[test]

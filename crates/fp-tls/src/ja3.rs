@@ -33,7 +33,11 @@ pub fn ja3_string(hello: &ClientHello) -> String {
         .filter(|g| !is_grease(**g))
         .map(|g| g.to_string())
         .collect();
-    let formats: Vec<String> = hello.ec_point_formats().iter().map(|f| f.to_string()).collect();
+    let formats: Vec<String> = hello
+        .ec_point_formats()
+        .iter()
+        .map(|f| f.to_string())
+        .collect();
     format!(
         "{},{},{},{},{}",
         hello.version,
@@ -56,7 +60,11 @@ pub fn ja4_descriptor(hello: &ClientHello) -> String {
         .iter()
         .any(|e| e.typ == ext_type::SUPPORTED_VERSIONS);
     let ver = if tls13 { "13" } else { "12" };
-    let sni = if hello.server_name().is_some() { "d" } else { "i" };
+    let sni = if hello.server_name().is_some() {
+        "d"
+    } else {
+        "i"
+    };
     let ciphers: Vec<u16> = hello
         .cipher_suites
         .iter()
@@ -69,7 +77,11 @@ pub fn ja4_descriptor(hello: &ClientHello) -> String {
         .map(|e| e.typ)
         .filter(|t| !is_grease(*t))
         .collect();
-    let alpn = if exts.contains(&ext_type::ALPN) { "h2" } else { "00" };
+    let alpn = if exts.contains(&ext_type::ALPN) {
+        "h2"
+    } else {
+        "00"
+    };
 
     // JA4 sorts ciphers and extensions before hashing (order-insensitive
     // half), unlike JA3.
@@ -138,7 +150,10 @@ mod tests {
     #[test]
     fn ja3_digest_is_md5_of_string() {
         let h = hello(false);
-        assert_eq!(ja3_digest(&h), crate::md5::md5_hex(ja3_string(&h).as_bytes()));
+        assert_eq!(
+            ja3_digest(&h),
+            crate::md5::md5_hex(ja3_string(&h).as_bytes())
+        );
         assert_eq!(ja3_digest(&h).len(), 32);
     }
 
@@ -166,7 +181,8 @@ mod tests {
     #[test]
     fn ja4_version_and_sni_flags() {
         let mut h = hello(false);
-        h.extensions.retain(|e| e.typ != ext_type::SUPPORTED_VERSIONS);
+        h.extensions
+            .retain(|e| e.typ != ext_type::SUPPORTED_VERSIONS);
         h.extensions.retain(|e| e.typ != ext_type::SERVER_NAME);
         let d = ja4_descriptor(&h);
         assert!(d.starts_with("t12i"), "{d}");

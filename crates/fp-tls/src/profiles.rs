@@ -58,8 +58,8 @@ impl TlsClientKind {
                 let g2 = grease(rng);
                 let mut ciphers = vec![g1];
                 ciphers.extend([
-                    0x1301, 0x1302, 0x1303, 0xc02b, 0xc02f, 0xc02c, 0xc030, 0xcca9,
-                    0xcca8, 0xc013, 0xc014, 0x009c, 0x009d, 0x002f, 0x0035,
+                    0x1301, 0x1302, 0x1303, 0xc02b, 0xc02f, 0xc02c, 0xc030, 0xcca9, 0xcca8, 0xc013,
+                    0xc014, 0x009c, 0x009d, 0x002f, 0x0035,
                 ]);
                 let exts = vec![
                     Extension::empty(g2),
@@ -84,8 +84,8 @@ impl TlsClientKind {
             }
             TlsClientKind::Firefox => {
                 let ciphers = vec![
-                    0x1301, 0x1303, 0x1302, 0xc02b, 0xc02f, 0xcca9, 0xcca8, 0xc02c,
-                    0xc030, 0xc00a, 0xc009, 0xc013, 0xc014, 0x0033, 0x0039, 0x002f, 0x0035,
+                    0x1301, 0x1303, 0x1302, 0xc02b, 0xc02f, 0xcca9, 0xcca8, 0xc02c, 0xc030, 0xc00a,
+                    0xc009, 0xc013, 0xc014, 0x0033, 0x0039, 0x002f, 0x0035,
                 ];
                 let exts = vec![
                     Extension::sni(sni),
@@ -111,9 +111,8 @@ impl TlsClientKind {
                 let g2 = grease(rng);
                 let mut ciphers = vec![g1];
                 ciphers.extend([
-                    0x1301, 0x1302, 0x1303, 0xc02c, 0xc02b, 0xcca9, 0xc030, 0xc02f,
-                    0xcca8, 0xc00a, 0xc009, 0xc014, 0xc013, 0x009d, 0x009c, 0x0035,
-                    0x002f, 0xc008, 0xc012, 0x000a,
+                    0x1301, 0x1302, 0x1303, 0xc02c, 0xc02b, 0xcca9, 0xc030, 0xc02f, 0xcca8, 0xc00a,
+                    0xc009, 0xc014, 0xc013, 0x009d, 0x009c, 0x0035, 0x002f, 0xc008, 0xc012, 0x000a,
                 ]);
                 let exts = vec![
                     Extension::empty(g2),
@@ -136,9 +135,8 @@ impl TlsClientKind {
             }
             TlsClientKind::GoHttp => {
                 let ciphers = vec![
-                    0xc02f, 0xc030, 0xc02b, 0xc02c, 0xcca8, 0xcca9, 0xc013, 0xc009,
-                    0xc014, 0xc00a, 0x009c, 0x009d, 0x002f, 0x0035, 0xc012, 0x000a,
-                    0x1301, 0x1302, 0x1303,
+                    0xc02f, 0xc030, 0xc02b, 0xc02c, 0xcca8, 0xcca9, 0xc013, 0xc009, 0xc014, 0xc00a,
+                    0x009c, 0x009d, 0x002f, 0x0035, 0xc012, 0x000a, 0x1301, 0x1302, 0x1303,
                 ];
                 let exts = vec![
                     Extension::sni(sni),
@@ -155,10 +153,10 @@ impl TlsClientKind {
             }
             TlsClientKind::PythonRequests => {
                 let ciphers = vec![
-                    0x1302, 0x1303, 0x1301, 0xc02c, 0xc030, 0x009f, 0xcca9, 0xcca8,
-                    0xccaa, 0xc02b, 0xc02f, 0x009e, 0xc024, 0xc028, 0x006b, 0xc023,
-                    0xc027, 0x0067, 0xc00a, 0xc014, 0x0039, 0xc009, 0xc013, 0x0033,
-                    0x009d, 0x009c, 0x003d, 0x003c, 0x0035, 0x002f, 0x00ff,
+                    0x1302, 0x1303, 0x1301, 0xc02c, 0xc030, 0x009f, 0xcca9, 0xcca8, 0xccaa, 0xc02b,
+                    0xc02f, 0x009e, 0xc024, 0xc028, 0x006b, 0xc023, 0xc027, 0x0067, 0xc00a, 0xc014,
+                    0x0039, 0xc009, 0xc013, 0x0033, 0x009d, 0x009c, 0x003d, 0x003c, 0x0035, 0x002f,
+                    0x00ff,
                 ];
                 let exts = vec![
                     Extension::sni(sni),
@@ -201,7 +199,8 @@ impl TlsClientKind {
         static DESCS: OnceLock<[String; 5]> = OnceLock::new();
         let all = DESCS.get_or_init(|| {
             let mut rng = Splittable::new(0x7453);
-            TlsClientKind::ALL.map(|k| crate::ja3::ja4_descriptor(&k.client_hello("probe.example", &mut rng)))
+            TlsClientKind::ALL
+                .map(|k| crate::ja3::ja4_descriptor(&k.client_hello("probe.example", &mut rng)))
         });
         let idx = TlsClientKind::ALL.iter().position(|k| *k == self).unwrap();
         &all[idx]
@@ -214,7 +213,9 @@ impl TlsClientKind {
                 Some(TlsClientKind::Chromium)
             }
             "Firefox" => Some(TlsClientKind::Firefox),
-            "Safari" | "Mobile Safari" | "Chrome Mobile iOS" | "Firefox iOS" => Some(TlsClientKind::Safari),
+            "Safari" | "Mobile Safari" | "Chrome Mobile iOS" | "Firefox iOS" => {
+                Some(TlsClientKind::Safari)
+            }
             _ => None,
         }
     }
@@ -263,8 +264,14 @@ mod tests {
 
     #[test]
     fn ua_browser_mapping() {
-        assert_eq!(TlsClientKind::for_ua_browser("Chrome"), Some(TlsClientKind::Chromium));
-        assert_eq!(TlsClientKind::for_ua_browser("Mobile Safari"), Some(TlsClientKind::Safari));
+        assert_eq!(
+            TlsClientKind::for_ua_browser("Chrome"),
+            Some(TlsClientKind::Chromium)
+        );
+        assert_eq!(
+            TlsClientKind::for_ua_browser("Mobile Safari"),
+            Some(TlsClientKind::Safari)
+        );
         assert_eq!(
             TlsClientKind::for_ua_browser("Chrome Mobile iOS"),
             Some(TlsClientKind::Safari),

@@ -21,7 +21,9 @@ const SECS_PER_DAY: u64 = 86_400;
 const MONTH_LENGTHS: [(u32, &str); 3] = [(30, "Sep"), (31, "Oct"), (30, "Nov")];
 
 /// A point in simulated time: seconds since [`STUDY_EPOCH_UNIX`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(pub u64);
 
 impl SimTime {
@@ -99,7 +101,9 @@ pub struct SimClock {
 impl SimClock {
     /// A clock starting at the study epoch.
     pub fn new() -> SimClock {
-        SimClock { now: SimTime::EPOCH }
+        SimClock {
+            now: SimTime::EPOCH,
+        }
     }
 
     /// A clock starting at `t`.

@@ -145,8 +145,9 @@ impl<'de> Deserialize<'de> for Fingerprint {
             fn visit_map<A: MapAccess<'de>>(self, mut access: A) -> Result<Fingerprint, A::Error> {
                 let mut fp = Fingerprint::new();
                 while let Some((name, value)) = access.next_entry::<String, AttrValue>()? {
-                    let id = AttrId::from_name(&name)
-                        .ok_or_else(|| serde::de::Error::custom(format!("unknown attribute {name:?}")))?;
+                    let id = AttrId::from_name(&name).ok_or_else(|| {
+                        serde::de::Error::custom(format!("unknown attribute {name:?}"))
+                    })?;
                     fp.set(id, value);
                 }
                 Ok(fp)
@@ -174,7 +175,10 @@ mod tests {
         let fp = sample();
         assert_eq!(fp.get(AttrId::UaDevice).as_str(), Some("iPhone"));
         assert_eq!(fp.get(AttrId::HardwareConcurrency).as_int(), Some(6));
-        assert_eq!(fp.get(AttrId::ScreenResolution).as_resolution(), Some((390, 844)));
+        assert_eq!(
+            fp.get(AttrId::ScreenResolution).as_resolution(),
+            Some((390, 844))
+        );
         assert!(fp.get(AttrId::Plugins).is_missing());
         assert_eq!(fp.len(), 5);
     }

@@ -145,7 +145,13 @@ mod tests {
     #[test]
     fn concurrent_interning_agrees() {
         let handles: Vec<_> = (0..8)
-            .map(|_| std::thread::spawn(|| (0..200).map(|i| sym(&format!("conc-{i}"))).collect::<Vec<_>>()))
+            .map(|_| {
+                std::thread::spawn(|| {
+                    (0..200)
+                        .map(|i| sym(&format!("conc-{i}")))
+                        .collect::<Vec<_>>()
+                })
+            })
             .collect();
         let results: Vec<Vec<Symbol>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         for w in results.windows(2) {

@@ -129,7 +129,10 @@ mod tests {
         assert!(TrafficSource::Bot(ServiceId(3)).is_bot());
         assert!(!TrafficSource::RealUser.is_bot());
         assert!(!TrafficSource::Privacy(PrivacyTech::Brave).is_bot());
-        assert_eq!(TrafficSource::Bot(ServiceId(3)).service(), Some(ServiceId(3)));
+        assert_eq!(
+            TrafficSource::Bot(ServiceId(3)).service(),
+            Some(ServiceId(3))
+        );
         assert_eq!(TrafficSource::RealUser.service(), None);
     }
 
@@ -146,6 +149,9 @@ mod tests {
     fn display_forms() {
         assert_eq!(TrafficSource::Bot(ServiceId(14)).to_string(), "bot:S14");
         assert_eq!(TrafficSource::RealUser.to_string(), "real-user");
-        assert_eq!(TrafficSource::Privacy(PrivacyTech::Tor).to_string(), "privacy:Tor");
+        assert_eq!(
+            TrafficSource::Privacy(PrivacyTech::Tor).to_string(),
+            "privacy:Tor"
+        );
     }
 }

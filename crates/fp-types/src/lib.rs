@@ -11,6 +11,12 @@
 //!   the paper).
 //! * [`Request`] — one admitted honey-site request: fingerprint, source IP,
 //!   behaviour trace, cookie device identifier and ground-truth provenance.
+//! * [`StoredRequest`] / [`VerdictSet`] — the privacy-scrubbed record the
+//!   store keeps, carrying each detector's named real-time verdict.
+//! * [`detect`] — the shared streaming [`Detector`] contract every bot
+//!   detector implements (anti-bot simulators and FP-Inconsistent alike),
+//!   with [`StateScope`] declaring the state anchor that makes sharded
+//!   execution equivalent to sequential execution.
 //! * [`SimTime`] / [`SimClock`] — simulated time, counted from the start of
 //!   the paper's three-month study window (2023-09-01).
 //! * [`mix`] — deterministic splittable hashing used wherever a generator or
@@ -18,20 +24,24 @@
 
 pub mod attr;
 pub mod clock;
+pub mod detect;
 pub mod fingerprint;
 pub mod interner;
 pub mod label;
 pub mod mix;
 pub mod request;
 pub mod scale;
+pub mod stored;
 pub mod value;
 
 pub use attr::AttrId;
 pub use clock::{SimClock, SimTime, STUDY_DAYS, STUDY_EPOCH_UNIX};
+pub use detect::{Detector, StateScope, Verdict, VerdictSet};
 pub use fingerprint::Fingerprint;
 pub use interner::{sym, Interner, Symbol};
 pub use label::{PrivacyTech, ServiceId, TrafficSource};
-pub use mix::{mix2, mix3, splitmix64, unit_f64, Splittable};
+pub use mix::{mix2, mix3, shard_for, splitmix64, unit_f64, Splittable};
 pub use request::{BehaviorTrace, CookieId, PointerStats, Request, RequestId};
 pub use scale::Scale;
+pub use stored::StoredRequest;
 pub use value::AttrValue;

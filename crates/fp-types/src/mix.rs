@@ -35,6 +35,17 @@ pub fn unit_f64(x: u64) -> f64 {
     (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
+/// The shard owning a state key (cookie or IP hash). One definition shared
+/// by the store's sharded indexes and the ingest pipeline so they always
+/// agree; mixes first because test fixtures use small sequential keys.
+#[inline]
+pub fn shard_for(key: u64, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    (splitmix64(key) % shards as u64) as usize
+}
+
 /// A tiny splittable PRNG handle: a seed plus a counter, supporting
 /// hierarchical derivation (`child`) so each subsystem gets an independent
 /// stream from the single campaign seed.
@@ -192,7 +203,10 @@ mod tests {
             buckets[r.next_below(10) as usize] += 1;
         }
         for &b in &buckets {
-            assert!((800..1200).contains(&b), "bucket count {b} outside tolerance");
+            assert!(
+                (800..1200).contains(&b),
+                "bucket count {b} outside tolerance"
+            );
         }
     }
 }

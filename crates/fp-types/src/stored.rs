@@ -1,0 +1,139 @@
+//! The stored request: what the honey site records per admitted visit.
+//!
+//! Lives in `fp-types` (rather than `fp-honeysite`) because it is the value
+//! every [`detect::Detector`](crate::detect::Detector) observes — the
+//! detection contract and the record it runs on share one crate at the
+//! bottom of the dependency graph.
+
+use crate::clock::SimTime;
+use crate::detect::{provenance, VerdictSet};
+use crate::fingerprint::Fingerprint;
+use crate::interner::Symbol;
+use crate::label::TrafficSource;
+use crate::request::{BehaviorTrace, CookieId, RequestId};
+use serde::{Deserialize, Serialize};
+
+/// One stored request: everything later analysis reads, nothing more. The
+/// raw IP is replaced by a salted hash plus the derived network facts
+/// (paper ethics appendix); client behaviour is kept as summary statistics
+/// so the server-side detectors can run on the stored record.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StoredRequest {
+    pub id: RequestId,
+    pub time: SimTime,
+    pub site_token: Symbol,
+    /// Salted hash of the source address (identity, not locality).
+    pub ip_hash: u64,
+    /// UTC offset (JS sign convention) of the IP's geolocation.
+    pub ip_offset_minutes: i32,
+    /// MaxMind-style `Country/Region` label of the IP's geolocation.
+    pub ip_region: Symbol,
+    /// Representative coordinates of the IP's region (Figure 8).
+    pub ip_lat: f32,
+    pub ip_lon: f32,
+    /// Owning AS number.
+    pub asn: u32,
+    /// On the public datacenter-ASN blocklist?
+    pub asn_flagged: bool,
+    /// On the per-address reputation blocklist?
+    pub ip_blocklisted: bool,
+    /// Was the source address a Tor exit at ingest time? (Derived network
+    /// fact, like the blocklist flags — the raw address is gone.)
+    pub tor_exit: bool,
+    /// First-party cookie (issued at first contact if absent).
+    pub cookie: CookieId,
+    /// The FingerprintJS attribute vector.
+    pub fingerprint: Fingerprint,
+    /// Observed input behaviour (summary statistics only).
+    pub behavior: BehaviorTrace,
+    /// Ground truth from the URL-token design.
+    pub source: TrafficSource,
+    /// Named real-time verdicts from the ingest detector chain.
+    pub verdicts: VerdictSet,
+}
+
+/// The two compat provenance symbols, interned once per process so the
+/// accessors below stay an integer compare in whole-store loops (the old
+/// code read a bool field; these must not acquire the interner lock per
+/// call).
+fn datadome_sym() -> Symbol {
+    static SYM: std::sync::OnceLock<Symbol> = std::sync::OnceLock::new();
+    *SYM.get_or_init(|| crate::sym(provenance::DATADOME))
+}
+
+fn botd_sym() -> Symbol {
+    static SYM: std::sync::OnceLock<Symbol> = std::sync::OnceLock::new();
+    *SYM.get_or_init(|| crate::sym(provenance::BOTD))
+}
+
+impl StoredRequest {
+    /// Compat accessor: DataDome's real-time verdict (true = bot).
+    pub fn datadome_bot(&self) -> bool {
+        self.verdicts.bot_sym(datadome_sym())
+    }
+
+    /// Compat accessor: BotD's real-time verdict (true = bot).
+    pub fn botd_bot(&self) -> bool {
+        self.verdicts.bot_sym(botd_sym())
+    }
+
+    /// Did the request evade DataDome?
+    pub fn evaded_datadome(&self) -> bool {
+        !self.datadome_bot()
+    }
+
+    /// Did the request evade BotD?
+    pub fn evaded_botd(&self) -> bool {
+        !self.botd_bot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{sym, AttrId, ServiceId};
+
+    fn record() -> StoredRequest {
+        StoredRequest {
+            id: 3,
+            time: SimTime::from_day(1, 0),
+            site_token: sym("tok"),
+            ip_hash: 77,
+            ip_offset_minutes: 480,
+            ip_region: sym("United States of America/California"),
+            ip_lat: 36.7,
+            ip_lon: -119.4,
+            asn: 7922,
+            asn_flagged: false,
+            ip_blocklisted: false,
+            tor_exit: false,
+            cookie: 9,
+            fingerprint: Fingerprint::new().with(AttrId::UaDevice, "iPhone"),
+            behavior: BehaviorTrace::silent(),
+            source: TrafficSource::Bot(ServiceId(1)),
+            verdicts: VerdictSet::from_services(false, true),
+        }
+    }
+
+    #[test]
+    fn compat_accessors_read_the_verdict_set() {
+        let r = record();
+        assert!(!r.datadome_bot());
+        assert!(r.botd_bot());
+        assert!(r.evaded_datadome());
+        assert!(!r.evaded_botd());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = record();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: StoredRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.id, r.id);
+        assert_eq!(back.cookie, r.cookie);
+        assert_eq!(back.fingerprint, r.fingerprint);
+        assert_eq!(back.verdicts, r.verdicts);
+        assert_eq!(back.behavior, r.behavior);
+        assert_eq!(back.tor_exit, r.tor_exit);
+    }
+}

@@ -202,7 +202,10 @@ mod tests {
         let a = AttrValue::list(["PDF Viewer", "Chrome PDF Viewer"]);
         let b = AttrValue::list(["Chrome PDF Viewer", "PDF Viewer"]);
         assert_ne!(a, b, "plugin order is a signal");
-        assert_eq!(a.as_list().unwrap(), vec!["PDF Viewer", "Chrome PDF Viewer"]);
+        assert_eq!(
+            a.as_list().unwrap(),
+            vec!["PDF Viewer", "Chrome PDF Viewer"]
+        );
     }
 
     #[test]

@@ -56,16 +56,23 @@ fn main() {
     // Figure 9 view, condensed.
     let series = stats::daily_series(&store);
     let peak = series.iter().map(|d| d.requests).max().unwrap_or(0);
-    println!("\ndaily volume (peak {peak} requests/day), renewal spikes at Sep 01 / Oct 01 / Oct 31");
+    println!(
+        "\ndaily volume (peak {peak} requests/day), renewal spikes at Sep 01 / Oct 01 / Oct 31"
+    );
 
     // Ground truth is per-request and reliable.
     let bots = store.iter().filter(|r| r.source.is_bot()).count();
-    let humans = store.iter().filter(|r| r.source == TrafficSource::RealUser).count();
+    let humans = store
+        .iter()
+        .filter(|r| r.source == TrafficSource::RealUser)
+        .count();
     println!("\nstored: {bots} bot requests, {humans} real-user requests");
 
     // Export the dataset snapshot (JSON lines, IPs hashed).
     let path = std::env::temp_dir().join("fp_inconsistent_campaign.jsonl");
     let file = std::fs::File::create(&path).expect("create export file");
-    store.write_jsonl(std::io::BufWriter::new(file)).expect("export");
+    store
+        .write_jsonl(std::io::BufWriter::new(file))
+        .expect("export");
     println!("dataset exported to {}", path.display());
 }

@@ -13,7 +13,10 @@ use fp_inconsistent::types::PrivacyTech;
 
 fn main() {
     // Rules come from bot traffic only.
-    let campaign = Campaign::generate(CampaignConfig { scale: Scale::ratio(0.05), seed: 3 });
+    let campaign = Campaign::generate(CampaignConfig {
+        scale: Scale::ratio(0.05),
+        seed: 3,
+    });
     let mut site = HoneySite::new();
     for id in ServiceId::all() {
         site.register_token(campaign.token_of(id));
@@ -21,16 +24,19 @@ fn main() {
     site.ingest_all(campaign.bot_requests.iter().cloned());
     let engine = FpInconsistent::mine(&site.into_store(), &MineConfig::default());
 
-    println!("{:<16} {:>9} {:>9} {:>11} {:>11}", "Technology", "DataDome", "BotD", "FPI spatial", "FPI temporal");
+    println!(
+        "{:<16} {:>9} {:>9} {:>11} {:>11}",
+        "Technology", "DataDome", "BotD", "FPI spatial", "FPI temporal"
+    );
     for tech in PrivacyTech::ALL {
         let requests = privacy::generate(tech, 3);
         let mut tech_site = HoneySite::new();
         tech_site.register_token(requests[0].site_token);
-        tech_site.ingest_all(requests.into_iter());
+        tech_site.ingest_all(requests);
         let store = tech_site.into_store();
 
-        let dd = store.iter().filter(|r| r.datadome_bot).count() as f64 / store.len() as f64;
-        let botd = store.iter().filter(|r| r.botd_bot).count() as f64 / store.len() as f64;
+        let dd = store.iter().filter(|r| r.datadome_bot()).count() as f64 / store.len() as f64;
+        let botd = store.iter().filter(|r| r.botd_bot()).count() as f64 / store.len() as f64;
         let (spatial, temporal, _) = evaluate::flag_rate(&store, &engine);
         println!(
             "{:<16} {:>8.1}% {:>8.1}% {:>10.1}% {:>10.1}%",

@@ -14,7 +14,10 @@ fn main() {
         scale: Scale::ratio(0.05),
         seed: 42,
     });
-    println!("generated {} bot requests from 20 services", campaign.bot_requests.len());
+    println!(
+        "generated {} bot requests from 20 services",
+        campaign.bot_requests.len()
+    );
 
     // 2. The honey site: one URL token per purchased service, detectors
     //    inline, raw IPs hashed at the door.
@@ -26,8 +29,14 @@ fn main() {
     let store = site.into_store();
 
     let (dd, botd) = fp_inconsistent::honeysite::stats::overall_evasion(&store);
-    println!("evasion against DataDome: {:.2}% (paper 44.56%)", dd * 100.0);
-    println!("evasion against BotD:     {:.2}% (paper 52.93%)", botd * 100.0);
+    println!(
+        "evasion against DataDome: {:.2}% (paper 44.56%)",
+        dd * 100.0
+    );
+    println!(
+        "evasion against BotD:     {:.2}% (paper 52.93%)",
+        botd * 100.0
+    );
 
     // 3. FP-Inconsistent: mine spatial rules from the undetected pool,
     //    stream temporal analysis, measure the improvement.

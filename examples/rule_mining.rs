@@ -22,12 +22,20 @@ fn record(campaign: &Campaign) -> RequestStore {
 }
 
 fn main() {
-    let store = record(&Campaign::generate(CampaignConfig { scale: Scale::ratio(0.05), seed: 11 }));
+    let store = record(&Campaign::generate(CampaignConfig {
+        scale: Scale::ratio(0.05),
+        seed: 11,
+    }));
 
     // The category structure bounds the pair search (Table 7).
     println!("attribute categories:");
     for c in CATEGORIES.iter().filter(|c| c.in_paper) {
-        println!("  {:<10} {} attributes, {} pairs", c.name, c.attrs.len(), c.pairs().len());
+        println!(
+            "  {:<10} {} attributes, {} pairs",
+            c.name,
+            c.attrs.len(),
+            c.pairs().len()
+        );
     }
 
     // Mine with the default config (undetected pool, min support 3).
@@ -38,14 +46,23 @@ fn main() {
     let text = engine.rules().to_filter_list();
     let reparsed = RuleSet::from_filter_list(&text).expect("own output parses");
     assert_eq!(reparsed.len(), engine.rules().len());
-    println!("filter list round-trips through its text format ({} bytes)", text.len());
+    println!(
+        "filter list round-trips through its text format ({} bytes)",
+        text.len()
+    );
 
     // Deploy the parsed list on *fresh* traffic from the same services —
     // the §7.3 generalisation story.
-    let fresh = record(&Campaign::generate(CampaignConfig { scale: Scale::ratio(0.02), seed: 999 }));
+    let fresh = record(&Campaign::generate(CampaignConfig {
+        scale: Scale::ratio(0.02),
+        seed: 999,
+    }));
     let deployed = FpInconsistent::from_rules(
         reparsed,
-        EngineConfig { generalize_location: true, ..EngineConfig::default() },
+        EngineConfig {
+            generalize_location: true,
+            ..EngineConfig::default()
+        },
     );
     let (_, report) = evaluate::evaluate(&fresh, &deployed);
     println!(

@@ -17,7 +17,7 @@ use fp_inconsistent::types::Splittable;
 fn main() {
     // 1. The wire layer is real: serialise and re-parse each stack's hello.
     let mut rng = Splittable::new(1);
-    println!("{:<16} {:>6} {:<34} {}", "Stack", "bytes", "JA3", "JA4");
+    println!("{:<16} {:>6} {:<34} JA4", "Stack", "bytes", "JA3");
     for kind in TlsClientKind::ALL {
         let hello = kind.client_hello("honey.example.com", &mut rng);
         let wire = hello.to_wire();
@@ -37,7 +37,10 @@ fn main() {
     println!("\nChromium JA3 string: {}", ja3_string(&hello));
 
     // 3. Cross-layer mining: a bot claiming Safari but greeting like Go.
-    let campaign = Campaign::generate(CampaignConfig { scale: Scale::ratio(0.03), seed: 5 });
+    let campaign = Campaign::generate(CampaignConfig {
+        scale: Scale::ratio(0.03),
+        seed: 5,
+    });
     let mut site = HoneySite::new();
     for id in ServiceId::all() {
         site.register_token(campaign.token_of(id));
@@ -48,7 +51,10 @@ fn main() {
     let paper = FpInconsistent::mine(&store, &MineConfig::default());
     let extended = FpInconsistent::mine(
         &store,
-        &MineConfig { include_cross_layer: true, ..MineConfig::default() },
+        &MineConfig {
+            include_cross_layer: true,
+            ..MineConfig::default()
+        },
     );
     let (_, base) = evaluate::evaluate(&store, &paper);
     let (_, ext) = evaluate::evaluate(&store, &extended);

@@ -13,8 +13,8 @@
 //! filter list and reports the detection improvement on a dataset.
 //! `report` prints the headline tables in one go.
 
-use fp_inconsistent::core::evaluate;
 use fp_inconsistent::core::engine::EngineConfig;
+use fp_inconsistent::core::evaluate;
 use fp_inconsistent::honeysite::stats;
 use fp_inconsistent::prelude::*;
 use std::collections::HashMap;
@@ -136,24 +136,41 @@ fn cmd_mine(opts: &HashMap<String, String>) -> Result<(), String> {
     let out = opts.get("out").ok_or("--out is required")?;
     let store = load(opts)?;
     let engine = FpInconsistent::mine(&store, &MineConfig::default());
-    std::fs::write(out, engine.rules().to_filter_list()).map_err(|e| format!("write {out}: {e}"))?;
-    println!("mined {} rules from {} requests -> {out}", engine.rules().len(), store.len());
+    std::fs::write(out, engine.rules().to_filter_list())
+        .map_err(|e| format!("write {out}: {e}"))?;
+    println!(
+        "mined {} rules from {} requests -> {out}",
+        engine.rules().len(),
+        store.len()
+    );
     Ok(())
 }
 
 fn cmd_apply(opts: &HashMap<String, String>) -> Result<(), String> {
     let rules_path = opts.get("rules").ok_or("--rules is required")?;
     let store = load(opts)?;
-    let text = std::fs::read_to_string(rules_path).map_err(|e| format!("read {rules_path}: {e}"))?;
+    let text =
+        std::fs::read_to_string(rules_path).map_err(|e| format!("read {rules_path}: {e}"))?;
     let rules = RuleSet::from_filter_list(&text)?;
     let engine = FpInconsistent::from_rules(
         rules,
-        EngineConfig { generalize_location: true, ..EngineConfig::default() },
+        EngineConfig {
+            generalize_location: true,
+            ..EngineConfig::default()
+        },
     );
     let (_, report) = evaluate::evaluate(&store, &engine);
     let tnr = evaluate::true_negative_rate(&store, &engine);
-    println!("detection (DataDome): {:.2}% -> {:.2}%", report.none.0 * 100.0, report.combined.0 * 100.0);
-    println!("detection (BotD):     {:.2}% -> {:.2}%", report.none.1 * 100.0, report.combined.1 * 100.0);
+    println!(
+        "detection (DataDome): {:.2}% -> {:.2}%",
+        report.none.0 * 100.0,
+        report.combined.0 * 100.0
+    );
+    println!(
+        "detection (BotD):     {:.2}% -> {:.2}%",
+        report.none.1 * 100.0,
+        report.combined.1 * 100.0
+    );
     println!("real-user TNR:        {:.2}%", tnr * 100.0);
     Ok(())
 }
@@ -182,7 +199,11 @@ fn cmd_report(opts: &HashMap<String, String>) -> Result<(), String> {
 
     let (dd, botd) = stats::overall_evasion(&store);
     println!("\n== Headlines ==");
-    println!("evasion: DataDome {:.2}% (paper 44.56%), BotD {:.2}% (paper 52.93%)", dd * 100.0, botd * 100.0);
+    println!(
+        "evasion: DataDome {:.2}% (paper 44.56%), BotD {:.2}% (paper 52.93%)",
+        dd * 100.0,
+        botd * 100.0
+    );
     let (dd_red, botd_red) = report.evasion_reduction();
     println!(
         "reduction with FP-Inconsistent: DataDome {:.2}% (48.11%), BotD {:.2}% (44.95%)",

@@ -18,13 +18,18 @@
 //!
 //! # Quickstart
 //!
+//! Every detector — the simulated anti-bot services and FP-Inconsistent
+//! itself — implements one streaming `Detector` contract
+//! ([`types::detect`]), so the honey site runs them as one chain, inline
+//! at ingest, sequentially or on N worker shards with identical verdicts.
+//!
 //! ```
 //! use fp_inconsistent::prelude::*;
 //!
 //! // A small deterministic campaign (1% of the paper's volume).
 //! let campaign = Campaign::generate(CampaignConfig { scale: Scale::ratio(0.01), seed: 7 });
 //!
-//! // Run it through the honey site (detectors + storage).
+//! // Run it through the honey site (default chain: DataDome + BotD).
 //! let mut site = HoneySite::new();
 //! for id in ServiceId::all() {
 //!     site.register_token(campaign.token_of(id));
@@ -32,10 +37,26 @@
 //! site.ingest_all(campaign.bot_requests.iter().cloned());
 //! let store = site.into_store();
 //!
-//! // Mine inconsistency rules and measure the improvement.
+//! // Mine inconsistency rules and measure the improvement (single pass).
 //! let engine = FpInconsistent::mine(&store, &MineConfig::default());
 //! let (_, report) = fp_inconsistent::core::evaluate::evaluate(&store, &engine);
 //! assert!(report.combined.0 > report.none.0, "rules must add detection");
+//!
+//! // Deploy the mined engine *online*: plug its detector adapters into a
+//! // fresh site's chain and ingest the same stream on 4 shards. Every
+//! // request now carries named verdicts from all five detectors.
+//! let mut live = HoneySite::new();
+//! for id in ServiceId::all() {
+//!     live.register_token(campaign.token_of(id));
+//! }
+//! for detector in engine.detectors() {
+//!     live.push_detector(detector);
+//! }
+//! live.ingest_stream(campaign.bot_requests.clone(), 4);
+//! let streamed = live.into_store();
+//! let first = streamed.get(0).unwrap();
+//! assert_eq!(first.datadome_bot(), store.get(0).unwrap().datadome_bot());
+//! assert!(first.verdicts.verdict("fp-spatial").is_some());
 //! ```
 
 pub use fp_antibot as antibot;

@@ -23,7 +23,10 @@ fn ingest(campaign: &Campaign) -> fp_honeysite::RequestStore {
 }
 
 fn campaign() -> Campaign {
-    Campaign::generate(CampaignConfig { scale: Scale::ratio(0.08), seed: 0xCA11B })
+    Campaign::generate(CampaignConfig {
+        scale: Scale::ratio(0.08),
+        seed: 0xCA11B,
+    })
 }
 
 #[test]
@@ -72,20 +75,53 @@ fn tables_3_and_4_detection_improvement() {
 
     // Table 4 shape: spatial carries almost all of the improvement,
     // temporal a little, combined the most.
-    assert!((report.none.0 - 0.5544).abs() < 0.02, "base DD detection {}", report.none.0);
-    assert!((report.none.1 - 0.4707).abs() < 0.02, "base BotD detection {}", report.none.1);
-    assert!((report.spatial.0 - 0.7604).abs() < 0.04, "spatial DD {}", report.spatial.0);
-    assert!((report.spatial.1 - 0.7033).abs() < 0.04, "spatial BotD {}", report.spatial.1);
-    assert!(report.temporal.0 < report.spatial.0, "temporal adds less than spatial");
+    assert!(
+        (report.none.0 - 0.5544).abs() < 0.02,
+        "base DD detection {}",
+        report.none.0
+    );
+    assert!(
+        (report.none.1 - 0.4707).abs() < 0.02,
+        "base BotD detection {}",
+        report.none.1
+    );
+    assert!(
+        (report.spatial.0 - 0.7604).abs() < 0.04,
+        "spatial DD {}",
+        report.spatial.0
+    );
+    assert!(
+        (report.spatial.1 - 0.7033).abs() < 0.04,
+        "spatial BotD {}",
+        report.spatial.1
+    );
+    assert!(
+        report.temporal.0 < report.spatial.0,
+        "temporal adds less than spatial"
+    );
     assert!(report.combined.0 >= report.spatial.0);
     assert!(report.combined.1 >= report.spatial.1);
-    assert!((report.combined.0 - 0.7688).abs() < 0.04, "combined DD {}", report.combined.0);
-    assert!((report.combined.1 - 0.7086).abs() < 0.04, "combined BotD {}", report.combined.1);
+    assert!(
+        (report.combined.0 - 0.7688).abs() < 0.04,
+        "combined DD {}",
+        report.combined.0
+    );
+    assert!(
+        (report.combined.1 - 0.7086).abs() < 0.04,
+        "combined BotD {}",
+        report.combined.1
+    );
 
     // Headline: evasion reduced by 48.11% (DataDome) / 44.95% (BotD).
     let (dd_red, botd_red) = report.evasion_reduction();
-    assert!((dd_red - 0.4811).abs() < 0.08, "DD evasion reduction {dd_red}");
-    assert!((botd_red - 0.4495).abs() < 0.08, "BotD evasion reduction {botd_red}");
+    assert!(
+        (dd_red - 0.4811).abs() < 0.08,
+        "DD evasion reduction {dd_red}"
+    );
+    assert!(
+        (botd_red - 0.4495).abs() < 0.08,
+        "BotD evasion reduction {botd_red}"
+    );
 
     // Table 3 per-service shape for the biggest services.
     for spec in SERVICES.iter().filter(|s| s.requests > 20_000) {
@@ -131,11 +167,16 @@ fn design_ground_truth_matches_detectors() {
         .zip(&campaign.designs)
     {
         n += 1;
-        if r.evaded_datadome() != design.cell.evades_dd() || r.evaded_botd() != design.cell.evades_botd() {
+        if r.evaded_datadome() != design.cell.evades_dd()
+            || r.evaded_botd() != design.cell.evades_botd()
+        {
             mismatches += 1;
         }
     }
     assert!(n > 0);
     let rate = mismatches as f64 / n as f64;
-    assert!(rate < 0.01, "intended-vs-actual verdict mismatch rate {rate}");
+    assert!(
+        rate < 0.01,
+        "intended-vs-actual verdict mismatch rate {rate}"
+    );
 }

@@ -8,7 +8,10 @@ use fp_inconsistent_core::{evaluate, FpInconsistent, MineConfig, RuleSet};
 use fp_types::{Scale, ServiceId};
 
 fn recorded() -> RequestStore {
-    let campaign = Campaign::generate(CampaignConfig { scale: Scale::ratio(0.02), seed: 0xDA7A });
+    let campaign = Campaign::generate(CampaignConfig {
+        scale: Scale::ratio(0.02),
+        seed: 0xDA7A,
+    });
     let mut site = HoneySite::new();
     for id in ServiceId::all() {
         site.register_token(campaign.token_of(id));
@@ -71,8 +74,15 @@ fn corrupted_snapshot_lines_are_rejected() {
 
     // Unknown attribute names are data corruption, not silently-dropped
     // fields.
-    let bogus = br#"{"id":0,"time":0,"site_token":"t","ip_hash":1,"ip_offset_minutes":0,"ip_region":"X/Y","ip_lat":0.0,"ip_lon":0.0,"asn":1,"asn_flagged":false,"ip_blocklisted":false,"cookie":1,"fingerprint":{"not_an_attribute":3},"source":"RealUser","datadome_bot":false,"botd_bot":false}"#;
+    let bogus = br#"{"id":0,"time":0,"site_token":"t","ip_hash":1,"ip_offset_minutes":0,"ip_region":"X/Y","ip_lat":0.0,"ip_lon":0.0,"asn":1,"asn_flagged":false,"ip_blocklisted":false,"tor_exit":false,"cookie":1,"fingerprint":{"not_an_attribute":{"Int":3}},"behavior":{"mouse_events":0,"touch_events":0,"pointer":null,"first_input_delay_ms":0},"source":"RealUser","verdicts":{"DataDome":false,"BotD":false}}"#;
     assert!(RequestStore::read_jsonl(std::io::Cursor::new(&bogus[..])).is_err());
+    // The same line with a real attribute name parses, proving the
+    // rejection above is the unknown attribute, not the record shape.
+    let valid = &bogus[..].to_vec();
+    let valid = String::from_utf8(valid.clone())
+        .unwrap()
+        .replace("not_an_attribute", "hardware_concurrency");
+    assert!(RequestStore::read_jsonl(std::io::Cursor::new(valid.into_bytes())).is_ok());
 }
 
 #[test]
@@ -115,10 +125,10 @@ fn filter_list_survives_disk_and_reordering() {
 #[test]
 fn malformed_filter_lists_fail_loud() {
     for bad in [
-        "ua_device=iPhone\n",                        // one clause
+        "ua_device=iPhone\n",                            // one clause
         "ua_device=iPhone AND AND max_touch_points=0\n", // mangled separator
-        "ua_device iPhone AND max_touch_points=0\n", // missing '='
-        "made_up=1 AND ua_device=iPhone\n",          // unknown attribute
+        "ua_device iPhone AND max_touch_points=0\n",     // missing '='
+        "made_up=1 AND ua_device=iPhone\n",              // unknown attribute
     ] {
         assert!(RuleSet::from_filter_list(bad).is_err(), "{bad:?} parsed");
     }

@@ -9,7 +9,10 @@ use fp_types::{AttrId, Scale, ServiceId, TrafficSource};
 use std::collections::HashMap;
 
 fn store() -> RequestStore {
-    let campaign = Campaign::generate(CampaignConfig { scale: Scale::ratio(0.08), seed: 0xF16 });
+    let campaign = Campaign::generate(CampaignConfig {
+        scale: Scale::ratio(0.08),
+        seed: 0xF16,
+    });
     let mut site = HoneySite::new();
     for id in ServiceId::all() {
         site.register_token(campaign.token_of(id));
@@ -37,7 +40,10 @@ fn fig4_any_pdf_plugin_nearly_guarantees_botd_evasion() {
         }
         let p = evaded as f64 / n.max(1) as f64;
         assert!(n > 100, "{plugin}: too few samples");
-        assert!(p > 0.93 && p < 1.0, "{plugin}: P(evade) = {p} should be near-but-below 1");
+        assert!(
+            p > 0.93 && p < 1.0,
+            "{plugin}: P(evade) = {p} should be near-but-below 1"
+        );
     }
 }
 
@@ -55,8 +61,14 @@ fn fig5_core_count_cdf_separates_evasion_groups() {
     };
     let high = below8(&[8, 9, 17]);
     let low = below8(&[7, 11, 16]);
-    assert!(high > 0.72, "high-evasion group < 8 cores: {high} (paper 84.7%)");
-    assert!((0.25..0.50).contains(&low), "low-evasion group < 8 cores: {low} (paper 38.16%)");
+    assert!(
+        high > 0.72,
+        "high-evasion group < 8 cores: {high} (paper 84.7%)"
+    );
+    assert!(
+        (0.25..0.50).contains(&low),
+        "low-evasion group < 8 cores: {low} (paper 38.16%)"
+    );
     assert!(high > low + 0.3, "groups must separate: {high} vs {low}");
 }
 
@@ -65,7 +77,9 @@ fn fig6_device_type_evasion_ordering() {
     let store = store();
     let mut by: HashMap<&str, (u64, u64)> = HashMap::new();
     for r in store.iter() {
-        let Some(device) = r.fingerprint.get(AttrId::UaDevice).as_str() else { continue };
+        let Some(device) = r.fingerprint.get(AttrId::UaDevice).as_str() else {
+            continue;
+        };
         let class = match device {
             "iPhone" | "iPad" | "Mac" | "Other" => device,
             "K" => "Other",
@@ -102,15 +116,25 @@ fn fig7_resolution_census() {
     }
     let total = census.len();
     let evading = census.values().filter(|(_, e)| *e > 0).count();
-    assert!((78..=83).contains(&total), "distinct resolutions {total} (paper 83)");
-    assert!((38..=42).contains(&evading), "evading resolutions {evading} (paper 42)");
+    assert!(
+        (78..=83).contains(&total),
+        "distinct resolutions {total} (paper 83)"
+    );
+    assert!(
+        (38..=42).contains(&evading),
+        "evading resolutions {evading} (paper 42)"
+    );
 
     let mut ranked: Vec<((u16, u16), u64, f64)> = census
         .iter()
         .map(|(&res, &(n, e))| (res, n, e as f64 / n.max(1) as f64))
         .collect();
     ranked.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap().then(b.1.cmp(&a.1)));
-    let fake = ranked.iter().take(10).filter(|(res, _, _)| !is_real_iphone_resolution(*res)).count();
+    let fake = ranked
+        .iter()
+        .take(10)
+        .filter(|(res, _, _)| !is_real_iphone_resolution(*res))
+        .count();
     assert_eq!(fake, 9, "paper: 9 of the top 10 do not exist");
 }
 
@@ -149,15 +173,24 @@ fn fig8_geo_match_rates() {
     assert!(canada_ip > 0.90, "Canada ip {canada_ip}");
     assert!((europe_tz - 0.56).abs() < 0.07, "Europe tz {europe_tz}");
     assert!(europe_ip > 0.95, "Europe ip {europe_ip}");
-    assert!(canada_ip > canada_tz && europe_ip > europe_tz, "IP always looks cleaner than the timezone");
+    assert!(
+        canada_ip > canada_tz && europe_ip > europe_tz,
+        "IP always looks cleaner than the timezone"
+    );
 }
 
 #[test]
 fn fig9_renewal_spikes_and_fresh_fingerprints() {
     let store = store();
     let series = stats::daily_series(&store);
-    assert!(series[30].requests > series[25].requests * 2, "Oct 01 renewal spike");
-    assert!(series[60].requests > series[55].requests * 2, "Oct 31 renewal spike");
+    assert!(
+        series[30].requests > series[25].requests * 2,
+        "Oct 01 renewal spike"
+    );
+    assert!(
+        series[60].requests > series[55].requests * 2,
+        "Oct 31 renewal spike"
+    );
     // Unique counts sit visibly below requests on busy days.
     assert!(series[0].unique_cookies < series[0].requests * 95 / 100);
     // Fresh fingerprints keep appearing late in the campaign.
@@ -186,10 +219,22 @@ fn fig10_top_cookie_platform_spread() {
 fn sec5_1_blocklist_shape() {
     let store = store();
     let b = stats::blocklist_stats(&store);
-    assert!((b.asn_flagged_share - 0.8254).abs() < 0.04, "ASN share {}", b.asn_flagged_share);
-    assert!((b.ip_blocked_share - 0.1586).abs() < 0.03, "IP coverage {}", b.ip_blocked_share);
+    assert!(
+        (b.asn_flagged_share - 0.8254).abs() < 0.04,
+        "ASN share {}",
+        b.asn_flagged_share
+    );
+    assert!(
+        (b.ip_blocked_share - 0.1586).abs() < 0.03,
+        "IP coverage {}",
+        b.ip_blocked_share
+    );
     // Evasion among listed traffic stays near (DataDome) or above (BotD)
     // the overall rates — Takeaway 2.
     assert!(b.asn_dd_evasion > 0.40 && b.asn_botd_evasion > 0.48);
-    assert!(b.ip_botd_evasion > 0.60, "blocked-IP BotD evasion {}", b.ip_botd_evasion);
+    assert!(
+        b.ip_botd_evasion > 0.60,
+        "blocked-IP BotD evasion {}",
+        b.ip_botd_evasion
+    );
 }

@@ -8,7 +8,10 @@ use fp_ml::{FeatureSchema, Gbdt, GbdtParams};
 use fp_types::{AttrId, Scale, ServiceId};
 
 fn store() -> RequestStore {
-    let campaign = Campaign::generate(CampaignConfig { scale: Scale::ratio(0.05), seed: 0x31337 });
+    let campaign = Campaign::generate(CampaignConfig {
+        scale: Scale::ratio(0.05),
+        seed: 0x31337,
+    });
     let mut site = HoneySite::new();
     for id in ServiceId::all() {
         site.register_token(campaign.token_of(id));
@@ -28,11 +31,20 @@ fn train(store: &RequestStore, dd: bool) -> Trained {
     let sample: Vec<&fp_honeysite::StoredRequest> = store.iter().step_by(2).collect();
     let mut schema = FeatureSchema::induce(sample.iter().map(|r| &r.fingerprint));
     schema.retain_attrs(|a| {
-        !matches!(a, AttrId::Ja3 | AttrId::Ja4 | AttrId::WebGlVendor | AttrId::WebGlRenderer)
+        !matches!(
+            a,
+            AttrId::Ja3 | AttrId::Ja4 | AttrId::WebGlVendor | AttrId::WebGlRenderer
+        )
     });
     let labels: Vec<f64> = sample
         .iter()
-        .map(|r| f64::from(u8::from(if dd { r.evaded_datadome() } else { r.evaded_botd() })))
+        .map(|r| {
+            f64::from(u8::from(if dd {
+                r.evaded_datadome()
+            } else {
+                r.evaded_botd()
+            }))
+        })
         .collect();
     let matrix = schema.encode_all(sample.iter().map(|r| &r.fingerprint));
     let (train_idx, test_idx) = fp_ml::gbdt::train_test_split(matrix.rows, 0.1, 17);
@@ -40,9 +52,21 @@ fn train(store: &RequestStore, dd: bool) -> Trained {
     let y_train: Vec<f64> = train_idx.iter().map(|&i| labels[i]).collect();
     let m_test = fp_ml::gbdt::select(&matrix, &test_idx);
     let y_test: Vec<f64> = test_idx.iter().map(|&i| labels[i]).collect();
-    let model = Gbdt::train(&m_train, &y_train, GbdtParams { rounds: 20, ..GbdtParams::default() });
+    let model = Gbdt::train(
+        &m_train,
+        &y_train,
+        GbdtParams {
+            rounds: 20,
+            ..GbdtParams::default()
+        },
+    );
     let test_accuracy = model.accuracy(&m_test, &y_test);
-    Trained { schema, model, test_accuracy, matrix: m_train }
+    Trained {
+        schema,
+        model,
+        test_accuracy,
+        matrix: m_train,
+    }
 }
 
 #[test]
@@ -53,7 +77,11 @@ fn botd_classifier_is_nearly_perfect_datadome_is_not() {
     // Paper: BotD 97.7%, DataDome 81.7%. Shape: BotD ≈ deterministic from
     // fingerprints; DataDome capped by behaviour-based evasion the
     // fingerprint cannot see.
-    assert!(botd.test_accuracy > 0.97, "BotD accuracy {}", botd.test_accuracy);
+    assert!(
+        botd.test_accuracy > 0.97,
+        "BotD accuracy {}",
+        botd.test_accuracy
+    );
     assert!(
         (0.78..0.95).contains(&dd.test_accuracy),
         "DataDome accuracy {} should be materially below BotD",
@@ -103,5 +131,7 @@ fn importance_excludes_filtered_attributes() {
     let store = store();
     let t = train(&store, true);
     let ranked = attribute_importance(&t.model, &t.schema, &t.matrix, 500);
-    assert!(ranked.iter().all(|i| !matches!(i.attr, AttrId::Ja3 | AttrId::Ja4)));
+    assert!(ranked
+        .iter()
+        .all(|i| !matches!(i.attr, AttrId::Ja3 | AttrId::Ja4)));
 }

@@ -7,7 +7,10 @@ use fp_inconsistent_core::{evaluate, FpInconsistent, MineConfig};
 use fp_types::{PrivacyTech, Scale, ServiceId};
 
 fn bot_engine() -> FpInconsistent {
-    let campaign = Campaign::generate(CampaignConfig { scale: Scale::ratio(0.05), seed: 0xBEEF });
+    let campaign = Campaign::generate(CampaignConfig {
+        scale: Scale::ratio(0.05),
+        seed: 0xBEEF,
+    });
     let mut site = HoneySite::new();
     for id in ServiceId::all() {
         site.register_token(campaign.token_of(id));
@@ -20,7 +23,7 @@ fn tech_store(tech: PrivacyTech) -> RequestStore {
     let requests = privacy::generate(tech, 0xBEEF);
     let mut site = HoneySite::new();
     site.register_token(requests[0].site_token);
-    site.ingest_all(requests.into_iter());
+    site.ingest_all(requests);
     site.into_store()
 }
 
@@ -29,8 +32,14 @@ fn brave_triggers_temporal_but_not_spatial_flags() {
     let engine = bot_engine();
     let store = tech_store(PrivacyTech::Brave);
     let (spatial, temporal, _) = evaluate::flag_rate(&store, &engine);
-    assert_eq!(spatial, 0.0, "Brave's alterations are plausible — no spatial rule may fire");
-    assert!(temporal > 0.2, "desktop farbling under a kept cookie must trip temporal analysis: {temporal}");
+    assert_eq!(
+        spatial, 0.0,
+        "Brave's alterations are plausible — no spatial rule may fire"
+    );
+    assert!(
+        temporal > 0.2,
+        "desktop farbling under a kept cookie must trip temporal analysis: {temporal}"
+    );
 }
 
 #[test]
@@ -38,9 +47,9 @@ fn brave_datadome_flags_after_churn_window() {
     // Appendix G: "roughly after the first 10 requests on each device,
     // DataDome starts detecting all requests from Brave" → ≈41% of 300.
     let store = tech_store(PrivacyTech::Brave);
-    let dd = store.iter().filter(|r| r.datadome_bot).count() as f64 / store.len() as f64;
+    let dd = store.iter().filter(|r| r.datadome_bot()).count() as f64 / store.len() as f64;
     assert!((dd - 0.41).abs() < 0.06, "Brave DataDome rate {dd}");
-    let botd = store.iter().filter(|r| r.botd_bot).count();
+    let botd = store.iter().filter(|r| r.botd_bot()).count();
     assert_eq!(botd, 0, "BotD does not flag Brave");
 }
 
@@ -48,22 +57,29 @@ fn brave_datadome_flags_after_churn_window() {
 fn tor_is_fully_flagged_by_both_datadome_and_rules() {
     let engine = bot_engine();
     let store = tech_store(PrivacyTech::Tor);
-    let dd = store.iter().filter(|r| r.datadome_bot).count();
+    let dd = store.iter().filter(|r| r.datadome_bot()).count();
     assert_eq!(dd, store.len(), "DataDome blocks all Tor exits");
-    let botd = store.iter().filter(|r| r.botd_bot).count();
+    let botd = store.iter().filter(|r| r.botd_bot()).count();
     assert_eq!(botd, 0, "BotD passes Tor (a real Firefox)");
     let (spatial, _, combined) = evaluate::flag_rate(&store, &engine);
-    assert_eq!(spatial, 1.0, "every Tor request carries the exit/timezone mismatch");
+    assert_eq!(
+        spatial, 1.0,
+        "every Tor request carries the exit/timezone mismatch"
+    );
     assert_eq!(combined, 1.0);
 }
 
 #[test]
 fn blockers_are_completely_untouched() {
     let engine = bot_engine();
-    for tech in [PrivacyTech::Safari, PrivacyTech::UblockOrigin, PrivacyTech::AdblockPlus] {
+    for tech in [
+        PrivacyTech::Safari,
+        PrivacyTech::UblockOrigin,
+        PrivacyTech::AdblockPlus,
+    ] {
         let store = tech_store(tech);
-        let dd = store.iter().filter(|r| r.datadome_bot).count();
-        let botd = store.iter().filter(|r| r.botd_bot).count();
+        let dd = store.iter().filter(|r| r.datadome_bot()).count();
+        let botd = store.iter().filter(|r| r.botd_bot()).count();
         let (_, _, combined) = evaluate::flag_rate(&store, &engine);
         assert_eq!(dd, 0, "{tech:?} DataDome");
         assert_eq!(botd, 0, "{tech:?} BotD");

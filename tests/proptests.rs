@@ -1,7 +1,7 @@
 //! Property-based tests over the core data structures and invariants.
 
-use fp_inconsistent_core::{RuleSet, SpatialRule};
 use fp_inconsistent_core::attrs::AnalysisAttr;
+use fp_inconsistent_core::{RuleSet, SpatialRule};
 use fp_tls::{ClientHello, Extension};
 use fp_types::{AttrId, AttrValue, Fingerprint};
 use proptest::prelude::*;
@@ -230,14 +230,20 @@ fn oracle_is_symmetric_for_all_catalog_pairs() {
             let rev = ValidityOracle::judge(*b, vb, *a, va);
             assert_eq!(fwd, rev, "{a:?}/{b:?}");
             // Sanity: verdicts are one of the three states (no panics).
-            let _ = matches!(fwd, Plausibility::Valid | Plausibility::Impossible | Plausibility::Unknown);
+            let _ = matches!(
+                fwd,
+                Plausibility::Valid | Plausibility::Impossible | Plausibility::Unknown
+            );
         }
     }
 }
 
 #[test]
 fn consistent_collector_output_never_scans_impossible() {
-    use fp_fingerprint::{BrowserFamily, BrowserProfile, Collector, DeviceKind, DeviceProfile, LocaleSpec, ValidityOracle};
+    use fp_fingerprint::{
+        BrowserFamily, BrowserProfile, Collector, DeviceKind, DeviceProfile, LocaleSpec,
+        ValidityOracle,
+    };
     let mut rng = fp_types::Splittable::new(0xFACE);
     for _ in 0..300 {
         let kind = *rng.pick(&DeviceKind::ALL);

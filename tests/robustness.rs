@@ -10,7 +10,10 @@ use fp_inconsistent_core::{evaluate, FpInconsistent, MineConfig};
 use fp_types::{mix2, Request, Scale, ServiceId};
 
 fn requests() -> (Campaign, Vec<Request>) {
-    let campaign = Campaign::generate(CampaignConfig { scale: Scale::ratio(0.04), seed: 0x0B5 });
+    let campaign = Campaign::generate(CampaignConfig {
+        scale: Scale::ratio(0.04),
+        seed: 0x0B5,
+    });
     let reqs = campaign.bot_requests.clone();
     (campaign, reqs)
 }
@@ -46,12 +49,21 @@ fn random_request_loss_does_not_move_the_rates() {
     let store = ingest(&campaign, kept);
     let (dd, botd) = stats::overall_evasion(&store);
     assert!((dd - dd0).abs() < 0.01, "evasion under loss: {dd} vs {dd0}");
-    assert!((botd - botd0).abs() < 0.01, "evasion under loss: {botd} vs {botd0}");
+    assert!(
+        (botd - botd0).abs() < 0.01,
+        "evasion under loss: {botd} vs {botd0}"
+    );
 
     let (cdd0, cbotd0) = combined_detection(&baseline);
     let (cdd, cbotd) = combined_detection(&store);
-    assert!((cdd - cdd0).abs() < 0.015, "combined DD under loss: {cdd} vs {cdd0}");
-    assert!((cbotd - cbotd0).abs() < 0.015, "combined BotD under loss: {cbotd} vs {cbotd0}");
+    assert!(
+        (cdd - cdd0).abs() < 0.015,
+        "combined DD under loss: {cdd} vs {cdd0}"
+    );
+    assert!(
+        (cbotd - cbotd0).abs() < 0.015,
+        "combined BotD under loss: {cbotd} vs {cbotd0}"
+    );
 }
 
 #[test]
@@ -75,8 +87,14 @@ fn duplicate_requests_do_not_inflate_detection() {
     }
     let store = ingest(&campaign, duplicated);
     let (cdd, cbotd) = combined_detection(&store);
-    assert!((cdd - cdd0).abs() < 0.015, "combined DD under retries: {cdd} vs {cdd0}");
-    assert!((cbotd - cbotd0).abs() < 0.015, "combined BotD under retries: {cbotd} vs {cbotd0}");
+    assert!(
+        (cdd - cdd0).abs() < 0.015,
+        "combined DD under retries: {cdd} vs {cdd0}"
+    );
+    assert!(
+        (cbotd - cbotd0).abs() < 0.015,
+        "combined BotD under retries: {cbotd} vs {cbotd0}"
+    );
 }
 
 #[test]

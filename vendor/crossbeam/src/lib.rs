@@ -1,0 +1,59 @@
+//! Offline stub of the `crossbeam::thread` scoped-thread API over
+//! `std::thread::scope`. Only the surface the workspace uses: `scope`,
+//! `Scope::spawn` (whose closure receives the scope, crossbeam-style) and
+//! `ScopedJoinHandle::join`.
+
+pub mod thread {
+    use std::thread as std_thread;
+
+    /// Scope handle passed to `scope` and to every spawned closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. As in crossbeam, the closure receives the
+        /// scope so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread and return its result (`Err` on panic).
+        pub fn join(self) -> std_thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Create a scope for spawning threads that borrow from the caller.
+    /// Unlike crossbeam (which catches child panics and reports them in the
+    /// returned `Result`), an unjoined panicking child propagates at scope
+    /// exit — every caller in this workspace joins all its handles, where
+    /// the two behaviours agree.
+    pub fn scope<'env, F, R>(f: F) -> std_thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std_thread::scope(|s| f(&Scope { inner: s })))
+    }
+}

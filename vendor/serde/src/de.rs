@@ -1,0 +1,281 @@
+//! Deserialization half of the stub.
+//!
+//! Formats pull a full [`Content`] tree first ([`Deserializer::into_content`])
+//! and typed values are rebuilt from it. The visitor machinery exists so
+//! handwritten impls written against real serde (map visitors) compile
+//! unchanged.
+
+use crate::Content;
+use std::fmt;
+use std::marker::PhantomData;
+
+/// Error trait mirroring `serde::de::Error`.
+pub trait Error: Sized + std::error::Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self;
+}
+
+/// A deserializable value.
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A format backend. Only [`Deserializer::into_content`] is required.
+pub trait Deserializer<'de>: Sized {
+    type Error: Error;
+
+    /// Pull the complete value as a content tree.
+    fn into_content(self) -> Result<Content, Self::Error>;
+
+    /// Drive a map visitor (the only visitor entry point the workspace's
+    /// handwritten impls use).
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        match self.into_content()? {
+            Content::Map(entries) => visitor.visit_map(ContentMapAccess {
+                entries: entries.into_iter(),
+                _marker: PhantomData,
+            }),
+            other => Err(Self::Error::custom(format!(
+                "expected a map, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        match self.into_content()? {
+            Content::Map(entries) => visitor.visit_map(ContentMapAccess {
+                entries: entries.into_iter(),
+                _marker: PhantomData,
+            }),
+            Content::Str(s) => visitor.visit_string(s),
+            other => Err(Self::Error::custom(format!(
+                "cannot visit {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+/// Visitor trait mirroring `serde::de::Visitor`. Only the entry points the
+/// workspace uses have non-erroring defaults.
+pub trait Visitor<'de>: Sized {
+    type Value;
+
+    fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+    fn visit_map<A: MapAccess<'de>>(self, _map: A) -> Result<Self::Value, A::Error> {
+        Err(A::Error::custom(Expected(&self)))
+    }
+
+    fn visit_string<E: Error>(self, _v: String) -> Result<Self::Value, E> {
+        Err(E::custom(Expected(&self)))
+    }
+}
+
+/// Renders a visitor's `expecting` message.
+struct Expected<'a, V>(&'a V);
+
+impl<'de, V: Visitor<'de>> fmt::Display for Expected<'_, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid type: expected ")?;
+        self.0.expecting(f)
+    }
+}
+
+/// Map cursor mirroring `serde::de::MapAccess`.
+pub trait MapAccess<'de> {
+    type Error: Error;
+    fn next_entry<K: Deserialize<'de>, V: Deserialize<'de>>(
+        &mut self,
+    ) -> Result<Option<(K, V)>, Self::Error>;
+}
+
+/// [`MapAccess`] over a buffered content map.
+pub struct ContentMapAccess<E> {
+    entries: std::vec::IntoIter<(Content, Content)>,
+    _marker: PhantomData<E>,
+}
+
+impl<'de, E: Error> MapAccess<'de> for ContentMapAccess<E> {
+    type Error = E;
+    fn next_entry<K: Deserialize<'de>, V: Deserialize<'de>>(
+        &mut self,
+    ) -> Result<Option<(K, V)>, E> {
+        match self.entries.next() {
+            None => Ok(None),
+            Some((k, v)) => {
+                let key = from_content::<K>(k).map_err(|e| E::custom(e))?;
+                let value = from_content::<V>(v).map_err(|e| E::custom(e))?;
+                Ok(Some((key, value)))
+            }
+        }
+    }
+}
+
+/// The identity backend: deserializing from [`Content`] itself.
+pub struct ContentDeserializer(pub Content);
+
+impl<'de> Deserializer<'de> for ContentDeserializer {
+    type Error = crate::Error;
+    fn into_content(self) -> Result<Content, crate::Error> {
+        Ok(self.0)
+    }
+}
+
+/// Rebuild a typed value from a content tree.
+pub fn from_content<'de, T: Deserialize<'de>>(content: Content) -> Result<T, crate::Error> {
+    T::deserialize(ContentDeserializer(content))
+}
+
+// --------------------------------------------------------------------------
+// Deserialize impls for the std types the workspace records.
+
+fn int_from<E: Error>(content: Content) -> Result<i64, E> {
+    match content {
+        Content::I64(v) => Ok(v),
+        Content::U64(v) => i64::try_from(v).map_err(|_| E::custom("integer out of range")),
+        Content::F64(v) if v.fract() == 0.0 => Ok(v as i64),
+        other => Err(E::custom(format!(
+            "expected an integer, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = int_from::<D::Error>(d.into_content()?)?;
+                <$t>::try_from(v).map_err(|_| D::Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, u8, u16, u32, usize);
+
+impl<'de> Deserialize<'de> for u64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.into_content()? {
+            Content::U64(v) => Ok(v),
+            Content::I64(v) => {
+                u64::try_from(v).map_err(|_| D::Error::custom("negative integer for u64"))
+            }
+            Content::F64(v) if v.fract() == 0.0 && v >= 0.0 => Ok(v as u64),
+            other => Err(D::Error::custom(format!(
+                "expected an integer, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! de_float {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.into_content()? {
+                    Content::F64(v) => Ok(v as $t),
+                    Content::I64(v) => Ok(v as $t),
+                    Content::U64(v) => Ok(v as $t),
+                    other => Err(D::Error::custom(format!("expected a number, found {}", other.kind()))),
+                }
+            }
+        }
+    )*};
+}
+de_float!(f32, f64);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.into_content()? {
+            Content::Bool(v) => Ok(v),
+            other => Err(D::Error::custom(format!(
+                "expected a bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.into_content()? {
+            Content::Str(s) => Ok(s),
+            other => Err(D::Error::custom(format!(
+                "expected a string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.into_content()? {
+            Content::Null => Ok(None),
+            other => from_content::<T>(other).map(Some).map_err(D::Error::custom),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.into_content()? {
+            Content::Seq(items) => items
+                .into_iter()
+                .map(|c| from_content::<T>(c).map_err(D::Error::custom))
+                .collect(),
+            other => Err(D::Error::custom(format!(
+                "expected a sequence, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Default + Copy, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let items = Vec::<T>::deserialize(d)?;
+        if items.len() != N {
+            return Err(D::Error::custom(format!(
+                "expected {N} elements, found {}",
+                items.len()
+            )));
+        }
+        let mut out = [T::default(); N];
+        out.copy_from_slice(&items);
+        Ok(out)
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.into_content()? {
+            Content::Seq(items) if items.len() == 2 => {
+                let mut it = items.into_iter();
+                let a = from_content::<A>(it.next().unwrap()).map_err(D::Error::custom)?;
+                let b = from_content::<B>(it.next().unwrap()).map_err(D::Error::custom)?;
+                Ok((a, b))
+            }
+            other => Err(D::Error::custom(format!(
+                "expected a 2-element sequence, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for std::net::Ipv4Addr {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(d)?;
+        s.parse()
+            .map_err(|_| D::Error::custom(format!("invalid IPv4 address {s:?}")))
+    }
+}
+
+impl<'de> Deserialize<'de> for Content {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.into_content()
+    }
+}

@@ -1,0 +1,73 @@
+//! Offline, API-compatible subset of `serde`.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the handful of external dependencies are vendored as minimal stubs that
+//! cover exactly the API surface the workspace uses (see `ARCHITECTURE.md`).
+//!
+//! The data model is deliberately simpler than real serde: every value
+//! serializes through a concrete [`Content`] tree (a JSON-shaped value).
+//! `Serializer`/`Deserializer` keep serde's generic trait signatures so
+//! handwritten impls (e.g. `Fingerprint`) and derived impls compile
+//! unchanged, but the only formats in the workspace are `Content` itself and
+//! `serde_json`, both of which round-trip through [`Content`].
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// The JSON-shaped value every serialization passes through.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    Map(Vec<(Content, Content)>),
+}
+
+impl Content {
+    /// Human-readable kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// The single error type shared by the stub's serializers and deserializers.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}

@@ -1,0 +1,257 @@
+//! Serialization half of the stub.
+
+use crate::Content;
+use std::fmt;
+
+/// Error trait mirroring `serde::ser::Error`.
+pub trait Error: Sized + std::error::Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self;
+}
+
+/// A serializable value. The required method keeps serde's generic
+/// signature; all workspace serializers ultimately funnel into
+/// [`Serializer::serialize_content`].
+pub trait Serialize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A format backend. Only [`Serializer::serialize_content`] is required;
+/// the named `serialize_*` methods default to building [`Content`].
+pub trait Serializer: Sized {
+    type Ok;
+    type Error: Error;
+
+    /// Consume a fully-built content tree.
+    fn serialize_content(self, content: Content) -> Result<Self::Ok, Self::Error>;
+
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::Bool(v))
+    }
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::I64(v))
+    }
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::U64(v))
+    }
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::F64(v))
+    }
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::Str(v.to_owned()))
+    }
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::Null)
+    }
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::Null)
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(to_content(value))
+    }
+
+    /// Begin a map; entries are buffered as content and flushed on `end`.
+    fn serialize_map(self, _len: Option<usize>) -> Result<MapSer<Self>, Self::Error> {
+        Ok(MapSer {
+            ser: self,
+            entries: Vec::new(),
+        })
+    }
+
+    /// Begin a sequence; elements are buffered as content.
+    fn serialize_seq(self, _len: Option<usize>) -> Result<SeqSer<Self>, Self::Error> {
+        Ok(SeqSer {
+            ser: self,
+            items: Vec::new(),
+        })
+    }
+}
+
+/// Trait mirroring `serde::ser::SerializeMap` (implemented by [`MapSer`]).
+pub trait SerializeMap {
+    type Ok;
+    type Error: Error;
+    fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), Self::Error>;
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Trait mirroring `serde::ser::SerializeSeq` (implemented by [`SeqSer`]).
+pub trait SerializeSeq {
+    type Ok;
+    type Error: Error;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Concrete map builder returned by every [`Serializer`].
+pub struct MapSer<S: Serializer> {
+    ser: S,
+    entries: Vec<(Content, Content)>,
+}
+
+impl<S: Serializer> SerializeMap for MapSer<S> {
+    type Ok = S::Ok;
+    type Error = S::Error;
+    fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), Self::Error> {
+        self.entries.push((to_content(key), to_content(value)));
+        Ok(())
+    }
+    fn end(self) -> Result<Self::Ok, Self::Error> {
+        self.ser.serialize_content(Content::Map(self.entries))
+    }
+}
+
+/// Concrete sequence builder returned by every [`Serializer`].
+pub struct SeqSer<S: Serializer> {
+    ser: S,
+    items: Vec<Content>,
+}
+
+impl<S: Serializer> SerializeSeq for SeqSer<S> {
+    type Ok = S::Ok;
+    type Error = S::Error;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error> {
+        self.items.push(to_content(value));
+        Ok(())
+    }
+    fn end(self) -> Result<Self::Ok, Self::Error> {
+        self.ser.serialize_content(Content::Seq(self.items))
+    }
+}
+
+/// The identity backend: serializing to [`Content`] itself.
+pub struct ContentSerializer;
+
+impl Serializer for ContentSerializer {
+    type Ok = Content;
+    type Error = crate::Error;
+    fn serialize_content(self, content: Content) -> Result<Content, crate::Error> {
+        Ok(content)
+    }
+}
+
+/// Serialize any value into the content tree (infallible for the stub's
+/// data model).
+pub fn to_content<T: Serialize + ?Sized>(value: &T) -> Content {
+    value.serialize(ContentSerializer).unwrap_or(Content::Null)
+}
+
+// --------------------------------------------------------------------------
+// Serialize impls for the std types the workspace records.
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_i64(i64::from(*self))
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, u8, u16, u32);
+
+impl Serialize for i64 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_i64(*self)
+    }
+}
+
+impl Serialize for u64 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_u64(*self)
+    }
+}
+
+impl Serialize for usize {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_u64(*self as u64)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => s.serialize_some(v),
+            None => s.serialize_none(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::Seq(self.iter().map(to_content).collect()))
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::Seq(vec![to_content(&self.0), to_content(&self.1)]))
+    }
+}
+
+impl Serialize for std::net::Ipv4Addr {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(&self.to_string())
+    }
+}
+
+impl Serialize for Content {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(self.clone())
+    }
+}

@@ -1,0 +1,423 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stub.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote` in this offline build
+//! environment). Supports exactly the shapes the workspace derives on:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtype and small tuples),
+//! * enums whose variants are unit, newtype or tuple.
+//!
+//! Generics, struct variants and `#[serde(...)]` attributes are not
+//! supported and produce a compile error naming the offending item.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, usize)>,
+    },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_shape(input) {
+        Ok(shape) => gen_serialize(&shape).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_shape(input) {
+        Ok(shape) => gen_deserialize(&shape).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// --------------------------------------------------------------------------
+// Parsing.
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let trees: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&trees, &mut i);
+
+    let kind = match trees.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde_derive: expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match trees.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde_derive: expected a type name".into()),
+    };
+    i += 1;
+    if matches!(trees.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive: generic type `{name}` is not supported"
+        ));
+    }
+
+    match (kind.as_str(), trees.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok(Shape::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream())?,
+            })
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Ok(Shape::TupleStruct {
+                name,
+                arity: count_tuple_fields(g.stream()),
+            })
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok(Shape::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            })
+        }
+        _ => Err(format!("serde_derive: unsupported shape for `{name}`")),
+    }
+}
+
+/// Advance past any `#[...]` attributes and a `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(trees: &[TokenTree], i: &mut usize) {
+    loop {
+        match trees.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' and the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(trees.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a `{ ... }` struct body. Commas inside `<...>` belong to
+/// the field's type, not the field list.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let trees: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < trees.len() {
+        skip_attrs_and_vis(&trees, &mut i);
+        if i >= trees.len() {
+            break;
+        }
+        let name = match &trees[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "serde_derive: expected a field name, found `{other}`"
+                ))
+            }
+        };
+        i += 1;
+        match &trees.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("serde_derive: expected `:` after field `{name}`")),
+        }
+        // Skip the type: everything up to the next comma at angle depth 0.
+        let mut depth = 0i32;
+        while i < trees.len() {
+            match &trees[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Arity of a `( ... )` tuple body (top-level comma count).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let trees: Vec<TokenTree> = body.into_iter().collect();
+    if trees.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut arity = 1;
+    let mut trailing_comma = false;
+    for t in &trees {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                arity += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        arity -= 1;
+    }
+    arity
+}
+
+/// `(variant name, payload arity)` pairs; arity 0 is a unit variant.
+fn parse_variants(body: TokenStream) -> Result<Vec<(String, usize)>, String> {
+    let trees: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < trees.len() {
+        skip_attrs_and_vis(&trees, &mut i);
+        if i >= trees.len() {
+            break;
+        }
+        let name = match &trees[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "serde_derive: expected a variant name, found `{other}`"
+                ))
+            }
+        };
+        i += 1;
+        let arity = match trees.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                count_tuple_fields(g.stream())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "serde_derive: struct variant `{name}` is not supported"
+                ));
+            }
+            _ => 0,
+        };
+        match trees.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            Some(other) => {
+                return Err(format!(
+                    "serde_derive: expected `,` after variant `{name}`, found `{other}`"
+                ))
+            }
+        }
+        variants.push((name, arity));
+    }
+    Ok(variants)
+}
+
+// --------------------------------------------------------------------------
+// Code generation.
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let mut entries = String::new();
+            for f in fields {
+                entries.push_str(&format!(
+                    "__entries.push((::serde::Content::Str(::std::string::String::from({f:?})), ::serde::ser::to_content(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::ser::Serialize for {name} {{\n\
+                     fn serialize<S: ::serde::ser::Serializer>(&self, __s: S) -> ::std::result::Result<S::Ok, S::Error> {{\n\
+                         let mut __entries: ::std::vec::Vec<(::serde::Content, ::serde::Content)> = ::std::vec::Vec::new();\n\
+                         {entries}\
+                         __s.serialize_content(::serde::Content::Map(__entries))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "__s.serialize_content(::serde::ser::to_content(&self.0))".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|k| format!("::serde::ser::to_content(&self.{k})"))
+                    .collect();
+                format!(
+                    "__s.serialize_content(::serde::Content::Seq(vec![{}]))",
+                    items.join(", ")
+                )
+            };
+            format!(
+                "impl ::serde::ser::Serialize for {name} {{\n\
+                     fn serialize<S: ::serde::ser::Serializer>(&self, __s: S) -> ::std::result::Result<S::Ok, S::Error> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (v, arity) in variants {
+                if *arity == 0 {
+                    arms.push_str(&format!(
+                        "{name}::{v} => __s.serialize_content(::serde::Content::Str(::std::string::String::from({v:?}))),\n"
+                    ));
+                } else if *arity == 1 {
+                    arms.push_str(&format!(
+                        "{name}::{v}(ref __f0) => __s.serialize_content(::serde::Content::Map(vec![(::serde::Content::Str(::std::string::String::from({v:?})), ::serde::ser::to_content(__f0))])),\n"
+                    ));
+                } else {
+                    let binds: Vec<String> = (0..*arity).map(|k| format!("ref __f{k}")).collect();
+                    let items: Vec<String> = (0..*arity)
+                        .map(|k| format!("::serde::ser::to_content(__f{k})"))
+                        .collect();
+                    arms.push_str(&format!(
+                        "{name}::{v}({binds}) => __s.serialize_content(::serde::Content::Map(vec![(::serde::Content::Str(::std::string::String::from({v:?})), ::serde::Content::Seq(vec![{items}]))])),\n",
+                        binds = binds.join(", "),
+                        items = items.join(", "),
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::ser::Serialize for {name} {{\n\
+                     fn serialize<S: ::serde::ser::Serializer>(&self, __s: S) -> ::std::result::Result<S::Ok, S::Error> {{\n\
+                         match *self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    let err = "|__e| <D::Error as ::serde::de::Error>::custom(__e)";
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "{f}: {{\n\
+                         let __idx = __map.iter().position(|(__k, _)| matches!(__k, ::serde::Content::Str(__s) if __s == {f:?}))\n\
+                             .ok_or_else(|| <D::Error as ::serde::de::Error>::custom(concat!(\"missing field `\", {f:?}, \"` in \", {name:?})))?;\n\
+                         ::serde::de::from_content(__map.swap_remove(__idx).1).map_err({err})?\n\
+                     }},\n"
+                ));
+            }
+            format!(
+                "impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+                     fn deserialize<D: ::serde::de::Deserializer<'de>>(__d: D) -> ::std::result::Result<Self, D::Error> {{\n\
+                         let mut __map = match __d.into_content()? {{\n\
+                             ::serde::Content::Map(__m) => __m,\n\
+                             __other => return Err(<D::Error as ::serde::de::Error>::custom(format!(\"expected a map for {name}, found {{}}\", __other.kind()))),\n\
+                         }};\n\
+                         Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!(
+                    "Ok({name}(::serde::de::from_content(__d.into_content()?).map_err({err})?))"
+                )
+            } else {
+                let pulls: Vec<String> = (0..*arity)
+                    .map(|_| {
+                        format!("::serde::de::from_content(__it.next().unwrap()).map_err({err})?")
+                    })
+                    .collect();
+                format!(
+                    "match __d.into_content()? {{\n\
+                         ::serde::Content::Seq(__items) if __items.len() == {arity} => {{\n\
+                             let mut __it = __items.into_iter();\n\
+                             Ok({name}({pulls}))\n\
+                         }}\n\
+                         __other => Err(<D::Error as ::serde::de::Error>::custom(format!(\"expected a {arity}-element sequence for {name}, found {{}}\", __other.kind()))),\n\
+                     }}",
+                    pulls = pulls.join(", ")
+                )
+            };
+            format!(
+                "impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+                     fn deserialize<D: ::serde::de::Deserializer<'de>>(__d: D) -> ::std::result::Result<Self, D::Error> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for (v, arity) in variants {
+                if *arity == 0 {
+                    unit_arms.push_str(&format!("{v:?} => return Ok({name}::{v}),\n"));
+                } else if *arity == 1 {
+                    payload_arms.push_str(&format!(
+                        "{v:?} => return Ok({name}::{v}(::serde::de::from_content(__value).map_err({err})?)),\n"
+                    ));
+                } else {
+                    let pulls: Vec<String> = (0..*arity)
+                        .map(|_| {
+                            format!(
+                                "::serde::de::from_content(__it.next().unwrap()).map_err({err})?"
+                            )
+                        })
+                        .collect();
+                    payload_arms.push_str(&format!(
+                        "{v:?} => {{\n\
+                             match __value {{\n\
+                                 ::serde::Content::Seq(__items) if __items.len() == {arity} => {{\n\
+                                     let mut __it = __items.into_iter();\n\
+                                     return Ok({name}::{v}({pulls}));\n\
+                                 }}\n\
+                                 _ => return Err(<D::Error as ::serde::de::Error>::custom(concat!(\"malformed payload for variant `\", {v:?}, \"`\"))),\n\
+                             }}\n\
+                         }}\n",
+                        pulls = pulls.join(", ")
+                    ));
+                }
+            }
+            format!(
+                "impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+                     fn deserialize<D: ::serde::de::Deserializer<'de>>(__d: D) -> ::std::result::Result<Self, D::Error> {{\n\
+                         match __d.into_content()? {{\n\
+                             ::serde::Content::Str(__s) => {{\n\
+                                 match __s.as_str() {{\n{unit_arms}\
+                                     __other => Err(<D::Error as ::serde::de::Error>::custom(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             ::serde::Content::Map(__m) if __m.len() == 1 => {{\n\
+                                 let (__key, __value) = __m.into_iter().next().unwrap();\n\
+                                 let __key = match __key {{\n\
+                                     ::serde::Content::Str(__s) => __s,\n\
+                                     _ => return Err(<D::Error as ::serde::de::Error>::custom(\"non-string variant key\")),\n\
+                                 }};\n\
+                                 #[allow(unused_variables)]\n\
+                                 match __key.as_str() {{\n{payload_arms}\
+                                     __other => Err(<D::Error as ::serde::de::Error>::custom(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             __other => Err(<D::Error as ::serde::de::Error>::custom(format!(\"expected a variant of {name}, found {{}}\", __other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
