@@ -77,6 +77,7 @@ mod tests {
             tor_exit: false,
             cookie: 9,
             fingerprint: Fingerprint::new().with(AttrId::UaDevice, "iPhone"),
+            tls: fp_types::TlsFacet::unobserved(),
             source: TrafficSource::RealUser,
             behavior: BehaviorTrace::silent(),
             verdicts: VerdictSet::from_services(false, false),

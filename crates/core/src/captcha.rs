@@ -157,6 +157,7 @@ mod tests {
             tor_exit: false,
             cookie,
             fingerprint: Fingerprint::new(),
+            tls: fp_types::TlsFacet::unobserved(),
             source: if bot {
                 TrafficSource::Bot(ServiceId(1))
             } else {

@@ -6,7 +6,7 @@
 //! * **Batch** — [`FpInconsistent::flags`] / [`FpInconsistent::stream`]:
 //!   one pass over a recorded store, yielding `(spatial, temporal)` flags.
 //! * **Streaming** — [`FpInconsistent::detectors`]: adapters implementing
-//!   the workspace-wide [`Detector`](fp_types::Detector) contract, ready to
+//!   the workspace-wide [`fp_types::Detector`] contract, ready to
 //!   plug into the honey site's ingest chain next to DataDome/BotD (the
 //!   §7 deployment story). The temporal analysis ships as two shard-local
 //!   state machines (cookie anchor, IP anchor) so the sharded pipeline can
@@ -273,6 +273,7 @@ mod tests {
             tor_exit: false,
             cookie: 1,
             fingerprint: Fingerprint::new().with(AttrId::Timezone, tz),
+            tls: fp_types::TlsFacet::unobserved(),
             behavior: BehaviorTrace::silent(),
             source: TrafficSource::RealUser,
             verdicts: VerdictSet::new(),

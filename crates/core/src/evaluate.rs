@@ -1,10 +1,11 @@
-//! Evaluation harness: Tables 3 and 4, §7.4's true-negative rate, and the
-//! §7.3 generalisation experiment.
+//! Evaluation harness: Tables 3 and 4, §7.4's true-negative rate, the
+//! §7.3 generalisation experiment, and the cohort-split per-detector
+//! precision/recall report of the cross-layer extension.
 
 use crate::engine::FpInconsistent;
 use crate::spatial::MineConfig;
 use fp_honeysite::RequestStore;
-use fp_types::{ServiceId, TrafficSource};
+use fp_types::{Cohort, ServiceId, Symbol, TrafficSource};
 
 /// One Table 3 row: a service's detection before/after FP-Inconsistent.
 #[derive(Clone, Copy, Debug)]
@@ -167,6 +168,114 @@ pub fn generalization_experiment(
     (full_report.combined, split_report.combined)
 }
 
+/// One detector's cohort-split performance, computed from the named
+/// verdicts the ingest chain recorded.
+#[derive(Clone, Debug)]
+pub struct DetectorCohortStats {
+    /// The detector's provenance name.
+    pub detector: Symbol,
+    /// Of everything this detector flagged, the fraction that was
+    /// automation (ground truth). 1.0 when it flagged nothing.
+    pub precision: f64,
+    /// Flag rate per cohort, in [`Cohort::ALL`] order (recall for the
+    /// automation cohorts, false-positive rate for the human ones).
+    pub flag_rate: [f64; Cohort::ALL.len()],
+}
+
+impl DetectorCohortStats {
+    /// The flag rate on one cohort.
+    pub fn rate(&self, cohort: Cohort) -> f64 {
+        let idx = Cohort::ALL.iter().position(|c| *c == cohort).unwrap();
+        self.flag_rate[idx]
+    }
+}
+
+/// The cohort-split evaluation of every detector that ran in the chain.
+#[derive(Clone, Debug, Default)]
+pub struct CohortReport {
+    /// Requests per cohort, in [`Cohort::ALL`] order.
+    pub cohort_sizes: [u64; Cohort::ALL.len()],
+    /// Per-detector stats, in chain order.
+    pub detectors: Vec<DetectorCohortStats>,
+}
+
+impl CohortReport {
+    /// The number of requests observed in a cohort.
+    pub fn size(&self, cohort: Cohort) -> u64 {
+        let idx = Cohort::ALL.iter().position(|c| *c == cohort).unwrap();
+        self.cohort_sizes[idx]
+    }
+
+    /// Stats for a detector by provenance name, if it ran.
+    pub fn detector(&self, name: &str) -> Option<&DetectorCohortStats> {
+        self.detectors.iter().find(|d| d.detector.as_str() == name)
+    }
+}
+
+/// Split per-detector performance by traffic cohort, reading the named
+/// [`fp_types::VerdictSet`] the ingest chain recorded on each request —
+/// so it covers every detector that actually ran, commercial simulators
+/// and FP-Inconsistent adapters alike. Single pass over the store.
+pub fn cohort_report(store: &RequestStore) -> CohortReport {
+    let n_cohorts = Cohort::ALL.len();
+    let mut sizes = [0u64; 5];
+    // detector -> (flags per cohort, chain position on first sighting)
+    let mut order: Vec<Symbol> = Vec::new();
+    let mut flags: Vec<[u64; 5]> = Vec::new();
+
+    for r in store.iter() {
+        let cohort_idx = Cohort::ALL
+            .iter()
+            .position(|c| *c == r.source.cohort())
+            .unwrap();
+        sizes[cohort_idx] += 1;
+        for (detector, verdict) in r.verdicts.iter() {
+            let slot = match order.iter().position(|d| *d == detector) {
+                Some(i) => i,
+                None => {
+                    order.push(detector);
+                    flags.push([0u64; 5]);
+                    order.len() - 1
+                }
+            };
+            if verdict.is_bot() {
+                flags[slot][cohort_idx] += 1;
+            }
+        }
+    }
+
+    let detectors = order
+        .into_iter()
+        .zip(flags)
+        .map(|(detector, per_cohort)| {
+            let mut tp = 0u64;
+            let mut total = 0u64;
+            let mut flag_rate = [0.0; 5];
+            for (i, cohort) in Cohort::ALL.iter().enumerate().take(n_cohorts) {
+                total += per_cohort[i];
+                if cohort.is_automation() {
+                    tp += per_cohort[i];
+                }
+                flag_rate[i] = per_cohort[i] as f64 / sizes[i].max(1) as f64;
+            }
+            DetectorCohortStats {
+                detector,
+                precision: if total == 0 {
+                    1.0
+                } else {
+                    tp as f64 / total as f64
+                },
+                flag_rate,
+            }
+        })
+        .collect();
+
+    CohortReport {
+        cohort_sizes: sizes,
+        detectors,
+    }
+}
+
 /// Flag rate on an arbitrary store (used by the privacy-tech bench).
 /// Single pass.
 pub fn flag_rate(store: &RequestStore, engine: &FpInconsistent) -> (f64, f64, f64) {
@@ -206,6 +315,7 @@ mod tests {
             ip_blocklisted: false,
             tor_exit: false,
             cookie: u64::from(service) * 31,
+            tls: fp_types::TlsFacet::unobserved(),
             fingerprint: Fingerprint::new()
                 .with(AttrId::UaDevice, device)
                 .with(AttrId::Timezone, "America/Los_Angeles"),
@@ -224,6 +334,56 @@ mod tests {
             AttrValue::text("America/Los_Angeles"),
         ));
         FpInconsistent::from_rules(rules, EngineConfig::default())
+    }
+
+    #[test]
+    fn cohort_report_splits_by_cohort_and_detector() {
+        let mut store = RequestStore::new();
+        // Two bot-service requests, one DataDome-flagged.
+        store.push(bot_request(1, "d", true, false));
+        store.push(bot_request(1, "d", false, false));
+        // A real user DataDome wrongly flags, and a clean one.
+        let mut human = bot_request(1, "d", true, false);
+        human.source = TrafficSource::RealUser;
+        store.push(human);
+        let mut human2 = bot_request(1, "d", false, false);
+        human2.source = TrafficSource::RealUser;
+        store.push(human2);
+        // A TLS laggard only the cross-layer detector sees.
+        let mut laggard = bot_request(1, "d", false, false);
+        laggard.source = TrafficSource::TlsLaggard;
+        laggard.verdicts.record(
+            sym(fp_types::detect::provenance::FP_TLS_CROSSLAYER),
+            fp_types::Verdict::Bot,
+        );
+        store.push(laggard);
+        // An AI agent no detector flags.
+        let mut agent = bot_request(1, "d", false, false);
+        agent.source = TrafficSource::AiAgent;
+        agent.verdicts.record(
+            sym(fp_types::detect::provenance::FP_TLS_CROSSLAYER),
+            fp_types::Verdict::Human,
+        );
+        store.push(agent);
+
+        let report = cohort_report(&store);
+        assert_eq!(report.size(Cohort::BotService), 2);
+        assert_eq!(report.size(Cohort::RealUser), 2);
+        assert_eq!(report.size(Cohort::TlsLaggard), 1);
+        assert_eq!(report.size(Cohort::AiAgent), 1);
+
+        let dd = report.detector("DataDome").unwrap();
+        assert!((dd.rate(Cohort::BotService) - 0.5).abs() < 1e-9);
+        assert!((dd.rate(Cohort::RealUser) - 0.5).abs() < 1e-9);
+        assert!((dd.precision - 0.5).abs() < 1e-9, "1 TP, 1 FP");
+
+        let xl = report.detector("fp-tls-crosslayer").unwrap();
+        assert!((xl.rate(Cohort::TlsLaggard) - 1.0).abs() < 1e-9);
+        assert!((xl.rate(Cohort::AiAgent)).abs() < 1e-9);
+        assert!((xl.rate(Cohort::RealUser)).abs() < 1e-9);
+        assert!((xl.precision - 1.0).abs() < 1e-9);
+
+        assert!(report.detector("no-such-detector").is_none());
     }
 
     #[test]

@@ -224,6 +224,7 @@ mod tests {
             ip_blocklisted: false,
             tor_exit: false,
             cookie: 0,
+            tls: fp_types::TlsFacet::unobserved(),
             fingerprint: Fingerprint::new()
                 .with(AttrId::UaDevice, device)
                 .with(AttrId::MaxTouchPoints, mtp),

@@ -251,6 +251,7 @@ mod tests {
                 ip_blocklisted: false,
                 tor_exit: false,
                 cookie: 1,
+                tls: fp_types::TlsFacet::unobserved(),
                 fingerprint,
                 source: TrafficSource::RealUser,
                 behavior: BehaviorTrace::silent(),

@@ -207,6 +207,7 @@ mod tests {
             fingerprint: Fingerprint::new()
                 .with(AttrId::HardwareConcurrency, cores)
                 .with(AttrId::TimezoneOffset, offset),
+            tls: fp_types::TlsFacet::unobserved(),
             behavior: BehaviorTrace::silent(),
             source: TrafficSource::RealUser,
             verdicts: VerdictSet::new(),

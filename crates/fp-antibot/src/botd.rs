@@ -126,6 +126,7 @@ mod tests {
             ip: Ipv4Addr::new(73, 1, 2, 3),
             cookie: None,
             fingerprint: fp,
+            tls: fp_types::TlsFacet::unobserved(),
             behavior: BehaviorTrace::silent(),
             source: TrafficSource::RealUser,
         }

@@ -57,7 +57,7 @@ impl DataDome {
     }
 
     /// Decide a live request (legacy entry point; identical state machine
-    /// to the [`Detector`] impl — both funnel into [`DataDome::decide_parts`]).
+    /// to the [`Detector`] impl — both funnel into `DataDome::decide_parts`).
     pub fn decide(&mut self, request: &Request) -> Verdict {
         self.decide_parts(
             &request.fingerprint,
@@ -228,6 +228,7 @@ mod tests {
             ip,
             cookie: None,
             fingerprint: fp,
+            tls: fp_types::TlsFacet::unobserved(),
             behavior,
             source: TrafficSource::RealUser,
         }

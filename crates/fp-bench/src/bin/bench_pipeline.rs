@@ -1,16 +1,21 @@
 //! Records `BENCH_pipeline.json`: ingest+detect throughput of the batch
 //! path (sequential ingest, then whole-store `FpInconsistent` passes)
-//! versus the sharded streaming pipeline (all five detectors inline) at
+//! versus the sharded streaming pipeline (all six detectors inline) at
 //! 1, 4 and 8 shards — plus the streaming/batch equivalence check, so the
 //! perf numbers are only ever quoted for a verdict-identical pipeline.
+//! Also measures the streaming path with the TLS cross-layer detector
+//! removed from the chain, proving the added facet stays within noise of
+//! the PR-1 five-detector baseline.
 //!
 //! Scale via `FP_SCALE` (default 0.05 here: this binary exists to track a
 //! trend, not to regenerate paper tables).
 
+use fp_antibot::{BotD, DataDome};
 use fp_bench::{campaign_stream, honey_site_for, stream_report, CAMPAIGN_SEED};
 use fp_botnet::{Campaign, CampaignConfig};
+use fp_honeysite::HoneySite;
 use fp_inconsistent_core::{FpInconsistent, MineConfig};
-use fp_types::Scale;
+use fp_types::{Scale, ServiceId};
 use std::time::Instant;
 
 fn main() {
@@ -71,6 +76,35 @@ fn main() {
         shard_rps.push((shards, best));
     }
 
+    // The TLS-facet overhead probe: the same 4-shard streaming run with the
+    // cross-layer detector stripped from the chain (the PR-1 five-detector
+    // pipeline). The added facet must stay within noise of this baseline.
+    let no_tls_rps = {
+        let mut best = 0.0f64;
+        for _ in 0..runs {
+            let mut site =
+                HoneySite::with_chain(vec![Box::new(DataDome::new()), Box::new(BotD::new())]);
+            for id in ServiceId::all() {
+                site.register_token(campaign.token_of(id));
+            }
+            site.register_token(campaign.real_user_token());
+            for d in engine.detectors() {
+                site.push_detector(d);
+            }
+            let requests_clone = stream.clone();
+            let start = Instant::now();
+            let admitted = site.ingest_stream(requests_clone, 4);
+            let elapsed = start.elapsed().as_secs_f64();
+            best = best.max(admitted as f64 / elapsed);
+        }
+        best
+    };
+    let with_tls_4 = shard_rps
+        .iter()
+        .find(|(s, _)| *s == 4)
+        .map(|(_, rps)| *rps)
+        .unwrap_or(0.0);
+
     // Equivalence at the largest shard count, proving the numbers above
     // describe a verdict-identical pipeline.
     let report = stream_report(scale, 8);
@@ -79,11 +113,11 @@ fn main() {
         "single-CPU host: shard workers cannot run concurrently, so the sharded numbers \
          measure pure pipeline overhead; re-record on a multi-core host for the speedup trend"
     } else {
-        "speedup is sharded streaming (ingest + all five detectors inline) over sequential \
+        "speedup is sharded streaming (ingest + all six detectors inline) over sequential \
          ingest + whole-store engine passes"
     };
     let json = format!(
-        "{{\n  \"scale\": {},\n  \"requests\": {},\n  \"available_parallelism\": {},\n  \"batch_requests_per_sec\": {:.0},\n  \"stream_requests_per_sec\": {{\n{}\n  }},\n  \"speedup_8_shards_vs_batch\": {:.3},\n  \"stream_equals_batch\": {},\n  \"note\": \"{}\"\n}}\n",
+        "{{\n  \"scale\": {},\n  \"requests\": {},\n  \"available_parallelism\": {},\n  \"batch_requests_per_sec\": {:.0},\n  \"stream_requests_per_sec\": {{\n{}\n  }},\n  \"stream_requests_per_sec_no_tls_facet\": {:.0},\n  \"tls_facet_cost_4_shards\": {:.3},\n  \"speedup_8_shards_vs_batch\": {:.3},\n  \"stream_equals_batch\": {},\n  \"note\": \"{}\"\n}}\n",
         scale.fraction(),
         requests,
         threads,
@@ -93,6 +127,8 @@ fn main() {
             .map(|(s, rps)| format!("    \"{s}\": {rps:.0}"))
             .collect::<Vec<_>>()
             .join(",\n"),
+        no_tls_rps,
+        if no_tls_rps > 0.0 { with_tls_4 / no_tls_rps } else { 0.0 },
         shard_rps.last().map(|(_, rps)| rps / batch_rps).unwrap_or(0.0),
         report.identical(),
         note,

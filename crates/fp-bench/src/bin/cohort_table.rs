@@ -1,0 +1,64 @@
+//! The cross-layer cohort table: per-detector flag rates split by traffic
+//! cohort (real users, the paper's bot services, AI browsing agents, the
+//! TLS-lagging evasive cohort, privacy tools), plus per-detector
+//! precision. Not a paper table — this is the extension's headline view:
+//! the TLS detector owns the laggard cohort and is structurally blind to
+//! AI agents, whose behaviour-reading detector owns them instead.
+
+use fp_bench::{bench_scale, header, pct, recorded_cohort_campaign};
+use fp_inconsistent_core::evaluate;
+use fp_types::Cohort;
+
+fn main() {
+    let (_, store) = recorded_cohort_campaign(bench_scale());
+    header(
+        "cross-layer extension: per-detector × per-cohort detection",
+        "§8 evasion analysis + \"When Handshakes Tell the Truth\" + FP-Agent",
+    );
+
+    let report = evaluate::cohort_report(&store);
+
+    print!("{:<22}", "cohort");
+    for cohort in Cohort::ALL {
+        print!("{:>14}", cohort.name());
+    }
+    println!();
+    print!("{:<22}", "requests");
+    for cohort in Cohort::ALL {
+        print!("{:>14}", report.size(cohort));
+    }
+    println!("\n");
+
+    println!("flag rate per cohort (recall on automation, FPR on humans):");
+    print!("{:<22}{:>10}", "detector", "precision");
+    for cohort in Cohort::ALL {
+        print!("{:>14}", cohort.name());
+    }
+    println!();
+    for d in &report.detectors {
+        print!("{:<22}{:>10}", d.detector.as_str(), pct(d.precision));
+        for cohort in Cohort::ALL {
+            print!("{:>14}", pct(d.rate(cohort)));
+        }
+        println!();
+    }
+
+    // The two claims this table exists to make.
+    let xl = report
+        .detector(fp_types::detect::provenance::FP_TLS_CROSSLAYER)
+        .expect("cross-layer detector runs in the default chain");
+    println!(
+        "\nfp-tls-crosslayer: {} of the TLS-lagging cohort, {} of AI agents, {} of real users",
+        pct(xl.rate(Cohort::TlsLaggard)),
+        pct(xl.rate(Cohort::AiAgent)),
+        pct(xl.rate(Cohort::RealUser)),
+    );
+    assert!(
+        xl.rate(Cohort::TlsLaggard) > 0.95,
+        "the laggard cohort is the detector's home turf"
+    );
+    assert!(
+        xl.rate(Cohort::AiAgent) == 0.0,
+        "real-browser TLS cannot mismatch"
+    );
+}

@@ -37,18 +37,24 @@ pub fn recorded_campaign(scale: Scale) -> (Campaign, RequestStore) {
     (campaign, store)
 }
 
-/// A fresh honey site with the campaign's tokens registered.
+/// A fresh honey site with the campaign's tokens registered (services,
+/// real users, and the two agent cohorts — registering a token is free;
+/// only ingested traffic is recorded).
 pub fn honey_site_for(campaign: &Campaign) -> HoneySite {
     let mut site = HoneySite::new();
     for id in ServiceId::all() {
         site.register_token(campaign.token_of(id));
     }
     site.register_token(campaign.real_user_token());
+    site.register_token(campaign.ai_agent_token());
+    site.register_token(campaign.tls_laggard_token());
     site
 }
 
 /// The campaign's full arrival-ordered request stream (bots + real users),
-/// as the streaming pipeline consumes it.
+/// as the streaming pipeline consumes it. The paper-faithful stream: the
+/// agent cohorts are *not* included, so every table/figure regeneration
+/// measures exactly the paper's traffic.
 pub fn campaign_stream(campaign: &Campaign) -> Vec<fp_types::Request> {
     campaign
         .bot_requests
@@ -56,6 +62,40 @@ pub fn campaign_stream(campaign: &Campaign) -> Vec<fp_types::Request> {
         .cloned()
         .chain(campaign.real_users.iter().map(|r| r.request.clone()))
         .collect()
+}
+
+/// The extended stream: the paper's traffic plus the AI-agent and
+/// TLS-lagging cohorts — what the cohort-split evaluation consumes.
+pub fn cohort_stream(campaign: &Campaign) -> Vec<fp_types::Request> {
+    let mut stream = campaign_stream(campaign);
+    stream.extend(campaign.ai_agents.iter().cloned());
+    stream.extend(campaign.tls_laggards.iter().cloned());
+    stream
+}
+
+/// Generate the campaign and run the *extended* stream (bots, real users,
+/// both agent cohorts) through the honey site with FP-Inconsistent's
+/// detector adapters inline, so every record carries all six named
+/// verdicts. Rules are mined on a first paper-traffic pass (the
+/// deployment setting: mine offline, deploy online).
+pub fn recorded_cohort_campaign(scale: Scale) -> (Campaign, RequestStore) {
+    use fp_inconsistent_core::{FpInconsistent, MineConfig};
+
+    let campaign = Campaign::generate(CampaignConfig {
+        scale,
+        seed: CAMPAIGN_SEED,
+    });
+    let mut mine_site = honey_site_for(&campaign);
+    mine_site.ingest_all(campaign_stream(&campaign));
+    let engine = FpInconsistent::mine(&mine_site.into_store(), &MineConfig::default());
+
+    let mut site = honey_site_for(&campaign);
+    for detector in engine.detectors() {
+        site.push_detector(detector);
+    }
+    site.ingest_all(cohort_stream(&campaign));
+    let store = site.into_store();
+    (campaign, store)
 }
 
 /// Per-provenance comparison of the sharded streaming pipeline against the
@@ -88,7 +128,7 @@ impl StreamReport {
 /// Batch path: sequential `ingest_all`, then rules mined from the store and
 /// `FpInconsistent::flags` over it. Streaming path: rules pre-mined (the
 /// deployment setting), FP-Inconsistent's detector adapters appended to the
-/// honey site's chain, one sharded `ingest_stream` pass producing all five
+/// honey site's chain, one sharded `ingest_stream` pass producing all six
 /// verdicts per request online.
 pub fn stream_report(scale: Scale, shards: usize) -> StreamReport {
     use fp_inconsistent_core::{FpInconsistent, MineConfig};

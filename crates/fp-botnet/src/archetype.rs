@@ -17,7 +17,7 @@ use fp_fingerprint::{
     BrowserFamily, BrowserProfile, Collector, DeviceKind, DeviceProfile, LocaleSpec,
 };
 use fp_tls::TlsClientKind;
-use fp_types::{AttrId, AttrValue, BehaviorTrace, Fingerprint, Splittable};
+use fp_types::{AttrId, AttrValue, BehaviorTrace, Fingerprint, Splittable, TlsFacet};
 
 /// Which lie variant a request uses (exported for calibration tests and
 /// the figure benches).
@@ -29,10 +29,28 @@ pub enum Variant {
     Sloppy,
 }
 
-/// One built archetype.
+/// One built archetype: the browser-layer lie plus the network-layer
+/// truth that will carry it.
 pub struct Built {
+    /// The (possibly fabricated) attribute vector the client script reports.
     pub fingerprint: Fingerprint,
+    /// Input behaviour shipped with the page visit.
     pub behavior: BehaviorTrace,
+    /// The TLS stack's facet — what the runtime's ClientHello digests to,
+    /// regardless of what the fingerprint claims. Archetype constructors
+    /// leave it unobserved; [`build`] fills it in.
+    pub tls: TlsFacet,
+}
+
+impl Built {
+    /// A built archetype with the handshake not yet attached.
+    pub(crate) fn new(fingerprint: Fingerprint, behavior: BehaviorTrace) -> Built {
+        Built {
+            fingerprint,
+            behavior,
+            tls: TlsFacet::unobserved(),
+        }
+    }
 }
 
 /// Build a request body for `(cell, mimicry, variant)` under `locale`.
@@ -59,7 +77,7 @@ pub fn build(
         (Cell::DetectedBoth, _, Variant::Clean) => detected_both(locale, rng),
         (Cell::DetectedBoth, _, Variant::Sloppy) => sloppy_detected_both(locale, rng),
     };
-    apply_tls(&mut built.fingerprint, rng);
+    built.tls = draw_bot_tls(rng).facet();
     // Most automation stacks ship canvas-noise patches (stealth plugins
     // randomise the digest per page load). The noise is on both evading
     // and detected traffic, so it carries no evasion signal — which keeps
@@ -158,26 +176,26 @@ fn set_resolution(fp: &mut Fingerprint, res: (u16, u16)) {
     fp.set(AttrId::AvailResolution, res);
 }
 
-/// Attach the TLS-layer attributes. Bots run Chromium automation or raw
-/// HTTP stacks regardless of the UA they claim; that mismatch is the
-/// cross-layer extension's signal, invisible to the in-paper tables.
-fn apply_tls(fp: &mut Fingerprint, rng: &mut Splittable) {
-    let kind = [
+/// Draw the TLS stack that actually carries a bot request. Bots run
+/// Chromium automation or raw HTTP stacks regardless of the UA they
+/// claim; that mismatch is the cross-layer extension's signal, invisible
+/// to the in-paper tables.
+pub fn draw_bot_tls(rng: &mut Splittable) -> TlsClientKind {
+    [
         TlsClientKind::Chromium,
         TlsClientKind::GoHttp,
         TlsClientKind::PythonRequests,
-    ][rng.pick_weighted(&[0.72, 0.18, 0.10])];
-    fp.set(AttrId::Ja3, kind.ja3());
-    fp.set(AttrId::Ja4, kind.ja4());
+    ][rng.pick_weighted(&[0.72, 0.18, 0.10])]
 }
 
-/// Attach the *truthful* TLS attributes for a real browser fingerprint.
-pub fn apply_truthful_tls(fp: &mut Fingerprint) {
+/// The *truthful* TLS facet for a fingerprint: the stack the claimed
+/// browser family genuinely greets servers with. Unobserved when the UA
+/// browser has no known TLS expectation.
+pub fn truthful_tls(fp: &Fingerprint) -> TlsFacet {
     let ua_browser = fp.get(AttrId::UaBrowser).as_str().unwrap_or("");
-    if let Some(kind) = TlsClientKind::for_ua_browser(ua_browser) {
-        fp.set(AttrId::Ja3, kind.ja3());
-        fp.set(AttrId::Ja4, kind.ja4());
-    }
+    TlsClientKind::for_ua_browser(ua_browser)
+        .map(TlsClientKind::facet)
+        .unwrap_or_default()
 }
 
 // --------------------------------------------------------------------
@@ -211,10 +229,7 @@ fn clean_mobile_evader(locale: &LocaleSpec, rng: &mut Splittable) -> Built {
     } else {
         BehaviorTrace::silent()
     };
-    Built {
-        fingerprint: fp,
-        behavior,
-    }
+    Built::new(fp, behavior)
 }
 
 /// Sloppy mobile evader: the lie is partial — one of the Table 6 patterns.
@@ -281,19 +296,16 @@ fn sloppy_mobile_evader(locale: &LocaleSpec, rng: &mut Splittable) -> Built {
     } else {
         BehaviorTrace::silent()
     };
-    Built {
-        fingerprint: fp,
-        behavior,
-    }
+    Built::new(fp, behavior)
 }
 
 /// Behavioural-mimicry evader: desktop cover + credible pointer input.
 /// With plugins → also evades BotD; without → BotD catches it.
 fn mimicry_evader(with_plugins: bool, locale: &LocaleSpec, rng: &mut Splittable) -> Built {
-    Built {
-        fingerprint: desktop_base(with_plugins, false, locale, rng),
-        behavior: mimic_good(rng),
-    }
+    Built::new(
+        desktop_base(with_plugins, false, locale, rng),
+        mimic_good(rng),
+    )
 }
 
 /// Mimicry evader whose cover has an impossible pair.
@@ -312,10 +324,7 @@ fn sloppy_mimicry_evader(with_plugins: bool, locale: &LocaleSpec, rng: &mut Spli
     // The lie never extends to behaviour here — that's the point.
     let behavior = mimic_good(rng);
     apply_locale_noise(&mut fp, rng);
-    Built {
-        fingerprint: fp,
-        behavior,
-    }
+    Built::new(fp, behavior)
 }
 
 /// Hook for future locale-level noise; currently a no-op kept for symmetry.
@@ -340,10 +349,7 @@ fn android_k_evader(locale: &LocaleSpec, rng: &mut Splittable) -> Built {
     );
     set_resolution(&mut fp, res);
     fp.set(AttrId::HardwareConcurrency, *rng.pick(&[2i64, 4, 4, 6]));
-    Built {
-        fingerprint: fp,
-        behavior: BehaviorTrace::silent(),
-    }
+    Built::new(fp, BehaviorTrace::silent())
 }
 
 /// Sloppy variants of the DataDome-only evader. Half are *known* Android
@@ -381,10 +387,7 @@ fn sloppy_android_no_touch(locale: &LocaleSpec, rng: &mut Splittable) -> Built {
         };
         fp.set(AttrId::DeviceMemory, AttrValue::float(wrong));
     }
-    Built {
-        fingerprint: fp,
-        behavior: BehaviorTrace::silent(),
-    }
+    Built::new(fp, BehaviorTrace::silent())
 }
 
 // --------------------------------------------------------------------
@@ -397,10 +400,10 @@ fn sloppy_android_no_touch(locale: &LocaleSpec, rng: &mut Splittable) -> Built {
 fn detected_desktop_with_plugins(locale: &LocaleSpec, rng: &mut Splittable) -> Built {
     let roll = rng.pick_weighted(&[0.50, 0.20, 0.20, 0.10]);
     match roll {
-        0 => Built {
-            fingerprint: desktop_base(true, false, locale, rng),
-            behavior: BehaviorTrace::silent(),
-        },
+        0 => Built::new(
+            desktop_base(true, false, locale, rng),
+            BehaviorTrace::silent(),
+        ),
         1 => {
             // A faithful mid-range Android (8 real cores): BotD passes on
             // touch, DataDome is not fooled — silent and not low-core.
@@ -418,18 +421,15 @@ fn detected_desktop_with_plugins(locale: &LocaleSpec, rng: &mut Splittable) -> B
             ]);
             let device = DeviceProfile::android(model);
             let browser = BrowserProfile::contemporary(BrowserFamily::ChromeMobile, rng);
-            Built {
-                fingerprint: Collector::collect(&device, &browser, locale),
-                behavior: BehaviorTrace::silent(),
-            }
+            Built::new(
+                Collector::collect(&device, &browser, locale),
+                BehaviorTrace::silent(),
+            )
         }
         2 => {
             let mut fp = desktop_base(true, false, locale, rng);
             fp.set(AttrId::ScreenFrame, *rng.pick(&[120i64, 180, 240]));
-            Built {
-                fingerprint: fp,
-                behavior: mimic_good(rng),
-            }
+            Built::new(fp, mimic_good(rng))
         }
         _ => {
             // forced-colors on a non-Windows platform: consistent UA and
@@ -438,10 +438,7 @@ fn detected_desktop_with_plugins(locale: &LocaleSpec, rng: &mut Splittable) -> B
             let browser = BrowserProfile::contemporary(BrowserFamily::Chrome, rng);
             let mut fp = Collector::collect(&device, &browser, locale);
             fp.set(AttrId::ForcedColors, true);
-            Built {
-                fingerprint: fp,
-                behavior: mimic_good(rng),
-            }
+            Built::new(fp, mimic_good(rng))
         }
     }
 }
@@ -496,10 +493,7 @@ fn sloppy_detected_botd_evader(locale: &LocaleSpec, rng: &mut Splittable) -> Bui
             fp
         }
     };
-    Built {
-        fingerprint: fp,
-        behavior: BehaviorTrace::silent(),
-    }
+    Built::new(fp, BehaviorTrace::silent())
 }
 
 // --------------------------------------------------------------------
@@ -509,11 +503,11 @@ fn sloppy_detected_botd_evader(locale: &LocaleSpec, rng: &mut Splittable) -> Bui
 fn detected_both(locale: &LocaleSpec, rng: &mut Splittable) -> Built {
     let roll = rng.pick_weighted(&[0.19, 0.16, 0.08, 0.08, 0.02, 0.065, 0.405]);
     match roll {
-        0 => Built {
-            // Plugins stripped, flavours patched — half-dressed headless.
-            fingerprint: desktop_base(false, false, locale, rng),
-            behavior: BehaviorTrace::silent(),
-        },
+        // Plugins stripped, flavours patched — half-dressed headless.
+        0 => Built::new(
+            desktop_base(false, false, locale, rng),
+            BehaviorTrace::silent(),
+        ),
         1 => {
             // Raw headless: window.chrome missing too, and the quirky
             // `prefers-contrast: less` default some builds leak.
@@ -522,34 +516,22 @@ fn detected_both(locale: &LocaleSpec, rng: &mut Splittable) -> Built {
             if rng.chance(0.5) {
                 fp.set(AttrId::Contrast, -1i64);
             }
-            Built {
-                fingerprint: fp,
-                behavior: BehaviorTrace::silent(),
-            }
+            Built::new(fp, BehaviorTrace::silent())
         }
         2 => {
             // webdriver left on.
             let mut fp = desktop_base(false, false, locale, rng);
             fp.set(AttrId::Webdriver, true);
-            Built {
-                fingerprint: fp,
-                behavior: BehaviorTrace::silent(),
-            }
+            Built::new(fp, BehaviorTrace::silent())
         }
-        3 => Built {
-            // Replayed mouse trail that fools nobody.
-            fingerprint: desktop_base(false, false, locale, rng),
-            behavior: mimic_poor(rng),
-        },
+        // Replayed mouse trail that fools nobody.
+        3 => Built::new(desktop_base(false, false, locale, rng), mimic_poor(rng)),
         4 => {
             // Plugins patched but webdriver forgotten — why Figure 4's
             // plugin bars sit *near* 1.0 rather than at it.
             let mut fp = desktop_base(true, false, locale, rng);
             fp.set(AttrId::Webdriver, true);
-            Built {
-                fingerprint: fp,
-                behavior: BehaviorTrace::silent(),
-            }
+            Built::new(fp, BehaviorTrace::silent())
         }
         5 => {
             // Plugins patched, `window.chrome` forgotten: the case where
@@ -560,10 +542,7 @@ fn detected_both(locale: &LocaleSpec, rng: &mut Splittable) -> Built {
             if rng.chance(0.4) {
                 fp.set(AttrId::Contrast, -1i64);
             }
-            Built {
-                fingerprint: fp,
-                behavior: BehaviorTrace::silent(),
-            }
+            Built::new(fp, BehaviorTrace::silent())
         }
         _ => {
             // Touch emulation without `window.chrome` — same story on the
@@ -575,10 +554,7 @@ fn detected_both(locale: &LocaleSpec, rng: &mut Splittable) -> Built {
             if rng.chance(0.4) {
                 fp.set(AttrId::Contrast, -1i64);
             }
-            Built {
-                fingerprint: fp,
-                behavior: BehaviorTrace::silent(),
-            }
+            Built::new(fp, BehaviorTrace::silent())
         }
     }
 }
@@ -617,10 +593,7 @@ fn sloppy_detected_both(locale: &LocaleSpec, rng: &mut Splittable) -> Built {
             fp
         }
     };
-    Built {
-        fingerprint: fp,
-        behavior: BehaviorTrace::silent(),
-    }
+    Built::new(fp, BehaviorTrace::silent())
 }
 
 #[cfg(test)]
@@ -639,6 +612,7 @@ mod tests {
             ip,
             cookie: None,
             fingerprint: built.fingerprint.clone(),
+            tls: built.tls,
             behavior: built.behavior,
             source: TrafficSource::RealUser,
         }
@@ -697,13 +671,17 @@ mod tests {
     }
 
     #[test]
-    fn tls_attributes_are_always_set() {
+    fn tls_facet_is_always_observed() {
         let locale = LocaleSpec::en_us();
         let mut rng = Splittable::new(5);
         for cell in Cell::ALL {
             let built = build(cell, false, Variant::Clean, &locale, &mut rng);
-            assert!(!built.fingerprint.get(AttrId::Ja3).is_missing());
-            assert!(!built.fingerprint.get(AttrId::Ja4).is_missing());
+            assert!(built.tls.is_observed(), "{cell:?}");
+            let ja3 = built.tls.ja3_str().unwrap();
+            assert!(
+                TlsClientKind::ALL.iter().any(|k| k.ja3() == ja3),
+                "{cell:?}: facet must come from a known stack"
+            );
         }
     }
 
@@ -727,11 +705,14 @@ mod tests {
         let mut rng = Splittable::new(7);
         let device = DeviceProfile::sample(DeviceKind::WindowsDesktop, &mut rng);
         let browser = BrowserProfile::contemporary(BrowserFamily::Chrome, &mut rng);
-        let mut fp = Collector::collect(&device, &browser, &LocaleSpec::en_us());
-        apply_truthful_tls(&mut fp);
-        assert_eq!(
-            fp.get(AttrId::Ja3).as_str(),
-            Some(TlsClientKind::Chromium.ja3())
-        );
+        let fp = Collector::collect(&device, &browser, &LocaleSpec::en_us());
+        let facet = truthful_tls(&fp);
+        assert_eq!(facet.ja3_str(), Some(TlsClientKind::Chromium.ja3()));
+        assert_eq!(facet.ja4_str(), Some(TlsClientKind::Chromium.ja4()));
+    }
+
+    #[test]
+    fn truthful_tls_without_ua_claim_is_unobserved() {
+        assert!(!truthful_tls(&Fingerprint::new()).is_observed());
     }
 }

@@ -41,8 +41,10 @@ impl CampaignConfig {
 }
 
 /// A generated campaign: bot traffic in arrival order with parallel design
-/// ground truth, plus the real-user set.
+/// ground truth, the real-user set, and the two agent cohorts of the
+/// cross-layer extension.
 pub struct Campaign {
+    /// The parameters the campaign was generated with.
     pub config: CampaignConfig,
     /// Bot requests, sorted by arrival time. `Request::id` is 0 until a
     /// store ingests them.
@@ -51,6 +53,12 @@ pub struct Campaign {
     pub designs: Vec<ServiceDesign>,
     /// Real-user requests (separate URL, §7.4) with spoofer ground truth.
     pub real_users: Vec<RealUserRequest>,
+    /// AI-browsing-agent cohort (separate URL): real-browser TLS,
+    /// automation-shaped behaviour.
+    pub ai_agents: Vec<Request>,
+    /// TLS-lagging evasive cohort (separate URL): patched JS fingerprints
+    /// over a non-browser ClientHello.
+    pub tls_laggards: Vec<Request>,
 }
 
 impl Campaign {
@@ -82,12 +90,16 @@ impl Campaign {
         }
 
         let real_users = realuser::generate(config.scale, config.seed);
+        let ai_agents = crate::cohorts::generate_ai_agents(config.scale, config.seed);
+        let tls_laggards = crate::cohorts::generate_tls_laggards(config.scale, config.seed);
 
         Campaign {
             config,
             bot_requests,
             designs,
             real_users,
+            ai_agents,
+            tls_laggards,
         }
     }
 
@@ -99,6 +111,16 @@ impl Campaign {
     /// The real-user URL token.
     pub fn real_user_token(&self) -> Symbol {
         realuser::real_user_token(self.config.seed)
+    }
+
+    /// The AI-agent cohort's URL token.
+    pub fn ai_agent_token(&self) -> Symbol {
+        crate::cohorts::ai_agent_token(self.config.seed)
+    }
+
+    /// The TLS-lagging cohort's URL token.
+    pub fn tls_laggard_token(&self) -> Symbol {
+        crate::cohorts::tls_laggard_token(self.config.seed)
     }
 
     /// Generate the §7.5 privacy-technology request sets (not part of the

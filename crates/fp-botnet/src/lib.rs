@@ -19,10 +19,13 @@
 //! * [`locale`] — region → browser-locale mapping and geo-mismatch draws.
 //! * [`realuser`] — the §7.4 university real-user traffic.
 //! * [`privacy`] — the §7.5 Brave/Tor/Safari/uBlock/ABP experiment.
+//! * [`cohorts`] — the cross-layer extension's AI-browsing-agent and
+//!   TLS-lagging evasive cohorts (separate URL tokens, own ground truth).
 //! * [`campaign`] — whole-campaign orchestration (parallel per service).
 
 pub mod archetype;
 pub mod campaign;
+pub mod cohorts;
 pub mod iphone_res;
 pub mod locale;
 pub mod pointer;

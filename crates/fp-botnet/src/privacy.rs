@@ -16,7 +16,6 @@
 //! * **Safari / uBlock Origin / AdBlock Plus** block trackers but alter no
 //!   attributes.
 
-use crate::archetype::apply_truthful_tls;
 use crate::locale::locale_for_region;
 use fp_fingerprint::{
     BrowserFamily, BrowserProfile, Collector, DeviceKind, DeviceProfile, LocaleSpec,
@@ -100,12 +99,39 @@ pub fn generate(tech: PrivacyTech, seed: u64) -> Vec<Request> {
                 ip,
                 cookie: Some(cookie),
                 fingerprint: fp,
+                tls: tls_for(tech, device),
                 behavior,
                 source: TrafficSource::Privacy(tech),
             });
         }
     }
     out
+}
+
+/// The genuine TLS facet for one technology on one device. Every tool
+/// here is a real browser: Brave and the blocker setups greet with their
+/// engine's stack, Tor Browser with Firefox's — privacy tools never fake
+/// the handshake, so none of them can trip the cross-layer detector.
+fn tls_for(tech: PrivacyTech, device: ExperimentDevice) -> fp_types::TlsFacet {
+    match tech {
+        PrivacyTech::Tor => BrowserFamily::Firefox.tls_facet(),
+        PrivacyTech::Brave => brave_engine(device).tls_facet(),
+        PrivacyTech::Safari | PrivacyTech::UblockOrigin | PrivacyTech::AdblockPlus => {
+            blocker_family(tech, device).tls_facet()
+        }
+    }
+}
+
+/// The browser family a blocker-type setup actually runs on a device
+/// (mirrors the choices in `fingerprint_for`).
+fn blocker_family(tech: PrivacyTech, device: ExperimentDevice) -> BrowserFamily {
+    match (tech, device) {
+        (PrivacyTech::Safari, ExperimentDevice::MacBookM1) => BrowserFamily::Safari,
+        (PrivacyTech::Safari, ExperimentDevice::LinuxDesktop) => BrowserFamily::Firefox,
+        (_, ExperimentDevice::IPadPro) => BrowserFamily::MobileSafari,
+        (_, ExperimentDevice::Pixel7) => BrowserFamily::ChromeMobile,
+        _ => BrowserFamily::Chrome,
+    }
 }
 
 fn device_profile(device: ExperimentDevice, rng: &mut Splittable) -> DeviceProfile {
@@ -161,7 +187,6 @@ fn fingerprint_for(
         PrivacyTech::Brave => {
             let browser = BrowserProfile::contemporary(brave_engine(device), &mut version_rng);
             let mut fp = Collector::collect(profile, &browser, locale);
-            apply_truthful_tls(&mut fp);
             match device {
                 // iOS "Brave" is a WebKit shell: no farbling at all.
                 ExperimentDevice::IPadPro => fp,
@@ -209,8 +234,6 @@ fn fingerprint_for(
             fp.set(AttrId::AvailResolution, (1400u16, 900u16));
             fp.set(AttrId::ScreenFrame, 0i64);
             fp.set(AttrId::HardwareConcurrency, 4i64);
-            fp.set(AttrId::Ja3, fp_tls::TlsClientKind::Firefox.ja3());
-            fp.set(AttrId::Ja4, fp_tls::TlsClientKind::Firefox.ja4());
             fp
         }
         PrivacyTech::Safari => {
@@ -223,9 +246,7 @@ fn fingerprint_for(
                 ExperimentDevice::Pixel7 => BrowserFamily::ChromeMobile,
             };
             let browser = BrowserProfile::contemporary(family, &mut version_rng);
-            let mut fp = Collector::collect(profile, &browser, locale);
-            apply_truthful_tls(&mut fp);
-            fp
+            Collector::collect(profile, &browser, locale)
         }
         PrivacyTech::UblockOrigin | PrivacyTech::AdblockPlus => {
             // Chrome with a blocking extension: attributes untouched.
@@ -235,9 +256,7 @@ fn fingerprint_for(
                 _ => BrowserFamily::Chrome,
             };
             let browser = BrowserProfile::contemporary(family, &mut version_rng);
-            let mut fp = Collector::collect(profile, &browser, locale);
-            apply_truthful_tls(&mut fp);
-            fp
+            Collector::collect(profile, &browser, locale)
         }
     }
 }

@@ -6,7 +6,6 @@
 //! "students experimenting with User-Agent spoofers" — modelled here as a
 //! small slice whose UA string (and only the UA string) is replaced.
 
-use crate::archetype::apply_truthful_tls;
 use crate::locale::locale_for_region;
 use fp_fingerprint::{BrowserFamily, BrowserProfile, Collector, DeviceKind, DeviceProfile};
 use fp_netsim::asn::{asns_in, AsnClass};
@@ -31,6 +30,10 @@ pub fn real_user_token(seed: u64) -> Symbol {
 /// One student: a stable device, browser, locale, IP and cookie.
 struct Student {
     fingerprint: fp_types::Fingerprint,
+    /// The browser's genuine TLS facet. Stays truthful even for spoofer
+    /// students — a UA spoofer rewrites a header, not the network stack,
+    /// which is exactly what makes the lie cross-layer visible.
+    tls: fp_types::TlsFacet,
     kind: DeviceKind,
     ip: std::net::Ipv4Addr,
     cookie: CookieId,
@@ -64,7 +67,7 @@ fn sample_student(spoofer: bool, rng: &mut Splittable) -> Student {
     let locale = locale_for_region(NetDb::lookup(ip).region);
 
     let mut fingerprint = Collector::collect(&device, &browser, &locale);
-    apply_truthful_tls(&mut fingerprint);
+    let tls = family.tls_facet();
 
     if spoofer {
         // A UA spoofer rewrites the User-Agent header/property only; every
@@ -86,6 +89,7 @@ fn sample_student(spoofer: bool, rng: &mut Splittable) -> Student {
 
     Student {
         fingerprint,
+        tls,
         kind,
         ip,
         cookie: rng.next_u64(),
@@ -136,6 +140,7 @@ pub fn generate(scale: Scale, seed: u64) -> Vec<RealUserRequest> {
                     ip: student.ip,
                     cookie: Some(student.cookie),
                     fingerprint: student.fingerprint.clone(),
+                    tls: student.tls,
                     behavior,
                     source: TrafficSource::RealUser,
                 },

@@ -89,6 +89,9 @@ const POOL_REUSE_RATE: f64 = 0.35;
 struct PoolDevice {
     fingerprint: fp_types::Fingerprint,
     behavior: BehaviorTrace,
+    /// The device's TLS stack — stable for the device's whole lifetime,
+    /// like its fingerprint and address.
+    tls: fp_types::TlsFacet,
     ip: Ipv4Addr,
     cookie: CookieId,
     uses: u32,
@@ -180,7 +183,12 @@ pub fn generate(spec: &ServiceSpec, scale: Scale, seed: u64) -> Vec<GeneratedReq
                 b.fingerprint.set(AttrId::Platform, platform);
                 b
             } else {
-                temporal_safe(cell, &churn_locale, &mut rng)
+                // Temporal-safe churn devices must stay clean on every
+                // *other* axis — cross-layer included — so their handshake
+                // is the truthful one for the UA they claim.
+                let mut b = temporal_safe(cell, &churn_locale, &mut rng);
+                b.tls = archetype::truthful_tls(&b.fingerprint);
+                b
             };
             churn_immutables(cell, &mut built.fingerprint, &mut rng);
             let cookie = if spatial {
@@ -202,6 +210,7 @@ pub fn generate(spec: &ServiceSpec, scale: Scale, seed: u64) -> Vec<GeneratedReq
                 pool.push(PoolDevice {
                     fingerprint: built.fingerprint,
                     behavior: built.behavior,
+                    tls: built.tls,
                     ip,
                     cookie: rng.next_u64(),
                     uses: 0,
@@ -212,14 +221,9 @@ pub fn generate(spec: &ServiceSpec, scale: Scale, seed: u64) -> Vec<GeneratedReq
             let d = &mut pool[idx];
             d.uses += 1;
             time = fp_types::SimTime::from_day(d.day, rng.next_below(86_400));
-            (
-                Built {
-                    fingerprint: d.fingerprint.clone(),
-                    behavior: d.behavior,
-                },
-                d.cookie,
-                d.ip,
-            )
+            let mut reused = Built::new(d.fingerprint.clone(), d.behavior);
+            reused.tls = d.tls;
+            (reused, d.cookie, d.ip)
         } else {
             let built = archetype::build(cell, mimicry, variant, &locale, &mut rng);
             (built, rng.next_u64(), ip)
@@ -233,6 +237,7 @@ pub fn generate(spec: &ServiceSpec, scale: Scale, seed: u64) -> Vec<GeneratedReq
                 ip: request_ip,
                 cookie: Some(cookie),
                 fingerprint: built.fingerprint,
+                tls: built.tls,
                 behavior: built.behavior,
                 source: TrafficSource::Bot(spec.id),
             },
@@ -416,10 +421,7 @@ fn temporal_safe(cell: Cell, locale: &LocaleSpec, rng: &mut Splittable) -> Built
             let device = DeviceProfile::android_generic_k();
             let browser = BrowserProfile::contemporary(BrowserFamily::ChromeMobile, rng);
             let fp = Collector::collect(&device, &browser, locale);
-            Built {
-                fingerprint: fp,
-                behavior: BehaviorTrace::silent(),
-            }
+            Built::new(fp, BehaviorTrace::silent())
         }
         Cell::EvadeDataDomeOnly => {
             let device = DeviceProfile::android_generic_k();
@@ -427,10 +429,7 @@ fn temporal_safe(cell: Cell, locale: &LocaleSpec, rng: &mut Splittable) -> Built
             let mut fp = Collector::collect(&device, &browser, locale);
             fp.set(AttrId::TouchSupport, "None");
             fp.set(AttrId::MaxTouchPoints, 0i64);
-            Built {
-                fingerprint: fp,
-                behavior: BehaviorTrace::silent(),
-            }
+            Built::new(fp, BehaviorTrace::silent())
         }
         Cell::EvadeBotDOnly | Cell::DetectedBoth => {
             let device = DeviceProfile::sample(
@@ -443,10 +442,7 @@ fn temporal_safe(cell: Cell, locale: &LocaleSpec, rng: &mut Splittable) -> Built
                 fp.set(AttrId::Plugins, AttrValue::list(Vec::<&str>::new()));
                 fp.set(AttrId::MimeTypes, AttrValue::list(Vec::<&str>::new()));
             }
-            Built {
-                fingerprint: fp,
-                behavior: BehaviorTrace::silent(),
-            }
+            Built::new(fp, BehaviorTrace::silent())
         }
     }
 }

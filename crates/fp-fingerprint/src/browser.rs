@@ -2,6 +2,7 @@
 
 use crate::catalog;
 use crate::device::DeviceKind;
+use fp_tls::TlsClientKind;
 
 /// Browser families observed in the campaign (the paper's `UA Browser`
 /// attribute values follow common UA-parser naming).
@@ -75,6 +76,31 @@ impl BrowserFamily {
             BrowserFamily::SamsungInternet => &["Android"],
             BrowserFamily::MiuiBrowser => &["Android"],
         }
+    }
+
+    /// The TLS stack a genuine installation of this browser greets servers
+    /// with — the expected network-layer profile the cross-layer detector
+    /// checks observed handshakes against. iOS browsers are WebKit shells,
+    /// so every one of them presents Apple's hello.
+    pub fn tls_client_kind(self) -> TlsClientKind {
+        match self {
+            BrowserFamily::Chrome
+            | BrowserFamily::ChromeMobile
+            | BrowserFamily::Edge
+            | BrowserFamily::SamsungInternet
+            | BrowserFamily::MiuiBrowser => TlsClientKind::Chromium,
+            BrowserFamily::Firefox => TlsClientKind::Firefox,
+            BrowserFamily::Safari
+            | BrowserFamily::MobileSafari
+            | BrowserFamily::ChromeMobileIos => TlsClientKind::Safari,
+        }
+    }
+
+    /// The TLS facet (JA3/JA4 digests) a truthful request from this
+    /// browser carries — [`BrowserFamily::tls_client_kind`] synthesised
+    /// and digested.
+    pub fn tls_facet(self) -> fp_types::TlsFacet {
+        self.tls_client_kind().facet()
     }
 
     /// `navigator.vendor` for this browser.
@@ -254,6 +280,52 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The cross-layer no-false-positive guarantee at the catalogue level:
+    /// for every browser family, the JA3 the family's genuine TLS stack
+    /// presents is exactly the JA3 expected for the `UA Browser` string a
+    /// UA parser recovers from that family's synthesized User-Agent. A
+    /// truthful client can therefore never trip the mismatch check.
+    #[test]
+    fn every_catalogue_browser_has_a_ua_consistent_ja3() {
+        use crate::{parse_user_agent, ua, DeviceProfile};
+        let mut rng = fp_types::Splittable::new(0x715C0);
+        for kind in DeviceKind::ALL {
+            for (family, _) in BrowserFamily::defaults_for(kind) {
+                let device = DeviceProfile::sample(kind, &mut rng);
+                let browser = BrowserProfile::contemporary(*family, &mut rng);
+                let ua = ua::synthesize(&device, &browser);
+                let parsed = parse_user_agent(&ua);
+                let expected = fp_tls::expected_ja3_for_ua_browser(&parsed.browser);
+                let facet = family.tls_facet();
+                assert_eq!(
+                    expected,
+                    facet.ja3_str(),
+                    "{family:?} on {kind:?}: UA {ua:?} parsed as {:?}",
+                    parsed.browser
+                );
+                assert!(facet.is_observed());
+                assert_eq!(facet.ja3_str(), Some(family.tls_client_kind().ja3()));
+            }
+        }
+    }
+
+    #[test]
+    fn ios_shells_share_apples_stack() {
+        assert_eq!(
+            BrowserFamily::ChromeMobileIos.tls_client_kind(),
+            TlsClientKind::Safari,
+            "CriOS is WebKit, so its TLS is Apple's"
+        );
+        assert_eq!(
+            BrowserFamily::SamsungInternet.tls_client_kind(),
+            TlsClientKind::Chromium
+        );
+        assert_eq!(
+            BrowserFamily::Firefox.tls_client_kind(),
+            TlsClientKind::Firefox
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //!   forwards everything to the store.
 //! * [`pipeline`] — sharded streaming ingest: the same detector chain on N
 //!   worker shards (partitioned by each detector's
-//!   [`StateScope`](fp_types::StateScope) anchor), verdict-for-verdict
+//!   [`fp_types::StateScope`] anchor), verdict-for-verdict
 //!   identical to the sequential path and merged in arrival order.
 //! * [`store::RequestStore`] — the recorded dataset. Raw IPs never reach
 //!   storage: the pipeline derives what analysis needs (ASN class and

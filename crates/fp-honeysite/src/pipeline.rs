@@ -6,7 +6,7 @@
 //! sequential [`HoneySite::ingest`] loop. The partition argument:
 //!
 //! * every detector declares its state anchor via
-//!   [`StateScope`](fp_types::StateScope) — per-IP, per-cookie, or none;
+//!   [`fp_types::StateScope`] — per-IP, per-cookie, or none;
 //! * a request is routed to its *IP shard* (`shard_for(ip_hash, n)`) for
 //!   stateless and per-IP detectors, and to its *cookie shard*
 //!   (`shard_for(cookie, n)`) for per-cookie detectors;
@@ -119,11 +119,15 @@ impl HoneySite {
             }
             by_ip_shards.push(by_ip);
         }
+        // Ids stay 0 until after Phase B2: sequential ingest assigns the
+        // dense id only when the store pushes the record, *after* every
+        // detector observed it — per-cookie detectors must see the same
+        // `id == 0` here, or a detector reading `request.id` could return
+        // different verdicts per path.
         let mut records = Vec::with_capacity(total);
         let mut ip_verdicts = Vec::with_capacity(total);
         for slot in slots {
-            let (mut record, verdicts) = slot.expect("every request has an ip shard");
-            record.id = records.len() as u64;
+            let (record, verdicts) = slot.expect("every request has an ip shard");
             records.push(record);
             ip_verdicts.push(verdicts);
         }
@@ -175,9 +179,13 @@ impl HoneySite {
             }
             by_cookie_shards.push(by_cookie);
         }
-        for ((record, ip_tagged), cookie_tagged) in
-            records.iter_mut().zip(ip_verdicts).zip(cookie_verdicts)
+        for (idx, ((record, ip_tagged), cookie_tagged)) in records
+            .iter_mut()
+            .zip(ip_verdicts)
+            .zip(cookie_verdicts)
+            .enumerate()
         {
+            record.id = idx as u64;
             let mut tagged: TaggedVerdicts = ip_tagged;
             tagged.extend(cookie_tagged);
             tagged.sort_by_key(|(chain_idx, _)| *chain_idx);
@@ -217,6 +225,7 @@ mod tests {
                     ip: Ipv4Addr::new(73, 9, (i % 5) as u8, 9),
                     cookie: (i % 3 != 0).then(|| u64::from(i % 7)),
                     fingerprint: Collector::collect(&d, &b, &LocaleSpec::en_us()),
+                    tls: b.family.tls_facet(),
                     behavior: BehaviorTrace::silent(),
                     source: TrafficSource::RealUser,
                 }
@@ -260,6 +269,16 @@ mod tests {
         assert_eq!(admitted, 9);
         assert_eq!(site.rejected_count(), 1);
         assert_eq!(site.store().len(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "sequential ingest after ingest_stream")]
+    fn sequential_ingest_after_stream_is_refused() {
+        let mut site = fresh_site();
+        site.ingest_stream(requests(10), 2);
+        // The chain prototypes never saw those 10 requests; judging a new
+        // one from their empty state would mis-score stateful detectors.
+        let _ = site.ingest(requests(1).pop().unwrap());
     }
 
     #[test]

@@ -2,17 +2,19 @@
 //! detector chain, and privacy-preserving storage (Figures 1 and 3).
 //!
 //! Detection is a *chain* of [`Detector`]s (by default the two simulated
-//! commercial services) run inline at ingest; every verdict is recorded
-//! with named provenance in the request's [`fp_types::VerdictSet`]. The
-//! chain is open: FP-Inconsistent's own spatial/temporal detectors plug in
-//! through the same trait (see `fp_inconsistent_core::engine`), which is
-//! the paper's §7 deployment story — FP-Inconsistent running alongside the
-//! commercial services on live traffic.
+//! commercial services plus the cross-layer TLS consistency check) run
+//! inline at ingest; every verdict is recorded with named provenance in
+//! the request's [`fp_types::VerdictSet`]. The chain is open:
+//! FP-Inconsistent's own spatial/temporal detectors plug in through the
+//! same trait (see `fp_inconsistent_core::engine`), which is the paper's
+//! §7 deployment story — FP-Inconsistent running alongside the commercial
+//! services on live traffic.
 
 use crate::store::{RequestStore, StoredRequest};
 use fp_antibot::{BotD, DataDome};
 use fp_netsim::blocklist::{is_tor_exit, AsnBlocklist, IpBlocklist};
 use fp_netsim::NetDb;
+use fp_tls::TlsCrossLayer;
 use fp_types::detect::Detector;
 use fp_types::{mix2, sym, CookieId, Request, RequestId, Symbol, VerdictSet};
 use std::collections::HashSet;
@@ -24,6 +26,11 @@ pub struct HoneySite {
     store: RequestStore,
     cookie_counter: u64,
     rejected: u64,
+    /// Set once `ingest_stream` has run: the chain prototypes never
+    /// observed the streamed requests (shard forks did), so sequential
+    /// `ingest` afterwards would judge stateful detectors from empty
+    /// history. Guarded with an assert instead of silently mis-scoring.
+    streamed: bool,
 }
 
 impl Default for HoneySite {
@@ -33,10 +40,15 @@ impl Default for HoneySite {
 }
 
 impl HoneySite {
-    /// A site with no versions registered yet and the paper's two
-    /// anti-bot services integrated.
+    /// A site with no versions registered yet and the default chain: the
+    /// paper's two anti-bot services plus the cross-layer TLS consistency
+    /// detector (the §8.2 extension, run on every request's handshake).
     pub fn new() -> HoneySite {
-        HoneySite::with_chain(vec![Box::new(DataDome::new()), Box::new(BotD::new())])
+        HoneySite::with_chain(vec![
+            Box::new(DataDome::new()),
+            Box::new(BotD::new()),
+            Box::new(TlsCrossLayer::new()),
+        ])
     }
 
     /// A site running a custom detector chain.
@@ -47,6 +59,7 @@ impl HoneySite {
             store: RequestStore::new(),
             cookie_counter: 0,
             rejected: 0,
+            streamed: false,
         }
     }
 
@@ -85,6 +98,11 @@ impl HoneySite {
     /// the URL carried no registered token (real users and generic crawlers
     /// stumbling on the domain — not recorded, by design).
     pub fn ingest(&mut self, request: Request) -> Option<RequestId> {
+        assert!(
+            !self.streamed,
+            "sequential ingest after ingest_stream would run stateful detectors \
+             from empty history; use one ingest mode per measurement run"
+        );
         let cookie = self.admit(&request)?;
         let mut record = derive_record(&request, cookie);
 
@@ -118,9 +136,11 @@ impl HoneySite {
         &self.store
     }
 
-    /// Replace the store (streaming pipeline hand-over).
+    /// Replace the store (streaming pipeline hand-over) and mark the site
+    /// as stream-ingested (see the `streamed` field).
     pub(crate) fn set_store(&mut self, store: RequestStore) {
         self.store = store;
+        self.streamed = true;
     }
 
     /// Consume the site, keeping the dataset.
@@ -131,9 +151,19 @@ impl HoneySite {
 
 /// Derive the stored record from an admitted request: network facts from
 /// the raw address, then the address itself is dropped (ethics appendix).
-/// Verdicts are attached by the caller.
+/// The observed TLS facet is kept verbatim and additionally materialised
+/// into the stored fingerprint's `ja3`/`ja4` analysis attributes, so the
+/// rule miner and the ML feature schema see the handshake the same way
+/// they see the IP-derived attributes. Verdicts are attached by the caller.
 pub(crate) fn derive_record(request: &Request, cookie: CookieId) -> StoredRequest {
     let info = NetDb::lookup(request.ip);
+    let mut fingerprint = request.fingerprint.clone();
+    if request.tls.is_observed() {
+        if let (Some(ja3), Some(ja4)) = (request.tls.ja3_str(), request.tls.ja4_str()) {
+            fingerprint.set(fp_types::AttrId::Ja3, ja3);
+            fingerprint.set(fp_types::AttrId::Ja4, ja4);
+        }
+    }
     StoredRequest {
         id: 0,
         time: request.time,
@@ -148,7 +178,8 @@ pub(crate) fn derive_record(request: &Request, cookie: CookieId) -> StoredReques
         ip_blocklisted: IpBlocklist::is_blocked(request.ip),
         tor_exit: is_tor_exit(request.ip),
         cookie,
-        fingerprint: request.fingerprint.clone(),
+        fingerprint,
+        tls: request.tls,
         behavior: request.behavior,
         source: request.source,
         verdicts: VerdictSet::new(),
@@ -175,6 +206,7 @@ mod tests {
             ip: Ipv4Addr::new(73, 9, 9, 9),
             cookie,
             fingerprint: Collector::collect(&d, &b, &LocaleSpec::en_us()),
+            tls: b.family.tls_facet(),
             behavior: BehaviorTrace::silent(),
             source: TrafficSource::RealUser,
         }
@@ -224,14 +256,50 @@ mod tests {
     fn detectors_run_in_pipeline() {
         let mut site = HoneySite::new();
         site.register_token(sym("tok"));
-        // Silent desktop: DataDome flags it, BotD passes (plugins present).
+        // Silent desktop: DataDome flags it, BotD passes (plugins present),
+        // and the truthful Chrome handshake passes the cross-layer check.
         let id = site.ingest(request(sym("tok"), None)).unwrap();
         let r = site.store().get(id).unwrap();
         assert!(r.datadome_bot());
         assert!(!r.botd_bot());
+        assert!(!r.verdicts.bot("fp-tls-crosslayer"));
         // Provenance is named, in chain order.
         let names: Vec<&str> = r.verdicts.iter().map(|(d, _)| d.as_str()).collect();
-        assert_eq!(names, ["DataDome", "BotD"]);
+        assert_eq!(names, ["DataDome", "BotD", "fp-tls-crosslayer"]);
+    }
+
+    #[test]
+    fn stored_record_materialises_the_tls_facet() {
+        let mut site = HoneySite::new();
+        site.register_token(sym("tok"));
+        let req = request(sym("tok"), None);
+        let facet = req.tls;
+        let id = site.ingest(req).unwrap();
+        let r = site.store().get(id).unwrap();
+        assert_eq!(r.tls, facet, "facet carried verbatim");
+        assert_eq!(
+            r.fingerprint.get(fp_types::AttrId::Ja3).as_str(),
+            facet.ja3_str(),
+            "facet materialised as the ja3 analysis attribute"
+        );
+        assert_eq!(
+            r.fingerprint.get(fp_types::AttrId::Ja4).as_str(),
+            facet.ja4_str()
+        );
+    }
+
+    #[test]
+    fn lagging_tls_stack_is_flagged_in_the_default_chain() {
+        let mut site = HoneySite::new();
+        site.register_token(sym("tok"));
+        let mut req = request(sym("tok"), None);
+        // Perfect Chrome fingerprint, Go ClientHello: only the cross-layer
+        // detector can see the lie.
+        req.tls = fp_tls::TlsClientKind::GoHttp.facet();
+        let id = site.ingest(req).unwrap();
+        let r = site.store().get(id).unwrap();
+        assert!(r.verdicts.bot("fp-tls-crosslayer"));
+        assert!(!r.botd_bot(), "browser-layer detectors saw nothing");
     }
 
     #[test]
@@ -258,6 +326,6 @@ mod tests {
         let id = site.ingest(request(sym("tok"), None)).unwrap();
         let r = site.store().get(id).unwrap();
         assert!(r.verdicts.bot("always-bot"));
-        assert_eq!(r.verdicts.len(), 3);
+        assert_eq!(r.verdicts.len(), 4);
     }
 }

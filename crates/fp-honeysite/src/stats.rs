@@ -162,6 +162,7 @@ mod tests {
             tor_exit: false,
             cookie: u64::from(service),
             fingerprint: Fingerprint::new(),
+            tls: fp_types::TlsFacet::unobserved(),
             behavior: BehaviorTrace::silent(),
             source: TrafficSource::Bot(ServiceId(service)),
             verdicts: VerdictSet::from_services(dd_bot, botd_bot),

@@ -60,7 +60,11 @@ impl RequestStore {
             by_ip.len(),
             "index shard counts must match"
         );
-        let shards = by_cookie.len().max(1);
+        assert!(
+            !by_cookie.is_empty(),
+            "at least one index shard is required (queries index by shard_for)"
+        );
+        let shards = by_cookie.len();
         RequestStore {
             requests,
             shards,
@@ -188,10 +192,17 @@ mod tests {
             tor_exit: false,
             cookie,
             fingerprint: Fingerprint::new().with(AttrId::UaDevice, "iPhone"),
+            tls: fp_types::TlsFacet::unobserved(),
             behavior: fp_types::BehaviorTrace::silent(),
             source: TrafficSource::Bot(ServiceId(1)),
             verdicts: VerdictSet::from_services(false, true),
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one index shard")]
+    fn from_parts_rejects_empty_shard_vectors() {
+        let _ = RequestStore::from_parts(Vec::new(), Vec::new(), Vec::new());
     }
 
     #[test]

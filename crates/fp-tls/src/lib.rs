@@ -16,13 +16,17 @@
 //! * [`ja3`] — JA3 string/digest and a JA4-style descriptor;
 //! * [`profiles`] — per-client ClientHello profiles (Chrome, Firefox,
 //!   Safari, Go, python-requests/OpenSSL) and the UA-family ↔ expected-JA3
-//!   consistency map.
+//!   consistency map;
+//! * [`crosslayer`] — the streaming [`TlsCrossLayer`] detector that flags
+//!   UA↔JA3 mismatches inside the honey site's ingest chain.
 
 pub mod clienthello;
+pub mod crosslayer;
 pub mod ja3;
 pub mod md5;
 pub mod profiles;
 
 pub use clienthello::{ClientHello, Extension, ParseError};
+pub use crosslayer::TlsCrossLayer;
 pub use ja3::{ja3_digest, ja3_string, ja4_descriptor};
 pub use profiles::{expected_ja3_for_ua_browser, TlsClientKind};

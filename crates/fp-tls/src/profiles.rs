@@ -206,6 +206,12 @@ impl TlsClientKind {
         &all[idx]
     }
 
+    /// The TLS facet a request carried by this stack presents — the
+    /// JA3/JA4 digests of its synthesized ClientHello, interned once.
+    pub fn facet(self) -> fp_types::TlsFacet {
+        fp_types::TlsFacet::observed(fp_types::sym(self.ja3()), fp_types::sym(self.ja4()))
+    }
+
     /// Which stack a given UA-parser browser family genuinely uses.
     pub fn for_ua_browser(ua_browser: &str) -> Option<TlsClientKind> {
         match ua_browser {

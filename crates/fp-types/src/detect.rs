@@ -106,6 +106,9 @@ pub mod provenance {
     pub const FP_TEMPORAL_COOKIE: &str = "fp-temporal-cookie";
     /// FP-Inconsistent's per-IP timezone-churn anchor (§7.2).
     pub const FP_TEMPORAL_IP: &str = "fp-temporal-ip";
+    /// The cross-layer TLS consistency check: the stack the ClientHello
+    /// exhibits vs. the stack the User-Agent claims (§8.2 extension).
+    pub const FP_TLS_CROSSLAYER: &str = "fp-tls-crosslayer";
 }
 
 /// The named verdicts recorded for one request, in detector-chain order.

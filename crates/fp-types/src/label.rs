@@ -85,12 +85,24 @@ pub enum TrafficSource {
     RealUser,
     /// The privacy-technology experiment (Section 7.5).
     Privacy(PrivacyTech),
+    /// An AI browsing agent: a real browser driven by an automation stack
+    /// (genuine Chromium TLS, automation-shaped behaviour).
+    AiAgent,
+    /// An evasive bot whose JS fingerprint is patched to perfection but
+    /// whose TLS stack lags behind the lie (non-browser ClientHello under
+    /// a browser User-Agent).
+    TlsLaggard,
 }
 
 impl TrafficSource {
-    /// Ground truth: is this request from a bot?
+    /// Ground truth: is this request automation? True for the purchased
+    /// services and for the agent cohorts; false for real users and the
+    /// privacy-tool experiment.
     pub fn is_bot(self) -> bool {
-        matches!(self, TrafficSource::Bot(_))
+        matches!(
+            self,
+            TrafficSource::Bot(_) | TrafficSource::AiAgent | TrafficSource::TlsLaggard
+        )
     }
 
     /// The service id, when a bot.
@@ -98,6 +110,17 @@ impl TrafficSource {
         match self {
             TrafficSource::Bot(s) => Some(s),
             _ => None,
+        }
+    }
+
+    /// The evaluation cohort this source belongs to.
+    pub fn cohort(self) -> Cohort {
+        match self {
+            TrafficSource::Bot(_) => Cohort::BotService,
+            TrafficSource::RealUser => Cohort::RealUser,
+            TrafficSource::Privacy(_) => Cohort::Privacy,
+            TrafficSource::AiAgent => Cohort::AiAgent,
+            TrafficSource::TlsLaggard => Cohort::TlsLaggard,
         }
     }
 }
@@ -108,7 +131,63 @@ impl fmt::Display for TrafficSource {
             TrafficSource::Bot(s) => write!(f, "bot:{s}"),
             TrafficSource::RealUser => f.write_str("real-user"),
             TrafficSource::Privacy(p) => write!(f, "privacy:{}", p.name()),
+            TrafficSource::AiAgent => f.write_str("ai-agent"),
+            TrafficSource::TlsLaggard => f.write_str("tls-laggard"),
         }
+    }
+}
+
+/// Evaluation cohorts: traffic classes whose per-detector hit rates are
+/// reported separately (real users vs. the paper's purchased services vs.
+/// the two agent cohorts of the cross-layer extension).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub enum Cohort {
+    /// Ground-truth human traffic (Section 7.4's university URL).
+    RealUser,
+    /// The 20 purchased bot services (Table 1).
+    BotService,
+    /// AI browsing agents: real-browser TLS, automation-shaped behaviour.
+    AiAgent,
+    /// Evasive bots with patched JS fingerprints but a lagging TLS stack.
+    TlsLaggard,
+    /// The §7.5 privacy-technology experiment (human, altered attributes).
+    Privacy,
+}
+
+impl Cohort {
+    /// Every cohort, in report order.
+    pub const ALL: [Cohort; 5] = [
+        Cohort::RealUser,
+        Cohort::BotService,
+        Cohort::AiAgent,
+        Cohort::TlsLaggard,
+        Cohort::Privacy,
+    ];
+
+    /// Human-readable name for tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Cohort::RealUser => "real-user",
+            Cohort::BotService => "bot-service",
+            Cohort::AiAgent => "ai-agent",
+            Cohort::TlsLaggard => "tls-laggard",
+            Cohort::Privacy => "privacy-tool",
+        }
+    }
+
+    /// Is a flag on this cohort a true positive (automation) rather than a
+    /// false positive (human)?
+    pub fn is_automation(self) -> bool {
+        matches!(
+            self,
+            Cohort::BotService | Cohort::AiAgent | Cohort::TlsLaggard
+        )
+    }
+}
+
+impl fmt::Display for Cohort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -129,11 +208,39 @@ mod tests {
         assert!(TrafficSource::Bot(ServiceId(3)).is_bot());
         assert!(!TrafficSource::RealUser.is_bot());
         assert!(!TrafficSource::Privacy(PrivacyTech::Brave).is_bot());
+        assert!(TrafficSource::AiAgent.is_bot(), "agents are automation");
+        assert!(TrafficSource::TlsLaggard.is_bot());
         assert_eq!(
             TrafficSource::Bot(ServiceId(3)).service(),
             Some(ServiceId(3))
         );
         assert_eq!(TrafficSource::RealUser.service(), None);
+        assert_eq!(TrafficSource::AiAgent.service(), None);
+    }
+
+    #[test]
+    fn cohort_classification() {
+        assert_eq!(TrafficSource::RealUser.cohort(), Cohort::RealUser);
+        assert_eq!(
+            TrafficSource::Bot(ServiceId(1)).cohort(),
+            Cohort::BotService
+        );
+        assert_eq!(TrafficSource::AiAgent.cohort(), Cohort::AiAgent);
+        assert_eq!(TrafficSource::TlsLaggard.cohort(), Cohort::TlsLaggard);
+        assert_eq!(
+            TrafficSource::Privacy(PrivacyTech::Tor).cohort(),
+            Cohort::Privacy
+        );
+        for cohort in Cohort::ALL {
+            assert_eq!(
+                cohort.is_automation(),
+                matches!(
+                    cohort,
+                    Cohort::BotService | Cohort::AiAgent | Cohort::TlsLaggard
+                ),
+                "{cohort}"
+            );
+        }
     }
 
     #[test]

@@ -22,6 +22,10 @@
 //! * [`mix`] — deterministic splittable hashing used wherever a generator or
 //!   detector needs per-request randomness that must be stable across runs.
 
+// This crate is the workspace's public contract: every type here is read
+// by every other crate, so an undocumented item is a broken promise.
+#![deny(missing_docs)]
+
 pub mod attr;
 pub mod clock;
 pub mod detect;
@@ -32,6 +36,7 @@ pub mod mix;
 pub mod request;
 pub mod scale;
 pub mod stored;
+pub mod tls;
 pub mod value;
 
 pub use attr::AttrId;
@@ -39,9 +44,10 @@ pub use clock::{SimClock, SimTime, STUDY_DAYS, STUDY_EPOCH_UNIX};
 pub use detect::{Detector, StateScope, Verdict, VerdictSet};
 pub use fingerprint::Fingerprint;
 pub use interner::{sym, Interner, Symbol};
-pub use label::{PrivacyTech, ServiceId, TrafficSource};
+pub use label::{Cohort, PrivacyTech, ServiceId, TrafficSource};
 pub use mix::{mix2, mix3, shard_for, splitmix64, unit_f64, Splittable};
 pub use request::{BehaviorTrace, CookieId, PointerStats, Request, RequestId};
 pub use scale::Scale;
 pub use stored::StoredRequest;
+pub use tls::TlsFacet;
 pub use value::AttrValue;

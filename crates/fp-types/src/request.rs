@@ -4,6 +4,7 @@ use crate::clock::SimTime;
 use crate::fingerprint::Fingerprint;
 use crate::interner::Symbol;
 use crate::label::TrafficSource;
+use crate::tls::TlsFacet;
 use serde::{Deserialize, Serialize};
 use std::net::Ipv4Addr;
 
@@ -86,6 +87,10 @@ pub struct Request {
     pub cookie: Option<CookieId>,
     /// The FingerprintJS-style attribute vector.
     pub fingerprint: Fingerprint,
+    /// JA3/JA4 digests of the TLS ClientHello that carried the request —
+    /// the network-layer facet the cross-layer detector compares against
+    /// the User-Agent's claim.
+    pub tls: TlsFacet,
     /// Observed input behaviour.
     pub behavior: BehaviorTrace,
     /// Ground-truth provenance (known because of the URL-token design).
@@ -112,6 +117,7 @@ mod tests {
             ip: Ipv4Addr::new(52, 31, 4, 9),
             cookie: Some(0xDEAD_BEEF),
             fingerprint: Fingerprint::new().with(AttrId::UaDevice, "iPhone"),
+            tls: TlsFacet::observed(crate::sym("ja3digest"), crate::sym("ja4desc")),
             behavior: BehaviorTrace::silent(),
             source: TrafficSource::Bot(ServiceId(1)),
         }
@@ -148,6 +154,7 @@ mod tests {
         assert_eq!(back.ip, r.ip);
         assert_eq!(back.cookie, r.cookie);
         assert_eq!(back.fingerprint, r.fingerprint);
+        assert_eq!(back.tls, r.tls);
         assert_eq!(back.source, r.source);
     }
 }

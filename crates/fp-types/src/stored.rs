@@ -11,6 +11,7 @@ use crate::fingerprint::Fingerprint;
 use crate::interner::Symbol;
 use crate::label::TrafficSource;
 use crate::request::{BehaviorTrace, CookieId, RequestId};
+use crate::tls::TlsFacet;
 use serde::{Deserialize, Serialize};
 
 /// One stored request: everything later analysis reads, nothing more. The
@@ -19,8 +20,11 @@ use serde::{Deserialize, Serialize};
 /// so the server-side detectors can run on the stored record.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct StoredRequest {
+    /// Dense store-assigned identifier.
     pub id: RequestId,
+    /// Simulated arrival time.
     pub time: SimTime,
+    /// URL token of the honey-site version that received the request.
     pub site_token: Symbol,
     /// Salted hash of the source address (identity, not locality).
     pub ip_hash: u64,
@@ -28,8 +32,9 @@ pub struct StoredRequest {
     pub ip_offset_minutes: i32,
     /// MaxMind-style `Country/Region` label of the IP's geolocation.
     pub ip_region: Symbol,
-    /// Representative coordinates of the IP's region (Figure 8).
+    /// Representative latitude of the IP's region (Figure 8).
     pub ip_lat: f32,
+    /// Representative longitude of the IP's region (Figure 8).
     pub ip_lon: f32,
     /// Owning AS number.
     pub asn: u32,
@@ -44,6 +49,10 @@ pub struct StoredRequest {
     pub cookie: CookieId,
     /// The FingerprintJS attribute vector.
     pub fingerprint: Fingerprint,
+    /// JA3/JA4 digests of the TLS ClientHello that carried the request.
+    /// Network-layer behaviour, not a browser-layer claim — what the
+    /// cross-layer detector compares against the User-Agent.
+    pub tls: TlsFacet,
     /// Observed input behaviour (summary statistics only).
     pub behavior: BehaviorTrace,
     /// Ground truth from the URL-token design.
@@ -109,6 +118,7 @@ mod tests {
             tor_exit: false,
             cookie: 9,
             fingerprint: Fingerprint::new().with(AttrId::UaDevice, "iPhone"),
+            tls: TlsFacet::observed(sym("ja3digest"), sym("ja4desc")),
             behavior: BehaviorTrace::silent(),
             source: TrafficSource::Bot(ServiceId(1)),
             verdicts: VerdictSet::from_services(false, true),
@@ -134,6 +144,7 @@ mod tests {
         assert_eq!(back.fingerprint, r.fingerprint);
         assert_eq!(back.verdicts, r.verdicts);
         assert_eq!(back.behavior, r.behavior);
+        assert_eq!(back.tls, r.tls);
         assert_eq!(back.tor_exit, r.tor_exit);
     }
 }

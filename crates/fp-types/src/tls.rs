@@ -1,0 +1,92 @@
+//! The TLS facet: what the connection layer observed about a request.
+//!
+//! Browser-layer attributes ([`crate::Fingerprint`]) are *claims* the
+//! client script reports; the TLS ClientHello is *behaviour* the network
+//! stack cannot help exhibiting. Carrying its JA3/JA4 digests on every
+//! request record makes the handshake a first-class detection facet: the
+//! cross-layer detector compares the stack that actually greeted the
+//! server against the stack the User-Agent claims.
+//!
+//! This crate only defines the carrier; synthesising a ClientHello and
+//! digesting it lives in `fp-tls` (which depends on this crate, not the
+//! other way around).
+
+use crate::interner::Symbol;
+use serde::{Deserialize, Serialize};
+
+/// The TLS-layer summary recorded for one request: JA3/JA4 digests of the
+/// ClientHello that carried it, or nothing when the handshake was not
+/// observed (e.g. a fronting proxy terminated TLS upstream).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct TlsFacet {
+    /// JA3 digest (MD5 hex of the GREASE-stripped hello layout), when the
+    /// handshake was observed.
+    pub ja3: Option<Symbol>,
+    /// JA4-style descriptor of the same hello.
+    pub ja4: Option<Symbol>,
+}
+
+impl TlsFacet {
+    /// A facet for a connection whose handshake was not observed.
+    pub fn unobserved() -> TlsFacet {
+        TlsFacet::default()
+    }
+
+    /// A facet carrying both digests of an observed ClientHello.
+    pub fn observed(ja3: Symbol, ja4: Symbol) -> TlsFacet {
+        TlsFacet {
+            ja3: Some(ja3),
+            ja4: Some(ja4),
+        }
+    }
+
+    /// Was the handshake observed?
+    pub fn is_observed(&self) -> bool {
+        self.ja3.is_some()
+    }
+
+    /// The JA3 digest as a string, when observed.
+    pub fn ja3_str(&self) -> Option<&'static str> {
+        self.ja3.map(|s| s.as_str())
+    }
+
+    /// The JA4 descriptor as a string, when observed.
+    pub fn ja4_str(&self) -> Option<&'static str> {
+        self.ja4.map(|s| s.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sym;
+
+    #[test]
+    fn unobserved_is_default_and_empty() {
+        let facet = TlsFacet::unobserved();
+        assert_eq!(facet, TlsFacet::default());
+        assert!(!facet.is_observed());
+        assert_eq!(facet.ja3_str(), None);
+        assert_eq!(facet.ja4_str(), None);
+    }
+
+    #[test]
+    fn observed_roundtrips_digests() {
+        let facet = TlsFacet::observed(sym("aabbcc"), sym("t13d_x"));
+        assert!(facet.is_observed());
+        assert_eq!(facet.ja3_str(), Some("aabbcc"));
+        assert_eq!(facet.ja4_str(), Some("t13d_x"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        for facet in [
+            TlsFacet::unobserved(),
+            TlsFacet::observed(sym("d1"), sym("d2")),
+        ] {
+            let json = serde_json::to_string(&facet).unwrap();
+            let back: TlsFacet = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, facet);
+        }
+    }
+}

@@ -1,9 +1,15 @@
-//! The §8.2 extension: cross-layer consistency between the browser the UA
-//! claims and the TLS stack that actually carried the request.
+//! The §8.2 extension end to end: TLS as a first-class facet of the
+//! pipeline.
 //!
-//! Demonstrates the TLS substrate end to end: building real ClientHello
-//! bytes per browser profile, parsing them back, JA3/JA4 digests, and the
-//! UA↔JA3 rules the miner discovers once the category is enabled.
+//! 1. The wire layer is real — per-stack ClientHello bytes, parsed back,
+//!    JA3/JA4 digested.
+//! 2. The `fp-tls-crosslayer` detector runs **inside the default honey
+//!    site chain**: every ingested request's handshake is checked against
+//!    its User-Agent claim in real time, next to DataDome and BotD.
+//! 3. The cohort report splits per-detector hit rates by traffic class —
+//!    the TLS detector owns the TLS-lagging evasive cohort and is
+//!    structurally blind to AI browsing agents (their Chromium hello is
+//!    genuine), while the behaviour-reading detector covers those.
 //!
 //! ```sh
 //! cargo run --release --example tls_crosslayer
@@ -12,10 +18,10 @@
 use fp_inconsistent::core::evaluate;
 use fp_inconsistent::prelude::*;
 use fp_inconsistent::tls::{ja3_digest, ja3_string, ja4_descriptor, ClientHello, TlsClientKind};
-use fp_inconsistent::types::Splittable;
+use fp_inconsistent::types::{Cohort, Splittable};
 
 fn main() {
-    // 1. The wire layer is real: serialise and re-parse each stack's hello.
+    // 1. The wire layer: serialise and re-parse each stack's hello.
     let mut rng = Splittable::new(1);
     println!("{:<16} {:>6} {:<34} JA4", "Stack", "bytes", "JA3");
     for kind in TlsClientKind::ALL {
@@ -31,12 +37,11 @@ fn main() {
             ja4_descriptor(&hello)
         );
     }
-
-    // 2. The JA3 string itself (pre-hash) for one stack.
     let hello = TlsClientKind::Chromium.client_hello("honey.example.com", &mut rng);
     println!("\nChromium JA3 string: {}", ja3_string(&hello));
 
-    // 3. Cross-layer mining: a bot claiming Safari but greeting like Go.
+    // 2. The in-chain detector over a campaign with both agent cohorts.
+    // HoneySite::new() already runs fp-tls-crosslayer — no ad-hoc logic.
     let campaign = Campaign::generate(CampaignConfig {
         scale: Scale::ratio(0.03),
         seed: 5,
@@ -45,33 +50,40 @@ fn main() {
     for id in ServiceId::all() {
         site.register_token(campaign.token_of(id));
     }
+    site.register_token(campaign.real_user_token());
+    site.register_token(campaign.ai_agent_token());
+    site.register_token(campaign.tls_laggard_token());
     site.ingest_all(campaign.bot_requests.iter().cloned());
+    site.ingest_all(campaign.real_users.iter().map(|r| r.request.clone()));
+    site.ingest_all(campaign.ai_agents.iter().cloned());
+    site.ingest_all(campaign.tls_laggards.iter().cloned());
     let store = site.into_store();
 
-    let paper = FpInconsistent::mine(&store, &MineConfig::default());
-    let extended = FpInconsistent::mine(
-        &store,
-        &MineConfig {
-            include_cross_layer: true,
-            ..MineConfig::default()
-        },
-    );
-    let (_, base) = evaluate::evaluate(&store, &paper);
-    let (_, ext) = evaluate::evaluate(&store, &extended);
-    println!(
-        "\nrules {} -> {} with the TLS category; combined DataDome detection {:.2}% -> {:.2}%",
-        paper.rules().len(),
-        extended.rules().len(),
-        base.combined.0 * 100.0,
-        ext.combined.0 * 100.0
-    );
-    println!("\nexample cross-layer rules:");
-    for rule in extended
-        .rules()
-        .iter()
-        .filter(|r| !paper.rules().iter().any(|p| p == *r))
-        .take(5)
-    {
-        println!("  {rule}");
+    // 3. The cohort split, read straight off the recorded verdicts.
+    let report = evaluate::cohort_report(&store);
+    println!("\nper-detector flag rate by cohort:");
+    print!("{:<20}", "");
+    for cohort in Cohort::ALL {
+        print!("{:>14}", cohort.name());
     }
+    println!();
+    for d in &report.detectors {
+        print!("{:<20}", d.detector.as_str());
+        for cohort in Cohort::ALL {
+            print!("{:>13.1}%", d.rate(cohort) * 100.0);
+        }
+        println!();
+    }
+
+    let xl = report
+        .detector("fp-tls-crosslayer")
+        .expect("runs in the default chain");
+    println!(
+        "\nfp-tls-crosslayer: catches {:.1}% of the TLS-lagging cohort at {:.1}% precision, \
+         and 0.0% of AI agents — a real Chromium hello cannot mismatch.",
+        xl.rate(Cohort::TlsLaggard) * 100.0,
+        xl.precision * 100.0,
+    );
+    assert!(xl.rate(Cohort::TlsLaggard) > 0.95);
+    assert_eq!(xl.rate(Cohort::AiAgent), 0.0);
 }

@@ -29,7 +29,8 @@
 //! // A small deterministic campaign (1% of the paper's volume).
 //! let campaign = Campaign::generate(CampaignConfig { scale: Scale::ratio(0.01), seed: 7 });
 //!
-//! // Run it through the honey site (default chain: DataDome + BotD).
+//! // Run it through the honey site (default chain: DataDome, BotD, and
+//! // the cross-layer TLS consistency check).
 //! let mut site = HoneySite::new();
 //! for id in ServiceId::all() {
 //!     site.register_token(campaign.token_of(id));
@@ -44,7 +45,8 @@
 //!
 //! // Deploy the mined engine *online*: plug its detector adapters into a
 //! // fresh site's chain and ingest the same stream on 4 shards. Every
-//! // request now carries named verdicts from all five detectors.
+//! // request now carries named verdicts from all six detectors (the
+//! // default chain includes the cross-layer TLS consistency check).
 //! let mut live = HoneySite::new();
 //! for id in ServiceId::all() {
 //!     live.register_token(campaign.token_of(id));

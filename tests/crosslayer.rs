@@ -1,0 +1,185 @@
+//! End-to-end coverage of the cross-layer TLS facet: the detector runs in
+//! the default chain, truthful traffic never trips it, the TLS-lagging
+//! cohort cannot get past it, and the cohort-split evaluation separates
+//! both agent cohorts from real users on the seed campaign.
+
+use fp_bench::recorded_cohort_campaign;
+use fp_inconsistent::core::evaluate;
+use fp_inconsistent::prelude::*;
+use fp_types::detect::provenance;
+use fp_types::Cohort;
+
+fn cohort_store() -> fp_inconsistent::honeysite::RequestStore {
+    recorded_cohort_campaign(Scale::ratio(0.02)).1
+}
+
+/// The sixth detector runs in the default `HoneySite` chain — every
+/// ingested request carries its named verdict without any opt-in.
+#[test]
+fn crosslayer_detector_runs_in_default_chain() {
+    let campaign = Campaign::generate(CampaignConfig {
+        scale: Scale::ratio(0.01),
+        seed: 3,
+    });
+    let mut site = HoneySite::new();
+    for id in ServiceId::all() {
+        site.register_token(campaign.token_of(id));
+    }
+    site.ingest_all(campaign.bot_requests.iter().cloned());
+    let store = site.into_store();
+    assert!(store.len() > 1_000);
+    for r in store.iter() {
+        assert!(
+            r.verdicts.verdict(provenance::FP_TLS_CROSSLAYER).is_some(),
+            "request {} missing the cross-layer verdict",
+            r.id
+        );
+    }
+}
+
+/// No false positives on truthful traffic: real users who did not spoof
+/// their User-Agent present the handshake their browser genuinely sends,
+/// so the cross-layer detector must never flag them. (UA-spoofer students
+/// — the paper's §7.4 false-positive budget — *are* legitimately caught
+/// when their real engine differs from the claimed one.)
+#[test]
+fn truthful_real_users_never_trip_the_crosslayer_check() {
+    let campaign = Campaign::generate(CampaignConfig {
+        scale: Scale::FULL, // real users are only 2,206 at full scale
+        seed: 7,
+    });
+    let mut site = HoneySite::new();
+    site.register_token(campaign.real_user_token());
+    let spoofers: std::collections::HashSet<u64> = campaign
+        .real_users
+        .iter()
+        .filter(|r| r.spoofer)
+        .map(|r| r.request.cookie.unwrap())
+        .collect();
+    site.ingest_all(campaign.real_users.iter().map(|r| r.request.clone()));
+    let store = site.into_store();
+    let mut truthful = 0;
+    for r in store.iter() {
+        if !spoofers.contains(&r.cookie) {
+            truthful += 1;
+            assert!(
+                !r.verdicts.bot(provenance::FP_TLS_CROSSLAYER),
+                "truthful real user flagged cross-layer: {:?}",
+                r.fingerprint
+            );
+        }
+    }
+    assert!(truthful > 1_000, "too few truthful users: {truthful}");
+}
+
+/// The cohort-split evaluation distinguishes both agent cohorts from real
+/// users on the seed campaign, each through a different detector — the
+/// structural point of the cross-layer facet.
+#[test]
+fn cohort_report_separates_agents_from_real_users() {
+    let store = cohort_store();
+    let report = evaluate::cohort_report(&store);
+    assert!(report.size(Cohort::TlsLaggard) > 100);
+    assert!(report.size(Cohort::AiAgent) > 100);
+    assert!(report.size(Cohort::RealUser) > 0);
+
+    // The TLS detector owns the laggard cohort...
+    let xl = report.detector(provenance::FP_TLS_CROSSLAYER).unwrap();
+    assert!(
+        xl.rate(Cohort::TlsLaggard) > 0.95,
+        "laggard recall {}",
+        xl.rate(Cohort::TlsLaggard)
+    );
+    // ...is structurally blind to AI agents (their hello is genuine)...
+    assert_eq!(xl.rate(Cohort::AiAgent), 0.0);
+    // ...and stays far cleaner on real users than on laggards (its only
+    // human hits are the §7.4 UA-spoofer students).
+    assert!(
+        xl.rate(Cohort::RealUser) < 0.10,
+        "real-user FPR {}",
+        xl.rate(Cohort::RealUser)
+    );
+
+    // AI agents are distinguished from real users by the behaviour-reading
+    // detector instead: silent/replayed desktop sessions get flagged.
+    let dd = report.detector(provenance::DATADOME).unwrap();
+    assert!(
+        dd.rate(Cohort::AiAgent) > 0.5,
+        "AI-agent DataDome rate {}",
+        dd.rate(Cohort::AiAgent)
+    );
+    assert!(
+        dd.rate(Cohort::AiAgent) > 5.0 * dd.rate(Cohort::RealUser).max(0.01),
+        "agents must stand out from real users"
+    );
+
+    // Both cohorts are automation, so catching them must not cost
+    // precision: every cross-layer flag on this campaign is a bot or a
+    // UA-spoofing student.
+    assert!(xl.precision > 0.9, "cross-layer precision {}", xl.precision);
+}
+
+/// Laggards evade the *browser-layer* detectors (that is what makes them
+/// evasive): BotD sees a clean browser, and the spatial miner finds no
+/// impossible attribute pair. Only the handshake gives them away.
+#[test]
+fn laggards_evade_browser_layer_detection() {
+    let store = cohort_store();
+    let mut n = 0u64;
+    let mut botd = 0u64;
+    let mut spatial = 0u64;
+    let mut tls = 0u64;
+    for r in store.iter() {
+        if r.source == fp_types::TrafficSource::TlsLaggard {
+            n += 1;
+            botd += u64::from(r.verdicts.bot(provenance::BOTD));
+            spatial += u64::from(r.verdicts.bot(provenance::FP_SPATIAL));
+            tls += u64::from(r.verdicts.bot(provenance::FP_TLS_CROSSLAYER));
+        }
+    }
+    assert!(n > 100);
+    assert_eq!(tls, n, "every laggard carries the cross-layer flag");
+    assert!(
+        (botd as f64) < 0.05 * n as f64,
+        "BotD should miss the patched fingerprints ({botd}/{n})"
+    );
+    assert!(
+        (spatial as f64) < 0.10 * n as f64,
+        "the spatial miner should find nothing impossible ({spatial}/{n})"
+    );
+}
+
+/// Shard-count invariance still holds with the sixth detector in the
+/// chain and the agent cohorts in the stream.
+#[test]
+fn cohort_stream_is_shard_invariant() {
+    let campaign = Campaign::generate(CampaignConfig {
+        scale: Scale::ratio(0.01),
+        seed: 13,
+    });
+    let stream = fp_bench::cohort_stream(&campaign);
+    let run = |shards: usize| {
+        let mut site = HoneySite::new();
+        for id in ServiceId::all() {
+            site.register_token(campaign.token_of(id));
+        }
+        site.register_token(campaign.real_user_token());
+        site.register_token(campaign.ai_agent_token());
+        site.register_token(campaign.tls_laggard_token());
+        site.ingest_stream(stream.clone(), shards);
+        site.into_store()
+    };
+    let baseline = run(1);
+    for shards in [2usize, 8] {
+        let store = run(shards);
+        assert_eq!(store.len(), baseline.len());
+        for (a, b) in baseline.iter().zip(store.iter()) {
+            assert_eq!(
+                a.verdicts, b.verdicts,
+                "request {} at {shards} shards",
+                a.id
+            );
+            assert_eq!(a.tls, b.tls);
+        }
+    }
+}

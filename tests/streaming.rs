@@ -29,8 +29,9 @@ fn streaming_pipeline_matches_batch_on_seed_campaign() {
     }
 }
 
-/// The recorded `VerdictSet` carries all five provenances when
-/// FP-Inconsistent runs inline.
+/// The recorded `VerdictSet` carries all six provenances when
+/// FP-Inconsistent runs inline next to the default chain (the two
+/// commercial simulators plus the cross-layer TLS check).
 #[test]
 fn streamed_store_records_named_provenance() {
     let campaign = Campaign::generate(CampaignConfig {
@@ -59,6 +60,7 @@ fn streamed_store_records_named_provenance() {
     for name in [
         provenance::DATADOME,
         provenance::BOTD,
+        provenance::FP_TLS_CROSSLAYER,
         provenance::FP_SPATIAL,
         provenance::FP_TEMPORAL_COOKIE,
         provenance::FP_TEMPORAL_IP,
@@ -93,6 +95,7 @@ fn build_request(
             .with(AttrId::HardwareConcurrency, cores)
             .with(AttrId::TimezoneOffset, tz_offset)
             .with(AttrId::Timezone, "America/Los_Angeles"),
+        tls: fp_types::TlsFacet::unobserved(),
         behavior: BehaviorTrace::silent(),
         source: TrafficSource::RealUser,
     }
