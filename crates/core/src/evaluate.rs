@@ -1,6 +1,8 @@
 //! Evaluation harness: Tables 3 and 4, §7.4's true-negative rate, the
-//! §7.3 generalisation experiment, and the cohort-split per-detector
-//! precision/recall report of the cross-layer extension.
+//! §7.3 generalisation experiment, the cohort-split per-detector
+//! precision/recall report of the cross-layer extension, and the
+//! round-over-round trajectory report of the closed-loop arena
+//! (recall/FPR per round, evasion half-life, mutation cost to evade).
 
 use crate::engine::FpInconsistent;
 use crate::spatial::MineConfig;
@@ -185,8 +187,7 @@ pub struct DetectorCohortStats {
 impl DetectorCohortStats {
     /// The flag rate on one cohort.
     pub fn rate(&self, cohort: Cohort) -> f64 {
-        let idx = Cohort::ALL.iter().position(|c| *c == cohort).unwrap();
-        self.flag_rate[idx]
+        self.flag_rate[cohort.index()]
     }
 }
 
@@ -202,8 +203,7 @@ pub struct CohortReport {
 impl CohortReport {
     /// The number of requests observed in a cohort.
     pub fn size(&self, cohort: Cohort) -> u64 {
-        let idx = Cohort::ALL.iter().position(|c| *c == cohort).unwrap();
-        self.cohort_sizes[idx]
+        self.cohort_sizes[cohort.index()]
     }
 
     /// Stats for a detector by provenance name, if it ran.
@@ -224,10 +224,7 @@ pub fn cohort_report(store: &RequestStore) -> CohortReport {
     let mut flags: Vec<[u64; 5]> = Vec::new();
 
     for r in store.iter() {
-        let cohort_idx = Cohort::ALL
-            .iter()
-            .position(|c| *c == r.source.cohort())
-            .unwrap();
+        let cohort_idx = r.source.cohort().index();
         sizes[cohort_idx] += 1;
         for (detector, verdict) in r.verdicts.iter() {
             let slot = match order.iter().position(|d| *d == detector) {
@@ -273,6 +270,163 @@ pub fn cohort_report(store: &RequestStore) -> CohortReport {
     CohortReport {
         cohort_sizes: sizes,
         detectors,
+    }
+}
+
+/// What the adversary *paid* in one arena round to keep evading: how much
+/// of its traffic it touched and what it changed. Supplied by the arena's
+/// adaptation layer (ground truth the defender never sees); consumed by
+/// [`TrajectoryReport::mutation_cost_per_evasion`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MutationStats {
+    /// Bot requests an adaptation strategy modified in any way.
+    pub adapted_requests: u64,
+    /// Fingerprint attributes mutated across the round (cookie rotations
+    /// count as one mutation each — the cookie is the temporal anchor).
+    pub mutated_attrs: u64,
+    /// Requests whose source address was rotated to a fresh IP.
+    pub rotated_ips: u64,
+    /// Requests whose TLS stack was upgraded to the truthful hello for the
+    /// claimed User-Agent.
+    pub tls_upgrades: u64,
+}
+
+impl MutationStats {
+    /// Merge another round-slice of stats into this one.
+    pub fn absorb(&mut self, other: MutationStats) {
+        self.adapted_requests += other.adapted_requests;
+        self.mutated_attrs += other.mutated_attrs;
+        self.rotated_ips += other.rotated_ips;
+        self.tls_upgrades += other.tls_upgrades;
+    }
+}
+
+/// One arena round's measurement: the cohort-split detector report over the
+/// admitted traffic, admission denials per cohort, and the adversary's
+/// mutation spend.
+#[derive(Clone, Debug)]
+pub struct RoundStats {
+    /// Round index (0 = the pre-mitigation round, identical to the
+    /// single-shot pipeline).
+    pub round: u32,
+    /// Per-detector, per-cohort performance on the requests that were
+    /// admitted this round.
+    pub cohorts: CohortReport,
+    /// Requests turned away at admission by the TTL blocklist, per cohort
+    /// in [`Cohort::ALL`] order.
+    pub denied: [u64; Cohort::ALL.len()],
+    /// The adversary's adaptation spend this round.
+    pub mutation: MutationStats,
+}
+
+impl RoundStats {
+    /// Admission denials for one cohort.
+    pub fn denied(&self, cohort: Cohort) -> u64 {
+        self.denied[cohort.index()]
+    }
+
+    /// Automation requests admitted this round that the *named* detector
+    /// missed (summed over the automation cohorts) — the denominator of
+    /// the per-detector mutation-cost metric. A request another detector
+    /// caught still counts as evading this one.
+    fn evading_bot_requests(&self, detector: &str) -> f64 {
+        let Some(stats) = self.cohorts.detector(detector) else {
+            return 0.0;
+        };
+        Cohort::ALL
+            .iter()
+            .filter(|c| c.is_automation())
+            .map(|&c| self.cohorts.size(c) as f64 * (1.0 - stats.rate(c)))
+            .sum()
+    }
+}
+
+/// The round-over-round view of a closed-loop campaign: what each detector
+/// still catches as the adversary adapts, and what the adaptation costs.
+#[derive(Clone, Debug, Default)]
+pub struct TrajectoryReport {
+    /// Per-round stats, in round order.
+    pub rounds: Vec<RoundStats>,
+}
+
+impl TrajectoryReport {
+    /// An empty report.
+    pub fn new() -> TrajectoryReport {
+        TrajectoryReport::default()
+    }
+
+    /// Append one round's stats (rounds must arrive in order).
+    pub fn push(&mut self, stats: RoundStats) {
+        debug_assert_eq!(stats.round as usize, self.rounds.len());
+        self.rounds.push(stats);
+    }
+
+    /// A detector's flag rate on one cohort, per round (recall on the
+    /// automation cohorts). Rounds where the detector did not run or the
+    /// cohort was empty report 0.
+    pub fn recall_trajectory(&self, detector: &str, cohort: Cohort) -> Vec<f64> {
+        self.rounds
+            .iter()
+            .map(|r| {
+                r.cohorts
+                    .detector(detector)
+                    .map(|d| d.rate(cohort))
+                    .unwrap_or(0.0)
+            })
+            .collect()
+    }
+
+    /// A detector's false-positive rate on ground-truth human traffic
+    /// (the real-user cohort), per round.
+    pub fn fpr_trajectory(&self, detector: &str) -> Vec<f64> {
+        self.recall_trajectory(detector, Cohort::RealUser)
+    }
+
+    /// Evasion half-life: the (fractional, linearly interpolated) number of
+    /// rounds it takes the adversary to push a detector's recall on a
+    /// cohort down to half its round-0 value. `None` when recall never
+    /// halves within the recorded rounds (the detector holds) or when the
+    /// detector catches nothing at round 0 (nothing to halve).
+    pub fn evasion_half_life(&self, detector: &str, cohort: Cohort) -> Option<f64> {
+        let recall = self.recall_trajectory(detector, cohort);
+        let r0 = *recall.first()?;
+        if r0 <= 0.0 {
+            return None;
+        }
+        let target = r0 / 2.0;
+        for (i, pair) in recall.windows(2).enumerate() {
+            let (prev, next) = (pair[0], pair[1]);
+            if next <= target {
+                // Interpolate within the round the crossing happened.
+                let span = prev - next;
+                let frac = if span > 1e-12 {
+                    (prev - target) / span
+                } else {
+                    1.0
+                };
+                return Some(i as f64 + frac);
+            }
+        }
+        None
+    }
+
+    /// The adversary's attribute-mutation cost per successfully evading
+    /// request, per round: mutated attributes divided by the automation
+    /// requests the named detector missed that round. The price of staying
+    /// invisible — rising cost with flat recall means the detector is
+    /// winning the economics even when the rate looks stable.
+    pub fn mutation_cost_per_evasion(&self, detector: &str) -> Vec<f64> {
+        self.rounds
+            .iter()
+            .map(|r| {
+                let evading = r.evading_bot_requests(detector);
+                if evading < 1.0 {
+                    0.0
+                } else {
+                    r.mutation.mutated_attrs as f64 / evading
+                }
+            })
+            .collect()
     }
 }
 
@@ -432,6 +586,115 @@ mod tests {
         let engine = engine_flagging("flagged-device");
         let tnr = true_negative_rate(&store, &engine);
         assert!((tnr - 0.5).abs() < 1e-9, "one of two humans flagged: {tnr}");
+    }
+
+    fn round_stats(round: u32, bot_recall: f64, user_fpr: f64, mutated: u64) -> RoundStats {
+        let mut flag_rate = [0.0; Cohort::ALL.len()];
+        flag_rate[Cohort::BotService.index()] = bot_recall;
+        flag_rate[Cohort::RealUser.index()] = user_fpr;
+        let mut cohort_sizes = [0u64; Cohort::ALL.len()];
+        cohort_sizes[Cohort::BotService.index()] = 1_000;
+        cohort_sizes[Cohort::RealUser.index()] = 100;
+        RoundStats {
+            round,
+            cohorts: CohortReport {
+                cohort_sizes,
+                detectors: vec![DetectorCohortStats {
+                    detector: sym("d"),
+                    precision: 1.0,
+                    flag_rate,
+                }],
+            },
+            denied: [0; Cohort::ALL.len()],
+            mutation: MutationStats {
+                adapted_requests: mutated.min(1_000),
+                mutated_attrs: mutated,
+                rotated_ips: 0,
+                tls_upgrades: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn trajectories_follow_rounds() {
+        let mut traj = TrajectoryReport::new();
+        for (i, recall) in [0.8, 0.6, 0.4, 0.3].iter().enumerate() {
+            traj.push(round_stats(i as u32, *recall, 0.02, 500));
+        }
+        assert_eq!(
+            traj.recall_trajectory("d", Cohort::BotService),
+            vec![0.8, 0.6, 0.4, 0.3]
+        );
+        assert_eq!(traj.fpr_trajectory("d"), vec![0.02; 4]);
+        assert!(traj.recall_trajectory("absent", Cohort::BotService) == vec![0.0; 4]);
+    }
+
+    #[test]
+    fn half_life_interpolates_the_crossing_round() {
+        let mut traj = TrajectoryReport::new();
+        // 0.8 → 0.6 → 0.4: halves (0.4) exactly at round 2.
+        for (i, recall) in [0.8, 0.6, 0.4].iter().enumerate() {
+            traj.push(round_stats(i as u32, *recall, 0.0, 0));
+        }
+        let hl = traj.evasion_half_life("d", Cohort::BotService).unwrap();
+        assert!((hl - 2.0).abs() < 1e-9, "half-life {hl}");
+
+        // 0.8 → 0.2: crossing mid-round-0→1, target 0.4 is 2/3 of the way.
+        let mut fast = TrajectoryReport::new();
+        fast.push(round_stats(0, 0.8, 0.0, 0));
+        fast.push(round_stats(1, 0.2, 0.0, 0));
+        let hl = fast.evasion_half_life("d", Cohort::BotService).unwrap();
+        assert!((hl - 2.0 / 3.0).abs() < 1e-9, "half-life {hl}");
+    }
+
+    #[test]
+    fn half_life_none_when_detector_holds_or_never_caught() {
+        let mut traj = TrajectoryReport::new();
+        traj.push(round_stats(0, 0.8, 0.0, 0));
+        traj.push(round_stats(1, 0.7, 0.0, 0));
+        assert_eq!(traj.evasion_half_life("d", Cohort::BotService), None);
+
+        let mut zero = TrajectoryReport::new();
+        zero.push(round_stats(0, 0.0, 0.0, 0));
+        zero.push(round_stats(1, 0.0, 0.0, 0));
+        assert_eq!(zero.evasion_half_life("d", Cohort::BotService), None);
+        assert_eq!(
+            TrajectoryReport::new().evasion_half_life("d", Cohort::BotService),
+            None
+        );
+    }
+
+    #[test]
+    fn mutation_cost_divides_by_evading_requests() {
+        let mut traj = TrajectoryReport::new();
+        // 1000 bots, recall 0.6 → 400 evading; 800 mutated attrs → 2.0.
+        traj.push(round_stats(0, 0.6, 0.0, 800));
+        let cost = traj.mutation_cost_per_evasion("d");
+        assert!((cost[0] - 2.0).abs() < 1e-9, "cost {}", cost[0]);
+        // Full recall → no evaders → cost reported as 0, not a division blowup.
+        let mut full = TrajectoryReport::new();
+        full.push(round_stats(0, 1.0, 0.0, 800));
+        assert_eq!(full.mutation_cost_per_evasion("d"), vec![0.0]);
+    }
+
+    #[test]
+    fn mutation_stats_absorb_sums_fields() {
+        let mut a = MutationStats {
+            adapted_requests: 1,
+            mutated_attrs: 2,
+            rotated_ips: 3,
+            tls_upgrades: 4,
+        };
+        a.absorb(MutationStats {
+            adapted_requests: 10,
+            mutated_attrs: 20,
+            rotated_ips: 30,
+            tls_upgrades: 40,
+        });
+        assert_eq!(a.adapted_requests, 11);
+        assert_eq!(a.mutated_attrs, 22);
+        assert_eq!(a.rotated_ips, 33);
+        assert_eq!(a.tls_upgrades, 44);
     }
 
     #[test]

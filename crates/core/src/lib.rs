@@ -16,8 +16,10 @@
 //!   (the paper open-sources its rules in exactly this spirit).
 //! * [`engine`] — request matching: spatial rules + generalised location
 //!   check + temporal state.
-//! * [`evaluate`] — Tables 3 and 4, §7.4's true-negative rate, and the
-//!   §7.3 80/20 generalisation experiment.
+//! * [`evaluate`] — Tables 3 and 4, §7.4's true-negative rate, the §7.3
+//!   80/20 generalisation experiment, and the closed-loop arena's
+//!   round-over-round trajectory report (recall decay, evasion half-life,
+//!   mutation cost).
 
 pub mod attrs;
 pub mod captcha;
@@ -31,6 +33,8 @@ pub mod temporal;
 pub use attrs::AnalysisAttr;
 pub use categories::{Category, CATEGORIES};
 pub use engine::FpInconsistent;
-pub use evaluate::{DetectionReport, ServiceImprovement};
+pub use evaluate::{
+    DetectionReport, MutationStats, RoundStats, ServiceImprovement, TrajectoryReport,
+};
 pub use rules::{RuleSet, SpatialRule};
 pub use spatial::MineConfig;

@@ -1,0 +1,587 @@
+//! The closed loop: rounds of traffic → verdicts → mitigation → adaptation.
+//!
+//! One [`Arena`] owns everything both sides of the §6 feedback loop need:
+//! the defender's detector chain (the default honey-site chain plus
+//! FP-Inconsistent's adapters, mined once on round 0's paper traffic — the
+//! deployment setting: mine offline, deploy online), a [`ResponsePolicy`],
+//! the TTL blocklist the policy writes, and one
+//! [`AdaptationStrategy`] per bot service.
+//!
+//! A round is:
+//!
+//! 1. **Generate** — every source emits its traffic. Round 0 is exactly
+//!    the single-shot cohort campaign (provably flag-for-flag identical to
+//!    the pre-arena pipeline); later rounds re-generate the bot services
+//!    and the TLS-laggard cohort and let their strategies rewrite the
+//!    requests, while real users and AI agents are the same truthful
+//!    population every round, shifted in time.
+//! 2. **Admit** — the TTL blocklist (written by earlier rounds, expiring
+//!    on simulated time) turns away listed addresses before anything else
+//!    sees them — `fp-netsim`'s enforcement point.
+//! 3. **Detect** — the admitted stream runs through the sharded ingest
+//!    pipeline; every record carries the full named `VerdictSet`.
+//! 4. **Mitigate** — the policy maps each record's verdicts to a
+//!    [`MitigationAction`]; blocks feed the blocklist for *subsequent*
+//!    rounds (mitigation ships in batches, like real vendors' list
+//!    updates).
+//! 5. **Adapt** — each bot service observes its own visible outcome (and
+//!    nothing else) and updates its strategy for the next round.
+//!
+//! Everything is seeded and the per-round ingest is the shard-invariant
+//! pipeline, so a whole campaign replays identically at any shard count.
+
+use crate::policy::ResponsePolicy;
+use crate::strategy::AdaptationStrategy;
+use fp_botnet::{Campaign, CampaignConfig};
+use fp_honeysite::{HoneySite, RequestStore};
+use fp_inconsistent_core::evaluate::{self, MutationStats, RoundStats, TrajectoryReport};
+use fp_inconsistent_core::{FpInconsistent, MineConfig};
+use fp_netsim::{NetDb, TtlBlocklist};
+use fp_types::{
+    mix2, Cohort, MitigationAction, Request, RoundOutcome, Scale, ServiceId, SimTime, Splittable,
+    TrafficSource, STUDY_DAYS,
+};
+use std::collections::HashMap;
+
+/// Simulated seconds per arena round (one full campaign window).
+pub const ROUND_SECS: u64 = STUDY_DAYS as u64 * 86_400;
+
+/// Arena parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ArenaConfig {
+    /// Volume scale relative to the paper's campaign.
+    pub scale: Scale,
+    /// Master seed; every round's generation and adaptation derives from
+    /// it.
+    pub seed: u64,
+    /// Ingest shards per round (1 = sequential-equivalent).
+    pub shards: usize,
+    /// The response policy under test.
+    pub policy: ResponsePolicy,
+}
+
+impl Default for ArenaConfig {
+    fn default() -> Self {
+        ArenaConfig {
+            scale: Scale::ratio(0.02),
+            seed: 0xF91C0DE,
+            shards: 1,
+            policy: ResponsePolicy::block(crate::policy::DEFAULT_BLOCK_TTL_SECS),
+        }
+    }
+}
+
+/// Everything one completed round hands back.
+pub struct RoundResult {
+    /// The round index.
+    pub round: u32,
+    /// The round's recorded store (admitted traffic with full verdict
+    /// provenance).
+    pub store: RequestStore,
+    /// Per-source visible outcomes — what each adaptation strategy was
+    /// shown.
+    pub outcomes: HashMap<TrafficSource, RoundOutcome>,
+    /// The round's measurement (also accumulated in the arena's
+    /// [`TrajectoryReport`]).
+    pub stats: RoundStats,
+}
+
+impl RoundResult {
+    /// A source's outcome (zero-filled if it sent nothing).
+    pub fn outcome(&self, source: TrafficSource) -> RoundOutcome {
+        self.outcomes.get(&source).copied().unwrap_or(RoundOutcome {
+            round: self.round,
+            ..RoundOutcome::default()
+        })
+    }
+}
+
+/// The closed-loop mitigation & adaptation arena.
+pub struct Arena {
+    config: ArenaConfig,
+    base: Campaign,
+    engine: FpInconsistent,
+    blocklist: TtlBlocklist,
+    strategies: HashMap<ServiceId, Box<dyn AdaptationStrategy>>,
+    laggard_strategy: Option<Box<dyn AdaptationStrategy>>,
+    trajectory: TrajectoryReport,
+    round: u32,
+}
+
+impl Arena {
+    /// Set up the arena: generate the base campaign and mine the engine on
+    /// its paper-faithful traffic (bots + real users), exactly like the
+    /// single-shot pipeline does.
+    pub fn new(config: ArenaConfig) -> Arena {
+        let base = Campaign::generate(CampaignConfig {
+            scale: config.scale,
+            seed: config.seed,
+        });
+        let mut mine_site = Self::site_without_engine(&base);
+        mine_site.ingest_all(base.bot_requests.iter().cloned());
+        mine_site.ingest_all(base.real_users.iter().map(|r| r.request.clone()));
+        let engine = FpInconsistent::mine(&mine_site.into_store(), &MineConfig::default());
+        Arena {
+            config,
+            base,
+            engine,
+            blocklist: TtlBlocklist::new(),
+            strategies: HashMap::new(),
+            laggard_strategy: None,
+            trajectory: TrajectoryReport::new(),
+            round: 0,
+        }
+    }
+
+    /// Give one bot service an adaptation strategy (services without one
+    /// stay static).
+    pub fn set_strategy(&mut self, id: ServiceId, strategy: Box<dyn AdaptationStrategy>) {
+        self.strategies.insert(id, strategy);
+    }
+
+    /// Give the TLS-laggard cohort an adaptation strategy.
+    pub fn set_laggard_strategy(&mut self, strategy: Box<dyn AdaptationStrategy>) {
+        self.laggard_strategy = Some(strategy);
+    }
+
+    /// The shipped adaptive preset: every service rotates IPs (with the
+    /// timezone patched to match) and mutates fingerprints once mitigation
+    /// bites; the laggard fleet gradually pays for real browser stacks.
+    pub fn adaptive_defaults(&mut self) {
+        use crate::strategy::{Composite, FingerprintMutation, IpRotation, TlsUpgrade};
+        for id in ServiceId::all() {
+            self.set_strategy(
+                id,
+                Box::new(Composite::new(vec![
+                    Box::new(IpRotation::new(0.15, true)),
+                    Box::new(FingerprintMutation::new(0.15, 0.85)),
+                ])),
+            );
+        }
+        self.set_laggard_strategy(Box::new(TlsUpgrade::new(0.15, 0.5)));
+    }
+
+    /// The arena's configuration.
+    pub fn config(&self) -> &ArenaConfig {
+        &self.config
+    }
+
+    /// The base (round-0) campaign.
+    pub fn base_campaign(&self) -> &Campaign {
+        &self.base
+    }
+
+    /// The mined engine deployed in every round's chain.
+    pub fn engine(&self) -> &FpInconsistent {
+        &self.engine
+    }
+
+    /// The mitigation blocklist as of now (entries from all completed
+    /// rounds, expired ones included until swept).
+    pub fn blocklist(&self) -> &TtlBlocklist {
+        &self.blocklist
+    }
+
+    /// Rounds completed so far.
+    pub fn rounds_played(&self) -> u32 {
+        self.round
+    }
+
+    /// The accumulated round-over-round measurement.
+    pub fn trajectory(&self) -> &TrajectoryReport {
+        &self.trajectory
+    }
+
+    /// Consume the arena, keeping the trajectory.
+    pub fn into_trajectory(self) -> TrajectoryReport {
+        self.trajectory
+    }
+
+    /// Play one round; returns its full result.
+    pub fn step(&mut self) -> RoundResult {
+        let round = self.round;
+        let (stream, mutation) = self.round_stream(round);
+
+        // Admission: the blocklist written by earlier rounds turns listed
+        // addresses away before the detector chain sees them.
+        let mut outcomes: HashMap<TrafficSource, RoundOutcome> = HashMap::new();
+        let mut denied = [0u64; Cohort::ALL.len()];
+        let mut admitted = Vec::with_capacity(stream.len());
+        for request in stream {
+            let outcome = outcomes.entry(request.source).or_insert(RoundOutcome {
+                round,
+                ..RoundOutcome::default()
+            });
+            outcome.sent += 1;
+            if self
+                .blocklist
+                .contains(NetDb::hash_ip(request.ip), request.time)
+            {
+                outcome.denied += 1;
+                denied[request.source.cohort().index()] += 1;
+            } else {
+                admitted.push(request);
+            }
+        }
+
+        // Detection: the sharded pipeline with the full six-detector chain.
+        let mut site = self.site();
+        site.ingest_stream(admitted, self.config.shards);
+        let store = site.into_store();
+
+        // Mitigation: verdicts → actions; blocks land on the list that
+        // gates the *next* rounds' admissions.
+        for record in store.iter() {
+            let outcome = outcomes.entry(record.source).or_insert(RoundOutcome {
+                round,
+                ..RoundOutcome::default()
+            });
+            match self.config.policy.decide(&record.verdicts) {
+                MitigationAction::Allow | MitigationAction::ShadowFlag => outcome.allowed += 1,
+                MitigationAction::Captcha => outcome.captchas += 1,
+                MitigationAction::Block(ttl_secs) => {
+                    outcome.blocked += 1;
+                    self.blocklist.block(record.ip_hash, record.time, ttl_secs);
+                }
+            }
+        }
+        self.blocklist
+            .purge_expired(SimTime(u64::from(round + 1) * ROUND_SECS));
+
+        let stats = RoundStats {
+            round,
+            cohorts: evaluate::cohort_report(&store),
+            denied,
+            mutation,
+        };
+        self.trajectory.push(stats.clone());
+
+        // Adaptation: every strategy sees its own source's outcome only.
+        for (id, strategy) in &mut self.strategies {
+            let source = TrafficSource::Bot(*id);
+            let outcome = outcomes.get(&source).copied().unwrap_or(RoundOutcome {
+                round,
+                ..RoundOutcome::default()
+            });
+            strategy.observe(&outcome);
+        }
+        if let Some(strategy) = &mut self.laggard_strategy {
+            let outcome =
+                outcomes
+                    .get(&TrafficSource::TlsLaggard)
+                    .copied()
+                    .unwrap_or(RoundOutcome {
+                        round,
+                        ..RoundOutcome::default()
+                    });
+            strategy.observe(&outcome);
+        }
+
+        self.round += 1;
+        RoundResult {
+            round,
+            store,
+            outcomes,
+            stats,
+        }
+    }
+
+    /// Play `rounds` rounds and return the accumulated trajectory.
+    pub fn run(&mut self, rounds: u32) -> &TrajectoryReport {
+        for _ in 0..rounds {
+            self.step();
+        }
+        &self.trajectory
+    }
+
+    /// A fresh honey site with every token registered and the full chain
+    /// (default detectors + the mined engine's adapters) — detector state
+    /// starts empty each round, like a measurement window reset.
+    fn site(&self) -> HoneySite {
+        let mut site = Self::site_without_engine(&self.base);
+        for detector in self.engine.detectors() {
+            site.push_detector(detector);
+        }
+        site
+    }
+
+    fn site_without_engine(campaign: &Campaign) -> HoneySite {
+        let mut site = HoneySite::new();
+        for id in ServiceId::all() {
+            site.register_token(campaign.token_of(id));
+        }
+        site.register_token(campaign.real_user_token());
+        site.register_token(campaign.ai_agent_token());
+        site.register_token(campaign.tls_laggard_token());
+        site
+    }
+
+    /// Build round `r`'s request stream (bots, then real users, AI agents
+    /// and TLS laggards — the cohort-campaign order) plus the adaptation
+    /// spend that went into it.
+    fn round_stream(&mut self, r: u32) -> (Vec<Request>, MutationStats) {
+        if r == 0 {
+            // Round 0 is the single-shot cohort campaign, untouched: no
+            // blocklist entries exist yet and no strategy has observed
+            // anything, so the arena's first round *is* the pre-arena
+            // pipeline.
+            let mut stream = self.base.bot_requests.clone();
+            stream.extend(self.base.real_users.iter().map(|u| u.request.clone()));
+            stream.extend(self.base.ai_agents.iter().cloned());
+            stream.extend(self.base.tls_laggards.iter().cloned());
+            return (stream, MutationStats::default());
+        }
+
+        // Only the adversarial fleet is regenerated — the truthful
+        // populations are reused from the base campaign below, so there is
+        // no point paying to generate fresh ones.
+        let fresh = Campaign::generate_adversarial(CampaignConfig {
+            scale: self.config.scale,
+            seed: mix2(self.config.seed, u64::from(r)),
+        });
+        let arena_rng = Splittable::new(self.config.seed)
+            .child_str("arena")
+            .child(u64::from(r));
+        let mut service_rngs: HashMap<ServiceId, Splittable> = ServiceId::all()
+            .map(|id| (id, arena_rng.child(u64::from(id.0))))
+            .collect();
+        let mut mutation = MutationStats::default();
+        let mut stream = Vec::with_capacity(
+            fresh.bot_requests.len()
+                + self.base.real_users.len()
+                + self.base.ai_agents.len()
+                + fresh.tls_laggards.len(),
+        );
+
+        // Bot services: regenerated fleet, rewritten by each service's
+        // strategy. Tokens are seed-derived, so the regenerated requests
+        // are re-tokenised to the base campaign's registrations.
+        for mut request in fresh.bot_requests {
+            let TrafficSource::Bot(id) = request.source else {
+                continue;
+            };
+            request.site_token = self.base.token_of(id);
+            let rng = service_rngs.get_mut(&id).expect("every service has an rng");
+            if let Some(strategy) = self.strategies.get_mut(&id) {
+                if !rng.chance(strategy.volume_factor()) {
+                    continue; // retreat: this request is never sent
+                }
+                let receipt = strategy.apply(&mut request, rng);
+                absorb_receipt(&mut mutation, receipt);
+            }
+            request.time = shift_round(request.time, r);
+            stream.push(request);
+        }
+
+        // Truthful population: the same users and agents come back every
+        // round (their devices and habits don't change because a bot got
+        // blocked), just later in simulated time.
+        stream.extend(self.base.real_users.iter().map(|u| {
+            let mut request = u.request.clone();
+            request.time = shift_round(request.time, r);
+            request
+        }));
+        stream.extend(self.base.ai_agents.iter().map(|a| {
+            let mut request = a.clone();
+            request.time = shift_round(request.time, r);
+            request
+        }));
+
+        // The TLS-laggard cohort: regenerated fleet under its strategy.
+        let mut laggard_rng = arena_rng.child_str("laggards");
+        for mut request in fresh.tls_laggards {
+            request.site_token = self.base.tls_laggard_token();
+            if let Some(strategy) = &mut self.laggard_strategy {
+                if !laggard_rng.chance(strategy.volume_factor()) {
+                    continue;
+                }
+                let receipt = strategy.apply(&mut request, &mut laggard_rng);
+                absorb_receipt(&mut mutation, receipt);
+            }
+            request.time = shift_round(request.time, r);
+            stream.push(request);
+        }
+
+        (stream, mutation)
+    }
+}
+
+/// Shift a round-local arrival time into round `r`'s window.
+fn shift_round(time: SimTime, r: u32) -> SimTime {
+    SimTime(time.0 + u64::from(r) * ROUND_SECS)
+}
+
+fn absorb_receipt(stats: &mut MutationStats, receipt: crate::strategy::MutationReceipt) {
+    stats.absorb(MutationStats {
+        adapted_requests: u64::from(receipt.touched()),
+        mutated_attrs: u64::from(receipt.mutated_attrs),
+        rotated_ips: u64::from(receipt.rotated_ip),
+        tls_upgrades: u64::from(receipt.upgraded_tls),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{FingerprintMutation, IpRotation, Static};
+    use fp_types::detect::provenance;
+
+    fn tiny_config(policy: ResponsePolicy) -> ArenaConfig {
+        ArenaConfig {
+            scale: Scale::ratio(0.005),
+            seed: 77,
+            shards: 1,
+            policy,
+        }
+    }
+
+    #[test]
+    fn rounds_advance_time_and_trajectory() {
+        let mut arena = Arena::new(tiny_config(ResponsePolicy::shadow()));
+        let r0 = arena.step();
+        let r1 = arena.step();
+        assert_eq!(r0.round, 0);
+        assert_eq!(r1.round, 1);
+        assert_eq!(arena.rounds_played(), 2);
+        assert_eq!(arena.trajectory().rounds.len(), 2);
+        let max_t0 = r0.store.iter().map(|r| r.time).max().unwrap();
+        let min_t1 = r1.store.iter().map(|r| r.time).min().unwrap();
+        assert!(min_t1 >= SimTime(ROUND_SECS), "round 1 is later in time");
+        assert!(max_t0 < SimTime(ROUND_SECS));
+    }
+
+    #[test]
+    fn shadow_policy_never_denies_or_blocks() {
+        let mut arena = Arena::new(tiny_config(ResponsePolicy::shadow()));
+        arena.adaptive_defaults();
+        for _ in 0..2 {
+            let result = arena.step();
+            for outcome in result.outcomes.values() {
+                assert_eq!(outcome.denied, 0);
+                assert_eq!(outcome.blocked, 0);
+                assert_eq!(outcome.captchas, 0);
+                assert_eq!(outcome.visible_failure_rate(), 0.0);
+            }
+        }
+        assert!(arena.blocklist().is_empty());
+    }
+
+    #[test]
+    fn block_policy_feeds_the_blocklist_and_denies_next_round() {
+        let mut arena = Arena::new(tiny_config(ResponsePolicy::block(ROUND_SECS * 2)));
+        let r0 = arena.step();
+        let blocked: u64 = r0.outcomes.values().map(|o| o.blocked).sum();
+        assert!(blocked > 0, "the chain flags plenty of round-0 bots");
+        assert!(!arena.blocklist().is_empty());
+        let r1 = arena.step();
+        let denied: u64 = r1.outcomes.values().map(|o| o.denied).sum();
+        assert!(denied > 0, "round-1 admissions hit round-0 blocks");
+        assert_eq!(
+            r0.outcomes.values().map(|o| o.denied).sum::<u64>(),
+            0,
+            "round 0 starts with an empty list"
+        );
+    }
+
+    #[test]
+    fn blocklist_entries_expire_across_rounds() {
+        // A TTL much shorter than a round leaves (at most) the tail-end
+        // blocks alive at the round boundary, so round-1 denials collapse
+        // compared to a TTL that spans the whole next round.
+        let denied_r1 = |ttl: u64| {
+            let mut arena = Arena::new(tiny_config(ResponsePolicy::block(ttl)));
+            arena.step();
+            let r1 = arena.step();
+            r1.outcomes.values().map(|o| o.denied).sum::<u64>()
+        };
+        let short = denied_r1(1_000);
+        let long = denied_r1(ROUND_SECS * 2);
+        assert!(long > 0, "long-TTL blocks must deny round-1 traffic");
+        assert!(
+            short * 20 < long,
+            "short-TTL entries mostly expired: {short} denied vs {long}"
+        );
+    }
+
+    #[test]
+    fn static_services_replay_identically_at_any_shard_count() {
+        let run = |shards: usize| {
+            let mut config = tiny_config(ResponsePolicy::block(ROUND_SECS));
+            config.shards = shards;
+            let mut arena = Arena::new(config);
+            arena.set_strategy(ServiceId(1), Box::new(Static));
+            arena.set_strategy(ServiceId(2), Box::new(IpRotation::new(0.1, true)));
+            let r0 = arena.step();
+            let r1 = arena.step();
+            (r0.store, r1.store)
+        };
+        let (a0, a1) = run(1);
+        let (b0, b1) = run(3);
+        for (a, b) in [(a0, b0), (a1, b1)] {
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.verdicts, y.verdicts);
+                assert_eq!(x.ip_hash, y.ip_hash);
+                assert_eq!(x.cookie, y.cookie);
+            }
+        }
+    }
+
+    #[test]
+    fn strategies_only_see_their_own_outcome() {
+        // A mutating service adapts; a static one stays put. The static
+        // service's round-1 traffic must equal a no-strategy run's.
+        let run = |mutate_s1: bool| {
+            let mut arena = Arena::new(tiny_config(ResponsePolicy::block(ROUND_SECS)));
+            if mutate_s1 {
+                arena.set_strategy(ServiceId(1), Box::new(FingerprintMutation::new(0.05, 1.0)));
+            }
+            arena.step();
+            let r1 = arena.step();
+            let digests: Vec<u64> = r1
+                .store
+                .iter()
+                .filter(|r| r.source == TrafficSource::Bot(ServiceId(3)))
+                .map(|r| r.fingerprint.digest())
+                .collect();
+            digests
+        };
+        assert_eq!(run(false), run(true), "S3's traffic is unaffected by S1");
+    }
+
+    #[test]
+    fn mutation_spend_is_accounted() {
+        let mut arena = Arena::new(tiny_config(ResponsePolicy::block(ROUND_SECS)));
+        arena.set_strategy(ServiceId(1), Box::new(FingerprintMutation::new(0.05, 1.0)));
+        arena.step();
+        let r1 = arena.step();
+        assert!(r1.stats.mutation.adapted_requests > 0);
+        // Resolution (2) + cores (1) + cookie (1) change on every adapted
+        // request; timezone attrs only count when they were wrong.
+        assert!(r1.stats.mutation.mutated_attrs >= 4 * r1.stats.mutation.adapted_requests);
+        assert_eq!(r1.stats.mutation.tls_upgrades, 0);
+    }
+
+    #[test]
+    fn every_round_keeps_full_verdict_provenance() {
+        let mut arena = Arena::new(tiny_config(ResponsePolicy::captcha()));
+        arena.step();
+        let r1 = arena.step();
+        for record in r1.store.iter().take(50) {
+            for name in [
+                provenance::DATADOME,
+                provenance::BOTD,
+                provenance::FP_TLS_CROSSLAYER,
+                provenance::FP_SPATIAL,
+                provenance::FP_TEMPORAL_COOKIE,
+                provenance::FP_TEMPORAL_IP,
+            ] {
+                assert!(
+                    record.verdicts.verdict(name).is_some(),
+                    "round-1 record {} missing {name}",
+                    record.id
+                );
+            }
+        }
+    }
+}

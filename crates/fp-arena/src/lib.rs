@@ -1,0 +1,46 @@
+//! `fp-arena` — the closed-loop mitigation & bot-adaptation arena.
+//!
+//! The paper's §6 is not a story about who gets flagged; it is a story
+//! about what evasive bot services *do after mitigation lands*: they
+//! rotate source IPs across ASNs and geographies and mutate the
+//! fingerprint attributes the rules keyed on, until they slip back in.
+//! The rest of this workspace measures a single contact; this crate closes
+//! the loop and measures the fight over time.
+//!
+//! * [`ResponsePolicy`] — what the site does with a flagged request:
+//!   Allow (control), Captcha, Block-with-TTL (enforced at admission via
+//!   `fp-netsim`'s [`fp_netsim::TtlBlocklist`]), or ShadowFlag (the
+//!   paper's own record-everything-serve-everything posture).
+//! * [`AdaptationStrategy`] — how a bot service rewrites its next round
+//!   from the outcomes it can *see*: [`IpRotation`] (fresh addresses →
+//!   residential ASNs → new geographies), [`FingerprintMutation`]
+//!   (timezone alignment, hardware re-randomisation, cookie laundering),
+//!   [`TlsUpgrade`] (laggards gradually paying for real browser stacks),
+//!   [`Cooldown`] (retreat), composed freely with [`Composite`]. The
+//!   truthful populations (real users, and the AI agents' honest
+//!   handshakes) return unchanged every round — they have nothing to
+//!   hide; the §7.5 privacy experiment stays outside the arena entirely.
+//! * [`Arena`] — the round loop itself. Round 0 is flag-for-flag the
+//!   single-shot cohort campaign; every later round regenerates the
+//!   adversarial fleet under its strategies, admits it through the TTL
+//!   blocklist, detects with the full six-detector chain on the sharded
+//!   pipeline, applies the policy, and feeds each service its own
+//!   [`fp_types::RoundOutcome`].
+//!
+//! The measurement comes out as a
+//! [`fp_inconsistent_core::TrajectoryReport`]: per-detector recall/FPR per
+//! round, evasion half-life, and the adversary's attribute-mutation cost
+//! per evading request.
+
+#![deny(missing_docs)]
+
+pub mod arena;
+pub mod policy;
+pub mod strategy;
+
+pub use arena::{Arena, ArenaConfig, RoundResult, ROUND_SECS};
+pub use policy::{ResponsePolicy, DEFAULT_BLOCK_TTL_SECS};
+pub use strategy::{
+    AdaptationStrategy, Composite, Cooldown, FingerprintMutation, IpRotation, MutationReceipt,
+    Static, TlsUpgrade,
+};

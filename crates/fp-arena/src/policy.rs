@@ -1,0 +1,146 @@
+//! Response policies: how the site answers a flagged request.
+//!
+//! The paper's honey site runs what [`ResponsePolicy::shadow`] models —
+//! record every verdict, serve every page — which is ideal for measurement
+//! and useless as mitigation. Production sites pick a visible action, and
+//! the §6 finding is that visible mitigation *teaches* evasive services:
+//! they rotate IPs across ASNs and geographies and mutate fingerprint
+//! attributes until they slip back in. A [`ResponsePolicy`] is therefore
+//! the arena's independent variable: same traffic, same detectors, four
+//! different feedback signals to the adversary.
+
+use fp_types::{MitigationAction, VerdictSet};
+
+/// Maps a request's recorded [`VerdictSet`] to a [`MitigationAction`].
+///
+/// The trigger is a vote threshold over the chain's named verdicts: a
+/// request is acted on when at least `min_votes` detectors flagged it
+/// (1 = any flag acts, higher values trade recall for collateral safety).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResponsePolicy {
+    /// Display name for reports and tables.
+    pub name: &'static str,
+    /// Number of flagging detectors required before the action applies.
+    pub min_votes: usize,
+    /// The action applied to triggered requests; everything else is served
+    /// normally.
+    pub action: MitigationAction,
+}
+
+/// Default TTL for [`ResponsePolicy::block`]: one full campaign window
+/// (91 days), so a block issued mid-round still binds through part of the
+/// next round and measurably decays across it.
+pub const DEFAULT_BLOCK_TTL_SECS: u64 = fp_types::STUDY_DAYS as u64 * 86_400;
+
+impl ResponsePolicy {
+    /// Serve everything (the do-nothing control: no feedback, no denial).
+    pub fn allow() -> ResponsePolicy {
+        ResponsePolicy {
+            name: "allow",
+            min_votes: 1,
+            action: MitigationAction::Allow,
+        }
+    }
+
+    /// Challenge flagged requests with a CAPTCHA — visible to the client,
+    /// but no blocklist entry, so the same address can try again.
+    pub fn captcha() -> ResponsePolicy {
+        ResponsePolicy {
+            name: "captcha",
+            min_votes: 1,
+            action: MitigationAction::Captcha,
+        }
+    }
+
+    /// Deny flagged requests and blocklist their address for `ttl_secs` of
+    /// simulated time (enforced at admission until expiry).
+    pub fn block(ttl_secs: u64) -> ResponsePolicy {
+        ResponsePolicy {
+            name: "block",
+            min_votes: 1,
+            action: MitigationAction::Block(ttl_secs),
+        }
+    }
+
+    /// Record the flag, serve the page — the paper's own measurement
+    /// posture. The adversary sees pure success and never adapts.
+    pub fn shadow() -> ResponsePolicy {
+        ResponsePolicy {
+            name: "shadow",
+            min_votes: 1,
+            action: MitigationAction::ShadowFlag,
+        }
+    }
+
+    /// The same policy with a different vote threshold.
+    pub fn with_min_votes(mut self, min_votes: usize) -> ResponsePolicy {
+        self.min_votes = min_votes.max(1);
+        self
+    }
+
+    /// The four shipped policies, in ablation order.
+    pub fn all() -> [ResponsePolicy; 4] {
+        [
+            ResponsePolicy::allow(),
+            ResponsePolicy::shadow(),
+            ResponsePolicy::captcha(),
+            ResponsePolicy::block(DEFAULT_BLOCK_TTL_SECS),
+        ]
+    }
+
+    /// Decide one request from its recorded verdicts.
+    pub fn decide(&self, verdicts: &VerdictSet) -> MitigationAction {
+        let votes = verdicts.iter().filter(|(_, v)| v.is_bot()).count();
+        if votes >= self.min_votes {
+            self.action
+        } else {
+            MitigationAction::Allow
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_types::{sym, Verdict};
+
+    fn verdicts(bots: usize, humans: usize) -> VerdictSet {
+        let mut set = VerdictSet::new();
+        for i in 0..bots {
+            set.record(sym(&format!("b{i}")), Verdict::Bot);
+        }
+        for i in 0..humans {
+            set.record(sym(&format!("h{i}")), Verdict::Human);
+        }
+        set
+    }
+
+    #[test]
+    fn votes_gate_the_action() {
+        let policy = ResponsePolicy::block(100).with_min_votes(2);
+        assert_eq!(policy.decide(&verdicts(0, 3)), MitigationAction::Allow);
+        assert_eq!(policy.decide(&verdicts(1, 2)), MitigationAction::Allow);
+        assert_eq!(policy.decide(&verdicts(2, 1)), MitigationAction::Block(100));
+    }
+
+    #[test]
+    fn allow_policy_never_escalates() {
+        let policy = ResponsePolicy::allow();
+        assert_eq!(policy.decide(&verdicts(5, 0)), MitigationAction::Allow);
+    }
+
+    #[test]
+    fn shadow_triggers_invisibly() {
+        let policy = ResponsePolicy::shadow();
+        let action = policy.decide(&verdicts(1, 0));
+        assert_eq!(action, MitigationAction::ShadowFlag);
+        assert!(!action.visible_to_client());
+    }
+
+    #[test]
+    fn min_votes_floor_is_one() {
+        let policy = ResponsePolicy::captcha().with_min_votes(0);
+        assert_eq!(policy.min_votes, 1);
+        assert_eq!(policy.decide(&verdicts(0, 2)), MitigationAction::Allow);
+    }
+}

@@ -1,0 +1,660 @@
+//! Bot adaptation strategies — the §6 behaviours, made executable.
+//!
+//! The paper observed that after mitigation landed, evasive services
+//! changed their traffic: IP geolocation and ASN mixes shifted, and
+//! fingerprint attributes that rules keyed on were mutated. An
+//! [`AdaptationStrategy`] reproduces that feedback loop for one traffic
+//! source: it watches the source's [`RoundOutcome`] (only what a client
+//! can see — denials, CAPTCHAs, blocks), builds up pressure, and rewrites
+//! the source's next-round requests accordingly. Every rewrite returns a
+//! [`MutationReceipt`] so the arena can report the *cost* of staying
+//! evasive, not just the rate.
+//!
+//! Truthful traffic never gets a strategy: real users keep presenting
+//! whatever their browsers genuinely say, round after round.
+
+use fp_netsim::asn::{asns_in, AsnClass};
+use fp_netsim::{NetDb, Region};
+use fp_types::{AttrId, Fingerprint, Request, RoundOutcome, Splittable};
+
+/// What one [`AdaptationStrategy::apply`] call changed about a request —
+/// the arena sums these into `core::evaluate::MutationStats`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MutationReceipt {
+    /// The source address was replaced.
+    pub rotated_ip: bool,
+    /// Number of fingerprint attributes rewritten (cookie rotation counts
+    /// as one — the cookie is the temporal anchor being laundered).
+    pub mutated_attrs: u32,
+    /// The TLS facet was upgraded to the truthful hello for the claimed UA.
+    pub upgraded_tls: bool,
+}
+
+impl MutationReceipt {
+    /// A receipt for an untouched request.
+    pub const NONE: MutationReceipt = MutationReceipt {
+        rotated_ip: false,
+        mutated_attrs: 0,
+        upgraded_tls: false,
+    };
+
+    /// Did the strategy change anything?
+    pub fn touched(&self) -> bool {
+        self.rotated_ip || self.mutated_attrs > 0 || self.upgraded_tls
+    }
+
+    /// Union of two receipts on the same request (for [`Composite`]).
+    pub fn merge(self, other: MutationReceipt) -> MutationReceipt {
+        MutationReceipt {
+            rotated_ip: self.rotated_ip || other.rotated_ip,
+            mutated_attrs: self.mutated_attrs + other.mutated_attrs,
+            upgraded_tls: self.upgraded_tls || other.upgraded_tls,
+        }
+    }
+}
+
+/// How a bot service (or cohort) rewrites its next round of traffic in
+/// response to what it observed this round.
+///
+/// The contract mirrors the detector contract deliberately: `observe` is
+/// fed outcomes in round order, `apply` is called once per next-round
+/// request, and implementations must be deterministic given the same
+/// outcome sequence and RNG stream — the arena's shard-invariance and
+/// reproducibility guarantees rest on it.
+pub trait AdaptationStrategy: Send {
+    /// Strategy name, for reports.
+    fn name(&self) -> &'static str;
+
+    /// Digest one round's visible outcome (called once per round, in
+    /// order, after the round completes).
+    fn observe(&mut self, outcome: &RoundOutcome);
+
+    /// Fraction of the next round's traffic the source actually sends
+    /// (cooldown/retreat strategies shrink it; everyone else sends all).
+    fn volume_factor(&self) -> f64 {
+        1.0
+    }
+
+    /// Rewrite one next-round request in place and account for the change.
+    fn apply(&mut self, request: &mut Request, rng: &mut Splittable) -> MutationReceipt;
+}
+
+/// Rewrite the fingerprint's timezone story to `region`, returning how
+/// many attribute values actually changed. Re-asserting an
+/// already-correct value is not a mutation — this is what keeps the cost
+/// accounting honest when strategies compose (e.g. `IpRotation` patching
+/// the timezone and `FingerprintMutation` aligning it again).
+fn align_location(fp: &mut Fingerprint, region: &'static Region) -> u32 {
+    let mut changed = 0;
+    if fp.get(AttrId::Timezone).as_str() != Some(region.timezone) {
+        fp.set(AttrId::Timezone, region.timezone);
+        changed += 1;
+    }
+    let offset = i64::from(region.offset_minutes);
+    if fp.get(AttrId::TimezoneOffset).as_int() != Some(offset) {
+        fp.set(AttrId::TimezoneOffset, offset);
+        changed += 1;
+    }
+    changed
+}
+
+/// The do-nothing control: a service that never adapts.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Static;
+
+impl AdaptationStrategy for Static {
+    fn name(&self) -> &'static str {
+        "static"
+    }
+    fn observe(&mut self, _outcome: &RoundOutcome) {}
+    fn apply(&mut self, _request: &mut Request, _rng: &mut Splittable) -> MutationReceipt {
+        MutationReceipt::NONE
+    }
+}
+
+/// Countries the rotation market sells egress in (all have residential and
+/// datacenter inventory in the ASN table).
+const ROTATION_COUNTRIES: [&str; 4] = ["United States of America", "Canada", "France", "Germany"];
+
+/// §6.1: rotate source IPs when mitigation bites, escalating from "fresh
+/// addresses" to "different ASN class" to "different geography".
+///
+/// * level 1 — fresh addresses in the same country and class (burns TTL
+///   blocklist entries);
+/// * level 2 — shift to residential ASNs (changes the ASN mix the way the
+///   paper measured);
+/// * level 3 — rotate the country too (shifts the geolocation mix; with
+///   `patch_timezone` the browser timezone is rewritten to match the new
+///   address, otherwise the rotation leaks a location inconsistency).
+pub struct IpRotation {
+    /// Visible failure rate above which pressure escalates.
+    pub trigger: f64,
+    /// Rewrite `Timezone`/`TimezoneOffset` to the new address's region
+    /// (costs two attribute mutations per request, but starves the
+    /// location rules).
+    pub patch_timezone: bool,
+    level: u8,
+}
+
+impl IpRotation {
+    /// A rotation strategy with the given escalation trigger.
+    pub fn new(trigger: f64, patch_timezone: bool) -> IpRotation {
+        IpRotation {
+            trigger,
+            patch_timezone,
+            level: 0,
+        }
+    }
+
+    /// Current escalation level (0 = dormant, 3 = full geo rotation).
+    pub fn level(&self) -> u8 {
+        self.level
+    }
+}
+
+impl AdaptationStrategy for IpRotation {
+    fn name(&self) -> &'static str {
+        "ip-rotation"
+    }
+
+    fn observe(&mut self, outcome: &RoundOutcome) {
+        if outcome.visible_failure_rate() > self.trigger {
+            self.level = (self.level + 1).min(3);
+        }
+    }
+
+    fn apply(&mut self, request: &mut Request, rng: &mut Splittable) -> MutationReceipt {
+        if self.level == 0 {
+            return MutationReceipt::NONE;
+        }
+        let current = NetDb::lookup(request.ip);
+        let country = if self.level >= 3 {
+            // Rotate geography: any rotation-market country but the one the
+            // request already sits in.
+            loop {
+                let cand = *rng.pick(&ROTATION_COUNTRIES);
+                if cand != current.region.country {
+                    break cand;
+                }
+            }
+        } else {
+            current.region.country
+        };
+        let class = if self.level >= 2 {
+            AsnClass::Residential
+        } else {
+            current.asn.class
+        };
+        let pool = {
+            let exact = asns_in(country, class);
+            if !exact.is_empty() {
+                exact
+            } else {
+                // No inventory of this class where the request sits (e.g.
+                // Singapore has datacenter space only) — buy in one of the
+                // rotation market's stocked countries instead.
+                let market = *rng.pick(&ROTATION_COUNTRIES);
+                let stocked = asns_in(market, class);
+                if stocked.is_empty() {
+                    asns_in(market, AsnClass::Residential)
+                } else {
+                    stocked
+                }
+            }
+        };
+        let asn = pool[rng.next_below(pool.len() as u64) as usize];
+        request.ip = NetDb::sample_ip(asn, rng);
+
+        let mut receipt = MutationReceipt {
+            rotated_ip: true,
+            ..MutationReceipt::NONE
+        };
+        if self.patch_timezone {
+            let region = NetDb::lookup(request.ip).region;
+            receipt.mutated_attrs += align_location(&mut request.fingerprint, region);
+        }
+        receipt
+    }
+}
+
+/// Hardware-concurrency values the mutation pool draws from: plausible
+/// mid-range counts the campaign's archetypes rarely emit, so mined
+/// concrete pairs keyed on the original values stop matching.
+const MUTATED_CORES: [i64; 4] = [6, 10, 14, 20];
+
+/// Platform strings the sloppier mutation draws — off the beaten path of
+/// the round-0 traffic, so no mined pair anchors on them.
+const MUTATED_PLATFORMS: [&str; 3] = ["Linux i686", "FreeBSD amd64", "Win64"];
+
+/// §6.2: mutate the fingerprint attributes mitigation keys on.
+///
+/// Once the visible failure rate crosses the trigger the strategy latches
+/// on and rewrites every request: timezone aligned with the source address
+/// (starves the location generalisation), screen/hardware values
+/// re-randomised away from the mined concrete pairs, and the first-party
+/// cookie rotated per request (launders the temporal anchor). With
+/// probability `1 - thoroughness` the platform string is swapped too — a
+/// sloppy touch that a *re-mined* rule set would catch, exactly the
+/// paper's point about static filter lists rotting.
+pub struct FingerprintMutation {
+    /// Visible failure rate above which the strategy latches on.
+    pub trigger: f64,
+    /// How careful the operator is: careless mutations (platform swaps)
+    /// happen with probability `1 - thoroughness`.
+    pub thoroughness: f64,
+    active: bool,
+}
+
+impl FingerprintMutation {
+    /// A mutation strategy with the given trigger and carefulness.
+    pub fn new(trigger: f64, thoroughness: f64) -> FingerprintMutation {
+        FingerprintMutation {
+            trigger,
+            thoroughness,
+            active: false,
+        }
+    }
+
+    /// Has adaptation pressure activated the strategy?
+    pub fn active(&self) -> bool {
+        self.active
+    }
+}
+
+impl AdaptationStrategy for FingerprintMutation {
+    fn name(&self) -> &'static str {
+        "fingerprint-mutation"
+    }
+
+    fn observe(&mut self, outcome: &RoundOutcome) {
+        if outcome.visible_failure_rate() > self.trigger {
+            self.active = true;
+        }
+    }
+
+    fn apply(&mut self, request: &mut Request, rng: &mut Splittable) -> MutationReceipt {
+        if !self.active {
+            return MutationReceipt::NONE;
+        }
+        let mut mutated = 0u32;
+
+        // Align the browser timezone with whatever address carries the
+        // request — the location rules live off this mismatch. Counts only
+        // values that actually change.
+        let region = NetDb::lookup(request.ip).region;
+        mutated += align_location(&mut request.fingerprint, region);
+        let fp = &mut request.fingerprint;
+
+        // Re-randomise the hardware story away from the mined pairs.
+        let res = (
+            800 + rng.next_below(1800) as u16,
+            500 + rng.next_below(1100) as u16,
+        );
+        fp.set(AttrId::ScreenResolution, res);
+        fp.set(AttrId::AvailResolution, res);
+        fp.set(AttrId::HardwareConcurrency, *rng.pick(&MUTATED_CORES));
+        mutated += 3;
+
+        // Careless operators swap the platform string too.
+        if !rng.chance(self.thoroughness) {
+            fp.set(AttrId::Platform, *rng.pick(&MUTATED_PLATFORMS));
+            mutated += 1;
+        }
+
+        // Fresh cookie per request: the temporal anchor never accumulates.
+        request.cookie = Some(rng.next_u64());
+        mutated += 1;
+
+        MutationReceipt {
+            rotated_ip: false,
+            mutated_attrs: mutated,
+            upgraded_tls: false,
+        }
+    }
+}
+
+/// The laggard's way out: upgrade the TLS stack to match the claimed UA.
+///
+/// Stack upgrades are the expensive mutation — swapping a Go fetcher for a
+/// real browser runtime — so the fleet converts gradually: each pressured
+/// round moves `upgrade_rate` more of the fleet onto the truthful hello.
+/// Until a request's slice of the fleet has upgraded, its hello keeps
+/// telling the truth about the old stack, and the cross-layer detector
+/// keeps catching it — recall decays *only* at the pace the adversary pays
+/// this cost, which is the arena's TLS-side headline.
+pub struct TlsUpgrade {
+    /// Visible failure rate above which another fleet slice upgrades.
+    pub trigger: f64,
+    /// Fraction of the fleet upgraded per pressured round.
+    pub upgrade_rate: f64,
+    fleet_upgraded: f64,
+}
+
+impl TlsUpgrade {
+    /// A gradual-upgrade strategy.
+    pub fn new(trigger: f64, upgrade_rate: f64) -> TlsUpgrade {
+        TlsUpgrade {
+            trigger,
+            upgrade_rate,
+            fleet_upgraded: 0.0,
+        }
+    }
+
+    /// Fraction of the fleet running the truthful stack.
+    pub fn fleet_upgraded(&self) -> f64 {
+        self.fleet_upgraded
+    }
+}
+
+impl AdaptationStrategy for TlsUpgrade {
+    fn name(&self) -> &'static str {
+        "tls-upgrade"
+    }
+
+    fn observe(&mut self, outcome: &RoundOutcome) {
+        if outcome.visible_failure_rate() > self.trigger {
+            self.fleet_upgraded = (self.fleet_upgraded + self.upgrade_rate).min(1.0);
+        }
+    }
+
+    fn apply(&mut self, request: &mut Request, rng: &mut Splittable) -> MutationReceipt {
+        if self.fleet_upgraded <= 0.0 || !rng.chance(self.fleet_upgraded) {
+            return MutationReceipt::NONE;
+        }
+        let truthful = fp_botnet::archetype::truthful_tls(&request.fingerprint);
+        if !truthful.is_observed() {
+            return MutationReceipt::NONE;
+        }
+        request.tls = truthful;
+        MutationReceipt {
+            rotated_ip: false,
+            mutated_attrs: 0,
+            upgraded_tls: true,
+        }
+    }
+}
+
+/// Retreat: when mitigation bites, send less until the heat dies down.
+pub struct Cooldown {
+    /// Visible failure rate above which the source throttles.
+    pub trigger: f64,
+    /// Fraction of normal volume sent while cooling.
+    pub factor: f64,
+    cooling: bool,
+}
+
+impl Cooldown {
+    /// A cooldown strategy sending `factor` of normal volume under
+    /// pressure.
+    pub fn new(trigger: f64, factor: f64) -> Cooldown {
+        Cooldown {
+            trigger,
+            factor: factor.clamp(0.0, 1.0),
+            cooling: false,
+        }
+    }
+}
+
+impl AdaptationStrategy for Cooldown {
+    fn name(&self) -> &'static str {
+        "cooldown"
+    }
+
+    fn observe(&mut self, outcome: &RoundOutcome) {
+        self.cooling = outcome.visible_failure_rate() > self.trigger;
+    }
+
+    fn volume_factor(&self) -> f64 {
+        if self.cooling {
+            self.factor
+        } else {
+            1.0
+        }
+    }
+
+    fn apply(&mut self, _request: &mut Request, _rng: &mut Splittable) -> MutationReceipt {
+        MutationReceipt::NONE
+    }
+}
+
+/// Run several strategies on the same source (observed in order, applied
+/// in order, volume factors multiplied).
+pub struct Composite {
+    strategies: Vec<Box<dyn AdaptationStrategy>>,
+}
+
+impl Composite {
+    /// Compose strategies; they apply in the given order.
+    pub fn new(strategies: Vec<Box<dyn AdaptationStrategy>>) -> Composite {
+        Composite { strategies }
+    }
+}
+
+impl AdaptationStrategy for Composite {
+    fn name(&self) -> &'static str {
+        "composite"
+    }
+
+    fn observe(&mut self, outcome: &RoundOutcome) {
+        for s in &mut self.strategies {
+            s.observe(outcome);
+        }
+    }
+
+    fn volume_factor(&self) -> f64 {
+        self.strategies.iter().map(|s| s.volume_factor()).product()
+    }
+
+    fn apply(&mut self, request: &mut Request, rng: &mut Splittable) -> MutationReceipt {
+        let mut receipt = MutationReceipt::NONE;
+        for s in &mut self.strategies {
+            receipt = receipt.merge(s.apply(request, rng));
+        }
+        receipt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_fingerprint::{
+        BrowserFamily, BrowserProfile, Collector, DeviceKind, DeviceProfile, LocaleSpec,
+    };
+    use fp_types::{sym, BehaviorTrace, SimTime, TrafficSource};
+    use std::net::Ipv4Addr;
+
+    fn request(ip: Ipv4Addr) -> Request {
+        let mut rng = Splittable::new(1);
+        let d = DeviceProfile::sample(DeviceKind::WindowsDesktop, &mut rng);
+        let b = BrowserProfile::contemporary(BrowserFamily::Chrome, &mut rng);
+        Request {
+            id: 0,
+            time: SimTime::from_day(1, 10),
+            site_token: sym("t"),
+            ip,
+            cookie: Some(7),
+            fingerprint: Collector::collect(&d, &b, &LocaleSpec::en_us()),
+            tls: b.family.tls_facet(),
+            behavior: BehaviorTrace::silent(),
+            source: TrafficSource::Bot(fp_types::ServiceId(1)),
+        }
+    }
+
+    fn pressured(rate_num: u64) -> RoundOutcome {
+        RoundOutcome {
+            round: 0,
+            sent: 100,
+            denied: rate_num,
+            captchas: 0,
+            blocked: 0,
+            allowed: 100 - rate_num,
+        }
+    }
+
+    #[test]
+    fn static_strategy_never_touches() {
+        let mut s = Static;
+        s.observe(&pressured(90));
+        let mut req = request(Ipv4Addr::new(52, 9, 9, 9));
+        let before = req.clone();
+        assert!(!s.apply(&mut req, &mut Splittable::new(2)).touched());
+        assert_eq!(req.ip, before.ip);
+        assert_eq!(req.fingerprint, before.fingerprint);
+    }
+
+    #[test]
+    fn rotation_escalates_under_pressure_only() {
+        let mut s = IpRotation::new(0.2, true);
+        let mut req = request(Ipv4Addr::new(52, 9, 9, 9));
+        assert!(!s.apply(&mut req, &mut Splittable::new(3)).touched());
+
+        s.observe(&pressured(50));
+        assert_eq!(s.level(), 1);
+        let mut rng = Splittable::new(4);
+        let before_ip = req.ip;
+        let receipt = s.apply(&mut req, &mut rng);
+        assert!(receipt.rotated_ip);
+        assert_ne!(req.ip, before_ip);
+        // Level 1 keeps the country and class.
+        assert_eq!(
+            NetDb::lookup(req.ip).region.country,
+            "United States of America"
+        );
+        assert_eq!(NetDb::lookup(req.ip).asn.class, AsnClass::CloudDatacenter);
+    }
+
+    #[test]
+    fn rotation_shifts_class_then_geography() {
+        let mut s = IpRotation::new(0.2, false);
+        s.observe(&pressured(50));
+        s.observe(&pressured(50));
+        assert_eq!(s.level(), 2);
+        let mut rng = Splittable::new(5);
+        let mut req = request(Ipv4Addr::new(52, 9, 9, 9));
+        s.apply(&mut req, &mut rng);
+        assert_eq!(NetDb::lookup(req.ip).asn.class, AsnClass::Residential);
+
+        s.observe(&pressured(50));
+        assert_eq!(s.level(), 3);
+        let mut moved = 0;
+        for i in 0..20 {
+            let mut req = request(Ipv4Addr::new(52, 9, 9, i as u8 + 1));
+            s.apply(&mut req, &mut rng);
+            if NetDb::lookup(req.ip).region.country != "United States of America" {
+                moved += 1;
+            }
+        }
+        assert_eq!(moved, 20, "level 3 always leaves the country");
+        s.observe(&pressured(50));
+        assert_eq!(s.level(), 3, "escalation caps at 3");
+    }
+
+    #[test]
+    fn rotation_timezone_patch_keeps_location_consistent() {
+        let mut s = IpRotation::new(0.2, true);
+        for _ in 0..3 {
+            s.observe(&pressured(50));
+        }
+        let mut rng = Splittable::new(6);
+        for i in 0..10 {
+            let mut req = request(Ipv4Addr::new(52, 9, 1, i + 1));
+            let receipt = s.apply(&mut req, &mut rng);
+            assert!(
+                receipt.mutated_attrs <= 2,
+                "at most timezone + offset change"
+            );
+            let region = NetDb::lookup(req.ip).region;
+            assert_eq!(
+                req.fingerprint.get(AttrId::Timezone).as_str(),
+                Some(region.timezone)
+            );
+            assert_eq!(
+                req.fingerprint.get(AttrId::TimezoneOffset).as_int(),
+                Some(i64::from(region.offset_minutes))
+            );
+        }
+    }
+
+    #[test]
+    fn mutation_latches_and_rewrites() {
+        let mut s = FingerprintMutation::new(0.2, 1.0);
+        let mut req = request(Ipv4Addr::new(73, 9, 9, 9));
+        assert!(!s.apply(&mut req, &mut Splittable::new(7)).touched());
+        s.observe(&pressured(30));
+        assert!(s.active());
+        // Pressure off again — the strategy stays latched.
+        s.observe(&pressured(0));
+        assert!(s.active());
+
+        let before_cookie = req.cookie;
+        let receipt = s.apply(&mut req, &mut Splittable::new(8));
+        // Resolution (2) + cores (1) + cookie (1) always change; the
+        // timezone pair counts only if it was actually wrong.
+        assert!(receipt.mutated_attrs >= 4);
+        assert_ne!(req.cookie, before_cookie, "cookie rotated");
+        let region = NetDb::lookup(req.ip).region;
+        assert_eq!(
+            req.fingerprint.get(AttrId::Timezone).as_str(),
+            Some(region.timezone)
+        );
+    }
+
+    #[test]
+    fn tls_upgrade_converts_the_fleet_gradually() {
+        let mut s = TlsUpgrade::new(0.2, 0.5);
+        let mut rng = Splittable::new(9);
+        let mut req = request(Ipv4Addr::new(73, 1, 1, 1));
+        req.tls = fp_tls::TlsClientKind::GoHttp.facet();
+        assert!(!s.apply(&mut req, &mut rng).touched(), "no pressure yet");
+
+        s.observe(&pressured(80));
+        assert!((s.fleet_upgraded() - 0.5).abs() < 1e-12);
+        let mut upgrades = 0;
+        for _ in 0..200 {
+            let mut req = request(Ipv4Addr::new(73, 1, 1, 1));
+            req.tls = fp_tls::TlsClientKind::GoHttp.facet();
+            if s.apply(&mut req, &mut rng).upgraded_tls {
+                upgrades += 1;
+                assert_eq!(
+                    req.tls,
+                    fp_tls::TlsClientKind::Chromium.facet(),
+                    "Chrome UA upgrades to the Chromium hello"
+                );
+            }
+        }
+        assert!(
+            (70..=130).contains(&upgrades),
+            "≈half the fleet upgraded, got {upgrades}/200"
+        );
+
+        s.observe(&pressured(80));
+        assert!((s.fleet_upgraded() - 1.0).abs() < 1e-12, "caps at 1.0");
+    }
+
+    #[test]
+    fn cooldown_throttles_volume_only() {
+        let mut s = Cooldown::new(0.3, 0.4);
+        assert_eq!(s.volume_factor(), 1.0);
+        s.observe(&pressured(50));
+        assert!((s.volume_factor() - 0.4).abs() < 1e-12);
+        s.observe(&pressured(0));
+        assert_eq!(s.volume_factor(), 1.0, "cooldown releases");
+        let mut req = request(Ipv4Addr::new(73, 1, 1, 1));
+        assert!(!s.apply(&mut req, &mut Splittable::new(10)).touched());
+    }
+
+    #[test]
+    fn composite_merges_receipts_and_factors() {
+        let mut s = Composite::new(vec![
+            Box::new(IpRotation::new(0.2, false)),
+            Box::new(FingerprintMutation::new(0.2, 1.0)),
+            Box::new(Cooldown::new(0.2, 0.5)),
+        ]);
+        s.observe(&pressured(50));
+        assert!((s.volume_factor() - 0.5).abs() < 1e-12);
+        let mut req = request(Ipv4Addr::new(52, 9, 9, 9));
+        let receipt = s.apply(&mut req, &mut Splittable::new(11));
+        assert!(receipt.rotated_ip);
+        assert!(receipt.mutated_attrs >= 4);
+    }
+}

@@ -1,0 +1,46 @@
+//! Throughput of the closed-loop arena over round counts: the cost of a
+//! round is one campaign generation + admission + the full sharded
+//! detector chain + policy application, so rounds should scale linearly —
+//! this bench tracks that, and the per-round overhead of the mitigation
+//! loop itself.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fp_arena::{Arena, ArenaConfig, ResponsePolicy, DEFAULT_BLOCK_TTL_SECS};
+use fp_types::Scale;
+
+fn arena_config() -> ArenaConfig {
+    ArenaConfig {
+        scale: Scale::ratio(0.005),
+        seed: 77,
+        shards: 1,
+        policy: ResponsePolicy::block(DEFAULT_BLOCK_TTL_SECS),
+    }
+}
+
+fn bench_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arena");
+    group.sample_size(10);
+    for rounds in [1u32, 2, 4] {
+        // Throughput in requests processed across all rounds (measured
+        // once up front; generation is deterministic).
+        let total: u64 = {
+            let mut arena = Arena::new(arena_config());
+            arena.adaptive_defaults();
+            (0..rounds)
+                .map(|_| arena.step().stats.cohorts.cohort_sizes.iter().sum::<u64>())
+                .sum()
+        };
+        group.throughput(Throughput::Elements(total));
+        group.bench_function(format!("block_policy_{rounds}_rounds"), |b| {
+            b.iter(|| {
+                let mut arena = Arena::new(arena_config());
+                arena.adaptive_defaults();
+                arena.run(rounds).rounds.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rounds);
+criterion_main!(benches);

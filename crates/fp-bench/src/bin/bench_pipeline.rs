@@ -7,6 +7,10 @@
 //! removed from the chain, proving the added facet stays within noise of
 //! the PR-1 five-detector baseline.
 //!
+//! Also records the closed-loop arena series: end-to-end requests/sec of
+//! a 2-round Block-policy arena with the shipped adaptive strategies (one
+//! campaign generation + admission + full chain + policy per round).
+//!
 //! Scale via `FP_SCALE` (default 0.05 here: this binary exists to track a
 //! trend, not to regenerate paper tables).
 
@@ -26,6 +30,14 @@ fn main() {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    // Physical processors the host exposes, as distinct from what the
+    // process may use: on a cgroup-limited container the two differ, and
+    // the 1-CPU caveat keys on the smaller of them.
+    let host_cores = std::fs::read_to_string("/proc/cpuinfo")
+        .map(|s| s.lines().filter(|l| l.starts_with("processor")).count())
+        .ok()
+        .filter(|n| *n > 0)
+        .unwrap_or(threads);
 
     let campaign = Campaign::generate(CampaignConfig {
         scale,
@@ -105,6 +117,34 @@ fn main() {
         .map(|(_, rps)| *rps)
         .unwrap_or(0.0);
 
+    // The arena series: 2 Block-policy rounds end to end (generation,
+    // admission, chain, mitigation, adaptation), in requests/sec over the
+    // requests the rounds processed.
+    let (arena_rps, arena_requests) = {
+        use fp_arena::{Arena, ArenaConfig, ResponsePolicy, DEFAULT_BLOCK_TTL_SECS};
+        let mut best = 0.0f64;
+        let mut processed = 0u64;
+        for _ in 0..runs {
+            let start = Instant::now();
+            let mut arena = Arena::new(ArenaConfig {
+                scale,
+                seed: CAMPAIGN_SEED,
+                shards: 4,
+                policy: ResponsePolicy::block(DEFAULT_BLOCK_TTL_SECS),
+            });
+            arena.adaptive_defaults();
+            let trajectory = arena.run(2);
+            let elapsed = start.elapsed().as_secs_f64();
+            processed = trajectory
+                .rounds
+                .iter()
+                .map(|r| r.cohorts.cohort_sizes.iter().sum::<u64>())
+                .sum();
+            best = best.max(processed as f64 / elapsed);
+        }
+        (best, processed)
+    };
+
     // Equivalence at the largest shard count, proving the numbers above
     // describe a verdict-identical pipeline.
     let report = stream_report(scale, 8);
@@ -117,9 +157,10 @@ fn main() {
          ingest + whole-store engine passes"
     };
     let json = format!(
-        "{{\n  \"scale\": {},\n  \"requests\": {},\n  \"available_parallelism\": {},\n  \"batch_requests_per_sec\": {:.0},\n  \"stream_requests_per_sec\": {{\n{}\n  }},\n  \"stream_requests_per_sec_no_tls_facet\": {:.0},\n  \"tls_facet_cost_4_shards\": {:.3},\n  \"speedup_8_shards_vs_batch\": {:.3},\n  \"stream_equals_batch\": {},\n  \"note\": \"{}\"\n}}\n",
+        "{{\n  \"scale\": {},\n  \"requests\": {},\n  \"host_cores\": {},\n  \"available_parallelism\": {},\n  \"batch_requests_per_sec\": {:.0},\n  \"stream_requests_per_sec\": {{\n{}\n  }},\n  \"stream_requests_per_sec_no_tls_facet\": {:.0},\n  \"tls_facet_cost_4_shards\": {:.3},\n  \"speedup_8_shards_vs_batch\": {:.3},\n  \"arena_2_rounds_requests\": {},\n  \"arena_2_rounds_requests_per_sec\": {:.0},\n  \"stream_equals_batch\": {},\n  \"note\": \"{}\"\n}}\n",
         scale.fraction(),
         requests,
+        host_cores,
         threads,
         batch_rps,
         shard_rps
@@ -130,6 +171,8 @@ fn main() {
         no_tls_rps,
         if no_tls_rps > 0.0 { with_tls_4 / no_tls_rps } else { 0.0 },
         shard_rps.last().map(|(_, rps)| rps / batch_rps).unwrap_or(0.0),
+        arena_requests,
+        arena_rps,
         report.identical(),
         note,
     );

@@ -61,27 +61,43 @@ pub struct Campaign {
     pub tls_laggards: Vec<Request>,
 }
 
+/// The adversarial slice of a campaign: the bot services' merged request
+/// stream plus the TLS-laggard cohort, with the truthful populations
+/// (real users, AI agents, privacy tools) skipped. What the arena
+/// regenerates every round — request content is identical to the
+/// corresponding [`Campaign::generate`] fields for the same config.
+pub struct AdversarialTraffic {
+    /// Bot requests, sorted by arrival time.
+    pub bot_requests: Vec<Request>,
+    /// The TLS-lagging evasive cohort.
+    pub tls_laggards: Vec<Request>,
+}
+
+/// Generate all twenty services in parallel and merge in arrival order.
+fn generate_services(config: CampaignConfig) -> Vec<GeneratedRequest> {
+    let mut per_service: Vec<Vec<GeneratedRequest>> = Vec::with_capacity(SERVICES.len());
+    per_service.resize_with(SERVICES.len(), Vec::new);
+
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for spec in SERVICES.iter() {
+            handles.push(scope.spawn(move |_| service::generate(spec, config.scale, config.seed)));
+        }
+        for (slot, handle) in per_service.iter_mut().zip(handles) {
+            *slot = handle.join().expect("service generator panicked");
+        }
+    })
+    .expect("generation scope panicked");
+
+    let mut merged: Vec<GeneratedRequest> = per_service.into_iter().flatten().collect();
+    merged.sort_by_key(|g| g.request.time);
+    merged
+}
+
 impl Campaign {
     /// Generate the full campaign.
     pub fn generate(config: CampaignConfig) -> Campaign {
-        let mut per_service: Vec<Vec<GeneratedRequest>> = Vec::with_capacity(SERVICES.len());
-        per_service.resize_with(SERVICES.len(), Vec::new);
-
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for spec in SERVICES.iter() {
-                handles
-                    .push(scope.spawn(move |_| service::generate(spec, config.scale, config.seed)));
-            }
-            for (slot, handle) in per_service.iter_mut().zip(handles) {
-                *slot = handle.join().expect("service generator panicked");
-            }
-        })
-        .expect("generation scope panicked");
-
-        let mut merged: Vec<GeneratedRequest> = per_service.into_iter().flatten().collect();
-        merged.sort_by_key(|g| g.request.time);
-
+        let merged = generate_services(config);
         let mut bot_requests = Vec::with_capacity(merged.len());
         let mut designs = Vec::with_capacity(merged.len());
         for g in merged {
@@ -100,6 +116,20 @@ impl Campaign {
             real_users,
             ai_agents,
             tls_laggards,
+        }
+    }
+
+    /// Generate only the adversarial traffic (bot services + TLS
+    /// laggards), skipping the truthful populations — the arena's
+    /// per-round regeneration path, which would otherwise pay for real
+    /// users and AI agents it never uses.
+    pub fn generate_adversarial(config: CampaignConfig) -> AdversarialTraffic {
+        AdversarialTraffic {
+            bot_requests: generate_services(config)
+                .into_iter()
+                .map(|g| g.request)
+                .collect(),
+            tls_laggards: crate::cohorts::generate_tls_laggards(config.scale, config.seed),
         }
     }
 
@@ -188,6 +218,28 @@ mod tests {
             assert_eq!(x.time, y.time);
             assert_eq!(x.ip, y.ip);
             assert_eq!(x.fingerprint, y.fingerprint);
+        }
+    }
+
+    #[test]
+    fn adversarial_slice_matches_the_full_campaign() {
+        let config = CampaignConfig {
+            scale: Scale::ratio(0.01),
+            seed: 5,
+        };
+        let full = Campaign::generate(config);
+        let slice = Campaign::generate_adversarial(config);
+        assert_eq!(slice.bot_requests.len(), full.bot_requests.len());
+        for (a, b) in slice.bot_requests.iter().zip(&full.bot_requests) {
+            assert_eq!(a.time, b.time);
+            assert_eq!(a.ip, b.ip);
+            assert_eq!(a.cookie, b.cookie);
+            assert_eq!(a.fingerprint, b.fingerprint);
+        }
+        assert_eq!(slice.tls_laggards.len(), full.tls_laggards.len());
+        for (a, b) in slice.tls_laggards.iter().zip(&full.tls_laggards) {
+            assert_eq!(a.fingerprint, b.fingerprint);
+            assert_eq!(a.tls, b.tls);
         }
     }
 

@@ -36,5 +36,5 @@ pub mod service;
 pub mod spec;
 
 pub use archetype::Variant;
-pub use campaign::{Campaign, CampaignConfig, DesignInfo};
+pub use campaign::{AdversarialTraffic, Campaign, CampaignConfig, DesignInfo};
 pub use spec::{Cell, CellPlan, ServiceSpec, SERVICES, TOTAL_REQUESTS};

@@ -17,7 +17,11 @@
 //!
 //! The heavy per-request work (geo/ASN derivation, fingerprint digesting,
 //! every detector decision) happens on the shards; the sequential parts are
-//! the cheap admission/cookie pass and the arrival-order merge.
+//! the cheap admission/cookie pass and the arrival-order merge. The
+//! admission pass also pre-partitions the per-shard index lists (one for
+//! the IP phase, one for the cookie phase), so each worker walks exactly
+//! its own subset — total scan work is O(total) per phase, not
+//! O(total × shards).
 
 use crate::site::{derive_record, HoneySite};
 use crate::store::{RequestStore, StoredRequest};
@@ -49,12 +53,21 @@ impl HoneySite {
         );
         let n = shards.max(1);
 
-        // Phase A (sequential, cheap): admission + cookie issuance, and the
-        // IP hash that routes each request to its shard.
+        // Phase A (sequential, cheap): admission + cookie issuance, the IP
+        // hash that routes each request to its shard, and — in the same
+        // pass — the per-shard index lists both parallel phases walk. Each
+        // worker then touches only its own subset (O(subset) per worker)
+        // instead of scanning the whole admitted vector and skipping
+        // foreign-shard entries (O(total × shards) across workers).
         let mut admitted: Vec<(Request, CookieId, u64)> = Vec::new();
+        let mut ip_parts: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut cookie_parts: Vec<Vec<usize>> = vec![Vec::new(); n];
         for request in requests {
             if let Some(cookie) = self.admit(&request) {
                 let ip_hash = fp_netsim::NetDb::hash_ip(request.ip);
+                let idx = admitted.len();
+                ip_parts[shard_for(ip_hash, n)].push(idx);
+                cookie_parts[shard_for(cookie, n)].push(idx);
                 admitted.push((request, cookie, ip_hash));
             }
         }
@@ -72,7 +85,11 @@ impl HoneySite {
 
         // Phase B1 (parallel by IP shard): derive the stored record, run
         // stateless + per-IP detectors, build the shard's by_ip index.
+        // Each worker walks its pre-partitioned index list, which is in
+        // arrival order by construction — the per-anchor subsequence
+        // argument is unchanged.
         let admitted = &admitted;
+        let ip_parts = &ip_parts;
         let chain = self.chain();
         type B1Out = (
             Vec<(usize, StoredRequest, TaggedVerdicts)>,
@@ -84,12 +101,10 @@ impl HoneySite {
                     let mut detectors: Vec<(usize, Box<dyn Detector>)> =
                         ip_route.iter().map(|&i| (i, chain[i].fork())).collect();
                     scope.spawn(move |_| {
-                        let mut out = Vec::new();
+                        let mut out = Vec::with_capacity(ip_parts[s].len());
                         let mut by_ip: HashMap<u64, Vec<usize>> = HashMap::new();
-                        for (idx, (request, cookie, ip_hash)) in admitted.iter().enumerate() {
-                            if shard_for(*ip_hash, n) != s {
-                                continue;
-                            }
+                        for &idx in &ip_parts[s] {
+                            let (request, cookie, ip_hash) = &admitted[idx];
                             let record = derive_record(request, *cookie);
                             let verdicts: TaggedVerdicts = detectors
                                 .iter_mut()
@@ -133,8 +148,10 @@ impl HoneySite {
         }
 
         // Phase B2 (parallel by cookie shard): per-cookie detectors over
-        // the completed records, plus the shard's by_cookie index.
+        // the completed records, plus the shard's by_cookie index — again
+        // walking only the pre-partitioned subset, in arrival order.
         let records_ref = &records;
+        let cookie_parts = &cookie_parts;
         type B2Out = (Vec<(usize, TaggedVerdicts)>, HashMap<CookieId, Vec<usize>>);
         let b2: Vec<B2Out> = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = (0..n)
@@ -144,10 +161,8 @@ impl HoneySite {
                     scope.spawn(move |_| {
                         let mut out = Vec::new();
                         let mut by_cookie: HashMap<CookieId, Vec<usize>> = HashMap::new();
-                        for (idx, record) in records_ref.iter().enumerate() {
-                            if shard_for(record.cookie, n) != s {
-                                continue;
-                            }
+                        for &idx in &cookie_parts[s] {
+                            let record = &records_ref[idx];
                             by_cookie.entry(record.cookie).or_default().push(idx);
                             if detectors.is_empty() {
                                 continue;

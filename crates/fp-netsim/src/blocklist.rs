@@ -1,4 +1,4 @@
-//! The Section 5.1 blocklists.
+//! The Section 5.1 blocklists, plus the arena's dynamic TTL blocklist.
 //!
 //! * [`AsnBlocklist`] — public "bad ASN" lists flag datacenter/hosting ASes
 //!   wholesale. The paper found 82.54 % of honey-site requests came from
@@ -8,10 +8,16 @@
 //!   we model that as a deterministic per-address predicate whose hit rate
 //!   depends on the address class (datacenter space is far better covered
 //!   than residential).
+//! * [`TtlBlocklist`] — a *dynamic* deny list the mitigation loop writes:
+//!   entries are keyed by the stored address hash, expire on
+//!   [`fp_types::SimTime`], and are extended (never shortened) on
+//!   re-listing. This is what a Block-with-TTL response policy enforces at
+//!   admission, and what the §6 bots rotate IPs to escape.
 
 use crate::asn::{AsnClass, AsnRecord};
 use crate::NetDb;
-use fp_types::{mix2, unit_f64};
+use fp_types::{mix2, unit_f64, SimTime};
+use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 /// Public datacenter-ASN blocklist (bad-asn-list style).
@@ -72,6 +78,73 @@ pub fn is_tor_exit(ip: Ipv4Addr) -> bool {
     NetDb::lookup(ip).asn.class == AsnClass::TorExit
 }
 
+/// A dynamic per-address deny list with TTL expiry on simulated time.
+///
+/// Unlike [`AsnBlocklist`]/[`IpBlocklist`] (static world state), this list
+/// is *written by the defender*: a Block-with-TTL response policy inserts
+/// the offending address hash, and admission consults the list before a
+/// request reaches the detector chain. Keys are the privacy-preserving
+/// [`NetDb::hash_ip`] hashes — the store never keeps raw addresses, so the
+/// mitigation loop cannot either. Entries expire at `listed_at + ttl`;
+/// re-listing an address extends its expiry (a list refresh) but never
+/// shortens it.
+#[derive(Clone, Debug, Default)]
+pub struct TtlBlocklist {
+    /// `ip_hash → expiry` (first simulated second at which the entry no
+    /// longer binds).
+    entries: HashMap<u64, SimTime>,
+}
+
+impl TtlBlocklist {
+    /// An empty list.
+    pub fn new() -> TtlBlocklist {
+        TtlBlocklist::default()
+    }
+
+    /// List `ip_hash` at `now` for `ttl_secs`. Re-listing keeps whichever
+    /// expiry is later.
+    pub fn block(&mut self, ip_hash: u64, now: SimTime, ttl_secs: u64) {
+        let expiry = now + ttl_secs;
+        let slot = self.entries.entry(ip_hash).or_insert(expiry);
+        if expiry > *slot {
+            *slot = expiry;
+        }
+    }
+
+    /// Is `ip_hash` denied at `now`? Expired entries do not bind (they are
+    /// kept until [`TtlBlocklist::purge_expired`] sweeps them, like a real
+    /// list distributing removals on its next refresh).
+    pub fn contains(&self, ip_hash: u64, now: SimTime) -> bool {
+        self.entries
+            .get(&ip_hash)
+            .is_some_and(|expiry| now < *expiry)
+    }
+
+    /// Convenience: check a raw address (hashes it the same way the store
+    /// does).
+    pub fn contains_ip(&self, ip: Ipv4Addr, now: SimTime) -> bool {
+        self.contains(NetDb::hash_ip(ip), now)
+    }
+
+    /// Drop every entry whose expiry has passed; returns how many were
+    /// removed.
+    pub fn purge_expired(&mut self, now: SimTime) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, expiry| now < *expiry);
+        before - self.entries.len()
+    }
+
+    /// Number of entries (live and expired-but-unswept).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the list empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,5 +193,56 @@ mod tests {
     fn tor_exit_predicate() {
         assert!(is_tor_exit(Ipv4Addr::new(185, 10, 0, 1)));
         assert!(!is_tor_exit(Ipv4Addr::new(73, 10, 0, 1)));
+    }
+
+    #[test]
+    fn ttl_entries_bind_until_expiry() {
+        let mut list = TtlBlocklist::new();
+        let t0 = SimTime::from_day(3, 100);
+        list.block(42, t0, 1_000);
+        assert!(list.contains(42, t0), "binds immediately");
+        assert!(list.contains(42, t0 + 999), "binds until the last second");
+        assert!(!list.contains(42, t0 + 1_000), "expiry is exclusive");
+        assert!(!list.contains(42, t0 + 50_000));
+        assert!(!list.contains(7, t0), "unlisted hashes never bind");
+    }
+
+    #[test]
+    fn ttl_relisting_extends_and_never_shortens() {
+        let mut list = TtlBlocklist::new();
+        let t0 = SimTime::from_day(0, 0);
+        list.block(9, t0, 10_000);
+        // A later, shorter re-listing must not pull the expiry in.
+        list.block(9, t0 + 100, 50);
+        assert!(list.contains(9, t0 + 5_000));
+        // A re-listing after expiry puts the address back on the list.
+        assert!(!list.contains(9, t0 + 10_000));
+        list.block(9, t0 + 20_000, 500);
+        assert!(list.contains(9, t0 + 20_100));
+        assert!(!list.contains(9, t0 + 20_500));
+    }
+
+    #[test]
+    fn ttl_purge_sweeps_only_expired_entries() {
+        let mut list = TtlBlocklist::new();
+        let t0 = SimTime::EPOCH;
+        list.block(1, t0, 100);
+        list.block(2, t0, 1_000);
+        assert_eq!(list.len(), 2);
+        assert_eq!(list.purge_expired(t0 + 500), 1);
+        assert_eq!(list.len(), 1);
+        assert!(list.contains(2, t0 + 500));
+        assert_eq!(list.purge_expired(t0 + 5_000), 1);
+        assert!(list.is_empty());
+    }
+
+    #[test]
+    fn ttl_raw_address_check_matches_the_store_hash() {
+        let mut list = TtlBlocklist::new();
+        let ip = Ipv4Addr::new(52, 9, 9, 9);
+        let now = SimTime::from_day(1, 0);
+        list.block(NetDb::hash_ip(ip), now, 600);
+        assert!(list.contains_ip(ip, now));
+        assert!(!list.contains_ip(Ipv4Addr::new(52, 9, 9, 10), now));
     }
 }

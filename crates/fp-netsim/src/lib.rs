@@ -17,7 +17,7 @@ pub mod blocklist;
 pub mod geo;
 
 pub use asn::{AsnClass, AsnRecord, ASN_TABLE};
-pub use blocklist::{AsnBlocklist, IpBlocklist};
+pub use blocklist::{AsnBlocklist, IpBlocklist, TtlBlocklist};
 pub use geo::{GeoTarget, Region, REGIONS};
 
 use fp_types::mix2;

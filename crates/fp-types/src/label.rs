@@ -164,6 +164,15 @@ impl Cohort {
         Cohort::Privacy,
     ];
 
+    /// This cohort's position in [`Cohort::ALL`] — the index every
+    /// per-cohort report array uses.
+    pub fn index(self) -> usize {
+        Cohort::ALL
+            .iter()
+            .position(|c| *c == self)
+            .expect("every cohort is in ALL")
+    }
+
     /// Human-readable name for tables.
     pub fn name(self) -> &'static str {
         match self {
@@ -231,7 +240,7 @@ mod tests {
             TrafficSource::Privacy(PrivacyTech::Tor).cohort(),
             Cohort::Privacy
         );
-        for cohort in Cohort::ALL {
+        for (i, cohort) in Cohort::ALL.iter().enumerate() {
             assert_eq!(
                 cohort.is_automation(),
                 matches!(
@@ -240,6 +249,7 @@ mod tests {
                 ),
                 "{cohort}"
             );
+            assert_eq!(cohort.index(), i);
         }
     }
 

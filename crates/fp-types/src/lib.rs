@@ -17,6 +17,10 @@
 //!   detector implements (anti-bot simulators and FP-Inconsistent alike),
 //!   with [`StateScope`] declaring the state anchor that makes sharded
 //!   execution equivalent to sequential execution.
+//! * [`MitigationAction`] / [`RoundOutcome`] — the closed-loop mitigation
+//!   contract: what a site does with a flagged request, and what a bot
+//!   service can observe about a round of its own traffic (`fp-arena`
+//!   closes the loop between the two).
 //! * [`SimTime`] / [`SimClock`] — simulated time, counted from the start of
 //!   the paper's three-month study window (2023-09-01).
 //! * [`mix`] — deterministic splittable hashing used wherever a generator or
@@ -32,6 +36,7 @@ pub mod detect;
 pub mod fingerprint;
 pub mod interner;
 pub mod label;
+pub mod mitigation;
 pub mod mix;
 pub mod request;
 pub mod scale;
@@ -45,6 +50,7 @@ pub use detect::{Detector, StateScope, Verdict, VerdictSet};
 pub use fingerprint::Fingerprint;
 pub use interner::{sym, Interner, Symbol};
 pub use label::{Cohort, PrivacyTech, ServiceId, TrafficSource};
+pub use mitigation::{MitigationAction, RoundOutcome};
 pub use mix::{mix2, mix3, shard_for, splitmix64, unit_f64, Splittable};
 pub use request::{BehaviorTrace, CookieId, PointerStats, Request, RequestId};
 pub use scale::Scale;

@@ -14,7 +14,10 @@
 //! * [`honeysite`] — URL-token admission, cookies, pipeline, store;
 //! * [`ml`] — gradient-boosted trees + attribution (XGBoost/SHAP stand-in);
 //! * [`core`] — FP-Inconsistent itself: spatial/temporal rule mining, the
-//!   filter list and the evaluation harness.
+//!   filter list and the evaluation harness;
+//! * [`arena`] — the closed-loop mitigation & bot-adaptation arena:
+//!   response policies, TTL-blocklist enforcement, adapting bot services,
+//!   round-over-round trajectories.
 //!
 //! # Quickstart
 //!
@@ -62,6 +65,7 @@
 //! ```
 
 pub use fp_antibot as antibot;
+pub use fp_arena as arena;
 pub use fp_botnet as botnet;
 pub use fp_fingerprint as fingerprint;
 pub use fp_honeysite as honeysite;
@@ -74,6 +78,7 @@ pub use fp_types as types;
 /// The names almost every consumer wants.
 pub mod prelude {
     pub use fp_antibot::{BotD, DataDome, Detector, Verdict};
+    pub use fp_arena::{Arena, ArenaConfig, ResponsePolicy};
     pub use fp_botnet::{Campaign, CampaignConfig};
     pub use fp_honeysite::{HoneySite, RequestStore};
     pub use fp_inconsistent_core::{FpInconsistent, MineConfig, RuleSet};

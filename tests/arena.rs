@@ -1,0 +1,226 @@
+//! End-to-end coverage of the closed-loop arena:
+//!
+//! * round 0 is flag-for-flag the single-shot cohort campaign (the arena
+//!   provably *starts from* the pre-arena pipeline);
+//! * adapting bot services measurably erode the static rule set's recall
+//!   across rounds, the §6 dynamic;
+//! * cross-layer TLS recall on the laggard cohort decays only when the
+//!   fleet pays the stack-upgrade cost — mutating everything else changes
+//!   nothing;
+//! * truthful real users' false-positive rates stay flat under every
+//!   shipped policy;
+//! * shard invariance holds inside arena rounds.
+
+use fp_arena::{
+    Arena, ArenaConfig, Composite, FingerprintMutation, IpRotation, ResponsePolicy, TlsUpgrade,
+    DEFAULT_BLOCK_TTL_SECS,
+};
+use fp_bench::{recorded_cohort_campaign, CAMPAIGN_SEED};
+use fp_types::detect::provenance;
+use fp_types::{Cohort, Scale};
+
+fn block_config(scale: f64, seed: u64) -> ArenaConfig {
+    ArenaConfig {
+        scale: Scale::ratio(scale),
+        seed,
+        shards: 1,
+        policy: ResponsePolicy::block(DEFAULT_BLOCK_TTL_SECS),
+    }
+}
+
+/// Round 0 of the arena is the pre-arena pipeline, record for record: same
+/// admissions, same stored facts, same named verdicts from all six
+/// detectors.
+#[test]
+fn round0_is_identical_to_the_single_shot_campaign() {
+    let scale = Scale::ratio(0.01);
+    let (_, single_shot) = recorded_cohort_campaign(scale);
+    let mut arena = Arena::new(ArenaConfig {
+        scale,
+        seed: CAMPAIGN_SEED,
+        shards: 1,
+        policy: ResponsePolicy::block(DEFAULT_BLOCK_TTL_SECS),
+    });
+    arena.adaptive_defaults(); // strategies must not perturb round 0
+    let round0 = arena.step();
+
+    assert_eq!(round0.store.len(), single_shot.len());
+    for (a, b) in round0.store.iter().zip(single_shot.iter()) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.time, b.time);
+        assert_eq!(a.ip_hash, b.ip_hash);
+        assert_eq!(a.cookie, b.cookie);
+        assert_eq!(a.tls, b.tls);
+        assert_eq!(a.source, b.source);
+        assert_eq!(
+            a.fingerprint.digest(),
+            b.fingerprint.digest(),
+            "request {}",
+            a.id
+        );
+        assert_eq!(a.verdicts, b.verdicts, "request {}", a.id);
+    }
+}
+
+/// Under a Block policy, adapting services measurably erode the static
+/// mined rule set (fp-spatial) and launder the temporal anchor — while a
+/// behaviour-reading detector is not similarly evaded by fingerprint
+/// mutation.
+#[test]
+fn adapting_bots_erode_static_rule_recall() {
+    let mut arena = Arena::new(block_config(0.02, CAMPAIGN_SEED));
+    arena.adaptive_defaults();
+    arena.run(4);
+    let trajectory = arena.trajectory();
+
+    let spatial = trajectory.recall_trajectory(provenance::FP_SPATIAL, Cohort::BotService);
+    assert!(
+        spatial[0] > 0.2,
+        "round 0 must have meaningful spatial recall, got {}",
+        spatial[0]
+    );
+    assert!(
+        *spatial.last().unwrap() < spatial[0] - 0.05,
+        "adaptation must erode mined-rule recall measurably: {spatial:?}"
+    );
+
+    let temporal = trajectory.recall_trajectory(provenance::FP_TEMPORAL_COOKIE, Cohort::BotService);
+    assert!(
+        *temporal.last().unwrap() < temporal[0].max(1e-9),
+        "per-request cookie rotation must launder the temporal anchor: {temporal:?}"
+    );
+
+    // The behaviour-reading detector is not evaded by attribute mutation:
+    // its recall holds (or rises, as churn trips its per-IP rule).
+    let dd = trajectory.recall_trajectory(provenance::DATADOME, Cohort::BotService);
+    assert!(
+        *dd.last().unwrap() > dd[0] - 0.05,
+        "DataDome must hold against fingerprint mutation: {dd:?}"
+    );
+
+    // The adversary paid for the evasion, and the arena accounted for it.
+    let last = trajectory.rounds.last().unwrap();
+    assert!(last.mutation.adapted_requests > 0);
+    assert!(last.mutation.rotated_ips > 0);
+    assert!(last.mutation.mutated_attrs > last.mutation.adapted_requests);
+}
+
+/// The laggard fleet escapes the cross-layer detector only by paying the
+/// stack-upgrade cost; rotating IPs and mutating JS attributes instead
+/// changes nothing about the handshake and keeps recall at 100 %.
+#[test]
+fn laggard_tls_recall_decays_only_with_the_upgrade_cost() {
+    // Fleet that pays: recall collapses as upgrades accumulate.
+    let mut paying = Arena::new(block_config(0.01, 11));
+    paying.set_laggard_strategy(Box::new(TlsUpgrade::new(0.15, 0.6)));
+    paying.run(3);
+    let decayed = paying
+        .trajectory()
+        .recall_trajectory(provenance::FP_TLS_CROSSLAYER, Cohort::TlsLaggard);
+    assert!(decayed[0] > 0.99, "round 0 catches the whole fleet");
+    assert!(
+        *decayed.last().unwrap() < 0.5,
+        "upgrades must erode cross-layer recall: {decayed:?}"
+    );
+    let upgrades: u64 = paying
+        .trajectory()
+        .rounds
+        .iter()
+        .map(|r| r.mutation.tls_upgrades)
+        .sum();
+    assert!(upgrades > 0, "the decay must be paid for");
+
+    // Fleet that mutates everything *except* the stack: recall holds.
+    let mut dodging = Arena::new(block_config(0.01, 11));
+    dodging.set_laggard_strategy(Box::new(Composite::new(vec![
+        Box::new(IpRotation::new(0.15, true)),
+        Box::new(FingerprintMutation::new(0.15, 1.0)),
+    ])));
+    dodging.run(3);
+    let held = dodging
+        .trajectory()
+        .recall_trajectory(provenance::FP_TLS_CROSSLAYER, Cohort::TlsLaggard);
+    for (round, rate) in held.iter().enumerate() {
+        assert!(
+            *rate > 0.99,
+            "round {round}: browser-layer mutation must not help a lagging \
+             stack, recall {rate} ({held:?})"
+        );
+    }
+}
+
+/// Truthful users present the same honest traffic every round, so no
+/// shipped policy may inflate any detector's false-positive rate on them.
+/// (Under Block, the rate may *drop* — the §7.4 UA-spoofer students get
+/// denied at admission — but it must never rise.)
+#[test]
+fn truthful_user_fpr_stays_flat_under_every_policy() {
+    for policy in ResponsePolicy::all() {
+        let mut arena = Arena::new(ArenaConfig {
+            scale: Scale::ratio(0.01),
+            seed: 23,
+            shards: 1,
+            policy,
+        });
+        arena.adaptive_defaults();
+        arena.run(3);
+        let trajectory = arena.trajectory();
+        for stats in &trajectory.rounds {
+            for detector in &stats.cohorts.detectors {
+                let name = detector.detector.as_str();
+                let fpr = trajectory.fpr_trajectory(name);
+                let first = fpr[0];
+                for (round, rate) in fpr.iter().enumerate() {
+                    assert!(
+                        *rate <= first + 0.01,
+                        "policy {}: {name} FPR inflated at round {round}: {fpr:?}",
+                        policy.name
+                    );
+                    assert!(
+                        (first - *rate).abs() <= 0.06,
+                        "policy {}: {name} FPR drifted at round {round}: {fpr:?}",
+                        policy.name
+                    );
+                }
+            }
+        }
+        // Under the invisible policies nothing changes at all: same
+        // population, fresh detector state, no denials.
+        if !policy.action.visible_to_client() {
+            for detector in &trajectory.rounds[0].cohorts.detectors {
+                let fpr = trajectory.fpr_trajectory(detector.detector.as_str());
+                assert!(
+                    fpr.iter().all(|r| (r - fpr[0]).abs() < 1e-12),
+                    "policy {}: FPR must be exactly flat: {fpr:?}",
+                    policy.name
+                );
+            }
+        }
+    }
+}
+
+/// The sharded ingest pipeline stays verdict-invariant inside arena
+/// rounds: a whole adaptive campaign replays identically at any shard
+/// count.
+#[test]
+fn shard_invariance_holds_inside_arena_rounds() {
+    let run = |shards: usize| {
+        let mut config = block_config(0.01, 31);
+        config.shards = shards;
+        let mut arena = Arena::new(config);
+        arena.adaptive_defaults();
+        (0..3).map(|_| arena.step()).collect::<Vec<_>>()
+    };
+    let baseline = run(1);
+    let sharded = run(4);
+    for (a, b) in baseline.iter().zip(&sharded) {
+        assert_eq!(a.store.len(), b.store.len(), "round {}", a.round);
+        for (x, y) in a.store.iter().zip(b.store.iter()) {
+            assert_eq!(x.verdicts, y.verdicts, "round {} request {}", a.round, x.id);
+            assert_eq!(x.ip_hash, y.ip_hash);
+            assert_eq!(x.cookie, y.cookie);
+            assert_eq!(x.tls, y.tls);
+        }
+        assert_eq!(a.outcomes, b.outcomes, "round {}", a.round);
+    }
+}
