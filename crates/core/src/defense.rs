@@ -1,0 +1,248 @@
+//! FP-Inconsistent as lifecycle-aware defense-stack members.
+//!
+//! The paper mines its rule set once, offline, and §6 shows why that rots:
+//! visible mitigation teaches evasive services to mutate exactly the
+//! attributes the concrete mined pairs key on. The defender's counter-move
+//! is *re-mining* — run Algorithm 1 again over the traffic recorded since,
+//! so the mutated configurations (which are still impossible, just
+//! different) become rules too.
+//!
+//! [`SpatialMember`] packages that as a [`StackMember`]: it owns the
+//! current rule set, hands the ingest chain a fresh [`SpatialDetector`]
+//! per round, and —
+//! when built with [`SpatialMember::remining`] — appends each round's
+//! labeled records to an incremental training window and re-runs
+//! [`spatial::mine_records`] every `cadence` rounds. The temporal anchors
+//! need no member of their own: they are stateful *within* a round but
+//! have nothing to retrain between rounds, so the arena wraps them in
+//! [`fp_types::defense::Frozen`].
+
+use crate::engine::{FpInconsistent, SpatialDetector};
+use crate::rules::RuleSet;
+use crate::spatial::{self, MineConfig};
+use fp_types::defense::{RetrainSpend, RoundContext, StackMember};
+use fp_types::detect::{provenance, Detector};
+use fp_types::StoredRequest;
+
+/// The `fp-spatial` slot of a defense stack: mined rules + location
+/// generalisation, optionally re-mined from accumulating round records.
+pub struct SpatialMember {
+    rules: RuleSet,
+    generalize_location: bool,
+    mine_config: MineConfig,
+    /// Re-mine after every `cadence`-th round; `None` freezes the round-0
+    /// rules forever (the pre-redesign behaviour).
+    cadence: Option<u32>,
+    /// The incremental store view: the mining pool this member has seen,
+    /// in arrival order — one append per completed round. Round 0 replays
+    /// the traffic the initial rules were mined on, so the window is NOT
+    /// pre-seeded with it (that would double-count every round-0 record,
+    /// inflating pair support past `min_support` and skewing the
+    /// value-budget ranking).
+    window: Vec<StoredRequest>,
+}
+
+impl SpatialMember {
+    /// A frozen member deploying `engine`'s rules unchanged forever.
+    pub fn frozen(engine: &FpInconsistent) -> SpatialMember {
+        SpatialMember {
+            rules: engine.rules().clone(),
+            generalize_location: engine.config().generalize_location,
+            mine_config: MineConfig::default(),
+            cadence: None,
+            window: Vec::new(),
+        }
+    }
+
+    /// A re-mining member: deploys `engine`'s rules until the first
+    /// refresh, appends every completed round's records to its window
+    /// (round 0 — which replays the traffic the initial rules were mined
+    /// on — becomes the window's first epoch), and re-runs Algorithm 1
+    /// over the whole window at the end of every `cadence`-th round
+    /// (cadence 1 = every round).
+    pub fn remining(
+        engine: &FpInconsistent,
+        mine_config: MineConfig,
+        cadence: u32,
+    ) -> SpatialMember {
+        SpatialMember {
+            rules: engine.rules().clone(),
+            generalize_location: engine.config().generalize_location,
+            mine_config,
+            cadence: Some(cadence.max(1)),
+            window: Vec::new(),
+        }
+    }
+
+    /// The rules currently deployed (refreshed by re-mining).
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// Records in the incremental training window.
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// The configured re-mining cadence (`None` = frozen).
+    pub fn cadence(&self) -> Option<u32> {
+        self.cadence
+    }
+}
+
+impl StackMember for SpatialMember {
+    fn member_name(&self) -> &'static str {
+        provenance::FP_SPATIAL
+    }
+
+    fn detector(&self) -> Box<dyn Detector> {
+        Box::new(SpatialDetector::new(
+            self.rules.clone(),
+            self.generalize_location,
+        ))
+    }
+
+    fn end_of_round(&mut self, epoch: &RoundContext<'_>) -> RetrainSpend {
+        let Some(cadence) = self.cadence else {
+            // Frozen: the round's records are not even retained.
+            return RetrainSpend {
+                rules_active: self.rules.len() as u64,
+                ..RetrainSpend::default()
+            };
+        };
+        self.window.extend(epoch.records.iter().cloned());
+        if !(epoch.round + 1).is_multiple_of(cadence) {
+            return RetrainSpend {
+                rules_active: self.rules.len() as u64,
+                ..RetrainSpend::default()
+            };
+        }
+        self.rules = spatial::mine_records(self.window.iter(), &self.mine_config);
+        RetrainSpend {
+            retrained_members: 1,
+            records_scanned: self.window.len() as u64,
+            rules_active: self.rules.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use fp_types::{
+        sym, AttrId, BehaviorTrace, Fingerprint, ServiceId, SimTime, TrafficSource, VerdictSet,
+    };
+
+    fn fake_iphone_record() -> StoredRequest {
+        StoredRequest {
+            id: 0,
+            time: SimTime::EPOCH,
+            site_token: sym("t"),
+            ip_hash: 1,
+            ip_offset_minutes: 480,
+            ip_region: sym("United States of America/California"),
+            ip_lat: 0.0,
+            ip_lon: 0.0,
+            asn: 1,
+            asn_flagged: false,
+            ip_blocklisted: false,
+            tor_exit: false,
+            cookie: 1,
+            tls: fp_types::TlsFacet::unobserved(),
+            fingerprint: Fingerprint::new()
+                .with(AttrId::UaDevice, "iPhone")
+                .with(AttrId::ScreenResolution, (1920u16, 1080u16))
+                .with(AttrId::MaxTouchPoints, 0i64),
+            source: TrafficSource::Bot(ServiceId(1)),
+            behavior: BehaviorTrace::silent(),
+            verdicts: VerdictSet::new(),
+        }
+    }
+
+    fn empty_engine() -> FpInconsistent {
+        FpInconsistent::from_rules(RuleSet::new(), EngineConfig::default())
+    }
+
+    #[test]
+    fn frozen_member_never_retrains() {
+        let mut member = SpatialMember::frozen(&empty_engine());
+        let records = vec![fake_iphone_record(); 5];
+        for round in 0..3 {
+            let spend = member.end_of_round(&RoundContext {
+                round,
+                records: &records,
+                now: SimTime::EPOCH,
+            });
+            assert_eq!(spend.retrained_members, 0);
+            assert_eq!(spend.records_scanned, 0);
+        }
+        assert!(member.rules().is_empty());
+        assert_eq!(member.window_len(), 0, "frozen members retain nothing");
+    }
+
+    #[test]
+    fn remining_member_learns_new_rounds_rules() {
+        let mut member = SpatialMember::remining(&empty_engine(), MineConfig::default(), 1);
+        assert!(member.rules().is_empty(), "starts from the engine's rules");
+        let records = vec![fake_iphone_record(); 5];
+        let spend = member.end_of_round(&RoundContext {
+            round: 0,
+            records: &records,
+            now: SimTime::EPOCH,
+        });
+        assert_eq!(spend.retrained_members, 1);
+        assert_eq!(spend.records_scanned, 5);
+        assert!(spend.rules_active > 0, "the impossible pair became a rule");
+        assert!(member.rules().matches(&records[0]));
+        // The refreshed rules flow into the next round's detector.
+        let mut detector = member.detector();
+        assert!(detector.observe(&records[0]).is_bot());
+    }
+
+    #[test]
+    fn cadence_gates_the_remine() {
+        let mut member = SpatialMember::remining(&empty_engine(), MineConfig::default(), 2);
+        let records = vec![fake_iphone_record(); 5];
+        let r0 = member.end_of_round(&RoundContext {
+            round: 0,
+            records: &records,
+            now: SimTime::EPOCH,
+        });
+        assert_eq!(r0.retrained_members, 0, "cadence 2 skips after round 0");
+        assert_eq!(member.window_len(), 5, "but the window still accumulates");
+        let r1 = member.end_of_round(&RoundContext {
+            round: 1,
+            records: &records,
+            now: SimTime::EPOCH,
+        });
+        assert_eq!(r1.retrained_members, 1, "…and fires after round 1");
+        assert_eq!(r1.records_scanned, 10);
+    }
+
+    #[test]
+    fn window_starts_empty_and_never_double_counts() {
+        let member = SpatialMember::remining(&empty_engine(), MineConfig::default(), 1);
+        assert_eq!(
+            member.window_len(),
+            0,
+            "round 0 replays the seed traffic; pre-seeding would double-count it"
+        );
+        assert_eq!(member.cadence(), Some(1));
+        // A pair with exactly min_support occurrences across the rounds
+        // must not be pushed over the threshold by duplication: feed 2
+        // records (below min_support 3) and re-mine — no rule.
+        let mut member = SpatialMember::remining(&empty_engine(), MineConfig::default(), 1);
+        let records = vec![fake_iphone_record(); 2];
+        let spend = member.end_of_round(&RoundContext {
+            round: 0,
+            records: &records,
+            now: SimTime::EPOCH,
+        });
+        assert_eq!(spend.records_scanned, 2, "each record counted once");
+        assert!(
+            member.rules().is_empty(),
+            "support 2 stays below min_support 3 — no duplication inflation"
+        );
+    }
+}

@@ -159,6 +159,17 @@ pub struct SpatialDetector {
     generalize_location: bool,
 }
 
+impl SpatialDetector {
+    /// A detector over an explicit rule set — what the re-mining defense
+    /// member hands the chain after each refresh.
+    pub fn new(rules: RuleSet, generalize_location: bool) -> SpatialDetector {
+        SpatialDetector {
+            rules,
+            generalize_location,
+        }
+    }
+}
+
 impl Detector for SpatialDetector {
     fn name(&self) -> &'static str {
         provenance::FP_SPATIAL

@@ -7,6 +7,8 @@
 use crate::engine::FpInconsistent;
 use crate::spatial::MineConfig;
 use fp_honeysite::RequestStore;
+use fp_types::defense::RetrainSpend;
+use fp_types::detect::provenance;
 use fp_types::{Cohort, ServiceId, Symbol, TrafficSource};
 
 /// One Table 3 row: a service's detection before/after FP-Inconsistent.
@@ -64,6 +66,8 @@ pub fn evaluate(
     }
     let mut per_service = vec![Acc::default(); usize::from(ServiceId::COUNT)];
     let mut overall = [0u64; 9]; // n, dd, botd, dd_s, botd_s, dd_t, botd_t, dd_c, botd_c
+    let dd_sym = provenance::datadome_sym();
+    let botd_sym = provenance::botd_sym();
 
     for r in store.iter() {
         // The temporal state machine must observe every request (humans
@@ -72,8 +76,8 @@ pub fn evaluate(
         let TrafficSource::Bot(id) = r.source else {
             continue;
         };
-        let dd = r.datadome_bot();
-        let botd = r.botd_bot();
+        let dd = r.verdicts.bot_sym(dd_sym);
+        let botd = r.verdicts.bot_sym(botd_sym);
         let combined_flag = spatial || temporal;
 
         let acc = &mut per_service[usize::from(id.0) - 1];
@@ -317,6 +321,10 @@ pub struct RoundStats {
     pub denied: [u64; Cohort::ALL.len()],
     /// The adversary's adaptation spend this round.
     pub mutation: MutationStats,
+    /// The defender's end-of-round spend: which stack members retrained,
+    /// how many training records they scanned, and the live model size —
+    /// the other side of the arms-race ledger.
+    pub defense: RetrainSpend,
 }
 
 impl RoundStats {
@@ -408,6 +416,20 @@ impl TrajectoryReport {
             }
         }
         None
+    }
+
+    /// The defender's retraining spend per round — the columns the arena
+    /// table prints next to the adversary's mutation spend. Round `r`'s
+    /// entry is what the defender paid *at the end of* round `r` (the
+    /// retraining that shaped round `r + 1`'s chain).
+    pub fn defense_spend_trajectory(&self) -> Vec<RetrainSpend> {
+        self.rounds.iter().map(|r| r.defense).collect()
+    }
+
+    /// Total training records the defender scanned across the campaign
+    /// (the dominant re-mining cost, summed over rounds).
+    pub fn total_defense_scans(&self) -> u64 {
+        self.rounds.iter().map(|r| r.defense.records_scanned).sum()
     }
 
     /// The adversary's attribute-mutation cost per successfully evading
@@ -612,7 +634,27 @@ mod tests {
                 rotated_ips: 0,
                 tls_upgrades: 0,
             },
+            defense: RetrainSpend::default(),
         }
+    }
+
+    #[test]
+    fn defense_spend_columns_follow_rounds() {
+        let mut traj = TrajectoryReport::new();
+        for (i, scanned) in [0u64, 500, 900].iter().enumerate() {
+            let mut stats = round_stats(i as u32, 0.5, 0.0, 0);
+            stats.defense = RetrainSpend {
+                retrained_members: u64::from(*scanned > 0),
+                records_scanned: *scanned,
+                rules_active: 10 + *scanned / 100,
+            };
+            traj.push(stats);
+        }
+        let spend = traj.defense_spend_trajectory();
+        assert_eq!(spend.len(), 3);
+        assert_eq!(spend[0].retrained_members, 0);
+        assert_eq!(spend[2].records_scanned, 900);
+        assert_eq!(traj.total_defense_scans(), 1_400);
     }
 
     #[test]

@@ -19,11 +19,15 @@
 //! * [`evaluate`] — Tables 3 and 4, §7.4's true-negative rate, the §7.3
 //!   80/20 generalisation experiment, and the closed-loop arena's
 //!   round-over-round trajectory report (recall decay, evasion half-life,
-//!   mutation cost).
+//!   mutation cost, defender retraining spend).
+//! * [`defense`] — FP-Inconsistent as a lifecycle-aware defense-stack
+//!   member: [`SpatialMember`] re-mines its rule set from the store's
+//!   labeled rounds at a configurable cadence.
 
 pub mod attrs;
 pub mod captcha;
 pub mod categories;
+pub mod defense;
 pub mod engine;
 pub mod evaluate;
 pub mod rules;
@@ -32,6 +36,7 @@ pub mod temporal;
 
 pub use attrs::AnalysisAttr;
 pub use categories::{Category, CATEGORIES};
+pub use defense::SpatialMember;
 pub use engine::FpInconsistent;
 pub use evaluate::{
     DetectionReport, MutationStats, RoundStats, ServiceImprovement, TrajectoryReport,

@@ -172,14 +172,28 @@ fn mine_pair(
     rules
 }
 
-/// Run Algorithm 1 over a recorded store. Attribute pairs are independent,
-/// so they are mined in parallel on crossbeam scoped threads (round-robin
-/// over the category pair list) and merged back in pair order — the rule
-/// set is identical to a sequential run.
+/// Run Algorithm 1 over a recorded store (see [`mine_records`]).
 pub fn mine(store: &RequestStore, config: &MineConfig) -> RuleSet {
-    let pool: Vec<&StoredRequest> = store
-        .iter()
-        .filter(|r| !config.undetected_pool_only || r.evaded_datadome() || r.evaded_botd())
+    mine_records(store.iter(), config)
+}
+
+/// Run Algorithm 1 over any arrival-ordered record view — the re-entrant
+/// form the re-mining defense member feeds with its incremental window
+/// (seed traffic plus each completed arena round). Attribute pairs are
+/// independent, so they are mined in parallel on crossbeam scoped threads
+/// (round-robin over the category pair list) and merged back in pair order
+/// — the rule set is identical to a sequential run.
+pub fn mine_records<'a>(
+    records: impl IntoIterator<Item = &'a StoredRequest>,
+    config: &MineConfig,
+) -> RuleSet {
+    let dd = fp_types::detect::provenance::datadome_sym();
+    let botd = fp_types::detect::provenance::botd_sym();
+    let pool: Vec<&StoredRequest> = records
+        .into_iter()
+        .filter(|r| {
+            !config.undetected_pool_only || !r.verdicts.bot_sym(dd) || !r.verdicts.bot_sym(botd)
+        })
         .collect();
 
     let pairs: Vec<(AnalysisAttr, AnalysisAttr)> = CATEGORIES

@@ -1,11 +1,12 @@
-//! The closed loop: rounds of traffic → verdicts → mitigation → adaptation.
+//! The closed loop: rounds of traffic → verdicts → mitigation → adaptation
+//! → (since the `DefenseStack` redesign) defender retraining.
 //!
 //! One [`Arena`] owns everything both sides of the §6 feedback loop need:
-//! the defender's detector chain (the default honey-site chain plus
-//! FP-Inconsistent's adapters, mined once on round 0's paper traffic — the
-//! deployment setting: mine offline, deploy online), a [`ResponsePolicy`],
-//! the TTL blocklist the policy writes, and one
-//! [`AdaptationStrategy`] per bot service.
+//! the defender's [`DefenseStack`] (member chain + decision policy —
+//! by default the honey-site chain plus FP-Inconsistent's members, mined
+//! on round 0's paper traffic: mine offline, deploy online), the TTL
+//! blocklist the policy writes, and one [`AdaptationStrategy`] per bot
+//! service.
 //!
 //! A round is:
 //!
@@ -19,12 +20,19 @@
 //!    on simulated time) turns away listed addresses before anything else
 //!    sees them — `fp-netsim`'s enforcement point.
 //! 3. **Detect** — the admitted stream runs through the sharded ingest
-//!    pipeline; every record carries the full named `VerdictSet`.
-//! 4. **Mitigate** — the policy maps each record's verdicts to a
+//!    pipeline under the stack's *current* detector chain; every record
+//!    carries the full named `VerdictSet`.
+//! 4. **Mitigate** — the stack's [`DecisionPolicy`] maps each record's
+//!    verdicts (plus the address's offense history) to a
 //!    [`MitigationAction`]; blocks feed the blocklist for *subsequent*
 //!    rounds (mitigation ships in batches, like real vendors' list
 //!    updates).
-//! 5. **Adapt** — each bot service observes its own visible outcome (and
+//! 5. **Retrain** — the defender's lifecycle: every stack member digests
+//!    the round's labeled records ([`DefenseStack::end_of_round`]). With a
+//!    re-mining cadence configured, `fp-spatial` re-runs Algorithm 1 over
+//!    its accumulated window and the *next* round's chain deploys the
+//!    refreshed rules. The spend is recorded in the round's stats.
+//! 6. **Adapt** — each bot service observes its own visible outcome (and
 //!    nothing else) and updates its strategy for the next round.
 //!
 //! Everything is seeded and the per-round ingest is the shard-invariant
@@ -33,10 +41,12 @@
 use crate::policy::ResponsePolicy;
 use crate::strategy::AdaptationStrategy;
 use fp_botnet::{Campaign, CampaignConfig};
-use fp_honeysite::{HoneySite, RequestStore};
+use fp_honeysite::{DefenseStack, HoneySite, RequestStore};
+use fp_inconsistent_core::defense::SpatialMember;
 use fp_inconsistent_core::evaluate::{self, MutationStats, RoundStats, TrajectoryReport};
 use fp_inconsistent_core::{FpInconsistent, MineConfig};
 use fp_netsim::{NetDb, TtlBlocklist};
+use fp_types::defense::{DecisionContext, DecisionPolicy, Frozen, RoundContext};
 use fp_types::{
     mix2, Cohort, MitigationAction, Request, RoundOutcome, Scale, ServiceId, SimTime, Splittable,
     TrafficSource, STUDY_DAYS,
@@ -56,8 +66,15 @@ pub struct ArenaConfig {
     pub seed: u64,
     /// Ingest shards per round (1 = sequential-equivalent).
     pub shards: usize,
-    /// The response policy under test.
+    /// The response policy under test (installed as the stack's
+    /// [`DecisionPolicy`]; swap in a richer one with
+    /// [`Arena::set_policy`]).
     pub policy: ResponsePolicy,
+    /// Defender re-mining cadence for the `fp-spatial` member: with
+    /// `Some(n)`, the rule set is re-mined from the accumulated labeled
+    /// rounds at the end of every `n`-th round (1 = every round). `None`
+    /// freezes the round-0 rules forever — the pre-redesign behaviour.
+    pub remine_cadence: Option<u32>,
 }
 
 impl Default for ArenaConfig {
@@ -67,6 +84,7 @@ impl Default for ArenaConfig {
             seed: 0xF91C0DE,
             shards: 1,
             policy: ResponsePolicy::block(crate::policy::DEFAULT_BLOCK_TTL_SECS),
+            remine_cadence: None,
         }
     }
 }
@@ -101,6 +119,7 @@ pub struct Arena {
     config: ArenaConfig,
     base: Campaign,
     engine: FpInconsistent,
+    stack: DefenseStack,
     blocklist: TtlBlocklist,
     strategies: HashMap<ServiceId, Box<dyn AdaptationStrategy>>,
     laggard_strategy: Option<Box<dyn AdaptationStrategy>>,
@@ -109,22 +128,61 @@ pub struct Arena {
 }
 
 impl Arena {
-    /// Set up the arena: generate the base campaign and mine the engine on
-    /// its paper-faithful traffic (bots + real users), exactly like the
-    /// single-shot pipeline does.
+    /// Set up the arena from the default defense stack (the honey site's
+    /// commercial chain): generate the base campaign, mine the engine on
+    /// its paper-faithful traffic (bots + real users) exactly like the
+    /// single-shot pipeline does, and mount the FP-Inconsistent members.
     pub fn new(config: ArenaConfig) -> Arena {
+        Arena::with_stack(config, DefenseStack::default())
+    }
+
+    /// Set up the arena from a caller-supplied base stack. The stack
+    /// provides the leading (commercial) members; the arena mines the
+    /// FP-Inconsistent engine on the base campaign's paper traffic as run
+    /// through that stack's chain, appends the engine's members (the
+    /// spatial member re-mining at [`ArenaConfig::remine_cadence`], the
+    /// two frozen temporal anchors), and installs [`ArenaConfig::policy`]
+    /// as the stack's decision policy.
+    pub fn with_stack(config: ArenaConfig, mut stack: DefenseStack) -> Arena {
         let base = Campaign::generate(CampaignConfig {
             scale: config.scale,
             seed: config.seed,
         });
-        let mut mine_site = Self::site_without_engine(&base);
+        let mut mine_site = HoneySite::from_stack(&stack);
+        Self::register_tokens(&mut mine_site, &base);
         mine_site.ingest_all(base.bot_requests.iter().cloned());
         mine_site.ingest_all(base.real_users.iter().map(|r| r.request.clone()));
         let engine = FpInconsistent::mine(&mine_site.into_store(), &MineConfig::default());
+
+        stack.set_policy(Box::new(config.policy));
+        match config.remine_cadence {
+            None => stack.push_member(Box::new(SpatialMember::frozen(&engine))),
+            // The member's window starts empty: round 0 replays the
+            // mining traffic, so pre-seeding would double-count it.
+            Some(cadence) => stack.push_member(Box::new(SpatialMember::remining(
+                &engine,
+                MineConfig::default(),
+                cadence,
+            ))),
+        }
+        // The spatial slot is the member above; the engine's remaining
+        // detectors (the temporal anchors) retrain nothing between rounds
+        // and ride frozen. Select by provenance name, not position, so a
+        // reordered or extended engine chain cannot silently double-mount
+        // the spatial detector.
+        for detector in engine
+            .detectors()
+            .into_iter()
+            .filter(|d| d.name() != fp_types::detect::provenance::FP_SPATIAL)
+        {
+            stack.push_member(Box::new(Frozen::new(detector)));
+        }
+
         Arena {
             config,
             base,
             engine,
+            stack,
             blocklist: TtlBlocklist::new(),
             strategies: HashMap::new(),
             laggard_strategy: None,
@@ -142,6 +200,13 @@ impl Arena {
     /// Give the TLS-laggard cohort an adaptation strategy.
     pub fn set_laggard_strategy(&mut self, strategy: Box<dyn AdaptationStrategy>) {
         self.laggard_strategy = Some(strategy);
+    }
+
+    /// Replace the stack's decision policy (e.g. with an
+    /// [`fp_types::defense::EscalatingTtl`] or a per-detector policy).
+    /// Detector members and their training state are untouched.
+    pub fn set_policy(&mut self, policy: Box<dyn DecisionPolicy>) {
+        self.stack.set_policy(policy);
     }
 
     /// The shipped adaptive preset: every service rotates IPs (with the
@@ -171,9 +236,16 @@ impl Arena {
         &self.base
     }
 
-    /// The mined engine deployed in every round's chain.
+    /// The engine as mined on round 0's paper traffic. With re-mining
+    /// enabled this is the *initial* state only — the live rules are the
+    /// stack's spatial member's.
     pub fn engine(&self) -> &FpInconsistent {
         &self.engine
+    }
+
+    /// The defender's stack: member chain and decision policy.
+    pub fn stack(&self) -> &DefenseStack {
+        &self.stack
     }
 
     /// The mitigation blocklist as of now (entries from all completed
@@ -224,35 +296,74 @@ impl Arena {
             }
         }
 
-        // Detection: the sharded pipeline with the full six-detector chain.
+        // Detection: the sharded pipeline under the stack's current chain.
         let mut site = self.site();
         site.ingest_stream(admitted, self.config.shards);
         let store = site.into_store();
 
-        // Mitigation: verdicts → actions; blocks land on the list that
-        // gates the *next* rounds' admissions.
+        // Mitigation: the stack's policy maps verdicts (+ offense history)
+        // to actions; blocks land on the list that gates the *next*
+        // rounds' admissions. A new ban *episode* is opened only when no
+        // ban is currently binding for the address; blocked requests that
+        // arrive during an episode renew its lease (coverage extends from
+        // the latest activity) without re-listing. Ban length therefore
+        // scales with offense episodes and activity span — never with raw
+        // request volume (TTLs do not stack per request) — and an
+        // escalating policy's TTL cap bounds each episode.
         for record in store.iter() {
             let outcome = outcomes.entry(record.source).or_insert(RoundOutcome {
                 round,
                 ..RoundOutcome::default()
             });
-            match self.config.policy.decide(&record.verdicts) {
+            // "Prior offenses" means episodes *before* the one the address
+            // may currently be serving: a binding episode's own listing is
+            // excluded, so every decision within one episode sits on the
+            // same escalation rung (lease renewals do not climb the
+            // ladder).
+            let offenses = self.blocklist.offenses(record.ip_hash);
+            let prior_offenses = if self.blocklist.contains(record.ip_hash, record.time) {
+                offenses.saturating_sub(1)
+            } else {
+                offenses
+            };
+            let action = self.stack.decide(&DecisionContext {
+                verdicts: &record.verdicts,
+                ip_hash: record.ip_hash,
+                now: record.time,
+                prior_offenses,
+            });
+            match action {
                 MitigationAction::Allow | MitigationAction::ShadowFlag => outcome.allowed += 1,
                 MitigationAction::Captcha => outcome.captchas += 1,
                 MitigationAction::Block(ttl_secs) => {
                     outcome.blocked += 1;
-                    self.blocklist.block(record.ip_hash, record.time, ttl_secs);
+                    if !self
+                        .blocklist
+                        .refresh(record.ip_hash, record.time, ttl_secs)
+                    {
+                        self.blocklist.block(record.ip_hash, record.time, ttl_secs);
+                    }
                 }
             }
         }
-        self.blocklist
-            .purge_expired(SimTime(u64::from(round + 1) * ROUND_SECS));
+        let round_end = SimTime(u64::from(round + 1) * ROUND_SECS);
+        self.blocklist.purge_expired(round_end);
+
+        // Defender lifecycle: every stack member digests the round's
+        // labeled records; retraining members refresh their model here and
+        // the *next* round's chain deploys it.
+        let defense = self.stack.end_of_round(&RoundContext {
+            round,
+            records: store.records(),
+            now: round_end,
+        });
 
         let stats = RoundStats {
             round,
             cohorts: evaluate::cohort_report(&store),
             denied,
             mutation,
+            defense,
         };
         self.trajectory.push(stats.clone());
 
@@ -294,26 +405,23 @@ impl Arena {
         &self.trajectory
     }
 
-    /// A fresh honey site with every token registered and the full chain
-    /// (default detectors + the mined engine's adapters) — detector state
-    /// starts empty each round, like a measurement window reset.
+    /// A fresh honey site for one round: every token registered and the
+    /// stack's current detector chain — detector state starts empty each
+    /// round (a measurement window reset), while training state lives on
+    /// in the stack members.
     fn site(&self) -> HoneySite {
-        let mut site = Self::site_without_engine(&self.base);
-        for detector in self.engine.detectors() {
-            site.push_detector(detector);
-        }
+        let mut site = HoneySite::from_stack(&self.stack);
+        Self::register_tokens(&mut site, &self.base);
         site
     }
 
-    fn site_without_engine(campaign: &Campaign) -> HoneySite {
-        let mut site = HoneySite::new();
+    fn register_tokens(site: &mut HoneySite, campaign: &Campaign) {
         for id in ServiceId::all() {
             site.register_token(campaign.token_of(id));
         }
         site.register_token(campaign.real_user_token());
         site.register_token(campaign.ai_agent_token());
         site.register_token(campaign.tls_laggard_token());
-        site
     }
 
     /// Build round `r`'s request stream (bots, then real users, AI agents
@@ -432,6 +540,7 @@ mod tests {
             seed: 77,
             shards: 1,
             policy,
+            remine_cadence: None,
         }
     }
 
@@ -583,5 +692,113 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn frozen_defender_reports_no_retraining_spend() {
+        let mut arena = Arena::new(tiny_config(ResponsePolicy::block(ROUND_SECS)));
+        arena.step();
+        let r1 = arena.step();
+        assert_eq!(r1.stats.defense.retrained_members, 0);
+        assert_eq!(r1.stats.defense.records_scanned, 0);
+        assert!(
+            r1.stats.defense.rules_active > 0,
+            "the frozen rule set is still live and reported"
+        );
+    }
+
+    #[test]
+    fn remining_defender_spends_at_its_cadence() {
+        let mut config = tiny_config(ResponsePolicy::block(ROUND_SECS));
+        config.remine_cadence = Some(2);
+        let mut arena = Arena::new(config);
+        let r0 = arena.step();
+        assert_eq!(
+            r0.stats.defense.retrained_members, 0,
+            "cadence 2 skips the first round boundary"
+        );
+        assert!(r0.stats.defense.rules_active > 0);
+        let r1 = arena.step();
+        assert_eq!(r1.stats.defense.retrained_members, 1);
+        assert_eq!(
+            r1.stats.defense.records_scanned as usize,
+            r0.store.len() + r1.store.len(),
+            "the window holds exactly both rounds' records — no pre-seeded \
+             copy of the mining traffic (that would double-count round 0)"
+        );
+        let spend = arena.trajectory().defense_spend_trajectory();
+        assert_eq!(spend.len(), 2);
+        assert_eq!(
+            arena.trajectory().total_defense_scans(),
+            spend[1].records_scanned
+        );
+    }
+
+    #[test]
+    fn bans_are_episodes_not_per_request_listings() {
+        // A long flat TTL: every blocked address opens exactly one ban
+        // episode this round, no matter how many of its requests were
+        // blocked — ban length must scale with offense episodes, not raw
+        // request volume.
+        let mut arena = Arena::new(tiny_config(ResponsePolicy::block(ROUND_SECS * 2)));
+        let r0 = arena.step();
+        let blocked: u64 = r0.outcomes.values().map(|o| o.blocked).sum();
+        let mut blocked_hashes: Vec<u64> = r0
+            .store
+            .iter()
+            .filter(|r| arena.blocklist().offenses(r.ip_hash) > 0)
+            .map(|r| r.ip_hash)
+            .collect();
+        blocked_hashes.sort_unstable();
+        blocked_hashes.dedup();
+        assert!(blocked > blocked_hashes.len() as u64, "addresses repeat");
+        for hash in &blocked_hashes {
+            assert_eq!(
+                arena.blocklist().offenses(*hash),
+                1,
+                "one binding ban = one episode, however many requests it denied"
+            );
+        }
+    }
+
+    #[test]
+    fn escalating_policy_compounds_within_round_recidivism() {
+        // A base TTL much shorter than a round (≈2.3 days of the 91-day
+        // window): addresses that come back after their ban lapses open
+        // new episodes, the offense count climbs, and the escalated TTLs
+        // eventually outlive the round — unlike the flat policy, whose
+        // expired entries are all swept at the round boundary.
+        let base = 5_000;
+        let mut flat = Arena::new(tiny_config(ResponsePolicy::block(base)));
+        flat.step();
+        // Only episodes opened inside the round's final `base` seconds can
+        // survive the boundary under the flat policy.
+        let flat_survivors = flat.blocklist().len();
+
+        let mut escalated = Arena::new(tiny_config(ResponsePolicy::block(base)));
+        escalated.set_policy(Box::new(
+            ResponsePolicy::block(base).escalating(64, ROUND_SECS * 4),
+        ));
+        let r0 = escalated.step();
+        let max_offenses = r0
+            .store
+            .iter()
+            .map(|r| escalated.blocklist().offenses(r.ip_hash))
+            .max()
+            .unwrap();
+        assert!(
+            max_offenses >= 2,
+            "recidivist addresses must accumulate episodes: max {max_offenses}"
+        );
+        // 64²·5k ≈ 20.5M simulated seconds > the 7.86M-second round, so
+        // every third-episode ban outlives the round wherever it was
+        // opened — escalation must keep strictly more entries alive than
+        // the flat policy's tail-end survivors.
+        assert!(
+            escalated.blocklist().len() > flat_survivors,
+            "escalated repeat-offender bans must outlive the round boundary: \
+             flat {flat_survivors}, escalated {}",
+            escalated.blocklist().len()
+        );
     }
 }

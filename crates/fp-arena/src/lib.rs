@@ -10,7 +10,16 @@
 //! * [`ResponsePolicy`] — what the site does with a flagged request:
 //!   Allow (control), Captcha, Block-with-TTL (enforced at admission via
 //!   `fp-netsim`'s [`fp_netsim::TtlBlocklist`]), or ShadowFlag (the
-//!   paper's own record-everything-serve-everything posture).
+//!   paper's own record-everything-serve-everything posture). It is one
+//!   implementation of the [`fp_types::defense::DecisionPolicy`] contract;
+//!   richer policies (per-detector weights/actions, repeat-offender TTL
+//!   escalation) plug into the same slot via [`Arena::set_policy`].
+//! * [`DefenseStack`] (from `fp-honeysite`) — the defender as a value:
+//!   lifecycle-aware members plus the decision policy. The arena drives
+//!   the defender's lifecycle between rounds — with
+//!   [`ArenaConfig::remine_cadence`] set, `fp-spatial` re-mines its rule
+//!   set from the accumulated labeled rounds, the counter-move to §6's
+//!   rule rot.
 //! * [`AdaptationStrategy`] — how a bot service rewrites its next round
 //!   from the outcomes it can *see*: [`IpRotation`] (fresh addresses →
 //!   residential ASNs → new geographies), [`FingerprintMutation`]
@@ -29,8 +38,9 @@
 //!
 //! The measurement comes out as a
 //! [`fp_inconsistent_core::TrajectoryReport`]: per-detector recall/FPR per
-//! round, evasion half-life, and the adversary's attribute-mutation cost
-//! per evading request.
+//! round, evasion half-life, the adversary's attribute-mutation cost per
+//! evading request — and, on the other side of the ledger, the defender's
+//! retraining spend per round.
 
 #![deny(missing_docs)]
 
@@ -39,6 +49,7 @@ pub mod policy;
 pub mod strategy;
 
 pub use arena::{Arena, ArenaConfig, RoundResult, ROUND_SECS};
+pub use fp_honeysite::DefenseStack;
 pub use policy::{ResponsePolicy, DEFAULT_BLOCK_TTL_SECS};
 pub use strategy::{
     AdaptationStrategy, Composite, Cooldown, FingerprintMutation, IpRotation, MutationReceipt,

@@ -8,7 +8,15 @@
 //! attributes until they slip back in. A [`ResponsePolicy`] is therefore
 //! the arena's independent variable: same traffic, same detectors, four
 //! different feedback signals to the adversary.
+//!
+//! Since the `DefenseStack` redesign, `ResponsePolicy` is *one*
+//! [`DecisionPolicy`] implementation — the static global vote threshold —
+//! and the richer policy space (per-detector weights/actions, TTL
+//! escalation on repeat offenders) lives in
+//! [`fp_types::defense`]. [`ResponsePolicy::escalating`] lifts a block
+//! policy onto the escalation ladder.
 
+use fp_types::defense::{DecisionContext, DecisionPolicy, EscalatingTtl};
 use fp_types::{MitigationAction, VerdictSet};
 
 /// Maps a request's recorded [`VerdictSet`] to a [`MitigationAction`].
@@ -97,6 +105,33 @@ impl ResponsePolicy {
             MitigationAction::Allow
         }
     }
+
+    /// Lift this policy onto the repeat-offender escalation ladder: every
+    /// `Block` it issues starts from its own TTL and multiplies by
+    /// `multiplier` per prior offense, capped at `max_ttl_secs` (see
+    /// [`EscalatingTtl`]).
+    pub fn escalating(self, multiplier: u64, max_ttl_secs: u64) -> EscalatingTtl {
+        let base = match self.action {
+            MitigationAction::Block(ttl_secs) => ttl_secs,
+            _ => DEFAULT_BLOCK_TTL_SECS,
+        };
+        EscalatingTtl::new(Box::new(self), base, multiplier, max_ttl_secs)
+    }
+}
+
+/// The static global vote threshold as a [`DecisionPolicy`] — what the
+/// defense stack runs when no richer policy is configured. Provably the
+/// pre-redesign behaviour: the decision reads only the verdict set, so a
+/// stack under this policy is action-for-action the old per-record
+/// `ResponsePolicy::decide` loop.
+impl DecisionPolicy for ResponsePolicy {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn decide(&self, ctx: &DecisionContext<'_>) -> MitigationAction {
+        ResponsePolicy::decide(self, ctx.verdicts)
+    }
 }
 
 #[cfg(test)]
@@ -142,5 +177,49 @@ mod tests {
         let policy = ResponsePolicy::captcha().with_min_votes(0);
         assert_eq!(policy.min_votes, 1);
         assert_eq!(policy.decide(&verdicts(0, 2)), MitigationAction::Allow);
+    }
+
+    #[test]
+    fn decision_policy_impl_matches_the_inherent_decide() {
+        use fp_types::SimTime;
+        for policy in ResponsePolicy::all() {
+            let policy = policy.with_min_votes(2);
+            for (bots, humans) in [(0, 3), (1, 2), (2, 1), (5, 0)] {
+                let set = verdicts(bots, humans);
+                let ctx = DecisionContext {
+                    verdicts: &set,
+                    ip_hash: 99,
+                    now: SimTime::EPOCH,
+                    prior_offenses: 7, // static policies must ignore this
+                };
+                let via_trait = DecisionPolicy::decide(&policy, &ctx);
+                assert_eq!(via_trait, policy.decide(&set), "policy {}", policy.name);
+            }
+        }
+    }
+
+    #[test]
+    fn escalating_block_ladders_from_the_policy_ttl() {
+        use fp_types::SimTime;
+        let policy = ResponsePolicy::block(1_000).escalating(3, 100_000);
+        let set = verdicts(1, 0);
+        let decide = |offenses| {
+            DecisionPolicy::decide(
+                &policy,
+                &DecisionContext {
+                    verdicts: &set,
+                    ip_hash: 1,
+                    now: SimTime::EPOCH,
+                    prior_offenses: offenses,
+                },
+            )
+        };
+        assert_eq!(decide(0), MitigationAction::Block(1_000));
+        assert_eq!(decide(1), MitigationAction::Block(3_000));
+        assert_eq!(decide(4), MitigationAction::Block(81_000));
+        assert_eq!(decide(40), MitigationAction::Block(100_000), "capped");
+        // Non-block policies fall back to the default block TTL base.
+        let from_captcha = ResponsePolicy::captcha().escalating(2, u64::MAX);
+        assert_eq!(from_captcha.ttl_for(0), DEFAULT_BLOCK_TTL_SECS);
     }
 }

@@ -8,12 +8,13 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use fp_arena::{Arena, ArenaConfig, ResponsePolicy, DEFAULT_BLOCK_TTL_SECS};
 use fp_types::Scale;
 
-fn arena_config() -> ArenaConfig {
+fn arena_config(remine_cadence: Option<u32>) -> ArenaConfig {
     ArenaConfig {
         scale: Scale::ratio(0.005),
         seed: 77,
         shards: 1,
         policy: ResponsePolicy::block(DEFAULT_BLOCK_TTL_SECS),
+        remine_cadence,
     }
 }
 
@@ -24,7 +25,7 @@ fn bench_rounds(c: &mut Criterion) {
         // Throughput in requests processed across all rounds (measured
         // once up front; generation is deterministic).
         let total: u64 = {
-            let mut arena = Arena::new(arena_config());
+            let mut arena = Arena::new(arena_config(None));
             arena.adaptive_defaults();
             (0..rounds)
                 .map(|_| arena.step().stats.cohorts.cohort_sizes.iter().sum::<u64>())
@@ -33,12 +34,30 @@ fn bench_rounds(c: &mut Criterion) {
         group.throughput(Throughput::Elements(total));
         group.bench_function(format!("block_policy_{rounds}_rounds"), |b| {
             b.iter(|| {
-                let mut arena = Arena::new(arena_config());
+                let mut arena = Arena::new(arena_config(None));
                 arena.adaptive_defaults();
                 arena.run(rounds).rounds.len()
             })
         });
     }
+    // The defender-lifecycle overhead: identical campaign, re-mining the
+    // spatial rule set every round (window grows one round per round, so
+    // this tracks the incremental-mining cost the lifecycle adds).
+    let total: u64 = {
+        let mut arena = Arena::new(arena_config(Some(1)));
+        arena.adaptive_defaults();
+        (0..2u32)
+            .map(|_| arena.step().stats.cohorts.cohort_sizes.iter().sum::<u64>())
+            .sum()
+    };
+    group.throughput(Throughput::Elements(total));
+    group.bench_function("block_policy_2_rounds_remine_every", |b| {
+        b.iter(|| {
+            let mut arena = Arena::new(arena_config(Some(1)));
+            arena.adaptive_defaults();
+            arena.run(2).rounds.len()
+        })
+    });
     group.finish();
 }
 

@@ -7,7 +7,11 @@ use fp_bench::{bench_scale, header, recorded_campaign, train_evasion_model};
 
 fn main() {
     let (_, store) = recorded_campaign(bench_scale());
-    let m = train_evasion_model(&store, |r| r.evaded_datadome(), 60_000);
+    let m = train_evasion_model(
+        &store,
+        |r| !r.verdicts.bot(fp_types::detect::provenance::DATADOME),
+        60_000,
+    );
 
     header(
         "Appendix C: the DataDome evasion path",

@@ -9,8 +9,16 @@
 //! against the single-shot cohort pipeline first — the arena provably
 //! *starts from* the pre-arena repo.
 //!
+//! After the frozen-defender story, the binary replays the identical
+//! campaign with defender re-mining enabled (`fp-spatial` re-runs
+//! Algorithm 1 over the accumulated labeled rounds) and prints the
+//! defender ablation: recall clawed back per round, and what the
+//! retraining cost (the `TrajectoryReport`'s defender-spend columns).
+//!
 //! Scale via `FP_SCALE` (default 0.02 — this binary tracks a dynamic, not
-//! a paper table), rounds via `ARENA_ROUNDS` (default 5).
+//! a paper table), rounds via `ARENA_ROUNDS` (default 5), re-mining
+//! cadence via `ARENA_REMINE` (default 1 = re-mine every round; 0 skips
+//! the defender ablation).
 
 use fp_arena::{Arena, ArenaConfig, ResponsePolicy, DEFAULT_BLOCK_TTL_SECS};
 use fp_bench::{header, pct, recorded_cohort_campaign, CAMPAIGN_SEED};
@@ -40,6 +48,16 @@ fn arena_rounds() -> u32 {
     match std::env::var("ARENA_ROUNDS") {
         Ok(v) => v.parse().expect("ARENA_ROUNDS must be a round count"),
         Err(_) => 5,
+    }
+}
+
+fn remine_cadence() -> Option<u32> {
+    match std::env::var("ARENA_REMINE") {
+        Ok(v) => {
+            let cadence: u32 = v.parse().expect("ARENA_REMINE must be a cadence (0 = off)");
+            (cadence > 0).then_some(cadence)
+        }
+        Err(_) => Some(1),
     }
 }
 
@@ -89,12 +107,14 @@ fn main() {
     // Round-0 identity: the arena's opening round must be flag-for-flag
     // the single-shot cohort pipeline.
     let (_, single_shot) = recorded_cohort_campaign(scale);
-    let mut arena = Arena::new(ArenaConfig {
+    let config = ArenaConfig {
         scale,
         seed: CAMPAIGN_SEED,
         shards: 1,
         policy: ResponsePolicy::block(DEFAULT_BLOCK_TTL_SECS),
-    });
+        remine_cadence: None,
+    };
+    let mut arena = Arena::new(config);
     arena.adaptive_defaults();
 
     let round0 = arena.step();
@@ -217,5 +237,96 @@ fn main() {
         println!("\nqualitative §6 checks passed: recall erodes, ASN mix shifts.");
     } else {
         println!("\nqualitative §6 check passed: recall erodes (run 3+ rounds for the ASN shift).");
+    }
+
+    // ── Defender ablation: the same campaign, re-mining enabled ─────────
+    let Some(cadence) = remine_cadence() else {
+        println!("\nARENA_REMINE=0: defender re-mining ablation skipped.");
+        return;
+    };
+    println!(
+        "\ndefender ablation: fp-spatial recall, frozen rules vs re-mining \
+         (cadence {cadence}):"
+    );
+    let mut remined = Arena::new(ArenaConfig {
+        remine_cadence: Some(cadence),
+        ..config
+    });
+    remined.adaptive_defaults();
+    remined.run(rounds);
+    let remined_trajectory = remined.trajectory();
+    let remined_spatial =
+        remined_trajectory.recall_trajectory(provenance::FP_SPATIAL, Cohort::BotService);
+
+    print!("{:<22}", "frozen");
+    for rate in &spatial {
+        print!("{:>10}", pct(*rate));
+    }
+    println!();
+    print!("{:<22}", format!("re-mined (every {cadence})"));
+    for rate in &remined_spatial {
+        print!("{:>10}", pct(*rate));
+    }
+    println!();
+    print!("{:<22}", "re-mined user FPR");
+    for rate in remined_trajectory.fpr_trajectory(provenance::FP_SPATIAL) {
+        print!("{:>10}", pct(rate));
+    }
+    println!();
+
+    println!("\ndefender re-mining spend per round (TrajectoryReport defense columns):");
+    println!(
+        "{:<8}{:>12}{:>18}{:>14}",
+        "round", "retrains", "records-scanned", "rules-active"
+    );
+    for (r, spend) in remined_trajectory
+        .defense_spend_trajectory()
+        .iter()
+        .enumerate()
+    {
+        println!(
+            "{:<8}{:>12}{:>18}{:>14}",
+            r, spend.retrained_members, spend.records_scanned, spend.rules_active
+        );
+    }
+    println!(
+        "total training records scanned: {}",
+        remined_trajectory.total_defense_scans()
+    );
+    if rounds >= cadence {
+        assert!(
+            remined_trajectory.total_defense_scans() > 0,
+            "re-mining must actually run (and be accounted) at cadence {cadence}"
+        );
+    } else {
+        println!(
+            "(cadence {cadence} exceeds the {rounds}-round campaign: no \
+             re-mine fired, zero spend is correct)"
+        );
+    }
+
+    if rounds >= 3 {
+        // The clawback needs erosion first: the mutation round lands at
+        // round 1, the refreshed rules deploy from round 2.
+        let frozen_last = *spatial.last().unwrap();
+        let remined_last = *remined_spatial.last().unwrap();
+        assert!(
+            remined_last > frozen_last,
+            "re-mining must claw back recall over frozen rules by the last \
+             round: frozen {frozen_last:.3}, re-mined {remined_last:.3}"
+        );
+        println!(
+            "\ndefender ablation check passed: re-mining claws recall back \
+             ({} frozen vs {} re-mined at round {}).",
+            pct(frozen_last),
+            pct(remined_last),
+            rounds - 1
+        );
+    } else {
+        println!(
+            "\ndefender ablation printed (run 3+ rounds to assert the recall \
+             clawback — erosion needs a mutation round before re-mining can \
+             answer it)."
+        );
     }
 }

@@ -131,6 +131,7 @@ fn main() {
                 seed: CAMPAIGN_SEED,
                 shards: 4,
                 policy: ResponsePolicy::block(DEFAULT_BLOCK_TTL_SECS),
+                remine_cadence: None,
             });
             arena.adaptive_defaults();
             let trajectory = arena.run(2);

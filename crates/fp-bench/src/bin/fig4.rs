@@ -3,9 +3,11 @@
 
 use fp_bench::{bench_scale, header, pct, recorded_campaign};
 use fp_fingerprint::catalog::CHROMIUM_PDF_PLUGINS;
+use fp_types::detect::provenance;
 use fp_types::AttrId;
 
 fn main() {
+    let botd_sym = provenance::botd_sym();
     let (_, store) = recorded_campaign(bench_scale());
     header(
         "Figure 4: P(evade BotD | PDF plugin present)",
@@ -27,7 +29,7 @@ fn main() {
                 .unwrap_or(false);
             if has {
                 n += 1;
-                evaded += u64::from(r.evaded_botd());
+                evaded += u64::from(!r.verdicts.bot_sym(botd_sym));
             }
         }
         let p = if n == 0 {
@@ -50,7 +52,7 @@ fn main() {
             .unwrap_or(true);
         if empty {
             n += 1;
-            evaded += u64::from(r.evaded_botd());
+            evaded += u64::from(!r.verdicts.bot_sym(botd_sym));
         }
     }
     println!(

@@ -2,6 +2,7 @@
 //! type (paper: iPhone highest at ≈ 0.5, then Other, iPad, Mac).
 
 use fp_bench::{bench_scale, header, pct, recorded_campaign};
+use fp_types::detect::provenance;
 use fp_types::AttrId;
 use std::collections::HashMap;
 
@@ -13,6 +14,7 @@ fn main() {
     );
 
     let mut by_device: HashMap<&str, (u64, u64)> = HashMap::new();
+    let dd_sym = provenance::datadome_sym();
     for r in store.iter().filter(|r| r.source.is_bot()) {
         let Some(device) = r.fingerprint.get(AttrId::UaDevice).as_str() else {
             continue;
@@ -27,7 +29,7 @@ fn main() {
         };
         let slot = by_device.entry(class).or_default();
         slot.0 += 1;
-        slot.1 += u64::from(r.evaded_datadome());
+        slot.1 += u64::from(!r.verdicts.bot_sym(dd_sym));
     }
 
     let mut rows: Vec<(&str, u64, f64)> = by_device

@@ -5,6 +5,7 @@
 
 use fp_bench::{bench_scale, header, pct, recorded_campaign};
 use fp_fingerprint::catalog::is_real_iphone_resolution;
+use fp_types::detect::provenance;
 use fp_types::AttrId;
 use std::collections::HashMap;
 
@@ -17,6 +18,7 @@ fn main() {
 
     // (resolution) -> (requests, evaded)
     let mut census: HashMap<(u16, u16), (u64, u64)> = HashMap::new();
+    let dd_sym = provenance::datadome_sym();
     for r in store.iter().filter(|r| r.source.is_bot()) {
         if r.fingerprint.get(AttrId::UaDevice).as_str() != Some("iPhone") {
             continue;
@@ -26,7 +28,7 @@ fn main() {
         };
         let slot = census.entry(res).or_default();
         slot.0 += 1;
-        slot.1 += u64::from(r.evaded_datadome());
+        slot.1 += u64::from(!r.verdicts.bot_sym(dd_sym));
     }
 
     let total_unique = census.len();

@@ -6,6 +6,7 @@ use fp_bench::{bench_scale, header, pct, recorded_campaign};
 use fp_botnet::privacy;
 use fp_honeysite::HoneySite;
 use fp_inconsistent_core::{evaluate, FpInconsistent, MineConfig};
+use fp_types::detect::provenance;
 use fp_types::PrivacyTech;
 
 fn main() {
@@ -33,8 +34,16 @@ fn main() {
         site.ingest_all(requests);
         let store = site.into_store();
 
-        let dd = store.iter().filter(|r| r.datadome_bot()).count() as f64 / store.len() as f64;
-        let botd = store.iter().filter(|r| r.botd_bot()).count() as f64 / store.len() as f64;
+        let dd = store
+            .iter()
+            .filter(|r| r.verdicts.bot(provenance::DATADOME))
+            .count() as f64
+            / store.len() as f64;
+        let botd = store
+            .iter()
+            .filter(|r| r.verdicts.bot(provenance::BOTD))
+            .count() as f64
+            / store.len() as f64;
         let (spatial, temporal, combined) = evaluate::flag_rate(&store, &engine);
 
         println!(

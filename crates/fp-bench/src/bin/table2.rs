@@ -5,6 +5,7 @@
 
 use fp_bench::{bench_scale, header, pct, recorded_campaign, train_evasion_model};
 use fp_ml::importance::{attribute_importance, paper_attribute_name};
+use fp_types::detect::provenance;
 
 fn main() {
     let (_, store) = recorded_campaign(bench_scale());
@@ -22,9 +23,9 @@ fn main() {
             &store,
             |r| {
                 if label {
-                    r.evaded_datadome()
+                    !r.verdicts.bot(provenance::DATADOME)
                 } else {
-                    r.evaded_botd()
+                    !r.verdicts.bot(provenance::BOTD)
                 }
             },
             60_000,

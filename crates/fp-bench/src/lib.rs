@@ -160,16 +160,22 @@ pub fn stream_report(scale: Scale, shards: usize) -> StreamReport {
         shards,
         ..Default::default()
     };
+    // Whole-store loop: read verdicts by interned symbol (an integer
+    // compare per entry) — string-name reads would take the interner lock
+    // once per verdict per record.
+    let dd = provenance::datadome_sym();
+    let botd = provenance::botd_sym();
+    let spatial_sym = fp_types::sym(provenance::FP_SPATIAL);
+    let cookie_sym = fp_types::sym(provenance::FP_TEMPORAL_COOKIE);
+    let ip_sym = fp_types::sym(provenance::FP_TEMPORAL_IP);
     for ((batch, streamed), (spatial, temporal)) in
         batch_store.iter().zip(stream_store.iter()).zip(batch_flags)
     {
         let v = &streamed.verdicts;
-        report.datadome_mismatches +=
-            usize::from(batch.datadome_bot() != v.bot(provenance::DATADOME));
-        report.botd_mismatches += usize::from(batch.botd_bot() != v.bot(provenance::BOTD));
-        report.spatial_mismatches += usize::from(spatial != v.bot(provenance::FP_SPATIAL));
-        let streamed_temporal =
-            v.bot(provenance::FP_TEMPORAL_COOKIE) || v.bot(provenance::FP_TEMPORAL_IP);
+        report.datadome_mismatches += usize::from(batch.verdicts.bot_sym(dd) != v.bot_sym(dd));
+        report.botd_mismatches += usize::from(batch.verdicts.bot_sym(botd) != v.bot_sym(botd));
+        report.spatial_mismatches += usize::from(spatial != v.bot_sym(spatial_sym));
+        let streamed_temporal = v.bot_sym(cookie_sym) || v.bot_sym(ip_sym);
         report.temporal_mismatches += usize::from(temporal != streamed_temporal);
     }
     report

@@ -1,0 +1,188 @@
+//! The [`DefenseStack`]: the defender side of the arms race as one owned
+//! value.
+//!
+//! A stack is the lifecycle-aware replacement for the hand-wired
+//! `Vec<Box<dyn Detector>>`: an ordered list of
+//! [`StackMember`]s (each of which produces a fresh detector per
+//! measurement round and may retrain itself between rounds) plus the
+//! [`DecisionPolicy`] that maps each request's recorded verdicts to a
+//! [`fp_types::MitigationAction`]. [`HoneySite::from_stack`] builds a
+//! site whose ingest chain is the stack's current detectors;
+//! [`DefenseStack::end_of_round`] drives every member's retraining and
+//! aggregates what it cost.
+//!
+//! [`DefenseStack::default`] is the paper's deployment: the two commercial
+//! simulators plus the cross-layer TLS check, under the shadow (record
+//! everything, serve everything) policy — exactly the pre-redesign
+//! `HoneySite::new()` chain.
+
+use crate::site::HoneySite;
+use fp_antibot::{BotD, DataDome};
+use fp_tls::TlsCrossLayer;
+use fp_types::defense::{
+    DecisionContext, DecisionPolicy, Frozen, RetrainSpend, RoundContext, StackMember, VoteThreshold,
+};
+use fp_types::{Detector, MitigationAction};
+
+/// The defender's whole apparatus: an ordered member chain plus the policy
+/// that turns the chain's verdicts into responses.
+pub struct DefenseStack {
+    members: Vec<Box<dyn StackMember>>,
+    policy: Box<dyn DecisionPolicy>,
+}
+
+impl Default for DefenseStack {
+    /// The paper's default deployment: DataDome, BotD and the cross-layer
+    /// TLS check (the `HoneySite::new()` chain, in that order) under the
+    /// shadow policy.
+    fn default() -> Self {
+        let mut stack = DefenseStack::new(Box::new(VoteThreshold::shadow()));
+        stack.push_member(Box::new(Frozen::new(Box::new(DataDome::new()))));
+        stack.push_member(Box::new(Frozen::new(Box::new(BotD::new()))));
+        stack.push_member(Box::new(Frozen::new(Box::new(TlsCrossLayer::new()))));
+        stack
+    }
+}
+
+impl DefenseStack {
+    /// An empty stack under `policy` (push members to give it teeth).
+    pub fn new(policy: Box<dyn DecisionPolicy>) -> DefenseStack {
+        DefenseStack {
+            members: Vec::new(),
+            policy,
+        }
+    }
+
+    /// Append a member; its detectors run after the existing members' in
+    /// every chain the stack produces.
+    pub fn push_member(&mut self, member: Box<dyn StackMember>) {
+        self.members.push(member);
+    }
+
+    /// The members, in chain order.
+    pub fn members(&self) -> &[Box<dyn StackMember>] {
+        &self.members
+    }
+
+    /// The decision policy in force.
+    pub fn policy(&self) -> &dyn DecisionPolicy {
+        self.policy.as_ref()
+    }
+
+    /// Replace the decision policy (members and their training state are
+    /// untouched — policy and detection are independent axes).
+    pub fn set_policy(&mut self, policy: Box<dyn DecisionPolicy>) {
+        self.policy = policy;
+    }
+
+    /// A fresh detector chain reflecting every member's current training
+    /// state — what one measurement round's ingest runs.
+    pub fn detectors(&self) -> Vec<Box<dyn Detector>> {
+        self.members.iter().map(|m| m.detector()).collect()
+    }
+
+    /// Decide one request under the stack's policy.
+    pub fn decide(&self, ctx: &DecisionContext<'_>) -> MitigationAction {
+        self.policy.decide(ctx)
+    }
+
+    /// Close one measurement round: every member digests the round's
+    /// labeled records (retraining if its cadence says so). Returns the
+    /// aggregate defender spend.
+    pub fn end_of_round(&mut self, epoch: &RoundContext<'_>) -> RetrainSpend {
+        let mut spend = RetrainSpend::default();
+        for member in &mut self.members {
+            spend.absorb(member.end_of_round(epoch));
+        }
+        spend
+    }
+}
+
+impl HoneySite {
+    /// A site whose ingest chain is the stack's current detectors — the
+    /// lifecycle-aware way to build a measurement round. (The raw
+    /// [`HoneySite::with_chain`] constructor remains for hand-wired
+    /// chains.)
+    pub fn from_stack(stack: &DefenseStack) -> HoneySite {
+        HoneySite::with_chain(stack.detectors())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_types::detect::provenance;
+    use fp_types::{sym, SimTime, Verdict, VerdictSet};
+
+    #[test]
+    fn default_stack_matches_the_default_site_chain() {
+        let stack = DefenseStack::default();
+        let names: Vec<&str> = stack.members().iter().map(|m| m.member_name()).collect();
+        assert_eq!(
+            names,
+            [
+                provenance::DATADOME,
+                provenance::BOTD,
+                provenance::FP_TLS_CROSSLAYER
+            ]
+        );
+        let site_names: Vec<&'static str> =
+            HoneySite::new().chain().iter().map(|d| d.name()).collect();
+        let stack_names: Vec<&'static str> = HoneySite::from_stack(&stack)
+            .chain()
+            .iter()
+            .map(|d| d.name())
+            .collect();
+        assert_eq!(site_names, stack_names);
+        assert_eq!(stack.policy().name(), "shadow");
+    }
+
+    #[test]
+    fn stack_decides_under_its_policy() {
+        let mut stack = DefenseStack::default();
+        let mut verdicts = VerdictSet::new();
+        verdicts.record(sym(provenance::BOTD), Verdict::Bot);
+        let ctx = DecisionContext {
+            verdicts: &verdicts,
+            ip_hash: 1,
+            now: SimTime::EPOCH,
+            prior_offenses: 0,
+        };
+        assert_eq!(stack.decide(&ctx), MitigationAction::ShadowFlag);
+        stack.set_policy(Box::new(VoteThreshold::any(
+            "block",
+            MitigationAction::Block(60),
+        )));
+        assert_eq!(stack.decide(&ctx), MitigationAction::Block(60));
+    }
+
+    #[test]
+    fn end_of_round_aggregates_member_spend() {
+        struct Retrainer;
+        impl StackMember for Retrainer {
+            fn member_name(&self) -> &'static str {
+                "retrainer"
+            }
+            fn detector(&self) -> Box<dyn Detector> {
+                Box::new(BotD::new())
+            }
+            fn end_of_round(&mut self, epoch: &RoundContext<'_>) -> RetrainSpend {
+                RetrainSpend {
+                    retrained_members: 1,
+                    records_scanned: epoch.records.len() as u64,
+                    rules_active: 3,
+                }
+            }
+        }
+        let mut stack = DefenseStack::default();
+        stack.push_member(Box::new(Retrainer));
+        stack.push_member(Box::new(Retrainer));
+        let spend = stack.end_of_round(&RoundContext {
+            round: 0,
+            records: &[],
+            now: SimTime::EPOCH,
+        });
+        assert_eq!(spend.retrained_members, 2, "frozen members cost nothing");
+        assert_eq!(spend.rules_active, 6);
+    }
+}

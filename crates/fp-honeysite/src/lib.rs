@@ -18,12 +18,22 @@
 //!   them in parallel.
 //! * [`stats`] — campaign statistics: per-service evasion rates (Table 1)
 //!   and the per-day series of Figure 9.
+//! * [`defense`] — the [`DefenseStack`]: the lifecycle-aware defender API
+//!   (member chain + decision policy) a site builds its ingest chain from
+//!   ([`HoneySite::from_stack`]); `DefenseStack::default()` is exactly the
+//!   `HoneySite::new()` chain under the shadow policy.
 
+// The honey site is the pipeline's front door and now hosts the
+// defense-stack assembly; like fp-types, its public surface is contract.
+#![deny(missing_docs)]
+
+pub mod defense;
 pub mod pipeline;
 pub mod site;
 pub mod stats;
 pub mod store;
 
+pub use defense::DefenseStack;
 pub use site::HoneySite;
 pub use stats::{DailySeries, ServiceStats};
 pub use store::{RequestStore, StoredRequest};

@@ -260,8 +260,8 @@ mod tests {
         // and the truthful Chrome handshake passes the cross-layer check.
         let id = site.ingest(request(sym("tok"), None)).unwrap();
         let r = site.store().get(id).unwrap();
-        assert!(r.datadome_bot());
-        assert!(!r.botd_bot());
+        assert!(r.verdicts.bot("DataDome"));
+        assert!(!r.verdicts.bot("BotD"));
         assert!(!r.verdicts.bot("fp-tls-crosslayer"));
         // Provenance is named, in chain order.
         let names: Vec<&str> = r.verdicts.iter().map(|(d, _)| d.as_str()).collect();
@@ -299,7 +299,10 @@ mod tests {
         let id = site.ingest(req).unwrap();
         let r = site.store().get(id).unwrap();
         assert!(r.verdicts.bot("fp-tls-crosslayer"));
-        assert!(!r.botd_bot(), "browser-layer detectors saw nothing");
+        assert!(
+            !r.verdicts.bot("BotD"),
+            "browser-layer detectors saw nothing"
+        );
     }
 
     #[test]

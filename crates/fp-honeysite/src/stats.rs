@@ -1,27 +1,33 @@
 //! Campaign statistics: Table 1 rates and the Figure 9 series.
 
 use crate::store::RequestStore;
+use fp_types::detect::provenance;
 use fp_types::{ServiceId, TrafficSource, STUDY_DAYS};
 use std::collections::HashSet;
 
 /// Per-service counts and evasion rates (one Table 1 row).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ServiceStats {
+    /// The bot service the row describes.
     pub id: ServiceId,
+    /// Requests the service sent over the campaign.
     pub requests: u64,
+    /// Fraction of the service's requests that evaded DataDome.
     pub dd_evasion: f64,
+    /// Fraction of the service's requests that evaded BotD.
     pub botd_evasion: f64,
 }
 
 /// Compute Table 1 from a recorded store.
 pub fn per_service(store: &RequestStore) -> Vec<ServiceStats> {
     let mut counts = vec![(0u64, 0u64, 0u64); usize::from(ServiceId::COUNT)];
+    let (dd_sym, botd_sym) = (provenance::datadome_sym(), provenance::botd_sym());
     for r in store.iter() {
         if let TrafficSource::Bot(id) = r.source {
             let slot = &mut counts[usize::from(id.0) - 1];
             slot.0 += 1;
-            slot.1 += u64::from(r.evaded_datadome());
-            slot.2 += u64::from(r.evaded_botd());
+            slot.1 += u64::from(!r.verdicts.bot_sym(dd_sym));
+            slot.2 += u64::from(!r.verdicts.bot_sym(botd_sym));
         }
     }
     ServiceId::all()
@@ -41,10 +47,11 @@ pub fn overall_evasion(store: &RequestStore) -> (f64, f64) {
     let mut n = 0u64;
     let mut dd = 0u64;
     let mut botd = 0u64;
+    let (dd_sym, botd_sym) = (provenance::datadome_sym(), provenance::botd_sym());
     for r in store.iter().filter(|r| r.source.is_bot()) {
         n += 1;
-        dd += u64::from(r.evaded_datadome());
-        botd += u64::from(r.evaded_botd());
+        dd += u64::from(!r.verdicts.bot_sym(dd_sym));
+        botd += u64::from(!r.verdicts.bot_sym(botd_sym));
     }
     if n == 0 {
         return (0.0, 0.0);
@@ -55,9 +62,13 @@ pub fn overall_evasion(store: &RequestStore) -> (f64, f64) {
 /// One day of the Figure 9 series.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct DailySeries {
+    /// Requests recorded that day.
     pub requests: u64,
+    /// Distinct source-address hashes seen that day.
     pub unique_ips: u64,
+    /// Distinct first-party cookies seen that day.
     pub unique_cookies: u64,
+    /// Distinct fingerprint digests seen that day.
     pub unique_fingerprints: u64,
 }
 
@@ -110,17 +121,18 @@ pub fn blocklist_stats(store: &RequestStore) -> BlocklistStats {
     let mut total = 0u64;
     let mut asn = (0u64, 0u64, 0u64);
     let mut ip = (0u64, 0u64, 0u64);
+    let (dd_sym, botd_sym) = (provenance::datadome_sym(), provenance::botd_sym());
     for r in store.iter().filter(|r| r.source.is_bot()) {
         total += 1;
         if r.asn_flagged {
             asn.0 += 1;
-            asn.1 += u64::from(r.evaded_datadome());
-            asn.2 += u64::from(r.evaded_botd());
+            asn.1 += u64::from(!r.verdicts.bot_sym(dd_sym));
+            asn.2 += u64::from(!r.verdicts.bot_sym(botd_sym));
         }
         if r.ip_blocklisted {
             ip.0 += 1;
-            ip.1 += u64::from(r.evaded_datadome());
-            ip.2 += u64::from(r.evaded_botd());
+            ip.1 += u64::from(!r.verdicts.bot_sym(dd_sym));
+            ip.2 += u64::from(!r.verdicts.bot_sym(botd_sym));
         }
     }
     let frac = |num: u64, den: u64| {

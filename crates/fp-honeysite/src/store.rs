@@ -109,6 +109,13 @@ impl RequestStore {
         self.requests.iter()
     }
 
+    /// The records as one arrival-ordered slice — the view the defender
+    /// lifecycle hands to retraining stack members
+    /// (`fp_types::defense::RoundContext::records`).
+    pub fn records(&self) -> &[StoredRequest] {
+        &self.requests
+    }
+
     /// Record by id.
     pub fn get(&self, id: RequestId) -> Option<&StoredRequest> {
         self.requests.get(id as usize)
@@ -256,9 +263,23 @@ mod tests {
 
     #[test]
     fn verdict_views() {
+        use fp_types::detect::provenance;
         let r = record(1, 1);
-        assert!(r.evaded_datadome());
-        assert!(!r.evaded_botd());
+        assert!(!r.verdicts.bot_sym(provenance::datadome_sym()));
+        assert!(r.verdicts.bot_sym(provenance::botd_sym()));
+    }
+
+    #[test]
+    fn records_slice_matches_iter_order() {
+        let mut store = RequestStore::new();
+        for i in 0..5 {
+            store.push(record(i, i * 3));
+        }
+        let slice = store.records();
+        assert_eq!(slice.len(), 5);
+        for (a, b) in store.iter().zip(slice) {
+            assert_eq!(a.id, b.id);
+        }
     }
 
     #[test]

@@ -78,6 +78,16 @@ pub fn is_tor_exit(ip: Ipv4Addr) -> bool {
     NetDb::lookup(ip).asn.class == AsnClass::TorExit
 }
 
+/// One [`TtlBlocklist`] entry: when it stops binding, and how often the
+/// address has been (re-)listed — the escalation ladder's memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct TtlEntry {
+    /// First simulated second at which the entry no longer binds.
+    expiry: SimTime,
+    /// Times the address has been listed while this entry existed.
+    offenses: u32,
+}
+
 /// A dynamic per-address deny list with TTL expiry on simulated time.
 ///
 /// Unlike [`AsnBlocklist`]/[`IpBlocklist`] (static world state), this list
@@ -85,14 +95,21 @@ pub fn is_tor_exit(ip: Ipv4Addr) -> bool {
 /// the offending address hash, and admission consults the list before a
 /// request reaches the detector chain. Keys are the privacy-preserving
 /// [`NetDb::hash_ip`] hashes — the store never keeps raw addresses, so the
-/// mitigation loop cannot either. Entries expire at `listed_at + ttl`;
-/// re-listing an address extends its expiry (a list refresh) but never
-/// shortens it.
+/// mitigation loop cannot either.
+///
+/// **Re-listing semantics (escalation contract).** Listing an address that
+/// already has an entry *extends from the later of the current expiry and
+/// `now`*: the new expiry is `max(expiry, now) + ttl` (saturating). TTLs
+/// therefore stack for repeat offenders instead of overlapping, an expiry
+/// never moves backwards, and each listing increments the entry's offense
+/// count — what [`fp_types::defense::EscalatingTtl`] keys its ladder on.
+/// Offense history lives exactly as long as the entry: an expired entry
+/// still remembers its offenses until [`TtlBlocklist::purge_expired`]
+/// sweeps it, so escalation memory is bounded by list retention, not
+/// unbounded recidivism tracking.
 #[derive(Clone, Debug, Default)]
 pub struct TtlBlocklist {
-    /// `ip_hash → expiry` (first simulated second at which the entry no
-    /// longer binds).
-    entries: HashMap<u64, SimTime>,
+    entries: HashMap<u64, TtlEntry>,
 }
 
 impl TtlBlocklist {
@@ -101,14 +118,44 @@ impl TtlBlocklist {
         TtlBlocklist::default()
     }
 
-    /// List `ip_hash` at `now` for `ttl_secs`. Re-listing keeps whichever
-    /// expiry is later.
-    pub fn block(&mut self, ip_hash: u64, now: SimTime, ttl_secs: u64) {
-        let expiry = now + ttl_secs;
-        let slot = self.entries.entry(ip_hash).or_insert(expiry);
-        if expiry > *slot {
-            *slot = expiry;
+    /// List `ip_hash` at `now` for `ttl_secs`; returns the address's
+    /// offense count after this listing (1 for a first offense). Re-listing
+    /// extends from the later of the current expiry and `now` and records
+    /// the repeat offense (see the type-level contract).
+    pub fn block(&mut self, ip_hash: u64, now: SimTime, ttl_secs: u64) -> u32 {
+        let entry = self.entries.entry(ip_hash).or_insert(TtlEntry {
+            expiry: now,
+            offenses: 0,
+        });
+        let base = entry.expiry.max(now);
+        entry.expiry = SimTime(base.0.saturating_add(ttl_secs));
+        entry.offenses = entry.offenses.saturating_add(1);
+        entry.offenses
+    }
+
+    /// Renew a *binding* entry's lease: extend its expiry to
+    /// `max(expiry, now + ttl_secs)` without recording a new offense — the
+    /// operation for continued activity *during* a ban (each blocked
+    /// request pushes coverage out from its own timestamp, but TTLs do
+    /// not stack and the offense ladder does not move). No-op for
+    /// unlisted or already-expired addresses: a lapsed ban cannot be
+    /// renewed, only re-opened via [`TtlBlocklist::block`]. Returns
+    /// whether an entry was renewed.
+    pub fn refresh(&mut self, ip_hash: u64, now: SimTime, ttl_secs: u64) -> bool {
+        match self.entries.get_mut(&ip_hash) {
+            Some(entry) if now < entry.expiry => {
+                let candidate = SimTime(now.0.saturating_add(ttl_secs));
+                entry.expiry = entry.expiry.max(candidate);
+                true
+            }
+            _ => false,
         }
+    }
+
+    /// Times `ip_hash` has been listed within the current entry's lifetime
+    /// (0 when unlisted or already swept) — the escalation ladder input.
+    pub fn offenses(&self, ip_hash: u64) -> u32 {
+        self.entries.get(&ip_hash).map_or(0, |e| e.offenses)
     }
 
     /// Is `ip_hash` denied at `now`? Expired entries do not bind (they are
@@ -117,7 +164,7 @@ impl TtlBlocklist {
     pub fn contains(&self, ip_hash: u64, now: SimTime) -> bool {
         self.entries
             .get(&ip_hash)
-            .is_some_and(|expiry| now < *expiry)
+            .is_some_and(|entry| now < entry.expiry)
     }
 
     /// Convenience: check a raw address (hashes it the same way the store
@@ -126,11 +173,12 @@ impl TtlBlocklist {
         self.contains(NetDb::hash_ip(ip), now)
     }
 
-    /// Drop every entry whose expiry has passed; returns how many were
-    /// removed.
+    /// Drop every entry whose expiry has passed — offense history
+    /// included, so a swept repeat offender restarts its escalation ladder.
+    /// Returns how many entries were removed.
     pub fn purge_expired(&mut self, now: SimTime) -> usize {
         let before = self.entries.len();
-        self.entries.retain(|_, expiry| now < *expiry);
+        self.entries.retain(|_, entry| now < entry.expiry);
         before - self.entries.len()
     }
 
@@ -208,18 +256,100 @@ mod tests {
     }
 
     #[test]
-    fn ttl_relisting_extends_and_never_shortens() {
+    fn ttl_relisting_extends_from_the_later_expiry() {
         let mut list = TtlBlocklist::new();
         let t0 = SimTime::from_day(0, 0);
-        list.block(9, t0, 10_000);
-        // A later, shorter re-listing must not pull the expiry in.
-        list.block(9, t0 + 100, 50);
+        assert_eq!(list.block(9, t0, 10_000), 1);
+        // Re-listing while listed stacks onto the *current expiry* (the
+        // later of expiry and now), never onto the earlier re-listing
+        // time: 10_000 + 50 = 10_050.
+        assert_eq!(list.block(9, t0 + 100, 50), 2);
         assert!(list.contains(9, t0 + 5_000));
-        // A re-listing after expiry puts the address back on the list.
-        assert!(!list.contains(9, t0 + 10_000));
-        list.block(9, t0 + 20_000, 500);
+        assert!(list.contains(9, t0 + 10_000), "the stacked 50s still bind");
+        assert!(!list.contains(9, t0 + 10_050), "…and expire in order");
+        // A re-listing after expiry extends from `now` (the later point),
+        // not from the stale expiry.
+        assert_eq!(list.block(9, t0 + 20_000, 500), 3, "offenses accumulate");
         assert!(list.contains(9, t0 + 20_100));
         assert!(!list.contains(9, t0 + 20_500));
+    }
+
+    #[test]
+    fn ttl_refresh_renews_leases_without_counting_offenses() {
+        let mut list = TtlBlocklist::new();
+        let t0 = SimTime::from_day(0, 0);
+        assert!(!list.refresh(4, t0, 100), "unlisted addresses cannot renew");
+        assert_eq!(list.block(4, t0, 1_000), 1);
+        // Renewal pushes coverage out from the renewal time…
+        assert!(list.refresh(4, t0 + 800, 1_000));
+        assert!(list.contains(4, t0 + 1_500));
+        assert!(!list.contains(4, t0 + 1_800));
+        // …never shortens…
+        assert!(list.refresh(4, t0 + 900, 10));
+        assert!(list.contains(4, t0 + 1_500));
+        // …and never moves the offense ladder.
+        assert_eq!(list.offenses(4), 1);
+        // A lapsed ban cannot be renewed, only re-opened (a new offense).
+        assert!(!list.refresh(4, t0 + 50_000, 1_000));
+        assert!(!list.contains(4, t0 + 50_000));
+        assert_eq!(list.block(4, t0 + 50_000, 1_000), 2);
+    }
+
+    #[test]
+    fn ttl_offense_counts_follow_entry_lifetime() {
+        let mut list = TtlBlocklist::new();
+        let t0 = SimTime::from_day(0, 0);
+        assert_eq!(list.offenses(1), 0, "never listed");
+        list.block(1, t0, 100);
+        list.block(1, t0 + 10, 100);
+        assert_eq!(list.offenses(1), 2);
+        // Expired but unswept: history still binds the escalation ladder.
+        assert!(!list.contains(1, t0 + 1_000));
+        assert_eq!(list.offenses(1), 2);
+        assert_eq!(list.block(1, t0 + 1_000, 100), 3);
+        // A purge sweeps the entry and the ladder restarts at one.
+        list.purge_expired(t0 + 50_000);
+        assert_eq!(list.offenses(1), 0);
+        assert_eq!(list.block(1, t0 + 60_000, 100), 1);
+    }
+
+    #[test]
+    fn ttl_expiry_ordering_across_round_boundaries() {
+        // An arena round is ROUND-length in simulated seconds; entries
+        // written near the end of round r must bind into round r+1 and
+        // expire in timestamp order even when re-listings straddle the
+        // boundary.
+        const ROUND: u64 = 91 * 86_400;
+        let mut list = TtlBlocklist::new();
+        let late_r0 = SimTime(ROUND - 100);
+        list.block(5, late_r0, 1_000);
+        // Round wraps: the entry binds across the boundary…
+        assert!(list.contains(5, SimTime(ROUND)));
+        assert!(list.contains(5, SimTime(ROUND + 899)));
+        assert!(
+            !list.contains(5, SimTime(ROUND + 900)),
+            "expiry is exclusive"
+        );
+        // …and a round-1 re-listing stacks onto the round-0 expiry.
+        list.block(5, SimTime(ROUND + 10), 500);
+        assert!(list.contains(5, SimTime(ROUND + 1_000)));
+        assert!(!list.contains(5, SimTime(ROUND + 1_400)));
+        // Entries listed in different rounds expire in listing order.
+        list.block(7, SimTime(ROUND + 2_000), 100);
+        assert_eq!(list.purge_expired(SimTime(ROUND + 1_400)), 1, "5 first");
+        assert!(list.contains(7, SimTime(ROUND + 2_050)));
+    }
+
+    #[test]
+    fn ttl_saturates_at_the_end_of_simulated_time() {
+        // A u64 SimTime wraparound must saturate, not overflow: an entry
+        // listed near the ceiling simply never expires.
+        let mut list = TtlBlocklist::new();
+        let near_max = SimTime(u64::MAX - 10);
+        list.block(3, near_max, 1_000_000);
+        assert!(list.contains(3, near_max));
+        assert!(list.contains(3, SimTime(u64::MAX - 1)));
+        assert_eq!(list.purge_expired(SimTime(u64::MAX - 1)), 0);
     }
 
     #[test]

@@ -1,0 +1,605 @@
+//! The defender-side lifecycle contract.
+//!
+//! The arms race the arena plays has two sides, but until this module the
+//! contract only described the adversary's: bots observe a
+//! [`crate::RoundOutcome`] and adapt. The defender was a fixed
+//! `Vec<Box<dyn Detector>>` wired by hand and a single global vote
+//! threshold, frozen at round 0. This module is the defender's half:
+//!
+//! * [`DecisionPolicy`] — maps one request's recorded [`VerdictSet`] (plus
+//!   the little admission-side context a real gateway has: address
+//!   identity, time, prior offenses) to a [`MitigationAction`]. The old
+//!   global vote threshold is one implementation ([`VoteThreshold`]);
+//!   per-detector weights ([`WeightedVotes`]), per-detector actions
+//!   ([`PerDetectorActions`]) and escalating TTLs keyed on repeat offenses
+//!   ([`EscalatingTtl`]) are others.
+//! * [`StackMember`] — one lifecycle-aware slot in a defense stack: it
+//!   *produces* a fresh [`Detector`] for each measurement round and may
+//!   retrain itself from the round's labeled records when the round ends
+//!   ([`StackMember::end_of_round`]). Members that never retrain wrap any
+//!   plain detector in [`Frozen`].
+//! * [`RoundContext`] / [`RetrainSpend`] — what a member sees at the end
+//!   of a round, and what its retraining cost (the defender-side
+//!   counterpart of the adversary's mutation spend).
+//!
+//! The concrete `DefenseStack` that owns a member chain plus a policy is
+//! assembled one layer up (in `fp-honeysite`, where the default commercial
+//! chain lives); this module is deliberately only the contract, so every
+//! crate can implement members and policies without a dependency cycle.
+
+use crate::clock::SimTime;
+use crate::detect::{Detector, VerdictSet};
+use crate::interner::Symbol;
+use crate::mitigation::MitigationAction;
+use crate::stored::StoredRequest;
+
+/// Everything a [`DecisionPolicy`] may consult when deciding one request.
+///
+/// Deliberately small: the verdicts the chain recorded, the request's
+/// address identity and arrival time, and how often that address has
+/// already been blocked — the context a real mitigation gateway has at the
+/// moment it must answer. Ground truth is absent by design.
+pub struct DecisionContext<'a> {
+    /// The named verdicts the detector chain recorded for the request.
+    pub verdicts: &'a VerdictSet,
+    /// Salted hash of the request's source address (the store's identity).
+    pub ip_hash: u64,
+    /// The request's simulated arrival time.
+    pub now: SimTime,
+    /// How many times this address has been blocked before this decision
+    /// (within the blocklist's escalation memory) — what TTL escalation
+    /// keys on.
+    pub prior_offenses: u32,
+}
+
+/// Maps one request's recorded verdicts to the site's response.
+///
+/// Implementations must be pure functions of the context (`&self`, no
+/// interior mutation): any state a decision depends on — offense history,
+/// retrained models — is carried by the context or by the stack members,
+/// which keeps decisions deterministic and shard-order independent.
+pub trait DecisionPolicy: Send {
+    /// Display name for reports and ablation tables.
+    fn name(&self) -> &str;
+
+    /// Decide one request.
+    fn decide(&self, ctx: &DecisionContext<'_>) -> MitigationAction;
+}
+
+/// The pre-redesign global policy: act when at least `min_votes` detectors
+/// flagged the request, whatever those detectors were.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VoteThreshold {
+    /// Display name for reports.
+    pub name: &'static str,
+    /// Number of flagging detectors required before the action applies.
+    pub min_votes: usize,
+    /// The action applied to triggered requests.
+    pub action: MitigationAction,
+}
+
+impl VoteThreshold {
+    /// A threshold policy with an explicit name.
+    pub fn new(name: &'static str, min_votes: usize, action: MitigationAction) -> VoteThreshold {
+        VoteThreshold {
+            name,
+            min_votes: min_votes.max(1),
+            action,
+        }
+    }
+
+    /// Any single flag triggers `action`.
+    pub fn any(name: &'static str, action: MitigationAction) -> VoteThreshold {
+        VoteThreshold::new(name, 1, action)
+    }
+
+    /// The paper's own measurement posture: record every flag, serve every
+    /// page. The default stack ships with this.
+    pub fn shadow() -> VoteThreshold {
+        VoteThreshold::any("shadow", MitigationAction::ShadowFlag)
+    }
+}
+
+impl DecisionPolicy for VoteThreshold {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn decide(&self, ctx: &DecisionContext<'_>) -> MitigationAction {
+        let votes = ctx.verdicts.iter().filter(|(_, v)| v.is_bot()).count();
+        if votes >= self.min_votes {
+            self.action
+        } else {
+            MitigationAction::Allow
+        }
+    }
+}
+
+/// Per-detector *weighted* voting: each flagging detector contributes its
+/// weight to a score; crossing the threshold triggers the action.
+///
+/// This is the "portfolio of heterogeneous signals" policy: a
+/// high-precision detector (the cross-layer TLS check) can be weighted to
+/// trigger alone while two noisy browser-layer flags are needed to reach
+/// the same score.
+pub struct WeightedVotes {
+    name: &'static str,
+    weights: Vec<(Symbol, f64)>,
+    default_weight: f64,
+    threshold: f64,
+    action: MitigationAction,
+}
+
+impl WeightedVotes {
+    /// A weighted policy that triggers `action` at `threshold` score.
+    /// Detectors without an explicit weight contribute `default_weight`.
+    pub fn new(
+        name: &'static str,
+        threshold: f64,
+        default_weight: f64,
+        action: MitigationAction,
+    ) -> WeightedVotes {
+        WeightedVotes {
+            name,
+            weights: Vec::new(),
+            default_weight,
+            threshold,
+            action,
+        }
+    }
+
+    /// Set one detector's weight (by provenance name).
+    pub fn with_weight(mut self, detector: &str, weight: f64) -> WeightedVotes {
+        let sym = crate::sym(detector);
+        if let Some(slot) = self.weights.iter_mut().find(|(d, _)| *d == sym) {
+            slot.1 = weight;
+        } else {
+            self.weights.push((sym, weight));
+        }
+        self
+    }
+
+    /// The flagged-detector score for one verdict set.
+    pub fn score(&self, verdicts: &VerdictSet) -> f64 {
+        verdicts
+            .iter()
+            .filter(|(_, v)| v.is_bot())
+            .map(|(d, _)| {
+                self.weights
+                    .iter()
+                    .find(|(w, _)| *w == d)
+                    .map(|(_, weight)| *weight)
+                    .unwrap_or(self.default_weight)
+            })
+            .sum()
+    }
+}
+
+impl DecisionPolicy for WeightedVotes {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn decide(&self, ctx: &DecisionContext<'_>) -> MitigationAction {
+        if self.score(ctx.verdicts) >= self.threshold {
+            self.action
+        } else {
+            MitigationAction::Allow
+        }
+    }
+}
+
+/// Per-detector actions: each detector triggers its own response, and the
+/// highest-severity action among the flagging detectors wins (Block >
+/// Captcha > ShadowFlag > Allow; equal-severity blocks keep the longer
+/// TTL).
+pub struct PerDetectorActions {
+    name: &'static str,
+    actions: Vec<(Symbol, MitigationAction)>,
+    /// Action for flagging detectors without an explicit entry.
+    fallback: MitigationAction,
+}
+
+impl PerDetectorActions {
+    /// A per-detector policy; unlisted flagging detectors trigger
+    /// `fallback`.
+    pub fn new(name: &'static str, fallback: MitigationAction) -> PerDetectorActions {
+        PerDetectorActions {
+            name,
+            actions: Vec::new(),
+            fallback,
+        }
+    }
+
+    /// Set the action one detector (by provenance name) triggers.
+    pub fn with_action(mut self, detector: &str, action: MitigationAction) -> PerDetectorActions {
+        let sym = crate::sym(detector);
+        if let Some(slot) = self.actions.iter_mut().find(|(d, _)| *d == sym) {
+            slot.1 = action;
+        } else {
+            self.actions.push((sym, action));
+        }
+        self
+    }
+}
+
+impl DecisionPolicy for PerDetectorActions {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn decide(&self, ctx: &DecisionContext<'_>) -> MitigationAction {
+        let mut decided = MitigationAction::Allow;
+        for (detector, verdict) in ctx.verdicts.iter() {
+            if !verdict.is_bot() {
+                continue;
+            }
+            let action = self
+                .actions
+                .iter()
+                .find(|(d, _)| *d == detector)
+                .map(|(_, a)| *a)
+                .unwrap_or(self.fallback);
+            let wins = match (action.severity(), decided.severity()) {
+                (a, b) if a > b => true,
+                (a, b) if a < b => false,
+                // Equal severity: longer block TTL wins; otherwise keep.
+                _ => match (action, decided) {
+                    (MitigationAction::Block(new), MitigationAction::Block(old)) => new > old,
+                    _ => false,
+                },
+            };
+            if wins {
+                decided = action;
+            }
+        }
+        decided
+    }
+}
+
+/// TTL escalation keyed on repeat offenses: wraps any trigger policy and
+/// rewrites its `Block` TTLs to `base · multiplierⁿ` for an address with
+/// `n` prior offenses (saturating, capped at `max_ttl_secs`).
+///
+/// Escalation memory is the blocklist's: an address whose entry expires
+/// *and* is swept by a purge starts back at the base TTL (see
+/// `fp_netsim::TtlBlocklist`).
+pub struct EscalatingTtl {
+    name: String,
+    inner: Box<dyn DecisionPolicy>,
+    base_ttl_secs: u64,
+    multiplier: u64,
+    max_ttl_secs: u64,
+}
+
+impl EscalatingTtl {
+    /// Wrap `inner`, escalating every Block it issues from `base_ttl_secs`
+    /// by `multiplier` per prior offense, up to `max_ttl_secs`.
+    pub fn new(
+        inner: Box<dyn DecisionPolicy>,
+        base_ttl_secs: u64,
+        multiplier: u64,
+        max_ttl_secs: u64,
+    ) -> EscalatingTtl {
+        EscalatingTtl {
+            name: format!("escalating-{}", inner.name()),
+            inner,
+            base_ttl_secs,
+            multiplier: multiplier.max(1),
+            max_ttl_secs: max_ttl_secs.max(base_ttl_secs),
+        }
+    }
+
+    /// The TTL issued for an address with `prior_offenses` prior blocks.
+    pub fn ttl_for(&self, prior_offenses: u32) -> u64 {
+        let mut ttl = self.base_ttl_secs;
+        for _ in 0..prior_offenses {
+            ttl = ttl.saturating_mul(self.multiplier);
+            if ttl >= self.max_ttl_secs {
+                return self.max_ttl_secs;
+            }
+        }
+        ttl.min(self.max_ttl_secs)
+    }
+}
+
+impl DecisionPolicy for EscalatingTtl {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&self, ctx: &DecisionContext<'_>) -> MitigationAction {
+        match self.inner.decide(ctx) {
+            MitigationAction::Block(_) => MitigationAction::Block(self.ttl_for(ctx.prior_offenses)),
+            other => other,
+        }
+    }
+}
+
+/// What a lifecycle-aware stack member sees when one measurement round
+/// ends: the round index, the round's admitted records (arrival order,
+/// verdicts attached) and the round's closing timestamp.
+pub struct RoundContext<'a> {
+    /// The index of the round that just completed.
+    pub round: u32,
+    /// The round's admitted, verdict-carrying records, in arrival order —
+    /// the incremental store view a retraining member appends to its
+    /// training window.
+    pub records: &'a [StoredRequest],
+    /// The simulated timestamp at which the round closed.
+    pub now: SimTime,
+}
+
+/// What the defender paid at the end of one round — the defender-side
+/// counterpart of the adversary's `MutationStats`. Aggregated over the
+/// stack's members and reported per round in the trajectory.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetrainSpend {
+    /// Members that actually retrained this round.
+    pub retrained_members: u64,
+    /// Training records read during retraining (the dominant cost of a
+    /// re-mine: one full pass over the member's window per attribute pair).
+    pub records_scanned: u64,
+    /// Model terms live after the round (rule count for rule-based
+    /// members; 0 for members without an explicit model).
+    pub rules_active: u64,
+}
+
+impl RetrainSpend {
+    /// Merge another member's (or round-slice's) spend into this one.
+    /// `rules_active` sums — it is a stack-wide model size.
+    pub fn absorb(&mut self, other: RetrainSpend) {
+        self.retrained_members += other.retrained_members;
+        self.records_scanned += other.records_scanned;
+        self.rules_active += other.rules_active;
+    }
+}
+
+/// One lifecycle-aware slot in a defense stack.
+///
+/// A member owns whatever long-lived training state its detector needs and
+/// hands out a *fresh-state* [`Detector`] per measurement round (the same
+/// fork discipline the shard pipeline uses). When a round ends, the stack
+/// calls [`StackMember::end_of_round`] with the round's labeled records;
+/// stateful members retrain there and their next `detector()` reflects it.
+pub trait StackMember: Send {
+    /// The member's provenance name (matches the detectors it produces).
+    fn member_name(&self) -> &'static str;
+
+    /// A fresh detector instance reflecting the member's current training
+    /// state — what the next round's ingest chain runs.
+    fn detector(&self) -> Box<dyn Detector>;
+
+    /// Digest one completed round. Members that retrain do it here and
+    /// report what it cost; the default is a no-op (a frozen member).
+    fn end_of_round(&mut self, epoch: &RoundContext<'_>) -> RetrainSpend {
+        let _ = epoch;
+        RetrainSpend::default()
+    }
+}
+
+/// Any plain [`Detector`] as a [`StackMember`] that never retrains — the
+/// adapter that lets the pre-redesign chain members (DataDome, BotD, the
+/// cross-layer TLS check, the temporal anchors) ride in a lifecycle-aware
+/// stack unchanged.
+pub struct Frozen {
+    proto: Box<dyn Detector>,
+}
+
+impl Frozen {
+    /// Wrap a detector prototype; every round runs a fresh fork of it.
+    pub fn new(proto: Box<dyn Detector>) -> Frozen {
+        Frozen { proto }
+    }
+}
+
+impl StackMember for Frozen {
+    fn member_name(&self) -> &'static str {
+        self.proto.name()
+    }
+
+    fn detector(&self) -> Box<dyn Detector> {
+        self.proto.fork()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::{provenance, StateScope, Verdict};
+    use crate::sym;
+
+    fn verdicts(bots: &[&str], humans: &[&str]) -> VerdictSet {
+        let mut set = VerdictSet::new();
+        for name in bots {
+            set.record(sym(name), Verdict::Bot);
+        }
+        for name in humans {
+            set.record(sym(name), Verdict::Human);
+        }
+        set
+    }
+
+    fn ctx<'a>(verdicts: &'a VerdictSet, prior_offenses: u32) -> DecisionContext<'a> {
+        DecisionContext {
+            verdicts,
+            ip_hash: 42,
+            now: SimTime::EPOCH,
+            prior_offenses,
+        }
+    }
+
+    #[test]
+    fn vote_threshold_counts_flags() {
+        let policy = VoteThreshold::new("blocky", 2, MitigationAction::Block(100));
+        let one = verdicts(&["a"], &["b", "c"]);
+        let two = verdicts(&["a", "b"], &["c"]);
+        assert_eq!(policy.decide(&ctx(&one, 0)), MitigationAction::Allow);
+        assert_eq!(policy.decide(&ctx(&two, 0)), MitigationAction::Block(100));
+        assert_eq!(policy.name(), "blocky");
+        assert_eq!(
+            VoteThreshold::new("x", 0, MitigationAction::Captcha).min_votes,
+            1
+        );
+    }
+
+    #[test]
+    fn shadow_policy_is_invisible() {
+        let policy = VoteThreshold::shadow();
+        let flagged = verdicts(&["a"], &[]);
+        let action = policy.decide(&ctx(&flagged, 0));
+        assert_eq!(action, MitigationAction::ShadowFlag);
+        assert!(!action.visible_to_client());
+    }
+
+    #[test]
+    fn weighted_votes_score_per_detector() {
+        let policy = WeightedVotes::new("weighted", 1.0, 0.4, MitigationAction::Captcha)
+            .with_weight(provenance::FP_TLS_CROSSLAYER, 1.0)
+            .with_weight(provenance::BOTD, 0.5);
+        // The high-precision detector triggers alone.
+        let tls = verdicts(&[provenance::FP_TLS_CROSSLAYER], &[provenance::BOTD]);
+        assert_eq!(policy.decide(&ctx(&tls, 0)), MitigationAction::Captcha);
+        // One default-weight flag does not reach the threshold...
+        let one = verdicts(&[provenance::DATADOME], &[]);
+        assert!((policy.score(&one) - 0.4).abs() < 1e-12);
+        assert_eq!(policy.decide(&ctx(&one, 0)), MitigationAction::Allow);
+        // ...but botd + a default-weight flag does (0.5 + 0.4 < 1.0 — no),
+        // while two default flags plus botd do.
+        let three = verdicts(&[provenance::DATADOME, "x", provenance::BOTD], &[]);
+        assert!(policy.score(&three) >= 1.0);
+        assert_eq!(policy.decide(&ctx(&three, 0)), MitigationAction::Captcha);
+    }
+
+    #[test]
+    fn weighted_votes_overwrites_duplicate_weights() {
+        let policy = WeightedVotes::new("w", 1.0, 0.0, MitigationAction::Captcha)
+            .with_weight("a", 0.2)
+            .with_weight("a", 1.0);
+        assert!((policy.score(&verdicts(&["a"], &[])) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_detector_actions_highest_severity_wins() {
+        let policy = PerDetectorActions::new("split", MitigationAction::ShadowFlag)
+            .with_action(provenance::FP_TLS_CROSSLAYER, MitigationAction::Block(500))
+            .with_action(provenance::BOTD, MitigationAction::Captcha);
+        let both = verdicts(&[provenance::BOTD, provenance::FP_TLS_CROSSLAYER], &[]);
+        assert_eq!(policy.decide(&ctx(&both, 0)), MitigationAction::Block(500));
+        let botd_only = verdicts(&[provenance::BOTD], &[provenance::FP_TLS_CROSSLAYER]);
+        assert_eq!(
+            policy.decide(&ctx(&botd_only, 0)),
+            MitigationAction::Captcha
+        );
+        let unlisted = verdicts(&["mystery"], &[]);
+        assert_eq!(
+            policy.decide(&ctx(&unlisted, 0)),
+            MitigationAction::ShadowFlag
+        );
+        let clean = verdicts(&[], &[provenance::BOTD]);
+        assert_eq!(policy.decide(&ctx(&clean, 0)), MitigationAction::Allow);
+    }
+
+    #[test]
+    fn per_detector_actions_longer_block_wins_ties() {
+        let policy = PerDetectorActions::new("split", MitigationAction::Allow)
+            .with_action("a", MitigationAction::Block(100))
+            .with_action("b", MitigationAction::Block(900));
+        let both = verdicts(&["a", "b"], &[]);
+        assert_eq!(policy.decide(&ctx(&both, 0)), MitigationAction::Block(900));
+        let swapped = verdicts(&["b", "a"], &[]);
+        assert_eq!(
+            policy.decide(&ctx(&swapped, 0)),
+            MitigationAction::Block(900)
+        );
+    }
+
+    #[test]
+    fn escalating_ttl_grows_with_offenses_and_caps() {
+        let policy = EscalatingTtl::new(
+            Box::new(VoteThreshold::any("block", MitigationAction::Block(0))),
+            1_000,
+            4,
+            50_000,
+        );
+        assert_eq!(policy.ttl_for(0), 1_000);
+        assert_eq!(policy.ttl_for(1), 4_000);
+        assert_eq!(policy.ttl_for(2), 16_000);
+        assert_eq!(policy.ttl_for(3), 50_000, "capped");
+        assert_eq!(policy.ttl_for(200), 50_000, "saturating, no overflow");
+        let flagged = verdicts(&["a"], &[]);
+        assert_eq!(
+            policy.decide(&ctx(&flagged, 2)),
+            MitigationAction::Block(16_000)
+        );
+        assert_eq!(
+            policy.decide(&ctx(&verdicts(&[], &["a"]), 5)),
+            MitigationAction::Allow
+        );
+        assert_eq!(policy.name(), "escalating-block");
+    }
+
+    #[test]
+    fn escalating_ttl_leaves_non_blocks_alone() {
+        let policy = EscalatingTtl::new(
+            Box::new(VoteThreshold::any("captcha", MitigationAction::Captcha)),
+            1_000,
+            2,
+            10_000,
+        );
+        let flagged = verdicts(&["a"], &[]);
+        assert_eq!(policy.decide(&ctx(&flagged, 3)), MitigationAction::Captcha);
+    }
+
+    #[test]
+    fn retrain_spend_absorbs() {
+        let mut spend = RetrainSpend {
+            retrained_members: 1,
+            records_scanned: 10,
+            rules_active: 5,
+        };
+        spend.absorb(RetrainSpend {
+            retrained_members: 0,
+            records_scanned: 3,
+            rules_active: 2,
+        });
+        assert_eq!(spend.retrained_members, 1);
+        assert_eq!(spend.records_scanned, 13);
+        assert_eq!(spend.rules_active, 7);
+    }
+
+    struct CountingDetector(u32);
+    impl Detector for CountingDetector {
+        fn name(&self) -> &'static str {
+            "counting"
+        }
+        fn scope(&self) -> StateScope {
+            StateScope::Stateless
+        }
+        fn observe(&mut self, _r: &StoredRequest) -> Verdict {
+            self.0 += 1;
+            Verdict::Human
+        }
+        fn reset(&mut self) {
+            self.0 = 0;
+        }
+        fn fork(&self) -> Box<dyn Detector> {
+            Box::new(CountingDetector(0))
+        }
+    }
+
+    #[test]
+    fn frozen_member_forks_fresh_detectors_and_never_retrains() {
+        let mut member = Frozen::new(Box::new(CountingDetector(7)));
+        assert_eq!(member.member_name(), "counting");
+        let spend = member.end_of_round(&RoundContext {
+            round: 0,
+            records: &[],
+            now: SimTime::EPOCH,
+        });
+        assert_eq!(spend, RetrainSpend::default());
+        // Forked instances start from empty state, not the prototype's.
+        let fresh = member.detector();
+        assert_eq!(fresh.name(), "counting");
+    }
+}

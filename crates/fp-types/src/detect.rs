@@ -96,6 +96,8 @@ pub trait Detector: Send {
 
 /// Canonical provenance names for the workspace's detectors.
 pub mod provenance {
+    use crate::interner::Symbol;
+
     /// The DataDome-like server-side engine.
     pub const DATADOME: &str = "DataDome";
     /// The BotD-like client-side script.
@@ -109,6 +111,20 @@ pub mod provenance {
     /// The cross-layer TLS consistency check: the stack the ClientHello
     /// exhibits vs. the stack the User-Agent claims (§8.2 extension).
     pub const FP_TLS_CROSSLAYER: &str = "fp-tls-crosslayer";
+
+    /// [`DATADOME`] interned once per process — whole-store loops reading
+    /// the [`super::VerdictSet`] by symbol stay an integer compare with no
+    /// interner lock.
+    pub fn datadome_sym() -> Symbol {
+        static SYM: std::sync::OnceLock<Symbol> = std::sync::OnceLock::new();
+        *SYM.get_or_init(|| crate::sym(DATADOME))
+    }
+
+    /// [`BOTD`] interned once per process (see [`datadome_sym`]).
+    pub fn botd_sym() -> Symbol {
+        static SYM: std::sync::OnceLock<Symbol> = std::sync::OnceLock::new();
+        *SYM.get_or_init(|| crate::sym(BOTD))
+    }
 }
 
 /// The named verdicts recorded for one request, in detector-chain order.

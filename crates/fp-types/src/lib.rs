@@ -21,6 +21,11 @@
 //!   contract: what a site does with a flagged request, and what a bot
 //!   service can observe about a round of its own traffic (`fp-arena`
 //!   closes the loop between the two).
+//! * [`defense`] — the defender-side lifecycle contract: a
+//!   [`DecisionPolicy`] maps each request's recorded verdicts to a
+//!   [`MitigationAction`] (vote thresholds, per-detector weights/actions,
+//!   escalating TTLs), and a [`StackMember`] produces a fresh detector per
+//!   round and may retrain itself from the round's labeled records.
 //! * [`SimTime`] / [`SimClock`] — simulated time, counted from the start of
 //!   the paper's three-month study window (2023-09-01).
 //! * [`mix`] — deterministic splittable hashing used wherever a generator or
@@ -32,6 +37,7 @@
 
 pub mod attr;
 pub mod clock;
+pub mod defense;
 pub mod detect;
 pub mod fingerprint;
 pub mod interner;
@@ -46,6 +52,10 @@ pub mod value;
 
 pub use attr::AttrId;
 pub use clock::{SimClock, SimTime, STUDY_DAYS, STUDY_EPOCH_UNIX};
+pub use defense::{
+    DecisionContext, DecisionPolicy, EscalatingTtl, Frozen, PerDetectorActions, RetrainSpend,
+    RoundContext, StackMember, VoteThreshold, WeightedVotes,
+};
 pub use detect::{Detector, StateScope, Verdict, VerdictSet};
 pub use fingerprint::Fingerprint;
 pub use interner::{sym, Interner, Symbol};

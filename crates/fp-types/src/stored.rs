@@ -61,39 +61,47 @@ pub struct StoredRequest {
     pub verdicts: VerdictSet,
 }
 
-/// The two compat provenance symbols, interned once per process so the
-/// accessors below stay an integer compare in whole-store loops (the old
-/// code read a bool field; these must not acquire the interner lock per
-/// call).
-fn datadome_sym() -> Symbol {
-    static SYM: std::sync::OnceLock<Symbol> = std::sync::OnceLock::new();
-    *SYM.get_or_init(|| crate::sym(provenance::DATADOME))
-}
-
-fn botd_sym() -> Symbol {
-    static SYM: std::sync::OnceLock<Symbol> = std::sync::OnceLock::new();
-    *SYM.get_or_init(|| crate::sym(provenance::BOTD))
-}
-
 impl StoredRequest {
     /// Compat accessor: DataDome's real-time verdict (true = bot).
+    #[deprecated(
+        since = "0.1.0",
+        note = "read the named verdict set instead: \
+                `verdicts.bot_sym(detect::provenance::datadome_sym())` (hot \
+                loops) or `verdicts.bot(detect::provenance::DATADOME)`"
+    )]
     pub fn datadome_bot(&self) -> bool {
-        self.verdicts.bot_sym(datadome_sym())
+        self.verdicts.bot_sym(provenance::datadome_sym())
     }
 
     /// Compat accessor: BotD's real-time verdict (true = bot).
+    #[deprecated(
+        since = "0.1.0",
+        note = "read the named verdict set instead: \
+                `verdicts.bot_sym(detect::provenance::botd_sym())` (hot \
+                loops) or `verdicts.bot(detect::provenance::BOTD)`"
+    )]
     pub fn botd_bot(&self) -> bool {
-        self.verdicts.bot_sym(botd_sym())
+        self.verdicts.bot_sym(provenance::botd_sym())
     }
 
     /// Did the request evade DataDome?
+    #[deprecated(
+        since = "0.1.0",
+        note = "read the named verdict set instead: \
+                `!verdicts.bot_sym(detect::provenance::datadome_sym())`"
+    )]
     pub fn evaded_datadome(&self) -> bool {
-        !self.datadome_bot()
+        !self.verdicts.bot_sym(provenance::datadome_sym())
     }
 
     /// Did the request evade BotD?
+    #[deprecated(
+        since = "0.1.0",
+        note = "read the named verdict set instead: \
+                `!verdicts.bot_sym(detect::provenance::botd_sym())`"
+    )]
     pub fn evaded_botd(&self) -> bool {
-        !self.botd_bot()
+        !self.verdicts.bot_sym(provenance::botd_sym())
     }
 }
 
@@ -126,12 +134,19 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn compat_accessors_read_the_verdict_set() {
         let r = record();
         assert!(!r.datadome_bot());
         assert!(r.botd_bot());
         assert!(r.evaded_datadome());
         assert!(!r.evaded_botd());
+        // The deprecated accessors and the canonical reads agree.
+        assert_eq!(
+            r.datadome_bot(),
+            r.verdicts.bot_sym(provenance::datadome_sym())
+        );
+        assert_eq!(r.botd_bot(), r.verdicts.bot_sym(provenance::botd_sym()));
     }
 
     #[test]

@@ -37,6 +37,7 @@ fn main() {
             seed: 0xF91C0DE,
             shards: 1,
             policy,
+            remine_cadence: None,
         });
         arena.adaptive_defaults();
         arena.run(ROUNDS);

@@ -9,6 +9,7 @@
 use fp_inconsistent::botnet::privacy;
 use fp_inconsistent::core::evaluate;
 use fp_inconsistent::prelude::*;
+use fp_inconsistent::types::detect::provenance;
 use fp_inconsistent::types::PrivacyTech;
 
 fn main() {
@@ -35,8 +36,16 @@ fn main() {
         tech_site.ingest_all(requests);
         let store = tech_site.into_store();
 
-        let dd = store.iter().filter(|r| r.datadome_bot()).count() as f64 / store.len() as f64;
-        let botd = store.iter().filter(|r| r.botd_bot()).count() as f64 / store.len() as f64;
+        let dd = store
+            .iter()
+            .filter(|r| r.verdicts.bot(provenance::DATADOME))
+            .count() as f64
+            / store.len() as f64;
+        let botd = store
+            .iter()
+            .filter(|r| r.verdicts.bot(provenance::BOTD))
+            .count() as f64
+            / store.len() as f64;
         let (spatial, temporal, _) = evaluate::flag_rate(&store, &engine);
         println!(
             "{:<16} {:>8.1}% {:>8.1}% {:>10.1}% {:>10.1}%",

@@ -16,8 +16,9 @@
 //! * [`core`] — FP-Inconsistent itself: spatial/temporal rule mining, the
 //!   filter list and the evaluation harness;
 //! * [`arena`] — the closed-loop mitigation & bot-adaptation arena:
-//!   response policies, TTL-blocklist enforcement, adapting bot services,
-//!   round-over-round trajectories.
+//!   lifecycle-aware defense stacks (decision policies, between-round
+//!   re-mining), TTL-blocklist enforcement, adapting bot services,
+//!   round-over-round trajectories with both sides' spend.
 //!
 //! # Quickstart
 //!
@@ -60,7 +61,8 @@
 //! live.ingest_stream(campaign.bot_requests.clone(), 4);
 //! let streamed = live.into_store();
 //! let first = streamed.get(0).unwrap();
-//! assert_eq!(first.datadome_bot(), store.get(0).unwrap().datadome_bot());
+//! let dd = fp_inconsistent::types::detect::provenance::DATADOME;
+//! assert_eq!(first.verdicts.bot(dd), store.get(0).unwrap().verdicts.bot(dd));
 //! assert!(first.verdicts.verdict("fp-spatial").is_some());
 //! ```
 
@@ -80,7 +82,8 @@ pub mod prelude {
     pub use fp_antibot::{BotD, DataDome, Detector, Verdict};
     pub use fp_arena::{Arena, ArenaConfig, ResponsePolicy};
     pub use fp_botnet::{Campaign, CampaignConfig};
-    pub use fp_honeysite::{HoneySite, RequestStore};
+    pub use fp_honeysite::{DefenseStack, HoneySite, RequestStore};
     pub use fp_inconsistent_core::{FpInconsistent, MineConfig, RuleSet};
+    pub use fp_types::defense::{DecisionPolicy, StackMember};
     pub use fp_types::{AttrId, AttrValue, Fingerprint, Request, Scale, ServiceId, SimTime};
 }

@@ -12,12 +12,12 @@
 //! * shard invariance holds inside arena rounds.
 
 use fp_arena::{
-    Arena, ArenaConfig, Composite, FingerprintMutation, IpRotation, ResponsePolicy, TlsUpgrade,
-    DEFAULT_BLOCK_TTL_SECS,
+    Arena, ArenaConfig, Composite, DefenseStack, FingerprintMutation, IpRotation, ResponsePolicy,
+    TlsUpgrade, DEFAULT_BLOCK_TTL_SECS,
 };
 use fp_bench::{recorded_cohort_campaign, CAMPAIGN_SEED};
 use fp_types::detect::provenance;
-use fp_types::{Cohort, Scale};
+use fp_types::{Cohort, MitigationAction, Scale};
 
 fn block_config(scale: f64, seed: u64) -> ArenaConfig {
     ArenaConfig {
@@ -25,22 +25,30 @@ fn block_config(scale: f64, seed: u64) -> ArenaConfig {
         seed,
         shards: 1,
         policy: ResponsePolicy::block(DEFAULT_BLOCK_TTL_SECS),
+        remine_cadence: None,
     }
 }
 
-/// Round 0 of the arena is the pre-arena pipeline, record for record: same
-/// admissions, same stored facts, same named verdicts from all six
-/// detectors.
+/// Round 0 of an arena built from `DefenseStack::default()` + a static
+/// policy is the pre-redesign pipeline, record for record and action for
+/// action: same admissions, same stored facts, same named verdicts from
+/// all six detectors — and the stack's decision path hands every record
+/// exactly the action the old per-record `ResponsePolicy::decide` loop
+/// did.
 #[test]
 fn round0_is_identical_to_the_single_shot_campaign() {
     let scale = Scale::ratio(0.01);
     let (_, single_shot) = recorded_cohort_campaign(scale);
-    let mut arena = Arena::new(ArenaConfig {
-        scale,
-        seed: CAMPAIGN_SEED,
-        shards: 1,
-        policy: ResponsePolicy::block(DEFAULT_BLOCK_TTL_SECS),
-    });
+    let mut arena = Arena::with_stack(
+        ArenaConfig {
+            scale,
+            seed: CAMPAIGN_SEED,
+            shards: 1,
+            policy: ResponsePolicy::block(DEFAULT_BLOCK_TTL_SECS),
+            remine_cadence: None,
+        },
+        DefenseStack::default(),
+    );
     arena.adaptive_defaults(); // strategies must not perturb round 0
     let round0 = arena.step();
 
@@ -59,6 +67,29 @@ fn round0_is_identical_to_the_single_shot_campaign() {
             a.id
         );
         assert_eq!(a.verdicts, b.verdicts, "request {}", a.id);
+    }
+
+    // Action-for-action: replay the pre-redesign mitigation loop (the
+    // static policy applied per record's verdicts, nothing else) over the
+    // single-shot store and compare the per-source tallies with what the
+    // stack's decision path actually produced.
+    let policy = ResponsePolicy::block(DEFAULT_BLOCK_TTL_SECS);
+    let mut legacy: std::collections::HashMap<fp_types::TrafficSource, (u64, u64, u64)> =
+        std::collections::HashMap::new();
+    for record in single_shot.iter() {
+        let slot = legacy.entry(record.source).or_default();
+        match policy.decide(&record.verdicts) {
+            MitigationAction::Allow | MitigationAction::ShadowFlag => slot.0 += 1,
+            MitigationAction::Captcha => slot.1 += 1,
+            MitigationAction::Block(_) => slot.2 += 1,
+        }
+    }
+    for (source, (allowed, captchas, blocked)) in legacy {
+        let outcome = round0.outcome(source);
+        assert_eq!(outcome.allowed, allowed, "{source:?} allowed");
+        assert_eq!(outcome.captchas, captchas, "{source:?} captchas");
+        assert_eq!(outcome.blocked, blocked, "{source:?} blocked");
+        assert_eq!(outcome.denied, 0, "{source:?}: round 0 has no blocklist");
     }
 }
 
@@ -161,6 +192,7 @@ fn truthful_user_fpr_stays_flat_under_every_policy() {
             seed: 23,
             shards: 1,
             policy,
+            remine_cadence: None,
         });
         arena.adaptive_defaults();
         arena.run(3);
@@ -222,5 +254,107 @@ fn shard_invariance_holds_inside_arena_rounds() {
             assert_eq!(x.tls, y.tls);
         }
         assert_eq!(a.outcomes, b.outcomes, "round {}", a.round);
+    }
+}
+
+/// The satellite claim of the defender lifecycle: under Block with
+/// re-mining cadence 1, `fp-spatial` recall *recovers* after the
+/// fingerprint-mutation round that eroded it (the refreshed rules key on
+/// the mutated configurations), beats the frozen rule set by the last
+/// round, and pays for it without inflating the truthful-user FPR beyond
+/// the seed bound.
+#[test]
+fn remining_claws_spatial_recall_back_within_the_fpr_bound() {
+    let frozen_cfg = block_config(0.02, CAMPAIGN_SEED);
+    let mut frozen = Arena::new(frozen_cfg);
+    frozen.adaptive_defaults();
+    frozen.run(4);
+    let frozen_spatial = frozen
+        .trajectory()
+        .recall_trajectory(provenance::FP_SPATIAL, Cohort::BotService);
+
+    let mut remined = Arena::new(ArenaConfig {
+        remine_cadence: Some(1),
+        ..frozen_cfg
+    });
+    remined.adaptive_defaults();
+    remined.run(4);
+    let trajectory = remined.trajectory();
+    let spatial = trajectory.recall_trajectory(provenance::FP_SPATIAL, Cohort::BotService);
+
+    // Round 0 is identical by construction (re-mining happens at round
+    // ends, never before the first round).
+    assert!(
+        (spatial[0] - frozen_spatial[0]).abs() < 1e-12,
+        "round 0 must not depend on the re-mining cadence"
+    );
+    // The mutation round erodes both defenders the same way (round 1 runs
+    // on rules mined from un-mutated traffic either way)…
+    assert!(
+        spatial[1] < spatial[0],
+        "the mutation round must erode recall first: {spatial:?}"
+    );
+    // …then the rules re-mined on the mutated round deploy and recall
+    // recovers instead of continuing to rot.
+    let recovered = spatial[2..].iter().cloned().fold(f64::MIN, f64::max);
+    assert!(
+        recovered > spatial[1] + 0.03,
+        "re-mined rules must claw recall back after the erosion round: {spatial:?}"
+    );
+    assert!(
+        spatial.last().unwrap() > frozen_spatial.last().unwrap(),
+        "re-mining must beat the frozen rule set by the last round: \
+         frozen {frozen_spatial:?} vs re-mined {spatial:?}"
+    );
+
+    // The cost side: the recall is bought with retraining spend, not with
+    // collateral damage on the truthful population.
+    let spend = trajectory.defense_spend_trajectory();
+    assert!(
+        spend.iter().all(|s| s.retrained_members == 1),
+        "cadence 1 retrains the spatial member at every round end"
+    );
+    assert!(
+        trajectory.total_defense_scans() > 0,
+        "re-mining spend must be accounted in the trajectory"
+    );
+    let fpr = trajectory.fpr_trajectory(provenance::FP_SPATIAL);
+    for (round, rate) in fpr.iter().enumerate() {
+        assert!(
+            *rate <= fpr[0] + 0.01,
+            "re-mining must not inflate truthful-user FPR at round {round} \
+             beyond the seed bound: {fpr:?}"
+        );
+    }
+}
+
+/// Shard invariance survives the defender lifecycle: with re-mining on,
+/// a whole adaptive campaign still replays verdict-for-verdict identically
+/// at any shard count (the re-mined rule set is a deterministic function
+/// of the arrival-ordered store, which is itself shard-invariant).
+#[test]
+fn shard_invariance_holds_with_remining_on() {
+    let run = |shards: usize| {
+        let mut config = block_config(0.01, 31);
+        config.remine_cadence = Some(1);
+        config.shards = shards;
+        let mut arena = Arena::new(config);
+        arena.adaptive_defaults();
+        (0..3).map(|_| arena.step()).collect::<Vec<_>>()
+    };
+    let baseline = run(1);
+    let sharded = run(4);
+    for (a, b) in baseline.iter().zip(&sharded) {
+        assert_eq!(a.store.len(), b.store.len(), "round {}", a.round);
+        for (x, y) in a.store.iter().zip(b.store.iter()) {
+            assert_eq!(x.verdicts, y.verdicts, "round {} request {}", a.round, x.id);
+            assert_eq!(x.ip_hash, y.ip_hash);
+        }
+        assert_eq!(a.outcomes, b.outcomes, "round {}", a.round);
+        assert_eq!(
+            a.stats.defense, b.stats.defense,
+            "round {}: retraining spend must not depend on shard count",
+            a.round
+        );
     }
 }

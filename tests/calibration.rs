@@ -9,6 +9,7 @@ use fp_botnet::{Campaign, CampaignConfig, SERVICES};
 use fp_honeysite::{stats, HoneySite};
 use fp_inconsistent_core::evaluate;
 use fp_inconsistent_core::{FpInconsistent, MineConfig};
+use fp_types::detect::provenance;
 use fp_types::{Scale, ServiceId, TrafficSource};
 
 fn ingest(campaign: &Campaign) -> fp_honeysite::RequestStore {
@@ -167,8 +168,8 @@ fn design_ground_truth_matches_detectors() {
         .zip(&campaign.designs)
     {
         n += 1;
-        if r.evaded_datadome() != design.cell.evades_dd()
-            || r.evaded_botd() != design.cell.evades_botd()
+        if r.verdicts.bot(provenance::DATADOME) == design.cell.evades_dd()
+            || r.verdicts.bot(provenance::BOTD) == design.cell.evades_botd()
         {
             mismatches += 1;
         }

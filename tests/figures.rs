@@ -5,6 +5,7 @@ use fp_botnet::{Campaign, CampaignConfig};
 use fp_fingerprint::catalog::is_real_iphone_resolution;
 use fp_honeysite::{stats, HoneySite, RequestStore};
 use fp_netsim::GeoTarget;
+use fp_types::detect::provenance;
 use fp_types::{AttrId, Scale, ServiceId, TrafficSource};
 use std::collections::HashMap;
 
@@ -35,7 +36,7 @@ fn fig4_any_pdf_plugin_nearly_guarantees_botd_evasion() {
                 .unwrap_or(false)
             {
                 n += 1;
-                evaded += u64::from(r.evaded_botd());
+                evaded += u64::from(!r.verdicts.bot(provenance::BOTD));
             }
         }
         let p = evaded as f64 / n.max(1) as f64;
@@ -87,7 +88,7 @@ fn fig6_device_type_evasion_ordering() {
         };
         let e = by.entry(class).or_default();
         e.0 += 1;
-        e.1 += u64::from(r.evaded_datadome());
+        e.1 += u64::from(!r.verdicts.bot(provenance::DATADOME));
     }
     let p = |d: &str| {
         let (n, e) = by[d];
@@ -111,7 +112,7 @@ fn fig7_resolution_census() {
         if let Some(res) = r.fingerprint.get(AttrId::ScreenResolution).as_resolution() {
             let e = census.entry(res).or_default();
             e.0 += 1;
-            e.1 += u64::from(r.evaded_datadome());
+            e.1 += u64::from(!r.verdicts.bot(provenance::DATADOME));
         }
     }
     let total = census.len();

@@ -5,6 +5,7 @@ use fp_botnet::{Campaign, CampaignConfig};
 use fp_honeysite::{HoneySite, RequestStore};
 use fp_ml::importance::attribute_importance;
 use fp_ml::{FeatureSchema, Gbdt, GbdtParams};
+use fp_types::detect::provenance;
 use fp_types::{AttrId, Scale, ServiceId};
 
 fn store() -> RequestStore {
@@ -40,9 +41,9 @@ fn train(store: &RequestStore, dd: bool) -> Trained {
         .iter()
         .map(|r| {
             f64::from(u8::from(if dd {
-                r.evaded_datadome()
+                !r.verdicts.bot(provenance::DATADOME)
             } else {
-                r.evaded_botd()
+                !r.verdicts.bot(provenance::BOTD)
             }))
         })
         .collect();

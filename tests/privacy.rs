@@ -4,6 +4,7 @@
 use fp_botnet::{privacy, Campaign, CampaignConfig};
 use fp_honeysite::{HoneySite, RequestStore};
 use fp_inconsistent_core::{evaluate, FpInconsistent, MineConfig};
+use fp_types::detect::provenance;
 use fp_types::{PrivacyTech, Scale, ServiceId};
 
 fn bot_engine() -> FpInconsistent {
@@ -47,9 +48,16 @@ fn brave_datadome_flags_after_churn_window() {
     // Appendix G: "roughly after the first 10 requests on each device,
     // DataDome starts detecting all requests from Brave" → ≈41% of 300.
     let store = tech_store(PrivacyTech::Brave);
-    let dd = store.iter().filter(|r| r.datadome_bot()).count() as f64 / store.len() as f64;
+    let dd = store
+        .iter()
+        .filter(|r| r.verdicts.bot(provenance::DATADOME))
+        .count() as f64
+        / store.len() as f64;
     assert!((dd - 0.41).abs() < 0.06, "Brave DataDome rate {dd}");
-    let botd = store.iter().filter(|r| r.botd_bot()).count();
+    let botd = store
+        .iter()
+        .filter(|r| r.verdicts.bot(provenance::BOTD))
+        .count();
     assert_eq!(botd, 0, "BotD does not flag Brave");
 }
 
@@ -57,9 +65,15 @@ fn brave_datadome_flags_after_churn_window() {
 fn tor_is_fully_flagged_by_both_datadome_and_rules() {
     let engine = bot_engine();
     let store = tech_store(PrivacyTech::Tor);
-    let dd = store.iter().filter(|r| r.datadome_bot()).count();
+    let dd = store
+        .iter()
+        .filter(|r| r.verdicts.bot(provenance::DATADOME))
+        .count();
     assert_eq!(dd, store.len(), "DataDome blocks all Tor exits");
-    let botd = store.iter().filter(|r| r.botd_bot()).count();
+    let botd = store
+        .iter()
+        .filter(|r| r.verdicts.bot(provenance::BOTD))
+        .count();
     assert_eq!(botd, 0, "BotD passes Tor (a real Firefox)");
     let (spatial, _, combined) = evaluate::flag_rate(&store, &engine);
     assert_eq!(
@@ -78,8 +92,14 @@ fn blockers_are_completely_untouched() {
         PrivacyTech::AdblockPlus,
     ] {
         let store = tech_store(tech);
-        let dd = store.iter().filter(|r| r.datadome_bot()).count();
-        let botd = store.iter().filter(|r| r.botd_bot()).count();
+        let dd = store
+            .iter()
+            .filter(|r| r.verdicts.bot(provenance::DATADOME))
+            .count();
+        let botd = store
+            .iter()
+            .filter(|r| r.verdicts.bot(provenance::BOTD))
+            .count();
         let (_, _, combined) = evaluate::flag_rate(&store, &engine);
         assert_eq!(dd, 0, "{tech:?} DataDome");
         assert_eq!(botd, 0, "{tech:?} BotD");
