@@ -9,23 +9,26 @@
 //!
 //! [`SpatialMember`] packages that as a [`StackMember`]: it owns the
 //! current rule set, hands the ingest chain a fresh [`SpatialDetector`]
-//! per round, and —
-//! when built with [`SpatialMember::remining`] — appends each round's
-//! labeled records to an incremental training window and re-runs
-//! [`spatial::mine_records`] every `cadence` rounds. The temporal anchors
-//! need no member of their own: they are stateful *within* a round but
-//! have nothing to retrain between rounds, so the arena wraps them in
-//! [`fp_types::defense::Frozen`].
+//! per round, and — when built with [`SpatialMember::remining`] — re-runs
+//! [`spatial::mine_records`] every `cadence` rounds over the **retained
+//! training window** the owning stack hands it
+//! ([`fp_types::defense::RoundContext::records`]). The member owns no
+//! record buffer of its own: the stack's epoch-segmented store is the
+//! single owner of training history, so its retention policy (sliding
+//! window, sampled decay) bounds the member's scan spend and resident
+//! memory for free. The temporal anchors need no member of their own:
+//! they are stateful *within* a round but have nothing to retrain between
+//! rounds, so the arena wraps them in [`fp_types::defense::Frozen`].
 
 use crate::engine::{FpInconsistent, SpatialDetector};
 use crate::rules::RuleSet;
 use crate::spatial::{self, MineConfig};
 use fp_types::defense::{RetrainSpend, RoundContext, StackMember};
 use fp_types::detect::{provenance, Detector};
-use fp_types::StoredRequest;
 
 /// The `fp-spatial` slot of a defense stack: mined rules + location
-/// generalisation, optionally re-mined from accumulating round records.
+/// generalisation, optionally re-mined from the stack's retained
+/// training window.
 pub struct SpatialMember {
     rules: RuleSet,
     generalize_location: bool,
@@ -33,13 +36,6 @@ pub struct SpatialMember {
     /// Re-mine after every `cadence`-th round; `None` freezes the round-0
     /// rules forever (the pre-redesign behaviour).
     cadence: Option<u32>,
-    /// The incremental store view: the mining pool this member has seen,
-    /// in arrival order — one append per completed round. Round 0 replays
-    /// the traffic the initial rules were mined on, so the window is NOT
-    /// pre-seeded with it (that would double-count every round-0 record,
-    /// inflating pair support past `min_support` and skewing the
-    /// value-budget ranking).
-    window: Vec<StoredRequest>,
 }
 
 impl SpatialMember {
@@ -50,16 +46,14 @@ impl SpatialMember {
             generalize_location: engine.config().generalize_location,
             mine_config: MineConfig::default(),
             cadence: None,
-            window: Vec::new(),
         }
     }
 
     /// A re-mining member: deploys `engine`'s rules until the first
-    /// refresh, appends every completed round's records to its window
-    /// (round 0 — which replays the traffic the initial rules were mined
-    /// on — becomes the window's first epoch), and re-runs Algorithm 1
-    /// over the whole window at the end of every `cadence`-th round
-    /// (cadence 1 = every round).
+    /// refresh, then re-runs Algorithm 1 over the training window its
+    /// stack retains (round 0 — which replays the traffic the initial
+    /// rules were mined on — is the window's first epoch) at the end of
+    /// every `cadence`-th round (cadence 1 = every round).
     pub fn remining(
         engine: &FpInconsistent,
         mine_config: MineConfig,
@@ -70,18 +64,12 @@ impl SpatialMember {
             generalize_location: engine.config().generalize_location,
             mine_config,
             cadence: Some(cadence.max(1)),
-            window: Vec::new(),
         }
     }
 
     /// The rules currently deployed (refreshed by re-mining).
     pub fn rules(&self) -> &RuleSet {
         &self.rules
-    }
-
-    /// Records in the incremental training window.
-    pub fn window_len(&self) -> usize {
-        self.window.len()
     }
 
     /// The configured re-mining cadence (`None` = frozen).
@@ -102,26 +90,31 @@ impl StackMember for SpatialMember {
         ))
     }
 
+    fn wants_history(&self) -> bool {
+        // Frozen members retain nothing; re-mining needs the stack to
+        // keep (its retention policy's worth of) past rounds.
+        self.cadence.is_some()
+    }
+
     fn end_of_round(&mut self, epoch: &RoundContext<'_>) -> RetrainSpend {
         let Some(cadence) = self.cadence else {
-            // Frozen: the round's records are not even retained.
             return RetrainSpend {
                 rules_active: self.rules.len() as u64,
                 ..RetrainSpend::default()
             };
         };
-        self.window.extend(epoch.records.iter().cloned());
         if !(epoch.round + 1).is_multiple_of(cadence) {
             return RetrainSpend {
                 rules_active: self.rules.len() as u64,
                 ..RetrainSpend::default()
             };
         }
-        self.rules = spatial::mine_records(self.window.iter(), &self.mine_config);
+        self.rules = spatial::mine_records(epoch.records.iter(), &self.mine_config);
         RetrainSpend {
             retrained_members: 1,
-            records_scanned: self.window.len() as u64,
+            records_scanned: epoch.records.len() as u64,
             rules_active: self.rules.len() as u64,
+            ..RetrainSpend::default()
         }
     }
 }
@@ -130,8 +123,10 @@ impl StackMember for SpatialMember {
 mod tests {
     use super::*;
     use crate::engine::EngineConfig;
+    use fp_types::retention::RecordView;
     use fp_types::{
-        sym, AttrId, BehaviorTrace, Fingerprint, ServiceId, SimTime, TrafficSource, VerdictSet,
+        sym, AttrId, BehaviorTrace, Fingerprint, ServiceId, SimTime, StoredRequest, TrafficSource,
+        VerdictSet,
     };
 
     fn fake_iphone_record() -> StoredRequest {
@@ -167,28 +162,29 @@ mod tests {
     #[test]
     fn frozen_member_never_retrains() {
         let mut member = SpatialMember::frozen(&empty_engine());
+        assert!(!member.wants_history(), "frozen members retain nothing");
         let records = vec![fake_iphone_record(); 5];
         for round in 0..3 {
             let spend = member.end_of_round(&RoundContext {
                 round,
-                records: &records,
+                records: RecordView::from_slice(&records),
                 now: SimTime::EPOCH,
             });
             assert_eq!(spend.retrained_members, 0);
             assert_eq!(spend.records_scanned, 0);
         }
         assert!(member.rules().is_empty());
-        assert_eq!(member.window_len(), 0, "frozen members retain nothing");
     }
 
     #[test]
-    fn remining_member_learns_new_rounds_rules() {
+    fn remining_member_learns_the_windows_rules() {
         let mut member = SpatialMember::remining(&empty_engine(), MineConfig::default(), 1);
         assert!(member.rules().is_empty(), "starts from the engine's rules");
+        assert!(member.wants_history(), "re-mining needs the stack's window");
         let records = vec![fake_iphone_record(); 5];
         let spend = member.end_of_round(&RoundContext {
             round: 0,
-            records: &records,
+            records: RecordView::from_slice(&records),
             now: SimTime::EPOCH,
         });
         assert_eq!(spend.retrained_members, 1);
@@ -201,19 +197,43 @@ mod tests {
     }
 
     #[test]
+    fn remining_scans_exactly_the_window_it_is_handed() {
+        // The member mines whatever view the stack retained — a shrunken
+        // (windowed) view means proportionally less scan spend, which is
+        // the whole point of retention.
+        let mut member = SpatialMember::remining(&empty_engine(), MineConfig::default(), 1);
+        let old = vec![fake_iphone_record(); 8];
+        let fresh = vec![fake_iphone_record(); 4];
+        let spend = member.end_of_round(&RoundContext {
+            round: 0,
+            records: RecordView::new(vec![&old[..], &fresh[..]]),
+            now: SimTime::EPOCH,
+        });
+        assert_eq!(spend.records_scanned, 12, "multi-epoch view, one pass");
+        let windowed = member.end_of_round(&RoundContext {
+            round: 1,
+            records: RecordView::from_slice(&fresh),
+            now: SimTime::EPOCH,
+        });
+        assert_eq!(windowed.records_scanned, 4, "evicted epochs cost nothing");
+    }
+
+    #[test]
     fn cadence_gates_the_remine() {
         let mut member = SpatialMember::remining(&empty_engine(), MineConfig::default(), 2);
+        assert_eq!(member.cadence(), Some(2));
         let records = vec![fake_iphone_record(); 5];
         let r0 = member.end_of_round(&RoundContext {
             round: 0,
-            records: &records,
+            records: RecordView::from_slice(&records),
             now: SimTime::EPOCH,
         });
         assert_eq!(r0.retrained_members, 0, "cadence 2 skips after round 0");
-        assert_eq!(member.window_len(), 5, "but the window still accumulates");
+        assert_eq!(r0.records_scanned, 0, "an off-cadence round scans nothing");
+        let doubled: Vec<StoredRequest> = records.iter().chain(&records).cloned().collect();
         let r1 = member.end_of_round(&RoundContext {
             round: 1,
-            records: &records,
+            records: RecordView::from_slice(&doubled),
             now: SimTime::EPOCH,
         });
         assert_eq!(r1.retrained_members, 1, "…and fires after round 1");
@@ -221,22 +241,15 @@ mod tests {
     }
 
     #[test]
-    fn window_starts_empty_and_never_double_counts() {
-        let member = SpatialMember::remining(&empty_engine(), MineConfig::default(), 1);
-        assert_eq!(
-            member.window_len(),
-            0,
-            "round 0 replays the seed traffic; pre-seeding would double-count it"
-        );
-        assert_eq!(member.cadence(), Some(1));
-        // A pair with exactly min_support occurrences across the rounds
-        // must not be pushed over the threshold by duplication: feed 2
-        // records (below min_support 3) and re-mine — no rule.
+    fn mining_support_counts_the_view_without_duplication() {
+        // A pair with support below min_support must not be pushed over
+        // the threshold by any double-counting between epochs: 2 records
+        // (below min_support 3) re-mined → no rule.
         let mut member = SpatialMember::remining(&empty_engine(), MineConfig::default(), 1);
         let records = vec![fake_iphone_record(); 2];
         let spend = member.end_of_round(&RoundContext {
             round: 0,
-            records: &records,
+            records: RecordView::from_slice(&records),
             now: SimTime::EPOCH,
         });
         assert_eq!(spend.records_scanned, 2, "each record counted once");

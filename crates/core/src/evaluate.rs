@@ -432,6 +432,24 @@ impl TrajectoryReport {
         self.rounds.iter().map(|r| r.defense.records_scanned).sum()
     }
 
+    /// High-water mark of the defender's resident training records across
+    /// the campaign — what a bounding retention policy caps and an
+    /// unbounded window lets grow linearly. (Seal-time snapshots; 0 for a
+    /// frozen defender that retains nothing.)
+    pub fn peak_resident_records(&self) -> u64 {
+        self.rounds
+            .iter()
+            .map(|r| r.defense.records_resident)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total training records the retention policy evicted across the
+    /// campaign (whole-epoch eviction and within-segment decay combined).
+    pub fn total_records_evicted(&self) -> u64 {
+        self.rounds.iter().map(|r| r.defense.records_evicted).sum()
+    }
+
     /// The adversary's attribute-mutation cost per successfully evading
     /// request, per round: mutated attributes divided by the automation
     /// requests the named detector missed that round. The price of staying
@@ -647,6 +665,8 @@ mod tests {
                 retrained_members: u64::from(*scanned > 0),
                 records_scanned: *scanned,
                 rules_active: 10 + *scanned / 100,
+                records_evicted: *scanned / 5,
+                records_resident: 1_000 - *scanned,
             };
             traj.push(stats);
         }
@@ -655,6 +675,9 @@ mod tests {
         assert_eq!(spend[0].retrained_members, 0);
         assert_eq!(spend[2].records_scanned, 900);
         assert_eq!(traj.total_defense_scans(), 1_400);
+        assert_eq!(traj.total_records_evicted(), 280);
+        assert_eq!(traj.peak_resident_records(), 1_000, "high-water mark");
+        assert_eq!(TrajectoryReport::new().peak_resident_records(), 0);
     }
 
     #[test]

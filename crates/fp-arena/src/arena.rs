@@ -27,11 +27,14 @@
 //!    [`MitigationAction`]; blocks feed the blocklist for *subsequent*
 //!    rounds (mitigation ships in batches, like real vendors' list
 //!    updates).
-//! 5. **Retrain** — the defender's lifecycle: every stack member digests
-//!    the round's labeled records ([`DefenseStack::end_of_round`]). With a
-//!    re-mining cadence configured, `fp-spatial` re-runs Algorithm 1 over
-//!    its accumulated window and the *next* round's chain deploys the
-//!    refreshed rules. The spend is recorded in the round's stats.
+//! 5. **Retrain** — the defender's lifecycle: the stack seals the round's
+//!    labeled records into its training store as one epoch, applies
+//!    [`ArenaConfig::retention`] (evicting stale epochs), and every stack
+//!    member digests the retained window
+//!    ([`DefenseStack::end_of_round`]). With a re-mining cadence
+//!    configured, `fp-spatial` re-runs Algorithm 1 over that window and
+//!    the *next* round's chain deploys the refreshed rules. The spend —
+//!    retraining *and* eviction — is recorded in the round's stats.
 //! 6. **Adapt** — each bot service observes its own visible outcome (and
 //!    nothing else) and updates its strategy for the next round.
 //!
@@ -46,10 +49,10 @@ use fp_inconsistent_core::defense::SpatialMember;
 use fp_inconsistent_core::evaluate::{self, MutationStats, RoundStats, TrajectoryReport};
 use fp_inconsistent_core::{FpInconsistent, MineConfig};
 use fp_netsim::{NetDb, TtlBlocklist};
-use fp_types::defense::{DecisionContext, DecisionPolicy, Frozen, RoundContext};
+use fp_types::defense::{DecisionContext, DecisionPolicy, Frozen};
 use fp_types::{
-    mix2, Cohort, MitigationAction, Request, RoundOutcome, Scale, ServiceId, SimTime, Splittable,
-    TrafficSource, STUDY_DAYS,
+    mix2, Cohort, MitigationAction, Request, RetentionPolicy, RoundOutcome, Scale, ServiceId,
+    SimTime, Splittable, TrafficSource, STUDY_DAYS,
 };
 use std::collections::HashMap;
 
@@ -71,10 +74,17 @@ pub struct ArenaConfig {
     /// [`Arena::set_policy`]).
     pub policy: ResponsePolicy,
     /// Defender re-mining cadence for the `fp-spatial` member: with
-    /// `Some(n)`, the rule set is re-mined from the accumulated labeled
+    /// `Some(n)`, the rule set is re-mined from the retained labeled
     /// rounds at the end of every `n`-th round (1 = every round). `None`
     /// freezes the round-0 rules forever — the pre-redesign behaviour.
     pub remine_cadence: Option<u32>,
+    /// Retention policy for the defender's training window: each round is
+    /// sealed into the stack's store as one epoch and this policy decides
+    /// what stays. `KeepAll` (the default) is the unbounded pre-refactor
+    /// window; `SlidingWindow { epochs }` caps peak resident records and
+    /// re-mining scan spend for long-horizon arenas. Eviction is counted
+    /// in the trajectory's defender-spend columns.
+    pub retention: RetentionPolicy,
 }
 
 impl Default for ArenaConfig {
@@ -85,6 +95,7 @@ impl Default for ArenaConfig {
             shards: 1,
             policy: ResponsePolicy::block(crate::policy::DEFAULT_BLOCK_TTL_SECS),
             remine_cadence: None,
+            retention: RetentionPolicy::KeepAll,
         }
     }
 }
@@ -155,6 +166,7 @@ impl Arena {
         let engine = FpInconsistent::mine(&mine_site.into_store(), &MineConfig::default());
 
         stack.set_policy(Box::new(config.policy));
+        stack.set_retention(config.retention);
         match config.remine_cadence {
             None => stack.push_member(Box::new(SpatialMember::frozen(&engine))),
             // The member's window starts empty: round 0 replays the
@@ -334,7 +346,20 @@ impl Arena {
             });
             match action {
                 MitigationAction::Allow | MitigationAction::ShadowFlag => outcome.allowed += 1,
-                MitigationAction::Captcha => outcome.captchas += 1,
+                MitigationAction::Captcha => {
+                    outcome.captchas += 1;
+                    // Policies on the CAPTCHA-then-block ladder need the
+                    // served challenge remembered: record it as a
+                    // never-binding strike whose history outlives the
+                    // round-end purge for the policy's memory TTL, so
+                    // the offense count moves — across rounds — without
+                    // denying anything. Plain policies leave the
+                    // blocklist untouched.
+                    if let Some(memory_ttl) = self.stack.policy().captcha_strike_ttl() {
+                        self.blocklist
+                            .strike(record.ip_hash, record.time, memory_ttl);
+                    }
+                }
                 MitigationAction::Block(ttl_secs) => {
                     outcome.blocked += 1;
                     if !self
@@ -349,14 +374,12 @@ impl Arena {
         let round_end = SimTime(u64::from(round + 1) * ROUND_SECS);
         self.blocklist.purge_expired(round_end);
 
-        // Defender lifecycle: every stack member digests the round's
-        // labeled records; retraining members refresh their model here and
-        // the *next* round's chain deploys it.
-        let defense = self.stack.end_of_round(&RoundContext {
-            round,
-            records: store.records(),
-            now: round_end,
-        });
+        // Defender lifecycle: the stack seals the round's labeled records
+        // into its training store as one epoch (retention applied), and
+        // every member digests the retained window; retraining members
+        // refresh their model here and the *next* round's chain deploys
+        // it. Eviction rides back in the spend.
+        let defense = self.stack.end_of_round(round, store.records(), round_end);
 
         let stats = RoundStats {
             round,
@@ -540,7 +563,7 @@ mod tests {
             seed: 77,
             shards: 1,
             policy,
-            remine_cadence: None,
+            ..ArenaConfig::default()
         }
     }
 

@@ -15,11 +15,15 @@
 //!   richer policies (per-detector weights/actions, repeat-offender TTL
 //!   escalation) plug into the same slot via [`Arena::set_policy`].
 //! * [`DefenseStack`] (from `fp-honeysite`) — the defender as a value:
-//!   lifecycle-aware members plus the decision policy. The arena drives
-//!   the defender's lifecycle between rounds — with
-//!   [`ArenaConfig::remine_cadence`] set, `fp-spatial` re-mines its rule
-//!   set from the accumulated labeled rounds, the counter-move to §6's
-//!   rule rot.
+//!   lifecycle-aware members, the decision policy, and the
+//!   epoch-segmented training store. The arena drives the defender's
+//!   lifecycle between rounds — with [`ArenaConfig::remine_cadence`]
+//!   set, `fp-spatial` re-mines its rule set from the retained labeled
+//!   rounds, the counter-move to §6's rule rot; with
+//!   [`ArenaConfig::retention`] set to a bounding policy, that window
+//!   (and the re-mining scan spend) stays flat however long the
+//!   campaign runs, with eviction counted in the trajectory's
+//!   defender-spend columns.
 //! * [`AdaptationStrategy`] — how a bot service rewrites its next round
 //!   from the outcomes it can *see*: [`IpRotation`] (fresh addresses →
 //!   residential ASNs → new geographies), [`FingerprintMutation`]

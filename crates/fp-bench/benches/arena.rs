@@ -15,6 +15,7 @@ fn arena_config(remine_cadence: Option<u32>) -> ArenaConfig {
         shards: 1,
         policy: ResponsePolicy::block(DEFAULT_BLOCK_TTL_SECS),
         remine_cadence,
+        ..ArenaConfig::default()
     }
 }
 

@@ -18,7 +18,12 @@
 //! Scale via `FP_SCALE` (default 0.02 — this binary tracks a dynamic, not
 //! a paper table), rounds via `ARENA_ROUNDS` (default 5), re-mining
 //! cadence via `ARENA_REMINE` (default 1 = re-mine every round; 0 skips
-//! the defender ablation).
+//! the defender ablation), training-window retention via
+//! `ARENA_RETENTION` (`keep` | `sliding:<epochs>` | `decay:<rate>:<floor>`,
+//! default `keep`). The spend table prints the eviction ledger —
+//! records evicted and resident per round, plus the peak-residency
+//! high-water mark — so a bounding policy's cap is visible in output
+//! (and asserted, for sliding windows).
 
 use fp_arena::{Arena, ArenaConfig, ResponsePolicy, DEFAULT_BLOCK_TTL_SECS};
 use fp_bench::{header, pct, recorded_cohort_campaign, CAMPAIGN_SEED};
@@ -58,6 +63,29 @@ fn remine_cadence() -> Option<u32> {
             (cadence > 0).then_some(cadence)
         }
         Err(_) => Some(1),
+    }
+}
+
+/// Retention for the re-mining defender's training window, via
+/// `ARENA_RETENTION`: `keep` (default, the unbounded window),
+/// `sliding:N` (keep the last N epochs) or `decay:RATE:FLOOR` (sampled
+/// decay at RATE per epoch of age, floored at FLOOR records).
+fn arena_retention() -> fp_types::RetentionPolicy {
+    use fp_types::RetentionPolicy;
+    let Ok(spec) = std::env::var("ARENA_RETENTION") else {
+        return RetentionPolicy::KeepAll;
+    };
+    let parts: Vec<&str> = spec.split(':').collect();
+    match parts.as_slice() {
+        ["keep"] => RetentionPolicy::KeepAll,
+        ["sliding", epochs] => RetentionPolicy::SlidingWindow {
+            epochs: epochs.parse().expect("ARENA_RETENTION=sliding:<epochs>"),
+        },
+        ["decay", rate, floor] => RetentionPolicy::SampledDecay {
+            keep_rate: rate.parse().expect("ARENA_RETENTION=decay:<rate>:<floor>"),
+            floor: floor.parse().expect("ARENA_RETENTION=decay:<rate>:<floor>"),
+        },
+        _ => panic!("ARENA_RETENTION must be keep | sliding:<epochs> | decay:<rate>:<floor>"),
     }
 }
 
@@ -112,7 +140,7 @@ fn main() {
         seed: CAMPAIGN_SEED,
         shards: 1,
         policy: ResponsePolicy::block(DEFAULT_BLOCK_TTL_SECS),
-        remine_cadence: None,
+        ..ArenaConfig::default()
     };
     let mut arena = Arena::new(config);
     arena.adaptive_defaults();
@@ -244,12 +272,15 @@ fn main() {
         println!("\nARENA_REMINE=0: defender re-mining ablation skipped.");
         return;
     };
+    let retention = arena_retention();
     println!(
         "\ndefender ablation: fp-spatial recall, frozen rules vs re-mining \
-         (cadence {cadence}):"
+         (cadence {cadence}, retention {}):",
+        retention.name()
     );
     let mut remined = Arena::new(ArenaConfig {
         remine_cadence: Some(cadence),
+        retention,
         ..config
     });
     remined.adaptive_defaults();
@@ -276,8 +307,8 @@ fn main() {
 
     println!("\ndefender re-mining spend per round (TrajectoryReport defense columns):");
     println!(
-        "{:<8}{:>12}{:>18}{:>14}",
-        "round", "retrains", "records-scanned", "rules-active"
+        "{:<8}{:>12}{:>18}{:>14}{:>12}{:>12}",
+        "round", "retrains", "records-scanned", "rules-active", "evicted", "resident"
     );
     for (r, spend) in remined_trajectory
         .defense_spend_trajectory()
@@ -285,14 +316,46 @@ fn main() {
         .enumerate()
     {
         println!(
-            "{:<8}{:>12}{:>18}{:>14}",
-            r, spend.retrained_members, spend.records_scanned, spend.rules_active
+            "{:<8}{:>12}{:>18}{:>14}{:>12}{:>12}",
+            r,
+            spend.retrained_members,
+            spend.records_scanned,
+            spend.rules_active,
+            spend.records_evicted,
+            spend.records_resident
         );
     }
     println!(
-        "total training records scanned: {}",
-        remined_trajectory.total_defense_scans()
+        "total training records scanned: {}  evicted: {}  peak resident: {}",
+        remined_trajectory.total_defense_scans(),
+        remined_trajectory.total_records_evicted(),
+        remined_trajectory.peak_resident_records()
     );
+    if let fp_types::RetentionPolicy::SlidingWindow { epochs } = retention {
+        // The bound this binary exists to make visible: peak residency
+        // can never exceed the window's worth of the largest rounds.
+        let mut sizes: Vec<u64> = remined_trajectory
+            .rounds
+            .iter()
+            .map(|r| r.cohorts.cohort_sizes.iter().sum::<u64>())
+            .collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        let bound: u64 = sizes.iter().take(epochs.max(1) as usize).sum();
+        assert!(
+            remined_trajectory.peak_resident_records() <= bound,
+            "sliding-window retention must bound peak residency: peak {} \
+             vs {}-epoch bound {}",
+            remined_trajectory.peak_resident_records(),
+            epochs,
+            bound
+        );
+        println!(
+            "sliding-window bound holds: peak resident {} ≤ {} ({} largest rounds)",
+            remined_trajectory.peak_resident_records(),
+            bound,
+            epochs.max(1)
+        );
+    }
     if rounds >= cadence {
         assert!(
             remined_trajectory.total_defense_scans() > 0,

@@ -9,7 +9,11 @@
 //!
 //! Also records the closed-loop arena series: end-to-end requests/sec of
 //! a 2-round Block-policy arena with the shipped adaptive strategies (one
-//! campaign generation + admission + full chain + policy per round).
+//! campaign generation + admission + full chain + policy per round) —
+//! and, since the bounded-memory refactor, a retention ingest series
+//! (sequential ingest sealing an epoch every ~1/8th of the stream, under
+//! KeepAll vs a 2-epoch sliding window) so the epoch-segment bookkeeping
+//! overhead is tracked release over release.
 //!
 //! Scale via `FP_SCALE` (default 0.05 here: this binary exists to track a
 //! trend, not to regenerate paper tables).
@@ -117,6 +121,32 @@ fn main() {
         .map(|(_, rps)| *rps)
         .unwrap_or(0.0);
 
+    // The retention series: sequential ingest with epoch sealing every
+    // ~1/8th of the stream, under KeepAll vs a 2-epoch sliding window —
+    // tracks the segment bookkeeping overhead (sealing, per-segment
+    // indexes, eviction) against the plain never-sealed baseline above.
+    let epoch_every = (requests / 8).max(1);
+    let ingest_retention = |policy: fp_types::RetentionPolicy| {
+        let mut best = 0.0f64;
+        let mut resident = 0usize;
+        for _ in 0..runs {
+            let mut site = honey_site_for(&campaign);
+            site.set_retention(policy);
+            site.set_epoch_every(epoch_every);
+            let requests_clone = stream.clone();
+            let start = Instant::now();
+            site.ingest_all(requests_clone);
+            let elapsed = start.elapsed().as_secs_f64();
+            let store = site.into_store();
+            resident = store.len();
+            best = best.max(store.total_ingested() as f64 / elapsed);
+        }
+        (best, resident)
+    };
+    let (retain_keepall_rps, _) = ingest_retention(fp_types::RetentionPolicy::KeepAll);
+    let (retain_sliding_rps, sliding_resident) =
+        ingest_retention(fp_types::RetentionPolicy::SlidingWindow { epochs: 2 });
+
     // The arena series: 2 Block-policy rounds end to end (generation,
     // admission, chain, mitigation, adaptation), in requests/sec over the
     // requests the rounds processed.
@@ -131,7 +161,7 @@ fn main() {
                 seed: CAMPAIGN_SEED,
                 shards: 4,
                 policy: ResponsePolicy::block(DEFAULT_BLOCK_TTL_SECS),
-                remine_cadence: None,
+                ..ArenaConfig::default()
             });
             arena.adaptive_defaults();
             let trajectory = arena.run(2);
@@ -158,7 +188,7 @@ fn main() {
          ingest + whole-store engine passes"
     };
     let json = format!(
-        "{{\n  \"scale\": {},\n  \"requests\": {},\n  \"host_cores\": {},\n  \"available_parallelism\": {},\n  \"batch_requests_per_sec\": {:.0},\n  \"stream_requests_per_sec\": {{\n{}\n  }},\n  \"stream_requests_per_sec_no_tls_facet\": {:.0},\n  \"tls_facet_cost_4_shards\": {:.3},\n  \"speedup_8_shards_vs_batch\": {:.3},\n  \"arena_2_rounds_requests\": {},\n  \"arena_2_rounds_requests_per_sec\": {:.0},\n  \"stream_equals_batch\": {},\n  \"note\": \"{}\"\n}}\n",
+        "{{\n  \"scale\": {},\n  \"requests\": {},\n  \"host_cores\": {},\n  \"available_parallelism\": {},\n  \"batch_requests_per_sec\": {:.0},\n  \"stream_requests_per_sec\": {{\n{}\n  }},\n  \"stream_requests_per_sec_no_tls_facet\": {:.0},\n  \"tls_facet_cost_4_shards\": {:.3},\n  \"speedup_8_shards_vs_batch\": {:.3},\n  \"ingest_epoch8_keepall_requests_per_sec\": {:.0},\n  \"ingest_epoch8_sliding2_requests_per_sec\": {:.0},\n  \"ingest_epoch8_sliding2_resident_records\": {},\n  \"arena_2_rounds_requests\": {},\n  \"arena_2_rounds_requests_per_sec\": {:.0},\n  \"stream_equals_batch\": {},\n  \"note\": \"{}\"\n}}\n",
         scale.fraction(),
         requests,
         host_cores,
@@ -172,6 +202,9 @@ fn main() {
         no_tls_rps,
         if no_tls_rps > 0.0 { with_tls_4 / no_tls_rps } else { 0.0 },
         shard_rps.last().map(|(_, rps)| rps / batch_rps).unwrap_or(0.0),
+        retain_keepall_rps,
+        retain_sliding_rps,
+        sliding_resident,
         arena_requests,
         arena_rps,
         report.identical(),

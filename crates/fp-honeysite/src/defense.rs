@@ -11,24 +11,41 @@
 //! [`DefenseStack::end_of_round`] drives every member's retraining and
 //! aggregates what it cost.
 //!
+//! Since the bounded-memory refactor the stack also owns the **training
+//! store**: an epoch-segmented [`RequestStore`] that absorbs each round's
+//! labeled records (one epoch per round) *if* any member retrains
+//! ([`StackMember::wants_history`]), applies the stack's
+//! [`RetentionPolicy`] at the seal, and hands every member the retained
+//! [`fp_types::RecordView`] window. Members no longer hoard their own
+//! unbounded record buffers — the store is the single owner of training
+//! history, and the eviction ledger rides in the round's
+//! [`RetrainSpend`].
+//!
 //! [`DefenseStack::default`] is the paper's deployment: the two commercial
 //! simulators plus the cross-layer TLS check, under the shadow (record
 //! everything, serve everything) policy — exactly the pre-redesign
 //! `HoneySite::new()` chain.
 
 use crate::site::HoneySite;
+use crate::store::RequestStore;
 use fp_antibot::{BotD, DataDome};
 use fp_tls::TlsCrossLayer;
 use fp_types::defense::{
     DecisionContext, DecisionPolicy, Frozen, RetrainSpend, RoundContext, StackMember, VoteThreshold,
 };
-use fp_types::{Detector, MitigationAction};
+use fp_types::retention::{RecordView, RetentionPolicy};
+use fp_types::{Detector, MitigationAction, SimTime};
 
-/// The defender's whole apparatus: an ordered member chain plus the policy
-/// that turns the chain's verdicts into responses.
+/// The defender's whole apparatus: an ordered member chain, the policy
+/// that turns the chain's verdicts into responses, and the bounded
+/// training store retraining members mine from.
 pub struct DefenseStack {
     members: Vec<Box<dyn StackMember>>,
     policy: Box<dyn DecisionPolicy>,
+    /// The epoch-segmented training window: one epoch per completed
+    /// round, retention applied at each seal. Populated only while some
+    /// member wants history — a frozen chain costs no memory.
+    training: RequestStore,
 }
 
 impl Default for DefenseStack {
@@ -47,10 +64,34 @@ impl Default for DefenseStack {
 impl DefenseStack {
     /// An empty stack under `policy` (push members to give it teeth).
     pub fn new(policy: Box<dyn DecisionPolicy>) -> DefenseStack {
+        // The training window is only ever read through arrival-ordered
+        // views (members re-mine over `RoundContext::records`); nothing
+        // queries it by cookie or address, so skip the index upkeep.
+        let mut training = RequestStore::new();
+        training.disable_indexing();
         DefenseStack {
             members: Vec::new(),
             policy,
+            training,
         }
+    }
+
+    /// Set the training store's retention policy (applied at every
+    /// round's epoch seal; the default `KeepAll` accumulates every round
+    /// forever — the pre-refactor window).
+    pub fn set_retention(&mut self, policy: RetentionPolicy) {
+        self.training.set_retention(policy);
+    }
+
+    /// The retention policy bounding the training window.
+    pub fn retention(&self) -> RetentionPolicy {
+        self.training.retention()
+    }
+
+    /// The training store: what the retention policy has kept of the
+    /// completed rounds (empty while no member wants history).
+    pub fn training_store(&self) -> &RequestStore {
+        &self.training
     }
 
     /// Append a member; its detectors run after the existing members' in
@@ -86,13 +127,55 @@ impl DefenseStack {
         self.policy.decide(ctx)
     }
 
-    /// Close one measurement round: every member digests the round's
-    /// labeled records (retraining if its cadence says so). Returns the
-    /// aggregate defender spend.
-    pub fn end_of_round(&mut self, epoch: &RoundContext<'_>) -> RetrainSpend {
+    /// Close one measurement round: absorb the round's labeled records
+    /// into the training store as one sealed epoch (when any member
+    /// retrains), apply retention, then let every member digest the
+    /// retained window. Returns the aggregate defender spend, eviction
+    /// ledger included.
+    ///
+    /// `round_records` is the round's admitted, verdict-carrying store
+    /// view; when no member wants history the stack retains nothing and
+    /// members see the round's own records only.
+    pub fn end_of_round(
+        &mut self,
+        round: u32,
+        round_records: RecordView<'_>,
+        now: SimTime,
+    ) -> RetrainSpend {
+        let retains = self.members.iter().any(|m| m.wants_history());
+        let seal = if retains {
+            // Evict what cannot survive the coming seal *before* the
+            // round's records are pushed, so live residency never
+            // transiently exceeds the retention window by the incoming
+            // epoch's worth.
+            let ahead = self.training.evict_ahead();
+            for record in round_records.iter() {
+                self.training.push(record.clone());
+            }
+            let mut seal = self.training.seal_epoch();
+            seal.records_evicted += ahead.records_evicted;
+            seal.segments_evicted += ahead.segments_evicted;
+            Some(seal)
+        } else {
+            None
+        };
+        let window = if retains {
+            self.training.records()
+        } else {
+            round_records
+        };
+        let ctx = RoundContext {
+            round,
+            records: window,
+            now,
+        };
         let mut spend = RetrainSpend::default();
         for member in &mut self.members {
-            spend.absorb(member.end_of_round(epoch));
+            spend.absorb(member.end_of_round(&ctx));
+        }
+        if let Some(seal) = seal {
+            spend.records_evicted += seal.records_evicted;
+            spend.records_resident += seal.resident_records;
         }
         spend
     }
@@ -112,7 +195,7 @@ impl HoneySite {
 mod tests {
     use super::*;
     use fp_types::detect::provenance;
-    use fp_types::{sym, SimTime, Verdict, VerdictSet};
+    use fp_types::{sym, Verdict, VerdictSet};
 
     #[test]
     fn default_stack_matches_the_default_site_chain() {
@@ -156,33 +239,104 @@ mod tests {
         assert_eq!(stack.decide(&ctx), MitigationAction::Block(60));
     }
 
-    #[test]
-    fn end_of_round_aggregates_member_spend() {
-        struct Retrainer;
-        impl StackMember for Retrainer {
-            fn member_name(&self) -> &'static str {
-                "retrainer"
-            }
-            fn detector(&self) -> Box<dyn Detector> {
-                Box::new(BotD::new())
-            }
-            fn end_of_round(&mut self, epoch: &RoundContext<'_>) -> RetrainSpend {
-                RetrainSpend {
-                    retrained_members: 1,
-                    records_scanned: epoch.records.len() as u64,
-                    rules_active: 3,
-                }
+    struct Retrainer;
+    impl StackMember for Retrainer {
+        fn member_name(&self) -> &'static str {
+            "retrainer"
+        }
+        fn detector(&self) -> Box<dyn Detector> {
+            Box::new(BotD::new())
+        }
+        fn wants_history(&self) -> bool {
+            true
+        }
+        fn end_of_round(&mut self, epoch: &RoundContext<'_>) -> RetrainSpend {
+            RetrainSpend {
+                retrained_members: 1,
+                records_scanned: epoch.records.len() as u64,
+                rules_active: 3,
+                ..RetrainSpend::default()
             }
         }
+    }
+
+    #[test]
+    fn end_of_round_aggregates_member_spend() {
         let mut stack = DefenseStack::default();
         stack.push_member(Box::new(Retrainer));
         stack.push_member(Box::new(Retrainer));
-        let spend = stack.end_of_round(&RoundContext {
-            round: 0,
-            records: &[],
-            now: SimTime::EPOCH,
-        });
+        let spend = stack.end_of_round(0, RecordView::empty(), SimTime::EPOCH);
         assert_eq!(spend.retrained_members, 2, "frozen members cost nothing");
         assert_eq!(spend.rules_active, 6);
+    }
+
+    #[test]
+    fn frozen_stacks_retain_no_training_history() {
+        let mut stack = DefenseStack::default();
+        let records = test_records(5);
+        let view = RecordView::from_slice(&records);
+        let spend = stack.end_of_round(0, view, SimTime::EPOCH);
+        assert!(
+            stack.training_store().is_empty(),
+            "nobody asked for history"
+        );
+        assert_eq!(spend.records_resident, 0);
+        assert_eq!(spend.records_evicted, 0);
+    }
+
+    #[test]
+    fn retraining_stacks_accumulate_epochs_under_retention() {
+        let mut stack = DefenseStack::default();
+        stack.push_member(Box::new(Retrainer));
+        stack.set_retention(RetentionPolicy::SlidingWindow { epochs: 2 });
+        assert_eq!(
+            stack.retention(),
+            RetentionPolicy::SlidingWindow { epochs: 2 }
+        );
+        let records = test_records(10);
+        for round in 0..4 {
+            let view = RecordView::from_slice(&records);
+            let spend = stack.end_of_round(round, view, SimTime::EPOCH);
+            let expected_window = 10 * (u64::from(round) + 1).min(2);
+            assert_eq!(
+                spend.records_resident, expected_window,
+                "round {round}: the window is capped at two epochs"
+            );
+            assert_eq!(
+                spend.records_scanned, expected_window,
+                "round {round}: members scan the retained window, not all history"
+            );
+            if round >= 2 {
+                assert_eq!(spend.records_evicted, 10, "one epoch out per round");
+            }
+        }
+        assert_eq!(stack.training_store().len(), 20);
+        assert_eq!(stack.training_store().stats().peak_resident_records, 20);
+    }
+
+    fn test_records(n: u64) -> Vec<fp_types::StoredRequest> {
+        use fp_types::{AttrId, Fingerprint, ServiceId, TrafficSource};
+        (0..n)
+            .map(|i| fp_types::StoredRequest {
+                id: i,
+                time: SimTime::EPOCH,
+                site_token: sym("t"),
+                ip_hash: i,
+                ip_offset_minutes: 0,
+                ip_region: sym("United States of America/California"),
+                ip_lat: 0.0,
+                ip_lon: 0.0,
+                asn: 1,
+                asn_flagged: false,
+                ip_blocklisted: false,
+                tor_exit: false,
+                cookie: i,
+                fingerprint: Fingerprint::new().with(AttrId::UaDevice, "iPhone"),
+                tls: fp_types::TlsFacet::unobserved(),
+                behavior: fp_types::BehaviorTrace::silent(),
+                source: TrafficSource::Bot(ServiceId(1)),
+                verdicts: VerdictSet::new(),
+            })
+            .collect()
     }
 }

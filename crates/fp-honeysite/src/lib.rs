@@ -10,16 +10,20 @@
 //!   worker shards (partitioned by each detector's
 //!   [`fp_types::StateScope`] anchor), verdict-for-verdict
 //!   identical to the sequential path and merged in arrival order.
-//! * [`store::RequestStore`] — the recorded dataset. Raw IPs never reach
+//! * [`store::RequestStore`] — the recorded dataset, organised as epoch
+//!   segments with pluggable [`fp_types::RetentionPolicy`] (default
+//!   `KeepAll`, the pre-refactor behaviour). Raw IPs never reach
 //!   storage: the pipeline derives what analysis needs (ASN class and
 //!   blocklist facts, geolocation, UTC offset) and keeps a salted hash as
 //!   the address identity (the paper's ethics appendix). The
-//!   cookie/address indexes are sharded so the streaming pipeline builds
-//!   them in parallel.
+//!   cookie/address indexes are sharded (per segment) so the streaming
+//!   pipeline builds them in parallel — and eviction drops them wholesale
+//!   with their segment, tombstone-free.
 //! * [`stats`] — campaign statistics: per-service evasion rates (Table 1)
 //!   and the per-day series of Figure 9.
 //! * [`defense`] — the [`DefenseStack`]: the lifecycle-aware defender API
-//!   (member chain + decision policy) a site builds its ingest chain from
+//!   (member chain + decision policy + the epoch-segmented training store
+//!   retraining members mine from) a site builds its ingest chain from
 //!   ([`HoneySite::from_stack`]); `DefenseStack::default()` is exactly the
 //!   `HoneySite::new()` chain under the shadow policy.
 

@@ -297,6 +297,30 @@ mod tests {
     }
 
     #[test]
+    fn stream_adoption_keeps_the_sites_retention_policy() {
+        use fp_types::RetentionPolicy;
+        let mut site = fresh_site();
+        site.set_retention(RetentionPolicy::SlidingWindow { epochs: 1 });
+        site.ingest_stream(requests(30), 2);
+        assert_eq!(
+            site.store().retention(),
+            RetentionPolicy::SlidingWindow { epochs: 1 },
+            "the adopted store must inherit the configured policy"
+        );
+        // The documented streaming recipe — seal after the call — must
+        // enforce the configured window, not silently KeepAll.
+        site.seal_epoch();
+        assert_eq!(
+            site.store().len(),
+            30,
+            "one sealed epoch: inside the window"
+        );
+        let second = site.seal_epoch();
+        assert_eq!(second.records_evicted, 30, "the next seal ages it out");
+        assert!(site.store().is_empty());
+    }
+
+    #[test]
     fn stream_builds_sharded_indexes() {
         let reqs = requests(60);
         let mut site = fresh_site();

@@ -31,6 +31,15 @@ pub struct HoneySite {
     /// `ingest` afterwards would judge stateful detectors from empty
     /// history. Guarded with an assert instead of silently mis-scoring.
     streamed: bool,
+    /// Single-shot epoch cadence: with `Some(n)`, sequential ingest seals
+    /// a store epoch every `n` admitted requests, so a long-running site
+    /// under a bounding [`fp_types::RetentionPolicy`] holds peak resident
+    /// records steady instead of growing forever. `None` (default): the
+    /// caller seals (the arena does, once per round) or nothing does (the
+    /// exact pre-refactor single-segment behaviour).
+    epoch_every: Option<usize>,
+    /// Admitted records since the last seal (drives `epoch_every`).
+    since_seal: usize,
 }
 
 impl Default for HoneySite {
@@ -60,7 +69,32 @@ impl HoneySite {
             cookie_counter: 0,
             rejected: 0,
             streamed: false,
+            epoch_every: None,
+            since_seal: 0,
         }
+    }
+
+    /// Set the store's retention policy (applied at each epoch seal;
+    /// the default [`fp_types::RetentionPolicy::KeepAll`] retains
+    /// everything, exactly the pre-refactor behaviour).
+    pub fn set_retention(&mut self, policy: fp_types::RetentionPolicy) {
+        self.store.set_retention(policy);
+    }
+
+    /// Seal a store epoch automatically every `n` admitted requests of
+    /// sequential ingest — single-shot mode's analogue of the arena's
+    /// seal-per-round. Pass through [`HoneySite::seal_epoch`] to seal by
+    /// hand instead. (The streaming path adopts its store wholesale as
+    /// one epoch; seal after the call if segmenting is wanted.)
+    pub fn set_epoch_every(&mut self, n: usize) {
+        self.epoch_every = (n > 0).then_some(n);
+    }
+
+    /// Close the store's active epoch now and apply retention; returns
+    /// the seal's eviction report.
+    pub fn seal_epoch(&mut self) -> fp_types::SegmentStats {
+        self.since_seal = 0;
+        self.store.seal_epoch()
     }
 
     /// Append a detector to the chain (runs after the existing ones).
@@ -116,7 +150,14 @@ impl HoneySite {
             verdicts.record(name, verdict);
         }
         record.verdicts = verdicts;
-        Some(self.store.push(record))
+        let id = self.store.push(record);
+        if let Some(n) = self.epoch_every {
+            self.since_seal += 1;
+            if self.since_seal >= n {
+                self.seal_epoch();
+            }
+        }
+        Some(id)
     }
 
     /// Ingest a batch in order.
@@ -137,8 +178,12 @@ impl HoneySite {
     }
 
     /// Replace the store (streaming pipeline hand-over) and mark the site
-    /// as stream-ingested (see the `streamed` field).
-    pub(crate) fn set_store(&mut self, store: RequestStore) {
+    /// as stream-ingested (see the `streamed` field). The site's
+    /// configured retention policy carries over to the adopted store —
+    /// `from_parts` builds single-epoch stores and knows nothing of the
+    /// site's bounding choices.
+    pub(crate) fn set_store(&mut self, mut store: RequestStore) {
+        store.set_retention(self.store.retention());
         self.store = store;
         self.streamed = true;
     }
@@ -303,6 +348,27 @@ mod tests {
             !r.verdicts.bot("BotD"),
             "browser-layer detectors saw nothing"
         );
+    }
+
+    #[test]
+    fn single_shot_sites_seal_epochs_per_n_requests() {
+        let mut site = HoneySite::new();
+        site.register_token(sym("tok"));
+        site.set_retention(fp_types::RetentionPolicy::SlidingWindow { epochs: 2 });
+        site.set_epoch_every(4);
+        for _ in 0..20 {
+            site.ingest(request(sym("tok"), None));
+        }
+        // 20 requests / 4 per epoch = 5 seals; a 2-epoch window holds at
+        // most 8 sealed records (the active segment is empty right after
+        // the 5th seal).
+        assert_eq!(site.store().stats().epochs_sealed, 5);
+        assert_eq!(site.store().len(), 8, "peak residency is bounded");
+        assert!(site.store().stats().records_evicted > 0);
+        // Verdict-carrying records are still fully queryable.
+        for r in site.store().iter() {
+            assert!(r.verdicts.verdict("DataDome").is_some());
+        }
     }
 
     #[test]

@@ -1,25 +1,128 @@
-//! The recorded dataset.
+//! The recorded dataset, organised as epoch segments.
 //!
 //! [`StoredRequest`] itself lives in `fp_types::stored` (it is the value the
 //! workspace-wide detector contract observes); this module keeps the
-//! campaign store. Its `by_cookie`/`by_ip` indexes are sharded by
-//! [`fp_types::shard_for`] so the streaming ingest pipeline can build them
-//! on N worker shards and hand them over without a single-threaded
-//! re-index pass.
+//! campaign store. Since the bounded-memory refactor the store is a list
+//! of **epoch segments**: records append into the active segment,
+//! [`RequestStore::seal_epoch`] closes it (one seal per arena round, or
+//! per N requests in single-shot mode) and applies the store's
+//! [`RetentionPolicy`] to the sealed history. Everything about a segment —
+//! its records *and* its sharded `by_cookie`/`by_ip` index maps — lives
+//! together, so eviction drops a segment wholesale: no tombstones, no
+//! index rebuilds, no cross-segment bookkeeping. Queries
+//! ([`RequestStore::with_cookie`], [`RequestStore::with_ip`],
+//! [`RequestStore::get`]) walk segments in order and answer over whatever
+//! is resident.
+//!
+//! Index maps are sharded by [`fp_types::shard_for`] within each segment
+//! so the streaming ingest pipeline can build them on N worker shards and
+//! hand them over without a single-threaded re-index pass; a never-sealed
+//! store is exactly the pre-refactor single-segment store.
 
 pub use fp_types::stored::StoredRequest;
 
+use fp_types::retention::{Epoch, RecordView, RetentionPolicy, SegmentStats};
 use fp_types::{shard_for, CookieId, RequestId};
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
 
-/// The campaign dataset with the indexes analysis needs.
-pub struct RequestStore {
-    requests: Vec<StoredRequest>,
-    /// Index shard count (both indexes use the same partition function).
-    shards: usize,
+/// One epoch's worth of records plus the sharded indexes that answer
+/// queries over them. Positions in the index maps are segment-local.
+struct Segment {
+    epoch: Epoch,
+    records: Vec<StoredRequest>,
     by_cookie: Vec<HashMap<CookieId, Vec<usize>>>,
     by_ip: Vec<HashMap<u64, Vec<usize>>>,
+}
+
+impl Segment {
+    fn new(epoch: Epoch, shards: usize) -> Segment {
+        Segment {
+            epoch,
+            records: Vec::new(),
+            by_cookie: (0..shards).map(|_| HashMap::new()).collect(),
+            by_ip: (0..shards).map(|_| HashMap::new()).collect(),
+        }
+    }
+
+    fn push(&mut self, record: StoredRequest, shards: usize, indexing: bool) {
+        if indexing {
+            let pos = self.records.len();
+            self.by_cookie[shard_for(record.cookie, shards)]
+                .entry(record.cookie)
+                .or_default()
+                .push(pos);
+            self.by_ip[shard_for(record.ip_hash, shards)]
+                .entry(record.ip_hash)
+                .or_default()
+                .push(pos);
+        }
+        self.records.push(record);
+    }
+
+    /// Retain only the records whose arrival index is marked, then
+    /// rebuild this segment's (local) indexes. Used by within-segment
+    /// decay — whole-segment eviction never rebuilds anything.
+    fn retain_marked(&mut self, keep: &[bool], shards: usize, indexing: bool) {
+        let mut idx = 0;
+        self.records.retain(|_| {
+            let kept = keep[idx];
+            idx += 1;
+            kept
+        });
+        if !indexing {
+            return;
+        }
+        for map in self.by_cookie.iter_mut().chain(self.by_ip.iter_mut()) {
+            map.clear();
+        }
+        for pos in 0..self.records.len() {
+            let (cookie, ip_hash) = (self.records[pos].cookie, self.records[pos].ip_hash);
+            self.by_cookie[shard_for(cookie, shards)]
+                .entry(cookie)
+                .or_default()
+                .push(pos);
+            self.by_ip[shard_for(ip_hash, shards)]
+                .entry(ip_hash)
+                .or_default()
+                .push(pos);
+        }
+    }
+
+    /// Record ids are assigned at push time and segments are arrival
+    /// ordered, so within a segment ids are strictly ascending (dense
+    /// until decay thins them) — binary search finds any resident id.
+    fn get(&self, id: RequestId) -> Option<&StoredRequest> {
+        match self.records.binary_search_by_key(&id, |r| r.id) {
+            Ok(pos) => Some(&self.records[pos]),
+            Err(_) => None,
+        }
+    }
+}
+
+/// The campaign dataset with the indexes analysis needs, segmented by
+/// epoch with pluggable retention (default [`RetentionPolicy::KeepAll`] —
+/// the exact pre-refactor ever-growing behaviour).
+pub struct RequestStore {
+    /// Index shard count (both indexes use the same partition function).
+    shards: usize,
+    policy: RetentionPolicy,
+    /// Sealed segments in epoch order (gaps where retention evicted).
+    sealed: Vec<Segment>,
+    /// The segment currently receiving records.
+    active: Segment,
+    /// Next dense id to assign — monotonic across seals and evictions,
+    /// so an id names one record forever even after it is gone.
+    next_id: RequestId,
+    /// Cumulative seal/eviction ledger.
+    stats: SegmentStats,
+    /// Maintain the per-segment cookie/address indexes? Sequential-scan
+    /// consumers (the defense stack's training window) opt out and skip
+    /// the per-record hash inserts entirely.
+    indexing: bool,
+    /// The reference epoch retention was last applied for — lets a seal
+    /// skip the pass [`RequestStore::evict_ahead`] already paid.
+    retained_through: Option<Epoch>,
 }
 
 impl Default for RequestStore {
@@ -38,18 +141,31 @@ impl RequestStore {
     pub fn with_shards(shards: usize) -> RequestStore {
         let shards = shards.max(1);
         RequestStore {
-            requests: Vec::new(),
             shards,
-            by_cookie: (0..shards).map(|_| HashMap::new()).collect(),
-            by_ip: (0..shards).map(|_| HashMap::new()).collect(),
+            policy: RetentionPolicy::KeepAll,
+            sealed: Vec::new(),
+            active: Segment::new(Epoch(0), shards),
+            next_id: 0,
+            stats: SegmentStats::default(),
+            indexing: true,
+            retained_through: None,
         }
+    }
+
+    /// Empty single-shard store under `policy` (applied at every
+    /// [`RequestStore::seal_epoch`]).
+    pub fn with_retention(policy: RetentionPolicy) -> RequestStore {
+        let mut store = RequestStore::new();
+        store.policy = policy;
+        store
     }
 
     /// Assemble a store from parts the streaming pipeline built in
     /// parallel: records in arrival order (ids already dense) plus the
     /// per-shard index maps. `by_cookie[s]` must hold exactly the cookies
     /// with `shard_for(cookie, shards) == s` (same for `by_ip`), with
-    /// positions in arrival order.
+    /// positions in arrival order. The parts become the store's (single)
+    /// active segment.
     pub fn from_parts(
         requests: Vec<StoredRequest>,
         by_cookie: Vec<HashMap<CookieId, Vec<usize>>>,
@@ -65,11 +181,21 @@ impl RequestStore {
             "at least one index shard is required (queries index by shard_for)"
         );
         let shards = by_cookie.len();
+        let next_id = requests.len() as RequestId;
         RequestStore {
-            requests,
             shards,
-            by_cookie,
-            by_ip,
+            policy: RetentionPolicy::KeepAll,
+            sealed: Vec::new(),
+            active: Segment {
+                epoch: Epoch(0),
+                records: requests,
+                by_cookie,
+                by_ip,
+            },
+            next_id,
+            stats: SegmentStats::default(),
+            indexing: true,
+            retained_through: None,
         }
     }
 
@@ -78,91 +204,287 @@ impl RequestStore {
         self.shards
     }
 
+    /// The retention policy applied at each seal.
+    pub fn retention(&self) -> RetentionPolicy {
+        self.policy
+    }
+
+    /// Replace the retention policy (takes effect from the next seal;
+    /// nothing already evicted comes back).
+    pub fn set_retention(&mut self, policy: RetentionPolicy) {
+        self.policy = policy;
+        self.retained_through = None;
+    }
+
+    /// Stop maintaining the cookie/address indexes (must be called on an
+    /// empty store). For sequential-scan consumers — the defense stack's
+    /// training window reads records only through arrival-ordered views,
+    /// so paying two hash inserts per retained record buys nothing.
+    /// Point queries ([`RequestStore::with_cookie`],
+    /// [`RequestStore::with_ip`], cookie aggregates) panic afterwards
+    /// rather than silently answering empty.
+    pub fn disable_indexing(&mut self) {
+        assert!(self.is_empty(), "disable indexing before ingesting");
+        self.indexing = false;
+    }
+
+    /// The epoch currently receiving records.
+    pub fn current_epoch(&self) -> Epoch {
+        self.active.epoch
+    }
+
+    /// The cumulative seal/eviction ledger. `resident_records` is a
+    /// seal-time snapshot; between seals the active segment keeps
+    /// growing, so prefer [`RequestStore::len`] for the live count.
+    pub fn stats(&self) -> &SegmentStats {
+        &self.stats
+    }
+
     /// Append a record (assigns the dense id).
     pub fn push(&mut self, mut record: StoredRequest) -> RequestId {
-        let id = self.requests.len() as RequestId;
+        let id = self.next_id;
+        self.next_id += 1;
         record.id = id;
-        self.by_cookie[shard_for(record.cookie, self.shards)]
-            .entry(record.cookie)
-            .or_default()
-            .push(id as usize);
-        self.by_ip[shard_for(record.ip_hash, self.shards)]
-            .entry(record.ip_hash)
-            .or_default()
-            .push(id as usize);
-        self.requests.push(record);
+        self.active.push(record, self.shards, self.indexing);
         id
     }
 
-    /// Number of stored requests.
+    /// Close the active epoch and apply the retention policy to the
+    /// sealed history: whole segments older than a sliding window are
+    /// dropped wholesale (indexes and all), decaying segments are
+    /// deterministically subsampled. Returns this seal's eviction report;
+    /// the cumulative ledger is available via [`RequestStore::stats`].
+    ///
+    /// An empty active segment still advances the epoch (a quiet round
+    /// ages the history like any other) but stores no segment.
+    pub fn seal_epoch(&mut self) -> SegmentStats {
+        let next = self.active.epoch.next();
+        let finished = std::mem::replace(&mut self.active, Segment::new(next, self.shards));
+        let sealed_epoch = finished.epoch;
+        if !finished.records.is_empty() {
+            self.sealed.push(finished);
+        }
+        let (records_evicted, segments_evicted) = if self.retained_through == Some(sealed_epoch) {
+            (0, 0) // evict_ahead already paid this epoch's retention pass
+        } else {
+            self.apply_retention(sealed_epoch)
+        };
+        self.retained_through = Some(sealed_epoch);
+        let resident = self.len() as u64;
+        let seal = SegmentStats {
+            epochs_sealed: 1,
+            segments_evicted,
+            records_evicted,
+            resident_records: resident,
+            peak_resident_records: resident,
+        };
+        self.stats.absorb(seal);
+        seal
+    }
+
+    /// Apply the retention policy *ahead of* the active epoch's seal:
+    /// segments that cannot survive the next [`RequestStore::seal_epoch`]
+    /// are evicted (and decaying segments subsampled) now, before the
+    /// active epoch fills. Retention ages are computed relative to the
+    /// active epoch — exactly the ages the next seal will use — so the
+    /// seal itself then finds nothing more to drop and live residency
+    /// never transiently exceeds the window while an epoch is being
+    /// ingested. Returns the eviction delta (no epoch is sealed).
+    pub fn evict_ahead(&mut self) -> SegmentStats {
+        let (records_evicted, segments_evicted) =
+            if self.retained_through == Some(self.active.epoch) {
+                (0, 0)
+            } else {
+                self.apply_retention(self.active.epoch)
+            };
+        self.retained_through = Some(self.active.epoch);
+        let resident = self.len() as u64;
+        let ahead = SegmentStats {
+            epochs_sealed: 0,
+            segments_evicted,
+            records_evicted,
+            resident_records: resident,
+            peak_resident_records: resident,
+        };
+        self.stats.absorb(ahead);
+        ahead
+    }
+
+    /// Evict/decay sealed segments with ages computed relative to
+    /// `reference` (the just-sealed epoch at seal time; the active epoch
+    /// for ahead-of-seal eviction). Returns `(records, segments)` evicted.
+    fn apply_retention(&mut self, reference: Epoch) -> (u64, u64) {
+        let indexing = self.indexing;
+        let mut records_evicted = 0u64;
+        let mut segments_evicted = 0u64;
+        match self.policy {
+            RetentionPolicy::KeepAll => {}
+            RetentionPolicy::SlidingWindow { .. } => {
+                self.sealed.retain(|segment| {
+                    let age = reference.0 - segment.epoch.0;
+                    if self.policy.evicts_segment(age) {
+                        records_evicted += segment.records.len() as u64;
+                        segments_evicted += 1;
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+            RetentionPolicy::SampledDecay { floor, .. } => {
+                for segment in &mut self.sealed {
+                    let age = reference.0 - segment.epoch.0;
+                    if age == 0 {
+                        continue; // a segment survives its own seal untouched
+                    }
+                    let threshold = self.policy.survival_rate(age);
+                    let keys: Vec<f64> = segment
+                        .records
+                        .iter()
+                        .map(|r| RetentionPolicy::survival_key(r.id))
+                        .collect();
+                    let mut keep: Vec<bool> = keys.iter().map(|k| *k < threshold).collect();
+                    let surviving = keep.iter().filter(|k| **k).count();
+                    if surviving < floor {
+                        // Top up to the floor with the smallest-key
+                        // records — the same ranking at every age, so
+                        // the kept set stays nested as the segment ages.
+                        let mut ranked: Vec<usize> = (0..keys.len()).collect();
+                        ranked.sort_by(|&a, &b| keys[a].total_cmp(&keys[b]));
+                        for &pos in ranked.iter().take(floor.min(keys.len())) {
+                            keep[pos] = true;
+                        }
+                    }
+                    let kept = keep.iter().filter(|k| **k).count();
+                    if kept < segment.records.len() {
+                        records_evicted += (segment.records.len() - kept) as u64;
+                        segment.retain_marked(&keep, self.shards, indexing);
+                    }
+                }
+                // Segments decayed to nothing (floor 0) drop wholesale.
+                self.sealed.retain(|segment| {
+                    if segment.records.is_empty() {
+                        segments_evicted += 1;
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+        }
+        (records_evicted, segments_evicted)
+    }
+
+    /// Number of resident requests (evicted records no longer count).
     pub fn len(&self) -> usize {
-        self.requests.len()
+        self.sealed.iter().map(|s| s.records.len()).sum::<usize>() + self.active.records.len()
     }
 
-    /// Is the store empty?
+    /// Records ever assigned an id, evicted or not — the id space bound.
+    pub fn total_ingested(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Is the store empty (no resident records)?
     pub fn is_empty(&self) -> bool {
-        self.requests.is_empty()
+        self.len() == 0
     }
 
-    /// All records in ingest order.
+    fn segments(&self) -> impl Iterator<Item = &Segment> {
+        self.sealed.iter().chain(std::iter::once(&self.active))
+    }
+
+    /// All resident records in ingest order, crossing epoch boundaries.
     pub fn iter(&self) -> impl Iterator<Item = &StoredRequest> {
-        self.requests.iter()
+        self.segments().flat_map(|s| s.records.iter())
     }
 
-    /// The records as one arrival-ordered slice — the view the defender
-    /// lifecycle hands to retraining stack members
-    /// (`fp_types::defense::RoundContext::records`).
-    pub fn records(&self) -> &[StoredRequest] {
-        &self.requests
+    /// The resident records as an arrival-ordered epoch view — the shape
+    /// the defender lifecycle hands to retraining stack members
+    /// ([`fp_types::defense::RoundContext::records`]) and every
+    /// record-walking pass consumes. One segment slice per resident
+    /// epoch; a never-sealed store presents the single contiguous slice
+    /// it always did.
+    pub fn records(&self) -> RecordView<'_> {
+        RecordView::new(
+            self.segments()
+                .filter(|s| !s.records.is_empty())
+                .map(|s| &s.records[..])
+                .collect(),
+        )
     }
 
-    /// Record by id.
+    /// Record by id (`None` for ids never assigned *or* evicted).
     pub fn get(&self, id: RequestId) -> Option<&StoredRequest> {
-        self.requests.get(id as usize)
+        if id >= self.next_id {
+            return None;
+        }
+        self.segments().find_map(|s| s.get(id))
     }
 
-    /// Records sharing a cookie, in ingest order.
+    /// Resident records sharing a cookie, in ingest order.
     pub fn with_cookie(&self, cookie: CookieId) -> impl Iterator<Item = &StoredRequest> {
-        self.by_cookie[shard_for(cookie, self.shards)]
-            .get(&cookie)
-            .into_iter()
-            .flatten()
-            .map(move |&i| &self.requests[i])
+        assert!(self.indexing, "point queries need an indexed store");
+        self.segments().flat_map(move |s| {
+            s.by_cookie[shard_for(cookie, self.shards)]
+                .get(&cookie)
+                .into_iter()
+                .flatten()
+                .map(move |&pos| &s.records[pos])
+        })
     }
 
-    /// Records sharing an address hash, in ingest order.
+    /// Resident records sharing an address hash, in ingest order.
     pub fn with_ip(&self, ip_hash: u64) -> impl Iterator<Item = &StoredRequest> {
-        self.by_ip[shard_for(ip_hash, self.shards)]
-            .get(&ip_hash)
-            .into_iter()
-            .flatten()
-            .map(move |&i| &self.requests[i])
+        assert!(self.indexing, "point queries need an indexed store");
+        self.segments().flat_map(move |s| {
+            s.by_ip[shard_for(ip_hash, self.shards)]
+                .get(&ip_hash)
+                .into_iter()
+                .flatten()
+                .map(move |&pos| &s.records[pos])
+        })
     }
 
-    /// Distinct cookies observed.
+    /// Distinct cookies observed among resident records.
     pub fn cookie_count(&self) -> usize {
-        self.by_cookie.iter().map(HashMap::len).sum()
+        assert!(self.indexing, "cookie aggregates need an indexed store");
+        if self.sealed.is_empty() {
+            return self.active.by_cookie.iter().map(HashMap::len).sum();
+        }
+        let mut seen = std::collections::HashSet::new();
+        for segment in self.segments() {
+            for map in &segment.by_cookie {
+                seen.extend(map.keys().copied());
+            }
+        }
+        seen.len()
     }
 
-    /// The cookie with the most requests (Figure 10's device).
+    /// The resident cookie with the most requests (Figure 10's device).
     pub fn top_cookie(&self) -> Option<(CookieId, usize)> {
-        self.by_cookie
-            .iter()
-            .flatten()
-            .map(|(c, v)| (*c, v.len()))
-            .max_by_key(|(c, n)| (*n, *c))
+        assert!(self.indexing, "cookie aggregates need an indexed store");
+        let mut counts: HashMap<CookieId, usize> = HashMap::new();
+        for segment in self.segments() {
+            for map in &segment.by_cookie {
+                for (cookie, positions) in map {
+                    *counts.entry(*cookie).or_default() += positions.len();
+                }
+            }
+        }
+        counts.into_iter().max_by_key(|(c, n)| (*n, *c))
     }
 
-    /// Serialise as JSON lines.
+    /// Serialise resident records as JSON lines.
     pub fn write_jsonl<W: Write>(&self, mut w: W) -> std::io::Result<()> {
-        for r in &self.requests {
+        for r in self.iter() {
             serde_json::to_writer(&mut w, r)?;
             w.write_all(b"\n")?;
         }
         Ok(())
     }
 
-    /// Load from JSON lines (ids are re-assigned densely).
+    /// Load from JSON lines (ids are re-assigned densely, into one epoch).
     pub fn read_jsonl<R: BufRead>(r: R) -> std::io::Result<RequestStore> {
         let mut store = RequestStore::new();
         for line in r.lines() {
@@ -270,14 +592,15 @@ mod tests {
     }
 
     #[test]
-    fn records_slice_matches_iter_order() {
+    fn record_view_matches_iter_order() {
         let mut store = RequestStore::new();
         for i in 0..5 {
             store.push(record(i, i * 3));
         }
-        let slice = store.records();
-        assert_eq!(slice.len(), 5);
-        for (a, b) in store.iter().zip(slice) {
+        let view = store.records();
+        assert_eq!(view.len(), 5);
+        assert_eq!(view.segment_count(), 1, "never-sealed = one segment");
+        for (a, b) in store.iter().zip(view.iter()) {
             assert_eq!(a.id, b.id);
         }
     }
@@ -313,5 +636,235 @@ mod tests {
     fn jsonl_rejects_garbage() {
         let r = RequestStore::read_jsonl(std::io::Cursor::new(b"not json\n".to_vec()));
         assert!(r.is_err());
+    }
+
+    // ── Epoch segmentation & retention ──────────────────────────────────
+
+    /// Fill `store` with `n` records in one epoch and seal it.
+    fn seal_round(store: &mut RequestStore, n: u64, tag: u64) -> SegmentStats {
+        for i in 0..n {
+            store.push(record(tag * 1_000 + i % 13, tag * 1_000 + i % 11));
+        }
+        store.seal_epoch()
+    }
+
+    #[test]
+    fn keep_all_sealing_changes_nothing_observable() {
+        let mut flat = RequestStore::new();
+        let mut sealed = RequestStore::new();
+        for i in 0..30u64 {
+            flat.push(record(i % 7, i % 5));
+            sealed.push(record(i % 7, i % 5));
+            if i % 10 == 9 {
+                let seal = sealed.seal_epoch();
+                assert_eq!(seal.records_evicted, 0, "KeepAll never evicts");
+            }
+        }
+        assert_eq!(sealed.current_epoch(), fp_types::Epoch(3));
+        assert_eq!(flat.len(), sealed.len());
+        let a: Vec<u64> = flat.iter().map(|r| r.id).collect();
+        let b: Vec<u64> = sealed.iter().map(|r| r.id).collect();
+        assert_eq!(a, b, "iteration crosses segment boundaries in order");
+        assert_eq!(sealed.records().segment_count(), 3, "one slice per epoch");
+        for cookie in 0..7 {
+            let x: Vec<u64> = flat.with_cookie(cookie).map(|r| r.id).collect();
+            let y: Vec<u64> = sealed.with_cookie(cookie).map(|r| r.id).collect();
+            assert_eq!(x, y, "cookie {cookie}");
+        }
+        for ip in 0..5 {
+            let x: Vec<u64> = flat.with_ip(ip).map(|r| r.id).collect();
+            let y: Vec<u64> = sealed.with_ip(ip).map(|r| r.id).collect();
+            assert_eq!(x, y, "ip {ip}");
+        }
+        assert_eq!(flat.cookie_count(), sealed.cookie_count());
+        assert_eq!(flat.top_cookie(), sealed.top_cookie());
+        assert_eq!(sealed.get(17).unwrap().id, 17);
+    }
+
+    #[test]
+    fn sliding_window_caps_resident_records() {
+        let mut store = RequestStore::with_retention(RetentionPolicy::SlidingWindow { epochs: 2 });
+        for round in 0..6u64 {
+            let seal = seal_round(&mut store, 20, round);
+            let expected = 20 * (round + 1).min(2) as usize;
+            assert_eq!(store.len(), expected, "round {round}");
+            assert_eq!(seal.resident_records, expected as u64);
+            if round >= 2 {
+                assert_eq!(seal.records_evicted, 20, "one whole epoch per seal");
+                assert_eq!(seal.segments_evicted, 1);
+            }
+        }
+        let stats = store.stats();
+        assert_eq!(stats.epochs_sealed, 6);
+        assert_eq!(stats.records_evicted, 80, "rounds 0–3 evicted");
+        assert_eq!(stats.peak_resident_records, 40, "never more than 2 epochs");
+        // Ids march on even though early records are gone.
+        assert_eq!(store.total_ingested(), 120);
+        assert!(store.get(0).is_none(), "evicted ids answer None");
+        assert!(store.get(119).is_some());
+        // The view exposes only the resident tail, still in order.
+        let ids: Vec<u64> = store.records().iter().map(|r| r.id).collect();
+        assert_eq!(ids.first(), Some(&80));
+        assert_eq!(ids.last(), Some(&119));
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn sliding_window_drops_indexes_with_their_segment() {
+        let mut store = RequestStore::with_retention(RetentionPolicy::SlidingWindow { epochs: 1 });
+        // Same cookie in every epoch: only the resident epoch's entries
+        // may answer.
+        for round in 0..3u64 {
+            for _ in 0..4 {
+                store.push(record(42, 7));
+            }
+            store.seal_epoch();
+            assert_eq!(store.with_cookie(42).count(), 4, "round {round}");
+            assert_eq!(store.with_ip(7).count(), 4);
+        }
+        assert_eq!(store.cookie_count(), 1);
+        assert_eq!(store.top_cookie(), Some((42, 4)));
+    }
+
+    #[test]
+    fn sampled_decay_thins_old_epochs_to_a_floor() {
+        let mut store = RequestStore::with_retention(RetentionPolicy::SampledDecay {
+            keep_rate: 0.5,
+            floor: 5,
+        });
+        let per_round = 64;
+        for round in 0..5u64 {
+            seal_round(&mut store, per_round, round);
+        }
+        // Epoch 4 is fresh (full); epoch 0 has age 4 → ~0.5⁴ ≈ 4 of 64,
+        // floored at 5. Every epoch still has at least the floor.
+        let view = store.records();
+        assert_eq!(view.segment_count(), 5, "decay keeps every epoch alive");
+        let sizes: Vec<usize> = view.segments().iter().map(|s| s.len()).collect();
+        assert_eq!(
+            *sizes.last().unwrap(),
+            per_round as usize,
+            "fresh epoch full"
+        );
+        assert!(sizes[0] >= 5, "floor holds: {sizes:?}");
+        assert!(sizes[0] < sizes[4], "old epochs are thinner: {sizes:?}");
+        assert!(
+            sizes.windows(2).all(|w| w[0] <= w[1]),
+            "monotone thinning with age: {sizes:?}"
+        );
+        assert!(store.stats().records_evicted > 0);
+        // Determinism: an identical run decays identically.
+        let mut twin = RequestStore::with_retention(RetentionPolicy::SampledDecay {
+            keep_rate: 0.5,
+            floor: 5,
+        });
+        for round in 0..5u64 {
+            seal_round(&mut twin, per_round, round);
+        }
+        let a: Vec<u64> = store.iter().map(|r| r.id).collect();
+        let b: Vec<u64> = twin.iter().map(|r| r.id).collect();
+        assert_eq!(a, b);
+        // Indexes were rebuilt consistently: every resident record is
+        // reachable through its cookie.
+        for r in store.iter() {
+            assert!(store.with_cookie(r.cookie).any(|x| x.id == r.id));
+        }
+    }
+
+    #[test]
+    fn evict_ahead_caps_live_residency_before_the_epoch_fills() {
+        let mut store = RequestStore::with_retention(RetentionPolicy::SlidingWindow { epochs: 2 });
+        seal_round(&mut store, 20, 0);
+        seal_round(&mut store, 20, 1);
+        // Without ahead-of-seal eviction, pushing epoch 2's records would
+        // transiently hold 3 epochs' worth. Evicting ahead drops epoch 0
+        // now (it cannot survive epoch 2's seal)…
+        let ahead = store.evict_ahead();
+        assert_eq!(ahead.records_evicted, 20);
+        assert_eq!(ahead.segments_evicted, 1);
+        assert_eq!(ahead.epochs_sealed, 0, "nothing was sealed");
+        assert_eq!(store.len(), 20, "one sealed epoch left, room for the next");
+        // Idempotent within one epoch: evicting ahead again is a no-op.
+        assert_eq!(store.evict_ahead().records_evicted, 0);
+        // …so live residency peaks at exactly the window while epoch 2
+        // fills, and the seal itself finds nothing more to evict.
+        for i in 0..20 {
+            store.push(record(2_000 + i, 2_000 + i));
+        }
+        assert_eq!(store.len(), 40, "window's worth, never window + 1");
+        let seal = store.seal_epoch();
+        assert_eq!(seal.records_evicted, 0, "ahead-eviction already paid");
+        assert_eq!(seal.resident_records, 40);
+    }
+
+    #[test]
+    fn empty_epochs_still_age_the_window() {
+        let mut store = RequestStore::with_retention(RetentionPolicy::SlidingWindow { epochs: 2 });
+        seal_round(&mut store, 10, 0);
+        // Two quiet rounds: the lone populated epoch ages out.
+        store.seal_epoch();
+        let seal = store.seal_epoch();
+        assert_eq!(seal.records_evicted, 10, "quiet rounds age history too");
+        assert!(store.is_empty());
+        assert_eq!(store.records().len(), 0);
+        assert_eq!(store.current_epoch(), fp_types::Epoch(3));
+    }
+
+    #[test]
+    fn unindexed_stores_scan_but_refuse_point_queries() {
+        let mut store = RequestStore::with_retention(RetentionPolicy::SampledDecay {
+            keep_rate: 0.5,
+            floor: 2,
+        });
+        store.disable_indexing();
+        for round in 0..3u64 {
+            seal_round(&mut store, 16, round);
+        }
+        // Sequential views, ids and the ledger all work without indexes —
+        // decay included (it skips the index rebuild).
+        assert!(store.len() < 48, "decay still thins old epochs");
+        assert_eq!(store.records().len(), store.len());
+        assert!(store.iter().all(|r| store.get(r.id).is_some()));
+        assert!(store.stats().records_evicted > 0);
+        // And an unindexed twin decays identically to an indexed one.
+        let mut indexed = RequestStore::with_retention(RetentionPolicy::SampledDecay {
+            keep_rate: 0.5,
+            floor: 2,
+        });
+        for round in 0..3u64 {
+            seal_round(&mut indexed, 16, round);
+        }
+        let a: Vec<u64> = store.iter().map(|r| r.id).collect();
+        let b: Vec<u64> = indexed.iter().map(|r| r.id).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "point queries need an indexed store")]
+    fn unindexed_stores_panic_on_cookie_lookup() {
+        let mut store = RequestStore::new();
+        store.disable_indexing();
+        store.push(record(1, 1));
+        let _ = store.with_cookie(1).count();
+    }
+
+    #[test]
+    #[should_panic(expected = "disable indexing before ingesting")]
+    fn indexing_cannot_be_disabled_after_ingest() {
+        let mut store = RequestStore::new();
+        store.push(record(1, 1));
+        store.disable_indexing();
+    }
+
+    #[test]
+    fn retention_policy_swap_applies_from_next_seal() {
+        let mut store = RequestStore::new();
+        assert_eq!(store.retention(), RetentionPolicy::KeepAll);
+        seal_round(&mut store, 10, 0);
+        seal_round(&mut store, 10, 1);
+        store.set_retention(RetentionPolicy::SlidingWindow { epochs: 1 });
+        assert_eq!(store.len(), 20, "swap alone evicts nothing");
+        seal_round(&mut store, 10, 2);
+        assert_eq!(store.len(), 10, "the next seal enforces the new policy");
     }
 }

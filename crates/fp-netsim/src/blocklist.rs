@@ -78,12 +78,17 @@ pub fn is_tor_exit(ip: Ipv4Addr) -> bool {
     NetDb::lookup(ip).asn.class == AsnClass::TorExit
 }
 
-/// One [`TtlBlocklist`] entry: when it stops binding, and how often the
+/// One [`TtlBlocklist`] entry: when it stops binding, how long its
+/// offense history must be remembered even unbinding, and how often the
 /// address has been (re-)listed — the escalation ladder's memory.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 struct TtlEntry {
     /// First simulated second at which the entry no longer binds.
     expiry: SimTime,
+    /// First simulated second at which non-binding strike memory (see
+    /// [`TtlBlocklist::strike`]) may be swept. Zero for entries whose
+    /// history lives only as long as the ban itself.
+    memory_expiry: SimTime,
     /// Times the address has been listed while this entry existed.
     offenses: u32,
 }
@@ -125,10 +130,32 @@ impl TtlBlocklist {
     pub fn block(&mut self, ip_hash: u64, now: SimTime, ttl_secs: u64) -> u32 {
         let entry = self.entries.entry(ip_hash).or_insert(TtlEntry {
             expiry: now,
+            memory_expiry: SimTime(0),
             offenses: 0,
         });
         let base = entry.expiry.max(now);
         entry.expiry = SimTime(base.0.saturating_add(ttl_secs));
+        entry.offenses = entry.offenses.saturating_add(1);
+        entry.offenses
+    }
+
+    /// Record a *non-binding* offense for `ip_hash` — a strike: the
+    /// offense count moves (returned, 1 for a first strike) and the
+    /// history is remembered for `memory_ttl_secs` of simulated time,
+    /// but nothing is ever denied on its account
+    /// ([`TtlBlocklist::contains`] ignores strike memory). This is what
+    /// a CAPTCHA-then-block policy records for a served challenge: the
+    /// next offense within the memory window sits one rung up the
+    /// ladder, across round boundaries, while a purge sweeps lapsed
+    /// strike memory on the same clock it sweeps lapsed bans.
+    pub fn strike(&mut self, ip_hash: u64, now: SimTime, memory_ttl_secs: u64) -> u32 {
+        let entry = self.entries.entry(ip_hash).or_insert(TtlEntry {
+            expiry: now,
+            memory_expiry: now,
+            offenses: 0,
+        });
+        let candidate = SimTime(now.0.saturating_add(memory_ttl_secs));
+        entry.memory_expiry = entry.memory_expiry.max(candidate);
         entry.offenses = entry.offenses.saturating_add(1);
         entry.offenses
     }
@@ -173,12 +200,14 @@ impl TtlBlocklist {
         self.contains(NetDb::hash_ip(ip), now)
     }
 
-    /// Drop every entry whose expiry has passed — offense history
-    /// included, so a swept repeat offender restarts its escalation ladder.
-    /// Returns how many entries were removed.
+    /// Drop every entry whose expiry — and strike memory, if any — has
+    /// passed; offense history goes with it, so a swept repeat offender
+    /// restarts its escalation ladder. Returns how many entries were
+    /// removed.
     pub fn purge_expired(&mut self, now: SimTime) -> usize {
         let before = self.entries.len();
-        self.entries.retain(|_, entry| now < entry.expiry);
+        self.entries
+            .retain(|_, entry| now < entry.expiry || now < entry.memory_expiry);
         before - self.entries.len()
     }
 
@@ -311,6 +340,85 @@ mod tests {
         list.purge_expired(t0 + 50_000);
         assert_eq!(list.offenses(1), 0);
         assert_eq!(list.block(1, t0 + 60_000, 100), 1);
+    }
+
+    #[test]
+    fn strikes_move_the_ladder_without_ever_binding() {
+        let mut list = TtlBlocklist::new();
+        let t0 = SimTime::from_day(0, 0);
+        assert_eq!(list.strike(6, t0, 10_000), 1);
+        assert_eq!(list.strike(6, t0 + 100, 10_000), 2);
+        // Strikes never deny…
+        assert!(!list.contains(6, t0));
+        assert!(!list.contains(6, t0 + 5_000));
+        // …and cannot be lease-renewed (there is no binding ban).
+        assert!(!list.refresh(6, t0, 1_000));
+        // But the history survives purges for the memory TTL — the
+        // cross-round rung a CAPTCHA-then-block ladder stands on.
+        assert_eq!(list.purge_expired(t0 + 9_000), 0);
+        assert_eq!(list.offenses(6), 2);
+        // A block after a strike escalates from the struck rung and the
+        // entry now binds like any ban.
+        assert_eq!(list.block(6, t0 + 9_000, 500), 3);
+        assert!(list.contains(6, t0 + 9_200));
+        // Once both the ban and the memory lapse, a purge sweeps it all.
+        assert_eq!(list.purge_expired(t0 + 50_000), 1);
+        assert_eq!(list.offenses(6), 0);
+    }
+
+    #[test]
+    fn purge_mid_episode_never_resets_the_binding_ladder() {
+        // The escalation ladder a policy observes *within* a round must
+        // survive purges that happen during the round: purging sweeps
+        // only expired entries, so a binding episode's offense history —
+        // including offenses accumulated before the current lease — is
+        // untouched, and decisions after the purge sit on the same rung
+        // as decisions before it.
+        let mut list = TtlBlocklist::new();
+        let t0 = SimTime::from_day(0, 0);
+        // Two episodes: the first lapses, the second is binding.
+        list.block(8, t0, 100);
+        assert_eq!(list.block(8, t0 + 5_000, 10_000), 2);
+        assert!(list.contains(8, t0 + 6_000));
+        // A mid-episode purge (entry still binding) sweeps nothing.
+        assert_eq!(list.purge_expired(t0 + 6_000), 0);
+        assert_eq!(
+            list.offenses(8),
+            2,
+            "purging while the ban binds must not move the ladder"
+        );
+        // A lease renewal (continued activity during the ban) also rides
+        // through purges without moving the ladder.
+        assert!(list.refresh(8, t0 + 7_000, 10_000));
+        assert_eq!(list.purge_expired(t0 + 8_000), 0);
+        assert_eq!(list.offenses(8), 2, "renewals never count as offenses");
+        assert!(list.contains(8, t0 + 16_000), "the renewed lease binds");
+        // Only once the episode lapses does a purge sweep it — and only
+        // then does the ladder restart.
+        assert_eq!(list.purge_expired(t0 + 50_000), 1);
+        assert_eq!(list.offenses(8), 0);
+        assert_eq!(list.block(8, t0 + 60_000, 100), 1, "fresh episode");
+    }
+
+    #[test]
+    fn refresh_extends_exactly_the_entries_a_purge_would_spare() {
+        // refresh() and purge_expired() agree on what "binding" means:
+        // an entry renewable at `now` is exactly an entry a purge at
+        // `now` keeps. Checked across the expiry boundary.
+        let mut list = TtlBlocklist::new();
+        let t0 = SimTime::from_day(2, 0);
+        list.block(1, t0, 1_000);
+        for offset in [0u64, 500, 999, 1_000, 2_000] {
+            let now = t0 + offset;
+            let mut probe = list.clone();
+            let renewable = probe.refresh(1, now, 1);
+            let mut swept = list.clone();
+            let kept = swept.purge_expired(now) == 0;
+            assert_eq!(
+                renewable, kept,
+                "offset {offset}: refresh and purge must agree on binding"
+            );
+        }
     }
 
     #[test]

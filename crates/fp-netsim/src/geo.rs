@@ -17,8 +17,9 @@ pub struct Region {
     pub timezone: &'static str,
     /// JS-style UTC offset of that timezone, in minutes.
     pub offset_minutes: i32,
-    /// Representative coordinates (for the Figure 8 heatmaps).
+    /// Representative latitude (for the Figure 8 heatmaps).
     pub lat: f64,
+    /// Representative longitude (for the Figure 8 heatmaps).
     pub lon: f64,
 }
 
@@ -247,9 +248,13 @@ pub fn regions_of(country: &str) -> Vec<usize> {
 /// States, Canada, Europe, France.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum GeoTarget {
+    /// Residential proxies advertised as US-based.
     UnitedStates,
+    /// Residential proxies advertised as Canadian.
     Canada,
+    /// The pan-European pool (any EU region qualifies).
     Europe,
+    /// Residential proxies advertised as French.
     France,
 }
 

@@ -12,6 +12,10 @@
 //!   82.54 % / 15.86 % coverages;
 //! * a Tor-exit predicate for the Appendix G experiments.
 
+// The network substrate is consumed by every ingest path and the arena's
+// admission gate; like fp-types, its public surface is contract.
+#![deny(missing_docs)]
+
 pub mod asn;
 pub mod blocklist;
 pub mod geo;

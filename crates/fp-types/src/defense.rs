@@ -11,16 +11,19 @@
 //!   identity, time, prior offenses) to a [`MitigationAction`]. The old
 //!   global vote threshold is one implementation ([`VoteThreshold`]);
 //!   per-detector weights ([`WeightedVotes`]), per-detector actions
-//!   ([`PerDetectorActions`]) and escalating TTLs keyed on repeat offenses
-//!   ([`EscalatingTtl`]) are others.
+//!   ([`PerDetectorActions`]), escalating TTLs keyed on repeat offenses
+//!   ([`EscalatingTtl`]) and the CAPTCHA-then-block hybrid
+//!   ([`CaptchaEscalation`]) are others.
 //! * [`StackMember`] — one lifecycle-aware slot in a defense stack: it
 //!   *produces* a fresh [`Detector`] for each measurement round and may
-//!   retrain itself from the round's labeled records when the round ends
+//!   retrain itself from the retained training window when the round ends
 //!   ([`StackMember::end_of_round`]). Members that never retrain wrap any
 //!   plain detector in [`Frozen`].
 //! * [`RoundContext`] / [`RetrainSpend`] — what a member sees at the end
-//!   of a round, and what its retraining cost (the defender-side
-//!   counterpart of the adversary's mutation spend).
+//!   of a round (the epoch-aware [`RecordView`] over whatever the stack's
+//!   retention policy kept), and what its retraining cost (the
+//!   defender-side counterpart of the adversary's mutation spend), plus
+//!   the retention ledger (records evicted/resident at the seal).
 //!
 //! The concrete `DefenseStack` that owns a member chain plus a policy is
 //! assembled one layer up (in `fp-honeysite`, where the default commercial
@@ -31,7 +34,7 @@ use crate::clock::SimTime;
 use crate::detect::{Detector, VerdictSet};
 use crate::interner::Symbol;
 use crate::mitigation::MitigationAction;
-use crate::stored::StoredRequest;
+use crate::retention::RecordView;
 
 /// Everything a [`DecisionPolicy`] may consult when deciding one request.
 ///
@@ -64,6 +67,20 @@ pub trait DecisionPolicy: Send {
 
     /// Decide one request.
     fn decide(&self, ctx: &DecisionContext<'_>) -> MitigationAction;
+
+    /// Should served CAPTCHAs be recorded as offenses on the blocklist's
+    /// escalation ladder, and for how long must that memory live?
+    /// `Some(memory_ttl_secs)` makes the mitigation loop record each
+    /// served challenge as a *non-binding* strike (offense count moves,
+    /// nothing is denied, history survives purges for the TTL — so the
+    /// ladder climbs across round boundaries). Default `None`: most
+    /// policies key escalation on blocks alone. [`CaptchaEscalation`]
+    /// opts in — its "first offense Captcha, repeat offenses Block"
+    /// ladder needs the first challenge remembered. Wrapping policies
+    /// should forward their inner policy's answer.
+    fn captcha_strike_ttl(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// The pre-redesign global policy: act when at least `min_votes` detectors
@@ -314,18 +331,88 @@ impl DecisionPolicy for EscalatingTtl {
             other => other,
         }
     }
+
+    fn captcha_strike_ttl(&self) -> Option<u64> {
+        self.inner.captcha_strike_ttl()
+    }
+}
+
+/// CAPTCHA-then-block hybrid: wraps any trigger policy; an address's
+/// *first* offense is answered with a CAPTCHA challenge (visible, but
+/// nothing is denied and the same address can try again), and every
+/// repeat offense is answered with a TTL block. The ROADMAP's
+/// "CAPTCHA + block hybrid" policy.
+///
+/// The first challenge must be remembered for "repeat" to mean anything,
+/// so this policy opts into [`DecisionPolicy::captcha_strike_ttl`]: the
+/// mitigation loop records each served CAPTCHA as a *non-binding* strike
+/// on the TTL blocklist (offense count moves, nothing is denied) whose
+/// memory lives as long as this policy's block TTL — so a challenged
+/// address that comes back next round is blocked, not re-challenged.
+/// Escalation memory therefore lives exactly where block escalation's
+/// does — in the blocklist entry — and a purge sweeps lapsed strike
+/// memory on the same clock it sweeps lapsed bans.
+pub struct CaptchaEscalation {
+    name: String,
+    inner: Box<dyn DecisionPolicy>,
+    block_ttl_secs: u64,
+}
+
+impl CaptchaEscalation {
+    /// Wrap `inner`: whenever it decides any visible action, answer the
+    /// address's first offense with a CAPTCHA and repeats with
+    /// `Block(block_ttl_secs)`. Invisible decisions (Allow, ShadowFlag)
+    /// pass through untouched.
+    pub fn new(inner: Box<dyn DecisionPolicy>, block_ttl_secs: u64) -> CaptchaEscalation {
+        CaptchaEscalation {
+            name: format!("captcha-then-block-{}", inner.name()),
+            inner,
+            block_ttl_secs,
+        }
+    }
+
+    /// The TTL of the blocks issued to repeat offenders.
+    pub fn block_ttl_secs(&self) -> u64 {
+        self.block_ttl_secs
+    }
+}
+
+impl DecisionPolicy for CaptchaEscalation {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&self, ctx: &DecisionContext<'_>) -> MitigationAction {
+        match self.inner.decide(ctx) {
+            MitigationAction::Captcha | MitigationAction::Block(_) => {
+                if ctx.prior_offenses == 0 {
+                    MitigationAction::Captcha
+                } else {
+                    MitigationAction::Block(self.block_ttl_secs)
+                }
+            }
+            invisible => invisible,
+        }
+    }
+
+    fn captcha_strike_ttl(&self) -> Option<u64> {
+        Some(self.block_ttl_secs)
+    }
 }
 
 /// What a lifecycle-aware stack member sees when one measurement round
-/// ends: the round index, the round's admitted records (arrival order,
+/// ends: the round index, the retained training window (arrival order,
 /// verdicts attached) and the round's closing timestamp.
 pub struct RoundContext<'a> {
     /// The index of the round that just completed.
     pub round: u32,
-    /// The round's admitted, verdict-carrying records, in arrival order —
-    /// the incremental store view a retraining member appends to its
-    /// training window.
-    pub records: &'a [StoredRequest],
+    /// The verdict-carrying training window, in arrival order — the
+    /// epoch-aware view over whatever records the stack's retention
+    /// policy kept (under `KeepAll`, every completed round including
+    /// this one; under a sliding window, only the recent epochs).
+    /// Members retrain over this view directly instead of accumulating
+    /// an owned unbounded buffer.
+    pub records: RecordView<'a>,
     /// The simulated timestamp at which the round closed.
     pub now: SimTime,
 }
@@ -343,25 +430,41 @@ pub struct RetrainSpend {
     /// Model terms live after the round (rule count for rule-based
     /// members; 0 for members without an explicit model).
     pub rules_active: u64,
+    /// Training records the stack's retention policy evicted at this
+    /// round's epoch seal. Written by the stack's retention bookkeeping,
+    /// not by members (members report 0).
+    pub records_evicted: u64,
+    /// Training records resident in the stack's window after this
+    /// round's seal — what the next re-mine will scan. Written by the
+    /// stack's retention bookkeeping, not by members (members report 0).
+    pub records_resident: u64,
 }
 
 impl RetrainSpend {
     /// Merge another member's (or round-slice's) spend into this one.
-    /// `rules_active` sums — it is a stack-wide model size.
+    /// `rules_active` sums — it is a stack-wide model size. The retention
+    /// fields sum too, which is safe because exactly one writer (the
+    /// stack) sets them.
     pub fn absorb(&mut self, other: RetrainSpend) {
         self.retrained_members += other.retrained_members;
         self.records_scanned += other.records_scanned;
         self.rules_active += other.rules_active;
+        self.records_evicted += other.records_evicted;
+        self.records_resident += other.records_resident;
     }
 }
 
 /// One lifecycle-aware slot in a defense stack.
 ///
-/// A member owns whatever long-lived training state its detector needs and
-/// hands out a *fresh-state* [`Detector`] per measurement round (the same
-/// fork discipline the shard pipeline uses). When a round ends, the stack
-/// calls [`StackMember::end_of_round`] with the round's labeled records;
-/// stateful members retrain there and their next `detector()` reflects it.
+/// A member owns whatever model state its detector needs and hands out a
+/// *fresh-state* [`Detector`] per measurement round (the same fork
+/// discipline the shard pipeline uses). When a round ends, the stack
+/// calls [`StackMember::end_of_round`] with the retained training window
+/// ([`RoundContext::records`]); stateful members retrain over that view
+/// and their next `detector()` reflects it. Members do **not** accumulate
+/// their own record buffers — the stack's epoch-segmented store is the
+/// single owner of training history, and a member that needs it says so
+/// via [`StackMember::wants_history`].
 pub trait StackMember: Send {
     /// The member's provenance name (matches the detectors it produces).
     fn member_name(&self) -> &'static str;
@@ -369,6 +472,16 @@ pub trait StackMember: Send {
     /// A fresh detector instance reflecting the member's current training
     /// state — what the next round's ingest chain runs.
     fn detector(&self) -> Box<dyn Detector>;
+
+    /// Does this member retrain from past rounds' records? When any
+    /// member answers `true`, the owning stack retains round records in
+    /// its epoch-segmented training store (under its retention policy)
+    /// and hands the window to every member's `end_of_round`. When no
+    /// member does, the stack retains nothing — a frozen chain costs no
+    /// memory. Default `false`.
+    fn wants_history(&self) -> bool {
+        false
+    }
 
     /// Digest one completed round. Members that retrain do it here and
     /// report what it cost; the default is a no-op (a frozen member).
@@ -407,6 +520,7 @@ impl StackMember for Frozen {
 mod tests {
     use super::*;
     use crate::detect::{provenance, StateScope, Verdict};
+    use crate::stored::StoredRequest;
     use crate::sym;
 
     fn verdicts(bots: &[&str], humans: &[&str]) -> VerdictSet {
@@ -552,20 +666,98 @@ mod tests {
     }
 
     #[test]
+    fn captcha_escalation_challenges_first_then_blocks() {
+        let policy = CaptchaEscalation::new(
+            Box::new(VoteThreshold::any("block", MitigationAction::Block(500))),
+            9_000,
+        );
+        assert_eq!(policy.name(), "captcha-then-block-block");
+        assert_eq!(policy.block_ttl_secs(), 9_000);
+        assert_eq!(
+            policy.captcha_strike_ttl(),
+            Some(9_000),
+            "first challenges must be remembered for the block TTL"
+        );
+        let flagged = verdicts(&["a"], &[]);
+        // First offense: a challenge, never a denial.
+        assert_eq!(policy.decide(&ctx(&flagged, 0)), MitigationAction::Captcha);
+        // Every repeat offense: a block with the policy's own TTL (not
+        // the inner trigger's).
+        assert_eq!(
+            policy.decide(&ctx(&flagged, 1)),
+            MitigationAction::Block(9_000)
+        );
+        assert_eq!(
+            policy.decide(&ctx(&flagged, 7)),
+            MitigationAction::Block(9_000)
+        );
+        // Clean requests pass through regardless of history.
+        let clean = verdicts(&[], &["a"]);
+        assert_eq!(policy.decide(&ctx(&clean, 3)), MitigationAction::Allow);
+    }
+
+    #[test]
+    fn captcha_escalation_composes_with_ttl_escalation() {
+        // The hybrid's repeat-offender blocks can ride the TTL ladder:
+        // escalating(captcha-then-block) blocks at base·mult^offenses.
+        let hybrid = CaptchaEscalation::new(
+            Box::new(VoteThreshold::any("t", MitigationAction::Captcha)),
+            1_000,
+        );
+        let policy = EscalatingTtl::new(Box::new(hybrid), 1_000, 3, 100_000);
+        assert_eq!(
+            policy.captcha_strike_ttl(),
+            Some(1_000),
+            "wrappers must forward the strike opt-in"
+        );
+        let flagged = verdicts(&["a"], &[]);
+        assert_eq!(policy.decide(&ctx(&flagged, 0)), MitigationAction::Captcha);
+        assert_eq!(
+            policy.decide(&ctx(&flagged, 2)),
+            MitigationAction::Block(9_000)
+        );
+    }
+
+    #[test]
+    fn plain_policies_do_not_strike_on_captcha() {
+        assert_eq!(VoteThreshold::shadow().captcha_strike_ttl(), None);
+        assert_eq!(
+            VoteThreshold::any("c", MitigationAction::Captcha).captcha_strike_ttl(),
+            None
+        );
+        let esc = EscalatingTtl::new(
+            Box::new(VoteThreshold::any("b", MitigationAction::Block(1))),
+            1,
+            2,
+            10,
+        );
+        assert_eq!(
+            esc.captcha_strike_ttl(),
+            None,
+            "forwarding preserves the default"
+        );
+    }
+
+    #[test]
     fn retrain_spend_absorbs() {
         let mut spend = RetrainSpend {
             retrained_members: 1,
             records_scanned: 10,
             rules_active: 5,
+            ..RetrainSpend::default()
         };
         spend.absorb(RetrainSpend {
             retrained_members: 0,
             records_scanned: 3,
             rules_active: 2,
+            records_evicted: 4,
+            records_resident: 20,
         });
         assert_eq!(spend.retrained_members, 1);
         assert_eq!(spend.records_scanned, 13);
         assert_eq!(spend.rules_active, 7);
+        assert_eq!(spend.records_evicted, 4);
+        assert_eq!(spend.records_resident, 20);
     }
 
     struct CountingDetector(u32);
@@ -592,9 +784,10 @@ mod tests {
     fn frozen_member_forks_fresh_detectors_and_never_retrains() {
         let mut member = Frozen::new(Box::new(CountingDetector(7)));
         assert_eq!(member.member_name(), "counting");
+        assert!(!member.wants_history(), "frozen members retain nothing");
         let spend = member.end_of_round(&RoundContext {
             round: 0,
-            records: &[],
+            records: crate::retention::RecordView::empty(),
             now: SimTime::EPOCH,
         });
         assert_eq!(spend, RetrainSpend::default());

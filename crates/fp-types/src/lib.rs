@@ -24,8 +24,14 @@
 //! * [`defense`] — the defender-side lifecycle contract: a
 //!   [`DecisionPolicy`] maps each request's recorded verdicts to a
 //!   [`MitigationAction`] (vote thresholds, per-detector weights/actions,
-//!   escalating TTLs), and a [`StackMember`] produces a fresh detector per
-//!   round and may retrain itself from the round's labeled records.
+//!   escalating TTLs, CAPTCHA-then-block hybrids), and a [`StackMember`]
+//!   produces a fresh detector per round and may retrain itself from the
+//!   retained training window.
+//! * [`retention`] — the bounded-memory contract: [`Epoch`]-segmented
+//!   storage, pluggable [`RetentionPolicy`]s (keep-all, sliding window,
+//!   sampled decay), the [`SegmentStats`] eviction ledger, and the
+//!   epoch-aware [`RecordView`] every record-walking pass consumes
+//!   instead of one ever-growing contiguous slice.
 //! * [`SimTime`] / [`SimClock`] — simulated time, counted from the start of
 //!   the paper's three-month study window (2023-09-01).
 //! * [`mix`] — deterministic splittable hashing used wherever a generator or
@@ -45,6 +51,7 @@ pub mod label;
 pub mod mitigation;
 pub mod mix;
 pub mod request;
+pub mod retention;
 pub mod scale;
 pub mod stored;
 pub mod tls;
@@ -53,8 +60,8 @@ pub mod value;
 pub use attr::AttrId;
 pub use clock::{SimClock, SimTime, STUDY_DAYS, STUDY_EPOCH_UNIX};
 pub use defense::{
-    DecisionContext, DecisionPolicy, EscalatingTtl, Frozen, PerDetectorActions, RetrainSpend,
-    RoundContext, StackMember, VoteThreshold, WeightedVotes,
+    CaptchaEscalation, DecisionContext, DecisionPolicy, EscalatingTtl, Frozen, PerDetectorActions,
+    RetrainSpend, RoundContext, StackMember, VoteThreshold, WeightedVotes,
 };
 pub use detect::{Detector, StateScope, Verdict, VerdictSet};
 pub use fingerprint::Fingerprint;
@@ -63,6 +70,7 @@ pub use label::{Cohort, PrivacyTech, ServiceId, TrafficSource};
 pub use mitigation::{MitigationAction, RoundOutcome};
 pub use mix::{mix2, mix3, shard_for, splitmix64, unit_f64, Splittable};
 pub use request::{BehaviorTrace, CookieId, PointerStats, Request, RequestId};
+pub use retention::{Epoch, RecordView, RetentionPolicy, SegmentStats};
 pub use scale::Scale;
 pub use stored::StoredRequest;
 pub use tls::TlsFacet;

@@ -6,7 +6,7 @@
 //! bottom of the dependency graph.
 
 use crate::clock::SimTime;
-use crate::detect::{provenance, VerdictSet};
+use crate::detect::VerdictSet;
 use crate::fingerprint::Fingerprint;
 use crate::interner::Symbol;
 use crate::label::TrafficSource;
@@ -61,53 +61,10 @@ pub struct StoredRequest {
     pub verdicts: VerdictSet,
 }
 
-impl StoredRequest {
-    /// Compat accessor: DataDome's real-time verdict (true = bot).
-    #[deprecated(
-        since = "0.1.0",
-        note = "read the named verdict set instead: \
-                `verdicts.bot_sym(detect::provenance::datadome_sym())` (hot \
-                loops) or `verdicts.bot(detect::provenance::DATADOME)`"
-    )]
-    pub fn datadome_bot(&self) -> bool {
-        self.verdicts.bot_sym(provenance::datadome_sym())
-    }
-
-    /// Compat accessor: BotD's real-time verdict (true = bot).
-    #[deprecated(
-        since = "0.1.0",
-        note = "read the named verdict set instead: \
-                `verdicts.bot_sym(detect::provenance::botd_sym())` (hot \
-                loops) or `verdicts.bot(detect::provenance::BOTD)`"
-    )]
-    pub fn botd_bot(&self) -> bool {
-        self.verdicts.bot_sym(provenance::botd_sym())
-    }
-
-    /// Did the request evade DataDome?
-    #[deprecated(
-        since = "0.1.0",
-        note = "read the named verdict set instead: \
-                `!verdicts.bot_sym(detect::provenance::datadome_sym())`"
-    )]
-    pub fn evaded_datadome(&self) -> bool {
-        !self.verdicts.bot_sym(provenance::datadome_sym())
-    }
-
-    /// Did the request evade BotD?
-    #[deprecated(
-        since = "0.1.0",
-        note = "read the named verdict set instead: \
-                `!verdicts.bot_sym(detect::provenance::botd_sym())`"
-    )]
-    pub fn evaded_botd(&self) -> bool {
-        !self.verdicts.bot_sym(provenance::botd_sym())
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::detect::provenance;
     use crate::{sym, AttrId, ServiceId};
 
     fn record() -> StoredRequest {
@@ -134,19 +91,20 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn compat_accessors_read_the_verdict_set() {
+    fn named_verdict_reads_cover_both_services() {
+        // The canonical reads the PR-4-deprecated (now removed) compat
+        // accessors pointed at: interned-symbol lookups per service.
         let r = record();
-        assert!(!r.datadome_bot());
-        assert!(r.botd_bot());
-        assert!(r.evaded_datadome());
-        assert!(!r.evaded_botd());
-        // The deprecated accessors and the canonical reads agree.
+        assert!(!r.verdicts.bot_sym(provenance::datadome_sym()));
+        assert!(r.verdicts.bot_sym(provenance::botd_sym()));
         assert_eq!(
-            r.datadome_bot(),
-            r.verdicts.bot_sym(provenance::datadome_sym())
+            r.verdicts.bot_sym(provenance::datadome_sym()),
+            r.verdicts.bot(provenance::DATADOME)
         );
-        assert_eq!(r.botd_bot(), r.verdicts.bot_sym(provenance::botd_sym()));
+        assert_eq!(
+            r.verdicts.bot_sym(provenance::botd_sym()),
+            r.verdicts.bot(provenance::BOTD)
+        );
     }
 
     #[test]

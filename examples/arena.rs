@@ -11,7 +11,10 @@
 //!   ever denied;
 //! * `block` adds TTL-blocklist enforcement at admission: the fleet walks
 //!   off flagged ASNs and across geographies (§6), paying a measurable
-//!   mutation cost per evading request.
+//!   mutation cost per evading request;
+//! * `captcha+block` (the [`CaptchaEscalation`] hybrid) challenges an
+//!   address's first offense and blocks its repeats — visible like
+//!   `captcha`, denying like `block`, but first contact is never denied.
 //!
 //! ```sh
 //! cargo run --release --example arena
@@ -20,7 +23,7 @@
 use fp_inconsistent::arena::{Arena, ArenaConfig, ResponsePolicy};
 use fp_inconsistent::prelude::*;
 use fp_inconsistent::types::detect::provenance;
-use fp_inconsistent::types::Cohort;
+use fp_inconsistent::types::{CaptchaEscalation, Cohort};
 
 const ROUNDS: u32 = 5;
 
@@ -37,7 +40,7 @@ fn main() {
             seed: 0xF91C0DE,
             shards: 1,
             policy,
-            remine_cadence: None,
+            ..ArenaConfig::default()
         });
         arena.adaptive_defaults();
         arena.run(ROUNDS);
@@ -91,9 +94,64 @@ fn main() {
         }
     }
 
+    // The fifth row: the CAPTCHA-then-block hybrid, installed through the
+    // richer `DecisionPolicy` slot (it needs offense history, which the
+    // static `ResponsePolicy` table rows ignore by design).
+    let block = ResponsePolicy::block(fp_inconsistent::arena::DEFAULT_BLOCK_TTL_SECS);
+    let mut arena = Arena::new(ArenaConfig {
+        scale: Scale::ratio(0.01),
+        seed: 0xF91C0DE,
+        shards: 1,
+        policy: block,
+        ..ArenaConfig::default()
+    });
+    arena.set_policy(Box::new(CaptchaEscalation::new(
+        Box::new(block),
+        fp_inconsistent::arena::DEFAULT_BLOCK_TTL_SECS,
+    )));
+    arena.adaptive_defaults();
+    arena.run(ROUNDS);
+    let trajectory = arena.trajectory();
+    let spatial = trajectory.recall_trajectory(provenance::FP_SPATIAL, Cohort::BotService);
+    let half_life = trajectory
+        .evasion_half_life(provenance::FP_SPATIAL, Cohort::BotService)
+        .map(|hl| format!("{hl:.1} rds"))
+        .unwrap_or_else(|| "holds".into());
+    let denied: u64 = trajectory
+        .rounds
+        .iter()
+        .map(|r| r.denied.iter().sum::<u64>())
+        .sum();
+    let mutated: u64 = trajectory
+        .rounds
+        .iter()
+        .map(|r| r.mutation.mutated_attrs)
+        .sum();
+    let fpr = trajectory.fpr_trajectory(provenance::FP_SPATIAL);
     println!(
-        "\nOnly visible mitigation teaches the adversary; only blocking \
-         moves its network footprint. Run `arena_table` for the full \
+        "{:<10}{:>11.1}%{:>11.1}%{:>12}{:>12}{:>14}{:>11.1}%",
+        "capt+blk",
+        spatial[0] * 100.0,
+        spatial.last().unwrap() * 100.0,
+        half_life,
+        denied,
+        mutated,
+        fpr.last().unwrap() * 100.0,
+    );
+    assert!(
+        *spatial.last().unwrap() < spatial[0],
+        "the hybrid is visible mitigation: the adversary must adapt"
+    );
+    assert!(mutated > 0);
+    assert!(
+        denied > 0,
+        "repeat offenders graduate to blocks that bind at admission"
+    );
+
+    println!(
+        "\nOnly visible mitigation teaches the adversary; only the blocking \
+         policies move its network footprint — the hybrid does both while \
+         never denying a first contact. Run `arena_table` for the full \
          per-round trajectories."
     );
 }

@@ -51,6 +51,7 @@ fn main() {
             shards: 1,
             policy: ResponsePolicy::block(base_ttl),
             remine_cadence: cadence,
+            ..ArenaConfig::default()
         });
         if escalate {
             arena.set_policy(Box::new(

@@ -85,5 +85,8 @@ pub mod prelude {
     pub use fp_honeysite::{DefenseStack, HoneySite, RequestStore};
     pub use fp_inconsistent_core::{FpInconsistent, MineConfig, RuleSet};
     pub use fp_types::defense::{DecisionPolicy, StackMember};
-    pub use fp_types::{AttrId, AttrValue, Fingerprint, Request, Scale, ServiceId, SimTime};
+    pub use fp_types::{
+        AttrId, AttrValue, Fingerprint, RecordView, Request, RetentionPolicy, Scale, ServiceId,
+        SimTime,
+    };
 }

@@ -9,7 +9,13 @@
 //!   nothing;
 //! * truthful real users' false-positive rates stay flat under every
 //!   shipped policy;
-//! * shard invariance holds inside arena rounds.
+//! * shard invariance holds inside arena rounds;
+//! * a sliding-window retention policy bounds the re-mining defender's
+//!   resident memory and scan spend on a long-horizon (12-round) arena
+//!   while keeping the recall clawback within a few points of the
+//!   unbounded window;
+//! * the CAPTCHA-then-block hybrid challenges first offenders and blocks
+//!   recidivists.
 
 use fp_arena::{
     Arena, ArenaConfig, Composite, DefenseStack, FingerprintMutation, IpRotation, ResponsePolicy,
@@ -17,7 +23,7 @@ use fp_arena::{
 };
 use fp_bench::{recorded_cohort_campaign, CAMPAIGN_SEED};
 use fp_types::detect::provenance;
-use fp_types::{Cohort, MitigationAction, Scale};
+use fp_types::{CaptchaEscalation, Cohort, MitigationAction, RetentionPolicy, Scale};
 
 fn block_config(scale: f64, seed: u64) -> ArenaConfig {
     ArenaConfig {
@@ -25,7 +31,7 @@ fn block_config(scale: f64, seed: u64) -> ArenaConfig {
         seed,
         shards: 1,
         policy: ResponsePolicy::block(DEFAULT_BLOCK_TTL_SECS),
-        remine_cadence: None,
+        ..ArenaConfig::default()
     }
 }
 
@@ -45,7 +51,7 @@ fn round0_is_identical_to_the_single_shot_campaign() {
             seed: CAMPAIGN_SEED,
             shards: 1,
             policy: ResponsePolicy::block(DEFAULT_BLOCK_TTL_SECS),
-            remine_cadence: None,
+            ..ArenaConfig::default()
         },
         DefenseStack::default(),
     );
@@ -192,7 +198,7 @@ fn truthful_user_fpr_stays_flat_under_every_policy() {
             seed: 23,
             shards: 1,
             policy,
-            remine_cadence: None,
+            ..ArenaConfig::default()
         });
         arena.adaptive_defaults();
         arena.run(3);
@@ -357,4 +363,283 @@ fn shard_invariance_holds_with_remining_on() {
             a.round
         );
     }
+}
+
+/// The bounded-memory claim, end to end on a long-horizon (12-round)
+/// adaptive arena with cadence-1 re-mining: under
+/// `SlidingWindow { epochs: 2 }` the defender's peak resident training
+/// records hold at ≤ 2 rounds' worth while the unbounded `KeepAll` window
+/// grows linearly; the re-mining scan spend drops accordingly; and the
+/// post-mutation recall clawback stays within 5 points of the unbounded
+/// trajectory — forgetting stale epochs costs almost nothing, because the
+/// rules that matter key on what the fleet looks like *now*.
+#[test]
+fn sliding_window_bounds_memory_and_spend_on_a_long_arena() {
+    const ROUNDS: u32 = 12;
+    let run = |retention: RetentionPolicy| {
+        let mut config = block_config(0.005, CAMPAIGN_SEED);
+        config.remine_cadence = Some(1);
+        config.retention = retention;
+        let mut arena = Arena::new(config);
+        arena.adaptive_defaults();
+        arena.run(ROUNDS);
+        arena.into_trajectory()
+    };
+    let unbounded = run(RetentionPolicy::KeepAll);
+    let windowed = run(RetentionPolicy::SlidingWindow { epochs: 2 });
+
+    // Per-round admitted volume (the windowed arena's own rounds, so the
+    // bound is stated against the traffic it actually saw).
+    let round_sizes: Vec<u64> = windowed
+        .rounds
+        .iter()
+        .map(|r| r.cohorts.cohort_sizes.iter().sum::<u64>())
+        .collect();
+    let max_round = *round_sizes.iter().max().unwrap();
+
+    // 1. Peak resident records: bounded at ≤ 2 rounds' worth under the
+    //    window; linear growth (≈ the whole campaign) without it.
+    let peak_windowed = windowed.peak_resident_records();
+    let peak_unbounded = unbounded.peak_resident_records();
+    assert!(
+        peak_windowed <= 2 * max_round,
+        "a 2-epoch window must hold peak residency at ≤ 2 rounds' worth: \
+         peak {peak_windowed}, max round {max_round}"
+    );
+    let total_unbounded: u64 = unbounded
+        .rounds
+        .iter()
+        .map(|r| r.cohorts.cohort_sizes.iter().sum::<u64>())
+        .sum();
+    assert_eq!(
+        peak_unbounded, total_unbounded,
+        "KeepAll retains every admitted record of every round"
+    );
+    assert!(
+        peak_unbounded > 4 * peak_windowed,
+        "12 rounds of KeepAll must dwarf the 2-epoch window: \
+         {peak_unbounded} vs {peak_windowed}"
+    );
+    // KeepAll residency grows monotonically round over round — the
+    // unbounded-growth half of the claim.
+    let residency: Vec<u64> = unbounded
+        .rounds
+        .iter()
+        .map(|r| r.defense.records_resident)
+        .collect();
+    assert!(
+        residency.windows(2).all(|w| w[0] < w[1]),
+        "unbounded retention grows every round: {residency:?}"
+    );
+
+    // 2. Re-mining scan spend drops accordingly (KeepAll scans the whole
+    //    history every round: quadratic total; the window scans ≤ 2
+    //    rounds' worth per round: linear total).
+    let scans_windowed = windowed.total_defense_scans();
+    let scans_unbounded = unbounded.total_defense_scans();
+    assert!(
+        scans_windowed * 2 < scans_unbounded,
+        "windowed re-mining must cut scan spend at least in half over 12 \
+         rounds: {scans_windowed} vs {scans_unbounded}"
+    );
+
+    // 3. Eviction is accounted in the defender-spend columns.
+    assert!(
+        windowed.total_records_evicted() > 0,
+        "the window must actually evict"
+    );
+    assert_eq!(unbounded.total_records_evicted(), 0, "KeepAll never evicts");
+
+    // 4. The price of forgetting: the post-mutation fp-spatial clawback
+    //    stays within 5 points of the unbounded window, round for round.
+    let spatial_unbounded = unbounded.recall_trajectory(provenance::FP_SPATIAL, Cohort::BotService);
+    let spatial_windowed = windowed.recall_trajectory(provenance::FP_SPATIAL, Cohort::BotService);
+    assert!(
+        (spatial_windowed[0] - spatial_unbounded[0]).abs() < 1e-12,
+        "round 0 cannot depend on retention (nothing sealed yet)"
+    );
+    for (round, (w, u)) in spatial_windowed
+        .iter()
+        .zip(&spatial_unbounded)
+        .enumerate()
+        .skip(2)
+    {
+        assert!(
+            (w - u).abs() <= 0.05,
+            "round {round}: windowed recall must stay within 5 points of \
+             the unbounded window: windowed {spatial_windowed:?} vs \
+             unbounded {spatial_unbounded:?}"
+        );
+    }
+    // And the clawback itself still happens under the window: recall
+    // recovers from the round-1 mutation trough.
+    let trough = spatial_windowed[1];
+    let recovered = spatial_windowed[2..]
+        .iter()
+        .cloned()
+        .fold(f64::MIN, f64::max);
+    assert!(
+        recovered > trough + 0.03,
+        "the windowed defender must still claw recall back: {spatial_windowed:?}"
+    );
+}
+
+/// The CAPTCHA-then-block hybrid: first offenders are challenged (visible,
+/// nothing denied), recidivists are blocked, and the blocks feed the
+/// next round's admission denials — closing the ROADMAP's
+/// "CAPTCHA + block hybrid policies" item.
+#[test]
+fn captcha_escalation_challenges_then_blocks_across_rounds() {
+    let mut arena = Arena::new(block_config(0.005, CAMPAIGN_SEED));
+    arena.set_policy(Box::new(CaptchaEscalation::new(
+        Box::new(ResponsePolicy::block(DEFAULT_BLOCK_TTL_SECS)),
+        DEFAULT_BLOCK_TTL_SECS,
+    )));
+    arena.adaptive_defaults();
+    let r0 = arena.step();
+
+    let captchas: u64 = r0.outcomes.values().map(|o| o.captchas).sum();
+    let blocked: u64 = r0.outcomes.values().map(|o| o.blocked).sum();
+    assert!(captchas > 0, "first offenses must be challenged");
+    assert!(blocked > 0, "recidivist addresses must graduate to blocks");
+
+    // Every address's first flagged request was a challenge, never a
+    // block: an address flagged exactly once in the round sits on the
+    // challenge rung — one remembered strike, no binding ban — while a
+    // blocked address always shows ≥ 2 offense episodes (its strike
+    // plus the block) and its ban binds into the next round.
+    let round1_start = fp_types::SimTime(fp_arena::ROUND_SECS);
+    let mut flags_per_addr: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+    for r in r0.store.iter() {
+        if r.verdicts.iter().any(|(_, v)| v.is_bot()) {
+            *flags_per_addr.entry(r.ip_hash).or_default() += 1;
+        }
+    }
+    for (&hash, &flags) in &flags_per_addr {
+        let offenses = arena.blocklist().offenses(hash);
+        let banned = arena.blocklist().contains(hash, round1_start);
+        if flags == 1 {
+            assert_eq!(
+                offenses, 1,
+                "an address flagged once was challenged — and remembered"
+            );
+            assert!(!banned, "a challenge strike must never bind");
+        }
+        if banned {
+            assert!(
+                offenses >= 2,
+                "a banned address must have climbed past the challenge \
+                 rung: {offenses} episode(s) for {hash:#x}"
+            );
+        }
+    }
+    let challenged_only: Vec<u64> = flags_per_addr
+        .iter()
+        .filter(|(_, &f)| f == 1)
+        .map(|(&h, _)| h)
+        .collect();
+    assert!(
+        !challenged_only.is_empty(),
+        "some addresses must stop at the challenge rung"
+    );
+
+    // Cross-round escalation: the round-0 challenge strike survived the
+    // round-end purge (asserted above: offenses == 1, not reset to 0 —
+    // its memory TTL outlives the boundary), so the policy's own
+    // decision for that address's next offense in round 1 is a block,
+    // not another challenge. Exercised directly, because the adaptive
+    // fleet rotates addresses and need not naturally replay a
+    // challenged-only address.
+    {
+        use fp_types::{DecisionContext, DecisionPolicy, Verdict, VerdictSet};
+        let policy = CaptchaEscalation::new(
+            Box::new(ResponsePolicy::block(DEFAULT_BLOCK_TTL_SECS)),
+            DEFAULT_BLOCK_TTL_SECS,
+        );
+        let hash = challenged_only[0];
+        let mut verdicts = VerdictSet::new();
+        verdicts.record(fp_types::sym("d"), Verdict::Bot);
+        let remembered = arena.blocklist().offenses(hash);
+        assert_eq!(
+            remembered, 1,
+            "the challenge strike must be remembered across the round boundary"
+        );
+        let action = DecisionPolicy::decide(
+            &policy,
+            &DecisionContext {
+                verdicts: &verdicts,
+                ip_hash: hash,
+                now: round1_start,
+                prior_offenses: remembered,
+            },
+        );
+        assert_eq!(
+            action,
+            MitigationAction::Block(DEFAULT_BLOCK_TTL_SECS),
+            "a remembered challenge escalates the next offense to a block"
+        );
+    }
+
+    let r1 = arena.step();
+    let denied: u64 = r1.outcomes.values().map(|o| o.denied).sum();
+    assert!(
+        denied > 0,
+        "the hybrid's blocks must bind at round-1 admission"
+    );
+
+    // Control: the plain captcha policy (no strike opt-in) never blocks
+    // and never writes the blocklist.
+    let mut plain = Arena::new(block_config(0.005, CAMPAIGN_SEED));
+    plain.set_policy(Box::new(ResponsePolicy::captcha()));
+    plain.adaptive_defaults();
+    let p0 = plain.step();
+    assert_eq!(p0.outcomes.values().map(|o| o.blocked).sum::<u64>(), 0);
+    assert!(
+        plain.blocklist().is_empty(),
+        "plain captcha policies leave the blocklist untouched"
+    );
+}
+
+/// Expired-entry eviction is real memory relief, not bookkeeping: under a
+/// short-TTL Block policy on a long arena, the round-end
+/// `purge_expired` sweeps keep the blocklist small and non-accumulating
+/// (the list visibly *shrinks* across rounds), while the same arena
+/// under a TTL spanning the whole campaign accumulates every episode.
+#[test]
+fn expired_blocklist_entries_are_evicted_under_a_long_arena() {
+    let run = |ttl: u64| {
+        let mut arena = Arena::new(ArenaConfig {
+            policy: ResponsePolicy::block(ttl),
+            ..block_config(0.005, CAMPAIGN_SEED)
+        });
+        arena.adaptive_defaults();
+        (0..5)
+            .map(|_| {
+                arena.step();
+                arena.blocklist().len()
+            })
+            .collect::<Vec<usize>>()
+    };
+    // 5 000 simulated seconds ≪ the 7.86M-second round: every episode
+    // expires long before its round ends, so each round-end purge sweeps
+    // (almost) the whole round's listings.
+    let short = run(5_000);
+    // A TTL spanning the whole campaign: nothing ever expires.
+    let long = run(fp_arena::ROUND_SECS * 10);
+
+    assert!(
+        long.windows(2).all(|w| w[0] <= w[1]),
+        "un-expiring entries only accumulate: {long:?}"
+    );
+    let short_peak = *short.iter().max().unwrap();
+    let long_final = *long.last().unwrap();
+    assert!(
+        short_peak * 5 < long_final,
+        "sweeping expired entries must keep the list an order smaller: \
+         short peak {short_peak} vs long final {long_final} ({short:?})"
+    );
+    assert!(
+        short.windows(2).any(|w| w[1] < w[0]) || short_peak <= 1,
+        "the short-TTL list must visibly shrink across rounds: {short:?}"
+    );
 }
