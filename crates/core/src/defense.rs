@@ -21,16 +21,26 @@
 //! rounds, so the arena wraps them in [`fp_types::defense::Frozen`].
 
 use crate::engine::{FpInconsistent, SpatialDetector};
+use crate::rulepack::{PackSlot, RulePack};
 use crate::rules::RuleSet;
 use crate::spatial::{self, MineConfig};
 use fp_types::defense::{RetrainSpend, RoundContext, StackMember};
 use fp_types::detect::{provenance, Detector};
+use std::sync::Arc;
 
 /// The `fp-spatial` slot of a defense stack: mined rules + location
 /// generalisation, optionally re-mined from the stack's retained
 /// training window.
+///
+/// The member owns the deployment [`PackSlot`]: each round's detectors
+/// *track* it, so a re-mine at end-of-round compiles the fresh rules off
+/// the hot path, hot-swaps the slot, and every chain forked afterwards
+/// evaluates the new pack while in-flight chains finish on their snapshot
+/// — no ingest barrier anywhere. Each re-mine also diffs new pack against
+/// old and reports the pack hash plus rule churn in its [`RetrainSpend`].
 pub struct SpatialMember {
     rules: RuleSet,
+    pack: Arc<PackSlot>,
     generalize_location: bool,
     mine_config: MineConfig,
     /// Re-mine after every `cadence`-th round; `None` freezes the round-0
@@ -43,6 +53,7 @@ impl SpatialMember {
     pub fn frozen(engine: &FpInconsistent) -> SpatialMember {
         SpatialMember {
             rules: engine.rules().clone(),
+            pack: Arc::new(PackSlot::from_arc(engine.pack())),
             generalize_location: engine.config().generalize_location,
             mine_config: MineConfig::default(),
             cadence: None,
@@ -61,6 +72,7 @@ impl SpatialMember {
     ) -> SpatialMember {
         SpatialMember {
             rules: engine.rules().clone(),
+            pack: Arc::new(PackSlot::from_arc(engine.pack())),
             generalize_location: engine.config().generalize_location,
             mine_config,
             cadence: Some(cadence.max(1)),
@@ -70,6 +82,17 @@ impl SpatialMember {
     /// The rules currently deployed (refreshed by re-mining).
     pub fn rules(&self) -> &RuleSet {
         &self.rules
+    }
+
+    /// The compiled pack currently deployed.
+    pub fn pack(&self) -> Arc<RulePack> {
+        self.pack.load()
+    }
+
+    /// The deployment slot itself — share it to observe hot-swaps as they
+    /// happen (the arena holds this to report the active pack hash).
+    pub fn pack_slot(&self) -> Arc<PackSlot> {
+        self.pack.clone()
     }
 
     /// The configured re-mining cadence (`None` = frozen).
@@ -84,8 +107,8 @@ impl StackMember for SpatialMember {
     }
 
     fn detector(&self) -> Box<dyn Detector> {
-        Box::new(SpatialDetector::new(
-            self.rules.clone(),
+        Box::new(SpatialDetector::tracking(
+            self.pack.clone(),
             self.generalize_location,
         ))
     }
@@ -97,23 +120,32 @@ impl StackMember for SpatialMember {
     }
 
     fn end_of_round(&mut self, epoch: &RoundContext<'_>) -> RetrainSpend {
+        let idle = RetrainSpend {
+            rules_active: self.rules.len() as u64,
+            pack_hash: Some(self.pack.load().hash()),
+            ..RetrainSpend::default()
+        };
         let Some(cadence) = self.cadence else {
-            return RetrainSpend {
-                rules_active: self.rules.len() as u64,
-                ..RetrainSpend::default()
-            };
+            return idle;
         };
         if !(epoch.round + 1).is_multiple_of(cadence) {
-            return RetrainSpend {
-                rules_active: self.rules.len() as u64,
-                ..RetrainSpend::default()
-            };
+            return idle;
         }
         self.rules = spatial::mine_records(epoch.records.iter(), &self.mine_config);
+        // Compile off the hot path, then publish: in-flight chains finish
+        // on the pack they forked with, the next round's detectors (and
+        // any chain forked from here on) see the refreshed rules.
+        let next = Arc::new(RulePack::compile(&self.rules));
+        let diff = next.diff(&self.pack.load());
+        let hash = next.hash();
+        self.pack.swap(next);
         RetrainSpend {
             retrained_members: 1,
             records_scanned: epoch.records.len() as u64,
             rules_active: self.rules.len() as u64,
+            pack_hash: Some(hash),
+            rules_added: diff.added.len() as u64,
+            rules_removed: diff.removed.len() as u64,
             ..RetrainSpend::default()
         }
     }
@@ -238,6 +270,61 @@ mod tests {
         });
         assert_eq!(r1.retrained_members, 1, "…and fires after round 1");
         assert_eq!(r1.records_scanned, 10);
+    }
+
+    #[test]
+    fn remine_hotswaps_the_pack_and_ledgers_the_diff() {
+        let mut member = SpatialMember::remining(&empty_engine(), MineConfig::default(), 1);
+        let slot = member.pack_slot();
+        let empty_hash = slot.load().hash();
+        let records = vec![fake_iphone_record(); 5];
+
+        // A chain detector forked before the re-mine keeps its snapshot.
+        let chain = member.detector();
+        let mut in_flight = chain.fork();
+        assert!(!in_flight.observe(&records[0]).is_bot());
+
+        let spend = member.end_of_round(&RoundContext {
+            round: 0,
+            records: RecordView::from_slice(&records),
+            now: SimTime::EPOCH,
+        });
+        let new_hash = slot.load().hash();
+        assert_ne!(new_hash, empty_hash, "mined rules → new pack hash");
+        assert_eq!(spend.pack_hash, Some(new_hash));
+        assert_eq!(spend.rules_added, spend.rules_active, "all rules are new");
+        assert_eq!(spend.rules_removed, 0);
+        assert_eq!(new_hash, member.rules().content_hash());
+
+        // No barrier: the in-flight fork still evaluates the old pack,
+        // a fresh fork off the same chain sees the new one.
+        assert!(!in_flight.observe(&records[0]).is_bot());
+        assert!(chain.fork().observe(&records[0]).is_bot());
+
+        // An off-cadence (idle) round reports the deployed hash, no churn.
+        let mut gated = SpatialMember::remining(&empty_engine(), MineConfig::default(), 2);
+        let idle = gated.end_of_round(&RoundContext {
+            round: 0,
+            records: RecordView::from_slice(&records),
+            now: SimTime::EPOCH,
+        });
+        assert_eq!(idle.pack_hash, Some(gated.pack().hash()));
+        assert_eq!(idle.rules_added + idle.rules_removed, 0);
+    }
+
+    #[test]
+    fn frozen_member_reports_a_constant_pack_hash() {
+        let mut member = SpatialMember::frozen(&empty_engine());
+        let records = vec![fake_iphone_record(); 5];
+        let h0 = member.pack().hash();
+        for round in 0..3 {
+            let spend = member.end_of_round(&RoundContext {
+                round,
+                records: RecordView::from_slice(&records),
+                now: SimTime::EPOCH,
+            });
+            assert_eq!(spend.pack_hash, Some(h0), "frozen pack never re-hashes");
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //!   route each to its own worker; their disjunction is the paper's
 //!   temporal flag.
 
+use crate::rulepack::{PackSlot, RulePack};
 use crate::rules::RuleSet;
 use crate::spatial::{self, MineConfig};
 use crate::temporal::{CookieAnchor, IpAnchor, TemporalConfig, TemporalEngine};
@@ -20,6 +21,7 @@ use fp_honeysite::{RequestStore, StoredRequest};
 use fp_netsim::geo::offset_of_timezone;
 use fp_types::detect::{provenance, Detector, StateScope, Verdict};
 use fp_types::AttrId;
+use std::sync::Arc;
 
 /// Engine configuration.
 #[derive(Clone, Copy, Debug, Default)]
@@ -34,9 +36,12 @@ pub struct EngineConfig {
 }
 
 /// FP-Inconsistent, ready to deploy: a mined rule set plus the
-/// general checks.
+/// general checks. The interpreted rule set is kept (it is the mining
+/// output, the filter-list renderer and the reference matcher); the hot
+/// path evaluates the [`RulePack`] compiled from it at construction.
 pub struct FpInconsistent {
     rules: RuleSet,
+    pack: Arc<RulePack>,
     config: EngineConfig,
 }
 
@@ -44,18 +49,24 @@ impl FpInconsistent {
     /// Mine rules from a recorded store (Algorithm 1) and wrap them in an
     /// engine with default settings (location generalisation on).
     pub fn mine(store: &RequestStore, mine_config: &MineConfig) -> FpInconsistent {
-        FpInconsistent {
-            rules: spatial::mine(store, mine_config),
-            config: EngineConfig {
+        FpInconsistent::from_rules(
+            spatial::mine(store, mine_config),
+            EngineConfig {
                 generalize_location: true,
                 ..EngineConfig::default()
             },
-        }
+        )
     }
 
     /// Build from an existing rule set (e.g. parsed from a filter list).
+    /// Compiles the set into the pack the hot path evaluates.
     pub fn from_rules(rules: RuleSet, config: EngineConfig) -> FpInconsistent {
-        FpInconsistent { rules, config }
+        let pack = Arc::new(RulePack::compile(&rules));
+        FpInconsistent {
+            rules,
+            pack,
+            config,
+        }
     }
 
     /// The mined rule set.
@@ -63,13 +74,24 @@ impl FpInconsistent {
         &self.rules
     }
 
+    /// The compiled pack the hot path evaluates (same rules, same flags).
+    pub fn pack(&self) -> Arc<RulePack> {
+        self.pack.clone()
+    }
+
     /// The engine configuration.
     pub fn config(&self) -> EngineConfig {
         self.config
     }
 
-    /// Spatial verdict for one request.
+    /// Spatial verdict for one request (compiled pack evaluation).
     pub fn spatial_flag(&self, request: &StoredRequest) -> bool {
+        pack_check(&self.pack, self.config.generalize_location, request)
+    }
+
+    /// Spatial verdict via the interpreted rule set — the reference
+    /// implementation the compiled path is tested flag-for-flag against.
+    pub fn spatial_flag_interpreted(&self, request: &StoredRequest) -> bool {
         spatial_check(&self.rules, self.config.generalize_location, request)
     }
 
@@ -104,10 +126,10 @@ impl FpInconsistent {
     /// `HoneySite::push_detector` to run FP-Inconsistent inline at ingest.
     pub fn detectors(&self) -> Vec<Box<dyn Detector>> {
         vec![
-            Box::new(SpatialDetector {
-                rules: self.rules.clone(),
-                generalize_location: self.config.generalize_location,
-            }),
+            Box::new(SpatialDetector::from_pack(
+                self.pack.clone(),
+                self.config.generalize_location,
+            )),
             Box::new(TemporalCookieDetector {
                 inner: CookieAnchor::new(self.config.temporal),
                 config: self.config.temporal,
@@ -136,37 +158,79 @@ impl EngineStream<'_> {
     }
 }
 
-/// The one spatial predicate both paths share: mined rule match, plus the
-/// timezone/IP-offset generalisation when enabled. Batch
-/// ([`FpInconsistent::spatial_flag`]) and streaming ([`SpatialDetector`])
-/// must never diverge, so neither carries its own copy.
-fn spatial_check(rules: &RuleSet, generalize_location: bool, request: &StoredRequest) -> bool {
-    if rules.matches(request) {
-        return true;
-    }
-    generalize_location
-        && request
-            .fingerprint
-            .get(AttrId::Timezone)
-            .as_str()
-            .and_then(offset_of_timezone)
-            .is_some_and(|tz| tz != request.ip_offset_minutes)
+/// The location generalisation alone: browser timezone offset contradicts
+/// the IP geolocation offset.
+fn location_mismatch(request: &StoredRequest) -> bool {
+    request
+        .fingerprint
+        .get(AttrId::Timezone)
+        .as_str()
+        .and_then(offset_of_timezone)
+        .is_some_and(|tz| tz != request.ip_offset_minutes)
 }
 
-/// The mined rules + location generalisation as a stateless [`Detector`].
+/// The interpreted spatial predicate: mined rule match, plus the
+/// timezone/IP-offset generalisation when enabled. This is the reference
+/// semantics; [`pack_check`] must never diverge from it (the equivalence
+/// suites assert so flag-for-flag).
+fn spatial_check(rules: &RuleSet, generalize_location: bool, request: &StoredRequest) -> bool {
+    rules.matches(request) || (generalize_location && location_mismatch(request))
+}
+
+/// The compiled spatial predicate: identical semantics to
+/// [`spatial_check`], with rule matching done by the pack.
+fn pack_check(pack: &RulePack, generalize_location: bool, request: &StoredRequest) -> bool {
+    pack.matches(request) || (generalize_location && location_mismatch(request))
+}
+
+/// The compiled rules + location generalisation as a stateless
+/// [`Detector`].
+///
+/// Two deployment modes:
+///
+/// * **Pinned** ([`SpatialDetector::new`] / [`SpatialDetector::from_pack`])
+///   — the detector and all its forks evaluate one fixed pack.
+/// * **Tracking** ([`SpatialDetector::tracking`]) — the detector holds a
+///   shared [`PackSlot`]; each [`Detector::fork`] snapshots the slot's
+///   *current* pack. When the defender hot-swaps mid-round, in-flight
+///   forks keep their snapshot (no barrier, no torn reads) while chains
+///   built afterwards evaluate the new pack.
 pub struct SpatialDetector {
-    rules: RuleSet,
+    pack: Arc<RulePack>,
+    slot: Option<Arc<PackSlot>>,
     generalize_location: bool,
 }
 
 impl SpatialDetector {
-    /// A detector over an explicit rule set — what the re-mining defense
-    /// member hands the chain after each refresh.
+    /// A detector over an explicit rule set, compiled on construction —
+    /// what one-shot deployments hand the chain.
     pub fn new(rules: RuleSet, generalize_location: bool) -> SpatialDetector {
+        SpatialDetector::from_pack(Arc::new(RulePack::compile(&rules)), generalize_location)
+    }
+
+    /// A detector pinned to an already compiled pack.
+    pub fn from_pack(pack: Arc<RulePack>, generalize_location: bool) -> SpatialDetector {
         SpatialDetector {
-            rules,
+            pack,
+            slot: None,
             generalize_location,
         }
+    }
+
+    /// A detector tracking a hot-swap slot: every fork snapshots the
+    /// slot's current pack — how the re-mining defense member publishes
+    /// refreshed rules to future chains without pausing current ones.
+    pub fn tracking(slot: Arc<PackSlot>, generalize_location: bool) -> SpatialDetector {
+        SpatialDetector {
+            pack: slot.load(),
+            slot: Some(slot),
+            generalize_location,
+        }
+    }
+
+    /// The pack this instance is evaluating right now.
+    pub fn pack(&self) -> Arc<RulePack> {
+        self.pack.clone()
     }
 }
 
@@ -180,18 +244,20 @@ impl Detector for SpatialDetector {
     }
 
     fn observe(&mut self, request: &StoredRequest) -> Verdict {
-        Verdict::from_flag(spatial_check(
-            &self.rules,
-            self.generalize_location,
-            request,
-        ))
+        Verdict::from_flag(pack_check(&self.pack, self.generalize_location, request))
     }
 
     fn reset(&mut self) {}
 
     fn fork(&self) -> Box<dyn Detector> {
         Box::new(SpatialDetector {
-            rules: self.rules.clone(),
+            // Tracking mode re-snapshots the slot so post-swap chains see
+            // the new pack; pinned mode shares the compiled artifact.
+            pack: match &self.slot {
+                Some(slot) => slot.load(),
+                None => self.pack.clone(),
+            },
+            slot: self.slot.clone(),
             generalize_location: self.generalize_location,
         })
     }
@@ -357,6 +423,57 @@ mod tests {
         for i in 0..3 {
             assert_eq!(combined[i], (spatial[i], temporal[i]));
         }
+    }
+
+    #[test]
+    fn compiled_and_interpreted_spatial_flags_agree() {
+        let mut rules = RuleSet::new();
+        rules.add(SpatialRule::new(
+            AnalysisAttr::Fp(AttrId::Timezone),
+            AttrValue::text("UTC"),
+            AnalysisAttr::IpRegion,
+            AttrValue::text("Germany/Bayern"),
+        ));
+        let engine = FpInconsistent::from_rules(
+            rules,
+            EngineConfig {
+                generalize_location: true,
+                ..Default::default()
+            },
+        );
+        for r in [
+            request("UTC", -60),
+            request("Europe/Berlin", -60),
+            request("UTC", 0),
+            request("Mars/Olympus", -60),
+        ] {
+            assert_eq!(engine.spatial_flag(&r), engine.spatial_flag_interpreted(&r));
+        }
+        assert_eq!(engine.pack().hash(), engine.rules().content_hash());
+    }
+
+    #[test]
+    fn tracking_detector_forks_pick_up_swapped_pack_without_a_barrier() {
+        let mut rules = RuleSet::new();
+        rules.add(SpatialRule::new(
+            AnalysisAttr::Fp(AttrId::Timezone),
+            AttrValue::text("UTC"),
+            AnalysisAttr::IpRegion,
+            AttrValue::text("Germany/Bayern"),
+        ));
+        let slot = Arc::new(PackSlot::new(RulePack::compile(&rules)));
+        let root = SpatialDetector::tracking(slot.clone(), false);
+        let mut in_flight = root.fork();
+        let hit = request("UTC", -60);
+
+        assert!(in_flight.observe(&hit).is_bot());
+        // Defender hot-swaps to the empty pack mid-round.
+        slot.store(RulePack::empty());
+        // The in-flight fork finishes on its snapshot — no barrier, no
+        // change of verdict mid-stream.
+        assert!(in_flight.observe(&hit).is_bot());
+        // Chains built after the swap see the new pack.
+        assert!(!root.fork().observe(&hit).is_bot());
     }
 
     #[test]

@@ -450,6 +450,25 @@ impl TrajectoryReport {
         self.rounds.iter().map(|r| r.defense.records_evicted).sum()
     }
 
+    /// Per round: the content hash of the spatial rule pack deployed at
+    /// the end of that round (`None` for rounds before pack tracking, or
+    /// for defenders with no spatial member). The version trail of the
+    /// defense: the hash changes exactly on the rounds where re-mining
+    /// changed the rule set.
+    pub fn pack_hash_trajectory(&self) -> Vec<Option<fp_types::PackHash>> {
+        self.rounds.iter().map(|r| r.defense.pack_hash).collect()
+    }
+
+    /// Total rules added plus removed by re-mining across the campaign —
+    /// how much the mined model actually churned while the hash trail
+    /// versioned it.
+    pub fn total_rule_churn(&self) -> u64 {
+        self.rounds
+            .iter()
+            .map(|r| r.defense.rules_added + r.defense.rules_removed)
+            .sum()
+    }
+
     /// The adversary's attribute-mutation cost per successfully evading
     /// request, per round: mutated attributes divided by the automation
     /// requests the named detector missed that round. The price of staying
@@ -667,6 +686,9 @@ mod tests {
                 rules_active: 10 + *scanned / 100,
                 records_evicted: *scanned / 5,
                 records_resident: 1_000 - *scanned,
+                pack_hash: None,
+                rules_added: *scanned / 100,
+                rules_removed: 0,
             };
             traj.push(stats);
         }
@@ -678,6 +700,8 @@ mod tests {
         assert_eq!(traj.total_records_evicted(), 280);
         assert_eq!(traj.peak_resident_records(), 1_000, "high-water mark");
         assert_eq!(TrajectoryReport::new().peak_resident_records(), 0);
+        assert_eq!(traj.total_rule_churn(), 14, "5 + 9 rules added");
+        assert_eq!(traj.pack_hash_trajectory(), vec![None; 3]);
     }
 
     #[test]

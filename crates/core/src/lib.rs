@@ -14,6 +14,10 @@
 //!   per-IP timezone churn, evaluated in arrival order.
 //! * [`rules`] — the filter list: a serialisable, human-readable rule set
 //!   (the paper open-sources its rules in exactly this spirit).
+//! * [`rulepack`] — the compiled form of the filter list: an immutable,
+//!   content-hash-versioned artifact with dense value-id tables and
+//!   branch-light pair probes, hot-swapped barrier-free into the ingest
+//!   path when the defender re-mines.
 //! * [`engine`] — request matching: spatial rules + generalised location
 //!   check + temporal state.
 //! * [`evaluate`] — Tables 3 and 4, §7.4's true-negative rate, the §7.3
@@ -30,6 +34,7 @@ pub mod categories;
 pub mod defense;
 pub mod engine;
 pub mod evaluate;
+pub mod rulepack;
 pub mod rules;
 pub mod spatial;
 pub mod temporal;
@@ -41,5 +46,6 @@ pub use engine::FpInconsistent;
 pub use evaluate::{
     DetectionReport, MutationStats, RoundStats, ServiceImprovement, TrajectoryReport,
 };
+pub use rulepack::{content_hash, PackSlot, RulePack, RulePackDiff};
 pub use rules::{RuleSet, SpatialRule};
 pub use spatial::MineConfig;

@@ -5,7 +5,7 @@ use crate::attrs::AnalysisAttr;
 use fp_honeysite::StoredRequest;
 use fp_types::AttrValue;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 use std::fmt;
 
 /// One spatial rule: a concrete value pair that cannot coexist on a real
@@ -63,7 +63,15 @@ impl fmt::Display for SpatialRule {
 pub struct RuleSet {
     rules: Vec<SpatialRule>,
     /// (attr_a, attr_b) → set of (value_a, value_b), canonical order.
-    index: HashMap<(AnalysisAttr, AnalysisAttr), HashSet<(AttrValue, AttrValue)>>,
+    ///
+    /// A `BTreeMap` (not `HashMap`): [`RuleSet::matching_rule`] walks
+    /// this index and returns the *first* hit, so iteration order is
+    /// observable. Sorted pair order makes the returned rule a function
+    /// of the set's contents, never of insertion history — and it is the
+    /// exact probe order [`crate::rulepack::RulePack`] compiles to, which
+    /// is what makes compiled and interpreted matching rule-for-rule
+    /// identical.
+    index: BTreeMap<(AnalysisAttr, AnalysisAttr), HashSet<(AttrValue, AttrValue)>>,
 }
 
 impl RuleSet {
@@ -106,7 +114,17 @@ impl RuleSet {
         self.matching_rule(request).is_some()
     }
 
-    /// The first matching rule, if any.
+    /// The canonical content hash of this rule set — equal to the
+    /// [`crate::rulepack::RulePack::hash`] of the pack compiled from it,
+    /// and invariant under insertion order and mining shard count (see
+    /// [`fp_types::stablehash`]).
+    pub fn content_hash(&self) -> fp_types::stablehash::PackHash {
+        crate::rulepack::content_hash(self.rules.iter())
+    }
+
+    /// The first matching rule in sorted attribute-pair order, if any.
+    /// Deterministic: any two rule sets holding the same rules return the
+    /// same matching rule, however they were constructed.
     pub fn matching_rule(&self, request: &StoredRequest) -> Option<SpatialRule> {
         for ((a, b), values) in &self.index {
             let va = a.value_of(request);
@@ -269,6 +287,33 @@ mod tests {
         assert!(set.add(iphone_zero_touch_rule()));
         assert!(!set.add(iphone_zero_touch_rule()));
         assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn matching_rule_ignores_insertion_order() {
+        // Two rules, both matching the same request, living under
+        // different attribute pairs. Whichever order they were inserted
+        // in, matching_rule must return the one whose pair sorts first —
+        // the HashMap-index regression this guards against returned
+        // whichever pair the hasher happened to visit first.
+        let touch = iphone_zero_touch_rule();
+        let region = SpatialRule::new(
+            AnalysisAttr::Fp(AttrId::UaDevice),
+            AttrValue::text("iPhone"),
+            AnalysisAttr::IpRegion,
+            AttrValue::text("United States of America/California"),
+        );
+        let mut forward = RuleSet::new();
+        forward.add(touch.clone());
+        forward.add(region.clone());
+        let mut reversed = RuleSet::new();
+        reversed.add(region);
+        reversed.add(touch);
+        let r = request("iPhone", 0);
+        let hit = forward.matching_rule(&r);
+        assert!(hit.is_some());
+        assert_eq!(hit, reversed.matching_rule(&r));
+        assert_eq!(forward.content_hash(), reversed.content_hash());
     }
 
     #[test]

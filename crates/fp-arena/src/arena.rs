@@ -47,7 +47,7 @@ use fp_botnet::{Campaign, CampaignConfig};
 use fp_honeysite::{DefenseStack, HoneySite, RequestStore};
 use fp_inconsistent_core::defense::SpatialMember;
 use fp_inconsistent_core::evaluate::{self, MutationStats, RoundStats, TrajectoryReport};
-use fp_inconsistent_core::{FpInconsistent, MineConfig};
+use fp_inconsistent_core::{FpInconsistent, MineConfig, PackSlot, RulePack};
 use fp_netsim::{NetDb, TtlBlocklist};
 use fp_types::defense::{DecisionContext, DecisionPolicy, Frozen};
 use fp_types::{
@@ -131,6 +131,10 @@ pub struct Arena {
     base: Campaign,
     engine: FpInconsistent,
     stack: DefenseStack,
+    /// The spatial member's deployment slot (shared with the member): the
+    /// arena reads it to report the active pack, tests read it to verify
+    /// the compiled/interpreted equivalence round by round.
+    spatial_pack: std::sync::Arc<PackSlot>,
     blocklist: TtlBlocklist,
     strategies: HashMap<ServiceId, Box<dyn AdaptationStrategy>>,
     laggard_strategy: Option<Box<dyn AdaptationStrategy>>,
@@ -167,16 +171,14 @@ impl Arena {
 
         stack.set_policy(Box::new(config.policy));
         stack.set_retention(config.retention);
-        match config.remine_cadence {
-            None => stack.push_member(Box::new(SpatialMember::frozen(&engine))),
+        let member = match config.remine_cadence {
+            None => SpatialMember::frozen(&engine),
             // The member's window starts empty: round 0 replays the
             // mining traffic, so pre-seeding would double-count it.
-            Some(cadence) => stack.push_member(Box::new(SpatialMember::remining(
-                &engine,
-                MineConfig::default(),
-                cadence,
-            ))),
-        }
+            Some(cadence) => SpatialMember::remining(&engine, MineConfig::default(), cadence),
+        };
+        let spatial_pack = member.pack_slot();
+        stack.push_member(Box::new(member));
         // The spatial slot is the member above; the engine's remaining
         // detectors (the temporal anchors) retrain nothing between rounds
         // and ride frozen. Select by provenance name, not position, so a
@@ -195,12 +197,22 @@ impl Arena {
             base,
             engine,
             stack,
+            spatial_pack,
             blocklist: TtlBlocklist::new(),
             strategies: HashMap::new(),
             laggard_strategy: None,
             trajectory: TrajectoryReport::new(),
             round: 0,
         }
+    }
+
+    /// The spatial member's *currently deployed* compiled rule pack — a
+    /// snapshot of the hot-swap slot the member publishes re-mined rules
+    /// through. Its [`RulePack::hash`] is the defense version the
+    /// trajectory tables print; its rules rebuild the interpreted
+    /// reference matcher in equivalence tests.
+    pub fn spatial_pack(&self) -> std::sync::Arc<RulePack> {
+        self.spatial_pack.load()
     }
 
     /// Give one bot service an adaptation strategy (services without one

@@ -1,0 +1,126 @@
+//! Interpreted vs compiled rule matching at growing rule-set sizes —
+//! the hot-path kernel the `RulePack` compiler exists for. Each size
+//! runs the same request batch through `RuleSet::matches` (per-pair
+//! hash-index probes, hashing two `AttrValue`s per pair per request) and
+//! `RulePack::matches` (one dense value-id resolve per attribute, then
+//! bitset/binary-search probes), with the flag counts cross-checked so a
+//! speedup can never come from divergent semantics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fp_inconsistent_core::{AnalysisAttr, RulePack, RuleSet, SpatialRule};
+use fp_types::{
+    sym, AttrId, AttrValue, BehaviorTrace, Fingerprint, SimTime, StoredRequest, TrafficSource,
+    VerdictSet,
+};
+
+/// A synthetic mined set of `n` rules spread over three attribute pairs —
+/// the shape a real re-mine produces (a few pairs, many value combos).
+fn rule_set(n: usize) -> RuleSet {
+    let mut set = RuleSet::new();
+    for i in 0..n {
+        let rule = match i % 3 {
+            0 => SpatialRule::new(
+                AnalysisAttr::Fp(AttrId::UaDevice),
+                AttrValue::text(&format!("dev{i}")),
+                AnalysisAttr::Fp(AttrId::MaxTouchPoints),
+                AttrValue::Int(i as i64),
+            ),
+            1 => SpatialRule::new(
+                AnalysisAttr::Fp(AttrId::UaDevice),
+                AttrValue::text(&format!("dev{i}")),
+                AnalysisAttr::Fp(AttrId::ScreenResolution),
+                AttrValue::Resolution(1920, (i % 2048) as u16),
+            ),
+            _ => SpatialRule::new(
+                AnalysisAttr::IpRegion,
+                AttrValue::text(&format!("land{i}/state{i}")),
+                AnalysisAttr::Fp(AttrId::Timezone),
+                AttrValue::text(&format!("tz{i}")),
+            ),
+        };
+        set.add(rule);
+    }
+    set
+}
+
+/// A fixed request batch: ~1/4 hit a rule from the first pair shape, the
+/// rest miss (the realistic mostly-clean traffic profile).
+fn request_batch(n: usize) -> Vec<StoredRequest> {
+    (0..4096usize)
+        .map(|i| {
+            let hit = i % 4 == 0;
+            let rule = (i % n) - (i % n) % 3; // a shape-0 rule index
+            let device = if hit {
+                format!("dev{rule}")
+            } else {
+                format!("clean{i}")
+            };
+            StoredRequest {
+                id: i as u64,
+                time: SimTime::EPOCH,
+                site_token: sym("t"),
+                ip_hash: i as u64,
+                ip_offset_minutes: 0,
+                ip_region: sym("Benchland/Central"),
+                ip_lat: 0.0,
+                ip_lon: 0.0,
+                asn: 1,
+                asn_flagged: false,
+                ip_blocklisted: false,
+                tor_exit: false,
+                cookie: i as u64,
+                tls: fp_types::TlsFacet::unobserved(),
+                fingerprint: Fingerprint::new()
+                    .with(AttrId::UaDevice, device.as_str())
+                    .with(AttrId::MaxTouchPoints, rule as i64)
+                    .with(AttrId::ScreenResolution, (1280u16, 800u16))
+                    .with(AttrId::Timezone, "UTC"),
+                source: TrafficSource::RealUser,
+                behavior: BehaviorTrace::silent(),
+                verdicts: VerdictSet::new(),
+            }
+        })
+        .collect()
+}
+
+fn bench_rulepack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rule_match");
+    group.sample_size(20);
+    for n in [10usize, 100, 1000] {
+        let set = rule_set(n);
+        let pack = RulePack::compile(&set);
+        let requests = request_batch(n);
+        assert_eq!(
+            requests.iter().filter(|r| set.matches(r)).count(),
+            requests.iter().filter(|r| pack.matches(r)).count(),
+            "compiled and interpreted must flag identically at {n} rules"
+        );
+        group.throughput(Throughput::Elements(requests.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("interpreted", n),
+            &requests,
+            |b, requests| b.iter(|| requests.iter().filter(|r| set.matches(r)).count()),
+        );
+        group.bench_with_input(BenchmarkId::new("compiled", n), &requests, |b, requests| {
+            b.iter(|| requests.iter().filter(|r| pack.matches(r)).count())
+        });
+    }
+    group.finish();
+}
+
+/// Compilation itself must stay cheap enough to run at end-of-round on
+/// the defender's cadence (it is off the hot path, but not free).
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rule_compile");
+    group.sample_size(20);
+    for n in [100usize, 1000] {
+        let set = rule_set(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &set, |b, set| {
+            b.iter(|| RulePack::compile(set).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rulepack, bench_compile);
+criterion_main!(benches);

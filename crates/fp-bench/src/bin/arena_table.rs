@@ -307,29 +307,77 @@ fn main() {
 
     println!("\ndefender re-mining spend per round (TrajectoryReport defense columns):");
     println!(
-        "{:<8}{:>12}{:>18}{:>14}{:>12}{:>12}",
-        "round", "retrains", "records-scanned", "rules-active", "evicted", "resident"
+        "{:<8}{:>12}{:>18}{:>14}{:>12}{:>12}{:>15}{:>9}",
+        "round",
+        "retrains",
+        "records-scanned",
+        "rules-active",
+        "evicted",
+        "resident",
+        "pack-hash",
+        "Δrules"
     );
-    for (r, spend) in remined_trajectory
-        .defense_spend_trajectory()
-        .iter()
-        .enumerate()
-    {
+    let spends = remined_trajectory.defense_spend_trajectory();
+    for (r, spend) in spends.iter().enumerate() {
         println!(
-            "{:<8}{:>12}{:>18}{:>14}{:>12}{:>12}",
+            "{:<8}{:>12}{:>18}{:>14}{:>12}{:>12}{:>15}{:>9}",
             r,
             spend.retrained_members,
             spend.records_scanned,
             spend.rules_active,
             spend.records_evicted,
-            spend.records_resident
+            spend.records_resident,
+            spend.pack_hash.map_or_else(|| "-".into(), |h| h.short()),
+            format!("+{}/-{}", spend.rules_added, spend.rules_removed),
         );
     }
     println!(
-        "total training records scanned: {}  evicted: {}  peak resident: {}",
+        "total training records scanned: {}  evicted: {}  peak resident: {}  rule churn: {}",
         remined_trajectory.total_defense_scans(),
         remined_trajectory.total_records_evicted(),
-        remined_trajectory.peak_resident_records()
+        remined_trajectory.peak_resident_records(),
+        remined_trajectory.total_rule_churn(),
+    );
+
+    // Golden-hash discipline (the RUNFP property, applied to the deployed
+    // model): the pack's content hash must change exactly on the rounds
+    // whose re-mine changed the rule set, and hold fixed otherwise.
+    let active_pack = remined.spatial_pack();
+    assert_eq!(
+        spends.last().and_then(|s| s.pack_hash),
+        Some(active_pack.hash()),
+        "the trajectory's last pack hash must be the deployed pack"
+    );
+    for pair in spends.windows(2) {
+        let (prev, cur) = (&pair[0], &pair[1]);
+        let changed = cur.rules_added + cur.rules_removed > 0;
+        assert_eq!(
+            cur.pack_hash != prev.pack_hash,
+            changed,
+            "pack hash must change iff the mined rule set changed \
+             (prev {:?}, cur {:?}, Δ +{}/-{})",
+            prev.pack_hash,
+            cur.pack_hash,
+            cur.rules_added,
+            cur.rules_removed,
+        );
+    }
+    println!(
+        "pack-hash ledger check passed: hash changed on {}/{} rounds, \
+         exactly the rounds with rule churn (deployed: {}).",
+        spends
+            .windows(2)
+            .filter(|p| p[1].pack_hash != p[0].pack_hash)
+            .count(),
+        spends.len().saturating_sub(1),
+        active_pack.hash().short(),
+    );
+
+    // And the frozen arena's pack never moves at all.
+    let frozen_hashes = trajectory.pack_hash_trajectory();
+    assert!(
+        frozen_hashes.iter().all(|h| *h == frozen_hashes[0]),
+        "a frozen defender's pack hash must be constant"
     );
     if let fp_types::RetentionPolicy::SlidingWindow { epochs } = retention {
         // The bound this binary exists to make visible: peak residency

@@ -75,6 +75,36 @@ fn main() {
         best
     };
 
+    // The rule-match series: the mined rule set evaluated per request
+    // over the recorded store, interpreted (`RuleSet` hash-index probes)
+    // vs compiled (`RulePack` dense-id probes) — the ingest hot-path
+    // kernel the pack compiler exists for, flag-count-checked so the two
+    // never silently diverge.
+    let (rule_match_interp_rps, rule_match_pack_rps, rule_match_rules) = {
+        let rules = engine.rules();
+        let pack = engine.pack();
+        let mut interp_best = 0.0f64;
+        let mut pack_best = 0.0f64;
+        let mut interp_flags = 0usize;
+        let mut pack_flags = 0usize;
+        for _ in 0..runs {
+            let start = Instant::now();
+            interp_flags = store.iter().filter(|r| rules.matches(r)).count();
+            let elapsed = start.elapsed().as_secs_f64();
+            interp_best = interp_best.max(store.len() as f64 / elapsed);
+
+            let start = Instant::now();
+            pack_flags = store.iter().filter(|r| pack.matches(r)).count();
+            let elapsed = start.elapsed().as_secs_f64();
+            pack_best = pack_best.max(store.len() as f64 / elapsed);
+        }
+        assert_eq!(
+            interp_flags, pack_flags,
+            "compiled pack diverged from the interpreted rule set"
+        );
+        (interp_best, pack_best, rules.len())
+    };
+
     let mut shard_rps = Vec::new();
     for shards in [1usize, 4, 8] {
         let mut best = 0.0f64;
@@ -188,12 +218,20 @@ fn main() {
          ingest + whole-store engine passes"
     };
     let json = format!(
-        "{{\n  \"scale\": {},\n  \"requests\": {},\n  \"host_cores\": {},\n  \"available_parallelism\": {},\n  \"batch_requests_per_sec\": {:.0},\n  \"stream_requests_per_sec\": {{\n{}\n  }},\n  \"stream_requests_per_sec_no_tls_facet\": {:.0},\n  \"tls_facet_cost_4_shards\": {:.3},\n  \"speedup_8_shards_vs_batch\": {:.3},\n  \"ingest_epoch8_keepall_requests_per_sec\": {:.0},\n  \"ingest_epoch8_sliding2_requests_per_sec\": {:.0},\n  \"ingest_epoch8_sliding2_resident_records\": {},\n  \"arena_2_rounds_requests\": {},\n  \"arena_2_rounds_requests_per_sec\": {:.0},\n  \"stream_equals_batch\": {},\n  \"note\": \"{}\"\n}}\n",
+        "{{\n  \"scale\": {},\n  \"requests\": {},\n  \"host_cores\": {},\n  \"available_parallelism\": {},\n  \"batch_requests_per_sec\": {:.0},\n  \"rule_match_rules\": {},\n  \"rule_match_interpreted_requests_per_sec\": {:.0},\n  \"rule_match_compiled_requests_per_sec\": {:.0},\n  \"rule_match_compiled_speedup\": {:.3},\n  \"stream_requests_per_sec\": {{\n{}\n  }},\n  \"stream_requests_per_sec_no_tls_facet\": {:.0},\n  \"tls_facet_cost_4_shards\": {:.3},\n  \"speedup_8_shards_vs_batch\": {:.3},\n  \"ingest_epoch8_keepall_requests_per_sec\": {:.0},\n  \"ingest_epoch8_sliding2_requests_per_sec\": {:.0},\n  \"ingest_epoch8_sliding2_resident_records\": {},\n  \"arena_2_rounds_requests\": {},\n  \"arena_2_rounds_requests_per_sec\": {:.0},\n  \"stream_equals_batch\": {},\n  \"note\": \"{}\"\n}}\n",
         scale.fraction(),
         requests,
         host_cores,
         threads,
         batch_rps,
+        rule_match_rules,
+        rule_match_interp_rps,
+        rule_match_pack_rps,
+        if rule_match_interp_rps > 0.0 {
+            rule_match_pack_rps / rule_match_interp_rps
+        } else {
+            0.0
+        },
         shard_rps
             .iter()
             .map(|(s, rps)| format!("    \"{s}\": {rps:.0}"))

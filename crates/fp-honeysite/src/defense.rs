@@ -270,6 +270,42 @@ mod tests {
         assert_eq!(spend.rules_active, 6);
     }
 
+    struct Versioned(fp_types::PackHash);
+    impl StackMember for Versioned {
+        fn member_name(&self) -> &'static str {
+            "versioned"
+        }
+        fn detector(&self) -> Box<dyn Detector> {
+            Box::new(BotD::new())
+        }
+        fn end_of_round(&mut self, _epoch: &RoundContext<'_>) -> RetrainSpend {
+            RetrainSpend {
+                pack_hash: Some(self.0),
+                rules_added: 2,
+                rules_removed: 1,
+                ..RetrainSpend::default()
+            }
+        }
+    }
+
+    #[test]
+    fn pack_hash_survives_spend_aggregation() {
+        // Exactly one member versions its model with a pack hash; the
+        // stack's aggregated spend must carry it past the hash-less
+        // members absorbed after it (and the seal-time eviction sums).
+        let mut hasher = fp_types::ContentHasher::new();
+        hasher.add_line("ua_device=iPhone AND max_touch_points=0");
+        let hash = hasher.finish();
+        let mut stack = DefenseStack::default();
+        stack.push_member(Box::new(Versioned(hash)));
+        stack.push_member(Box::new(Retrainer));
+        let records = test_records(3);
+        let spend = stack.end_of_round(0, RecordView::from_slice(&records), SimTime::EPOCH);
+        assert_eq!(spend.pack_hash, Some(hash));
+        assert_eq!(spend.rules_added, 2);
+        assert_eq!(spend.rules_removed, 1);
+    }
+
     #[test]
     fn frozen_stacks_retain_no_training_history() {
         let mut stack = DefenseStack::default();

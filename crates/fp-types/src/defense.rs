@@ -438,6 +438,18 @@ pub struct RetrainSpend {
     /// round's seal — what the next re-mine will scan. Written by the
     /// stack's retention bookkeeping, not by members (members report 0).
     pub records_resident: u64,
+    /// Content hash of the compiled rule pack deployed after this round
+    /// (the *active* artifact the next round's chain evaluates). Written
+    /// by the rule-carrying member; `None` when no such member sits in
+    /// the stack. Unchanged hash across rounds ⇔ unchanged flagging
+    /// behaviour.
+    pub pack_hash: Option<crate::stablehash::PackHash>,
+    /// Rules present in this round's re-mined pack but not in the
+    /// previously deployed one (0 on rounds without a re-mine).
+    pub rules_added: u64,
+    /// Rules present in the previously deployed pack but dropped by this
+    /// round's re-mine (0 on rounds without a re-mine).
+    pub rules_removed: u64,
 }
 
 impl RetrainSpend {
@@ -451,6 +463,13 @@ impl RetrainSpend {
         self.rules_active += other.rules_active;
         self.records_evicted += other.records_evicted;
         self.records_resident += other.records_resident;
+        // Exactly one member (the rule-carrying one) reports a pack
+        // hash, so "last Some wins" is a propagation, not a merge.
+        if other.pack_hash.is_some() {
+            self.pack_hash = other.pack_hash;
+        }
+        self.rules_added += other.rules_added;
+        self.rules_removed += other.rules_removed;
     }
 }
 
@@ -746,18 +765,33 @@ mod tests {
             rules_active: 5,
             ..RetrainSpend::default()
         };
+        let pack_hash = {
+            let mut h = crate::stablehash::ContentHasher::new();
+            h.add_line("ua_device=iPhone AND max_touch_points=0");
+            Some(h.finish())
+        };
         spend.absorb(RetrainSpend {
             retrained_members: 0,
             records_scanned: 3,
             rules_active: 2,
             records_evicted: 4,
             records_resident: 20,
+            pack_hash,
+            rules_added: 2,
+            rules_removed: 1,
         });
         assert_eq!(spend.retrained_members, 1);
         assert_eq!(spend.records_scanned, 13);
         assert_eq!(spend.rules_active, 7);
         assert_eq!(spend.records_evicted, 4);
         assert_eq!(spend.records_resident, 20);
+        assert_eq!(spend.pack_hash, pack_hash, "hash propagates through absorb");
+        assert_eq!(spend.rules_added, 2);
+        assert_eq!(spend.rules_removed, 1);
+        // A hash-less member (e.g. a frozen commercial detector) must not
+        // erase the rule member's hash.
+        spend.absorb(RetrainSpend::default());
+        assert_eq!(spend.pack_hash, pack_hash);
     }
 
     struct CountingDetector(u32);

@@ -32,6 +32,13 @@
 //!   sampled decay), the [`SegmentStats`] eviction ledger, and the
 //!   epoch-aware [`RecordView`] every record-walking pass consumes
 //!   instead of one ever-growing contiguous slice.
+//! * [`stablehash`] — process-independent, order-invariant content hashing
+//!   ([`PackHash`]): how a compiled rule pack is versioned so the same
+//!   rules hash identically however they were mined, and any behavioural
+//!   change produces a new hash.
+//! * [`hotswap`] — [`HotSwap`]: barrier-free publication of immutable
+//!   artifacts; in-flight readers keep their `Arc` snapshot while new
+//!   admissions see the swapped-in replacement.
 //! * [`SimTime`] / [`SimClock`] — simulated time, counted from the start of
 //!   the paper's three-month study window (2023-09-01).
 //! * [`mix`] — deterministic splittable hashing used wherever a generator or
@@ -46,6 +53,7 @@ pub mod clock;
 pub mod defense;
 pub mod detect;
 pub mod fingerprint;
+pub mod hotswap;
 pub mod interner;
 pub mod label;
 pub mod mitigation;
@@ -53,6 +61,7 @@ pub mod mix;
 pub mod request;
 pub mod retention;
 pub mod scale;
+pub mod stablehash;
 pub mod stored;
 pub mod tls;
 pub mod value;
@@ -65,6 +74,7 @@ pub use defense::{
 };
 pub use detect::{Detector, StateScope, Verdict, VerdictSet};
 pub use fingerprint::Fingerprint;
+pub use hotswap::HotSwap;
 pub use interner::{sym, Interner, Symbol};
 pub use label::{Cohort, PrivacyTech, ServiceId, TrafficSource};
 pub use mitigation::{MitigationAction, RoundOutcome};
@@ -72,6 +82,7 @@ pub use mix::{mix2, mix3, shard_for, splitmix64, unit_f64, Splittable};
 pub use request::{BehaviorTrace, CookieId, PointerStats, Request, RequestId};
 pub use retention::{Epoch, RecordView, RetentionPolicy, SegmentStats};
 pub use scale::Scale;
+pub use stablehash::{ContentHasher, PackHash};
 pub use stored::StoredRequest;
 pub use tls::TlsFacet;
 pub use value::AttrValue;

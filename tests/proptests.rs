@@ -1,9 +1,9 @@
 //! Property-based tests over the core data structures and invariants.
 
 use fp_inconsistent_core::attrs::AnalysisAttr;
-use fp_inconsistent_core::{RuleSet, SpatialRule};
+use fp_inconsistent_core::{RulePack, RuleSet, SpatialRule};
 use fp_tls::{ClientHello, Extension};
-use fp_types::{AttrId, AttrValue, Fingerprint};
+use fp_types::{sym, AttrId, AttrValue, Fingerprint, StoredRequest};
 use proptest::prelude::*;
 
 // ---------------------------------------------------------------------
@@ -61,6 +61,107 @@ fn arb_analysis_attr() -> impl Strategy<Value = AnalysisAttr> {
         Just(AnalysisAttr::IpRegion),
         Just(AnalysisAttr::IpUtcOffset),
     ]
+}
+
+/// A bag of candidate rule clauses (self-pairs skipped at build time, the
+/// same screen the miner applies).
+fn arb_rule_bag() -> impl Strategy<Value = Vec<(AnalysisAttr, AttrValue, AnalysisAttr, AttrValue)>>
+{
+    proptest::collection::vec(
+        (
+            arb_analysis_attr(),
+            arb_rule_value(),
+            arb_analysis_attr(),
+            arb_rule_value(),
+        ),
+        0..16,
+    )
+}
+
+fn rule_set_of(bag: &[(AnalysisAttr, AttrValue, AnalysisAttr, AttrValue)]) -> RuleSet {
+    let mut set = RuleSet::new();
+    for (a, va, b, vb) in bag {
+        if a != b {
+            set.add(SpatialRule::new(*a, *va, *b, *vb));
+        }
+    }
+    set
+}
+
+/// A neutral stored request the rule-equivalence properties mutate.
+fn blank_request() -> StoredRequest {
+    StoredRequest {
+        id: 0,
+        time: fp_types::SimTime::EPOCH,
+        site_token: sym("t"),
+        ip_hash: 0,
+        ip_offset_minutes: 0,
+        ip_region: sym("Nowhere/Central"),
+        ip_lat: 0.0,
+        ip_lon: 0.0,
+        asn: 1,
+        asn_flagged: false,
+        ip_blocklisted: false,
+        tor_exit: false,
+        cookie: 0,
+        tls: fp_types::TlsFacet::unobserved(),
+        fingerprint: Fingerprint::new(),
+        source: fp_types::TrafficSource::RealUser,
+        behavior: fp_types::BehaviorTrace::silent(),
+        verdicts: fp_types::VerdictSet::new(),
+    }
+}
+
+/// Write `attr = v` onto a request where the request representation can
+/// express it (an `ip_region` can only ever be a symbol, an `ip_utc_offset`
+/// only an in-range integer — rules talking about other shapes there are
+/// simply unmatchable, on both matchers alike).
+fn apply_value(request: &mut StoredRequest, attr: AnalysisAttr, v: &AttrValue) {
+    match attr {
+        AnalysisAttr::Fp(id) => request.fingerprint.set(id, *v),
+        AnalysisAttr::IpRegion => {
+            if let AttrValue::Sym(s) = v {
+                request.ip_region = *s;
+            }
+        }
+        AnalysisAttr::IpUtcOffset => {
+            if let AttrValue::Int(i) = v {
+                request.ip_offset_minutes = *i as i32;
+            }
+        }
+    }
+}
+
+/// Requests exercising the rule set: seeded from the rules themselves so
+/// full matches, half matches (one clause only — the missing-attribute
+/// edge) and clean requests all occur, plus fingerprint noise.
+fn requests_for(set: &RuleSet, picks: &[(u64, u64)], noise: &Fingerprint) -> Vec<StoredRequest> {
+    let rules: Vec<&SpatialRule> = set.iter().collect();
+    let mut out = Vec::with_capacity(picks.len() + 1);
+    // The all-missing request is always in the batch.
+    out.push(blank_request());
+    for &(sel, mode) in picks {
+        let mut r = blank_request();
+        if mode % 4 == 0 {
+            r.fingerprint = noise.clone();
+        }
+        if !rules.is_empty() {
+            let rule = rules[(sel % rules.len() as u64) as usize];
+            apply_value(&mut r, rule.attr_a, &rule.value_a);
+            // Half the picks complete the pair, half leave clause b
+            // missing/neutral.
+            if mode % 2 == 0 {
+                apply_value(&mut r, rule.attr_b, &rule.value_b);
+            }
+            // Some picks then overlay a second rule's clauses on top.
+            if mode % 3 == 0 {
+                let other = rules[(mode % rules.len() as u64) as usize];
+                apply_value(&mut r, other.attr_b, &other.value_b);
+            }
+        }
+        out.push(r);
+    }
+    out
 }
 
 proptest! {
@@ -197,6 +298,133 @@ proptest! {
         if count > 0 {
             prop_assert!(scaled >= 1);
         }
+    }
+}
+
+proptest! {
+    // -----------------------------------------------------------------
+    // Compiled rule packs: the compiled artifact is behaviourally the
+    // interpreted rule set, and its content hash versions exactly the
+    // flagging behaviour.
+
+    #[test]
+    fn compiled_pack_matches_interpreted_flag_for_flag(
+        bag in arb_rule_bag(),
+        picks in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..24),
+        noise in arb_fingerprint(),
+    ) {
+        let set = rule_set_of(&bag);
+        let pack = RulePack::compile(&set);
+        prop_assert_eq!(pack.len(), set.len());
+        for r in requests_for(&set, &picks, &noise) {
+            prop_assert_eq!(pack.matches(&r), set.matches(&r), "flag-for-flag: {:?}", r);
+            prop_assert_eq!(
+                pack.matching_rule(&r).cloned(),
+                set.matching_rule(&r),
+                "rule-for-rule: {:?}", r
+            );
+        }
+    }
+
+    #[test]
+    fn matching_rule_is_construction_order_independent(
+        bag in arb_rule_bag(),
+        picks in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..16),
+        noise in arb_fingerprint(),
+    ) {
+        let forward = rule_set_of(&bag);
+        let mut reversed_bag = bag.clone();
+        reversed_bag.reverse();
+        let reversed = rule_set_of(&reversed_bag);
+        prop_assert_eq!(forward.len(), reversed.len());
+        for r in requests_for(&forward, &picks, &noise) {
+            prop_assert_eq!(
+                forward.matching_rule(&r),
+                reversed.matching_rule(&r),
+                "the first match must be a function of contents, not insertion order"
+            );
+        }
+    }
+
+    #[test]
+    fn pack_hash_is_order_and_shard_invariant(
+        bag in arb_rule_bag(),
+        shards in 1usize..5,
+    ) {
+        let whole = rule_set_of(&bag);
+        let reference = whole.content_hash();
+        prop_assert_eq!(RulePack::compile(&whole).hash(), reference);
+
+        // Reversed insertion order.
+        let mut reversed_bag = bag.clone();
+        reversed_bag.reverse();
+        prop_assert_eq!(rule_set_of(&reversed_bag).content_hash(), reference);
+
+        // Sharded mining: each shard mines its slice into its own set;
+        // the merge (in shard-interleaved order) must hash identically,
+        // whatever the shard count.
+        let mut shard_sets = vec![RuleSet::new(); shards];
+        for (i, (a, va, b, vb)) in bag.iter().enumerate() {
+            if a != b {
+                shard_sets[i % shards].add(SpatialRule::new(*a, *va, *b, *vb));
+            }
+        }
+        let mut merged = RuleSet::new();
+        for shard in &shard_sets {
+            for rule in shard.iter() {
+                merged.add(rule.clone());
+            }
+        }
+        prop_assert_eq!(merged.content_hash(), reference);
+        prop_assert_eq!(RulePack::compile(&merged).hash(), reference);
+    }
+
+    #[test]
+    fn pack_hash_changes_with_any_single_rule(
+        bag in arb_rule_bag(),
+        extra in (arb_analysis_attr(), arb_rule_value(), arb_analysis_attr(), arb_rule_value()),
+        drop in any::<u64>(),
+    ) {
+        let set = rule_set_of(&bag);
+        let reference = set.content_hash();
+
+        // Removing any one rule changes the hash.
+        if !set.is_empty() {
+            let skip = (drop % set.len() as u64) as usize;
+            let mut minus_one = RuleSet::new();
+            for (i, rule) in set.iter().enumerate() {
+                if i != skip {
+                    minus_one.add(rule.clone());
+                }
+            }
+            prop_assert_ne!(minus_one.content_hash(), reference);
+        }
+
+        // Adding a rule not already present changes the hash.
+        let (a, va, b, vb) = extra;
+        if a != b {
+            let candidate = SpatialRule::new(a, va, b, vb);
+            let display = candidate.to_string();
+            if set.iter().all(|r| r.to_string() != display) {
+                let mut plus_one = rule_set_of(&bag);
+                plus_one.add(candidate);
+                prop_assert_ne!(plus_one.content_hash(), reference);
+            }
+        }
+    }
+
+    #[test]
+    fn filter_list_roundtrip_preserves_pack_hash(bag in arb_rule_bag()) {
+        let set = rule_set_of(&bag);
+        let parsed = RuleSet::from_filter_list(&set.to_filter_list()).unwrap();
+        prop_assert_eq!(parsed.content_hash(), set.content_hash());
+        prop_assert_eq!(
+            RulePack::compile(&parsed).hash(),
+            RulePack::compile(&set).hash()
+        );
+        // And the compiled pack round-trips back to an equal-hash set.
+        let back = RulePack::compile(&set).to_rule_set();
+        prop_assert_eq!(back.content_hash(), set.content_hash());
     }
 }
 
