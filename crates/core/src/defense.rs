@@ -21,12 +21,28 @@
 //! rounds, so the arena wraps them in [`fp_types::defense::Frozen`].
 
 use crate::engine::{FpInconsistent, SpatialDetector};
-use crate::rulepack::{PackSlot, RulePack};
+use crate::rulepack::{ChurnAttribution, PackSlot, RulePack};
 use crate::rules::RuleSet;
 use crate::spatial::{self, MineConfig};
 use fp_types::defense::{RetrainSpend, RoundContext, StackMember};
 use fp_types::detect::{provenance, Detector};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+/// One re-mine's per-rule FPR attribution, tagged with the round whose
+/// end-of-round fired it (see [`SpatialMember::churn_ledger`]).
+#[derive(Clone, Debug)]
+pub struct RoundChurn {
+    /// The round whose end-of-round re-mine produced this churn.
+    pub round: u32,
+    /// What each added/removed rule costs on the window's truthful
+    /// traffic ([`crate::rulepack::RulePackDiff::fpr_attribution`]).
+    pub attribution: ChurnAttribution,
+}
+
+/// The shared per-re-mine churn attribution trail a [`SpatialMember`]
+/// appends to — held by the arena the same way the [`PackSlot`] is, so
+/// reports can price every rule churn next to the pack-hash ledger.
+pub type ChurnLedger = Mutex<Vec<RoundChurn>>;
 
 /// The `fp-spatial` slot of a defense stack: mined rules + location
 /// generalisation, optionally re-mined from the stack's retained
@@ -41,6 +57,7 @@ use std::sync::Arc;
 pub struct SpatialMember {
     rules: RuleSet,
     pack: Arc<PackSlot>,
+    churn: Arc<ChurnLedger>,
     generalize_location: bool,
     mine_config: MineConfig,
     /// Re-mine after every `cadence`-th round; `None` freezes the round-0
@@ -54,6 +71,7 @@ impl SpatialMember {
         SpatialMember {
             rules: engine.rules().clone(),
             pack: Arc::new(PackSlot::from_arc(engine.pack())),
+            churn: Arc::default(),
             generalize_location: engine.config().generalize_location,
             mine_config: MineConfig::default(),
             cadence: None,
@@ -73,6 +91,7 @@ impl SpatialMember {
         SpatialMember {
             rules: engine.rules().clone(),
             pack: Arc::new(PackSlot::from_arc(engine.pack())),
+            churn: Arc::default(),
             generalize_location: engine.config().generalize_location,
             mine_config,
             cadence: Some(cadence.max(1)),
@@ -98,6 +117,14 @@ impl SpatialMember {
     /// The configured re-mining cadence (`None` = frozen).
     pub fn cadence(&self) -> Option<u32> {
         self.cadence
+    }
+
+    /// The per-re-mine churn attribution trail — share it (like
+    /// [`SpatialMember::pack_slot`]) to read each re-mine's per-rule FPR
+    /// pricing as it lands. One entry per re-mine that actually fired,
+    /// in firing order; frozen members never append.
+    pub fn churn_ledger(&self) -> Arc<ChurnLedger> {
+        self.churn.clone()
     }
 }
 
@@ -139,6 +166,17 @@ impl StackMember for SpatialMember {
         let diff = next.diff(&self.pack.load());
         let hash = next.hash();
         self.pack.swap(next);
+        // Price the churn on this window's truthful traffic before the
+        // diff goes out of scope: the ledger is what lets a report say
+        // *which* freshly mined rule is buying its recall with FPR.
+        let attribution = diff.fpr_attribution(epoch.records.iter());
+        self.churn
+            .lock()
+            .expect("churn ledger poisoned")
+            .push(RoundChurn {
+                round: epoch.round,
+                attribution,
+            });
         RetrainSpend {
             retrained_members: 1,
             records_scanned: epoch.records.len() as u64,
@@ -310,6 +348,47 @@ mod tests {
         });
         assert_eq!(idle.pack_hash, Some(gated.pack().hash()));
         assert_eq!(idle.rules_added + idle.rules_removed, 0);
+    }
+
+    #[test]
+    fn remine_ledgers_per_rule_churn_priced_on_truthful_traffic() {
+        let mut member = SpatialMember::remining(&empty_engine(), MineConfig::default(), 1);
+        let ledger = member.churn_ledger();
+        let mut records = vec![fake_iphone_record(); 5];
+        let mut human = fake_iphone_record();
+        human.source = TrafficSource::RealUser;
+        human.fingerprint = Fingerprint::new().with(AttrId::UaDevice, "Mac");
+        records.push(human);
+
+        let spend = member.end_of_round(&RoundContext {
+            round: 2,
+            records: RecordView::from_slice(&records),
+            now: SimTime::EPOCH,
+        });
+
+        let churn = ledger.lock().unwrap();
+        assert_eq!(churn.len(), 1, "one re-mine, one ledger entry");
+        let entry = &churn[0];
+        assert_eq!(entry.round, 2, "tagged with the round that fired it");
+        assert_eq!(entry.attribution.added.len() as u64, spend.rules_added);
+        assert_eq!(entry.attribution.removed.len() as u64, spend.rules_removed);
+        assert_eq!(
+            entry.attribution.truthful_requests, 1,
+            "only the RealUser record prices the FPR denominator"
+        );
+        // The mined impossible-pair rules match only the bot records, so
+        // every added rule is free on this window's truthful traffic.
+        assert_eq!(entry.attribution.added_truthful_matches(), 0);
+
+        // Frozen members never append.
+        let mut frozen = SpatialMember::frozen(&empty_engine());
+        let frozen_ledger = frozen.churn_ledger();
+        frozen.end_of_round(&RoundContext {
+            round: 0,
+            records: RecordView::from_slice(&records),
+            now: SimTime::EPOCH,
+        });
+        assert!(frozen_ledger.lock().unwrap().is_empty());
     }
 
     #[test]

@@ -9,7 +9,8 @@ use crate::spatial::MineConfig;
 use fp_honeysite::RequestStore;
 use fp_types::defense::RetrainSpend;
 use fp_types::detect::provenance;
-use fp_types::{Cohort, ServiceId, Symbol, TrafficSource};
+use fp_types::runfp::{ComponentHash, ComponentHasher};
+use fp_types::{ActionLedger, Cohort, ServiceId, Symbol, TrafficSource};
 
 /// One Table 3 row: a service's detection before/after FP-Inconsistent.
 #[derive(Clone, Copy, Debug)]
@@ -186,6 +187,11 @@ pub struct DetectorCohortStats {
     /// Flag rate per cohort, in [`Cohort::ALL`] order (recall for the
     /// automation cohorts, false-positive rate for the human ones).
     pub flag_rate: [f64; Cohort::ALL.len()],
+    /// Raw flag *counts* per cohort, in [`Cohort::ALL`] order — the
+    /// integers the rates are derived from. The behaviour fingerprint
+    /// folds these (exact, platform-independent) rather than the f64
+    /// rates.
+    pub flags: [u64; Cohort::ALL.len()],
 }
 
 impl DetectorCohortStats {
@@ -267,6 +273,7 @@ pub fn cohort_report(store: &RequestStore) -> CohortReport {
                     tp as f64 / total as f64
                 },
                 flag_rate,
+                flags: per_cohort,
             }
         })
         .collect();
@@ -319,6 +326,9 @@ pub struct RoundStats {
     /// Requests turned away at admission by the TTL blocklist, per cohort
     /// in [`Cohort::ALL`] order.
     pub denied: [u64; Cohort::ALL.len()],
+    /// The mitigation decisions over every admitted request this round —
+    /// the defender's action ledger (allow / shadow / captcha / block).
+    pub actions: ActionLedger,
     /// The adversary's adaptation spend this round.
     pub mutation: MutationStats,
     /// The defender's end-of-round spend: which stack members retrained,
@@ -331,6 +341,70 @@ impl RoundStats {
     /// Admission denials for one cohort.
     pub fn denied(&self, cohort: Cohort) -> u64 {
         self.denied[cohort.index()]
+    }
+
+    /// The round's canonical JSON encoding — the exact byte sequence the
+    /// behaviour fingerprint folds (one line per round), so serialization
+    /// stability *is* fingerprint stability. Deliberately hand-rolled with
+    /// a fixed field order and integer-only measurements: flag counts, not
+    /// f64 rates (rates are derivable); detectors sorted by provenance
+    /// name, so two chains with the same per-detector verdicts in a
+    /// different mount order encode identically (chain order is an
+    /// execution detail, like the shard count). Guarded by the golden
+    /// JSON snapshot in `tests/trajectory_json.rs` — reordering or
+    /// renaming a field breaks that snapshot before it silently changes
+    /// every run fingerprint.
+    pub fn to_json(&self) -> String {
+        let join = |xs: &[u64]| {
+            xs.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let mut detectors: Vec<&DetectorCohortStats> = self.cohorts.detectors.iter().collect();
+        detectors.sort_by_key(|d| d.detector.as_str());
+        let detectors = detectors
+            .iter()
+            .map(|d| {
+                format!(
+                    "{{\"detector\":\"{}\",\"flags\":[{}]}}",
+                    d.detector.as_str(),
+                    join(&d.flags)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let d = &self.defense;
+        format!(
+            "{{\"round\":{},\"cohort_sizes\":[{}],\"detectors\":[{}],\
+             \"denied\":[{}],\"actions\":{{\"allowed\":{},\"shadow_flagged\":{},\
+             \"captchas\":{},\"blocked\":{}}},\"mutation\":{{\"adapted_requests\":{},\
+             \"mutated_attrs\":{},\"rotated_ips\":{},\"tls_upgrades\":{}}},\
+             \"defense\":{{\"retrained_members\":{},\"records_scanned\":{},\
+             \"rules_active\":{},\"records_evicted\":{},\"records_resident\":{},\
+             \"pack_hash\":{},\"rules_added\":{},\"rules_removed\":{}}}}}",
+            self.round,
+            join(&self.cohorts.cohort_sizes),
+            detectors,
+            join(&self.denied),
+            self.actions.allowed,
+            self.actions.shadow_flagged,
+            self.actions.captchas,
+            self.actions.blocked,
+            self.mutation.adapted_requests,
+            self.mutation.mutated_attrs,
+            self.mutation.rotated_ips,
+            self.mutation.tls_upgrades,
+            d.retrained_members,
+            d.records_scanned,
+            d.rules_active,
+            d.records_evicted,
+            d.records_resident,
+            d.pack_hash
+                .map_or_else(|| "null".to_string(), |h| format!("\"{h}\"")),
+            d.rules_added,
+            d.rules_removed,
+        )
     }
 
     /// Automation requests admitted this round that the *named* detector
@@ -469,6 +543,35 @@ impl TrajectoryReport {
             .sum()
     }
 
+    /// The whole trajectory's canonical JSON encoding: the version tag
+    /// plus every round's [`RoundStats::to_json`] line in round order.
+    /// This is the serialization the golden-snapshot regression test pins
+    /// and the substrate [`TrajectoryReport::behavior_component`] folds.
+    pub fn to_json(&self) -> String {
+        let rounds = self
+            .rounds
+            .iter()
+            .map(RoundStats::to_json)
+            .collect::<Vec<_>>()
+            .join(",");
+        format!("{{\"version\":\"RUNFP_V1\",\"rounds\":[{rounds}]}}")
+    }
+
+    /// The run's *behaviour* component: an order-sensitive fold of every
+    /// round's canonical JSON line (flag counts, denials, mitigation
+    /// actions, mutation spend, defender spend with pack hashes and
+    /// eviction ledgers). Two campaigns share this hash iff every round
+    /// observably behaved the same, in the same order; it is
+    /// shard-count-invariant because everything folded is (the sharded
+    /// pipeline is verdict-for-verdict the sequential one).
+    pub fn behavior_component(&self) -> ComponentHash {
+        let mut h = ComponentHasher::new("behavior");
+        for round in &self.rounds {
+            h.line(&round.to_json());
+        }
+        h.finish()
+    }
+
     /// The adversary's attribute-mutation cost per successfully evading
     /// request, per round: mutated attributes divided by the automation
     /// requests the named detector missed that round. The price of staying
@@ -589,6 +692,12 @@ mod tests {
         assert!((dd.rate(Cohort::BotService) - 0.5).abs() < 1e-9);
         assert!((dd.rate(Cohort::RealUser) - 0.5).abs() < 1e-9);
         assert!((dd.precision - 0.5).abs() < 1e-9, "1 TP, 1 FP");
+        assert_eq!(
+            dd.flags[Cohort::BotService.index()],
+            1,
+            "raw counts ride along"
+        );
+        assert_eq!(dd.flags[Cohort::RealUser.index()], 1);
 
         let xl = report.detector("fp-tls-crosslayer").unwrap();
         assert!((xl.rate(Cohort::TlsLaggard) - 1.0).abs() < 1e-9);
@@ -654,6 +763,9 @@ mod tests {
         let mut cohort_sizes = [0u64; Cohort::ALL.len()];
         cohort_sizes[Cohort::BotService.index()] = 1_000;
         cohort_sizes[Cohort::RealUser.index()] = 100;
+        let mut flags = [0u64; Cohort::ALL.len()];
+        flags[Cohort::BotService.index()] = (bot_recall * 1_000.0).round() as u64;
+        flags[Cohort::RealUser.index()] = (user_fpr * 100.0).round() as u64;
         RoundStats {
             round,
             cohorts: CohortReport {
@@ -662,9 +774,11 @@ mod tests {
                     detector: sym("d"),
                     precision: 1.0,
                     flag_rate,
+                    flags,
                 }],
             },
             denied: [0; Cohort::ALL.len()],
+            actions: ActionLedger::default(),
             mutation: MutationStats {
                 adapted_requests: mutated.min(1_000),
                 mutated_attrs: mutated,
@@ -673,6 +787,68 @@ mod tests {
             },
             defense: RetrainSpend::default(),
         }
+    }
+
+    #[test]
+    fn round_json_is_canonical_and_detector_order_free() {
+        let stats = round_stats(0, 0.5, 0.02, 7);
+        let json = stats.to_json();
+        assert!(
+            json.starts_with("{\"round\":0,\"cohort_sizes\":["),
+            "{json}"
+        );
+        assert!(json.contains("\"pack_hash\":null"), "{json}");
+
+        // A second detector mounted in either chain order encodes (and
+        // therefore folds) identically: chain order is an execution
+        // detail, per-detector behaviour is not.
+        let extra = DetectorCohortStats {
+            detector: sym("a-first"),
+            precision: 1.0,
+            flag_rate: [0.0; Cohort::ALL.len()],
+            flags: [3, 0, 0, 0, 0],
+        };
+        let mut appended = stats.clone();
+        appended.cohorts.detectors.push(extra.clone());
+        let mut prepended = stats.clone();
+        prepended.cohorts.detectors.insert(0, extra);
+        assert_eq!(appended.to_json(), prepended.to_json());
+
+        // …but a changed flag *count* changes the encoding.
+        let mut perturbed = appended.clone();
+        perturbed.cohorts.detectors[0].flags[0] += 1;
+        assert_ne!(perturbed.to_json(), appended.to_json());
+    }
+
+    #[test]
+    fn behavior_component_tracks_observable_changes_only() {
+        let mut traj = TrajectoryReport::new();
+        traj.push(round_stats(0, 0.5, 0.02, 7));
+        traj.push(round_stats(1, 0.4, 0.02, 9));
+        let mut same = TrajectoryReport::new();
+        same.push(round_stats(0, 0.5, 0.02, 7));
+        same.push(round_stats(1, 0.4, 0.02, 9));
+        assert_eq!(traj.behavior_component(), same.behavior_component());
+        assert_eq!(traj.to_json(), same.to_json());
+
+        // Round order is behaviour: a reordered trajectory is a
+        // different campaign.
+        let mut reordered = TrajectoryReport::new();
+        reordered.push(round_stats(0, 0.4, 0.02, 9));
+        reordered.push(round_stats(1, 0.5, 0.02, 7));
+        assert_ne!(traj.behavior_component(), reordered.behavior_component());
+
+        // Every folded ledger perturbs the hash: denials, actions,
+        // mutation spend, defender spend.
+        let mut denied = traj.clone();
+        denied.rounds[1].denied[Cohort::BotService.index()] += 1;
+        assert_ne!(traj.behavior_component(), denied.behavior_component());
+        let mut acted = traj.clone();
+        acted.rounds[1].actions.blocked += 1;
+        assert_ne!(traj.behavior_component(), acted.behavior_component());
+        let mut spent = traj.clone();
+        spent.rounds[1].defense.records_evicted += 1;
+        assert_ne!(traj.behavior_component(), spent.behavior_component());
     }
 
     #[test]

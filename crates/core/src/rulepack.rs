@@ -431,6 +431,91 @@ impl RulePackDiff {
     pub fn is_empty(&self) -> bool {
         self.added.is_empty() && self.removed.is_empty()
     }
+
+    /// Price each churned rule in false-positive terms: over the given
+    /// records (typically the re-mine's training window), count how much
+    /// *truthful* traffic — the non-automation cohorts, real users and
+    /// privacy tools — each added and removed rule matches on its own.
+    /// This is the "what did this churn cost" column of the fingerprint
+    /// ledger: an added rule with truthful matches bought its recall with
+    /// user FPR; a removed rule with truthful matches gave some back.
+    /// One pass over the records, rules in the diff's display-sorted
+    /// order.
+    pub fn fpr_attribution<'a>(
+        &self,
+        records: impl IntoIterator<Item = &'a StoredRequest>,
+    ) -> ChurnAttribution {
+        let cost_of = |rules: &[SpatialRule]| -> Vec<RuleFprCost> {
+            rules
+                .iter()
+                .map(|rule| RuleFprCost {
+                    rule: rule.clone(),
+                    truthful_matches: 0,
+                })
+                .collect()
+        };
+        let mut attribution = ChurnAttribution {
+            truthful_requests: 0,
+            added: cost_of(&self.added),
+            removed: cost_of(&self.removed),
+        };
+        for record in records {
+            if record.source.cohort().is_automation() {
+                continue;
+            }
+            attribution.truthful_requests += 1;
+            for cost in attribution
+                .added
+                .iter_mut()
+                .chain(attribution.removed.iter_mut())
+            {
+                cost.truthful_matches += u64::from(cost.rule.matches(record));
+            }
+        }
+        attribution
+    }
+}
+
+/// One churned rule's measured cost on truthful traffic (see
+/// [`RulePackDiff::fpr_attribution`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuleFprCost {
+    /// The rule that was added or removed.
+    pub rule: SpatialRule,
+    /// Truthful (non-automation) requests this rule matches by itself.
+    pub truthful_matches: u64,
+}
+
+/// Per-rule FPR pricing of one pack diff over a training window.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChurnAttribution {
+    /// Truthful (non-automation) requests in the window — the FPR
+    /// denominator shared by every rule here.
+    pub truthful_requests: u64,
+    /// Cost of each added rule, in the diff's display-sorted order.
+    pub added: Vec<RuleFprCost>,
+    /// Cost of each removed rule, in the diff's display-sorted order.
+    pub removed: Vec<RuleFprCost>,
+}
+
+impl ChurnAttribution {
+    /// A rule cost as an FPR fraction of the window's truthful traffic.
+    pub fn fpr(&self, cost: &RuleFprCost) -> f64 {
+        cost.truthful_matches as f64 / self.truthful_requests.max(1) as f64
+    }
+
+    /// Truthful matches summed over the added rules — the upper bound on
+    /// what this re-mine's new rules can cost in user FPR (rules overlap,
+    /// so the realised cost can only be lower).
+    pub fn added_truthful_matches(&self) -> u64 {
+        self.added.iter().map(|c| c.truthful_matches).sum()
+    }
+
+    /// The added rule with the most truthful matches, if any rule was
+    /// added — the first rule to review when FPR moves after a re-mine.
+    pub fn worst_added(&self) -> Option<&RuleFprCost> {
+        self.added.iter().max_by_key(|c| c.truthful_matches)
+    }
 }
 
 /// The canonical content hash of a bag of rules without compiling a full
@@ -596,6 +681,47 @@ mod tests {
         assert_eq!(diff.removed, vec![rules[0].clone()]);
         assert_eq!(diff.churn(), 2);
         assert!(new.diff(&new).is_empty());
+    }
+
+    #[test]
+    fn fpr_attribution_prices_churn_on_truthful_traffic_only() {
+        let rules = sample_rules();
+        let old = RulePack::compile(&set_of(&rules[..2]));
+        let new = RulePack::compile(&set_of(&rules[1..]));
+        // added: rules[2] (iPhone AND Atlantis/Deep); removed: rules[0]
+        // (iPhone AND MaxTouchPoints 0).
+        let diff = new.diff(&old);
+
+        let truthful_hit = request("iPhone", 0, "Atlantis/Deep"); // both rules
+        let truthful_miss = request("Mac", 5, "Elsewhere/Flat"); // neither
+        let truthful_removed_only = request("iPhone", 0, "Elsewhere/Flat");
+        let mut bot_hit = request("iPhone", 0, "Atlantis/Deep");
+        bot_hit.source = TrafficSource::Bot(fp_types::ServiceId(1));
+
+        let records = [truthful_hit, truthful_miss, truthful_removed_only, bot_hit];
+        let attribution = diff.fpr_attribution(records.iter());
+        assert_eq!(attribution.truthful_requests, 3, "the bot is not counted");
+        assert_eq!(attribution.added.len(), 1);
+        assert_eq!(attribution.removed.len(), 1);
+        assert_eq!(attribution.added[0].truthful_matches, 1);
+        assert_eq!(attribution.removed[0].truthful_matches, 2);
+        assert!((attribution.fpr(&attribution.added[0]) - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(attribution.added_truthful_matches(), 1);
+        assert_eq!(
+            attribution.worst_added().unwrap().rule,
+            rules[2],
+            "the costliest added rule is named"
+        );
+
+        // An empty window prices everything at zero without dividing by it.
+        let empty = diff.fpr_attribution(std::iter::empty());
+        assert_eq!(empty.truthful_requests, 0);
+        assert_eq!(empty.fpr(&empty.added[0]), 0.0);
+        assert!(new
+            .diff(&new)
+            .fpr_attribution(records.iter())
+            .worst_added()
+            .is_none());
     }
 
     #[test]

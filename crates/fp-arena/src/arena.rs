@@ -45,14 +45,15 @@ use crate::policy::ResponsePolicy;
 use crate::strategy::AdaptationStrategy;
 use fp_botnet::{Campaign, CampaignConfig};
 use fp_honeysite::{DefenseStack, HoneySite, RequestStore};
-use fp_inconsistent_core::defense::SpatialMember;
+use fp_inconsistent_core::defense::{ChurnLedger, RoundChurn, SpatialMember};
 use fp_inconsistent_core::evaluate::{self, MutationStats, RoundStats, TrajectoryReport};
 use fp_inconsistent_core::{FpInconsistent, MineConfig, PackSlot, RulePack};
 use fp_netsim::{NetDb, TtlBlocklist};
 use fp_types::defense::{DecisionContext, DecisionPolicy, Frozen};
+use fp_types::runfp::{component_of, RunComponents, RunFingerprint};
 use fp_types::{
-    mix2, Cohort, MitigationAction, Request, RetentionPolicy, RoundOutcome, Scale, ServiceId,
-    SimTime, Splittable, TrafficSource, STUDY_DAYS,
+    mix2, ActionLedger, Cohort, MitigationAction, Request, RetentionPolicy, RoundOutcome, Scale,
+    ServiceId, SimTime, Splittable, TrafficSource, STUDY_DAYS,
 };
 use std::collections::HashMap;
 
@@ -135,6 +136,10 @@ pub struct Arena {
     /// arena reads it to report the active pack, tests read it to verify
     /// the compiled/interpreted equivalence round by round.
     spatial_pack: std::sync::Arc<PackSlot>,
+    /// The spatial member's per-re-mine churn trail (shared with the
+    /// member, like the pack slot): what each freshly mined rule costs
+    /// on the window's truthful traffic.
+    spatial_churn: std::sync::Arc<ChurnLedger>,
     blocklist: TtlBlocklist,
     strategies: HashMap<ServiceId, Box<dyn AdaptationStrategy>>,
     laggard_strategy: Option<Box<dyn AdaptationStrategy>>,
@@ -178,6 +183,7 @@ impl Arena {
             Some(cadence) => SpatialMember::remining(&engine, MineConfig::default(), cadence),
         };
         let spatial_pack = member.pack_slot();
+        let spatial_churn = member.churn_ledger();
         stack.push_member(Box::new(member));
         // The spatial slot is the member above; the engine's remaining
         // detectors (the temporal anchors) retrain nothing between rounds
@@ -198,6 +204,7 @@ impl Arena {
             engine,
             stack,
             spatial_pack,
+            spatial_churn,
             blocklist: TtlBlocklist::new(),
             strategies: HashMap::new(),
             laggard_strategy: None,
@@ -213,6 +220,20 @@ impl Arena {
     /// reference matcher in equivalence tests.
     pub fn spatial_pack(&self) -> std::sync::Arc<RulePack> {
         self.spatial_pack.load()
+    }
+
+    /// The spatial member's per-re-mine rule churn so far, in firing
+    /// order: for every re-mine that actually deployed, which rules were
+    /// added/removed and what each costs on that window's truthful
+    /// (non-automation) traffic. Empty for frozen arenas. One entry's
+    /// `added`/`removed` lengths match the round's
+    /// `rules_added`/`rules_removed` ledger on
+    /// [`fp_types::defense::RetrainSpend`].
+    pub fn rule_churn(&self) -> Vec<RoundChurn> {
+        self.spatial_churn
+            .lock()
+            .expect("churn ledger poisoned")
+            .clone()
     }
 
     /// Give one bot service an adaptation strategy (services without one
@@ -293,6 +314,76 @@ impl Arena {
         self.trajectory
     }
 
+    /// The run's `RUNFP_V1` component breakdown — the audit surface
+    /// behind [`Arena::run_fingerprint`]. Components, in fingerprint
+    /// order:
+    ///
+    /// * `config.scale`, `config.policy`, `config.retention`,
+    ///   `config.remine` — one component per [`ArenaConfig`] knob, so a
+    ///   frozen-vs-re-mining pair diverges in `config.remine` alone while
+    ///   every other config component attests the pairing. These hash the
+    ///   *configured* run parameters; a policy hot-swapped at runtime via
+    ///   [`Arena::set_policy`] shows up in `behavior` (where its observable
+    ///   effect lands), not here.
+    /// * `seed` — the master seed every round's generation and adaptation
+    ///   derives from.
+    /// * `behavior` — the trajectory fold
+    ///   ([`TrajectoryReport::behavior_component`]): per-detector flag
+    ///   counts, denials, mitigation actions, mutation spend, defender
+    ///   spend with pack hashes and eviction ledgers, per round in order.
+    ///
+    /// [`ArenaConfig::shards`] is deliberately **not** a component: the
+    /// shard count is an execution parameter the pipeline proves
+    /// behaviour-invariant, so the same campaign at 1, 2 or 8 shards
+    /// must attest identically — that invariance is what the fingerprint
+    /// is *for*.
+    pub fn run_components(&self) -> RunComponents {
+        let c = &self.config;
+        let retention = match c.retention {
+            RetentionPolicy::KeepAll => "retention=keep".to_string(),
+            RetentionPolicy::SlidingWindow { epochs } => format!("retention=sliding:{epochs}"),
+            RetentionPolicy::SampledDecay { keep_rate, floor } => {
+                format!("retention=decay:{keep_rate}:{floor}")
+            }
+        };
+        let remine = match c.remine_cadence {
+            None => "remine=off".to_string(),
+            Some(cadence) => format!("remine={cadence}"),
+        };
+        let mut out = RunComponents::new();
+        out.push(
+            "config.scale",
+            component_of("config.scale", &[&format!("scale={}", c.scale.fraction())]),
+        );
+        out.push(
+            "config.policy",
+            component_of(
+                "config.policy",
+                &[&format!(
+                    "policy={}:votes={}:action={}",
+                    c.policy.name, c.policy.min_votes, c.policy.action
+                )],
+            ),
+        );
+        out.push(
+            "config.retention",
+            component_of("config.retention", &[&retention]),
+        );
+        out.push("config.remine", component_of("config.remine", &[&remine]));
+        out.push("seed", component_of("seed", &[&format!("seed={}", c.seed)]));
+        out.push("behavior", self.trajectory.behavior_component());
+        out
+    }
+
+    /// The deterministic fingerprint of everything this arena was
+    /// configured with and everything that observably happened in the
+    /// rounds played so far. Equal fingerprints mean "the same campaign";
+    /// on divergence, compare [`Arena::run_components`] breakdowns to
+    /// name the facet that moved.
+    pub fn run_fingerprint(&self) -> RunFingerprint {
+        self.run_components().fingerprint()
+    }
+
     /// Play one round; returns its full result.
     pub fn step(&mut self) -> RoundResult {
         let round = self.round;
@@ -334,6 +425,7 @@ impl Arena {
         // scales with offense episodes and activity span — never with raw
         // request volume (TTLs do not stack per request) — and an
         // escalating policy's TTL cap bounds each episode.
+        let mut actions = ActionLedger::default();
         for record in store.iter() {
             let outcome = outcomes.entry(record.source).or_insert(RoundOutcome {
                 round,
@@ -356,6 +448,7 @@ impl Arena {
                 now: record.time,
                 prior_offenses,
             });
+            actions.record(action);
             match action {
                 MitigationAction::Allow | MitigationAction::ShadowFlag => outcome.allowed += 1,
                 MitigationAction::Captcha => {
@@ -397,6 +490,7 @@ impl Arena {
             round,
             cohorts: evaluate::cohort_report(&store),
             denied,
+            actions,
             mutation,
             defense,
         };

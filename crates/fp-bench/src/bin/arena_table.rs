@@ -26,11 +26,13 @@
 //! (and asserted, for sliding windows).
 
 use fp_arena::{Arena, ArenaConfig, ResponsePolicy, DEFAULT_BLOCK_TTL_SECS};
-use fp_bench::{header, pct, recorded_cohort_campaign, CAMPAIGN_SEED};
+use fp_bench::{env, header, pct, recorded_cohort_campaign, CAMPAIGN_SEED};
 use fp_honeysite::RequestStore;
 use fp_types::detect::provenance;
-use fp_types::{Cohort, Scale};
+use fp_types::runfp::RunComponents;
+use fp_types::{Cohort, RetentionPolicy, Scale};
 use std::collections::HashMap;
+use std::path::PathBuf;
 
 /// The detectors whose trajectories the table reports, in chain order.
 const DETECTORS: [&str; 6] = [
@@ -43,50 +45,67 @@ const DETECTORS: [&str; 6] = [
 ];
 
 fn arena_scale() -> Scale {
-    match std::env::var("FP_SCALE") {
-        Ok(v) => Scale::ratio(v.parse().expect("FP_SCALE must be a fraction in (0,1]")),
-        Err(_) => Scale::ratio(0.02),
-    }
+    env::scale_or(Scale::ratio(0.02))
 }
 
 fn arena_rounds() -> u32 {
-    match std::env::var("ARENA_ROUNDS") {
-        Ok(v) => v.parse().expect("ARENA_ROUNDS must be a round count"),
-        Err(_) => 5,
-    }
+    env::rounds_or(5)
 }
 
 fn remine_cadence() -> Option<u32> {
-    match std::env::var("ARENA_REMINE") {
-        Ok(v) => {
-            let cadence: u32 = v.parse().expect("ARENA_REMINE must be a cadence (0 = off)");
-            (cadence > 0).then_some(cadence)
-        }
-        Err(_) => Some(1),
-    }
+    env::remine_or(Some(1))
 }
 
 /// Retention for the re-mining defender's training window, via
 /// `ARENA_RETENTION`: `keep` (default, the unbounded window),
 /// `sliding:N` (keep the last N epochs) or `decay:RATE:FLOOR` (sampled
 /// decay at RATE per epoch of age, floored at FLOOR records).
-fn arena_retention() -> fp_types::RetentionPolicy {
-    use fp_types::RetentionPolicy;
-    let Ok(spec) = std::env::var("ARENA_RETENTION") else {
-        return RetentionPolicy::KeepAll;
-    };
-    let parts: Vec<&str> = spec.split(':').collect();
-    match parts.as_slice() {
-        ["keep"] => RetentionPolicy::KeepAll,
-        ["sliding", epochs] => RetentionPolicy::SlidingWindow {
-            epochs: epochs.parse().expect("ARENA_RETENTION=sliding:<epochs>"),
-        },
-        ["decay", rate, floor] => RetentionPolicy::SampledDecay {
-            keep_rate: rate.parse().expect("ARENA_RETENTION=decay:<rate>:<floor>"),
-            floor: floor.parse().expect("ARENA_RETENTION=decay:<rate>:<floor>"),
-        },
-        _ => panic!("ARENA_RETENTION must be keep | sliding:<epochs> | decay:<rate>:<floor>"),
+fn arena_retention() -> RetentionPolicy {
+    env::retention_or(RetentionPolicy::KeepAll)
+}
+
+/// Print one arena's `RUNFP_V1` ledger with a greppable prefix — CI diffs
+/// `runfp` lines between two runs of this binary to prove run-to-run
+/// identity.
+fn print_runfp(label: &str, components: &RunComponents) {
+    for line in components.to_ledger().lines() {
+        println!("runfp[{label}] {line}");
     }
+}
+
+/// Golden-fingerprint gating. `ARENA_WRITE_RUNFP=<path>` writes this
+/// run's ledger (regenerating the golden); `ARENA_GOLDEN_RUNFP=<path>`
+/// asserts this run reproduces the committed ledger exactly, printing
+/// the per-component diff on mismatch so the failure names the facet
+/// that moved.
+fn gate_golden(components: &RunComponents) {
+    if let Some(path) = std::env::var_os("ARENA_WRITE_RUNFP") {
+        let path = PathBuf::from(path);
+        std::fs::write(&path, components.to_ledger())
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        println!("runfp golden written: {}", path.display());
+    }
+    let Some(path) = std::env::var_os("ARENA_GOLDEN_RUNFP") else {
+        return;
+    };
+    let path = PathBuf::from(path);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read golden {}: {e}", path.display()));
+    let golden = RunComponents::parse_ledger(&text)
+        .unwrap_or_else(|e| panic!("golden {} is corrupt: {e}", path.display()));
+    if golden.fingerprint() != components.fingerprint() {
+        eprintln!("{}", golden.diff_report(components, "golden", "this run"));
+        panic!(
+            "run fingerprint diverged from golden {} (re-record with \
+             ARENA_WRITE_RUNFP if the change is intended)",
+            path.display()
+        );
+    }
+    println!(
+        "runfp golden check passed: {} matches {}",
+        components.fingerprint(),
+        path.display()
+    );
 }
 
 /// Per-round network mix of the bot-service cohort: how much of the fleet
@@ -267,9 +286,16 @@ fn main() {
         println!("\nqualitative §6 check passed: recall erodes (run 3+ rounds for the ASN shift).");
     }
 
+    // The frozen run's attestation: the same binary + env on any host
+    // must reproduce these lines byte for byte.
+    println!("\nrun fingerprints (RUNFP_V1):");
+    let frozen_components = arena.run_components();
+    print_runfp("frozen", &frozen_components);
+
     // ── Defender ablation: the same campaign, re-mining enabled ─────────
     let Some(cadence) = remine_cadence() else {
         println!("\nARENA_REMINE=0: defender re-mining ablation skipped.");
+        gate_golden(&frozen_components);
         return;
     };
     let retention = arena_retention();
@@ -337,6 +363,52 @@ fn main() {
         remined_trajectory.total_records_evicted(),
         remined_trajectory.peak_resident_records(),
         remined_trajectory.total_rule_churn(),
+    );
+
+    // Per-rule FPR attribution: what each re-mine's rule churn costs on
+    // that training window's truthful (non-automation) traffic.
+    let churn = remined.rule_churn();
+    println!("\nper-rule FPR attribution per re-mine (priced on truthful traffic):");
+    for entry in &churn {
+        let spend = &spends[entry.round as usize];
+        assert_eq!(
+            entry.attribution.added.len() as u64,
+            spend.rules_added,
+            "the churn ledger and the spend ledger must agree on added rules"
+        );
+        assert_eq!(
+            entry.attribution.removed.len() as u64,
+            spend.rules_removed,
+            "…and on removed rules"
+        );
+        print!(
+            "round {}: +{}/-{} rules, {} truthful matches across added rules \
+             ({} truthful requests in window)",
+            entry.round,
+            entry.attribution.added.len(),
+            entry.attribution.removed.len(),
+            entry.attribution.added_truthful_matches(),
+            entry.attribution.truthful_requests,
+        );
+        match entry.attribution.worst_added() {
+            Some(worst) => println!(
+                "; costliest added: [{}] at {}",
+                worst.rule,
+                pct(entry.attribution.fpr(worst))
+            ),
+            None => println!(),
+        }
+    }
+    let fired: Vec<u32> = spends
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.retrained_members > 0)
+        .map(|(r, _)| r as u32)
+        .collect();
+    assert_eq!(
+        churn.iter().map(|c| c.round).collect::<Vec<_>>(),
+        fired,
+        "one churn entry per fired re-mine, in firing order"
     );
 
     // Golden-hash discipline (the RUNFP property, applied to the deployed
@@ -440,4 +512,22 @@ fn main() {
              answer it)."
         );
     }
+
+    // The re-mined run's attestation, and the audit the breakdown buys:
+    // against the frozen run, exactly the re-mine cadence config and the
+    // played-out behaviour moved — same scale, policy, retention, seed.
+    let remined_components = remined.run_components();
+    println!("\nrun fingerprints (RUNFP_V1), re-mined arena:");
+    print_runfp("remined", &remined_components);
+    let diverging = frozen_components.diverging(&remined_components);
+    println!(
+        "frozen vs re-mined diverging components: {}",
+        diverging.join(", ")
+    );
+    assert_eq!(
+        diverging,
+        ["config.remine", "behavior"],
+        "re-mining must move exactly the cadence config and the behaviour"
+    );
+    gate_golden(&remined_components);
 }

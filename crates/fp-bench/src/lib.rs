@@ -12,9 +12,185 @@ use fp_types::{Scale, ServiceId};
 /// paper's 507,080 requests; override with `FP_SCALE` (e.g. `FP_SCALE=0.1`)
 /// for quicker runs.
 pub fn bench_scale() -> Scale {
-    match std::env::var("FP_SCALE") {
-        Ok(v) => Scale::ratio(v.parse().expect("FP_SCALE must be a fraction in (0,1]")),
-        Err(_) => Scale::FULL,
+    env::scale_or(Scale::FULL)
+}
+
+/// Strict environment-variable parsing shared by the bench binaries.
+///
+/// Every knob has a pure `parse_*` function (testable, grammar-bearing
+/// errors) and an `*_or` env wrapper that reads the variable, falls back
+/// to the given default only when the variable is *absent*, and exits
+/// with the accepted grammar on anything malformed — including values
+/// that are not valid unicode, which `std::env::var` would silently
+/// treat as absent.
+pub mod env {
+    use fp_types::{RetentionPolicy, Scale};
+
+    /// Parse an `FP_SCALE` value: a fraction in `(0, 1]`.
+    pub fn parse_scale(v: &str) -> Result<Scale, String> {
+        let f: f64 = v.parse().map_err(|_| format!("`{v}` is not a number"))?;
+        if f > 0.0 && f <= 1.0 {
+            Ok(Scale::ratio(f))
+        } else {
+            Err(format!("`{v}` is outside (0, 1]"))
+        }
+    }
+
+    /// Parse an `ARENA_ROUNDS` value: a positive round count.
+    pub fn parse_rounds(v: &str) -> Result<u32, String> {
+        match v.parse::<u32>() {
+            Ok(0) => Err("`0` rounds would play nothing".into()),
+            Ok(n) => Ok(n),
+            Err(_) => Err(format!("`{v}` is not a round count")),
+        }
+    }
+
+    /// Parse an `ARENA_REMINE` value: a re-mining cadence in rounds,
+    /// where `0` disables re-mining (`None`).
+    pub fn parse_remine(v: &str) -> Result<Option<u32>, String> {
+        let cadence: u32 = v.parse().map_err(|_| format!("`{v}` is not a cadence"))?;
+        Ok((cadence > 0).then_some(cadence))
+    }
+
+    /// Parse an `ARENA_RETENTION` value:
+    /// `keep` | `sliding:<epochs>` | `decay:<rate>:<floor>`.
+    pub fn parse_retention(v: &str) -> Result<RetentionPolicy, String> {
+        let parts: Vec<&str> = v.split(':').collect();
+        match parts.as_slice() {
+            ["keep"] => Ok(RetentionPolicy::KeepAll),
+            ["sliding", epochs] => match epochs.parse::<u32>() {
+                Ok(0) => Err("`sliding:0` would retain no window".into()),
+                Ok(epochs) => Ok(RetentionPolicy::SlidingWindow { epochs }),
+                Err(_) => Err(format!("`{epochs}` is not an epoch count")),
+            },
+            ["decay", rate, floor] => {
+                let keep_rate: f64 = rate
+                    .parse()
+                    .map_err(|_| format!("`{rate}` is not a keep rate"))?;
+                if !(0.0..=1.0).contains(&keep_rate) {
+                    return Err(format!("keep rate `{rate}` is outside [0, 1]"));
+                }
+                let floor: usize = floor
+                    .parse()
+                    .map_err(|_| format!("`{floor}` is not a record floor"))?;
+                Ok(RetentionPolicy::SampledDecay { keep_rate, floor })
+            }
+            _ => Err(format!("`{v}` matches none of the accepted forms")),
+        }
+    }
+
+    /// `FP_SCALE`, or `default` when unset.
+    pub fn scale_or(default: Scale) -> Scale {
+        knob("FP_SCALE", "a fraction in (0, 1]", default, parse_scale)
+    }
+
+    /// `ARENA_ROUNDS`, or `default` when unset.
+    pub fn rounds_or(default: u32) -> u32 {
+        knob(
+            "ARENA_ROUNDS",
+            "a positive round count",
+            default,
+            parse_rounds,
+        )
+    }
+
+    /// `ARENA_REMINE`, or `default` when unset.
+    pub fn remine_or(default: Option<u32>) -> Option<u32> {
+        knob(
+            "ARENA_REMINE",
+            "a cadence in rounds (0 = re-mining off)",
+            default,
+            parse_remine,
+        )
+    }
+
+    /// `ARENA_RETENTION`, or `default` when unset.
+    pub fn retention_or(default: RetentionPolicy) -> RetentionPolicy {
+        knob(
+            "ARENA_RETENTION",
+            "keep | sliding:<epochs> | decay:<rate>:<floor>",
+            default,
+            parse_retention,
+        )
+    }
+
+    /// Read one env knob: absent → `default`; present (even as non-unicode
+    /// bytes) but malformed → exit 2 with the accepted grammar. A silent
+    /// fall-through to the default on a typo would quietly bench the wrong
+    /// configuration — the one failure mode a reproduction can't afford.
+    fn knob<T>(
+        name: &str,
+        grammar: &str,
+        default: T,
+        parse: impl FnOnce(&str) -> Result<T, String>,
+    ) -> T {
+        let Some(raw) = std::env::var_os(name) else {
+            return default;
+        };
+        let parsed = raw
+            .to_str()
+            .ok_or_else(|| "not valid unicode".to_string())
+            .and_then(parse);
+        match parsed {
+            Ok(v) => v,
+            Err(why) => {
+                eprintln!("error: {name} is set but malformed: {why}");
+                eprintln!("accepted: {name}=<{grammar}>");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn scale_grammar() {
+            assert_eq!(parse_scale("0.02").unwrap().fraction(), 0.02);
+            assert_eq!(parse_scale("1").unwrap(), Scale::FULL);
+            assert!(parse_scale("0").unwrap_err().contains("(0, 1]"));
+            assert!(parse_scale("1.5").unwrap_err().contains("(0, 1]"));
+            assert!(parse_scale("fast").unwrap_err().contains("not a number"));
+        }
+
+        #[test]
+        fn rounds_grammar() {
+            assert_eq!(parse_rounds("4"), Ok(4));
+            assert!(parse_rounds("0").is_err());
+            assert!(parse_rounds("-1").is_err());
+            assert!(parse_rounds("five").is_err());
+        }
+
+        #[test]
+        fn remine_grammar() {
+            assert_eq!(parse_remine("0"), Ok(None));
+            assert_eq!(parse_remine("2"), Ok(Some(2)));
+            assert!(parse_remine("every-round").is_err());
+            assert!(parse_remine("-1").is_err());
+        }
+
+        #[test]
+        fn retention_grammar() {
+            assert_eq!(parse_retention("keep"), Ok(RetentionPolicy::KeepAll));
+            assert_eq!(
+                parse_retention("sliding:3"),
+                Ok(RetentionPolicy::SlidingWindow { epochs: 3 })
+            );
+            assert_eq!(
+                parse_retention("decay:0.5:100"),
+                Ok(RetentionPolicy::SampledDecay {
+                    keep_rate: 0.5,
+                    floor: 100
+                })
+            );
+            assert!(parse_retention("sliding:0").is_err());
+            assert!(parse_retention("sliding:lots").is_err());
+            assert!(parse_retention("decay:2:100").is_err(), "rate > 1");
+            assert!(parse_retention("decay:0.5").is_err(), "missing floor");
+            assert!(parse_retention("lru").is_err());
+            assert!(parse_retention("").is_err());
+        }
     }
 }
 

@@ -32,6 +32,11 @@
 //!   sampled decay), the [`SegmentStats`] eviction ledger, and the
 //!   epoch-aware [`RecordView`] every record-walking pass consumes
 //!   instead of one ever-growing contiguous slice.
+//! * [`runfp`] — deterministic run fingerprints (`RUNFP_V1`): a
+//!   [`RunFingerprint`] over a whole closed-loop campaign's named
+//!   components (config, seed, per-round behaviour) with an auditable
+//!   [`RunComponents`] breakdown that names which facet diverged, and the
+//!   golden-ledger text form CI asserts against.
 //! * [`stablehash`] — process-independent, order-invariant content hashing
 //!   ([`PackHash`]): how a compiled rule pack is versioned so the same
 //!   rules hash identically however they were mined, and any behavioural
@@ -60,6 +65,7 @@ pub mod mitigation;
 pub mod mix;
 pub mod request;
 pub mod retention;
+pub mod runfp;
 pub mod scale;
 pub mod stablehash;
 pub mod stored;
@@ -77,10 +83,11 @@ pub use fingerprint::Fingerprint;
 pub use hotswap::HotSwap;
 pub use interner::{sym, Interner, Symbol};
 pub use label::{Cohort, PrivacyTech, ServiceId, TrafficSource};
-pub use mitigation::{MitigationAction, RoundOutcome};
+pub use mitigation::{ActionLedger, MitigationAction, RoundOutcome};
 pub use mix::{mix2, mix3, shard_for, splitmix64, unit_f64, Splittable};
 pub use request::{BehaviorTrace, CookieId, PointerStats, Request, RequestId};
 pub use retention::{Epoch, RecordView, RetentionPolicy, SegmentStats};
+pub use runfp::{ComponentHash, ComponentHasher, RunComponents, RunFingerprint};
 pub use scale::Scale;
 pub use stablehash::{ContentHasher, PackHash};
 pub use stored::StoredRequest;

@@ -71,6 +71,42 @@ impl fmt::Display for MitigationAction {
     }
 }
 
+/// The site-side tally of mitigation actions over one arena round —
+/// every admitted request lands in exactly one bucket. Unlike
+/// [`RoundOutcome`] (a single source's censored view, with shadow flags
+/// folded into `allowed`), this is the defender's full ledger, and it is
+/// part of the run's observable behaviour: the arena folds it into the
+/// per-round behaviour fingerprint ([`crate::runfp`]), so a policy change
+/// that shifts even one request between buckets flips the run fingerprint.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActionLedger {
+    /// Requests served normally with no flag acted on.
+    pub allowed: u64,
+    /// Requests flagged but served (recorded, invisible to the client).
+    pub shadow_flagged: u64,
+    /// Requests answered with a CAPTCHA interstitial.
+    pub captchas: u64,
+    /// Requests denied with a block (a blocklist write or lease renewal).
+    pub blocked: u64,
+}
+
+impl ActionLedger {
+    /// Count one decided action.
+    pub fn record(&mut self, action: MitigationAction) {
+        match action {
+            MitigationAction::Allow => self.allowed += 1,
+            MitigationAction::ShadowFlag => self.shadow_flagged += 1,
+            MitigationAction::Captcha => self.captchas += 1,
+            MitigationAction::Block(_) => self.blocked += 1,
+        }
+    }
+
+    /// Total actions decided (= admitted requests this round).
+    pub fn total(&self) -> u64 {
+        self.allowed + self.shadow_flagged + self.captchas + self.blocked
+    }
+}
+
 /// One traffic source's view of one arena round: how many requests it sent
 /// and what visibly happened to them. This is deliberately *less* than the
 /// site knows — shadow flags are folded into `allowed`, and per-request
@@ -148,6 +184,26 @@ mod tests {
     fn display_forms() {
         assert_eq!(MitigationAction::Allow.to_string(), "allow");
         assert_eq!(MitigationAction::Block(3600).to_string(), "block(3600s)");
+    }
+
+    #[test]
+    fn action_ledger_buckets_every_action_once() {
+        let mut ledger = ActionLedger::default();
+        for action in [
+            MitigationAction::Allow,
+            MitigationAction::ShadowFlag,
+            MitigationAction::ShadowFlag,
+            MitigationAction::Captcha,
+            MitigationAction::Block(60),
+            MitigationAction::Block(3_600),
+        ] {
+            ledger.record(action);
+        }
+        assert_eq!(ledger.allowed, 1);
+        assert_eq!(ledger.shadow_flagged, 2);
+        assert_eq!(ledger.captchas, 1);
+        assert_eq!(ledger.blocked, 2, "TTL does not change the bucket");
+        assert_eq!(ledger.total(), 6);
     }
 
     #[test]

@@ -34,6 +34,7 @@ fn main() {
         "policy", "spatial r0", "spatial r4", "half-life", "denied", "attrs-mutated", "user FPR"
     );
 
+    let mut fingerprints = Vec::new();
     for policy in ResponsePolicy::all() {
         let mut arena = Arena::new(ArenaConfig {
             scale: Scale::ratio(0.01),
@@ -92,6 +93,7 @@ fn main() {
         if !policy.action.blocks() {
             assert_eq!(denied, 0, "only the block policy denies at admission");
         }
+        fingerprints.push((policy.name, arena.run_fingerprint()));
     }
 
     // The fifth row: the CAPTCHA-then-block hybrid, installed through the
@@ -147,6 +149,20 @@ fn main() {
         denied > 0,
         "repeat offenders graduate to blocks that bind at admission"
     );
+    fingerprints.push(("capt+blk", arena.run_fingerprint()));
+
+    // Each row is a distinct run — a distinct RUNFP_V1 fingerprint. The
+    // hybrid shares `block`'s config components (the richer policy is a
+    // runtime swap) yet still separates on the behaviour it produced.
+    println!("\nrun fingerprints (RUNFP_V1):");
+    for (name, fp) in &fingerprints {
+        println!("runfp[{name}] {fp}");
+    }
+    for (i, (a_name, a)) in fingerprints.iter().enumerate() {
+        for (b_name, b) in &fingerprints[i + 1..] {
+            assert_ne!(a, b, "{a_name} and {b_name} must not collide");
+        }
+    }
 
     println!(
         "\nOnly visible mitigation teaches the adversary; only the blocking \

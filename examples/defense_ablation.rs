@@ -34,6 +34,7 @@ fn main() {
     );
 
     let mut last_recall = Vec::new();
+    let mut components = Vec::new();
     for (name, cadence, escalate) in [
         ("frozen", None, false),
         ("remine/2", Some(2), false),
@@ -106,6 +107,7 @@ fn main() {
                 "escalated repeat-offender bans must outlive the campaign"
             );
         }
+        components.push((name, arena.run_components()));
     }
 
     let recall_of = |name: &str| {
@@ -128,6 +130,39 @@ fn main() {
             );
         }
     }
+
+    // The RUNFP_V1 audit surface: each defender is a distinct run, and the
+    // component breakdown *names* the axis that separates it from frozen.
+    // The re-miners diverge in their cadence config (and the behaviour it
+    // bought); `escalate` diverges in its configured base policy (the
+    // shorter base TTL the ladder compounds from) — its ×64 ladder itself
+    // is a runtime swap, visible only through behaviour.
+    println!("\nrun fingerprints (RUNFP_V1) and divergence from frozen:");
+    let frozen = &components[0].1;
+    for (name, c) in &components {
+        let diverging = frozen.diverging(c);
+        println!(
+            "runfp[{name}] {}  (vs frozen: {})",
+            c.fingerprint(),
+            if diverging.is_empty() {
+                "identical".to_string()
+            } else {
+                diverging.join(", ")
+            }
+        );
+    }
+    assert_eq!(
+        frozen.diverging(&components[1].1),
+        ["config.remine", "behavior"]
+    );
+    assert_eq!(
+        frozen.diverging(&components[2].1),
+        ["config.remine", "behavior"]
+    );
+    assert_eq!(
+        frozen.diverging(&components[3].1),
+        ["config.policy", "behavior"]
+    );
 
     println!(
         "\nRe-mining answers §6 rule rot: the mutated configurations are \

@@ -1,0 +1,162 @@
+//! `TrajectoryReport` serialization stability.
+//!
+//! The behaviour component of every `RUNFP_V1` run fingerprint folds the
+//! rounds' canonical JSON lines (`RoundStats::to_json`), so a silent
+//! field reorder, rename, or representation change would flip every
+//! golden fingerprint in CI without pointing at the real culprit. This
+//! snapshot pins the exact bytes: if it fails, the serialization changed
+//! — decide deliberately, re-record `tests/golden/trajectory_report.json`
+//! *and* every golden fingerprint together.
+
+use fp_inconsistent::core::evaluate::{
+    CohortReport, DetectorCohortStats, MutationStats, RoundStats, TrajectoryReport,
+};
+use fp_types::defense::RetrainSpend;
+use fp_types::{sym, ActionLedger, Cohort, ContentHasher, MitigationAction};
+
+/// A synthetic two-round trajectory exercising every serialized field
+/// with distinct, nonzero values: two detectors deliberately pushed in
+/// non-alphabetical order (the encoding must sort them), a round with a
+/// deployed pack hash and one without, denials, every action bucket, and
+/// the full defender-spend ledger including eviction columns.
+fn synthetic_trajectory() -> TrajectoryReport {
+    let sizes = |a, b, c, d, e| {
+        let mut out = [0u64; Cohort::ALL.len()];
+        out[Cohort::RealUser.index()] = a;
+        out[Cohort::BotService.index()] = b;
+        out[Cohort::AiAgent.index()] = c;
+        out[Cohort::TlsLaggard.index()] = d;
+        out[Cohort::Privacy.index()] = e;
+        out
+    };
+    let detector = |name: &str, flags| DetectorCohortStats {
+        detector: sym(name),
+        precision: 0.5,
+        flag_rate: [0.0; Cohort::ALL.len()], // derivable — never serialized
+        flags,
+    };
+    let mut actions = ActionLedger::default();
+    for (action, times) in [
+        (MitigationAction::Allow, 4),
+        (MitigationAction::ShadowFlag, 3),
+        (MitigationAction::Captcha, 2),
+        (MitigationAction::Block(600), 1),
+    ] {
+        for _ in 0..times {
+            actions.record(action);
+        }
+    }
+    let mut pack = ContentHasher::new();
+    pack.add_line("ua_os=iOS AND platform=Win64");
+
+    let mut trajectory = TrajectoryReport::new();
+    trajectory.push(RoundStats {
+        round: 0,
+        cohorts: CohortReport {
+            cohort_sizes: sizes(100, 1000, 30, 20, 10),
+            detectors: vec![
+                // Reverse-alphabetical on purpose: the snapshot proves
+                // the encoder sorts by provenance name.
+                detector("fp-spatial", sizes(2, 425, 9, 3, 1)),
+                detector("datadome", sizes(5, 519, 11, 14, 2)),
+            ],
+        },
+        denied: sizes(0, 37, 1, 0, 0),
+        actions,
+        mutation: MutationStats {
+            adapted_requests: 210,
+            mutated_attrs: 1404,
+            rotated_ips: 76,
+            tls_upgrades: 5,
+        },
+        defense: RetrainSpend {
+            retrained_members: 0,
+            records_scanned: 0,
+            rules_active: 117,
+            records_evicted: 0,
+            records_resident: 1160,
+            pack_hash: None,
+            rules_added: 0,
+            rules_removed: 0,
+        },
+    });
+    trajectory.push(RoundStats {
+        round: 1,
+        cohorts: CohortReport {
+            cohort_sizes: sizes(100, 980, 30, 20, 10),
+            detectors: vec![detector("fp-spatial", sizes(1, 310, 8, 3, 1))],
+        },
+        denied: sizes(1, 52, 0, 1, 0),
+        actions: ActionLedger {
+            allowed: 900,
+            shadow_flagged: 0,
+            captchas: 0,
+            blocked: 240,
+        },
+        mutation: MutationStats::default(),
+        defense: RetrainSpend {
+            retrained_members: 1,
+            records_scanned: 2140,
+            rules_active: 198,
+            records_evicted: 1160,
+            records_resident: 2140,
+            pack_hash: Some(pack.finish()),
+            rules_added: 81,
+            rules_removed: 0,
+        },
+    });
+    trajectory
+}
+
+#[test]
+fn trajectory_json_matches_the_golden_snapshot() {
+    let actual = synthetic_trajectory().to_json();
+    if std::env::var_os("REGEN_GOLDEN").is_some() {
+        // Deliberate re-record: `REGEN_GOLDEN=1 cargo test --test trajectory_json`.
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/trajectory_report.json"
+        );
+        std::fs::write(path, format!("{actual}\n")).unwrap();
+    }
+    let golden = include_str!("golden/trajectory_report.json");
+    assert_eq!(
+        actual,
+        golden.trim_end(),
+        "TrajectoryReport::to_json changed — this byte sequence is what \
+         every RUNFP_V1 behaviour component folds, so re-record this \
+         snapshot AND every golden run fingerprint together"
+    );
+}
+
+#[test]
+fn trajectory_json_shape_is_versioned_and_detector_sorted() {
+    let json = synthetic_trajectory().to_json();
+    assert!(
+        json.starts_with("{\"version\":\"RUNFP_V1\",\"rounds\":[{\"round\":0,"),
+        "the envelope must lead with the fold's version tag: {json}"
+    );
+    assert_eq!(json.matches("{\"round\":").count(), 2);
+    // Detector order in the encoding is alphabetical regardless of chain
+    // mount order (the synthetic report pushes fp-spatial first).
+    let dd = json.find("\"detector\":\"datadome\"").unwrap();
+    let sp = json.find("\"detector\":\"fp-spatial\"").unwrap();
+    assert!(dd < sp, "detectors must encode in sorted name order");
+    // Both pack-hash representations appear: null, and a quoted 32-hex
+    // content hash.
+    assert!(json.contains("\"pack_hash\":null"));
+    let hash_at = json.find("\"pack_hash\":\"").unwrap() + "\"pack_hash\":\"".len();
+    let hash = &json[hash_at..hash_at + 32];
+    assert!(hash.chars().all(|c| c.is_ascii_hexdigit()));
+}
+
+#[test]
+fn behavior_component_is_pinned() {
+    // The fold of the snapshot above, pinned end to end: catches a change
+    // to the hash discipline itself (lane seeds, domain tag, finish mix)
+    // even when the JSON bytes are untouched.
+    assert_eq!(
+        synthetic_trajectory().behavior_component().to_string(),
+        "b5c60dcbfce943cd350a8a8e858b76b8",
+    );
+}
