@@ -24,9 +24,28 @@ use crate::engine::{FpInconsistent, SpatialDetector};
 use crate::rulepack::{ChurnAttribution, PackSlot, RulePack};
 use crate::rules::RuleSet;
 use crate::spatial::{self, MineConfig};
+use fp_obs::{Histogram, MetricsRegistry};
 use fp_types::defense::{RetrainSpend, RoundContext, StackMember};
 use fp_types::detect::{provenance, Detector};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Registry name of the re-mine window-scan timing histogram.
+pub const REMINE_SCAN_NS: &str = "defense_remine_scan_ns";
+/// Registry name of the re-mine pack-compile timing histogram.
+pub const REMINE_COMPILE_NS: &str = "defense_remine_compile_ns";
+/// Registry name of the pack hot-swap timing histogram.
+pub const PACK_SWAP_NS: &str = "defense_pack_swap_ns";
+
+/// Re-mine phase timings, resolved once at [`SpatialMember::set_metrics`].
+/// Three separate histograms because the phases have different budgets:
+/// scan grows with the retained window, compile with the mined rule
+/// count, and swap must stay O(1) (it is the barrier-free publish).
+struct RemineMetrics {
+    scan_ns: Arc<Histogram>,
+    compile_ns: Arc<Histogram>,
+    swap_ns: Arc<Histogram>,
+}
 
 /// One re-mine's per-rule FPR attribution, tagged with the round whose
 /// end-of-round fired it (see [`SpatialMember::churn_ledger`]).
@@ -63,6 +82,7 @@ pub struct SpatialMember {
     /// Re-mine after every `cadence`-th round; `None` freezes the round-0
     /// rules forever (the pre-redesign behaviour).
     cadence: Option<u32>,
+    metrics: Option<RemineMetrics>,
 }
 
 impl SpatialMember {
@@ -75,6 +95,7 @@ impl SpatialMember {
             generalize_location: engine.config().generalize_location,
             mine_config: MineConfig::default(),
             cadence: None,
+            metrics: None,
         }
     }
 
@@ -95,7 +116,20 @@ impl SpatialMember {
             generalize_location: engine.config().generalize_location,
             mine_config,
             cadence: Some(cadence.max(1)),
+            metrics: None,
         }
+    }
+
+    /// Attach re-mine phase timing histograms ([`REMINE_SCAN_NS`],
+    /// [`REMINE_COMPILE_NS`], [`PACK_SWAP_NS`]) resolved from `registry`.
+    /// Call before boxing the member into a stack — the handles ride
+    /// along and record on every re-mine that fires.
+    pub fn set_metrics(&mut self, registry: &Arc<MetricsRegistry>) {
+        self.metrics = Some(RemineMetrics {
+            scan_ns: registry.histogram(REMINE_SCAN_NS),
+            compile_ns: registry.histogram(REMINE_COMPILE_NS),
+            swap_ns: registry.histogram(PACK_SWAP_NS),
+        });
     }
 
     /// The rules currently deployed (refreshed by re-mining).
@@ -158,14 +192,24 @@ impl StackMember for SpatialMember {
         if !(epoch.round + 1).is_multiple_of(cadence) {
             return idle;
         }
+        // Chained stamps: each phase's duration is the gap to the previous
+        // stamp, so instrumenting the three phases costs three clock reads.
+        let t0 = Instant::now();
         self.rules = spatial::mine_records(epoch.records.iter(), &self.mine_config);
+        let t1 = Instant::now();
         // Compile off the hot path, then publish: in-flight chains finish
         // on the pack they forked with, the next round's detectors (and
         // any chain forked from here on) see the refreshed rules.
         let next = Arc::new(RulePack::compile(&self.rules));
         let diff = next.diff(&self.pack.load());
         let hash = next.hash();
+        let t2 = Instant::now();
         self.pack.swap(next);
+        if let Some(m) = &self.metrics {
+            m.scan_ns.record((t1 - t0).as_nanos() as u64);
+            m.compile_ns.record((t2 - t1).as_nanos() as u64);
+            m.swap_ns.record(t2.elapsed().as_nanos() as u64);
+        }
         // Price the churn on this window's truthful traffic before the
         // diff goes out of scope: the ledger is what lets a report say
         // *which* freshly mined rule is buying its recall with FPR.
@@ -389,6 +433,27 @@ mod tests {
             now: SimTime::EPOCH,
         });
         assert!(frozen_ledger.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn remine_records_one_timing_sample_per_phase_per_fire() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut member = SpatialMember::remining(&empty_engine(), MineConfig::default(), 2);
+        member.set_metrics(&registry);
+        let records = vec![fake_iphone_record(); 5];
+        for round in 0..4 {
+            member.end_of_round(&RoundContext {
+                round,
+                records: RecordView::from_slice(&records),
+                now: SimTime::EPOCH,
+            });
+        }
+        // Cadence 2 over rounds 0..4 fires twice (after rounds 1 and 3).
+        let snap = registry.snapshot();
+        for name in [REMINE_SCAN_NS, REMINE_COMPILE_NS, PACK_SWAP_NS] {
+            let h = snap.histogram(name).unwrap_or_else(|| panic!("{name}"));
+            assert_eq!(h.count(), 2, "{name}: one sample per fired re-mine");
+        }
     }
 
     #[test]

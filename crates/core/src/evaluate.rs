@@ -335,6 +335,14 @@ pub struct RoundStats {
     /// how many training records they scanned, and the live model size —
     /// the other side of the arms-race ledger.
     pub defense: RetrainSpend,
+    /// The round's observability snapshot: wall-clock duration plus the
+    /// metrics-registry delta over the round (latency and timing
+    /// histograms, admission counters). **Deliberately excluded from
+    /// [`RoundStats::to_json`]** and therefore from the `behavior`
+    /// fingerprint component: timings are host noise, not behaviour — two
+    /// identical campaigns on different machines must fingerprint
+    /// identically (the same reasoning that keeps the shard count out).
+    pub obs: fp_obs::RoundObs,
 }
 
 impl RoundStats {
@@ -541,6 +549,36 @@ impl TrajectoryReport {
             .iter()
             .map(|r| r.defense.rules_added + r.defense.rules_removed)
             .sum()
+    }
+
+    /// Wall-clock nanoseconds each round took, in round order (0 for
+    /// rounds recorded without metrics). Observability only — never
+    /// folded into the behaviour fingerprint.
+    pub fn round_wall_ns(&self) -> Vec<u64> {
+        self.rounds.iter().map(|r| r.obs.wall_ns).collect()
+    }
+
+    /// Per round: quantile `q` of a named timing histogram out of the
+    /// round's metrics delta (`None` where the metric was absent or
+    /// empty that round). The generic accessor behind the latency and
+    /// per-detector timing trajectories the arena table prints.
+    pub fn timing_quantile_trajectory(&self, metric: &str, q: f64) -> Vec<Option<u64>> {
+        self.rounds
+            .iter()
+            .map(|r| {
+                r.obs
+                    .snapshot
+                    .histogram(metric)
+                    .filter(|h| h.count() > 0)
+                    .map(|h| h.quantile(q))
+            })
+            .collect()
+    }
+
+    /// Per round: quantile `q` of the admission-to-verdict latency
+    /// histogram ([`fp_honeysite::site::ADMISSION_TO_VERDICT_NS`]).
+    pub fn latency_quantile_trajectory(&self, q: f64) -> Vec<Option<u64>> {
+        self.timing_quantile_trajectory(fp_honeysite::site::ADMISSION_TO_VERDICT_NS, q)
     }
 
     /// The whole trajectory's canonical JSON encoding: the version tag
@@ -786,6 +824,7 @@ mod tests {
                 tls_upgrades: 0,
             },
             defense: RetrainSpend::default(),
+            obs: fp_obs::RoundObs::default(),
         }
     }
 
@@ -849,6 +888,44 @@ mod tests {
         let mut spent = traj.clone();
         spent.rounds[1].defense.records_evicted += 1;
         assert_ne!(traj.behavior_component(), spent.behavior_component());
+    }
+
+    #[test]
+    fn obs_snapshot_is_excluded_from_json_and_behavior() {
+        use fp_obs::MetricsRegistry;
+
+        let base = round_stats(0, 0.5, 0.02, 7);
+        let mut timed = base.clone();
+        let registry = MetricsRegistry::new();
+        registry
+            .histogram(fp_honeysite::site::ADMISSION_TO_VERDICT_NS)
+            .record(1_234);
+        registry.counter("site_requests_admitted").inc();
+        timed.obs = fp_obs::RoundObs {
+            wall_ns: 987_654_321,
+            snapshot: registry.snapshot(),
+        };
+        assert_ne!(timed.obs, base.obs, "the rounds really differ in obs");
+        // …yet encode — and therefore fingerprint — identically: timings
+        // are host noise, not behaviour.
+        assert_eq!(timed.to_json(), base.to_json());
+        let mut a = TrajectoryReport::new();
+        a.push(base);
+        let mut b = TrajectoryReport::new();
+        b.push(timed);
+        assert_eq!(a.behavior_component(), b.behavior_component());
+
+        // The trajectories read the snapshots the fingerprint ignores.
+        assert_eq!(a.round_wall_ns(), vec![0]);
+        assert_eq!(b.round_wall_ns(), vec![987_654_321]);
+        assert_eq!(a.latency_quantile_trajectory(0.5), vec![None]);
+        let p50 = b.latency_quantile_trajectory(0.5);
+        assert_eq!(p50.len(), 1);
+        assert!(p50[0].unwrap() >= 1_234, "log2 upper bound brackets 1234");
+        assert_eq!(
+            b.timing_quantile_trajectory("no_such_metric", 0.5),
+            vec![None]
+        );
     }
 
     #[test]

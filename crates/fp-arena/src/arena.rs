@@ -49,6 +49,7 @@ use fp_inconsistent_core::defense::{ChurnLedger, RoundChurn, SpatialMember};
 use fp_inconsistent_core::evaluate::{self, MutationStats, RoundStats, TrajectoryReport};
 use fp_inconsistent_core::{FpInconsistent, MineConfig, PackSlot, RulePack};
 use fp_netsim::{NetDb, TtlBlocklist};
+use fp_obs::{MetricsRegistry, RoundObs};
 use fp_types::defense::{DecisionContext, DecisionPolicy, Frozen};
 use fp_types::runfp::{component_of, RunComponents, RunFingerprint};
 use fp_types::{
@@ -56,6 +57,8 @@ use fp_types::{
     ServiceId, SimTime, Splittable, TrafficSource, STUDY_DAYS,
 };
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Simulated seconds per arena round (one full campaign window).
 pub const ROUND_SECS: u64 = STUDY_DAYS as u64 * 86_400;
@@ -144,6 +147,12 @@ pub struct Arena {
     strategies: HashMap<ServiceId, Box<dyn AdaptationStrategy>>,
     laggard_strategy: Option<Box<dyn AdaptationStrategy>>,
     trajectory: TrajectoryReport,
+    /// The one metrics registry every layer records into: the per-round
+    /// site chain, the stack and its re-mining member, the training
+    /// store, and the admission blocklist. Per-round deltas land on each
+    /// [`RoundStats::obs`]; the registry itself accumulates campaign
+    /// totals.
+    registry: Arc<MetricsRegistry>,
     round: u32,
 }
 
@@ -176,12 +185,14 @@ impl Arena {
 
         stack.set_policy(Box::new(config.policy));
         stack.set_retention(config.retention);
-        let member = match config.remine_cadence {
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut member = match config.remine_cadence {
             None => SpatialMember::frozen(&engine),
             // The member's window starts empty: round 0 replays the
             // mining traffic, so pre-seeding would double-count it.
             Some(cadence) => SpatialMember::remining(&engine, MineConfig::default(), cadence),
         };
+        member.set_metrics(&registry);
         let spatial_pack = member.pack_slot();
         let spatial_churn = member.churn_ledger();
         stack.push_member(Box::new(member));
@@ -197,6 +208,9 @@ impl Arena {
         {
             stack.push_member(Box::new(Frozen::new(detector)));
         }
+        stack.set_metrics(registry.clone());
+        let mut blocklist = TtlBlocklist::new();
+        blocklist.set_metrics(&registry);
 
         Arena {
             config,
@@ -205,10 +219,11 @@ impl Arena {
             stack,
             spatial_pack,
             spatial_churn,
-            blocklist: TtlBlocklist::new(),
+            blocklist,
             strategies: HashMap::new(),
             laggard_strategy: None,
             trajectory: TrajectoryReport::new(),
+            registry,
             round: 0,
         }
     }
@@ -309,6 +324,15 @@ impl Arena {
         &self.trajectory
     }
 
+    /// The arena's metrics registry — campaign-cumulative latency and
+    /// timing instruments from every layer (site chain, blocklist, store,
+    /// stack members). Per-round deltas of the same registry land on each
+    /// round's [`RoundStats::obs`]. Render it with
+    /// [`fp_obs::expose::render_text`] or [`fp_obs::expose::ledger`].
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
     /// Consume the arena, keeping the trajectory.
     pub fn into_trajectory(self) -> TrajectoryReport {
         self.trajectory
@@ -336,7 +360,11 @@ impl Arena {
     /// shard count is an execution parameter the pipeline proves
     /// behaviour-invariant, so the same campaign at 1, 2 or 8 shards
     /// must attest identically — that invariance is what the fingerprint
-    /// is *for*.
+    /// is *for*. The metrics registry ([`Arena::metrics`]) and each
+    /// round's [`RoundStats::obs`] snapshot are excluded for the same
+    /// reason: latency histograms and wall-clock timings are host noise,
+    /// so folding them would make the same campaign fingerprint
+    /// differently on different machines.
     pub fn run_components(&self) -> RunComponents {
         let c = &self.config;
         let retention = match c.retention {
@@ -387,6 +415,12 @@ impl Arena {
     /// Play one round; returns its full result.
     pub fn step(&mut self) -> RoundResult {
         let round = self.round;
+        // The round's observability window: wall clock plus the registry
+        // delta between here and the stats literal below. Deltas (not
+        // totals) land on the round so `RoundStats::obs` is per-round even
+        // though the registry accumulates across the campaign.
+        let wall_start = Instant::now();
+        let obs_before = self.registry.snapshot();
         let (stream, mutation) = self.round_stream(round);
 
         // Admission: the blocklist written by earlier rounds turns listed
@@ -493,6 +527,10 @@ impl Arena {
             actions,
             mutation,
             defense,
+            obs: RoundObs {
+                wall_ns: wall_start.elapsed().as_nanos() as u64,
+                snapshot: self.registry.snapshot().delta(&obs_before),
+            },
         };
         self.trajectory.push(stats.clone());
 
@@ -540,6 +578,7 @@ impl Arena {
     /// in the stack members.
     fn site(&self) -> HoneySite {
         let mut site = HoneySite::from_stack(&self.stack);
+        site.set_metrics(self.registry.clone());
         Self::register_tokens(&mut site, &self.base);
         site
     }
@@ -861,6 +900,76 @@ mod tests {
             arena.trajectory().total_defense_scans(),
             spend[1].records_scanned
         );
+    }
+
+    #[test]
+    fn rounds_carry_metric_deltas_that_sum_to_the_registry_totals() {
+        let mut config = tiny_config(ResponsePolicy::block(ROUND_SECS));
+        config.remine_cadence = Some(1);
+        let mut arena = Arena::new(config);
+        let fp_before = arena.run_fingerprint();
+        let r0 = arena.step();
+        let r1 = arena.step();
+
+        // Every layer reported into the one registry.
+        let totals = arena.metrics().snapshot();
+        let admitted_total = totals
+            .counter(fp_honeysite::site::REQUESTS_ADMITTED)
+            .expect("site counters registered");
+        assert_eq!(
+            admitted_total as usize,
+            r0.store.len() + r1.store.len(),
+            "admitted counter tracks the recorded stores"
+        );
+        let latency = totals
+            .histogram(fp_honeysite::site::ADMISSION_TO_VERDICT_NS)
+            .expect("latency histogram registered");
+        assert_eq!(latency.count(), admitted_total);
+        assert!(
+            totals
+                .counter(fp_netsim::blocklist::BLOCKLIST_CHECKS)
+                .unwrap()
+                > 0,
+            "admission checks counted"
+        );
+        assert_eq!(
+            totals
+                .counter(fp_netsim::blocklist::BLOCKLIST_PURGE_SWEEPS)
+                .unwrap(),
+            2,
+            "one purge sweep per round"
+        );
+        assert_eq!(
+            totals
+                .histogram(fp_inconsistent_core::defense::REMINE_SCAN_NS)
+                .unwrap()
+                .count(),
+            2,
+            "cadence-1 re-mine timed every round"
+        );
+
+        // Round deltas partition the totals.
+        let per_round: u64 = [&r0, &r1]
+            .iter()
+            .map(|r| {
+                r.stats
+                    .obs
+                    .snapshot
+                    .counter(fp_honeysite::site::REQUESTS_ADMITTED)
+                    .unwrap()
+            })
+            .sum();
+        assert_eq!(per_round, admitted_total);
+        assert!(r0.stats.obs.wall_ns > 0, "rounds take wall time");
+
+        // …and none of it moved the fingerprint: stepping changed the
+        // behaviour component (rounds were played), but an identical
+        // replay fingerprints identically, timings and all.
+        assert_ne!(arena.run_fingerprint(), fp_before);
+        let mut replay = Arena::new(config);
+        replay.step();
+        replay.step();
+        assert_eq!(arena.run_fingerprint(), replay.run_fingerprint());
     }
 
     #[test]

@@ -23,7 +23,10 @@
 //! default `keep`). The spend table prints the eviction ledger —
 //! records evicted and resident per round, plus the peak-residency
 //! high-water mark — so a bounding policy's cap is visible in output
-//! (and asserted, for sliding windows).
+//! (and asserted, for sliding windows). `ARENA_OBS` (`0` | `1`, default
+//! `1`) gates the campaign-total `obs[...]` metrics ledger; the
+//! per-round duration/latency table always prints, and the binary
+//! asserts those timings stay out of the `behavior` fingerprint fold.
 
 use fp_arena::{Arena, ArenaConfig, ResponsePolicy, DEFAULT_BLOCK_TTL_SECS};
 use fp_bench::{env, header, pct, recorded_cohort_campaign, CAMPAIGN_SEED};
@@ -141,6 +144,9 @@ fn bot_network_mix(store: &RequestStore) -> (f64, Vec<(String, f64)>) {
 fn main() {
     let scale = arena_scale();
     let rounds = arena_rounds();
+    // Parsed up front (not at the print site) so a malformed ARENA_OBS
+    // exits with its grammar before the campaign burns any time.
+    let obs_ledger = env::obs_or(true);
     assert!(
         rounds >= 2,
         "ARENA_ROUNDS must be at least 2: round 0 is the pre-adaptation \
@@ -247,6 +253,47 @@ fn main() {
         );
     }
 
+    // Observability: per-round wall clock and admission-to-verdict
+    // latency quantiles out of each round's metrics delta
+    // (`RoundStats::obs`). Host-dependent numbers — never folded into the
+    // fingerprint, which the stripped-copy assertion below proves.
+    println!("\nper-round duration and admission-to-verdict latency (fp-obs):");
+    println!(
+        "{:<8}{:>14}{:>12}{:>12}{:>12}",
+        "round", "duration-ms", "p50-ns", "p99-ns", "p999-ns"
+    );
+    let wall = trajectory.round_wall_ns();
+    let p50 = trajectory.latency_quantile_trajectory(0.5);
+    let p99 = trajectory.latency_quantile_trajectory(0.99);
+    let p999 = trajectory.latency_quantile_trajectory(0.999);
+    let cell = |q: Option<u64>| q.map_or_else(|| "-".to_string(), |ns| ns.to_string());
+    for r in 0..rounds as usize {
+        println!(
+            "{:<8}{:>14.1}{:>12}{:>12}{:>12}",
+            r,
+            wall[r] as f64 / 1e6,
+            cell(p50[r]),
+            cell(p99[r]),
+            cell(p999[r]),
+        );
+    }
+    assert!(
+        wall.iter().all(|&ns| ns > 0) && p50.iter().all(Option::is_some),
+        "every round must record a duration and a latency distribution"
+    );
+    // The duration column is observability, not behaviour: a copy of the
+    // trajectory with every obs snapshot zeroed must fold to the same
+    // behaviour component, or timings would leak into the fingerprint.
+    let mut stripped = trajectory.clone();
+    for round in &mut stripped.rounds {
+        round.obs = Default::default();
+    }
+    assert_eq!(
+        stripped.behavior_component(),
+        trajectory.behavior_component(),
+        "RoundStats::obs must be absent from the RUNFP behavior component"
+    );
+
     println!("\nadaptation spend per round (what evasion costs the adversary):");
     println!(
         "{:<8}{:>12}{:>14}{:>12}{:>14}{:>22}",
@@ -284,6 +331,17 @@ fn main() {
         println!("\nqualitative §6 checks passed: recall erodes, ASN mix shifts.");
     } else {
         println!("\nqualitative §6 check passed: recall erodes (run 3+ rounds for the ASN shift).");
+    }
+
+    // Campaign-total metrics ledger: one greppable `obs[...]` line per
+    // instrument (the `runfp[...]` discipline, applied to observability).
+    // On by default; ARENA_OBS=0 suppresses it. The full Prometheus-style
+    // exposition lives in the `obs_table` binary.
+    if obs_ledger {
+        println!("\nmetrics ledger (campaign totals; ARENA_OBS=0 to suppress):");
+        for line in fp_obs::expose::ledger(&arena.metrics().snapshot()) {
+            println!("{line}");
+        }
     }
 
     // The frozen run's attestation: the same binary + env on any host

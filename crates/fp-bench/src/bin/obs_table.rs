@@ -1,0 +1,167 @@
+//! The fp-obs exposition table — every instrument the closed-loop stack
+//! records, rendered both ways.
+//!
+//! Runs a short adaptive arena campaign with the workspace-wide metrics
+//! registry attached (the arena wires it through the site chain, the
+//! sharded pipeline, the TTL blocklist, the training store, and the
+//! re-mining defender), then prints:
+//!
+//! 1. the admission-to-verdict latency quantiles and the per-detector /
+//!    per-member / re-mine phase timing tables,
+//! 2. the greppable `obs[...]` ledger (one line per instrument — the
+//!    `runfp[...]` discipline, applied to observability),
+//! 3. the full Prometheus-style text exposition, self-checked through
+//!    [`fp_obs::expose::parse_text`].
+//!
+//! The binary asserts the cross-layer accounting identities a metrics
+//! layer must keep: the latency histogram holds exactly one sample per
+//! admitted request, per-round deltas partition the campaign totals, and
+//! none of it reaches the run fingerprint. Scale via `FP_SCALE` (default
+//! 0.02), rounds via `ARENA_ROUNDS` (default 4), shards via the arena
+//! default (1 — timings are wall-clock, counts are shard-invariant).
+//!
+//! Not a paper table: this is the observability extension's audit
+//! surface.
+
+use fp_arena::{Arena, ArenaConfig, ResponsePolicy, DEFAULT_BLOCK_TTL_SECS};
+use fp_bench::{env, header, CAMPAIGN_SEED};
+use fp_obs::expose;
+use fp_obs::Value;
+use fp_types::Scale;
+
+fn main() {
+    let scale = env::scale_or(Scale::ratio(0.02));
+    let rounds = env::rounds_or(4);
+    header(
+        "fp-obs exposition: latency & timing instruments of the closed loop",
+        "observability extension (not a paper table)",
+    );
+
+    let config = ArenaConfig {
+        scale,
+        seed: CAMPAIGN_SEED,
+        shards: 1,
+        policy: ResponsePolicy::block(DEFAULT_BLOCK_TTL_SECS),
+        remine_cadence: Some(1),
+        ..ArenaConfig::default()
+    };
+    let mut arena = Arena::new(config);
+    arena.adaptive_defaults();
+    arena.run(rounds);
+    let snap = arena.metrics().snapshot();
+
+    // ── Accounting identities ───────────────────────────────────────────
+    let admitted = snap
+        .counter(fp_honeysite::site::REQUESTS_ADMITTED)
+        .expect("the site registers its admission counter");
+    let latency = snap
+        .histogram(fp_honeysite::site::ADMISSION_TO_VERDICT_NS)
+        .expect("the site registers its latency histogram");
+    assert!(admitted > 0, "the campaign must admit traffic");
+    assert_eq!(
+        latency.count(),
+        admitted,
+        "exactly one latency sample per admitted request"
+    );
+    let per_round: u64 = arena
+        .trajectory()
+        .rounds
+        .iter()
+        .map(|r| {
+            r.obs
+                .snapshot
+                .counter(fp_honeysite::site::REQUESTS_ADMITTED)
+                .unwrap_or(0)
+        })
+        .sum();
+    assert_eq!(
+        per_round, admitted,
+        "per-round deltas must partition the campaign totals"
+    );
+
+    println!(
+        "\nadmission-to-verdict latency ({admitted} admitted requests, \
+         {rounds} rounds):"
+    );
+    println!("  {}", expose::quantile_cells(latency));
+
+    // ── Timing tables: every histogram, grouped by layer prefix ─────────
+    for (title, prefixes) in [
+        (
+            "per-detector observe() timing",
+            &["detector_observe_ns_"][..],
+        ),
+        (
+            "per-member end_of_round timing",
+            &["defense_member_round_ns_"][..],
+        ),
+        (
+            "re-mine phase timing (scan / compile / swap)",
+            &["defense_remine_", "defense_pack_swap_ns"][..],
+        ),
+    ] {
+        println!("\n{title} (ns):");
+        println!("{:<44}{:>10}  quantiles", "metric", "samples");
+        let mut printed = 0;
+        for m in &snap.metrics {
+            let Value::Histogram(h) = &m.value else {
+                continue;
+            };
+            if !prefixes.iter().any(|p| m.name.starts_with(p)) {
+                continue;
+            }
+            println!(
+                "{:<44}{:>10}  {}",
+                m.name,
+                h.count(),
+                expose::quantile_cells(h)
+            );
+            printed += 1;
+        }
+        assert!(printed > 0, "no `{}*` histograms registered", prefixes[0]);
+    }
+
+    // ── The obs[...] ledger ─────────────────────────────────────────────
+    println!("\nmetrics ledger (campaign totals):");
+    for line in expose::ledger(&snap) {
+        println!("{line}");
+    }
+
+    // ── Full text exposition, self-checked through the parser ───────────
+    let text = expose::render_text(&snap);
+    let parsed = expose::parse_text(&text)
+        .unwrap_or_else(|e| panic!("exposition must round-trip through parse_text: {e}"));
+    assert_eq!(
+        parsed.len(),
+        snap.metrics.len(),
+        "every registered metric must appear in the exposition"
+    );
+    let parsed_latency = parsed
+        .iter()
+        .find(|m| m.name == fp_honeysite::site::ADMISSION_TO_VERDICT_NS)
+        .expect("latency histogram must be exposed");
+    match &parsed_latency.value {
+        expose::ParsedValue::Histogram { count, .. } => assert_eq!(
+            *count, admitted,
+            "the exposed latency count must equal the admitted requests"
+        ),
+        other => panic!("latency exposed as {other:?}, expected a histogram"),
+    }
+    println!(
+        "\ntext exposition ({} metrics, parse self-check passed):\n",
+        parsed.len()
+    );
+    print!("{text}");
+
+    // ── And none of it is behaviour ─────────────────────────────────────
+    let mut stripped = arena.trajectory().clone();
+    for round in &mut stripped.rounds {
+        round.obs = Default::default();
+    }
+    assert_eq!(
+        stripped.behavior_component(),
+        arena.trajectory().behavior_component(),
+        "metrics must stay out of the RUNFP behavior fold"
+    );
+    println!("\nobs checks passed: counts reconcile, exposition parses, fingerprint untouched.");
+}

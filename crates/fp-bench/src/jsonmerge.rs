@@ -1,0 +1,188 @@
+//! Merge-preserving re-record of the benchmark JSON artifacts.
+//!
+//! The recorder binaries historically rebuilt `BENCH_*.json` from scratch
+//! on every run, so a key written by a newer binary (or a hand
+//! annotation) was silently dropped the next time an older checkout
+//! re-recorded — the staleness trap. The vendored `serde_json` stub has
+//! no dynamic `Value` type, so this module is a purpose-built scanner
+//! over the *top level* of a JSON object: it splits `{ "k": v, ... }`
+//! into `(key, raw-value-text)` pairs without interpreting the values
+//! (nested objects, arrays and strings are carried verbatim), and
+//! [`merge_preserving`] rebuilds the fresh object with any previous keys
+//! the current binary does not write appended at the end.
+//!
+//! The scanner only understands the shape this crate's recorders emit: a
+//! single top-level object. Anything else is an error, not a guess — a
+//! recorder must never "repair" an artifact it cannot read.
+
+/// Split the top level of a JSON object into `(key, raw value)` pairs.
+///
+/// Keys are returned with their escapes verbatim (they are only used for
+/// exact-match lookups); values are the raw source text between the `:`
+/// and the next top-level `,` or the closing `}`, trailing whitespace
+/// trimmed. Nested objects keep their original formatting, so a
+/// scan-then-[`render`] round trip of a recorder-emitted file is
+/// byte-identical.
+pub fn top_level_entries(json: &str) -> Result<Vec<(String, String)>, String> {
+    let trimmed = json.trim();
+    let body = trimmed
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| "not a single top-level JSON object".to_string())?;
+    let bytes = body.as_bytes();
+    let mut entries = Vec::new();
+    let mut i = 0;
+    loop {
+        while i < bytes.len() && (bytes[i].is_ascii_whitespace() || bytes[i] == b',') {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            break;
+        }
+        if bytes[i] != b'"' {
+            return Err(format!("expected a quoted key at byte {i}"));
+        }
+        let key_end = skip_string(bytes, i)?;
+        let key = body[i + 1..key_end - 1].to_string();
+        i = key_end;
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= bytes.len() || bytes[i] != b':' {
+            return Err(format!("expected `:` after key `{key}`"));
+        }
+        i += 1;
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let value_start = i;
+        let mut depth = 0usize;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'"' => {
+                    i = skip_string(bytes, i)?;
+                    continue;
+                }
+                b'{' | b'[' => depth += 1,
+                b'}' | b']' => {
+                    depth = depth
+                        .checked_sub(1)
+                        .ok_or_else(|| format!("unbalanced close in value of `{key}`"))?
+                }
+                b',' if depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        if depth != 0 {
+            return Err(format!("unbalanced open in value of `{key}`"));
+        }
+        let value = body[value_start..i].trim_end();
+        if value.is_empty() {
+            return Err(format!("empty value for key `{key}`"));
+        }
+        entries.push((key, value.to_string()));
+    }
+    Ok(entries)
+}
+
+/// Advance past a JSON string literal. `start` must index the opening
+/// quote; returns the index just past the closing quote. Multi-byte
+/// UTF-8 is safe to scan bytewise: continuation bytes can never equal
+/// the ASCII `"` or `\`.
+fn skip_string(bytes: &[u8], start: usize) -> Result<usize, String> {
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return Ok(i + 1),
+            _ => i += 1,
+        }
+    }
+    Err(format!("unterminated string starting at byte {start}"))
+}
+
+/// Render entries back into the recorder house style: two-space indent,
+/// one key per line, raw value text verbatim.
+pub fn render(entries: &[(String, String)]) -> String {
+    let mut out = String::from("{\n");
+    for (i, (key, value)) in entries.iter().enumerate() {
+        out.push_str("  \"");
+        out.push_str(key);
+        out.push_str("\": ");
+        out.push_str(value);
+        out.push_str(if i + 1 == entries.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Rebuild `fresh` with every top-level key of `previous` that `fresh`
+/// does not write appended at the end, raw text preserved. Keys present
+/// in both take the `fresh` value — a re-record updates what it
+/// measures and keeps what it doesn't.
+pub fn merge_preserving(fresh: &str, previous: &str) -> Result<String, String> {
+    let mut entries = top_level_entries(fresh)?;
+    for (key, value) in top_level_entries(previous)? {
+        if !entries.iter().any(|(k, _)| *k == key) {
+            entries.push((key, value));
+        }
+    }
+    Ok(render(&entries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = "{\n  \"scale\": 0.05,\n  \"stream\": {\n    \"1\": 10,\n    \"4\": 20\n  },\n  \"ok\": true,\n  \"note\": \"a, b: {c} [d]\"\n}\n";
+
+    #[test]
+    fn scan_then_render_is_identity() {
+        let entries = top_level_entries(DOC).unwrap();
+        assert_eq!(
+            entries.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(),
+            ["scale", "stream", "ok", "note"]
+        );
+        assert_eq!(render(&entries), DOC);
+    }
+
+    #[test]
+    fn braces_and_commas_inside_strings_do_not_split_values() {
+        let entries = top_level_entries(DOC).unwrap();
+        assert_eq!(entries[3].1, "\"a, b: {c} [d]\"");
+    }
+
+    #[test]
+    fn merge_keeps_unknown_previous_keys_and_takes_fresh_values() {
+        let fresh = "{\n  \"scale\": 0.1,\n  \"rps\": 42\n}\n";
+        let previous = "{\n  \"scale\": 0.05,\n  \"legacy_series\": {\n    \"8\": 7\n  }\n}\n";
+        let merged = merge_preserving(fresh, previous).unwrap();
+        assert_eq!(
+            merged,
+            "{\n  \"scale\": 0.1,\n  \"rps\": 42,\n  \"legacy_series\": {\n    \"8\": 7\n  }\n}\n"
+        );
+    }
+
+    #[test]
+    fn escaped_quotes_in_keys_and_values_survive() {
+        let doc = "{\n  \"a\\\"b\": \"x\\\\\",\n  \"c\": 1\n}\n";
+        let entries = top_level_entries(doc).unwrap();
+        assert_eq!(entries[0], ("a\\\"b".to_string(), "\"x\\\\\"".to_string()));
+        assert_eq!(render(&entries), doc);
+    }
+
+    #[test]
+    fn malformed_inputs_are_errors_not_guesses() {
+        for bad in [
+            "[1, 2]",
+            "{ \"unterminated\": \"...",
+            "{ 5: 1 }",
+            "{ \"k\" 1 }",
+            "{ \"k\": }",
+            "{ \"k\": [1, 2 }",
+        ] {
+            assert!(top_level_entries(bad).is_err(), "accepted: {bad}");
+        }
+    }
+}

@@ -8,6 +8,8 @@ use fp_botnet::{Campaign, CampaignConfig};
 use fp_honeysite::{HoneySite, RequestStore};
 use fp_types::{Scale, ServiceId};
 
+pub mod jsonmerge;
+
 /// Scale used by the regeneration binaries. Full scale reproduces the
 /// paper's 507,080 requests; override with `FP_SCALE` (e.g. `FP_SCALE=0.1`)
 /// for quicker runs.
@@ -79,6 +81,15 @@ pub mod env {
         }
     }
 
+    /// Parse an `ARENA_OBS` value: `0` (metrics output off) or `1` (on).
+    pub fn parse_obs(v: &str) -> Result<bool, String> {
+        match v {
+            "0" => Ok(false),
+            "1" => Ok(true),
+            _ => Err(format!("`{v}` is neither 0 nor 1")),
+        }
+    }
+
     /// `FP_SCALE`, or `default` when unset.
     pub fn scale_or(default: Scale) -> Scale {
         knob("FP_SCALE", "a fraction in (0, 1]", default, parse_scale)
@@ -112,6 +123,11 @@ pub mod env {
             default,
             parse_retention,
         )
+    }
+
+    /// `ARENA_OBS`, or `default` when unset.
+    pub fn obs_or(default: bool) -> bool {
+        knob("ARENA_OBS", "0 | 1", default, parse_obs)
     }
 
     /// Read one env knob: absent → `default`; present (even as non-unicode
@@ -168,6 +184,15 @@ pub mod env {
             assert_eq!(parse_remine("2"), Ok(Some(2)));
             assert!(parse_remine("every-round").is_err());
             assert!(parse_remine("-1").is_err());
+        }
+
+        #[test]
+        fn obs_grammar() {
+            assert_eq!(parse_obs("0"), Ok(false));
+            assert_eq!(parse_obs("1"), Ok(true));
+            assert!(parse_obs("true").is_err());
+            assert!(parse_obs("yes").is_err());
+            assert!(parse_obs("").is_err());
         }
 
         #[test]

@@ -29,12 +29,27 @@
 use crate::site::HoneySite;
 use crate::store::RequestStore;
 use fp_antibot::{BotD, DataDome};
+use fp_obs::{expose, Histogram, MetricsRegistry};
 use fp_tls::TlsCrossLayer;
 use fp_types::defense::{
     DecisionContext, DecisionPolicy, Frozen, RetrainSpend, RoundContext, StackMember, VoteThreshold,
 };
 use fp_types::retention::{RecordView, RetentionPolicy};
 use fp_types::{Detector, MitigationAction, SimTime};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Registry name of one member's end-of-round timing histogram.
+pub fn member_metric_name(member: &str) -> String {
+    format!("defense_member_round_ns_{}", expose::sanitize(member))
+}
+
+/// End-of-round instruments: one timing histogram per member, parallel to
+/// the member chain.
+struct StackMetrics {
+    registry: Arc<MetricsRegistry>,
+    member_ns: Vec<Arc<Histogram>>,
+}
 
 /// The defender's whole apparatus: an ordered member chain, the policy
 /// that turns the chain's verdicts into responses, and the bounded
@@ -46,6 +61,8 @@ pub struct DefenseStack {
     /// round, retention applied at each seal. Populated only while some
     /// member wants history — a frozen chain costs no memory.
     training: RequestStore,
+    /// Per-member end-of-round timing instruments, when attached.
+    metrics: Option<StackMetrics>,
 }
 
 impl Default for DefenseStack {
@@ -73,7 +90,25 @@ impl DefenseStack {
             members: Vec::new(),
             policy,
             training,
+            metrics: None,
         }
+    }
+
+    /// Attach a metrics registry: every member's `end_of_round` is timed
+    /// into its own histogram from here on, and the training store records
+    /// its seal/eviction instruments. Members pushed later get their
+    /// histogram at push time.
+    pub fn set_metrics(&mut self, registry: Arc<MetricsRegistry>) {
+        let member_ns = self
+            .members
+            .iter()
+            .map(|m| registry.histogram(&member_metric_name(m.member_name())))
+            .collect();
+        self.training.set_metrics(&registry);
+        self.metrics = Some(StackMetrics {
+            member_ns,
+            registry,
+        });
     }
 
     /// Set the training store's retention policy (applied at every
@@ -97,6 +132,12 @@ impl DefenseStack {
     /// Append a member; its detectors run after the existing members' in
     /// every chain the stack produces.
     pub fn push_member(&mut self, member: Box<dyn StackMember>) {
+        if let Some(m) = &mut self.metrics {
+            m.member_ns.push(
+                m.registry
+                    .histogram(&member_metric_name(member.member_name())),
+            );
+        }
         self.members.push(member);
     }
 
@@ -170,8 +211,16 @@ impl DefenseStack {
             now,
         };
         let mut spend = RetrainSpend::default();
-        for member in &mut self.members {
-            spend.absorb(member.end_of_round(&ctx));
+        if let Some(m) = &self.metrics {
+            for (i, member) in self.members.iter_mut().enumerate() {
+                let start = Instant::now();
+                spend.absorb(member.end_of_round(&ctx));
+                m.member_ns[i].record(start.elapsed().as_nanos() as u64);
+            }
+        } else {
+            for member in &mut self.members {
+                spend.absorb(member.end_of_round(&ctx));
+            }
         }
         if let Some(seal) = seal {
             spend.records_evicted += seal.records_evicted;

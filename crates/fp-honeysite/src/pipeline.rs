@@ -25,13 +25,25 @@
 
 use crate::site::{derive_record, HoneySite};
 use crate::store::{RequestStore, StoredRequest};
+use fp_obs::{Counter, Histogram, LocalHistogram};
 use fp_types::detect::{Detector, StateScope, Verdict};
 use fp_types::{shard_for, sym, CookieId, Request, Symbol};
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Verdicts tagged by chain position, so the merge can interleave the two
 /// phases' entries back into chain order.
 type TaggedVerdicts = Vec<(usize, Verdict)>;
+
+/// The stream run's instrument handles, cloned out of the site up front so
+/// the worker scopes borrow plain `Arc`s rather than the site.
+struct StreamObs {
+    latency: Arc<Histogram>,
+    admitted: Arc<Counter>,
+    /// Parallel to the chain (indexed by chain position).
+    detector_ns: Vec<Arc<Histogram>>,
+}
 
 impl HoneySite {
     /// Ingest a whole request stream on `shards` worker shards.
@@ -52,6 +64,12 @@ impl HoneySite {
             "ingest_stream adopts a freshly built store; ingest into an empty site"
         );
         let n = shards.max(1);
+        let obs: Option<StreamObs> = self.site_metrics().map(|m| StreamObs {
+            latency: m.latency_ns.clone(),
+            admitted: m.admitted.clone(),
+            detector_ns: m.detector_ns.clone(),
+        });
+        let obs_on = obs.is_some();
 
         // Phase A (sequential, cheap): admission + cookie issuance, the IP
         // hash that routes each request to its shard, and — in the same
@@ -62,8 +80,15 @@ impl HoneySite {
         let mut admitted: Vec<(Request, CookieId, u64)> = Vec::new();
         let mut ip_parts: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut cookie_parts: Vec<Vec<usize>> = vec![Vec::new(); n];
+        // Admission stamps, parallel to `admitted` — the start of each
+        // request's admission-to-verdict latency window (closed when its
+        // merged verdicts land).
+        let mut stamps: Vec<Instant> = Vec::new();
         for request in requests {
             if let Some(cookie) = self.admit(&request) {
+                if obs_on {
+                    stamps.push(Instant::now());
+                }
                 let ip_hash = fp_netsim::NetDb::hash_ip(request.ip);
                 let idx = admitted.len();
                 ip_parts[shard_for(ip_hash, n)].push(idx);
@@ -94,6 +119,7 @@ impl HoneySite {
         type B1Out = (
             Vec<(usize, StoredRequest, TaggedVerdicts)>,
             HashMap<u64, Vec<usize>>,
+            Vec<LocalHistogram>,
         );
         let b1: Vec<B1Out> = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = (0..n)
@@ -103,17 +129,43 @@ impl HoneySite {
                     scope.spawn(move |_| {
                         let mut out = Vec::with_capacity(ip_parts[s].len());
                         let mut by_ip: HashMap<u64, Vec<usize>> = HashMap::new();
+                        // Shard-local timing histograms (one per routed
+                        // detector, in route order) — plain arrays filled
+                        // privately and merged at join, so totals are
+                        // shard-count-invariant by construction.
+                        let mut timings =
+                            vec![LocalHistogram::new(); if obs_on { detectors.len() } else { 0 }];
                         for &idx in &ip_parts[s] {
                             let (request, cookie, ip_hash) = &admitted[idx];
                             let record = derive_record(request, *cookie);
-                            let verdicts: TaggedVerdicts = detectors
-                                .iter_mut()
-                                .map(|(i, d)| (*i, d.observe(&record)))
-                                .collect();
+                            // Timing stamps are sampled by arrival index —
+                            // deterministic and shard-invariant, see
+                            // `site::DETECTOR_TIMING_SAMPLE`.
+                            let verdicts: TaggedVerdicts = if obs_on
+                                && (idx as u64).is_multiple_of(crate::site::DETECTOR_TIMING_SAMPLE)
+                            {
+                                let mut last = Instant::now();
+                                detectors
+                                    .iter_mut()
+                                    .enumerate()
+                                    .map(|(k, (i, d))| {
+                                        let v = (*i, d.observe(&record));
+                                        let now = Instant::now();
+                                        timings[k].record((now - last).as_nanos() as u64);
+                                        last = now;
+                                        v
+                                    })
+                                    .collect()
+                            } else {
+                                detectors
+                                    .iter_mut()
+                                    .map(|(i, d)| (*i, d.observe(&record)))
+                                    .collect()
+                            };
                             by_ip.entry(*ip_hash).or_default().push(idx);
                             out.push((idx, record, verdicts));
                         }
-                        (out, by_ip)
+                        (out, by_ip, timings)
                     })
                 })
                 .collect();
@@ -128,11 +180,16 @@ impl HoneySite {
         let mut slots: Vec<Option<(StoredRequest, TaggedVerdicts)>> =
             (0..total).map(|_| None).collect();
         let mut by_ip_shards = Vec::with_capacity(n);
-        for (records, by_ip) in b1 {
+        for (records, by_ip, timings) in b1 {
             for (idx, record, verdicts) in records {
                 slots[idx] = Some((record, verdicts));
             }
             by_ip_shards.push(by_ip);
+            if let Some(o) = &obs {
+                for (k, local) in timings.iter().enumerate() {
+                    o.detector_ns[ip_route[k]].merge_local(local);
+                }
+            }
         }
         // Ids stay 0 until after Phase B2: sequential ingest assigns the
         // dense id only when the store pushes the record, *after* every
@@ -152,7 +209,11 @@ impl HoneySite {
         // walking only the pre-partitioned subset, in arrival order.
         let records_ref = &records;
         let cookie_parts = &cookie_parts;
-        type B2Out = (Vec<(usize, TaggedVerdicts)>, HashMap<CookieId, Vec<usize>>);
+        type B2Out = (
+            Vec<(usize, TaggedVerdicts)>,
+            HashMap<CookieId, Vec<usize>>,
+            Vec<LocalHistogram>,
+        );
         let b2: Vec<B2Out> = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = (0..n)
                 .map(|s| {
@@ -161,19 +222,38 @@ impl HoneySite {
                     scope.spawn(move |_| {
                         let mut out = Vec::new();
                         let mut by_cookie: HashMap<CookieId, Vec<usize>> = HashMap::new();
+                        let mut timings =
+                            vec![LocalHistogram::new(); if obs_on { detectors.len() } else { 0 }];
                         for &idx in &cookie_parts[s] {
                             let record = &records_ref[idx];
                             by_cookie.entry(record.cookie).or_default().push(idx);
                             if detectors.is_empty() {
                                 continue;
                             }
-                            let verdicts: TaggedVerdicts = detectors
-                                .iter_mut()
-                                .map(|(i, d)| (*i, d.observe(record)))
-                                .collect();
+                            let verdicts: TaggedVerdicts = if obs_on
+                                && (idx as u64).is_multiple_of(crate::site::DETECTOR_TIMING_SAMPLE)
+                            {
+                                let mut last = Instant::now();
+                                detectors
+                                    .iter_mut()
+                                    .enumerate()
+                                    .map(|(k, (i, d))| {
+                                        let v = (*i, d.observe(record));
+                                        let now = Instant::now();
+                                        timings[k].record((now - last).as_nanos() as u64);
+                                        last = now;
+                                        v
+                                    })
+                                    .collect()
+                            } else {
+                                detectors
+                                    .iter_mut()
+                                    .map(|(i, d)| (*i, d.observe(record)))
+                                    .collect()
+                            };
                             out.push((idx, verdicts));
                         }
-                        (out, by_cookie)
+                        (out, by_cookie, timings)
                     })
                 })
                 .collect();
@@ -188,12 +268,25 @@ impl HoneySite {
         // adopt the shard-built indexes.
         let mut cookie_verdicts: Vec<TaggedVerdicts> = (0..total).map(|_| Vec::new()).collect();
         let mut by_cookie_shards = Vec::with_capacity(n);
-        for (entries, by_cookie) in b2 {
+        for (entries, by_cookie, timings) in b2 {
             for (idx, verdicts) in entries {
                 cookie_verdicts[idx] = verdicts;
             }
             by_cookie_shards.push(by_cookie);
+            if let Some(o) = &obs {
+                for (k, local) in timings.iter().enumerate() {
+                    o.detector_ns[cookie_route[k]].merge_local(local);
+                }
+            }
         }
+        // The latency window closes when the request's merged verdicts
+        // land — queueing behind the shard phases is part of the
+        // admission-to-verdict path, exactly what a serving deployment
+        // would report. One clock read closes every window: the merge
+        // loop runs in microseconds while the windows span the whole
+        // batch, so per-request reads would add hot-path cost without
+        // moving any bucket.
+        let merge_now = obs.as_ref().map(|_| Instant::now());
         for (idx, ((record, ip_tagged), cookie_tagged)) in records
             .iter_mut()
             .zip(ip_verdicts)
@@ -207,6 +300,13 @@ impl HoneySite {
             for (chain_idx, verdict) in tagged {
                 record.verdicts.record(names[chain_idx], verdict);
             }
+            if let (Some(o), Some(now)) = (&obs, merge_now) {
+                o.latency
+                    .record(now.duration_since(stamps[idx]).as_nanos() as u64);
+            }
+        }
+        if let Some(o) = &obs {
+            o.admitted.add(total as u64);
         }
 
         self.set_store(RequestStore::from_parts(
@@ -318,6 +418,52 @@ mod tests {
         let second = site.seal_epoch();
         assert_eq!(second.records_evicted, 30, "the next seal ages it out");
         assert!(site.store().is_empty());
+    }
+
+    #[test]
+    fn stream_metrics_totals_are_shard_invariant() {
+        use fp_obs::MetricsRegistry;
+        use std::sync::Arc;
+        let reqs = requests(120);
+        let mut per_shard_totals = Vec::new();
+        for shards in [1, 2, 8] {
+            let registry = Arc::new(MetricsRegistry::new());
+            let mut site = fresh_site();
+            site.set_metrics(registry.clone());
+            let admitted = site.ingest_stream(reqs.clone(), shards) as u64;
+            let snap = registry.snapshot();
+            assert_eq!(
+                snap.counter(crate::site::REQUESTS_ADMITTED),
+                Some(admitted),
+                "{shards} shards"
+            );
+            let latency = snap
+                .histogram(crate::site::ADMISSION_TO_VERDICT_NS)
+                .expect("latency histogram registered");
+            assert_eq!(latency.count(), admitted, "{shards} shards");
+            // Every detector's timing histogram holds exactly the sampled
+            // arrival indexes (1 in DETECTOR_TIMING_SAMPLE), whatever the
+            // partition — the sample keys on arrival order, not on shards.
+            let sampled = admitted.div_ceil(crate::site::DETECTOR_TIMING_SAMPLE);
+            let detector_counts: Vec<(String, u64)> = snap
+                .metrics
+                .iter()
+                .filter(|m| m.name.starts_with("detector_observe_ns_"))
+                .map(|m| match &m.value {
+                    fp_obs::Value::Histogram(h) => (m.name.clone(), h.count()),
+                    other => panic!("{}: unexpected {other:?}", m.name),
+                })
+                .collect();
+            assert_eq!(detector_counts.len(), 3, "default chain");
+            for (name, count) in &detector_counts {
+                assert_eq!(*count, sampled, "{name} at {shards} shards");
+            }
+            per_shard_totals.push((admitted, detector_counts));
+        }
+        assert!(
+            per_shard_totals.windows(2).all(|w| w[0] == w[1]),
+            "shard-invariant totals: {per_shard_totals:?}"
+        );
     }
 
     #[test]

@@ -14,10 +14,48 @@ use crate::store::{RequestStore, StoredRequest};
 use fp_antibot::{BotD, DataDome};
 use fp_netsim::blocklist::{is_tor_exit, AsnBlocklist, IpBlocklist};
 use fp_netsim::NetDb;
+use fp_obs::{expose, Counter, Histogram, MetricsRegistry};
 use fp_tls::TlsCrossLayer;
 use fp_types::detect::Detector;
 use fp_types::{mix2, sym, CookieId, Request, RequestId, Symbol, VerdictSet};
 use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Registry name of the per-request admission-to-verdict latency histogram.
+pub const ADMISSION_TO_VERDICT_NS: &str = "site_admission_to_verdict_ns";
+/// Registry name of the admitted-request counter.
+pub const REQUESTS_ADMITTED: &str = "site_requests_admitted";
+/// Registry name of the rejected-request counter.
+pub const REQUESTS_REJECTED: &str = "site_requests_rejected";
+
+/// Registry name of one detector's `observe()` timing histogram.
+pub fn detector_metric_name(detector: &str) -> String {
+    format!("detector_observe_ns_{}", expose::sanitize(detector))
+}
+
+/// Per-detector timing stamps are recorded for 1 admitted request in
+/// this many (the request's arrival index modulo this constant), not for
+/// every request: the chained stamps cost one clock read per detector,
+/// which at full rate is the bulk of the always-on bill
+/// (`BENCH_pipeline.json` budgets it under 3% of ingest throughput).
+/// Sampling keys on the *arrival* index, so the sampled set — and
+/// therefore every `detector_observe_ns_*` histogram — is deterministic
+/// and shard-count-invariant. The admission-to-verdict latency histogram
+/// and all counters stay exact-count.
+pub const DETECTOR_TIMING_SAMPLE: u64 = 8;
+
+/// The site's resolved instrument handles — looked up once at
+/// [`HoneySite::set_metrics`], so the per-request path never touches the
+/// registry (no string hashing, no lock).
+pub(crate) struct SiteMetrics {
+    pub(crate) registry: Arc<MetricsRegistry>,
+    pub(crate) admitted: Arc<Counter>,
+    pub(crate) rejected: Arc<Counter>,
+    pub(crate) latency_ns: Arc<Histogram>,
+    /// One timing histogram per chain position, parallel to `chain`.
+    pub(crate) detector_ns: Vec<Arc<Histogram>>,
+}
 
 /// A honey site with a pluggable real-time detector chain.
 pub struct HoneySite {
@@ -40,6 +78,9 @@ pub struct HoneySite {
     epoch_every: Option<usize>,
     /// Admitted records since the last seal (drives `epoch_every`).
     since_seal: usize,
+    /// Instrument handles, when a registry is attached. `None` (default)
+    /// is the bare site: no timing reads, no counter bumps.
+    metrics: Option<SiteMetrics>,
 }
 
 impl Default for HoneySite {
@@ -71,7 +112,40 @@ impl HoneySite {
             streamed: false,
             epoch_every: None,
             since_seal: 0,
+            metrics: None,
         }
+    }
+
+    /// Attach a metrics registry: resolves the admission counters, the
+    /// admission-to-verdict latency histogram, one `observe()` timing
+    /// histogram per detector in the current chain, and the store's
+    /// retention instruments. Handles are resolved here once; recording on
+    /// the hot path is lock-free. Detectors pushed later get their
+    /// histogram at push time.
+    pub fn set_metrics(&mut self, registry: Arc<MetricsRegistry>) {
+        let detector_ns = self
+            .chain
+            .iter()
+            .map(|d| registry.histogram(&detector_metric_name(d.name())))
+            .collect();
+        self.store.set_metrics(&registry);
+        self.metrics = Some(SiteMetrics {
+            admitted: registry.counter(REQUESTS_ADMITTED),
+            rejected: registry.counter(REQUESTS_REJECTED),
+            latency_ns: registry.histogram(ADMISSION_TO_VERDICT_NS),
+            detector_ns,
+            registry,
+        });
+    }
+
+    /// The attached registry, if any.
+    pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.metrics.as_ref().map(|m| &m.registry)
+    }
+
+    /// The site's instrument handles (streaming pipeline internals).
+    pub(crate) fn site_metrics(&self) -> Option<&SiteMetrics> {
+        self.metrics.as_ref()
     }
 
     /// Set the store's retention policy (applied at each epoch seal;
@@ -99,6 +173,10 @@ impl HoneySite {
 
     /// Append a detector to the chain (runs after the existing ones).
     pub fn push_detector(&mut self, detector: Box<dyn Detector>) {
+        if let Some(m) = &mut self.metrics {
+            m.detector_ns
+                .push(m.registry.histogram(&detector_metric_name(detector.name())));
+        }
         self.chain.push(detector);
     }
 
@@ -117,6 +195,9 @@ impl HoneySite {
     pub(crate) fn admit(&mut self, request: &Request) -> Option<CookieId> {
         if !self.tokens.contains(&request.site_token) {
             self.rejected += 1;
+            if let Some(m) = &self.metrics {
+                m.rejected.inc();
+            }
             return None;
         }
         Some(match request.cookie {
@@ -137,6 +218,7 @@ impl HoneySite {
             "sequential ingest after ingest_stream would run stateful detectors \
              from empty history; use one ingest mode per measurement run"
         );
+        let start = self.metrics.as_ref().map(|_| Instant::now());
         let cookie = self.admit(&request)?;
         let mut record = derive_record(&request, cookie);
 
@@ -144,13 +226,42 @@ impl HoneySite {
         // observe the record before any verdict is attached, exactly like
         // the sharded pipeline, so the two paths are interchangeable.
         let mut verdicts = VerdictSet::new();
-        for detector in &mut self.chain {
-            let name = sym(detector.name());
-            let verdict = detector.observe(&record);
-            verdicts.record(name, verdict);
+        // The arrival index of this admitted request (rejections never get
+        // here), keying the deterministic detector-timing sample.
+        let timing_sampled = self
+            .store
+            .total_ingested()
+            .is_multiple_of(DETECTOR_TIMING_SAMPLE);
+        match &self.metrics {
+            Some(m) if timing_sampled => {
+                // Chained stamps: one clock read per detector, the gap
+                // between consecutive stamps is that detector's observe()
+                // time. Sampled 1-in-DETECTOR_TIMING_SAMPLE by arrival
+                // index; every other request runs the bare loop below.
+                let mut last = Instant::now();
+                for (i, detector) in self.chain.iter_mut().enumerate() {
+                    let name = sym(detector.name());
+                    let verdict = detector.observe(&record);
+                    let now = Instant::now();
+                    m.detector_ns[i].record((now - last).as_nanos() as u64);
+                    last = now;
+                    verdicts.record(name, verdict);
+                }
+            }
+            _ => {
+                for detector in &mut self.chain {
+                    let name = sym(detector.name());
+                    let verdict = detector.observe(&record);
+                    verdicts.record(name, verdict);
+                }
+            }
         }
         record.verdicts = verdicts;
         let id = self.store.push(record);
+        if let (Some(m), Some(start)) = (&self.metrics, start) {
+            m.admitted.inc();
+            m.latency_ns.record(start.elapsed().as_nanos() as u64);
+        }
         if let Some(n) = self.epoch_every {
             self.since_seal += 1;
             if self.since_seal >= n {
@@ -184,6 +295,11 @@ impl HoneySite {
     /// site's bounding choices.
     pub(crate) fn set_store(&mut self, mut store: RequestStore) {
         store.set_retention(self.store.retention());
+        if let Some(m) = &self.metrics {
+            // The adopted store inherits the attached registry too, so
+            // seal/eviction instruments keep recording after a stream run.
+            store.set_metrics(&m.registry);
+        }
         self.store = store;
         self.streamed = true;
     }

@@ -21,10 +21,40 @@
 
 pub use fp_types::stored::StoredRequest;
 
+use fp_obs::{Counter, Gauge, MetricsRegistry};
 use fp_types::retention::{Epoch, RecordView, RetentionPolicy, SegmentStats};
 use fp_types::{shard_for, CookieId, RequestId};
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+/// Registry name of the sealed-epoch counter.
+pub const EPOCHS_SEALED: &str = "store_epochs_sealed";
+/// Registry name of the evicted-record counter.
+pub const RECORDS_EVICTED: &str = "store_records_evicted";
+/// Registry name of the evicted-segment counter.
+pub const SEGMENTS_EVICTED: &str = "store_segments_evicted";
+/// Registry name of the resident-record gauge (updated at each seal or
+/// ahead-of-seal eviction pass).
+pub const RESIDENT_RECORDS: &str = "store_resident_records";
+
+/// Retention instruments, resolved once at [`RequestStore::set_metrics`].
+struct StoreMetrics {
+    epochs_sealed: Arc<Counter>,
+    records_evicted: Arc<Counter>,
+    segments_evicted: Arc<Counter>,
+    resident: Arc<Gauge>,
+}
+
+impl StoreMetrics {
+    /// Record one seal or ahead-of-seal eviction pass.
+    fn record(&self, pass: &SegmentStats) {
+        self.epochs_sealed.add(pass.epochs_sealed);
+        self.records_evicted.add(pass.records_evicted);
+        self.segments_evicted.add(pass.segments_evicted);
+        self.resident.set(pass.resident_records as i64);
+    }
+}
 
 /// One epoch's worth of records plus the sharded indexes that answer
 /// queries over them. Positions in the index maps are segment-local.
@@ -123,6 +153,8 @@ pub struct RequestStore {
     /// The reference epoch retention was last applied for — lets a seal
     /// skip the pass [`RequestStore::evict_ahead`] already paid.
     retained_through: Option<Epoch>,
+    /// Retention instruments, when a registry is attached.
+    metrics: Option<StoreMetrics>,
 }
 
 impl Default for RequestStore {
@@ -149,6 +181,7 @@ impl RequestStore {
             stats: SegmentStats::default(),
             indexing: true,
             retained_through: None,
+            metrics: None,
         }
     }
 
@@ -196,7 +229,21 @@ impl RequestStore {
             stats: SegmentStats::default(),
             indexing: true,
             retained_through: None,
+            metrics: None,
         }
+    }
+
+    /// Attach a metrics registry: every seal and ahead-of-seal eviction
+    /// pass from here on records the epoch/eviction counters and updates
+    /// the resident-record gauge. Handles resolve once; re-attaching the
+    /// same registry (store hand-over) reuses the same instruments.
+    pub fn set_metrics(&mut self, registry: &Arc<MetricsRegistry>) {
+        self.metrics = Some(StoreMetrics {
+            epochs_sealed: registry.counter(EPOCHS_SEALED),
+            records_evicted: registry.counter(RECORDS_EVICTED),
+            segments_evicted: registry.counter(SEGMENTS_EVICTED),
+            resident: registry.gauge(RESIDENT_RECORDS),
+        });
     }
 
     /// Number of index shards.
@@ -279,6 +326,9 @@ impl RequestStore {
             peak_resident_records: resident,
         };
         self.stats.absorb(seal);
+        if let Some(m) = &self.metrics {
+            m.record(&seal);
+        }
         seal
     }
 
@@ -307,6 +357,9 @@ impl RequestStore {
             peak_resident_records: resident,
         };
         self.stats.absorb(ahead);
+        if let Some(m) = &self.metrics {
+            m.record(&ahead);
+        }
         ahead
     }
 

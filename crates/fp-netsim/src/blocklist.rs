@@ -16,9 +16,32 @@
 
 use crate::asn::{AsnClass, AsnRecord};
 use crate::NetDb;
+use fp_obs::{Counter, MetricsRegistry};
 use fp_types::{mix2, unit_f64, SimTime};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// Registry name of the admission-check counter.
+pub const BLOCKLIST_CHECKS: &str = "blocklist_checks";
+/// Registry name of the admission-denial counter.
+pub const BLOCKLIST_DENIALS: &str = "blocklist_denials";
+/// Registry name of the purge-sweep counter.
+pub const BLOCKLIST_PURGE_SWEEPS: &str = "blocklist_purge_sweeps";
+/// Registry name of the purged-entry counter.
+pub const BLOCKLIST_PURGED_ENTRIES: &str = "blocklist_purged_entries";
+
+/// Admission-gate instruments, resolved once at
+/// [`TtlBlocklist::set_metrics`]. `Arc` handles so the list's `Clone`
+/// derive keeps working (clones share the instruments — they are one
+/// logical gate).
+#[derive(Clone, Debug)]
+struct BlocklistMetrics {
+    checks: Arc<Counter>,
+    denials: Arc<Counter>,
+    purge_sweeps: Arc<Counter>,
+    purged_entries: Arc<Counter>,
+}
 
 /// Public datacenter-ASN blocklist (bad-asn-list style).
 pub struct AsnBlocklist;
@@ -115,12 +138,26 @@ struct TtlEntry {
 #[derive(Clone, Debug, Default)]
 pub struct TtlBlocklist {
     entries: HashMap<u64, TtlEntry>,
+    metrics: Option<BlocklistMetrics>,
 }
 
 impl TtlBlocklist {
     /// An empty list.
     pub fn new() -> TtlBlocklist {
         TtlBlocklist::default()
+    }
+
+    /// Attach admission-gate counters ([`BLOCKLIST_CHECKS`],
+    /// [`BLOCKLIST_DENIALS`], [`BLOCKLIST_PURGE_SWEEPS`],
+    /// [`BLOCKLIST_PURGED_ENTRIES`]) resolved from `registry`. Idempotent:
+    /// re-attaching the same registry resolves the same instruments.
+    pub fn set_metrics(&mut self, registry: &Arc<MetricsRegistry>) {
+        self.metrics = Some(BlocklistMetrics {
+            checks: registry.counter(BLOCKLIST_CHECKS),
+            denials: registry.counter(BLOCKLIST_DENIALS),
+            purge_sweeps: registry.counter(BLOCKLIST_PURGE_SWEEPS),
+            purged_entries: registry.counter(BLOCKLIST_PURGED_ENTRIES),
+        });
     }
 
     /// List `ip_hash` at `now` for `ttl_secs`; returns the address's
@@ -189,9 +226,17 @@ impl TtlBlocklist {
     /// kept until [`TtlBlocklist::purge_expired`] sweeps them, like a real
     /// list distributing removals on its next refresh).
     pub fn contains(&self, ip_hash: u64, now: SimTime) -> bool {
-        self.entries
+        let denied = self
+            .entries
             .get(&ip_hash)
-            .is_some_and(|entry| now < entry.expiry)
+            .is_some_and(|entry| now < entry.expiry);
+        if let Some(m) = &self.metrics {
+            m.checks.inc();
+            if denied {
+                m.denials.inc();
+            }
+        }
+        denied
     }
 
     /// Convenience: check a raw address (hashes it the same way the store
@@ -208,7 +253,12 @@ impl TtlBlocklist {
         let before = self.entries.len();
         self.entries
             .retain(|_, entry| now < entry.expiry || now < entry.memory_expiry);
-        before - self.entries.len()
+        let purged = before - self.entries.len();
+        if let Some(m) = &self.metrics {
+            m.purge_sweeps.inc();
+            m.purged_entries.add(purged as u64);
+        }
+        purged
     }
 
     /// Number of entries (live and expired-but-unswept).
@@ -270,6 +320,30 @@ mod tests {
     fn tor_exit_predicate() {
         assert!(is_tor_exit(Ipv4Addr::new(185, 10, 0, 1)));
         assert!(!is_tor_exit(Ipv4Addr::new(73, 10, 0, 1)));
+    }
+
+    #[test]
+    fn ttl_metrics_count_checks_denials_and_purges() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut list = TtlBlocklist::new();
+        list.set_metrics(&registry);
+        let t0 = SimTime::from_day(1, 0);
+        list.block(1, t0, 100);
+        list.block(2, t0, 100);
+        assert!(list.contains(1, t0));
+        assert!(!list.contains(3, t0), "unlisted hashes never bind");
+        assert!(!list.contains(1, t0 + 200), "expired entries do not bind");
+        assert_eq!(list.purge_expired(t0 + 200), 2);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter(BLOCKLIST_CHECKS), Some(3));
+        assert_eq!(snap.counter(BLOCKLIST_DENIALS), Some(1));
+        assert_eq!(snap.counter(BLOCKLIST_PURGE_SWEEPS), Some(1));
+        assert_eq!(snap.counter(BLOCKLIST_PURGED_ENTRIES), Some(2));
+        // Clones share the instruments: a check through the clone lands in
+        // the same counter.
+        let clone = list.clone();
+        assert!(!clone.contains(9, t0));
+        assert_eq!(registry.snapshot().counter(BLOCKLIST_CHECKS), Some(4));
     }
 
     #[test]

@@ -1,0 +1,415 @@
+//! The three instruments: striped [`Counter`], [`Gauge`], log2-bucket
+//! [`Histogram`] (plus its shard-local and snapshot forms).
+
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+
+/// Number of histogram buckets: one for the value `0` plus one per power of
+/// two up to `2^63` (bucket 64 absorbs everything from `2^63` to
+/// `u64::MAX`).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Stripes per [`Counter`]. Eight covers the shard counts the streaming
+/// pipeline is exercised at (1/2/4/8) without making `value()` walks long.
+const COUNTER_STRIPES: usize = 8;
+
+/// Bucket index for a recorded value: `0` for `0`, otherwise
+/// `floor(log2(v)) + 1`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of a bucket — what a quantile query reports for
+/// ranks landing in that bucket.
+#[inline]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+/// One cache line per stripe so shard workers bumping the same counter
+/// don't false-share.
+#[repr(align(64))]
+#[derive(Debug)]
+struct PaddedAtomicU64(AtomicU64);
+
+/// Per-thread stripe assignment: threads round-robin over the stripes at
+/// first touch, so a worker keeps hitting its own line for its lifetime.
+static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+thread_local! {
+    static STRIPE: usize = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) % COUNTER_STRIPES;
+}
+
+/// A monotonic event counter, striped across padded atomics.
+///
+/// `add` is a single relaxed `fetch_add` on the calling thread's stripe;
+/// `value()` sums the stripes (monotone but not a linearisable point-read,
+/// which is fine for metrics).
+#[derive(Debug)]
+pub struct Counter {
+    stripes: [PaddedAtomicU64; COUNTER_STRIPES],
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter {
+            stripes: std::array::from_fn(|_| PaddedAtomicU64(AtomicU64::new(0))),
+        }
+    }
+
+    /// Add `n` events.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        STRIPE.with(|&s| self.stripes[s].0.fetch_add(n, Ordering::Relaxed));
+    }
+
+    /// Add one event.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current total across all stripes.
+    pub fn value(&self) -> u64 {
+        self.stripes
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// A settable signed level (resident records, rules active).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust the level by a signed delta.
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.value.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn value(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A lock-free log2-bucket histogram.
+///
+/// Recording is two relaxed atomic adds (bucket count + running sum). The
+/// bucket layout is fixed at [`HISTOGRAM_BUCKETS`] slots so histograms from
+/// different shards merge bucket-for-bucket with plain addition.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Fold a shard-local histogram in (bucket-wise addition).
+    pub fn merge_local(&self, local: &LocalHistogram) {
+        for (b, &n) in self.buckets.iter().zip(local.buckets.iter()) {
+            if n != 0 {
+                b.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        if local.sum != 0 {
+            self.sum.fetch_add(local.sum, Ordering::Relaxed);
+        }
+    }
+
+    /// A plain-value copy of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A shard worker's private histogram: plain arrays, no atomics. Workers
+/// fill one of these during a parallel phase and the join merges them into
+/// the shared [`Histogram`], so per-request recording costs two plain adds
+/// and the totals are shard-count-invariant by construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LocalHistogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    sum: u64,
+}
+
+impl Default for LocalHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LocalHistogram {
+    /// An empty local histogram.
+    pub fn new() -> Self {
+        LocalHistogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            sum: 0,
+        }
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        // Wrapping like the shared histogram's atomic sum, so a local fill
+        // merged at join equals direct shared recording bit for bit.
+        self.sum = self.sum.wrapping_add(v);
+    }
+
+    /// Fold another local histogram in.
+    pub fn merge(&mut self, other: &LocalHistogram) {
+        for (b, &n) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += n;
+        }
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// A plain-value copy of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.buckets,
+            sum: self.sum,
+        }
+    }
+}
+
+/// A plain-value histogram state: what snapshots, deltas, quantiles and
+/// exposition all operate on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts (see [`bucket_index`] for the layout).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Sum of all recorded values.
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            sum: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total recorded values.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The quantile upper bound: the inclusive upper edge of the bucket
+    /// holding the value of rank `max(1, ceil(q * count))`. Exact to one
+    /// log2 bucket; `0` for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Fold another snapshot in (bucket-wise addition).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (b, &n) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += n;
+        }
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// Bucket-wise difference against an earlier snapshot of the same
+    /// histogram (saturating, so a reset histogram yields zeros rather
+    /// than wrapping).
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].saturating_sub(earlier.buckets[i])),
+            sum: self.sum.saturating_sub(earlier.sum),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_covers_u64() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // Every bucket's upper bound indexes back into the same bucket.
+        for i in 0..HISTOGRAM_BUCKETS {
+            assert_eq!(bucket_index(bucket_upper_bound(i)), i, "bucket {i}");
+        }
+        // Lower edges too: 2^(i-1) is the first value of bucket i.
+        for i in 1..HISTOGRAM_BUCKETS {
+            assert_eq!(bucket_index(1u64 << (i - 1)), i, "lower edge of {i}");
+        }
+    }
+
+    #[test]
+    fn counter_totals_across_threads() {
+        let c = std::sync::Arc::new(Counter::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        c.add(5);
+        assert_eq!(c.value(), 4005);
+    }
+
+    #[test]
+    fn gauge_set_and_adjust() {
+        let g = Gauge::new();
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.value(), 7);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_bucket_upper_bounds() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 1000);
+        assert_eq!(snap.sum, 500_500);
+        // Rank 500 is value 500 → bucket [256, 511] → upper bound 511.
+        assert_eq!(snap.quantile(0.5), 511);
+        // Rank 990 is value 990 → bucket [512, 1023] → upper bound 1023.
+        assert_eq!(snap.quantile(0.99), 1023);
+        assert_eq!(snap.quantile(0.999), 1023);
+        assert_eq!(snap.quantile(1.0), 1023);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        assert_eq!(Histogram::new().snapshot().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn local_merge_equals_shared_recording() {
+        let shared = Histogram::new();
+        let mut a = LocalHistogram::new();
+        let mut b = LocalHistogram::new();
+        for v in [0u64, 1, 7, 4096, u64::MAX] {
+            shared.record(v);
+            if v % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        let merged = Histogram::new();
+        merged.merge_local(&a);
+        merged.merge_local(&b);
+        assert_eq!(merged.snapshot(), shared.snapshot());
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts_bucketwise() {
+        let h = Histogram::new();
+        h.record(3);
+        let earlier = h.snapshot();
+        h.record(3);
+        h.record(100);
+        let d = h.snapshot().delta(&earlier);
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.sum, 103);
+        assert_eq!(d.buckets[bucket_index(3)], 1);
+        assert_eq!(d.buckets[bucket_index(100)], 1);
+    }
+
+    /// The determinism contract: values derived from `SimClock` ticks make
+    /// every downstream artifact byte-stable.
+    #[test]
+    fn sim_clock_ticks_make_snapshots_deterministic() {
+        use fp_types::SimClock;
+        let run = || {
+            let mut clock = SimClock::new();
+            let h = Histogram::new();
+            for step in 1..=50 {
+                let before = clock.now();
+                clock.advance(step % 7 + 1);
+                h.record(clock.now().nanos_since(before));
+            }
+            h.snapshot()
+        };
+        assert_eq!(run(), run());
+    }
+}

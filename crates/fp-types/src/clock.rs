@@ -50,6 +50,14 @@ impl SimTime {
         STUDY_EPOCH_UNIX + self.0
     }
 
+    /// Nanoseconds elapsed since `earlier` (saturating at zero, like
+    /// [`Sub`]). Simulated seconds are the clock's resolution; this is the
+    /// bridge to nanosecond-denominated instruments (`fp-obs` histograms),
+    /// so tests can feed them deterministic durations instead of wall time.
+    pub fn nanos_since(self, earlier: SimTime) -> u64 {
+        (self - earlier).saturating_mul(1_000_000_000)
+    }
+
     /// Human-readable calendar date within the study window, e.g. `Sep 15`.
     /// Days past the window keep counting into a synthetic `Dec+`.
     pub fn calendar(self) -> String {
@@ -180,6 +188,14 @@ mod tests {
         let t = SimTime::from_day(2, 90_000);
         assert_eq!(t.second_of_day(), 90_000 % 86_400);
         assert_eq!(t.day(), 2);
+    }
+
+    #[test]
+    fn nanos_since_saturates() {
+        let a = SimTime(10);
+        let b = SimTime(13);
+        assert_eq!(b.nanos_since(a), 3_000_000_000);
+        assert_eq!(a.nanos_since(b), 0);
     }
 
     #[test]

@@ -299,6 +299,7 @@ proptest! {
                 actions: Default::default(),
                 mutation: Default::default(),
                 defense: Default::default(),
+                obs: Default::default(),
             }
         };
         let a = stats_of(&original);

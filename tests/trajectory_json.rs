@@ -79,6 +79,7 @@ fn synthetic_trajectory() -> TrajectoryReport {
             rules_added: 0,
             rules_removed: 0,
         },
+        obs: Default::default(),
     });
     trajectory.push(RoundStats {
         round: 1,
@@ -104,6 +105,7 @@ fn synthetic_trajectory() -> TrajectoryReport {
             rules_added: 81,
             rules_removed: 0,
         },
+        obs: Default::default(),
     });
     trajectory
 }
