@@ -80,6 +80,7 @@ mod tests {
             tls: fp_types::TlsFacet::unobserved(),
             source: TrafficSource::RealUser,
             behavior: BehaviorTrace::silent(),
+            cadence: fp_types::BehaviorFacet::unobserved(),
             verdicts: VerdictSet::from_services(false, false),
         }
     }

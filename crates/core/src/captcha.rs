@@ -164,6 +164,7 @@ mod tests {
                 TrafficSource::RealUser
             },
             behavior: BehaviorTrace::silent(),
+            cadence: fp_types::BehaviorFacet::unobserved(),
             verdicts: VerdictSet::from_services(false, false),
         }
     }

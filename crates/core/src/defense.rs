@@ -265,6 +265,7 @@ mod tests {
                 .with(AttrId::MaxTouchPoints, 0i64),
             source: TrafficSource::Bot(ServiceId(1)),
             behavior: BehaviorTrace::silent(),
+            cadence: fp_types::BehaviorFacet::unobserved(),
             verdicts: VerdictSet::new(),
         }
     }

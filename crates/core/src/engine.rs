@@ -352,6 +352,7 @@ mod tests {
             fingerprint: Fingerprint::new().with(AttrId::Timezone, tz),
             tls: fp_types::TlsFacet::unobserved(),
             behavior: BehaviorTrace::silent(),
+            cadence: fp_types::BehaviorFacet::unobserved(),
             source: TrafficSource::RealUser,
             verdicts: VerdictSet::new(),
         }

@@ -300,6 +300,10 @@ pub struct MutationStats {
     /// Requests whose TLS stack was upgraded to the truthful hello for the
     /// claimed User-Agent.
     pub tls_upgrades: u64,
+    /// Requests whose session cadence facet was re-shaped to human pacing
+    /// (the FP-Agent counter-move; each costs the agent real think-time
+    /// throughput).
+    pub cadence_humanised: u64,
 }
 
 impl MutationStats {
@@ -309,6 +313,7 @@ impl MutationStats {
         self.mutated_attrs += other.mutated_attrs;
         self.rotated_ips += other.rotated_ips;
         self.tls_upgrades += other.tls_upgrades;
+        self.cadence_humanised += other.cadence_humanised;
     }
 }
 
@@ -387,7 +392,8 @@ impl RoundStats {
             "{{\"round\":{},\"cohort_sizes\":[{}],\"detectors\":[{}],\
              \"denied\":[{}],\"actions\":{{\"allowed\":{},\"shadow_flagged\":{},\
              \"captchas\":{},\"blocked\":{}}},\"mutation\":{{\"adapted_requests\":{},\
-             \"mutated_attrs\":{},\"rotated_ips\":{},\"tls_upgrades\":{}}},\
+             \"mutated_attrs\":{},\"rotated_ips\":{},\"tls_upgrades\":{},\
+             \"cadence_humanised\":{}}},\
              \"defense\":{{\"retrained_members\":{},\"records_scanned\":{},\
              \"rules_active\":{},\"records_evicted\":{},\"records_resident\":{},\
              \"pack_hash\":{},\"rules_added\":{},\"rules_removed\":{}}}}}",
@@ -403,6 +409,7 @@ impl RoundStats {
             self.mutation.mutated_attrs,
             self.mutation.rotated_ips,
             self.mutation.tls_upgrades,
+            self.mutation.cadence_humanised,
             d.retrained_members,
             d.records_scanned,
             d.rules_active,
@@ -675,6 +682,7 @@ mod tests {
                 .with(AttrId::Timezone, "America/Los_Angeles"),
             source: TrafficSource::Bot(ServiceId(service)),
             behavior: BehaviorTrace::silent(),
+            cadence: fp_types::BehaviorFacet::unobserved(),
             verdicts: VerdictSet::from_services(dd, botd),
         }
     }
@@ -820,8 +828,7 @@ mod tests {
             mutation: MutationStats {
                 adapted_requests: mutated.min(1_000),
                 mutated_attrs: mutated,
-                rotated_ips: 0,
-                tls_upgrades: 0,
+                ..MutationStats::default()
             },
             defense: RetrainSpend::default(),
             obs: fp_obs::RoundObs::default(),
@@ -1026,17 +1033,20 @@ mod tests {
             mutated_attrs: 2,
             rotated_ips: 3,
             tls_upgrades: 4,
+            cadence_humanised: 5,
         };
         a.absorb(MutationStats {
             adapted_requests: 10,
             mutated_attrs: 20,
             rotated_ips: 30,
             tls_upgrades: 40,
+            cadence_humanised: 50,
         });
         assert_eq!(a.adapted_requests, 11);
         assert_eq!(a.mutated_attrs, 22);
         assert_eq!(a.rotated_ips, 33);
         assert_eq!(a.tls_upgrades, 44);
+        assert_eq!(a.cadence_humanised, 55);
     }
 
     #[test]

@@ -555,6 +555,7 @@ mod tests {
                 .with(AttrId::MaxTouchPoints, mtp),
             source: TrafficSource::RealUser,
             behavior: BehaviorTrace::silent(),
+            cadence: fp_types::BehaviorFacet::unobserved(),
             verdicts: VerdictSet::new(),
         }
     }

@@ -248,6 +248,7 @@ mod tests {
                 .with(AttrId::MaxTouchPoints, mtp),
             source: TrafficSource::RealUser,
             behavior: BehaviorTrace::silent(),
+            cadence: fp_types::BehaviorFacet::unobserved(),
             verdicts: VerdictSet::from_services(false, false),
         }
     }

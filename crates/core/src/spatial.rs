@@ -269,6 +269,7 @@ mod tests {
                 fingerprint,
                 source: TrafficSource::RealUser,
                 behavior: BehaviorTrace::silent(),
+                cadence: fp_types::BehaviorFacet::unobserved(),
                 verdicts: VerdictSet::from_services(!evaded, !evaded),
             });
         }

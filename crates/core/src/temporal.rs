@@ -209,6 +209,7 @@ mod tests {
                 .with(AttrId::TimezoneOffset, offset),
             tls: fp_types::TlsFacet::unobserved(),
             behavior: BehaviorTrace::silent(),
+            cadence: fp_types::BehaviorFacet::unobserved(),
             source: TrafficSource::RealUser,
             verdicts: VerdictSet::new(),
         }

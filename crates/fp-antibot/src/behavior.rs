@@ -2,128 +2,38 @@
 //! for human-ness. The generators never hand over a verdict — this module
 //! has to derive one, like the real service derives one from its
 //! MouseEvent listeners (Table 5).
+//!
+//! The scoring itself lives in [`fp_types::behavior`] since the behavioural
+//! facet landed: the session detector's re-fitting member (`fp-behavior`)
+//! uses the same pointer-credibility read to pick its trusted training
+//! sample, and two drifting copies of `NATURAL_THRESHOLD` would quietly
+//! decouple the commercial simulator from the in-house chain. This module
+//! re-exports the one sourced copy under the paths DataDome's engine has
+//! always used.
 
-use fp_types::PointerStats;
-
-/// Naturalness score in `[0, 1]`.
-///
-/// Three independent signatures of a human hand, each scored 0–1 and
-/// averaged:
-/// * speed variance — muscles accelerate and decelerate; replayed events
-///   arrive at machine-regular intervals;
-/// * curvature — real strokes arc and tremble; interpolated lines do not;
-/// * temporal texture — humans pause to read; scripts do not idle.
-pub fn naturalness(stats: &PointerStats) -> f32 {
-    if stats.samples < 5 {
-        return 0.0;
-    }
-    let speed_score = ramp(stats.speed_cv, 0.08, 0.30);
-    let curve_score = ramp(stats.curvature, 0.01, 0.05);
-    // Either pauses or a humanly long interaction counts as texture.
-    let texture_score = ramp(stats.pause_fraction, 0.01, 0.08)
-        .max(ramp(stats.duration_ms as f32, 400.0, 1200.0) * 0.8);
-    (speed_score + curve_score + texture_score) / 3.0
-}
-
-/// 0 below `lo`, 1 above `hi`, linear in between.
-fn ramp(x: f32, lo: f32, hi: f32) -> f32 {
-    ((x - lo) / (hi - lo)).clamp(0.0, 1.0)
-}
-
-/// The decision threshold DataDome applies to [`naturalness`].
-pub const NATURAL_THRESHOLD: f32 = 0.6;
-
-/// Convenience: does a behaviour trace contain credible pointer input?
-pub fn credible_pointer(trace: &fp_types::BehaviorTrace) -> bool {
-    trace.mouse_events >= 3
-        && trace
-            .pointer
-            .map(|s| naturalness(&s) >= NATURAL_THRESHOLD)
-            .unwrap_or(false)
-}
+pub use fp_types::behavior::{credible_pointer, naturalness, NATURAL_THRESHOLD};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fp_types::PointerStats;
 
-    fn human_stats() -> PointerStats {
-        PointerStats {
+    #[test]
+    fn reexports_resolve_to_the_shared_constants() {
+        assert_eq!(NATURAL_THRESHOLD, fp_types::behavior::NATURAL_THRESHOLD);
+        let human = PointerStats {
             samples: 40,
             duration_ms: 2200,
             speed_cv: 0.55,
             curvature: 0.12,
             pause_fraction: 0.25,
-        }
-    }
-
-    fn replay_stats() -> PointerStats {
-        PointerStats {
-            samples: 30,
-            duration_ms: 300,
-            speed_cv: 0.01,
-            curvature: 0.0,
-            pause_fraction: 0.0,
-        }
-    }
-
-    #[test]
-    fn human_shape_scores_high() {
-        assert!(naturalness(&human_stats()) > 0.9);
-    }
-
-    #[test]
-    fn replay_shape_scores_low() {
-        assert!(naturalness(&replay_stats()) < 0.1);
-    }
-
-    #[test]
-    fn too_few_samples_score_zero() {
-        let s = PointerStats {
-            samples: 3,
-            ..human_stats()
         };
-        assert_eq!(naturalness(&s), 0.0);
-    }
-
-    #[test]
-    fn partial_mimicry_lands_in_the_middle() {
-        // Curved but machine-timed: one of three signatures.
-        let s = PointerStats {
-            samples: 30,
-            duration_ms: 250,
-            speed_cv: 0.02,
-            curvature: 0.2,
-            pause_fraction: 0.0,
-        };
-        let score = naturalness(&s);
-        assert!(score > 0.2 && score < NATURAL_THRESHOLD, "{score}");
-    }
-
-    #[test]
-    fn credible_pointer_requires_both_events_and_stats() {
-        let trace = fp_types::BehaviorTrace {
+        assert!(naturalness(&human) >= NATURAL_THRESHOLD);
+        assert!(credible_pointer(&fp_types::BehaviorTrace {
             mouse_events: 20,
             touch_events: 0,
-            pointer: Some(human_stats()),
+            pointer: Some(human),
             first_input_delay_ms: 500,
-        };
-        assert!(credible_pointer(&trace));
-        let no_stats = fp_types::BehaviorTrace {
-            pointer: None,
-            ..trace
-        };
-        assert!(!credible_pointer(&no_stats));
-        let few_events = fp_types::BehaviorTrace {
-            mouse_events: 1,
-            ..trace
-        };
-        assert!(!credible_pointer(&few_events));
-    }
-
-    #[test]
-    fn ramp_boundaries() {
-        assert_eq!(ramp(0.0, 0.1, 0.2), 0.0);
-        assert_eq!(ramp(0.3, 0.1, 0.2), 1.0);
-        assert!((ramp(0.15, 0.1, 0.2) - 0.5).abs() < 1e-6);
+        }));
     }
 }

@@ -128,6 +128,7 @@ mod tests {
             fingerprint: fp,
             tls: fp_types::TlsFacet::unobserved(),
             behavior: BehaviorTrace::silent(),
+            cadence: fp_types::BehaviorFacet::unobserved(),
             source: TrafficSource::RealUser,
         }
     }

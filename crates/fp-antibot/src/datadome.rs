@@ -230,6 +230,7 @@ mod tests {
             fingerprint: fp,
             tls: fp_types::TlsFacet::unobserved(),
             behavior,
+            cadence: fp_types::BehaviorFacet::unobserved(),
             source: TrafficSource::RealUser,
         }
     }

@@ -42,7 +42,8 @@
 //! pipeline, so a whole campaign replays identically at any shard count.
 
 use crate::policy::ResponsePolicy;
-use crate::strategy::AdaptationStrategy;
+use crate::strategy::{AdaptationStrategy, BehaviouralMutation};
+use fp_behavior::BehaviorMember;
 use fp_botnet::{Campaign, CampaignConfig};
 use fp_honeysite::{DefenseStack, HoneySite, RequestStore};
 use fp_inconsistent_core::defense::{ChurnLedger, RoundChurn, SpatialMember};
@@ -53,8 +54,9 @@ use fp_obs::{MetricsRegistry, RoundObs};
 use fp_types::defense::{DecisionContext, DecisionPolicy, Frozen};
 use fp_types::runfp::{component_of, RunComponents, RunFingerprint};
 use fp_types::{
-    mix2, ActionLedger, Cohort, MitigationAction, Request, RetentionPolicy, RoundOutcome, Scale,
-    ServiceId, SimTime, Splittable, TrafficSource, STUDY_DAYS,
+    mix2, ActionLedger, BehaviorThresholds, Cohort, HotSwap, MitigationAction, Request,
+    RetentionPolicy, RoundOutcome, Scale, ServiceId, SimTime, Splittable, TrafficSource,
+    STUDY_DAYS,
 };
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -62,6 +64,11 @@ use std::time::Instant;
 
 /// Simulated seconds per arena round (one full campaign window).
 pub const ROUND_SECS: u64 = STUDY_DAYS as u64 * 86_400;
+
+/// Visible-failure trigger for the [`ArenaConfig::agent_humanise`]
+/// preset's [`BehaviouralMutation`]: low enough that a blocking policy's
+/// first round of mitigation starts the humanising conversion.
+pub const AGENT_HUMANISE_TRIGGER: f64 = 0.05;
 
 /// Arena parameters.
 #[derive(Clone, Copy, Debug)]
@@ -89,6 +96,20 @@ pub struct ArenaConfig {
     /// re-mining scan spend for long-horizon arenas. Eviction is counted
     /// in the trajectory's defender-spend columns.
     pub retention: RetentionPolicy,
+    /// The AI-agent operator's counter-move: with `Some(rate)`, the agent
+    /// cohort runs a [`BehaviouralMutation`] strategy that converts
+    /// `rate` of the fleet to human-paced cadence per pressured round
+    /// (trigger [`AGENT_HUMANISE_TRIGGER`]). `None` keeps the agents'
+    /// stock machine cadence forever.
+    pub agent_humanise: Option<f64>,
+    /// Behaviour-detector re-fit cadence: with `Some(n)`,
+    /// [`Arena::new`] mounts a [`BehaviorMember`] that re-fits its
+    /// cadence floor from the retained trusted traffic at the end of
+    /// every `n`-th round. `None` freezes the static floor — the
+    /// [`fp_honeysite::DefenseStack::default`] behaviour. (Arenas built
+    /// with [`Arena::with_stack`] keep whatever behaviour member the
+    /// caller's stack mounts; this knob drives the default stack only.)
+    pub behavior_refit: Option<u32>,
 }
 
 impl Default for ArenaConfig {
@@ -100,6 +121,8 @@ impl Default for ArenaConfig {
             policy: ResponsePolicy::block(crate::policy::DEFAULT_BLOCK_TTL_SECS),
             remine_cadence: None,
             retention: RetentionPolicy::KeepAll,
+            agent_humanise: None,
+            behavior_refit: None,
         }
     }
 }
@@ -146,6 +169,12 @@ pub struct Arena {
     blocklist: TtlBlocklist,
     strategies: HashMap<ServiceId, Box<dyn AdaptationStrategy>>,
     laggard_strategy: Option<Box<dyn AdaptationStrategy>>,
+    agent_strategy: Option<Box<dyn AdaptationStrategy>>,
+    /// The behaviour member's live thresholds slot (shared with the
+    /// member mounted by [`Arena::new`], like the spatial pack slot):
+    /// the arena reads it to report the deployed cadence floor round by
+    /// round. `None` for caller-supplied stacks.
+    behavior_slot: Option<Arc<HotSwap<BehaviorThresholds>>>,
     trajectory: TrajectoryReport,
     /// The one metrics registry every layer records into: the per-round
     /// site chain, the stack and its re-mining member, the training
@@ -161,8 +190,21 @@ impl Arena {
     /// commercial chain): generate the base campaign, mine the engine on
     /// its paper-faithful traffic (bots + real users) exactly like the
     /// single-shot pipeline does, and mount the FP-Inconsistent members.
+    /// The behaviour member rides frozen or re-fitting per
+    /// [`ArenaConfig::behavior_refit`], with its re-fit scan/swap
+    /// instruments wired into the arena's registry.
     pub fn new(config: ArenaConfig) -> Arena {
-        Arena::with_stack(config, DefenseStack::default())
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut behavior = match config.behavior_refit {
+            None => BehaviorMember::frozen(),
+            Some(cadence) => BehaviorMember::refitting(cadence),
+        };
+        behavior.set_metrics(&registry);
+        let slot = behavior.slot();
+        let mut arena =
+            Arena::with_registry(config, DefenseStack::with_behavior(behavior), registry);
+        arena.behavior_slot = Some(slot);
+        arena
     }
 
     /// Set up the arena from a caller-supplied base stack. The stack
@@ -172,7 +214,18 @@ impl Arena {
     /// spatial member re-mining at [`ArenaConfig::remine_cadence`], the
     /// two frozen temporal anchors), and installs [`ArenaConfig::policy`]
     /// as the stack's decision policy.
-    pub fn with_stack(config: ArenaConfig, mut stack: DefenseStack) -> Arena {
+    pub fn with_stack(config: ArenaConfig, stack: DefenseStack) -> Arena {
+        Arena::with_registry(config, stack, Arc::new(MetricsRegistry::new()))
+    }
+
+    /// The shared constructor body: callers that pre-wire instruments
+    /// into members before boxing them (as [`Arena::new`] does for the
+    /// behaviour member) pass the registry those members record into.
+    fn with_registry(
+        config: ArenaConfig,
+        mut stack: DefenseStack,
+        registry: Arc<MetricsRegistry>,
+    ) -> Arena {
         let base = Campaign::generate(CampaignConfig {
             scale: config.scale,
             seed: config.seed,
@@ -185,7 +238,6 @@ impl Arena {
 
         stack.set_policy(Box::new(config.policy));
         stack.set_retention(config.retention);
-        let registry = Arc::new(MetricsRegistry::new());
         let mut member = match config.remine_cadence {
             None => SpatialMember::frozen(&engine),
             // The member's window starts empty: round 0 replays the
@@ -222,6 +274,11 @@ impl Arena {
             blocklist,
             strategies: HashMap::new(),
             laggard_strategy: None,
+            agent_strategy: config.agent_humanise.map(|rate| {
+                Box::new(BehaviouralMutation::new(AGENT_HUMANISE_TRIGGER, rate))
+                    as Box<dyn AdaptationStrategy>
+            }),
+            behavior_slot: None,
             trajectory: TrajectoryReport::new(),
             registry,
             round: 0,
@@ -260,6 +317,23 @@ impl Arena {
     /// Give the TLS-laggard cohort an adaptation strategy.
     pub fn set_laggard_strategy(&mut self, strategy: Box<dyn AdaptationStrategy>) {
         self.laggard_strategy = Some(strategy);
+    }
+
+    /// Give the AI-agent cohort an adaptation strategy (normally a
+    /// [`BehaviouralMutation`]; [`ArenaConfig::agent_humanise`] installs
+    /// one at construction). The agents stay the same truthful fleet —
+    /// only their *pacing* is the strategy's to reshape.
+    pub fn set_agent_strategy(&mut self, strategy: Box<dyn AdaptationStrategy>) {
+        self.agent_strategy = Some(strategy);
+    }
+
+    /// The behaviour detector's currently deployed thresholds — the
+    /// static defaults until a re-fitting [`BehaviorMember`] publishes a
+    /// learned floor. `None` when the arena was built from a
+    /// caller-supplied stack ([`Arena::with_stack`]), whose behaviour
+    /// member (if any) the caller holds.
+    pub fn behavior_thresholds(&self) -> Option<BehaviorThresholds> {
+        self.behavior_slot.as_ref().map(|slot| *slot.load())
     }
 
     /// Replace the stack's decision policy (e.g. with an
@@ -343,7 +417,8 @@ impl Arena {
     /// order:
     ///
     /// * `config.scale`, `config.policy`, `config.retention`,
-    ///   `config.remine` — one component per [`ArenaConfig`] knob, so a
+    ///   `config.remine`, `config.humanise`, `config.refit` — one
+    ///   component per [`ArenaConfig`] knob, so a
     ///   frozen-vs-re-mining pair diverges in `config.remine` alone while
     ///   every other config component attests the pairing. These hash the
     ///   *configured* run parameters; a policy hot-swapped at runtime via
@@ -378,6 +453,14 @@ impl Arena {
             None => "remine=off".to_string(),
             Some(cadence) => format!("remine={cadence}"),
         };
+        let humanise = match c.agent_humanise {
+            None => "humanise=off".to_string(),
+            Some(rate) => format!("humanise={rate}"),
+        };
+        let refit = match c.behavior_refit {
+            None => "refit=off".to_string(),
+            Some(cadence) => format!("refit={cadence}"),
+        };
         let mut out = RunComponents::new();
         out.push(
             "config.scale",
@@ -398,6 +481,11 @@ impl Arena {
             component_of("config.retention", &[&retention]),
         );
         out.push("config.remine", component_of("config.remine", &[&remine]));
+        out.push(
+            "config.humanise",
+            component_of("config.humanise", &[&humanise]),
+        );
+        out.push("config.refit", component_of("config.refit", &[&refit]));
         out.push("seed", component_of("seed", &[&format!("seed={}", c.seed)]));
         out.push("behavior", self.trajectory.behavior_component());
         out
@@ -554,6 +642,16 @@ impl Arena {
                     });
             strategy.observe(&outcome);
         }
+        if let Some(strategy) = &mut self.agent_strategy {
+            let outcome = outcomes
+                .get(&TrafficSource::AiAgent)
+                .copied()
+                .unwrap_or(RoundOutcome {
+                    round,
+                    ..RoundOutcome::default()
+                });
+            strategy.observe(&outcome);
+        }
 
         self.round += 1;
         RoundResult {
@@ -657,10 +755,24 @@ impl Arena {
             request.time = shift_round(request.time, r);
             request
         }));
-        stream.extend(self.base.ai_agents.iter().map(|a| {
+
+        // AI agents: the same task fleet, but its operator may adapt the
+        // *pacing* under pressure (the FP-Agent counter-move). Everything
+        // else about the agents — devices, truthful TLS, tasks — is
+        // replayed verbatim.
+        let mut agent_rng = arena_rng.child_str("agents");
+        let agent_strategy = &mut self.agent_strategy;
+        stream.extend(self.base.ai_agents.iter().filter_map(|a| {
             let mut request = a.clone();
+            if let Some(strategy) = agent_strategy {
+                if !agent_rng.chance(strategy.volume_factor()) {
+                    return None;
+                }
+                let receipt = strategy.apply(&mut request, &mut agent_rng);
+                absorb_receipt(&mut mutation, receipt);
+            }
             request.time = shift_round(request.time, r);
-            request
+            Some(request)
         }));
 
         // The TLS-laggard cohort: regenerated fleet under its strategy.
@@ -693,6 +805,7 @@ fn absorb_receipt(stats: &mut MutationStats, receipt: crate::strategy::MutationR
         mutated_attrs: u64::from(receipt.mutated_attrs),
         rotated_ips: u64::from(receipt.rotated_ip),
         tls_upgrades: u64::from(receipt.upgraded_tls),
+        cadence_humanised: u64::from(receipt.humanised_cadence),
     });
 }
 
@@ -849,6 +962,7 @@ mod tests {
                 provenance::DATADOME,
                 provenance::BOTD,
                 provenance::FP_TLS_CROSSLAYER,
+                provenance::FP_BEHAVIOR,
                 provenance::FP_SPATIAL,
                 provenance::FP_TEMPORAL_COOKIE,
                 provenance::FP_TEMPORAL_IP,

@@ -56,6 +56,6 @@ pub use arena::{Arena, ArenaConfig, RoundResult, ROUND_SECS};
 pub use fp_honeysite::DefenseStack;
 pub use policy::{ResponsePolicy, DEFAULT_BLOCK_TTL_SECS};
 pub use strategy::{
-    AdaptationStrategy, Composite, Cooldown, FingerprintMutation, IpRotation, MutationReceipt,
-    Static, TlsUpgrade,
+    AdaptationStrategy, BehaviouralMutation, Composite, Cooldown, FingerprintMutation, IpRotation,
+    MutationReceipt, Static, TlsUpgrade,
 };

@@ -28,6 +28,8 @@ pub struct MutationReceipt {
     pub mutated_attrs: u32,
     /// The TLS facet was upgraded to the truthful hello for the claimed UA.
     pub upgraded_tls: bool,
+    /// The session cadence facet was re-shaped to look human-paced.
+    pub humanised_cadence: bool,
 }
 
 impl MutationReceipt {
@@ -36,11 +38,12 @@ impl MutationReceipt {
         rotated_ip: false,
         mutated_attrs: 0,
         upgraded_tls: false,
+        humanised_cadence: false,
     };
 
     /// Did the strategy change anything?
     pub fn touched(&self) -> bool {
-        self.rotated_ip || self.mutated_attrs > 0 || self.upgraded_tls
+        self.rotated_ip || self.mutated_attrs > 0 || self.upgraded_tls || self.humanised_cadence
     }
 
     /// Union of two receipts on the same request (for [`Composite`]).
@@ -49,6 +52,7 @@ impl MutationReceipt {
             rotated_ip: self.rotated_ip || other.rotated_ip,
             mutated_attrs: self.mutated_attrs + other.mutated_attrs,
             upgraded_tls: self.upgraded_tls || other.upgraded_tls,
+            humanised_cadence: self.humanised_cadence || other.humanised_cadence,
         }
     }
 }
@@ -306,9 +310,8 @@ impl AdaptationStrategy for FingerprintMutation {
         mutated += 1;
 
         MutationReceipt {
-            rotated_ip: false,
             mutated_attrs: mutated,
-            upgraded_tls: false,
+            ..MutationReceipt::NONE
         }
     }
 }
@@ -367,9 +370,106 @@ impl AdaptationStrategy for TlsUpgrade {
         }
         request.tls = truthful;
         MutationReceipt {
-            rotated_ip: false,
-            mutated_attrs: 0,
             upgraded_tls: true,
+            ..MutationReceipt::NONE
+        }
+    }
+}
+
+/// The FP-Agent counter-move: pace the agent like a person.
+///
+/// An AI agent's natural cadence is machine-regular — page gaps a few
+/// seconds apart with almost no jitter (`gap_cv` ≈ 0.02–0.10), which is
+/// exactly what the `fp-behavior` detector's static floor catches — and
+/// its page loads are pointer-silent, which is what DataDome's
+/// per-request read catches. The counter-move forges both: the agent
+/// replays a recorded human pointer trajectory (passing the naturalness
+/// score per request) and injects think-time jitter into its scheduler.
+/// The jitter costs real wall-clock throughput — so,
+/// like [`TlsUpgrade`], the fleet converts gradually: each pressured
+/// round moves `humanise_rate` more of the fleet onto jittered pacing.
+/// A humanised request's cadence facet is rewritten to sit *above* the
+/// detector's static floor but *below* any credible human's variance
+/// (`gap_cv` ∈ 0.20–0.30) — enough to beat a frozen detector, still
+/// separable by one that re-fits its floor from retained human traffic.
+pub struct BehaviouralMutation {
+    /// Visible failure rate above which another fleet slice humanises.
+    pub trigger: f64,
+    /// Fraction of the fleet humanised per pressured round.
+    pub humanise_rate: f64,
+    fleet_humanised: f64,
+}
+
+impl BehaviouralMutation {
+    /// A gradual cadence-humanising strategy.
+    pub fn new(trigger: f64, humanise_rate: f64) -> BehaviouralMutation {
+        BehaviouralMutation {
+            trigger,
+            humanise_rate,
+            fleet_humanised: 0.0,
+        }
+    }
+
+    /// Fraction of the fleet pacing itself like a person.
+    pub fn fleet_humanised(&self) -> f64 {
+        self.fleet_humanised
+    }
+}
+
+impl AdaptationStrategy for BehaviouralMutation {
+    fn name(&self) -> &'static str {
+        "behavioural-mutation"
+    }
+
+    fn observe(&mut self, outcome: &RoundOutcome) {
+        if outcome.visible_failure_rate() > self.trigger {
+            self.fleet_humanised = (self.fleet_humanised + self.humanise_rate).min(1.0);
+        }
+    }
+
+    fn apply(&mut self, request: &mut Request, rng: &mut Splittable) -> MutationReceipt {
+        if self.fleet_humanised <= 0.0 || !rng.chance(self.fleet_humanised) {
+            return MutationReceipt::NONE;
+        }
+        let cadence = request.cadence;
+        if !cadence.is_observed() {
+            // Nothing to humanise: the session never presented a cadence
+            // facet (laggard services replay headless bursts with no
+            // page-event stream to reshape).
+            return MutationReceipt::NONE;
+        }
+        // Stretch the gaps (think time slows the crawl) and jitter them:
+        // the humanised coefficient of variation lands in 0.20–0.30.
+        let gap_q50 = cadence.gap_q50_ms + 3_000 + rng.next_below(6_000) as u32;
+        let gap_cv = 0.20 + rng.next_below(1_000) as f32 / 10_000.0;
+        let gap_q90 = gap_q50 * 2 + rng.next_below(8_000) as u32;
+        let dwell = cadence.dwell_q50_ms + 2_000 + rng.next_below(6_000) as u32;
+        request.cadence = fp_types::BehaviorFacet::observed(
+            gap_q50,
+            gap_q90,
+            gap_cv,
+            cadence.pages,
+            cadence.unique_transitions.max(2),
+            dwell,
+        );
+        // Replay a recorded human pointer trajectory: jittered around the
+        // human envelope, it clears the per-request naturalness score —
+        // the forgery that beats DataDome but not the session cadence.
+        request.behavior = fp_types::BehaviorTrace {
+            mouse_events: 12 + rng.next_below(24) as u16,
+            touch_events: 0,
+            pointer: Some(fp_types::PointerStats {
+                samples: 25 + rng.next_below(40) as u16,
+                duration_ms: 1_500 + rng.next_below(2_500) as u32,
+                speed_cv: 0.40 + rng.next_below(400) as f32 / 1_000.0,
+                curvature: 0.08 + rng.next_below(100) as f32 / 1_000.0,
+                pause_fraction: 0.15 + rng.next_below(200) as f32 / 1_000.0,
+            }),
+            first_input_delay_ms: 300 + rng.next_below(1_500) as u32,
+        };
+        MutationReceipt {
+            humanised_cadence: true,
+            ..MutationReceipt::NONE
         }
     }
 }
@@ -476,6 +576,7 @@ mod tests {
             fingerprint: Collector::collect(&d, &b, &LocaleSpec::en_us()),
             tls: b.family.tls_facet(),
             behavior: BehaviorTrace::silent(),
+            cadence: fp_types::BehaviorFacet::unobserved(),
             source: TrafficSource::Bot(fp_types::ServiceId(1)),
         }
     }
@@ -629,6 +730,51 @@ mod tests {
 
         s.observe(&pressured(80));
         assert!((s.fleet_upgraded() - 1.0).abs() < 1e-12, "caps at 1.0");
+    }
+
+    #[test]
+    fn behavioural_mutation_humanises_the_fleet_gradually() {
+        use fp_types::behavior::{CADENCE_CV_CEILING, CADENCE_CV_FLOOR};
+        let mut s = BehaviouralMutation::new(0.2, 0.5);
+        let mut rng = Splittable::new(12);
+        let machine = fp_types::BehaviorFacet::observed(3_000, 3_300, 0.05, 6, 1, 2_800);
+        let mut req = request(Ipv4Addr::new(73, 1, 1, 1));
+        req.cadence = machine;
+        assert!(!s.apply(&mut req, &mut rng).touched(), "no pressure yet");
+
+        s.observe(&pressured(80));
+        assert!((s.fleet_humanised() - 0.5).abs() < 1e-12);
+        let mut humanised = 0;
+        for _ in 0..200 {
+            let mut req = request(Ipv4Addr::new(73, 1, 1, 1));
+            req.cadence = machine;
+            if s.apply(&mut req, &mut rng).humanised_cadence {
+                humanised += 1;
+                // The rewritten cadence clears the static floor but stays
+                // below the re-fit ceiling — beats a frozen detector,
+                // separable by a re-fitted one.
+                assert!(req.cadence.gap_cv > CADENCE_CV_FLOOR);
+                assert!(req.cadence.gap_cv < CADENCE_CV_CEILING);
+                assert!(req.cadence.gap_q50_ms > machine.gap_q50_ms, "think time");
+                // And the replayed trajectory passes the per-request
+                // pointer read DataDome applies.
+                assert!(
+                    fp_types::behavior::credible_pointer(&req.behavior),
+                    "the forged trajectory must clear the naturalness score"
+                );
+            }
+        }
+        assert!(
+            (70..=130).contains(&humanised),
+            "≈half the fleet humanised, got {humanised}/200"
+        );
+
+        // Sessions with no cadence facet have nothing to reshape.
+        let mut silent = request(Ipv4Addr::new(73, 1, 1, 1));
+        silent.cadence = fp_types::BehaviorFacet::unobserved();
+        s.observe(&pressured(80));
+        assert!((s.fleet_humanised() - 1.0).abs() < 1e-12, "caps at 1.0");
+        assert!(!s.apply(&mut silent, &mut rng).touched());
     }
 
     #[test]

@@ -77,6 +77,7 @@ fn request_batch(n: usize) -> Vec<StoredRequest> {
                     .with(AttrId::Timezone, "UTC"),
                 source: TrafficSource::RealUser,
                 behavior: BehaviorTrace::silent(),
+                cadence: fp_types::BehaviorFacet::unobserved(),
                 verdicts: VerdictSet::new(),
             }
         })

@@ -27,6 +27,12 @@
 //! `1`) gates the campaign-total `obs[...]` metrics ledger; the
 //! per-round duration/latency table always prints, and the binary
 //! asserts those timings stay out of the `behavior` fingerprint fold.
+//! `ARENA_BEHAVIOR` (`0` | `1`, default `1`) gates the behavioural
+//! arms-race ablation: a humanising AI-agent fleet vs the frozen
+//! session-cadence detector, then vs a cadence-1 re-fitting
+//! `BehaviorMember` — agent-cohort recall and half-life rows plus the
+//! re-fit scan-spend column, run on separate arenas so the golden
+//! fingerprint gate never sees them.
 
 use fp_arena::{Arena, ArenaConfig, ResponsePolicy, DEFAULT_BLOCK_TTL_SECS};
 use fp_bench::{env, header, pct, recorded_cohort_campaign, CAMPAIGN_SEED};
@@ -38,10 +44,11 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 
 /// The detectors whose trajectories the table reports, in chain order.
-const DETECTORS: [&str; 6] = [
+const DETECTORS: [&str; 7] = [
     provenance::DATADOME,
     provenance::BOTD,
     provenance::FP_TLS_CROSSLAYER,
+    provenance::FP_BEHAVIOR,
     provenance::FP_SPATIAL,
     provenance::FP_TEMPORAL_COOKIE,
     provenance::FP_TEMPORAL_IP,
@@ -141,12 +148,169 @@ fn bot_network_mix(store: &RequestStore) -> (f64, Vec<(String, f64)>) {
     (flagged as f64 / bots.max(1) as f64, mix)
 }
 
+/// The behavioural arms race, as a table: the same base campaign with a
+/// [`BehaviouralMutation`]-driven AI-agent fleet (humanise rate 0.6),
+/// first against the frozen session-cadence detector (recall rots), then
+/// against a cadence-1 re-fitting `BehaviorMember` (recall claws back,
+/// paid in accounted re-fit scans, never in truthful-user FPR). Runs on
+/// its own arenas — the golden fingerprint gate never folds these runs.
+///
+/// [`BehaviouralMutation`]: fp_arena::BehaviouralMutation
+fn behaviour_ablation(base: ArenaConfig, rounds: u32) {
+    let humanised = ArenaConfig {
+        agent_humanise: Some(0.6),
+        ..base
+    };
+    println!(
+        "\nbehavioural arms race on the AI-agent cohort (ARENA_BEHAVIOR=0 to skip; \
+         humanise rate 0.6, re-fit cadence 1):"
+    );
+
+    let mut frozen = Arena::new(humanised);
+    frozen.run(rounds);
+    let frozen_trajectory = frozen.trajectory();
+    let mut refit = Arena::new(ArenaConfig {
+        behavior_refit: Some(1),
+        ..humanised
+    });
+    refit.run(rounds);
+    let floor = refit
+        .behavior_thresholds()
+        .expect("Arena::new mounts the behaviour slot")
+        .cadence_cv_floor;
+    let refit_trajectory = refit.trajectory();
+
+    print!("{:<26}", "detector / defender");
+    for r in 0..rounds {
+        print!("{:>10}", format!("round {r}"));
+    }
+    println!("{:>12}", "half-life");
+    let row = |label: &str, trajectory: &fp_inconsistent_core::TrajectoryReport, name: &str| {
+        print!("{label:<26}");
+        for rate in trajectory.recall_trajectory(name, Cohort::AiAgent) {
+            print!("{:>10}", pct(rate));
+        }
+        match trajectory.evasion_half_life(name, Cohort::AiAgent) {
+            Some(hl) => println!("{:>12}", format!("{hl:.1} rds")),
+            None => println!("{:>12}", "holds"),
+        }
+    };
+    // DataDome reads per-request pointer credibility: the forged
+    // trajectory blinds it. The session-cadence detector survives the
+    // forgery frozen, and the re-fit keeps it ahead of the jitter.
+    row(
+        "datadome (forged ptr)",
+        frozen_trajectory,
+        provenance::DATADOME,
+    );
+    row(
+        "fp-behavior frozen",
+        frozen_trajectory,
+        provenance::FP_BEHAVIOR,
+    );
+    row(
+        "fp-behavior re-fitted",
+        refit_trajectory,
+        provenance::FP_BEHAVIOR,
+    );
+    print!("{:<26}", "re-fitted user FPR");
+    for rate in refit_trajectory.fpr_trajectory(provenance::FP_BEHAVIOR) {
+        print!("{:>10}", pct(rate));
+    }
+    println!();
+
+    // What each side pays: per-request humanisation on the agents' side,
+    // the re-fit's trusted-window scan on the defender's.
+    println!("\nbehavioural spend per round (agent humanisation vs defender re-fit):");
+    println!(
+        "{:<8}{:>20}{:>10}{:>18}",
+        "round", "cadence-humanised", "re-fits", "records-scanned"
+    );
+    let spends = refit_trajectory.defense_spend_trajectory();
+    for (r, spend) in spends.iter().enumerate() {
+        println!(
+            "{:<8}{:>20}{:>10}{:>18}",
+            r,
+            refit_trajectory.rounds[r].mutation.cadence_humanised,
+            spend.retrained_members,
+            spend.records_scanned,
+        );
+    }
+    println!(
+        "deployed cadence-cv floor after re-fits: {floor} (static floor {}, ceiling {})",
+        fp_types::behavior::CADENCE_CV_FLOOR,
+        fp_types::behavior::CADENCE_CV_CEILING,
+    );
+
+    // The qualitative claims this section exists to check.
+    let eroded = frozen_trajectory.recall_trajectory(provenance::FP_BEHAVIOR, Cohort::AiAgent);
+    let clawed = refit_trajectory.recall_trajectory(provenance::FP_BEHAVIOR, Cohort::AiAgent);
+    assert!(
+        eroded[0] > 0.3,
+        "round 0 must catch the stock machine cadence: {eroded:?}"
+    );
+    let humanised_total: u64 = refit_trajectory
+        .rounds
+        .iter()
+        .map(|r| r.mutation.cadence_humanised)
+        .sum();
+    assert!(
+        humanised_total > 0,
+        "the agents' evasion must be paid for per request"
+    );
+    assert!(
+        spends.iter().all(|s| s.retrained_members == 1)
+            && refit_trajectory.total_defense_scans() > 0,
+        "cadence 1 re-fits the behaviour member at every round end, with \
+         accounted scan spend: {spends:?}"
+    );
+    assert_eq!(
+        floor,
+        fp_types::behavior::CADENCE_CV_CEILING,
+        "the re-fit must ratchet the cadence floor to the ceiling (the \
+         trusted human envelope's p05 clamps there)"
+    );
+    for trajectory in [&frozen_trajectory, &refit_trajectory] {
+        let fpr = trajectory.fpr_trajectory(provenance::FP_BEHAVIOR);
+        assert!(
+            fpr.iter().all(|rate| *rate <= fpr[0] + 0.01),
+            "behavioural FPR must stay flat on truthful users: {fpr:?}"
+        );
+    }
+    if rounds >= 3 {
+        assert!(
+            *eroded.last().unwrap() < eroded[0] - 0.15,
+            "humanisation must erode frozen behavioural recall: {eroded:?}"
+        );
+        assert!(
+            *clawed.last().unwrap() > eroded.last().unwrap() + 0.1,
+            "the re-fitted floor must claw recall back over the frozen \
+             detector: frozen {eroded:?} vs re-fit {clawed:?}"
+        );
+        println!(
+            "behavioural arms-race checks passed: erosion to {} frozen, \
+             clawback to {} re-fitted at round {}.",
+            pct(*eroded.last().unwrap()),
+            pct(*clawed.last().unwrap()),
+            rounds - 1
+        );
+    } else {
+        println!(
+            "behavioural ablation printed (run 3+ rounds to assert erosion \
+             and clawback — the humanise round must land before the re-fit \
+             can answer it)."
+        );
+    }
+}
+
 fn main() {
     let scale = arena_scale();
     let rounds = arena_rounds();
     // Parsed up front (not at the print site) so a malformed ARENA_OBS
-    // exits with its grammar before the campaign burns any time.
+    // or ARENA_BEHAVIOR exits with its grammar before the campaign burns
+    // any time.
     let obs_ledger = env::obs_or(true);
+    let behaviour_section = env::behavior_or(true);
     assert!(
         rounds >= 2,
         "ARENA_ROUNDS must be at least 2: round 0 is the pre-adaptation \
@@ -353,6 +517,11 @@ fn main() {
     // ── Defender ablation: the same campaign, re-mining enabled ─────────
     let Some(cadence) = remine_cadence() else {
         println!("\nARENA_REMINE=0: defender re-mining ablation skipped.");
+        if behaviour_section {
+            behaviour_ablation(config, rounds);
+        } else {
+            println!("\nARENA_BEHAVIOR=0: behavioural arms-race ablation skipped.");
+        }
         gate_golden(&frozen_components);
         return;
     };
@@ -571,6 +740,15 @@ fn main() {
         );
     }
 
+    // The behavioural arms race, on its own arenas — printed before the
+    // golden gate so the ablation's extra campaigns can never fold into
+    // the attested fingerprint.
+    if behaviour_section {
+        behaviour_ablation(config, rounds);
+    } else {
+        println!("\nARENA_BEHAVIOR=0: behavioural arms-race ablation skipped.");
+    }
+
     // The re-mined run's attestation, and the audit the breakdown buys:
     // against the frozen run, exactly the re-mine cadence config and the
     // played-out behaviour moved — same scale, policy, retention, seed.
@@ -582,10 +760,16 @@ fn main() {
         "frozen vs re-mined diverging components: {}",
         diverging.join(", ")
     );
+    // A non-default ARENA_RETENTION moves the retention config too (the
+    // frozen baseline always runs on the unbounded window).
+    let mut expected = vec!["config.remine", "behavior"];
+    if retention != config.retention {
+        expected.insert(0, "config.retention");
+    }
     assert_eq!(
-        diverging,
-        ["config.remine", "behavior"],
-        "re-mining must move exactly the cadence config and the behaviour"
+        diverging, expected,
+        "re-mining must move exactly the cadence config (plus any \
+         retention override) and the behaviour"
     );
     gate_golden(&remined_components);
 }

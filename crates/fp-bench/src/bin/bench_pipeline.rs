@@ -1,11 +1,13 @@
 //! Records `BENCH_pipeline.json`: ingest+detect throughput of the batch
 //! path (sequential ingest, then whole-store `FpInconsistent` passes)
-//! versus the sharded streaming pipeline (all six detectors inline) at
+//! versus the sharded streaming pipeline (all seven detectors inline) at
 //! 1, 4 and 8 shards — plus the streaming/batch equivalence check, so the
 //! perf numbers are only ever quoted for a verdict-identical pipeline.
 //! Also measures the streaming path with the TLS cross-layer detector
 //! removed from the chain, proving the added facet stays within noise of
-//! the PR-1 five-detector baseline.
+//! the PR-1 five-detector baseline, and with the session behaviour
+//! detector removed (the pre-behaviour six-detector chain), pricing the
+//! seventh detector's ingest cost the same way.
 //!
 //! Also records the closed-loop arena series: end-to-end requests/sec of
 //! a 2-round Block-policy arena with the shipped adaptive strategies (one
@@ -34,6 +36,7 @@ use fp_botnet::{Campaign, CampaignConfig};
 use fp_honeysite::HoneySite;
 use fp_inconsistent_core::{FpInconsistent, MineConfig};
 use fp_obs::MetricsRegistry;
+use fp_tls::TlsCrossLayer;
 use fp_types::{Scale, ServiceId};
 use std::sync::Arc;
 use std::time::Instant;
@@ -162,6 +165,35 @@ fn main() {
         .find(|(s, _)| *s == 4)
         .map(|(_, rps)| *rps)
         .unwrap_or(0.0);
+
+    // The behaviour-facet overhead probe, same protocol: the 4-shard
+    // streaming run with the session-cadence detector stripped (the
+    // six-detector chain the repo shipped before fp-behavior). The
+    // seventh detector's per-request work is a threshold compare plus a
+    // per-cookie counter bump, so its cost must also stay within noise.
+    let no_behavior_rps = {
+        let mut best = 0.0f64;
+        for _ in 0..runs {
+            let mut site = HoneySite::with_chain(vec![
+                Box::new(DataDome::new()),
+                Box::new(BotD::new()),
+                Box::new(TlsCrossLayer::new()),
+            ]);
+            for id in ServiceId::all() {
+                site.register_token(campaign.token_of(id));
+            }
+            site.register_token(campaign.real_user_token());
+            for d in engine.detectors() {
+                site.push_detector(d);
+            }
+            let requests_clone = stream.clone();
+            let start = Instant::now();
+            let admitted = site.ingest_stream(requests_clone, 4);
+            let elapsed = start.elapsed().as_secs_f64();
+            best = best.max(admitted as f64 / elapsed);
+        }
+        best
+    };
 
     // The always-on-metrics probe: the same 4-shard streaming run, bare
     // vs with the fp-obs registry attached (admission-to-verdict latency,
@@ -307,7 +339,7 @@ fn main() {
         "single-CPU host: shard workers cannot run concurrently, so the sharded numbers \
          measure pure pipeline overhead; re-record on a multi-core host for the speedup trend"
     } else {
-        "speedup is sharded streaming (ingest + all six detectors inline) over sequential \
+        "speedup is sharded streaming (ingest + all seven detectors inline) over sequential \
          ingest + whole-store engine passes"
     };
     // The commit the numbers were recorded at: a stale artifact is then
@@ -379,6 +411,21 @@ fn main() {
                 "{:.3}",
                 if no_tls_rps > 0.0 {
                     with_tls_4 / no_tls_rps
+                } else {
+                    0.0
+                }
+            ),
+        ),
+        entry(
+            "stream_requests_per_sec_no_behavior_facet",
+            format!("{no_behavior_rps:.0}"),
+        ),
+        entry(
+            "behavior_facet_cost_4_shards",
+            format!(
+                "{:.3}",
+                if no_behavior_rps > 0.0 {
+                    with_tls_4 / no_behavior_rps
                 } else {
                     0.0
                 }

@@ -90,6 +90,16 @@ pub mod env {
         }
     }
 
+    /// Parse an `ARENA_BEHAVIOR` value: `0` (behavioural arms-race section
+    /// off) or `1` (on).
+    pub fn parse_behavior(v: &str) -> Result<bool, String> {
+        match v {
+            "0" => Ok(false),
+            "1" => Ok(true),
+            _ => Err(format!("`{v}` is neither 0 nor 1")),
+        }
+    }
+
     /// `FP_SCALE`, or `default` when unset.
     pub fn scale_or(default: Scale) -> Scale {
         knob("FP_SCALE", "a fraction in (0, 1]", default, parse_scale)
@@ -128,6 +138,11 @@ pub mod env {
     /// `ARENA_OBS`, or `default` when unset.
     pub fn obs_or(default: bool) -> bool {
         knob("ARENA_OBS", "0 | 1", default, parse_obs)
+    }
+
+    /// `ARENA_BEHAVIOR`, or `default` when unset.
+    pub fn behavior_or(default: bool) -> bool {
+        knob("ARENA_BEHAVIOR", "0 | 1", default, parse_behavior)
     }
 
     /// Read one env knob: absent → `default`; present (even as non-unicode
@@ -193,6 +208,15 @@ pub mod env {
             assert!(parse_obs("true").is_err());
             assert!(parse_obs("yes").is_err());
             assert!(parse_obs("").is_err());
+        }
+
+        #[test]
+        fn behavior_grammar() {
+            assert_eq!(parse_behavior("0"), Ok(false));
+            assert_eq!(parse_behavior("1"), Ok(true));
+            assert!(parse_behavior("on").is_err());
+            assert!(parse_behavior("2").is_err());
+            assert!(parse_behavior("").is_err());
         }
 
         #[test]
@@ -276,7 +300,7 @@ pub fn cohort_stream(campaign: &Campaign) -> Vec<fp_types::Request> {
 
 /// Generate the campaign and run the *extended* stream (bots, real users,
 /// both agent cohorts) through the honey site with FP-Inconsistent's
-/// detector adapters inline, so every record carries all six named
+/// detector adapters inline, so every record carries all seven named
 /// verdicts. Rules are mined on a first paper-traffic pass (the
 /// deployment setting: mine offline, deploy online).
 pub fn recorded_cohort_campaign(scale: Scale) -> (Campaign, RequestStore) {
@@ -329,7 +353,7 @@ impl StreamReport {
 /// Batch path: sequential `ingest_all`, then rules mined from the store and
 /// `FpInconsistent::flags` over it. Streaming path: rules pre-mined (the
 /// deployment setting), FP-Inconsistent's detector adapters appended to the
-/// honey site's chain, one sharded `ingest_stream` pass producing all six
+/// honey site's chain, one sharded `ingest_stream` pass producing all seven
 /// verdicts per request online.
 pub fn stream_report(scale: Scale, shards: usize) -> StreamReport {
     use fp_inconsistent_core::{FpInconsistent, MineConfig};

@@ -614,6 +614,7 @@ mod tests {
             fingerprint: built.fingerprint.clone(),
             tls: built.tls,
             behavior: built.behavior,
+            cadence: fp_types::BehaviorFacet::unobserved(),
             source: TrafficSource::RealUser,
         }
     }

@@ -126,6 +126,25 @@ pub fn generate_ai_agents(scale: Scale, seed: u64) -> Vec<Request> {
         let cookie = rng.next_u64();
         let day = rng.next_below(u64::from(fp_types::STUDY_DAYS)) as u32;
         let base_second = rng.next_below(86_000);
+        // Session-level cadence facet (FP-Agent shape): the harness ticks
+        // — tight gap spread, shallow task-shaped navigation. One facet
+        // per session, drawn from a child RNG so the parent sequence (and
+        // every pre-facet attribute) is untouched.
+        let cadence = {
+            let mut crng = rng.child_str("cadence");
+            let gap_q50 = 2_000 + crng.next_below(8_000) as u32;
+            let gap_cv = 0.02 + crng.next_below(800) as f32 / 10_000.0;
+            let gap_q90 = gap_q50 + gap_q50 / 8;
+            let transitions = 1 + crng.next_below(2) as u16;
+            fp_types::BehaviorFacet::observed(
+                gap_q50,
+                gap_q90,
+                gap_cv,
+                pages as u16,
+                transitions,
+                gap_q50.saturating_sub(150),
+            )
+        };
         for page in 0..pages {
             // Agents read the DOM; most page visits produce no pointer
             // input at all, the rest replay machine-regular motion.
@@ -143,6 +162,7 @@ pub fn generate_ai_agents(scale: Scale, seed: u64) -> Vec<Request> {
                 fingerprint: fingerprint.clone(),
                 tls,
                 behavior,
+                cadence,
                 source: TrafficSource::AiAgent,
             });
         }
@@ -201,6 +221,7 @@ pub fn generate_tls_laggards(scale: Scale, seed: u64) -> Vec<Request> {
             fingerprint,
             tls,
             behavior,
+            cadence: fp_types::BehaviorFacet::unobserved(),
             source: TrafficSource::TlsLaggard,
         });
     }
@@ -279,6 +300,7 @@ mod tests {
             fingerprint: r.fingerprint.clone(),
             tls: r.tls,
             behavior: r.behavior,
+            cadence: r.cadence,
             source: r.source,
             verdicts: fp_types::VerdictSet::new(),
         };

@@ -101,6 +101,7 @@ pub fn generate(tech: PrivacyTech, seed: u64) -> Vec<Request> {
                 fingerprint: fp,
                 tls: tls_for(tech, device),
                 behavior,
+                cadence: fp_types::BehaviorFacet::unobserved(),
                 source: TrafficSource::Privacy(tech),
             });
         }

@@ -125,6 +125,27 @@ pub fn generate(scale: Scale, seed: u64) -> Vec<RealUserRequest> {
             spoofer_requests += visits;
         }
         let student = sample_student(spoofer, &mut rng);
+        // Session-level cadence facet, shared by every visit of this
+        // student ("Beyond the Crawl" shape: bursty gaps with long reading
+        // tails). Drawn from a child RNG so the parent draw sequence — and
+        // with it every other generated attribute — stays byte-identical
+        // to the pre-facet generator.
+        let cadence = {
+            let mut crng = rng.child_str("cadence");
+            let gap_q50 = 7_000 + crng.next_below(28_000) as u32;
+            let gap_cv = 0.38 + crng.next_below(5_500) as f32 / 10_000.0;
+            let gap_q90 = gap_q50 * 3 + crng.next_below(20_000) as u32;
+            let transitions = 2 + crng.next_below(visits.max(2)) as u16;
+            let dwell = 5_000 + crng.next_below(20_000) as u32;
+            fp_types::BehaviorFacet::observed(
+                gap_q50,
+                gap_q90,
+                gap_cv,
+                visits as u16,
+                transitions,
+                dwell,
+            )
+        };
         for _ in 0..visits {
             let time = SimTime::from_day(70 + rng.next_below(14) as u32, rng.next_below(86_400));
             let behavior = if student.kind.is_mobile() {
@@ -142,6 +163,7 @@ pub fn generate(scale: Scale, seed: u64) -> Vec<RealUserRequest> {
                     fingerprint: student.fingerprint.clone(),
                     tls: student.tls,
                     behavior,
+                    cadence,
                     source: TrafficSource::RealUser,
                 },
                 spoofer: student.spoofer,

@@ -239,6 +239,7 @@ pub fn generate(spec: &ServiceSpec, scale: Scale, seed: u64) -> Vec<GeneratedReq
                 fingerprint: built.fingerprint,
                 tls: built.tls,
                 behavior: built.behavior,
+                cadence: fp_types::BehaviorFacet::unobserved(),
                 source: TrafficSource::Bot(spec.id),
             },
             design: DesignInfo {

@@ -21,14 +21,16 @@
 //! history, and the eviction ledger rides in the round's
 //! [`RetrainSpend`].
 //!
-//! [`DefenseStack::default`] is the paper's deployment: the two commercial
-//! simulators plus the cross-layer TLS check, under the shadow (record
-//! everything, serve everything) policy — exactly the pre-redesign
+//! [`DefenseStack::default`] is the paper's deployment plus the two
+//! in-chain extensions: the two commercial simulators, the cross-layer
+//! TLS check and the session behaviour detector, under the shadow
+//! (record everything, serve everything) policy — exactly the
 //! `HoneySite::new()` chain.
 
 use crate::site::HoneySite;
 use crate::store::RequestStore;
 use fp_antibot::{BotD, DataDome};
+use fp_behavior::BehaviorMember;
 use fp_obs::{expose, Histogram, MetricsRegistry};
 use fp_tls::TlsCrossLayer;
 use fp_types::defense::{
@@ -66,19 +68,29 @@ pub struct DefenseStack {
 }
 
 impl Default for DefenseStack {
-    /// The paper's default deployment: DataDome, BotD and the cross-layer
-    /// TLS check (the `HoneySite::new()` chain, in that order) under the
-    /// shadow policy.
+    /// The paper's default deployment: DataDome, BotD, the cross-layer
+    /// TLS check and the (frozen) session behaviour detector (the
+    /// `HoneySite::new()` chain, in that order) under the shadow policy.
     fn default() -> Self {
-        let mut stack = DefenseStack::new(Box::new(VoteThreshold::shadow()));
-        stack.push_member(Box::new(Frozen::new(Box::new(DataDome::new()))));
-        stack.push_member(Box::new(Frozen::new(Box::new(BotD::new()))));
-        stack.push_member(Box::new(Frozen::new(Box::new(TlsCrossLayer::new()))));
-        stack
+        DefenseStack::with_behavior(BehaviorMember::frozen())
     }
 }
 
 impl DefenseStack {
+    /// The default deployment with a caller-configured behaviour member —
+    /// e.g. one re-fitting its cadence floor at a cadence, or with its
+    /// re-fit instruments already attached — in the default chain
+    /// position. `DefenseStack::default()` is this with
+    /// [`BehaviorMember::frozen`].
+    pub fn with_behavior(behavior: BehaviorMember) -> DefenseStack {
+        let mut stack = DefenseStack::new(Box::new(VoteThreshold::shadow()));
+        stack.push_member(Box::new(Frozen::new(Box::new(DataDome::new()))));
+        stack.push_member(Box::new(Frozen::new(Box::new(BotD::new()))));
+        stack.push_member(Box::new(Frozen::new(Box::new(TlsCrossLayer::new()))));
+        stack.push_member(Box::new(behavior));
+        stack
+    }
+
     /// An empty stack under `policy` (push members to give it teeth).
     pub fn new(policy: Box<dyn DecisionPolicy>) -> DefenseStack {
         // The training window is only ever read through arrival-ordered
@@ -255,7 +267,8 @@ mod tests {
             [
                 provenance::DATADOME,
                 provenance::BOTD,
-                provenance::FP_TLS_CROSSLAYER
+                provenance::FP_TLS_CROSSLAYER,
+                provenance::FP_BEHAVIOR
             ]
         );
         let site_names: Vec<&'static str> =
@@ -419,6 +432,7 @@ mod tests {
                 fingerprint: Fingerprint::new().with(AttrId::UaDevice, "iPhone"),
                 tls: fp_types::TlsFacet::unobserved(),
                 behavior: fp_types::BehaviorTrace::silent(),
+                cadence: fp_types::BehaviorFacet::unobserved(),
                 source: TrafficSource::Bot(ServiceId(1)),
                 verdicts: VerdictSet::new(),
             })

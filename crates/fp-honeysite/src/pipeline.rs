@@ -342,6 +342,7 @@ mod tests {
                     fingerprint: Collector::collect(&d, &b, &LocaleSpec::en_us()),
                     tls: b.family.tls_facet(),
                     behavior: BehaviorTrace::silent(),
+                    cadence: fp_types::BehaviorFacet::unobserved(),
                     source: TrafficSource::RealUser,
                 }
             })
@@ -454,7 +455,7 @@ mod tests {
                     other => panic!("{}: unexpected {other:?}", m.name),
                 })
                 .collect();
-            assert_eq!(detector_counts.len(), 3, "default chain");
+            assert_eq!(detector_counts.len(), 4, "default chain");
             for (name, count) in &detector_counts {
                 assert_eq!(*count, sampled, "{name} at {shards} shards");
             }

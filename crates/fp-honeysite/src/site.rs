@@ -12,6 +12,7 @@
 
 use crate::store::{RequestStore, StoredRequest};
 use fp_antibot::{BotD, DataDome};
+use fp_behavior::BehaviorDetector;
 use fp_netsim::blocklist::{is_tor_exit, AsnBlocklist, IpBlocklist};
 use fp_netsim::NetDb;
 use fp_obs::{expose, Counter, Histogram, MetricsRegistry};
@@ -91,13 +92,16 @@ impl Default for HoneySite {
 
 impl HoneySite {
     /// A site with no versions registered yet and the default chain: the
-    /// paper's two anti-bot services plus the cross-layer TLS consistency
-    /// detector (the §8.2 extension, run on every request's handshake).
+    /// paper's two anti-bot services, the cross-layer TLS consistency
+    /// detector (the §8.2 extension, run on every request's handshake),
+    /// and the session behaviour detector (the FP-Agent extension, run on
+    /// every request's cadence facet).
     pub fn new() -> HoneySite {
         HoneySite::with_chain(vec![
             Box::new(DataDome::new()),
             Box::new(BotD::new()),
             Box::new(TlsCrossLayer::new()),
+            Box::new(BehaviorDetector::new()),
         ])
     }
 
@@ -342,6 +346,7 @@ pub(crate) fn derive_record(request: &Request, cookie: CookieId) -> StoredReques
         fingerprint,
         tls: request.tls,
         behavior: request.behavior,
+        cadence: request.cadence,
         source: request.source,
         verdicts: VerdictSet::new(),
     }
@@ -369,6 +374,7 @@ mod tests {
             fingerprint: Collector::collect(&d, &b, &LocaleSpec::en_us()),
             tls: b.family.tls_facet(),
             behavior: BehaviorTrace::silent(),
+            cadence: fp_types::BehaviorFacet::unobserved(),
             source: TrafficSource::RealUser,
         }
     }
@@ -424,9 +430,13 @@ mod tests {
         assert!(r.verdicts.bot("DataDome"));
         assert!(!r.verdicts.bot("BotD"));
         assert!(!r.verdicts.bot("fp-tls-crosslayer"));
+        assert!(!r.verdicts.bot("fp-behavior"));
         // Provenance is named, in chain order.
         let names: Vec<&str> = r.verdicts.iter().map(|(d, _)| d.as_str()).collect();
-        assert_eq!(names, ["DataDome", "BotD", "fp-tls-crosslayer"]);
+        assert_eq!(
+            names,
+            ["DataDome", "BotD", "fp-tls-crosslayer", "fp-behavior"]
+        );
     }
 
     #[test]
@@ -511,6 +521,6 @@ mod tests {
         let id = site.ingest(request(sym("tok"), None)).unwrap();
         let r = site.store().get(id).unwrap();
         assert!(r.verdicts.bot("always-bot"));
-        assert_eq!(r.verdicts.len(), 4);
+        assert_eq!(r.verdicts.len(), 5);
     }
 }

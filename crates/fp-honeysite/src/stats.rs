@@ -176,6 +176,7 @@ mod tests {
             fingerprint: Fingerprint::new(),
             tls: fp_types::TlsFacet::unobserved(),
             behavior: BehaviorTrace::silent(),
+            cadence: fp_types::BehaviorFacet::unobserved(),
             source: TrafficSource::Bot(ServiceId(service)),
             verdicts: VerdictSet::from_services(dd_bot, botd_bot),
         }

@@ -576,6 +576,7 @@ mod tests {
             fingerprint: Fingerprint::new().with(AttrId::UaDevice, "iPhone"),
             tls: fp_types::TlsFacet::unobserved(),
             behavior: fp_types::BehaviorTrace::silent(),
+            cadence: fp_types::BehaviorFacet::unobserved(),
             source: TrafficSource::Bot(ServiceId(1)),
             verdicts: VerdictSet::from_services(false, true),
         }

@@ -105,6 +105,7 @@ mod tests {
             fingerprint,
             tls,
             behavior: BehaviorTrace::silent(),
+            cadence: fp_types::BehaviorFacet::unobserved(),
             source: TrafficSource::RealUser,
             verdicts: VerdictSet::new(),
         }

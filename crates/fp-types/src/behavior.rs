@@ -1,0 +1,309 @@
+//! The behavioural facet: session-level interaction cadence.
+//!
+//! Browser-layer attributes ([`crate::Fingerprint`]) are *claims*; the TLS
+//! ClientHello ([`crate::TlsFacet`]) is network-layer behaviour. This module
+//! promotes a third axis to the same first-class standing: *session-level
+//! behaviour* — how a client paces its page transitions, how regularly its
+//! events arrive, how its navigation fans out. FP-Agent (PAPERS.md) shows
+//! AI browsing agents are separable from humans on exactly these signals
+//! even when their fingerprint and handshake are flawless: a harness drives
+//! Chromium at machine-regular cadence, while real users ("Beyond the
+//! Crawl") pause, read, and wander.
+//!
+//! Like the TLS facet, this crate only defines the carrier plus the shared
+//! decision constants; synthesising coherent facets lives in `fp-botnet`
+//! and the in-chain detector lives in `fp-behavior` (both depend on this
+//! crate, not the other way around). The per-request pointer-credibility
+//! scoring that DataDome's behavioural model applies also lives here, so
+//! the commercial simulator (`fp-antibot`) and the session detector share
+//! one sourced copy of the thresholds instead of two drifting ones.
+
+use crate::request::{BehaviorTrace, PointerStats};
+use serde::{Deserialize, Serialize};
+
+/// The session-level behavioural summary recorded for one request: how the
+/// client paced the visits that led up to it. `unobserved` (the default)
+/// means the edge collected no session telemetry for this client — the
+/// degenerate case every pre-facet cohort occupies.
+///
+/// Quantities are session-scoped, not request-scoped: every request of one
+/// browsing session carries the same facet, the way every request of one
+/// connection carries the same ClientHello digests.
+#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct BehaviorFacet {
+    /// Was session telemetry collected at all? `false` leaves every other
+    /// field meaningless (and zero).
+    pub observed: bool,
+    /// Median inter-event gap (page transition to page transition), ms.
+    pub gap_q50_ms: u32,
+    /// 90th-percentile inter-event gap, ms — the tail a human's reading
+    /// pauses produce and a harness's fixed pacing does not.
+    pub gap_q90_ms: u32,
+    /// Coefficient of variation of the inter-event gaps. Humans are bursty
+    /// (≥ ~0.4); automation harnesses tick (≤ ~0.1). The single strongest
+    /// cadence signal, per FP-Agent.
+    pub gap_cv: f32,
+    /// Pages fetched in the session so far (navigation volume).
+    pub pages: u16,
+    /// Distinct page-transition grams observed — navigation *shape*.
+    /// Agents walk task-shaped paths (few distinct transitions); users
+    /// branch and backtrack.
+    pub unique_transitions: u16,
+    /// Median dwell time on a page before the next transition, ms.
+    pub dwell_q50_ms: u32,
+}
+
+impl BehaviorFacet {
+    /// A facet for a session the edge collected no telemetry about.
+    pub fn unobserved() -> BehaviorFacet {
+        BehaviorFacet::default()
+    }
+
+    /// A facet carrying an observed session summary.
+    pub fn observed(
+        gap_q50_ms: u32,
+        gap_q90_ms: u32,
+        gap_cv: f32,
+        pages: u16,
+        unique_transitions: u16,
+        dwell_q50_ms: u32,
+    ) -> BehaviorFacet {
+        BehaviorFacet {
+            observed: true,
+            gap_q50_ms,
+            gap_q90_ms,
+            gap_cv,
+            pages,
+            unique_transitions,
+            dwell_q50_ms,
+        }
+    }
+
+    /// Was session telemetry collected?
+    pub fn is_observed(&self) -> bool {
+        self.observed
+    }
+}
+
+/// The decision threshold DataDome applies to [`naturalness`].
+pub const NATURAL_THRESHOLD: f32 = 0.6;
+
+/// Default machine-cadence cutoff: a session whose inter-event gap CV sits
+/// below this is pacing like a harness. Real-user sessions are generated
+/// (and measured, per "Beyond the Crawl") well above 0.35; stock agent
+/// harnesses sit below 0.12.
+pub const CADENCE_CV_FLOOR: f32 = 0.18;
+
+/// Hard ceiling a re-fitted cadence cutoff may never exceed: the p5 of the
+/// human envelope with margin. Re-fitting from a poisoned or thin trusted
+/// sample can tighten the cutoff toward humanised agents, but never into
+/// territory where genuine users (CV ≥ ~0.38) get flagged.
+pub const CADENCE_CV_CEILING: f32 = 0.32;
+
+/// Machine-cadence observations required on one cookie before the session
+/// detector flags — the behavioural analogue of the temporal detectors'
+/// warm-up, so a single oddly-paced visit never convicts a user.
+pub const MIN_CADENCE_OBSERVATIONS: u32 = 3;
+
+/// The tunable thresholds of the session behaviour detector — one shared,
+/// hot-swappable artifact so a re-fitting defender publishes new cutoffs
+/// to a running chain without a barrier (the rule-pack discipline).
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct BehaviorThresholds {
+    /// Sessions with inter-event gap CV below this count as machine-paced.
+    pub cadence_cv_floor: f32,
+    /// Machine-paced observations per cookie before flagging.
+    pub min_observations: u32,
+}
+
+impl Default for BehaviorThresholds {
+    fn default() -> BehaviorThresholds {
+        BehaviorThresholds {
+            cadence_cv_floor: CADENCE_CV_FLOOR,
+            min_observations: MIN_CADENCE_OBSERVATIONS,
+        }
+    }
+}
+
+impl BehaviorThresholds {
+    /// Is this session facet pacing like an automation harness?
+    /// Unobserved facets never are — no telemetry, no conviction.
+    pub fn machine_cadence(&self, facet: &BehaviorFacet) -> bool {
+        facet.is_observed() && facet.gap_cv < self.cadence_cv_floor
+    }
+}
+
+/// Naturalness score in `[0, 1]` of a pointer trajectory.
+///
+/// Three independent signatures of a human hand, each scored 0–1 and
+/// averaged:
+/// * speed variance — muscles accelerate and decelerate; replayed events
+///   arrive at machine-regular intervals;
+/// * curvature — real strokes arc and tremble; interpolated lines do not;
+/// * temporal texture — humans pause to read; scripts do not idle.
+pub fn naturalness(stats: &PointerStats) -> f32 {
+    if stats.samples < 5 {
+        return 0.0;
+    }
+    let speed_score = ramp(stats.speed_cv, 0.08, 0.30);
+    let curve_score = ramp(stats.curvature, 0.01, 0.05);
+    // Either pauses or a humanly long interaction counts as texture.
+    let texture_score = ramp(stats.pause_fraction, 0.01, 0.08)
+        .max(ramp(stats.duration_ms as f32, 400.0, 1200.0) * 0.8);
+    (speed_score + curve_score + texture_score) / 3.0
+}
+
+/// 0 below `lo`, 1 above `hi`, linear in between.
+fn ramp(x: f32, lo: f32, hi: f32) -> f32 {
+    ((x - lo) / (hi - lo)).clamp(0.0, 1.0)
+}
+
+/// Convenience: does a behaviour trace contain credible pointer input?
+pub fn credible_pointer(trace: &BehaviorTrace) -> bool {
+    trace.mouse_events >= 3
+        && trace
+            .pointer
+            .map(|s| naturalness(&s) >= NATURAL_THRESHOLD)
+            .unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sym;
+
+    #[test]
+    fn unobserved_is_default_and_empty() {
+        let facet = BehaviorFacet::unobserved();
+        assert_eq!(facet, BehaviorFacet::default());
+        assert!(!facet.is_observed());
+        assert_eq!(facet.gap_cv, 0.0);
+    }
+
+    #[test]
+    fn observed_carries_the_summary() {
+        let facet = BehaviorFacet::observed(4_000, 5_000, 0.05, 6, 2, 3_500);
+        assert!(facet.is_observed());
+        assert_eq!(facet.gap_q50_ms, 4_000);
+        assert_eq!(facet.pages, 6);
+        assert_eq!(facet.unique_transitions, 2);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        for facet in [
+            BehaviorFacet::unobserved(),
+            BehaviorFacet::observed(900, 4_200, 0.62, 4, 3, 800),
+        ] {
+            let json = serde_json::to_string(&facet).unwrap();
+            let back: BehaviorFacet = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, facet);
+        }
+        // Symbols elsewhere in the record keep interning across the trip.
+        let _ = sym("anchor");
+    }
+
+    #[test]
+    fn default_thresholds_separate_the_envelopes() {
+        let th = BehaviorThresholds::default();
+        let harness = BehaviorFacet::observed(4_000, 4_400, 0.05, 6, 1, 3_900);
+        let human = BehaviorFacet::observed(9_000, 40_000, 0.8, 4, 3, 8_000);
+        assert!(th.machine_cadence(&harness));
+        assert!(!th.machine_cadence(&human));
+        assert!(
+            !th.machine_cadence(&BehaviorFacet::unobserved()),
+            "no telemetry, no conviction"
+        );
+    }
+
+    #[test]
+    fn refit_ceiling_stays_under_the_human_envelope() {
+        // The generated human envelope starts at CV ≈ 0.38; the ceiling a
+        // re-fit may reach must leave margin below it.
+        const {
+            assert!(CADENCE_CV_CEILING < 0.38);
+            assert!(CADENCE_CV_FLOOR < CADENCE_CV_CEILING);
+        }
+    }
+
+    fn human_stats() -> PointerStats {
+        PointerStats {
+            samples: 40,
+            duration_ms: 2200,
+            speed_cv: 0.55,
+            curvature: 0.12,
+            pause_fraction: 0.25,
+        }
+    }
+
+    fn replay_stats() -> PointerStats {
+        PointerStats {
+            samples: 30,
+            duration_ms: 300,
+            speed_cv: 0.01,
+            curvature: 0.0,
+            pause_fraction: 0.0,
+        }
+    }
+
+    #[test]
+    fn human_shape_scores_high() {
+        assert!(naturalness(&human_stats()) > 0.9);
+    }
+
+    #[test]
+    fn replay_shape_scores_low() {
+        assert!(naturalness(&replay_stats()) < 0.1);
+    }
+
+    #[test]
+    fn too_few_samples_score_zero() {
+        let s = PointerStats {
+            samples: 3,
+            ..human_stats()
+        };
+        assert_eq!(naturalness(&s), 0.0);
+    }
+
+    #[test]
+    fn partial_mimicry_lands_in_the_middle() {
+        // Curved but machine-timed: one of three signatures.
+        let s = PointerStats {
+            samples: 30,
+            duration_ms: 250,
+            speed_cv: 0.02,
+            curvature: 0.2,
+            pause_fraction: 0.0,
+        };
+        let score = naturalness(&s);
+        assert!(score > 0.2 && score < NATURAL_THRESHOLD, "{score}");
+    }
+
+    #[test]
+    fn credible_pointer_requires_both_events_and_stats() {
+        let trace = BehaviorTrace {
+            mouse_events: 20,
+            touch_events: 0,
+            pointer: Some(human_stats()),
+            first_input_delay_ms: 500,
+        };
+        assert!(credible_pointer(&trace));
+        let no_stats = BehaviorTrace {
+            pointer: None,
+            ..trace
+        };
+        assert!(!credible_pointer(&no_stats));
+        let few_events = BehaviorTrace {
+            mouse_events: 1,
+            ..trace
+        };
+        assert!(!credible_pointer(&few_events));
+    }
+
+    #[test]
+    fn ramp_boundaries() {
+        assert_eq!(ramp(0.0, 0.1, 0.2), 0.0);
+        assert_eq!(ramp(0.3, 0.1, 0.2), 1.0);
+        assert!((ramp(0.15, 0.1, 0.2) - 0.5).abs() < 1e-6);
+    }
+}

@@ -111,6 +111,9 @@ pub mod provenance {
     /// The cross-layer TLS consistency check: the stack the ClientHello
     /// exhibits vs. the stack the User-Agent claims (§8.2 extension).
     pub const FP_TLS_CROSSLAYER: &str = "fp-tls-crosslayer";
+    /// The session behaviour detector: per-cookie machine-cadence
+    /// accumulation over the behavioural facet (FP-Agent extension).
+    pub const FP_BEHAVIOR: &str = "fp-behavior";
 
     /// [`DATADOME`] interned once per process — whole-store loops reading
     /// the [`super::VerdictSet`] by symbol stay an integer compare with no

@@ -11,6 +11,11 @@
 //!   the paper).
 //! * [`Request`] — one admitted honey-site request: fingerprint, source IP,
 //!   behaviour trace, cookie device identifier and ground-truth provenance.
+//! * [`behavior`] — the session-level behavioural facet ([`BehaviorFacet`]:
+//!   inter-event timing quantiles, interaction cadence, navigation shape)
+//!   plus the one sourced copy of the behaviour-decision thresholds
+//!   ([`BehaviorThresholds`], pointer naturalness) that the commercial
+//!   simulator and the `fp-behavior` session detector both read.
 //! * [`StoredRequest`] / [`VerdictSet`] — the privacy-scrubbed record the
 //!   store keeps, carrying each detector's named real-time verdict.
 //! * [`detect`] — the shared streaming [`Detector`] contract every bot
@@ -54,6 +59,7 @@
 #![deny(missing_docs)]
 
 pub mod attr;
+pub mod behavior;
 pub mod clock;
 pub mod defense;
 pub mod detect;
@@ -73,6 +79,7 @@ pub mod tls;
 pub mod value;
 
 pub use attr::AttrId;
+pub use behavior::{BehaviorFacet, BehaviorThresholds};
 pub use clock::{SimClock, SimTime, STUDY_DAYS, STUDY_EPOCH_UNIX};
 pub use defense::{
     CaptchaEscalation, DecisionContext, DecisionPolicy, EscalatingTtl, Frozen, PerDetectorActions,

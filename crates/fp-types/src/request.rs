@@ -1,5 +1,6 @@
 //! The recorded request: what the honey site stores per admitted visit.
 
+use crate::behavior::BehaviorFacet;
 use crate::clock::SimTime;
 use crate::fingerprint::Fingerprint;
 use crate::interner::Symbol;
@@ -93,6 +94,10 @@ pub struct Request {
     pub tls: TlsFacet,
     /// Observed input behaviour.
     pub behavior: BehaviorTrace,
+    /// Session-level behavioural summary — interaction cadence and
+    /// navigation shape, the facet the session behaviour detector reads
+    /// (the way the cross-layer detector reads `tls`).
+    pub cadence: BehaviorFacet,
     /// Ground-truth provenance (known because of the URL-token design).
     pub source: TrafficSource,
 }
@@ -119,6 +124,7 @@ mod tests {
             fingerprint: Fingerprint::new().with(AttrId::UaDevice, "iPhone"),
             tls: TlsFacet::observed(crate::sym("ja3digest"), crate::sym("ja4desc")),
             behavior: BehaviorTrace::silent(),
+            cadence: BehaviorFacet::observed(4_000, 5_200, 0.07, 5, 2, 3_600),
             source: TrafficSource::Bot(ServiceId(1)),
         }
     }
@@ -155,6 +161,7 @@ mod tests {
         assert_eq!(back.cookie, r.cookie);
         assert_eq!(back.fingerprint, r.fingerprint);
         assert_eq!(back.tls, r.tls);
+        assert_eq!(back.cadence, r.cadence);
         assert_eq!(back.source, r.source);
     }
 }

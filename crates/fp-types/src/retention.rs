@@ -264,6 +264,7 @@ mod tests {
             fingerprint: Fingerprint::new().with(AttrId::UaDevice, "iPhone"),
             tls: crate::TlsFacet::unobserved(),
             behavior: crate::BehaviorTrace::silent(),
+            cadence: crate::BehaviorFacet::unobserved(),
             source: TrafficSource::Bot(ServiceId(1)),
             verdicts: VerdictSet::new(),
         }

@@ -5,6 +5,7 @@
 //! detection contract and the record it runs on share one crate at the
 //! bottom of the dependency graph.
 
+use crate::behavior::BehaviorFacet;
 use crate::clock::SimTime;
 use crate::detect::VerdictSet;
 use crate::fingerprint::Fingerprint;
@@ -55,6 +56,9 @@ pub struct StoredRequest {
     pub tls: TlsFacet,
     /// Observed input behaviour (summary statistics only).
     pub behavior: BehaviorTrace,
+    /// Session-level behavioural summary — the cadence facet the session
+    /// behaviour detector accumulates per cookie.
+    pub cadence: BehaviorFacet,
     /// Ground truth from the URL-token design.
     pub source: TrafficSource,
     /// Named real-time verdicts from the ingest detector chain.
@@ -85,6 +89,7 @@ mod tests {
             fingerprint: Fingerprint::new().with(AttrId::UaDevice, "iPhone"),
             tls: TlsFacet::observed(sym("ja3digest"), sym("ja4desc")),
             behavior: BehaviorTrace::silent(),
+            cadence: BehaviorFacet::observed(3_000, 3_300, 0.04, 4, 1, 2_800),
             source: TrafficSource::Bot(ServiceId(1)),
             verdicts: VerdictSet::from_services(false, true),
         }
@@ -117,6 +122,7 @@ mod tests {
         assert_eq!(back.fingerprint, r.fingerprint);
         assert_eq!(back.verdicts, r.verdicts);
         assert_eq!(back.behavior, r.behavior);
+        assert_eq!(back.cadence, r.cadence);
         assert_eq!(back.tls, r.tls);
         assert_eq!(back.tor_exit, r.tor_exit);
     }

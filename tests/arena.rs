@@ -9,6 +9,10 @@
 //!   nothing;
 //! * truthful real users' false-positive rates stay flat under every
 //!   shipped policy;
+//! * under Block, a humanising agent fleet erodes the behaviour
+//!   detector's AiAgent recall round over round, and a cadence-1
+//!   re-fitting `BehaviorMember` claws it back — paid for in scan spend,
+//!   never in truthful-user FPR;
 //! * shard invariance holds inside arena rounds;
 //! * a sliding-window retention policy bounds the re-mining defender's
 //!   resident memory and scan spend on a long-horizon (12-round) arena
@@ -260,6 +264,100 @@ fn shard_invariance_holds_inside_arena_rounds() {
             assert_eq!(x.tls, y.tls);
         }
         assert_eq!(a.outcomes, b.outcomes, "round {}", a.round);
+    }
+}
+
+/// The behavioural arms race, closed loop. Under Block, the seventh
+/// detector catches the stock machine-cadence agent fleet from round 0;
+/// a `BehaviouralMutation` strategy (mounted via `agent_humanise`)
+/// gradually rewrites the fleet's cadence into the human envelope and
+/// erodes the frozen detector's AiAgent recall round over round, paying
+/// per-request humanisation cost the ledger accounts; and a cadence-1
+/// re-fitting `BehaviorMember` re-estimates its cadence floor from the
+/// retained trusted window and claws measurable recall back — with the
+/// scan spend in `RetrainSpend` and the truthful-user FPR pinned flat
+/// the whole time (humans are never inside the machine envelope).
+#[test]
+fn behaviour_arms_race_erodes_then_claws_back_agent_recall() {
+    const ROUNDS: u32 = 4;
+    let config = ArenaConfig {
+        agent_humanise: Some(0.6),
+        ..block_config(0.01, CAMPAIGN_SEED)
+    };
+
+    // Frozen thresholds: the humanised cadence walks out of the machine
+    // envelope and recall rots.
+    let mut frozen = Arena::new(config);
+    frozen.run(ROUNDS);
+    let frozen_trajectory = frozen.into_trajectory();
+    let eroded = frozen_trajectory.recall_trajectory(provenance::FP_BEHAVIOR, Cohort::AiAgent);
+    assert!(
+        eroded[0] > 0.3,
+        "round 0 must catch the stock machine cadence: {eroded:?}"
+    );
+    assert!(
+        *eroded.last().unwrap() < eroded[0] - 0.15,
+        "humanisation must erode frozen behavioural recall: {eroded:?}"
+    );
+    let humanised: u64 = frozen_trajectory
+        .rounds
+        .iter()
+        .map(|r| r.mutation.cadence_humanised)
+        .sum();
+    assert!(humanised > 0, "the erosion must be paid for per request");
+
+    // Re-fitting defender: the floor re-estimates from the trusted human
+    // window (whose cadence variability sits far above any humanised
+    // agent's) and recall recovers instead of rotting.
+    let mut refit = Arena::new(ArenaConfig {
+        behavior_refit: Some(1),
+        ..config
+    });
+    refit.run(ROUNDS);
+    let thresholds = refit
+        .behavior_thresholds()
+        .expect("Arena::new mounts the behaviour slot");
+    assert_eq!(
+        thresholds.cadence_cv_floor,
+        fp_types::behavior::CADENCE_CV_CEILING,
+        "the re-fit must hold the cadence floor at the ceiling (the human \
+         envelope's p05 clamps there), poisoned forgers notwithstanding"
+    );
+    let trajectory = refit.into_trajectory();
+    let refit_recall = trajectory.recall_trajectory(provenance::FP_BEHAVIOR, Cohort::AiAgent);
+    assert!(
+        (refit_recall[0] - eroded[0]).abs() < 1e-12,
+        "round 0 must not depend on the re-fit cadence"
+    );
+    assert!(
+        *refit_recall.last().unwrap() > eroded.last().unwrap() + 0.1,
+        "the re-fitted floor must claw recall back over the frozen \
+         detector: frozen {eroded:?} vs re-fit {refit_recall:?}"
+    );
+
+    // The clawback is bought with accounted scan spend…
+    let spend = trajectory.defense_spend_trajectory();
+    assert!(
+        spend.iter().all(|s| s.retrained_members == 1),
+        "cadence 1 re-fits the behaviour member at every round end: {spend:?}"
+    );
+    assert!(
+        trajectory.total_defense_scans() > 0,
+        "the re-fit scan spend must be accounted in the trajectory"
+    );
+
+    // …never with collateral damage: truthful users stay outside the
+    // machine envelope under both defenders, at every round.
+    for fpr in [
+        frozen_trajectory.fpr_trajectory(provenance::FP_BEHAVIOR),
+        trajectory.fpr_trajectory(provenance::FP_BEHAVIOR),
+    ] {
+        for (round, rate) in fpr.iter().enumerate() {
+            assert!(
+                *rate <= fpr[0] + 0.01,
+                "behavioural FPR inflated at round {round}: {fpr:?}"
+            );
+        }
     }
 }
 

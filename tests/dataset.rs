@@ -74,7 +74,7 @@ fn corrupted_snapshot_lines_are_rejected() {
 
     // Unknown attribute names are data corruption, not silently-dropped
     // fields.
-    let bogus = br#"{"id":0,"time":0,"site_token":"t","ip_hash":1,"ip_offset_minutes":0,"ip_region":"X/Y","ip_lat":0.0,"ip_lon":0.0,"asn":1,"asn_flagged":false,"ip_blocklisted":false,"tor_exit":false,"cookie":1,"fingerprint":{"not_an_attribute":{"Int":3}},"tls":{"ja3":null,"ja4":null},"behavior":{"mouse_events":0,"touch_events":0,"pointer":null,"first_input_delay_ms":0},"source":"RealUser","verdicts":{"DataDome":false,"BotD":false}}"#;
+    let bogus = br#"{"id":0,"time":0,"site_token":"t","ip_hash":1,"ip_offset_minutes":0,"ip_region":"X/Y","ip_lat":0.0,"ip_lon":0.0,"asn":1,"asn_flagged":false,"ip_blocklisted":false,"tor_exit":false,"cookie":1,"fingerprint":{"not_an_attribute":{"Int":3}},"tls":{"ja3":null,"ja4":null},"behavior":{"mouse_events":0,"touch_events":0,"pointer":null,"first_input_delay_ms":0},"cadence":{"observed":false,"gap_q50_ms":0,"gap_q90_ms":0,"gap_cv":0.0,"pages":0,"unique_transitions":0,"dwell_q50_ms":0},"source":"RealUser","verdicts":{"DataDome":false,"BotD":false}}"#;
     assert!(RequestStore::read_jsonl(std::io::Cursor::new(&bogus[..])).is_err());
     // The same line with a real attribute name parses, proving the
     // rejection above is the unknown attribute, not the record shape.

@@ -108,6 +108,7 @@ fn blank_request() -> StoredRequest {
         fingerprint: Fingerprint::new(),
         source: fp_types::TrafficSource::RealUser,
         behavior: fp_types::BehaviorTrace::silent(),
+        cadence: fp_types::BehaviorFacet::unobserved(),
         verdicts: fp_types::VerdictSet::new(),
     }
 }

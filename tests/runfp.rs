@@ -32,6 +32,8 @@ fn base_config() -> ArenaConfig {
         policy: ResponsePolicy::block(DEFAULT_BLOCK_TTL_SECS),
         remine_cadence: Some(1),
         retention: RetentionPolicy::KeepAll,
+        agent_humanise: None,
+        behavior_refit: None,
     }
 }
 
@@ -133,6 +135,22 @@ fn every_single_config_perturbation_flips_the_fingerprint() {
             },
             vec!["config.remine", "behavior"],
         ),
+        (
+            "humanise",
+            ArenaConfig {
+                agent_humanise: Some(0.35),
+                ..base_config()
+            },
+            vec!["config.humanise", "behavior"],
+        ),
+        (
+            "refit",
+            ArenaConfig {
+                behavior_refit: Some(1),
+                ..base_config()
+            },
+            vec!["config.refit", "behavior"],
+        ),
     ];
 
     for (axis, config, expected) in perturbations {
@@ -203,6 +221,7 @@ fn record(choice: u8, datadome: bool, botd: bool) -> fp_inconsistent::honeysite:
         fingerprint: Fingerprint::new().with(AttrId::UaDevice, "iPhone"),
         source,
         behavior: BehaviorTrace::silent(),
+        cadence: fp_types::BehaviorFacet::unobserved(),
         verdicts: VerdictSet::from_services(datadome, botd),
     }
 }

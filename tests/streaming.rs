@@ -29,9 +29,10 @@ fn streaming_pipeline_matches_batch_on_seed_campaign() {
     }
 }
 
-/// The recorded `VerdictSet` carries all six provenances when
+/// The recorded `VerdictSet` carries all seven provenances when
 /// FP-Inconsistent runs inline next to the default chain (the two
-/// commercial simulators plus the cross-layer TLS check).
+/// commercial simulators, the cross-layer TLS check and the session
+/// behaviour detector).
 #[test]
 fn streamed_store_records_named_provenance() {
     let campaign = Campaign::generate(CampaignConfig {
@@ -61,6 +62,7 @@ fn streamed_store_records_named_provenance() {
         provenance::DATADOME,
         provenance::BOTD,
         provenance::FP_TLS_CROSSLAYER,
+        provenance::FP_BEHAVIOR,
         provenance::FP_SPATIAL,
         provenance::FP_TEMPORAL_COOKIE,
         provenance::FP_TEMPORAL_IP,
@@ -97,6 +99,7 @@ fn build_request(
             .with(AttrId::Timezone, "America/Los_Angeles"),
         tls: fp_types::TlsFacet::unobserved(),
         behavior: BehaviorTrace::silent(),
+        cadence: fp_types::BehaviorFacet::unobserved(),
         source: TrafficSource::RealUser,
     }
 }

@@ -68,6 +68,7 @@ fn synthetic_trajectory() -> TrajectoryReport {
             mutated_attrs: 1404,
             rotated_ips: 76,
             tls_upgrades: 5,
+            cadence_humanised: 17,
         },
         defense: RetrainSpend {
             retrained_members: 0,
@@ -159,6 +160,6 @@ fn behavior_component_is_pinned() {
     // even when the JSON bytes are untouched.
     assert_eq!(
         synthetic_trajectory().behavior_component().to_string(),
-        "b5c60dcbfce943cd350a8a8e858b76b8",
+        "09893a6fd2b1d7dbcb8f07ceb678edb4",
     );
 }
