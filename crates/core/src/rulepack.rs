@@ -160,16 +160,12 @@ impl PairPlan {
         (bits[(bit >> 6) as usize] >> (bit & 63)) & 1 == 1
     }
 
-    /// Does the resolved id vector match this pair? Branch-light: id
-    /// sentinels short-circuit, then one bitset probe (or one binary
-    /// search on the packed key).
+    /// Do the two resolved (non-sentinel) ids match this pair?
+    /// Branch-light: one bitset probe (or one binary search on the
+    /// packed key). Callers short-circuit on `NO_ID` before resolving
+    /// the second attribute, so sentinels never reach here.
     #[inline]
-    fn contains(&self, ids: &[u32; MAX_ATTRS]) -> bool {
-        let ia = ids[self.a as usize];
-        let ib = ids[self.b as usize];
-        if ia == NO_ID || ib == NO_ID {
-            return false;
-        }
+    fn contains_ids(&self, ia: u32, ib: u32) -> bool {
         match &self.bits {
             Some(bits) => Self::bit_test(bits, u64::from(ia) * self.stride + u64::from(ib)),
             None => {
@@ -179,14 +175,9 @@ impl PairPlan {
         }
     }
 
-    /// Like [`PairPlan::contains`], but returns the matching rule index.
+    /// Like [`PairPlan::contains_ids`], but returns the matching rule index.
     #[inline]
-    fn probe(&self, ids: &[u32; MAX_ATTRS]) -> Option<u32> {
-        let ia = ids[self.a as usize];
-        let ib = ids[self.b as usize];
-        if ia == NO_ID || ib == NO_ID {
-            return None;
-        }
+    fn probe_ids(&self, ia: u32, ib: u32) -> Option<u32> {
         if let Some(bits) = &self.bits {
             if !Self::bit_test(bits, u64::from(ia) * self.stride + u64::from(ib)) {
                 return None;
@@ -346,12 +337,29 @@ impl RulePack {
         set
     }
 
-    /// Resolve each referenced attribute's value to its dense id — once
-    /// per request, however many pairs mention the attribute.
+    /// Resolve one referenced attribute's value to its dense id,
+    /// memoised in the caller's scratch arrays. Resolution is **lazy**:
+    /// an attribute's value is read (and probed) the first time a pair
+    /// plan asks for it, never before — on a store where many requests
+    /// match an early pair, the probe loop exits after touching two
+    /// attributes instead of paying for the whole schedule up front.
+    /// (Eager whole-schedule resolution is what made the compiled
+    /// matcher *slower* than the interpreted one on flag-heavy traffic:
+    /// the interpreter always resolved per pair on demand.) Memoisation
+    /// keeps the once-per-request bound: an attribute mentioned by many
+    /// pairs is still resolved at most once.
     #[inline]
-    fn resolve(&self, request: &StoredRequest, ids: &mut [u32; MAX_ATTRS]) {
-        for (i, attr) in self.attrs.iter().enumerate() {
-            let v = attr.value_of(request);
+    fn resolve_one(
+        &self,
+        request: &StoredRequest,
+        attr_pos: u32,
+        ids: &mut [u32; MAX_ATTRS],
+        resolved: &mut [bool; MAX_ATTRS],
+    ) -> u32 {
+        let i = attr_pos as usize;
+        if !resolved[i] {
+            resolved[i] = true;
+            let v = self.attrs[i].value_of(request);
             // A missing request value never matches — same skip the
             // interpreted matcher applies before probing its index.
             ids[i] = if v.is_missing() {
@@ -360,6 +368,7 @@ impl RulePack {
                 self.lookups[i].get(&v)
             };
         }
+        ids[i]
     }
 
     /// Does any compiled rule match the request? Flag-for-flag identical
@@ -369,8 +378,18 @@ impl RulePack {
             return false;
         }
         let mut ids = [NO_ID; MAX_ATTRS];
-        self.resolve(request, &mut ids);
-        self.pairs.iter().any(|p| p.contains(&ids))
+        let mut resolved = [false; MAX_ATTRS];
+        self.pairs.iter().any(|p| {
+            let ia = self.resolve_one(request, p.a, &mut ids, &mut resolved);
+            if ia == NO_ID {
+                return false;
+            }
+            let ib = self.resolve_one(request, p.b, &mut ids, &mut resolved);
+            if ib == NO_ID {
+                return false;
+            }
+            p.contains_ids(ia, ib)
+        })
     }
 
     /// The first matching rule in canonical pair order — rule-for-rule
@@ -380,10 +399,20 @@ impl RulePack {
             return None;
         }
         let mut ids = [NO_ID; MAX_ATTRS];
-        self.resolve(request, &mut ids);
+        let mut resolved = [false; MAX_ATTRS];
         self.pairs
             .iter()
-            .find_map(|p| p.probe(&ids))
+            .find_map(|p| {
+                let ia = self.resolve_one(request, p.a, &mut ids, &mut resolved);
+                if ia == NO_ID {
+                    return None;
+                }
+                let ib = self.resolve_one(request, p.b, &mut ids, &mut resolved);
+                if ib == NO_ID {
+                    return None;
+                }
+                p.probe_ids(ia, ib)
+            })
             .map(|idx| &self.rules[idx as usize])
     }
 

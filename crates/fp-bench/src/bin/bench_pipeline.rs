@@ -22,6 +22,16 @@
 //! (latency histogram, per-detector timings, admission counters), plus
 //! the instrumented run's p50/p99/p999 admission-to-verdict latency.
 //!
+//! Since the serving layer, it also drives [`HoneySite::serve`] two
+//! ways: steady load (the full stream through roomy queues under Block
+//! overflow — nothing shed) and burst load (the same stream as one
+//! sustained flash crowd into a small ingress queue under Shed — the
+//! over-capacity remainder turned away), recording per-request
+//! admission-to-verdict latency quantiles, the shed count and the
+//! queue-depth high-water marks under the `serve_*` keys.
+//! `BENCH_SECTION=serve` runs only those two drivers (one leg each,
+//! asserted, nothing recorded) — the CI smoke mode.
+//!
 //! Re-records are merge-preserving: keys in the existing
 //! `BENCH_pipeline.json` that this binary does not write survive the
 //! rewrite verbatim (see [`fp_bench::jsonmerge`]), and every record is
@@ -31,15 +41,33 @@
 //! trend, not to regenerate paper tables).
 
 use fp_antibot::{BotD, DataDome};
+use fp_bench::env::Section;
 use fp_bench::{campaign_stream, honey_site_for, jsonmerge, stream_report, CAMPAIGN_SEED};
 use fp_botnet::{Campaign, CampaignConfig};
+use fp_honeysite::serve::{
+    SERVE_COLLECTOR_DEPTH_PEAK, SERVE_INGRESS_DEPTH_PEAK, SERVE_SHARD_DEPTH_PEAK,
+};
 use fp_honeysite::HoneySite;
 use fp_inconsistent_core::{FpInconsistent, MineConfig};
 use fp_obs::MetricsRegistry;
 use fp_tls::TlsCrossLayer;
-use fp_types::{Scale, ServiceId};
+use fp_types::{OverflowPolicy, Scale, ServeConfig, ServiceId};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// One serving-layer leg's yield: end-to-end throughput, the latency
+/// quantiles the always-on histogram recorded, and the backpressure
+/// evidence (shed count, queue high-water marks).
+struct ServeRun {
+    rps: f64,
+    p50: u64,
+    p99: u64,
+    p999: u64,
+    shed: u64,
+    ingress_peak: i64,
+    shard_peak: i64,
+    collector_peak: i64,
+}
 
 fn main() {
     let scale = match std::env::var("FP_SCALE") {
@@ -71,6 +99,112 @@ fn main() {
     let store = site.into_store();
     let engine = FpInconsistent::mine(&store, &MineConfig::default());
 
+    // The two serving-layer postures. Steady: queues roomy enough that
+    // Block backpressure never engages and the latency series prices the
+    // pipeline itself. Burst: the whole stream arrives as one sustained
+    // flash crowd (every submission back to back, far beyond 4× the
+    // ingress capacity) into a small queue under Shed, so the intake gate
+    // actually turns traffic away and the survivors' latency prices the
+    // queueing delay a spike costs.
+    let steady_cfg = ServeConfig {
+        shards: 4,
+        ingress_capacity: 1024,
+        shard_capacity: 256,
+        overflow: OverflowPolicy::Block,
+        start_paused: false,
+    };
+    let burst_cfg = ServeConfig {
+        shards: 4,
+        ingress_capacity: 256,
+        shard_capacity: 64,
+        overflow: OverflowPolicy::Shed,
+        start_paused: false,
+    };
+    let serve_leg = |config: ServeConfig| -> ServeRun {
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut site = honey_site_for(&campaign);
+        for d in engine.detectors() {
+            site.push_detector(d);
+        }
+        site.set_metrics(registry.clone());
+        let mut service = site.serve(config);
+        let start = Instant::now();
+        for request in stream.iter().cloned() {
+            let _ = service.submit(request);
+        }
+        let admitted = service.enqueued_count();
+        let shed = service.shed_count();
+        let site = service.finish();
+        let elapsed = start.elapsed().as_secs_f64();
+        drop(site);
+        let snap = registry.snapshot();
+        let latency = snap
+            .histogram(fp_honeysite::site::ADMISSION_TO_VERDICT_NS)
+            .expect("a serving run registers the latency histogram");
+        assert_eq!(
+            latency.count(),
+            admitted,
+            "exactly one latency sample per committed request"
+        );
+        ServeRun {
+            rps: admitted as f64 / elapsed,
+            p50: latency.quantile(0.50),
+            p99: latency.quantile(0.99),
+            p999: latency.quantile(0.999),
+            shed,
+            ingress_peak: snap.gauge(SERVE_INGRESS_DEPTH_PEAK).unwrap_or(0),
+            shard_peak: snap.gauge(SERVE_SHARD_DEPTH_PEAK).unwrap_or(0),
+            collector_peak: snap.gauge(SERVE_COLLECTOR_DEPTH_PEAK).unwrap_or(0),
+        }
+    };
+    // Interpolated quantiles must stay distinguishable — the saturated
+    // p50 == p99 == p999 readings the pre-interpolation histogram
+    // produced are exactly what this guards against.
+    let assert_serve = |label: &str, run: &ServeRun| {
+        assert!(
+            run.p50 < run.p99 && run.p99 < run.p999,
+            "{label} latency quantiles must be distinguishable: \
+             p50 {} / p99 {} / p999 {} ns",
+            run.p50,
+            run.p99,
+            run.p999
+        );
+    };
+
+    // The CI smoke mode: one leg per posture at whatever FP_SCALE says,
+    // asserted and printed, nothing recorded.
+    if fp_bench::env::section_or(Section::All) == Section::Serve {
+        let steady = serve_leg(steady_cfg);
+        assert_serve("steady", &steady);
+        assert_eq!(steady.shed, 0, "Block overflow must never shed");
+        let burst = serve_leg(burst_cfg);
+        assert_serve("burst", &burst);
+        assert!(
+            burst.shed > 0,
+            "the flash crowd must overflow the small ingress queue"
+        );
+        println!(
+            "serve smoke (scale {}, {requests} requests):\n\
+             steady {:.0} req/s, p50/p99/p999 {} / {} / {} ns\n\
+             burst  {:.0} req/s, p50/p99/p999 {} / {} / {} ns, shed {}, \
+             peaks ingress {} shard {} collector {}",
+            scale.fraction(),
+            steady.rps,
+            steady.p50,
+            steady.p99,
+            steady.p999,
+            burst.rps,
+            burst.p50,
+            burst.p99,
+            burst.p999,
+            burst.shed,
+            burst.ingress_peak,
+            burst.shard_peak,
+            burst.collector_peak,
+        );
+        return;
+    }
+
     let runs = 3;
 
     // Batch path: ingest, then the engine's single-pass flags.
@@ -94,30 +228,56 @@ fn main() {
     // over the recorded store, interpreted (`RuleSet` hash-index probes)
     // vs compiled (`RulePack` dense-id probes) — the ingest hot-path
     // kernel the pack compiler exists for, flag-count-checked so the two
-    // never silently diverge.
-    let (rule_match_interp_rps, rule_match_pack_rps, rule_match_rules) = {
+    // never silently diverge. The speedup is the *median of paired
+    // alternating-order ratios* (the obs-overhead protocol below): cache
+    // warm-up and host drift cancel inside a pair, outlier pairs fall
+    // out of the median. The old fixed-order best-of-N recording once
+    // pinned the pack at 0.847× an interpreter it beats roughly 2× —
+    // the asserted floor keeps that class of artifact from recurring.
+    let (rule_match_interp_rps, rule_match_pack_rps, rule_match_speedup, rule_match_rules) = {
         let rules = engine.rules();
         let pack = engine.pack();
+        let interp_leg = || {
+            let start = Instant::now();
+            let flags = store.iter().filter(|r| rules.matches(r)).count();
+            (store.len() as f64 / start.elapsed().as_secs_f64(), flags)
+        };
+        let pack_leg = || {
+            let start = Instant::now();
+            let flags = store.iter().filter(|r| pack.matches(r)).count();
+            (store.len() as f64 / start.elapsed().as_secs_f64(), flags)
+        };
+        let pairs = 9;
         let mut interp_best = 0.0f64;
         let mut pack_best = 0.0f64;
-        let mut interp_flags = 0usize;
-        let mut pack_flags = 0usize;
-        for _ in 0..runs {
-            let start = Instant::now();
-            interp_flags = store.iter().filter(|r| rules.matches(r)).count();
-            let elapsed = start.elapsed().as_secs_f64();
-            interp_best = interp_best.max(store.len() as f64 / elapsed);
-
-            let start = Instant::now();
-            pack_flags = store.iter().filter(|r| pack.matches(r)).count();
-            let elapsed = start.elapsed().as_secs_f64();
-            pack_best = pack_best.max(store.len() as f64 / elapsed);
+        let mut ratios = Vec::with_capacity(pairs);
+        for k in 0..pairs {
+            let ((interp_rps, interp_flags), (pack_rps, pack_flags)) = if k % 2 == 0 {
+                let i = interp_leg();
+                let p = pack_leg();
+                (i, p)
+            } else {
+                let p = pack_leg();
+                let i = interp_leg();
+                (i, p)
+            };
+            assert_eq!(
+                interp_flags, pack_flags,
+                "compiled pack diverged from the interpreted rule set"
+            );
+            interp_best = interp_best.max(interp_rps);
+            pack_best = pack_best.max(pack_rps);
+            ratios.push(pack_rps / interp_rps);
         }
-        assert_eq!(
-            interp_flags, pack_flags,
-            "compiled pack diverged from the interpreted rule set"
+        ratios.sort_by(|a, b| a.partial_cmp(b).expect("ratios are finite"));
+        let speedup = ratios[pairs / 2];
+        assert!(
+            speedup >= 1.0,
+            "compiled RulePack regressed below the interpreted matcher: \
+             paired-median speedup {speedup:.3} ({interp_best:.0} interpreted vs \
+             {pack_best:.0} compiled best req/s)"
         );
-        (interp_best, pack_best, rules.len())
+        (interp_best, pack_best, speedup, rules.len())
     };
 
     let mut shard_rps = Vec::new();
@@ -135,6 +295,27 @@ fn main() {
             best = best.max(admitted as f64 / elapsed);
         }
         shard_rps.push((shards, best));
+    }
+    let speedup_8 = shard_rps
+        .last()
+        .map(|(_, rps)| rps / batch_rps)
+        .unwrap_or(0.0);
+    // On a single-CPU host the shard workers cannot run concurrently, so
+    // the sharded series measures pure pipeline overhead — asserting a
+    // speedup there would fail for reasons that have nothing to do with
+    // the pipeline, and recording it as a regression would mislead.
+    // Skip loudly instead of silently.
+    if threads == 1 {
+        eprintln!(
+            "note: available_parallelism == 1 — skipping the shard-speedup assertion \
+             (8-shard vs batch ratio {speedup_8:.3} measures overhead, not speedup)"
+        );
+    } else {
+        assert!(
+            speedup_8 >= 1.0,
+            "8-shard streaming fell below the batch path on a {threads}-thread host: \
+             {speedup_8:.3}x"
+        );
     }
 
     // The TLS-facet overhead probe: the same 4-shard streaming run with the
@@ -276,6 +457,34 @@ fn main() {
          {obs_instr_rps:.0} instrumented best req/s)"
     );
 
+    // The serving-layer series proper: best-of-N legs per posture (the
+    // quantiles and backpressure evidence come from the best-throughput
+    // leg, like the obs series). Steady must shed nothing; the burst
+    // must actually overflow; both latency series must stay
+    // distinguishable at p50/p99/p999.
+    let (serve_steady, serve_burst) = {
+        let best_of = |config: ServeConfig| {
+            let mut best: Option<ServeRun> = None;
+            for _ in 0..runs {
+                let run = serve_leg(config);
+                if best.as_ref().is_none_or(|b| run.rps > b.rps) {
+                    best = Some(run);
+                }
+            }
+            best.expect("runs >= 1")
+        };
+        let steady = best_of(steady_cfg);
+        assert_serve("steady", &steady);
+        assert_eq!(steady.shed, 0, "Block overflow must never shed");
+        let burst = best_of(burst_cfg);
+        assert_serve("burst", &burst);
+        assert!(
+            burst.shed > 0,
+            "the flash crowd must overflow the small ingress queue"
+        );
+        (steady, burst)
+    };
+
     // The retention series: sequential ingest with epoch sealing every
     // ~1/8th of the stream, under KeepAll vs a 2-epoch sliding window —
     // tracks the segment bookkeeping overhead (sealing, per-segment
@@ -381,14 +590,7 @@ fn main() {
         ),
         entry(
             "rule_match_compiled_speedup",
-            format!(
-                "{:.3}",
-                if rule_match_interp_rps > 0.0 {
-                    rule_match_pack_rps / rule_match_interp_rps
-                } else {
-                    0.0
-                }
-            ),
+            format!("{rule_match_speedup:.3}"),
         ),
         entry(
             "stream_requests_per_sec",
@@ -431,16 +633,7 @@ fn main() {
                 }
             ),
         ),
-        entry(
-            "speedup_8_shards_vs_batch",
-            format!(
-                "{:.3}",
-                shard_rps
-                    .last()
-                    .map(|(_, rps)| rps / batch_rps)
-                    .unwrap_or(0.0)
-            ),
-        ),
+        entry("speedup_8_shards_vs_batch", format!("{speedup_8:.3}")),
         entry(
             "ingest_epoch8_keepall_requests_per_sec",
             format!("{retain_keepall_rps:.0}"),
@@ -470,6 +663,41 @@ fn main() {
         entry("obs_latency_p50_ns", format!("{obs_p50}")),
         entry("obs_latency_p99_ns", format!("{obs_p99}")),
         entry("obs_latency_p999_ns", format!("{obs_p999}")),
+        entry(
+            "serve_steady_requests_per_sec",
+            format!("{:.0}", serve_steady.rps),
+        ),
+        entry("serve_steady_p50_ns", format!("{}", serve_steady.p50)),
+        entry("serve_steady_p99_ns", format!("{}", serve_steady.p99)),
+        entry("serve_steady_p999_ns", format!("{}", serve_steady.p999)),
+        entry(
+            "serve_steady_ingress_depth_peak",
+            format!("{}", serve_steady.ingress_peak),
+        ),
+        entry(
+            "serve_steady_shard_depth_peak",
+            format!("{}", serve_steady.shard_peak),
+        ),
+        entry(
+            "serve_burst_requests_per_sec",
+            format!("{:.0}", serve_burst.rps),
+        ),
+        entry("serve_burst_p50_ns", format!("{}", serve_burst.p50)),
+        entry("serve_burst_p99_ns", format!("{}", serve_burst.p99)),
+        entry("serve_burst_p999_ns", format!("{}", serve_burst.p999)),
+        entry("serve_burst_shed", format!("{}", serve_burst.shed)),
+        entry(
+            "serve_burst_ingress_depth_peak",
+            format!("{}", serve_burst.ingress_peak),
+        ),
+        entry(
+            "serve_burst_shard_depth_peak",
+            format!("{}", serve_burst.shard_peak),
+        ),
+        entry(
+            "serve_burst_collector_depth_peak",
+            format!("{}", serve_burst.collector_peak),
+        ),
         entry("stream_equals_batch", format!("{}", report.identical())),
         entry("recorded_at_git", format!("\"{recorded_at_git}\"")),
         entry("note", format!("\"{note}\"")),

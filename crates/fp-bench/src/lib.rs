@@ -28,6 +28,25 @@ pub fn bench_scale() -> Scale {
 pub mod env {
     use fp_types::{RetentionPolicy, Scale};
 
+    /// Which series `bench_pipeline` runs (the `BENCH_SECTION` knob).
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum Section {
+        /// Every series plus the merge-preserving re-record (the default).
+        All,
+        /// The serving-layer drivers only: one steady and one burst leg,
+        /// printed and asserted but never recorded — the CI smoke mode.
+        Serve,
+    }
+
+    /// Parse a `BENCH_SECTION` value: `all` | `serve`.
+    pub fn parse_section(v: &str) -> Result<Section, String> {
+        match v {
+            "all" => Ok(Section::All),
+            "serve" => Ok(Section::Serve),
+            _ => Err(format!("`{v}` is neither all nor serve")),
+        }
+    }
+
     /// Parse an `FP_SCALE` value: a fraction in `(0, 1]`.
     pub fn parse_scale(v: &str) -> Result<Scale, String> {
         let f: f64 = v.parse().map_err(|_| format!("`{v}` is not a number"))?;
@@ -103,6 +122,11 @@ pub mod env {
     /// `FP_SCALE`, or `default` when unset.
     pub fn scale_or(default: Scale) -> Scale {
         knob("FP_SCALE", "a fraction in (0, 1]", default, parse_scale)
+    }
+
+    /// `BENCH_SECTION`, or `default` when unset.
+    pub fn section_or(default: Section) -> Section {
+        knob("BENCH_SECTION", "all | serve", default, parse_section)
     }
 
     /// `ARENA_ROUNDS`, or `default` when unset.
@@ -217,6 +241,14 @@ pub mod env {
             assert!(parse_behavior("on").is_err());
             assert!(parse_behavior("2").is_err());
             assert!(parse_behavior("").is_err());
+        }
+
+        #[test]
+        fn section_grammar() {
+            assert_eq!(parse_section("all"), Ok(Section::All));
+            assert_eq!(parse_section("serve"), Ok(Section::Serve));
+            assert!(parse_section("steady").is_err());
+            assert!(parse_section("").is_err());
         }
 
         #[test]

@@ -10,6 +10,12 @@
 //!   worker shards (partitioned by each detector's
 //!   [`fp_types::StateScope`] anchor), verdict-for-verdict
 //!   identical to the sequential path and merged in arrival order.
+//! * [`serve`] — the continuously running serving layer
+//!   ([`HoneySite::serve`] → [`FpService`]): admission and an optional
+//!   gate (TTL blocklist / policy) on the caller's thread, then bounded
+//!   queues into an enricher and per-shard detector workers with
+//!   explicit backpressure (block or shed on a full ingress queue) and
+//!   an in-order collector — flag-identical to both batch paths.
 //! * [`store::RequestStore`] — the recorded dataset, organised as epoch
 //!   segments with pluggable [`fp_types::RetentionPolicy`] (default
 //!   `KeepAll`, the pre-refactor behaviour). Raw IPs never reach
@@ -33,11 +39,13 @@
 
 pub mod defense;
 pub mod pipeline;
+pub mod serve;
 pub mod site;
 pub mod stats;
 pub mod store;
 
 pub use defense::DefenseStack;
+pub use serve::{FpService, SubmitOutcome};
 pub use site::HoneySite;
 pub use stats::{DailySeries, ServiceStats};
 pub use store::{RequestStore, StoredRequest};

@@ -1,0 +1,647 @@
+//! The continuously running serving layer.
+//!
+//! [`HoneySite::serve`] turns the site into an [`FpService`]: instead of
+//! the batch pipeline's two sequential `crossbeam::scope` barriers
+//! ([`HoneySite::ingest_stream`] derives every record, joins, then runs
+//! every per-cookie detector, joins again), the service keeps its workers
+//! running behind **bounded queues** and processes each request end to
+//! end as it arrives — the shape a deployed honey site actually has, and
+//! the shape the always-on admission-to-verdict histogram was built to
+//! measure.
+//!
+//! Topology (one thread per box, one bounded queue per arrow):
+//!
+//! ```text
+//! caller ──submit──▶ [ingress] ──▶ enricher ──▶ [ip shard 0..n]  ──▶ ip workers ──┐
+//!   │                                  │                                          ├─▶ [collector] ─▶ collector ─▶ store
+//!   │ token check + admission gate     └─────▶ [cookie shard 0..n] ─▶ ck workers ─┘
+//!   └─ full ingress: Block (wait) or Shed (drop + count)
+//! ```
+//!
+//! * **Admission on the hot path**: the caller's thread runs the token
+//!   check (cookie issuance) and an optional admission gate (the TTL
+//!   blocklist / policy check) *before* anything is enqueued — a denied
+//!   request never costs queue space or a worker's time.
+//! * **Backpressure is explicit**: the ingress queue is the sole intake
+//!   gate. When it is full, [`OverflowPolicy::Block`] makes `submit`
+//!   wait for drain (nothing dropped, latency absorbs the spike) and
+//!   [`OverflowPolicy::Shed`] returns [`SubmitOutcome::Shed`]
+//!   immediately and bumps [`SERVE_REQUESTS_SHED`].
+//! * **Workers never block on each other**: each shard worker blocks
+//!   only on its own input queue and on the collector queue (a sink that
+//!   is always drained). The queue graph is acyclic, so the service
+//!   cannot deadlock.
+//! * **Flag identity with the batch path**: routing uses the same
+//!   [`shard_for`] keys over the same anchors as `ingest_stream`, the
+//!   enricher forwards work in admission order (FIFO queues preserve it
+//!   per shard), and detectors observe records in the same pre-verdict
+//!   state (`id == 0`, empty verdict set). For any anchor value the
+//!   observing detector fork sees exactly the subsequence the sequential
+//!   loop would have shown it — verdict-for-verdict equivalence at any
+//!   shard count (property-tested in `tests/serve.rs`).
+//! * **In-order commit**: the collector holds a reorder buffer and
+//!   commits records to the store strictly in admission order, so dense
+//!   ids, iteration order and the sharded indexes all match the batch
+//!   paths.
+
+use crate::site::{derive_record, HoneySite, DETECTOR_TIMING_SAMPLE};
+use crate::store::{RequestStore, StoredRequest};
+use fp_obs::{Counter, Gauge, Histogram, LocalHistogram};
+use fp_types::detect::{Detector, StateScope, Verdict};
+use fp_types::{shard_for, sym, CookieId, OverflowPolicy, Request, ServeConfig, Symbol};
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Registry name of the shed-request counter (requests turned away by a
+/// full ingress queue under [`OverflowPolicy::Shed`]).
+pub const SERVE_REQUESTS_SHED: &str = "serve_requests_shed";
+/// Registry name of the gate-denied counter (requests refused by the
+/// admission gate — e.g. a TTL-blocklisted address — before enqueue).
+pub const SERVE_REQUESTS_DENIED: &str = "serve_requests_denied";
+/// Registry name of the ingress-queue high-water gauge (set at
+/// [`FpService::finish`]).
+pub const SERVE_INGRESS_DEPTH_PEAK: &str = "serve_ingress_depth_peak";
+/// Registry name of the shard-queue high-water gauge (max over every
+/// per-shard queue; set at [`FpService::finish`]).
+pub const SERVE_SHARD_DEPTH_PEAK: &str = "serve_shard_depth_peak";
+/// Registry name of the collector-queue high-water gauge (set at
+/// [`FpService::finish`]).
+pub const SERVE_COLLECTOR_DEPTH_PEAK: &str = "serve_collector_depth_peak";
+
+/// What [`FpService::submit`] did with one request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// Admitted and enqueued; a verdict will be committed for it.
+    Enqueued,
+    /// No registered token — not recorded, exactly like the batch paths.
+    Rejected,
+    /// The admission gate said no (TTL blocklist / policy): never
+    /// enqueued, counted in [`SERVE_REQUESTS_DENIED`].
+    Denied,
+    /// The ingress queue was full under [`OverflowPolicy::Shed`]:
+    /// dropped, counted in [`SERVE_REQUESTS_SHED`]. The request may have
+    /// consumed a cookie number (the token check runs before the queue
+    /// is probed, like a real site that sets its cookie before the
+    /// backend sheds the page load).
+    Shed,
+}
+
+/// A bounded MPSC queue: `Mutex<VecDeque>` plus two condvars. Honest and
+/// boring on purpose — the queues carry a few thousand items per bench
+/// run and every consumer does real detector work per item, so lock-free
+/// cleverness would buy nothing measurable.
+struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    capacity: usize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+struct QueueState<T> {
+    items: std::collections::VecDeque<T>,
+    closed: bool,
+    /// High-water mark, for the depth gauges.
+    peak: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: std::collections::VecDeque::new(),
+                closed: false,
+                peak: 0,
+            }),
+            capacity: capacity.max(1),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Push, waiting for space (the Block overflow posture).
+    fn push_block(&self, item: T) {
+        let mut s = self.state.lock().expect("queue poisoned");
+        while s.items.len() >= self.capacity && !s.closed {
+            s = self.not_full.wait(s).expect("queue poisoned");
+        }
+        debug_assert!(!s.closed, "push after close");
+        s.items.push_back(item);
+        s.peak = s.peak.max(s.items.len());
+        drop(s);
+        self.not_empty.notify_one();
+    }
+
+    /// Push if there is space, else hand the item back (the Shed
+    /// posture — never blocks).
+    fn try_push(&self, item: T) -> Result<(), T> {
+        let mut s = self.state.lock().expect("queue poisoned");
+        if s.items.len() >= self.capacity {
+            return Err(item);
+        }
+        s.items.push_back(item);
+        s.peak = s.peak.max(s.items.len());
+        drop(s);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Pop, waiting for an item; `None` once the queue is closed *and*
+    /// drained (the consumer's shutdown signal).
+    fn pop_block(&self) -> Option<T> {
+        let mut s = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                drop(s);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.not_empty.wait(s).expect("queue poisoned");
+        }
+    }
+
+    /// Close the queue: producers stop, consumers drain then see `None`.
+    /// Idempotent.
+    fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    fn peak(&self) -> usize {
+        self.state.lock().expect("queue poisoned").peak
+    }
+}
+
+/// The start-paused gate: while closed, the enricher holds off popping
+/// the ingress queue so tests and the burst bench driver can fill it
+/// deterministically.
+struct PauseGate {
+    paused: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl PauseGate {
+    fn new(paused: bool) -> PauseGate {
+        PauseGate {
+            paused: Mutex::new(paused),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait_open(&self) {
+        let mut p = self.paused.lock().expect("gate poisoned");
+        while *p {
+            p = self.cv.wait(p).expect("gate poisoned");
+        }
+    }
+
+    fn open(&self) {
+        *self.paused.lock().expect("gate poisoned") = false;
+        self.cv.notify_all();
+    }
+}
+
+/// One admitted request on its way to the enricher.
+struct IngressItem {
+    seq: u64,
+    request: Request,
+    cookie: CookieId,
+    ip_hash: u64,
+    /// Admission stamp (the latency window opens here); only taken when
+    /// a registry is attached, like the batch paths.
+    stamp: Option<Instant>,
+}
+
+/// One enriched record on its way to a shard worker.
+struct ShardWork {
+    seq: u64,
+    record: Arc<StoredRequest>,
+    stamp: Option<Instant>,
+}
+
+/// Which detector route produced a verdict batch.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Route {
+    Ip,
+    Cookie,
+}
+
+/// Verdicts tagged by chain position (same shape as the batch merge).
+type TaggedVerdicts = Vec<(usize, Verdict)>;
+
+/// What shard workers hand the collector.
+enum Collected {
+    Verdicts {
+        seq: u64,
+        route: Route,
+        record: Arc<StoredRequest>,
+        stamp: Option<Instant>,
+        tagged: TaggedVerdicts,
+    },
+    /// One per worker at shutdown; the collector exits after `2 * shards`.
+    WorkerDone,
+}
+
+/// One request's state in the collector's reorder buffer.
+#[derive(Default)]
+struct Pending {
+    record: Option<Arc<StoredRequest>>,
+    ip: Option<TaggedVerdicts>,
+    cookie: Option<TaggedVerdicts>,
+    stamp: Option<Instant>,
+}
+
+/// The service-side instrument handles, resolved once at [`HoneySite::serve`].
+struct ServeObs {
+    latency: Arc<Histogram>,
+    admitted: Arc<Counter>,
+    shed: Arc<Counter>,
+    denied: Arc<Counter>,
+    ingress_peak: Arc<Gauge>,
+    shard_peak: Arc<Gauge>,
+    collector_peak: Arc<Gauge>,
+}
+
+/// A continuously running honey site: admission on the caller's thread,
+/// enrichment and detection on resident shard workers behind bounded
+/// queues. Built by [`HoneySite::serve`]; torn down (and the site with
+/// its recorded store handed back) by [`FpService::finish`].
+pub struct FpService {
+    /// The site while it serves — admission state (tokens, cookie
+    /// counter, rejection count, metrics) lives here; its store is
+    /// replaced wholesale at `finish`. `Option` only so `finish` can
+    /// move it out past the `Drop` impl.
+    site: Option<HoneySite>,
+    config: ServeConfig,
+    ingress: Arc<BoundedQueue<IngressItem>>,
+    shard_queues: Vec<Arc<BoundedQueue<ShardWork>>>,
+    collector_queue: Arc<BoundedQueue<Collected>>,
+    gate: Arc<PauseGate>,
+    enricher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    collector: Option<JoinHandle<RequestStore>>,
+    obs: Option<ServeObs>,
+    seq: u64,
+    shed: u64,
+    denied: u64,
+}
+
+impl HoneySite {
+    /// Start serving: move the site behind a running [`FpService`].
+    /// Requires an empty store (like [`HoneySite::ingest_stream`], the
+    /// recorded store is built by the service and adopted wholesale at
+    /// [`FpService::finish`]); each call forks fresh detector state from
+    /// the chain prototypes — a new measurement run.
+    pub fn serve(self, config: ServeConfig) -> FpService {
+        assert!(
+            self.store().is_empty(),
+            "serve() adopts a freshly built store; start from an empty site"
+        );
+        let n = config.shards.max(1);
+
+        // Routes, split exactly like the batch pipeline: stateless
+        // detectors ride the IP route so each request is decided once.
+        let ip_route: Vec<usize> = (0..self.chain().len())
+            .filter(|&i| self.chain()[i].scope() != StateScope::PerCookie)
+            .collect();
+        let cookie_route: Vec<usize> = (0..self.chain().len())
+            .filter(|&i| self.chain()[i].scope() == StateScope::PerCookie)
+            .collect();
+        let names: Vec<Symbol> = self.chain().iter().map(|d| sym(d.name())).collect();
+
+        let obs = self.site_metrics().map(|m| ServeObs {
+            latency: m.latency_ns.clone(),
+            admitted: m.admitted.clone(),
+            shed: m.registry.counter(SERVE_REQUESTS_SHED),
+            denied: m.registry.counter(SERVE_REQUESTS_DENIED),
+            ingress_peak: m.registry.gauge(SERVE_INGRESS_DEPTH_PEAK),
+            shard_peak: m.registry.gauge(SERVE_SHARD_DEPTH_PEAK),
+            collector_peak: m.registry.gauge(SERVE_COLLECTOR_DEPTH_PEAK),
+        });
+        let detector_ns: Vec<Arc<Histogram>> = self
+            .site_metrics()
+            .map(|m| m.detector_ns.clone())
+            .unwrap_or_default();
+        let obs_on = obs.is_some();
+
+        let ingress: Arc<BoundedQueue<IngressItem>> =
+            Arc::new(BoundedQueue::new(config.ingress_capacity));
+        let ip_queues: Vec<Arc<BoundedQueue<ShardWork>>> = (0..n)
+            .map(|_| Arc::new(BoundedQueue::new(config.shard_capacity)))
+            .collect();
+        let cookie_queues: Vec<Arc<BoundedQueue<ShardWork>>> = (0..n)
+            .map(|_| Arc::new(BoundedQueue::new(config.shard_capacity)))
+            .collect();
+        let collector_queue: Arc<BoundedQueue<Collected>> =
+            Arc::new(BoundedQueue::new(config.shard_capacity.max(n * 2)));
+        let gate = Arc::new(PauseGate::new(config.start_paused));
+
+        // Enricher: FIFO over the ingress queue preserves admission
+        // order into every shard queue, which is what keeps per-anchor
+        // subsequences — and therefore verdicts — batch-identical.
+        let enricher = {
+            let ingress = ingress.clone();
+            let ip_queues = ip_queues.clone();
+            let cookie_queues = cookie_queues.clone();
+            let gate = gate.clone();
+            std::thread::spawn(move || {
+                gate.wait_open();
+                while let Some(item) = ingress.pop_block() {
+                    let record = Arc::new(derive_record(&item.request, item.cookie));
+                    let work = ShardWork {
+                        seq: item.seq,
+                        record: record.clone(),
+                        stamp: item.stamp,
+                    };
+                    ip_queues[shard_for(item.ip_hash, n)].push_block(work);
+                    cookie_queues[shard_for(item.cookie, n)].push_block(ShardWork {
+                        seq: item.seq,
+                        record,
+                        stamp: item.stamp,
+                    });
+                }
+                for q in ip_queues.iter().chain(cookie_queues.iter()) {
+                    q.close();
+                }
+            })
+        };
+
+        // Shard workers: fork the routed detectors, observe in queue
+        // (= admission) order, forward tagged verdicts. A worker blocks
+        // only on its own input queue and the collector sink — never on
+        // another worker.
+        let mut workers = Vec::with_capacity(2 * n);
+        for (route, route_chain, queues) in [
+            (Route::Ip, &ip_route, &ip_queues),
+            (Route::Cookie, &cookie_route, &cookie_queues),
+        ] {
+            for queue in queues.iter() {
+                let mut detectors: Vec<(usize, Box<dyn Detector>)> = route_chain
+                    .iter()
+                    .map(|&i| (i, self.chain()[i].fork()))
+                    .collect();
+                let timing_hists: Vec<Arc<Histogram>> = route_chain
+                    .iter()
+                    .filter_map(|&i| detector_ns.get(i).cloned())
+                    .collect();
+                let queue = queue.clone();
+                let out = collector_queue.clone();
+                workers.push(std::thread::spawn(move || {
+                    let mut timings =
+                        vec![LocalHistogram::new(); if obs_on { detectors.len() } else { 0 }];
+                    while let Some(work) = queue.pop_block() {
+                        // Same deterministic 1-in-N timing sample as the
+                        // batch paths, keyed on the admission index.
+                        let tagged: TaggedVerdicts =
+                            if obs_on && work.seq.is_multiple_of(DETECTOR_TIMING_SAMPLE) {
+                                let mut last = Instant::now();
+                                detectors
+                                    .iter_mut()
+                                    .enumerate()
+                                    .map(|(k, (i, d))| {
+                                        let v = (*i, d.observe(&work.record));
+                                        let now = Instant::now();
+                                        timings[k].record((now - last).as_nanos() as u64);
+                                        last = now;
+                                        v
+                                    })
+                                    .collect()
+                            } else {
+                                detectors
+                                    .iter_mut()
+                                    .map(|(i, d)| (*i, d.observe(&work.record)))
+                                    .collect()
+                            };
+                        out.push_block(Collected::Verdicts {
+                            seq: work.seq,
+                            route,
+                            record: work.record,
+                            stamp: work.stamp,
+                            tagged,
+                        });
+                    }
+                    for (k, local) in timings.iter().enumerate() {
+                        timing_hists[k].merge_local(local);
+                    }
+                    out.push_block(Collected::WorkerDone);
+                }));
+            }
+        }
+
+        // Collector: reorder buffer + in-order commit. The store is
+        // built here (dense ids assigned at push, in admission order)
+        // and handed back at `finish`.
+        let collector = {
+            let queue = collector_queue.clone();
+            let latency = obs.as_ref().map(|o| o.latency.clone());
+            std::thread::spawn(move || {
+                let mut store = RequestStore::with_shards(n);
+                let mut pending: HashMap<u64, Pending> = HashMap::new();
+                let mut next = 0u64;
+                let mut done = 0usize;
+                while done < 2 * n {
+                    match queue
+                        .pop_block()
+                        .expect("workers close after done messages")
+                    {
+                        Collected::WorkerDone => done += 1,
+                        Collected::Verdicts {
+                            seq,
+                            route,
+                            record,
+                            stamp,
+                            tagged,
+                        } => {
+                            let entry = pending.entry(seq).or_default();
+                            match route {
+                                Route::Ip => entry.ip = Some(tagged),
+                                Route::Cookie => entry.cookie = Some(tagged),
+                            }
+                            // Both routes carry an Arc clone; keep one,
+                            // drop the other so the commit can unwrap.
+                            if entry.record.is_none() {
+                                entry.record = Some(record);
+                            }
+                            entry.stamp = entry.stamp.or(stamp);
+                            while pending
+                                .get(&next)
+                                .is_some_and(|e| e.ip.is_some() && e.cookie.is_some())
+                            {
+                                let e = pending.remove(&next).expect("checked above");
+                                let arc = e.record.expect("every verdict carries its record");
+                                let mut record =
+                                    Arc::try_unwrap(arc).unwrap_or_else(|shared| (*shared).clone());
+                                let mut tagged = e.ip.expect("checked above");
+                                tagged.extend(e.cookie.expect("checked above"));
+                                tagged.sort_by_key(|(chain_idx, _)| *chain_idx);
+                                for (chain_idx, verdict) in tagged {
+                                    record.verdicts.record(names[chain_idx], verdict);
+                                }
+                                if let (Some(h), Some(stamp)) = (&latency, e.stamp) {
+                                    h.record(stamp.elapsed().as_nanos() as u64);
+                                }
+                                store.push(record);
+                                next += 1;
+                            }
+                        }
+                    }
+                }
+                assert!(pending.is_empty(), "every admitted request must commit");
+                store
+            })
+        };
+
+        FpService {
+            site: Some(self),
+            config,
+            ingress,
+            shard_queues: ip_queues.into_iter().chain(cookie_queues).collect(),
+            collector_queue,
+            gate,
+            enricher: Some(enricher),
+            workers,
+            collector: Some(collector),
+            obs,
+            seq: 0,
+            shed: 0,
+            denied: 0,
+        }
+    }
+}
+
+impl FpService {
+    /// Submit one request with no extra admission gate (token check
+    /// only). See [`FpService::submit_with_gate`].
+    pub fn submit(&mut self, request: Request) -> SubmitOutcome {
+        self.submit_with_gate(request, |_, _| true)
+    }
+
+    /// Submit one request. On the caller's thread, in order: the
+    /// admission gate (handed the request and its hashed source IP —
+    /// return `false` to deny, e.g. for a TTL-blocklisted address), then
+    /// the site's token check (cookie issuance), then the enqueue under
+    /// the configured [`OverflowPolicy`]. Everything else happens on the
+    /// service's resident workers.
+    pub fn submit_with_gate<F>(&mut self, request: Request, gate: F) -> SubmitOutcome
+    where
+        F: FnOnce(&Request, u64) -> bool,
+    {
+        let ip_hash = fp_netsim::NetDb::hash_ip(request.ip);
+        if !gate(&request, ip_hash) {
+            self.denied += 1;
+            if let Some(o) = &self.obs {
+                o.denied.inc();
+            }
+            return SubmitOutcome::Denied;
+        }
+        let site = self.site.as_mut().expect("site present until finish");
+        let Some(cookie) = site.admit(&request) else {
+            return SubmitOutcome::Rejected;
+        };
+        let item = IngressItem {
+            seq: self.seq,
+            request,
+            cookie,
+            ip_hash,
+            stamp: self.obs.as_ref().map(|_| Instant::now()),
+        };
+        match self.config.overflow {
+            OverflowPolicy::Block => self.ingress.push_block(item),
+            OverflowPolicy::Shed => {
+                if self.ingress.try_push(item).is_err() {
+                    self.shed += 1;
+                    if let Some(o) = &self.obs {
+                        o.shed.inc();
+                    }
+                    return SubmitOutcome::Shed;
+                }
+            }
+        }
+        self.seq += 1;
+        if let Some(o) = &self.obs {
+            o.admitted.inc();
+        }
+        SubmitOutcome::Enqueued
+    }
+
+    /// Release a [`ServeConfig::start_paused`] service: the enricher
+    /// starts draining the ingress queue. No-op when already running.
+    pub fn resume(&self) {
+        self.gate.open();
+    }
+
+    /// Requests enqueued so far (admitted, not shed).
+    pub fn enqueued_count(&self) -> u64 {
+        self.seq
+    }
+
+    /// Requests dropped by a full ingress queue under
+    /// [`OverflowPolicy::Shed`].
+    pub fn shed_count(&self) -> u64 {
+        self.shed
+    }
+
+    /// Requests refused by the admission gate.
+    pub fn denied_count(&self) -> u64 {
+        self.denied
+    }
+
+    /// Drain and stop: close the intake, join every stage, adopt the
+    /// collector's store and hand the site back (rejection counts,
+    /// cookie state, metrics and retention all preserved). Implicitly
+    /// resumes a paused service first — queued work always completes.
+    pub fn finish(mut self) -> HoneySite {
+        self.gate.open();
+        self.ingress.close();
+        if let Some(h) = self.enricher.take() {
+            h.join().expect("enricher panicked");
+        }
+        for h in self.workers.drain(..) {
+            h.join().expect("shard worker panicked");
+        }
+        let store = self
+            .collector
+            .take()
+            .expect("collector present until finish")
+            .join()
+            .expect("collector panicked");
+        if let Some(o) = &self.obs {
+            o.ingress_peak.set(self.ingress.peak() as i64);
+            let shard_peak = self
+                .shard_queues
+                .iter()
+                .map(|q| q.peak())
+                .max()
+                .unwrap_or(0);
+            o.shard_peak.set(shard_peak as i64);
+            o.collector_peak.set(self.collector_queue.peak() as i64);
+        }
+        let mut site = self.site.take().expect("site present until finish");
+        site.set_store(store);
+        site
+    }
+}
+
+impl Drop for FpService {
+    /// Dropping without [`FpService::finish`] still shuts the stages
+    /// down cleanly (open the gate, close the intake, join everything) —
+    /// the recorded store is discarded with the collector's result.
+    fn drop(&mut self) {
+        self.gate.open();
+        self.ingress.close();
+        if let Some(h) = self.enricher.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.collector.take() {
+            let _ = h.join();
+        }
+    }
+}

@@ -23,8 +23,8 @@ pub fn bucket_index(v: u64) -> usize {
     }
 }
 
-/// Inclusive upper bound of a bucket — what a quantile query reports for
-/// ranks landing in that bucket.
+/// Inclusive upper bound of a bucket — the ceiling a quantile estimate
+/// interpolates up to for ranks landing in that bucket.
 #[inline]
 pub fn bucket_upper_bound(i: usize) -> u64 {
     match i {
@@ -252,9 +252,15 @@ impl HistogramSnapshot {
         self.buckets.iter().sum()
     }
 
-    /// The quantile upper bound: the inclusive upper edge of the bucket
-    /// holding the value of rank `max(1, ceil(q * count))`. Exact to one
-    /// log2 bucket; `0` for an empty histogram.
+    /// The quantile estimate for rank `max(1, ceil(q * count))`, with
+    /// linear interpolation *within* the log2 bucket holding that rank:
+    /// the rank's position among the bucket's occupants places it
+    /// proportionally between the bucket's lower and upper bound. This
+    /// keeps nearby quantiles distinguishable even when one wide bucket
+    /// (e.g. `[2^27, 2^28)` ns) swallows most of the distribution —
+    /// without interpolation p50/p99/p999 all collapse to that bucket's
+    /// upper edge. Still bounded by the true bucket edges; `0` for an
+    /// empty histogram.
     pub fn quantile(&self, q: f64) -> u64 {
         let count = self.count();
         if count == 0 {
@@ -263,9 +269,25 @@ impl HistogramSnapshot {
         let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
         let mut cumulative = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let before = cumulative;
             cumulative += n;
             if cumulative >= rank {
-                return bucket_upper_bound(i);
+                if i == 0 {
+                    return 0;
+                }
+                // Bucket i spans [2^(i-1), upper]; interpolate the rank's
+                // offset among the n occupants across that span. f64 math
+                // is exact for the bucket widths that matter (< 2^53) and
+                // only approximate for the top bucket, which is fine for
+                // an estimate already bounded by the bucket edges.
+                let lower = bucket_upper_bound(i - 1) + 1;
+                let upper = bucket_upper_bound(i);
+                let frac = (rank - before) as f64 / n as f64;
+                let span = (upper - lower) as f64;
+                return lower + (frac * span) as u64;
             }
         }
         bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
@@ -341,7 +363,7 @@ mod tests {
     }
 
     #[test]
-    fn histogram_quantiles_are_bucket_upper_bounds() {
+    fn histogram_quantiles_interpolate_within_buckets() {
         let h = Histogram::new();
         for v in 1..=1000u64 {
             h.record(v);
@@ -349,12 +371,34 @@ mod tests {
         let snap = h.snapshot();
         assert_eq!(snap.count(), 1000);
         assert_eq!(snap.sum, 500_500);
-        // Rank 500 is value 500 → bucket [256, 511] → upper bound 511.
-        assert_eq!(snap.quantile(0.5), 511);
-        // Rank 990 is value 990 → bucket [512, 1023] → upper bound 1023.
-        assert_eq!(snap.quantile(0.99), 1023);
-        assert_eq!(snap.quantile(0.999), 1023);
+        // Rank 500 lands in bucket [256, 511]: 255 values before it, 256
+        // occupants → 256 + (245/256)·255 = 500. Interpolation recovers
+        // the exact value because the occupants fill the bucket uniformly.
+        assert_eq!(snap.quantile(0.5), 500);
+        // Rank 990 lands in bucket [512, 1023], which values 512..=1000
+        // only part-fill (489 of 512 slots): 512 + (479/489)·511 = 1012 —
+        // an over-estimate of the true 990, but inside the bucket and
+        // distinguishable from its neighbours.
+        assert_eq!(snap.quantile(0.99), 1012);
+        assert_eq!(snap.quantile(0.999), 1021);
         assert_eq!(snap.quantile(1.0), 1023);
+    }
+
+    #[test]
+    fn quantiles_distinguishable_inside_one_wide_bucket() {
+        // All samples land in the [2^27, 2^28) ns bucket — the exact
+        // collapse BENCH_pipeline.json recorded before interpolation
+        // (p50 == p99 == p999 == 268435455).
+        let h = Histogram::new();
+        for k in 0..1000u64 {
+            h.record((1 << 27) + k * 100_000);
+        }
+        let snap = h.snapshot();
+        let p50 = snap.quantile(0.5);
+        let p99 = snap.quantile(0.99);
+        let p999 = snap.quantile(0.999);
+        assert!(p50 < p99 && p99 < p999, "collapsed: {p50} {p99} {p999}");
+        assert!(p50 >= 1 << 27 && p999 < 1 << 28);
     }
 
     #[test]

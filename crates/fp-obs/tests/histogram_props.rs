@@ -40,9 +40,9 @@ proptest::proptest! {
     }
 
     /// A `pXX` query brackets the true quantile to within one log2 bucket:
-    /// the reported value is an upper bound on the exact rank-order
-    /// statistic, and the exact value lands in the same bucket (so the
-    /// bound is tight — it never overshoots by a whole bucket).
+    /// the interpolated estimate lands in the *same* bucket as the exact
+    /// rank-order statistic — never off by a whole bucket in either
+    /// direction — and stays inside that bucket's true edges.
     #[test]
     fn quantiles_bracket_true_value_within_one_bucket(
         values in proptest::collection::vec(0u64..1u64 << 48, 1..500),
@@ -61,15 +61,12 @@ proptest::proptest! {
         let exact = sorted[rank - 1];
 
         let reported = snap.quantile(q);
-        proptest::prop_assert!(
-            reported >= exact,
-            "q={q}: reported {reported} < exact {exact}"
-        );
+        let bucket = bucket_index(exact);
         proptest::prop_assert_eq!(
             bucket_index(reported),
-            bucket_index(exact),
+            bucket,
             "q={} rank={} exact={} reported={}", q, rank, exact, reported
         );
-        proptest::prop_assert_eq!(reported, bucket_upper_bound(bucket_index(exact)));
+        proptest::prop_assert!(reported <= bucket_upper_bound(bucket));
     }
 }

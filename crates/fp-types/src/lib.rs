@@ -32,6 +32,10 @@
 //!   escalating TTLs, CAPTCHA-then-block hybrids), and a [`StackMember`]
 //!   produces a fresh detector per round and may retrain itself from the
 //!   retained training window.
+//! * [`serve`] — the serving-layer contract ([`ServeConfig`],
+//!   [`OverflowPolicy`]): bounded queue capacities, key-stable shard
+//!   routing, and the backpressure posture (block vs shed) for the
+//!   continuously running ingest service in `fp-honeysite`.
 //! * [`retention`] — the bounded-memory contract: [`Epoch`]-segmented
 //!   storage, pluggable [`RetentionPolicy`]s (keep-all, sliding window,
 //!   sampled decay), the [`SegmentStats`] eviction ledger, and the
@@ -73,6 +77,7 @@ pub mod request;
 pub mod retention;
 pub mod runfp;
 pub mod scale;
+pub mod serve;
 pub mod stablehash;
 pub mod stored;
 pub mod tls;
@@ -96,6 +101,7 @@ pub use request::{BehaviorTrace, CookieId, PointerStats, Request, RequestId};
 pub use retention::{Epoch, RecordView, RetentionPolicy, SegmentStats};
 pub use runfp::{ComponentHash, ComponentHasher, RunComponents, RunFingerprint};
 pub use scale::Scale;
+pub use serve::{OverflowPolicy, ServeConfig};
 pub use stablehash::{ContentHasher, PackHash};
 pub use stored::StoredRequest;
 pub use tls::TlsFacet;

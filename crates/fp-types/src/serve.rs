@@ -1,0 +1,108 @@
+//! Configuration for the continuous serving layer.
+//!
+//! The batch ingest paths (`ingest_all`, `ingest_stream`) process a
+//! finished request list inside one call; the serving layer
+//! (`fp-honeysite`'s `serve` module) instead keeps shard workers running
+//! behind bounded queues so requests are admitted one at a time, the way
+//! a deployed honey site sees them. This module holds only the *shape*
+//! of that service — queue capacities and the overflow contract — so
+//! `fp-arena` and `fp-bench` can describe a serving topology without
+//! depending on the implementation crate.
+
+use crate::mix::shard_for;
+
+/// What `submit` does when a bounded queue is full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OverflowPolicy {
+    /// Block the submitting caller until the queue drains. Nothing is
+    /// dropped; admission-to-verdict latency absorbs the wait. This is
+    /// the arena/benchmark default — closed-loop rounds need every
+    /// admitted request to reach a verdict.
+    Block,
+    /// Shed the request: `submit` returns immediately with a shed
+    /// outcome and bumps the `serve_requests_shed` counter. This is the
+    /// flash-crowd posture — bounded latency, explicit loss.
+    Shed,
+}
+
+/// Queue topology and backpressure contract for one serving session.
+///
+/// All fields are plain `Copy` data so configs embed in `ArenaConfig`
+/// (which stays `Copy`) and in bench drivers without ceremony.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Detector shard count per route (IP-scoped and cookie-scoped
+    /// detectors each get this many workers). Routing uses the same
+    /// [`shard_for`] keys as the batch pipeline, so flag identity with
+    /// the batch path holds at any shard count.
+    pub shards: usize,
+    /// Capacity of the ingress queue between the submitting caller and
+    /// the enricher thread. This is the queue the overflow policy
+    /// applies to: the sole intake gate, sized for the burst the
+    /// service will absorb before backpressure.
+    pub ingress_capacity: usize,
+    /// Capacity of each per-shard work queue and of the collector
+    /// queue. Shard queues only ever block the enricher (never another
+    /// shard worker), keeping workers independent.
+    pub shard_capacity: usize,
+    /// What `submit` does when the ingress queue is full.
+    pub overflow: OverflowPolicy,
+    /// Start with the pipeline paused: queued requests accumulate in
+    /// the ingress queue until `resume()` releases the enricher. Lets
+    /// tests and the burst bench driver fill the queue deterministically
+    /// (submit exactly `ingress_capacity`, watch the rest shed) instead
+    /// of racing the drain.
+    pub start_paused: bool,
+}
+
+impl ServeConfig {
+    /// A serving config with the given shard count and the defaults the
+    /// arena uses: generous queues (1024-deep ingress, 256-deep shard
+    /// queues), blocking overflow, not paused.
+    pub fn with_shards(shards: usize) -> ServeConfig {
+        ServeConfig {
+            shards: shards.max(1),
+            ingress_capacity: 1024,
+            shard_capacity: 256,
+            overflow: OverflowPolicy::Block,
+            start_paused: false,
+        }
+    }
+
+    /// The shard a request's IP-scoped work routes to — same key and
+    /// function as the batch pipeline ([`shard_for`] over the hashed
+    /// source IP), which is what keeps batch↔serve flags identical.
+    pub fn ip_shard(&self, ip_hash: u64) -> usize {
+        shard_for(ip_hash, self.shards)
+    }
+
+    /// The shard a request's cookie-scoped work routes to.
+    pub fn cookie_shard(&self, cookie: u64) -> usize {
+        shard_for(cookie, self.shards)
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig::with_shards(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_shards_clamps_zero() {
+        assert_eq!(ServeConfig::with_shards(0).shards, 1);
+    }
+
+    #[test]
+    fn shard_routing_matches_shard_for() {
+        let cfg = ServeConfig::with_shards(8);
+        for k in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(cfg.ip_shard(k), shard_for(k, 8));
+            assert_eq!(cfg.cookie_shard(k), shard_for(k, 8));
+        }
+    }
+}

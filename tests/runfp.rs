@@ -34,6 +34,7 @@ fn base_config() -> ArenaConfig {
         retention: RetentionPolicy::KeepAll,
         agent_humanise: None,
         behavior_refit: None,
+        serve: None,
     }
 }
 

@@ -1,0 +1,252 @@
+//! Serving-layer equivalence and backpressure: the continuously running
+//! service ([`HoneySite::serve`]) must be verdict-for-verdict identical
+//! to the batch paths for every admitted request, shed *exactly* the
+//! over-capacity remainder under a flash crowd, and never deadlock.
+
+use fp_honeysite::serve::{SERVE_REQUESTS_DENIED, SERVE_REQUESTS_SHED};
+use fp_honeysite::SubmitOutcome;
+use fp_inconsistent::prelude::*;
+use fp_obs::MetricsRegistry;
+use fp_types::{
+    sym, AttrId, BehaviorTrace, Fingerprint, OverflowPolicy, ServeConfig, SimTime, TrafficSource,
+};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn build_request(
+    i: u64,
+    cookie: Option<u64>,
+    ip_low: u8,
+    cores: i64,
+    tz_offset: i64,
+    device: &str,
+) -> Request {
+    Request {
+        id: 0,
+        time: SimTime::from_day(0, i),
+        site_token: sym("serve-tok"),
+        ip: Ipv4Addr::new(73, 11, 0, ip_low),
+        cookie,
+        fingerprint: Fingerprint::new()
+            .with(AttrId::UaDevice, device)
+            .with(AttrId::HardwareConcurrency, cores)
+            .with(AttrId::TimezoneOffset, tz_offset)
+            .with(AttrId::Timezone, "America/Los_Angeles"),
+        tls: fp_types::TlsFacet::unobserved(),
+        behavior: BehaviorTrace::silent(),
+        cadence: fp_types::BehaviorFacet::unobserved(),
+        source: TrafficSource::RealUser,
+    }
+}
+
+/// A varied synthetic stream: shared cookies, shared IPs, churning
+/// hardware — the anchors the per-cookie/per-IP temporal detectors key on.
+fn varied_requests(count: u64) -> Vec<Request> {
+    (0..count)
+        .map(|i| {
+            build_request(
+                i,
+                (i % 3 != 0).then_some(i % 5),
+                (i % 4) as u8,
+                2 + (i % 7) as i64,
+                [480, -60, 0][(i % 3) as usize],
+                ["iPhone", "Mac", "Windows"][(i % 3) as usize],
+            )
+        })
+        .collect()
+}
+
+/// A site running the default chain plus the engine's spatial/temporal
+/// detectors — full scope coverage (stateless, per-IP, per-cookie).
+fn full_chain_site() -> HoneySite {
+    let mut site = HoneySite::new();
+    site.register_token(sym("serve-tok"));
+    let engine = FpInconsistent::from_rules(
+        RuleSet::new(),
+        fp_inconsistent::core::engine::EngineConfig {
+            generalize_location: true,
+            ..Default::default()
+        },
+    );
+    for d in engine.detectors() {
+        site.push_detector(d);
+    }
+    site
+}
+
+/// The burst integration test (flash crowd at 4× the ingress capacity):
+/// (a) verdicts for every admitted request are identical to the batch
+/// path, (b) the shed counter equals *exactly* the over-capacity
+/// remainder, (c) no stage deadlocks — the whole drain completes under a
+/// timeout.
+#[test]
+fn burst_at_4x_capacity_sheds_exactly_and_matches_batch() {
+    const CAPACITY: usize = 32;
+    const BURST: usize = 4 * CAPACITY;
+    let requests = varied_requests(BURST as u64);
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let mut site = full_chain_site();
+    site.set_metrics(registry.clone());
+    // Paused + Shed: the enricher holds off, so exactly the first
+    // `CAPACITY` submissions fill the ingress queue and every one after
+    // that is shed — deterministically, no race against the drain.
+    let mut service = site.serve(ServeConfig {
+        shards: 2,
+        ingress_capacity: CAPACITY,
+        shard_capacity: 8,
+        overflow: OverflowPolicy::Shed,
+        start_paused: true,
+    });
+    for request in requests.iter().cloned() {
+        let _ = service.submit(request);
+    }
+    assert_eq!(service.enqueued_count(), CAPACITY as u64);
+    assert_eq!(
+        service.shed_count(),
+        (BURST - CAPACITY) as u64,
+        "shed must be exactly the over-capacity remainder"
+    );
+    service.resume();
+
+    // Deadlock guard: the drain must complete well under the timeout.
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(service.finish());
+    });
+    let site = rx
+        .recv_timeout(Duration::from_secs(60))
+        .expect("serving drain deadlocked");
+    let served = site.into_store();
+
+    // Admitted = the first CAPACITY submissions (the queue filled in
+    // submit order). Their verdicts must equal the sequential batch path
+    // over the same prefix, record for record.
+    let mut batch_site = full_chain_site();
+    batch_site.ingest_all(requests[..CAPACITY].iter().cloned());
+    let batch = batch_site.into_store();
+    assert_eq!(served.len(), CAPACITY);
+    assert_eq!(batch.len(), CAPACITY);
+    for (a, b) in batch.iter().zip(served.iter()) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.cookie, b.cookie, "cookie issuance must match");
+        assert_eq!(a.verdicts, b.verdicts, "request {}", a.id);
+    }
+
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.counter(SERVE_REQUESTS_SHED),
+        Some((BURST - CAPACITY) as u64)
+    );
+    assert_eq!(
+        snap.counter(fp_honeysite::site::REQUESTS_ADMITTED),
+        Some(CAPACITY as u64)
+    );
+    let latency = snap
+        .histogram(fp_honeysite::site::ADMISSION_TO_VERDICT_NS)
+        .expect("latency histogram registered");
+    assert_eq!(latency.count(), CAPACITY as u64);
+}
+
+/// Blocking backpressure: with a tiny ingress queue and Block overflow,
+/// every submission eventually lands — nothing shed, order preserved.
+#[test]
+fn block_overflow_completes_everything_through_tiny_queues() {
+    let requests = varied_requests(100);
+    let mut service = full_chain_site().serve(ServeConfig {
+        shards: 2,
+        ingress_capacity: 2,
+        shard_capacity: 2,
+        overflow: OverflowPolicy::Block,
+        start_paused: false,
+    });
+    for request in requests.iter().cloned() {
+        assert_eq!(service.submit(request), SubmitOutcome::Enqueued);
+    }
+    assert_eq!(service.shed_count(), 0);
+    let store = service.finish().into_store();
+    assert_eq!(store.len(), 100);
+    let ids: Vec<u64> = store.iter().map(|r| r.id).collect();
+    assert_eq!(ids, (0..100).collect::<Vec<u64>>(), "in-order commit");
+}
+
+/// The admission gate runs before enqueue: denied requests never reach a
+/// queue, never consume a cookie, and are counted.
+#[test]
+fn admission_gate_denies_on_the_hot_path() {
+    let registry = Arc::new(MetricsRegistry::new());
+    let mut site = full_chain_site();
+    site.set_metrics(registry.clone());
+    let mut service = site.serve(ServeConfig::with_shards(1));
+    let requests = varied_requests(20);
+    let mut denied = 0u64;
+    for (i, request) in requests.iter().cloned().enumerate() {
+        let outcome = service.submit_with_gate(request, |_, _ip_hash| i % 4 != 0);
+        if i % 4 == 0 {
+            assert_eq!(outcome, SubmitOutcome::Denied);
+            denied += 1;
+        } else {
+            assert_eq!(outcome, SubmitOutcome::Enqueued);
+        }
+    }
+    assert_eq!(service.denied_count(), denied);
+    let store = service.finish().into_store();
+    assert_eq!(store.len(), 20 - denied as usize);
+    assert_eq!(
+        registry.snapshot().counter(SERVE_REQUESTS_DENIED),
+        Some(denied)
+    );
+}
+
+// ---------------------------------------------------------------------
+// Property: batch↔serve flag identity at 1, 2 and 8 shards, on
+// adversarial synthetic streams (shared cookies, shared IPs, churn).
+
+proptest! {
+    #[test]
+    fn serve_flags_match_batch_at_1_2_8_shards(
+        rows in proptest::collection::vec(
+            (
+                prop_oneof![Just(None), (0u64..4).prop_map(Some)], // cookie: shared or fresh
+                0u8..4,                                            // ip: heavily shared
+                (2i64..9),                                         // cores: churn per cookie
+                prop_oneof![Just(480i64), Just(-60i64), Just(0i64)], // tz churn per ip
+                prop_oneof![Just("iPhone"), Just("Mac"), Just("Windows")],
+            ),
+            1..60,
+        )
+    ) {
+        let requests: Vec<Request> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, (cookie, ip, cores, tz, device))| {
+                build_request(i as u64, *cookie, *ip, *cores, *tz, device)
+            })
+            .collect();
+
+        let mut batch_site = full_chain_site();
+        batch_site.ingest_all(requests.iter().cloned());
+        let baseline = batch_site.into_store();
+
+        for shards in [1usize, 2, 8] {
+            let mut service = full_chain_site().serve(ServeConfig {
+                shards,
+                ingress_capacity: 4,
+                shard_capacity: 4,
+                overflow: OverflowPolicy::Block,
+                start_paused: false,
+            });
+            for request in requests.iter().cloned() {
+                prop_assert_eq!(service.submit(request), SubmitOutcome::Enqueued);
+            }
+            let store = service.finish().into_store();
+            prop_assert_eq!(store.len(), baseline.len());
+            for (a, b) in baseline.iter().zip(store.iter()) {
+                prop_assert_eq!(a.cookie, b.cookie);
+                prop_assert_eq!(&a.verdicts, &b.verdicts, "request {} at {} shards", a.id, shards);
+            }
+        }
+    }
+}
